@@ -1,0 +1,129 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §7:
+//!
+//! - `ablation_dot_vs_febo`: FEIP dot-product vs element-wise FEBO
+//!   multiply-then-sum (the paper separates dot-product "due to
+//!   efficiency considerations" — this quantifies that choice).
+//! - `ablation_bsgs_reuse`: reusing a precomputed BSGS table vs
+//!   rebuilding per decryption.
+//! - `ablation_threads`: decryption throughput vs thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cryptonn_bench::{bench_rng, fixture, random_matrix, thread_counts};
+use cryptonn_fe::BasicOp;
+use cryptonn_group::{solve_dlog, DlogTable};
+use cryptonn_smc::{
+    derive_dot_keys, derive_elementwise_keys, secure_dot, secure_elementwise,
+    EncryptedMatrix, Parallelism,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Dot-product of length-l vectors: one FEIP decryption vs l FEBO
+/// multiplications plus a plaintext sum.
+fn dot_vs_febo(c: &mut Criterion) {
+    let (group, authority) = fixture(601);
+    let febo_mpk = authority.febo_public_key();
+    let table = DlogTable::new(&group, 2_000_000);
+    let l = 16;
+
+    let x = random_matrix(l, 1, 1, 50, 41);
+    let w = random_matrix(1, l, 1, 50, 42);
+    let mpk = authority.feip_public_key(l);
+    let mut rng = bench_rng(43);
+    let enc_cols = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+    let ip_keys = derive_dot_keys(&authority, &w).unwrap();
+
+    // Element-wise route: x as an l×1 FEBO matrix, multiply by wᵀ, sum.
+    let enc_elems = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+    let wt = w.transpose();
+    let bo_keys = derive_elementwise_keys(&authority, &enc_elems, BasicOp::Mul, &wt).unwrap();
+
+    let mut g = c.benchmark_group("ablation_dot_vs_febo");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("feip_dot", |b| {
+        b.iter(|| {
+            black_box(
+                secure_dot(&mpk, &enc_cols, &ip_keys, &w, &table, Parallelism::Serial).unwrap(),
+            )
+        });
+    });
+    g.bench_function("febo_mul_then_sum", |b| {
+        b.iter(|| {
+            let products = secure_elementwise(
+                &febo_mpk,
+                &enc_elems,
+                &bo_keys,
+                BasicOp::Mul,
+                &wt,
+                &table,
+                Parallelism::Serial,
+            )
+            .unwrap();
+            black_box(products.sum())
+        });
+    });
+    g.finish();
+}
+
+/// Amortized vs per-solve BSGS table construction.
+fn bsgs_reuse(c: &mut Criterion) {
+    let (group, _authority) = fixture(602);
+    let bound = 100_000;
+    let table = DlogTable::new(&group, bound);
+    let targets: Vec<_> = (0..8)
+        .map(|i| group.exp(&group.scalar_from_i64(i * 9_999 - 40_000)))
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_bsgs_reuse");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("reused_table", |b| {
+        b.iter(|| {
+            for t in &targets {
+                black_box(table.solve(&group, t).unwrap());
+            }
+        });
+    });
+    g.bench_function("rebuilt_per_solve", |b| {
+        b.iter(|| {
+            for t in &targets {
+                black_box(solve_dlog(&group, t, bound).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Secure dot-product throughput vs decryption thread count.
+fn threads(c: &mut Criterion) {
+    let (group, authority) = fixture(603);
+    let table = DlogTable::new(&group, 1_000_000);
+    let (l, k) = (10, 64);
+    let x = random_matrix(l, k, 1, 50, 51);
+    let w = random_matrix(4, l, 1, 50, 52);
+    let mpk = authority.feip_public_key(l);
+    let mut rng = bench_rng(53);
+    let enc = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+    let keys = derive_dot_keys(&authority, &w).unwrap();
+
+    let mut g = c.benchmark_group("ablation_threads");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for t in thread_counts() {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    secure_dot(&mpk, &enc, &keys, &w, &table, Parallelism::Threads(t)).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dot_vs_febo, bsgs_reuse, threads);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Fig. 3 — time cost of element-wise **addition** in the secure matrix
+//! computation scheme.
+//!
+//! Panels: (a) pre-process encryption, (b) pre-process key-derive,
+//! (c) secure addition serial, (d) secure addition parallelized.
+//! Sweep: element count k, value ranges [-10,10] / [-100,100] /
+//! [-1000,1000], matching the paper's legends (paper k is 2,000–10,000;
+//! default here is CI-sized — set CRYPTONN_BENCH_FULL=1 for full scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cryptonn_bench::{bench_rng, fixture, random_elements, sweep, ELEMENT_RANGES};
+use cryptonn_fe::BasicOp;
+use cryptonn_group::DlogTable;
+use cryptonn_smc::{
+    derive_elementwise_keys, secure_elementwise, EncryptedMatrix, Parallelism,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig3(c: &mut Criterion) {
+    let (group, authority) = fixture(301);
+    let febo_mpk = authority.febo_public_key();
+    let sizes = sweep(&[256usize, 512], &[2_000, 4_000, 6_000, 8_000, 10_000]);
+    // Addition results stay within ±2·range → one table covers all.
+    let table = DlogTable::new(&group, 4_000);
+
+    let mut enc = c.benchmark_group("fig3a_preprocess_encryption");
+    enc.sample_size(10);
+    enc.measurement_time(Duration::from_secs(2));
+    enc.warm_up_time(Duration::from_millis(500));
+    for &k in &sizes {
+        for (lo, hi, label) in ELEMENT_RANGES {
+            let x = random_elements(k, lo, hi, 11);
+            enc.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                let mut rng = bench_rng(12);
+                b.iter(|| {
+                    black_box(
+                        EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    enc.finish();
+
+    let mut kd = c.benchmark_group("fig3b_key_derive");
+    kd.sample_size(10);
+    kd.measurement_time(Duration::from_secs(2));
+    kd.warm_up_time(Duration::from_millis(500));
+    for &k in &sizes {
+        for (lo, hi, label) in ELEMENT_RANGES {
+            let x = random_elements(k, lo, hi, 13);
+            let y = random_elements(k, lo, hi, 14);
+            let mut rng = bench_rng(15);
+            let enc_x = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+            kd.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        derive_elementwise_keys(&authority, &enc_x, BasicOp::Add, &y).unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    kd.finish();
+
+    for (panel, par) in
+        [("fig3c_secure_add_serial", Parallelism::Serial), ("fig3d_secure_add_parallel", Parallelism::available())]
+    {
+        let mut g = c.benchmark_group(panel);
+        g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+        for &k in &sizes {
+            for (lo, hi, label) in ELEMENT_RANGES {
+                let x = random_elements(k, lo, hi, 16);
+                let y = random_elements(k, lo, hi, 17);
+                let mut rng = bench_rng(18);
+                let enc_x =
+                    EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+                let keys =
+                    derive_elementwise_keys(&authority, &enc_x, BasicOp::Add, &y).unwrap();
+                g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            secure_elementwise(
+                                &febo_mpk,
+                                &enc_x,
+                                &keys,
+                                BasicOp::Add,
+                                &y,
+                                &table,
+                                par,
+                            )
+                            .unwrap(),
+                        )
+                    });
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Fig. 4 — time cost of element-wise **multiplication** in the secure
+//! matrix computation scheme. Same four panels and sweeps as Fig. 3;
+//! the product range forces a much larger discrete-log search, which is
+//! exactly why the paper's multiplication plots are minutes where the
+//! addition plots are seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cryptonn_bench::{bench_rng, fixture, random_elements, sweep, ELEMENT_RANGES};
+use cryptonn_fe::BasicOp;
+use cryptonn_group::DlogTable;
+use cryptonn_smc::{
+    derive_elementwise_keys, secure_elementwise, EncryptedMatrix, Parallelism,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let (group, authority) = fixture(401);
+    let febo_mpk = authority.febo_public_key();
+    let sizes = sweep(&[128usize, 256], &[2_000, 4_000, 6_000, 8_000, 10_000]);
+    // Products reach range² = 10^6.
+    let table = DlogTable::new(&group, 1_100_000);
+
+    let mut enc = c.benchmark_group("fig4a_preprocess_encryption");
+    enc.sample_size(10);
+    enc.measurement_time(Duration::from_secs(2));
+    enc.warm_up_time(Duration::from_millis(500));
+    for &k in &sizes {
+        for (lo, hi, label) in ELEMENT_RANGES {
+            let x = random_elements(k, lo, hi, 21);
+            enc.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                let mut rng = bench_rng(22);
+                b.iter(|| {
+                    black_box(
+                        EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    enc.finish();
+
+    let mut kd = c.benchmark_group("fig4b_key_derive");
+    kd.sample_size(10);
+    kd.measurement_time(Duration::from_secs(2));
+    kd.warm_up_time(Duration::from_millis(500));
+    for &k in &sizes {
+        for (lo, hi, label) in ELEMENT_RANGES {
+            let x = random_elements(k, lo, hi, 23);
+            let y = random_elements(k, lo, hi, 24);
+            let mut rng = bench_rng(25);
+            let enc_x = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+            kd.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        derive_elementwise_keys(&authority, &enc_x, BasicOp::Mul, &y).unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    kd.finish();
+
+    for (panel, par) in
+        [("fig4c_secure_mul_serial", Parallelism::Serial), ("fig4d_secure_mul_parallel", Parallelism::available())]
+    {
+        let mut g = c.benchmark_group(panel);
+        g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+        for &k in &sizes {
+            for (lo, hi, label) in ELEMENT_RANGES {
+                let x = random_elements(k, lo, hi, 26);
+                let y = random_elements(k, lo, hi, 27);
+                let mut rng = bench_rng(28);
+                let enc_x =
+                    EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+                let keys =
+                    derive_elementwise_keys(&authority, &enc_x, BasicOp::Mul, &y).unwrap();
+                g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            secure_elementwise(
+                                &febo_mpk,
+                                &enc_x,
+                                &keys,
+                                BasicOp::Mul,
+                                &y,
+                                &table,
+                                par,
+                            )
+                            .unwrap(),
+                        )
+                    });
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Fig. 5 — time cost of the secure **dot-product**.
+//!
+//! Panels: (a) pre-process encryption, (b) key-derive, (c) secure
+//! computation serial, (d) parallelized. Sweep: number of dot-products
+//! k, vector length l ∈ {10, 100}, value ranges [1,10] and [1,100] —
+//! the paper's legends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cryptonn_bench::{bench_rng, fixture, random_matrix, sweep};
+use cryptonn_group::DlogTable;
+use cryptonn_smc::{derive_dot_keys, secure_dot, EncryptedMatrix, Parallelism};
+use std::hint::black_box;
+use std::time::Duration;
+
+const CONFIGS: [(usize, i64, &str); 4] = [
+    (10, 10, "l=10,v=[1,10]"),
+    (10, 100, "l=10,v=[1,100]"),
+    (100, 10, "l=100,v=[1,10]"),
+    (100, 100, "l=100,v=[1,100]"),
+];
+
+fn fig5(c: &mut Criterion) {
+    let (group, authority) = fixture(501);
+    // Worst case: l=100, v=100 → <x,y> ≤ 100·100·100 = 10^6.
+    let table = DlogTable::new(&group, 1_100_000);
+    let counts = sweep(&[16usize, 32], &[2_000, 4_000, 6_000, 8_000, 10_000]);
+
+    let mut enc = c.benchmark_group("fig5a_preprocess_encryption");
+    enc.sample_size(10);
+    enc.measurement_time(Duration::from_secs(2));
+    enc.warm_up_time(Duration::from_millis(500));
+    for &k in &counts {
+        for (l, v, label) in CONFIGS {
+            // k dot-products of l-long vectors = X with l rows, k cols.
+            let x = random_matrix(l, k, 1, v, 31);
+            let mpk = authority.feip_public_key(l);
+            enc.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                let mut rng = bench_rng(32);
+                b.iter(|| {
+                    black_box(EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap())
+                });
+            });
+        }
+    }
+    enc.finish();
+
+    let mut kd = c.benchmark_group("fig5b_key_derive");
+    kd.sample_size(10);
+    kd.measurement_time(Duration::from_secs(2));
+    kd.warm_up_time(Duration::from_millis(500));
+    for &k in &counts {
+        for (l, v, label) in CONFIGS {
+            // One weight row per dot-product batch; the paper derives a
+            // key per server weight vector.
+            let rows = (k / 8).max(1);
+            let w = random_matrix(rows, l, 1, v, 33);
+            kd.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| black_box(derive_dot_keys(&authority, &w).unwrap()));
+            });
+        }
+    }
+    kd.finish();
+
+    for (panel, par) in
+        [("fig5c_secure_dot_serial", Parallelism::Serial), ("fig5d_secure_dot_parallel", Parallelism::available())]
+    {
+        let mut g = c.benchmark_group(panel);
+        g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+        for &k in &counts {
+            for (l, v, label) in CONFIGS {
+                // k total decryptions: 1 weight row × k encrypted columns.
+                let x = random_matrix(l, k, 1, v, 34);
+                let w = random_matrix(1, l, 1, v, 35);
+                let mpk = authority.feip_public_key(l);
+                let mut rng = bench_rng(36);
+                let enc_x = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+                let keys = derive_dot_keys(&authority, &w).unwrap();
+                g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            secure_dot(&mpk, &enc_x, &keys, &w, &table, par).unwrap(),
+                        )
+                    });
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! §IV-B2 communication overhead of key generation.
+//!
+//! The paper's analysis: for a two-class NN with k first-layer units
+//! over X^{m×n}, each training iteration sends k·n·|w| bytes to the
+//! authority and receives k·|sk| bytes. This binary prints the analytic
+//! table and then *measures* the same quantities from the authority's
+//! key-request log during a real encrypted training run.
+
+use cryptonn_bench::fixture;
+use cryptonn_core::{Client, CryptoMlp, CryptoNnConfig};
+use cryptonn_fe::{KEY_BYTES, WEIGHT_BYTES};
+use cryptonn_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("COMMUNICATION OVERHEAD OF KEY GENERATION (paper §IV-B2)\n");
+    println!("analytic model: per iteration the server sends k·n·|w| and receives k·|sk|");
+    println!("with |w| = {WEIGHT_BYTES} B and |sk| = {KEY_BYTES} B\n");
+    println!("{:>6} {:>6} {:>14} {:>14}", "k", "n", "sent (B)", "received (B)");
+    for (k, n) in [(8usize, 16usize), (16, 64), (64, 256), (120, 784)] {
+        println!(
+            "{k:>6} {n:>6} {:>14} {:>14}",
+            k * n * WEIGHT_BYTES as usize,
+            k * KEY_BYTES as usize
+        );
+    }
+
+    // Measured: one encrypted-training iteration of an 8-unit MLP on
+    // 16-feature data (k = 8, n = 16).
+    let (_, authority) = fixture(701);
+    let config = CryptoNnConfig { level: cryptonn_bench::bench_level(), ..CryptoNnConfig::fast() };
+    let (k, n, m) = (8usize, 16usize, 4usize);
+    let mut client = Client::for_mlp(&authority, n, 1, config.fp, 702);
+    let mut rng = StdRng::seed_from_u64(703);
+    let mut model = CryptoMlp::binary(n, &[k], config, &mut rng);
+    let x = Matrix::from_fn(m, n, |r, c| ((r + c) % 10) as f64 / 10.0);
+    let y = Matrix::from_fn(m, 1, |r, _| (r % 2) as f64);
+    let batch = client.encrypt_batch(&x, &y).unwrap();
+
+    // First iteration includes the one-time unit-key derivation for the
+    // secure gradient; iterate twice and report the steady state.
+    model.train_encrypted_batch(&authority, &batch, 0.5).unwrap();
+    authority.reset_comm_log();
+    model.train_encrypted_batch(&authority, &batch, 0.5).unwrap();
+    let log = authority.comm_log();
+
+    println!("\nmeasured (k = {k}, n = {n}, batch = {m}, steady-state iteration):");
+    println!("  FEIP key requests: {}", log.ip_requests);
+    println!("  FEBO key requests: {} (secure P − Y evaluation, one per output cell)", log.bo_requests);
+    println!("  bytes sent to authority:   {}", log.bytes_received());
+    println!("  bytes received from authority: {}", log.bytes_sent());
+    println!(
+        "\nanalytic k·n·|w| = {} B for the feed-forward keys — the measured total\n\
+         adds the per-sample loss keys and per-cell evaluation keys that the\n\
+         paper's simplified model omits.",
+        k * n * WEIGHT_BYTES as usize
+    );
+}

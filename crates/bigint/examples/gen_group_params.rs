@@ -1,0 +1,21 @@
+//! One-shot generator for the safe-prime group parameters embedded in
+//! `cryptonn-group::params`. Run with:
+//!
+//! ```sh
+//! cargo run --release -p cryptonn-bigint --example gen_group_params
+//! ```
+
+use cryptonn_bigint::prime::gen_safe_prime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Seeded so the published parameters are reproducible.
+    let mut rng = StdRng::seed_from_u64(0x2019_0426);
+    for bits in [32usize, 64, 128, 192, 224, 256] {
+        let (p, q) = gen_safe_prime(bits, &mut rng);
+        println!("bits={bits}");
+        println!("  p = {}", p.to_hex());
+        println!("  q = {}", q.to_hex());
+    }
+}

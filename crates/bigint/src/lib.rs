@@ -1,0 +1,31 @@
+//! # cryptonn-bigint
+//!
+//! Fixed-width multi-precision integers and modular arithmetic — the
+//! lowest layer of the CryptoNN reproduction, standing in for the GMP
+//! library that the paper's Charm-based prototype relies on.
+//!
+//! The crate provides:
+//!
+//! - [`U256`] / [`U512`]: fixed-width unsigned integers with full
+//!   arithmetic (Knuth Algorithm D division, widening multiplication),
+//! - [`modular`]: modular add/sub/mul/pow/inverse over 256-bit moduli,
+//! - [`prime`]: Miller–Rabin primality testing and (safe-)prime
+//!   generation for `GroupGen(1^λ)`.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_bigint::{modular, U256};
+//!
+//! let p = U256::from_u64(1_000_003); // a prime modulus
+//! let a = U256::from_u64(123_456);
+//! let inv = modular::mod_inv(&a, &p).expect("p is prime");
+//! assert_eq!(modular::mod_mul(&a, &inv, &p), U256::ONE);
+//! ```
+
+pub mod limbs;
+pub mod modular;
+pub mod prime;
+mod uint;
+
+pub use uint::{ParseUintError, U256, U512};

@@ -1,0 +1,376 @@
+//! Low-level arithmetic on little-endian limb slices.
+//!
+//! Every multi-limb algorithm in this crate (addition, subtraction,
+//! schoolbook multiplication, Knuth Algorithm D division, shifts) is
+//! implemented here on `&[Limb]` slices so that the fixed-width integer
+//! types (`U256`, `U512`) can share one carefully-tested core.
+
+/// The machine word used for all big-integer arithmetic.
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: usize = 64;
+
+/// Add with carry: returns `(a + b + carry) mod 2^64` and the carry out.
+#[inline(always)]
+pub const fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Subtract with borrow: returns `(a - b - borrow) mod 2^64` and the
+/// borrow out (0 or 1).
+#[inline(always)]
+pub const fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
+    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    (t as Limb, ((t >> LIMB_BITS) as Limb) & 1)
+}
+
+/// Multiply-accumulate: returns `(a + b * c + carry) mod 2^64` and the
+/// high word carried out. Never overflows `u128`.
+#[inline(always)]
+pub const fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// `lhs += rhs`, returning the final carry. `rhs` may be shorter than
+/// `lhs`; the carry is propagated through the remaining limbs.
+///
+/// # Panics
+///
+/// Panics if `rhs` is longer than `lhs`.
+pub fn add_assign(lhs: &mut [Limb], rhs: &[Limb]) -> Limb {
+    assert!(rhs.len() <= lhs.len(), "rhs longer than lhs");
+    let mut carry = 0;
+    for (l, &r) in lhs.iter_mut().zip(rhs.iter()) {
+        let (s, c) = adc(*l, r, carry);
+        *l = s;
+        carry = c;
+    }
+    for l in lhs.iter_mut().skip(rhs.len()) {
+        if carry == 0 {
+            break;
+        }
+        let (s, c) = adc(*l, 0, carry);
+        *l = s;
+        carry = c;
+    }
+    carry
+}
+
+/// `lhs -= rhs`, returning the final borrow (0 or 1).
+///
+/// # Panics
+///
+/// Panics if `rhs` is longer than `lhs`.
+pub fn sub_assign(lhs: &mut [Limb], rhs: &[Limb]) -> Limb {
+    assert!(rhs.len() <= lhs.len(), "rhs longer than lhs");
+    let mut borrow = 0;
+    for (l, &r) in lhs.iter_mut().zip(rhs.iter()) {
+        let (d, b) = sbb(*l, r, borrow);
+        *l = d;
+        borrow = b;
+    }
+    for l in lhs.iter_mut().skip(rhs.len()) {
+        if borrow == 0 {
+            break;
+        }
+        let (d, b) = sbb(*l, 0, borrow);
+        *l = d;
+        borrow = b;
+    }
+    borrow
+}
+
+/// Lexicographic comparison of two equal-length little-endian slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cmp_slices(a: &[Limb], b: &[Limb]) -> core::cmp::Ordering {
+    assert_eq!(a.len(), b.len(), "cmp_slices length mismatch");
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            core::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Schoolbook multiplication: `out = a * b`.
+///
+/// # Panics
+///
+/// Panics if `out.len() < a.len() + b.len()`.
+pub fn mul_into(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
+    assert!(out.len() >= a.len() + b.len(), "mul_into output too small");
+    out.fill(0);
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = mac(out[i + j], ai, bj, carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Number of significant limbs (index of highest non-zero limb + 1).
+pub fn significant_limbs(a: &[Limb]) -> usize {
+    a.iter().rposition(|&l| l != 0).map_or(0, |i| i + 1)
+}
+
+/// Bit length of the value represented by `a` (0 for zero).
+pub fn bit_len(a: &[Limb]) -> usize {
+    let n = significant_limbs(a);
+    if n == 0 {
+        0
+    } else {
+        n * LIMB_BITS - a[n - 1].leading_zeros() as usize
+    }
+}
+
+/// Shift left in place by `shift` bits (`shift < 64`), returning the bits
+/// shifted out of the top limb.
+pub fn shl_small(a: &mut [Limb], shift: u32) -> Limb {
+    debug_assert!(shift < 64);
+    if shift == 0 {
+        return 0;
+    }
+    let mut carry = 0;
+    for limb in a.iter_mut() {
+        let new_carry = *limb >> (64 - shift);
+        *limb = (*limb << shift) | carry;
+        carry = new_carry;
+    }
+    carry
+}
+
+/// Shift right in place by `shift` bits (`shift < 64`).
+pub fn shr_small(a: &mut [Limb], shift: u32) {
+    debug_assert!(shift < 64);
+    if shift == 0 {
+        return;
+    }
+    let mut carry = 0;
+    for limb in a.iter_mut().rev() {
+        let new_carry = *limb << (64 - shift);
+        *limb = (*limb >> shift) | carry;
+        carry = new_carry;
+    }
+}
+
+/// Maximum dividend size (in limbs) supported by [`div_rem_into`].
+pub const MAX_DIV_LIMBS: usize = 17;
+
+/// Knuth Algorithm D: computes `q = u / v` and `r = u % v`.
+///
+/// `u` and `v` are little-endian limb slices; leading zero limbs are
+/// permitted. The quotient is written to `q` (which must have at least
+/// `u.len()` limbs of space) and the remainder to `r` (at least
+/// `v.len()` limbs). Unused high limbs of `q` and `r` are zeroed.
+///
+/// # Panics
+///
+/// Panics if `v` is zero, if `u.len() >= MAX_DIV_LIMBS`, or if the output
+/// slices are too small.
+pub fn div_rem_into(u: &[Limb], v: &[Limb], q: &mut [Limb], r: &mut [Limb]) {
+    let n = significant_limbs(v);
+    assert!(n > 0, "division by zero");
+    let m = significant_limbs(u);
+    assert!(u.len() < MAX_DIV_LIMBS, "dividend too large for div_rem_into");
+    assert!(q.len() >= m.max(1), "quotient buffer too small");
+    assert!(r.len() >= n, "remainder buffer too small");
+    q.fill(0);
+    r.fill(0);
+
+    if m < n {
+        r[..m].copy_from_slice(&u[..m]);
+        return;
+    }
+
+    // Short division by a single limb.
+    if n == 1 {
+        let d = v[0] as u128;
+        let mut rem: u128 = 0;
+        for j in (0..m).rev() {
+            let cur = (rem << 64) | u[j] as u128;
+            q[j] = (cur / d) as Limb;
+            rem = cur % d;
+        }
+        r[0] = rem as Limb;
+        return;
+    }
+
+    // Normalize: shift v left so its top limb has the high bit set.
+    let shift = v[n - 1].leading_zeros();
+    let mut vn = [0 as Limb; MAX_DIV_LIMBS];
+    vn[..n].copy_from_slice(&v[..n]);
+    shl_small(&mut vn[..n], shift);
+
+    let mut un = [0 as Limb; MAX_DIV_LIMBS + 1];
+    un[..m].copy_from_slice(&u[..m]);
+    un[m] = shl_small(&mut un[..m], shift);
+
+    for j in (0..=m - n).rev() {
+        // Estimate q̂ = (un[j+n]·B + un[j+n-1]) / vn[n-1].
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let den = vn[n - 1] as u128;
+        let mut qhat = num / den;
+        let mut rhat = num % den;
+
+        // Correct q̂ down at most twice.
+        while qhat >> 64 != 0
+            || (qhat as u64 as u128) * (vn[n - 2] as u128)
+                > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += den;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        let qh = qhat as Limb;
+
+        // Multiply-and-subtract: un[j..j+n+1] -= qh * vn[..n].
+        let mut mul_carry: Limb = 0;
+        let mut borrow: Limb = 0;
+        for i in 0..n {
+            let p = (qh as u128) * (vn[i] as u128) + mul_carry as u128;
+            mul_carry = (p >> 64) as Limb;
+            let (d, b) = sbb(un[j + i], p as Limb, borrow);
+            un[j + i] = d;
+            borrow = b;
+        }
+        let (d, b) = sbb(un[j + n], mul_carry, borrow);
+        un[j + n] = d;
+
+        q[j] = qh;
+        if b != 0 {
+            // q̂ was one too large; add v back.
+            q[j] -= 1;
+            let carry = add_assign(&mut un[j..j + n], &vn[..n]);
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+    }
+
+    // Denormalize the remainder.
+    r[..n].copy_from_slice(&un[..n]);
+    shr_small(&mut r[..n], shift);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_u128(limbs: &[Limb]) -> u128 {
+        limbs
+            .iter()
+            .take(2)
+            .enumerate()
+            .map(|(i, &l)| (l as u128) << (64 * i))
+            .sum()
+    }
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_never_overflows() {
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        // max value of a + b*c + carry = 2^128 - 1 exactly.
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut a = [1, 2, 3];
+        let carry = add_assign(&mut a, &[u64::MAX, u64::MAX]);
+        assert_eq!(carry, 0);
+        assert_eq!(a, [0, 2, 4]);
+        let borrow = sub_assign(&mut a, &[u64::MAX, u64::MAX]);
+        assert_eq!(borrow, 0);
+        assert_eq!(a, [1, 2, 3]);
+    }
+
+    #[test]
+    fn mul_small_values() {
+        let mut out = [0; 4];
+        mul_into(&[3, 0], &[7, 0], &mut out);
+        assert_eq!(out, [21, 0, 0, 0]);
+
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        mul_into(&[u64::MAX], &[u64::MAX], &mut out[..2]);
+        assert_eq!(to_u128(&out[..2]), (u128::from(u64::MAX)) * (u128::from(u64::MAX)));
+    }
+
+    #[test]
+    fn div_rem_u128_cases() {
+        let cases: [(u128, u128); 8] = [
+            (0, 1),
+            (5, 7),
+            (100, 7),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX, (u64::MAX as u128) + 1),
+            (1 << 100, (1 << 64) + 12345),
+            (u128::MAX - 1, u128::MAX),
+        ];
+        for (a, b) in cases {
+            let u = [a as u64, (a >> 64) as u64];
+            let v = [b as u64, (b >> 64) as u64];
+            let mut q = [0; 2];
+            let mut r = [0; 2];
+            div_rem_into(&u, &v, &mut q, &mut r);
+            assert_eq!(to_u128(&q), a / b, "quotient for {a} / {b}");
+            assert_eq!(to_u128(&r), a % b, "remainder for {a} / {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let mut q = [0; 2];
+        let mut r = [0; 2];
+        div_rem_into(&[1, 0], &[0, 0], &mut q, &mut r);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        let mut a = [0x8000_0000_0000_0001, 0x1];
+        let out = shl_small(&mut a, 1);
+        assert_eq!(out, 0);
+        assert_eq!(a, [2, 3]);
+        shr_small(&mut a, 1);
+        assert_eq!(a, [0x8000_0000_0000_0001, 0x1]);
+    }
+
+    #[test]
+    fn significant_and_bitlen() {
+        assert_eq!(significant_limbs(&[0, 0, 0]), 0);
+        assert_eq!(significant_limbs(&[1, 0, 0]), 1);
+        assert_eq!(significant_limbs(&[0, 0, 5]), 3);
+        assert_eq!(bit_len(&[0, 0]), 0);
+        assert_eq!(bit_len(&[1]), 1);
+        assert_eq!(bit_len(&[0, 1]), 65);
+        assert_eq!(bit_len(&[u64::MAX, u64::MAX]), 128);
+    }
+}

@@ -1,0 +1,231 @@
+//! Primality testing and prime generation.
+//!
+//! Provides Miller–Rabin testing and random / safe-prime generation used
+//! by `cryptonn-group`'s `GroupGen(1^λ)`. Safe primes (`p = 2q + 1` with
+//! `q` prime) give the Schnorr subgroup of prime order `q` in which the
+//! DDH assumption underlying FEIP/FEBO is taken.
+
+use rand::Rng;
+
+use crate::modular::{mod_mul, mod_pow};
+use crate::uint::U256;
+
+/// The first 64 odd primes, used for cheap trial division before
+/// Miller–Rabin.
+const SMALL_PRIMES: [u64; 64] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+    293, 307, 311, 313,
+];
+
+/// Number of Miller–Rabin rounds; 40 random bases gives an error bound of
+/// at most `4^-40` per composite, standard for crypto parameter generation.
+pub const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Returns true if `n` is (very probably) prime.
+///
+/// Uses trial division by the first 64 odd primes, then [`MILLER_RABIN_ROUNDS`]
+/// rounds of Miller–Rabin with random bases drawn from `rng`.
+pub fn is_prime<R: Rng + ?Sized>(n: &U256, rng: &mut R) -> bool {
+    is_prime_with_rounds(n, MILLER_RABIN_ROUNDS, rng)
+}
+
+/// [`is_prime`] with an explicit number of Miller–Rabin rounds.
+pub fn is_prime_with_rounds<R: Rng + ?Sized>(n: &U256, rounds: usize, rng: &mut R) -> bool {
+    let two = U256::from_u64(2);
+    if n < &two {
+        return false;
+    }
+    if n == &two {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n == &U256::from_u64(p) {
+            return true;
+        }
+        if n.rem_u64(p) == 0 {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.wrapping_sub(&U256::ONE);
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+
+    let n_minus_3 = n.wrapping_sub(&U256::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // a ∈ [2, n-2]
+        let a = U256::random_below(rng, &n_minus_3).wrapping_add(&two);
+        let mut x = mod_pow(&a, &d, n);
+        if x == U256::ONE || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mod_mul(&x, &x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &U256) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut count = 0;
+    for &limb in n.as_limbs() {
+        if limb == 0 {
+            count += 64;
+        } else {
+            count += limb.trailing_zeros() as usize;
+            break;
+        }
+    }
+    count
+}
+
+/// Generates a random prime of exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 256`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> U256 {
+    assert!((2..=256).contains(&bits), "bits must be in 2..=256");
+    loop {
+        let mut candidate = random_with_bits(bits, rng);
+        if candidate.is_even() {
+            candidate = candidate.wrapping_add(&U256::ONE);
+        }
+        if candidate.bit_len() == bits && is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random safe prime `p = 2q + 1` of exactly `bits` bits,
+/// returning `(p, q)` where both are prime.
+///
+/// Safe-prime search is expensive (expected `O(bits²)` candidates); the
+/// group crate ships precomputed parameters for the standard λ values and
+/// only calls this for custom sizes.
+///
+/// # Panics
+///
+/// Panics if `bits < 3` or `bits > 256`.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> (U256, U256) {
+    assert!((3..=256).contains(&bits), "bits must be in 3..=256");
+    loop {
+        // Search q of bits-1 bits with cheap pre-filters before the full
+        // double-primality test: p = 2q+1 must also avoid small factors.
+        let q = gen_prime(bits - 1, rng);
+        let p = q.shl(1).wrapping_add(&U256::ONE);
+        if p.bit_len() != bits {
+            continue;
+        }
+        let mut divisible = false;
+        for &sp in &SMALL_PRIMES {
+            if p.rem_u64(sp) == 0 && p != U256::from_u64(sp) {
+                divisible = true;
+                break;
+            }
+        }
+        if divisible {
+            continue;
+        }
+        if is_prime(&p, rng) {
+            return (p, q);
+        }
+    }
+}
+
+fn random_with_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> U256 {
+    let mut v = U256::random(rng);
+    // Clear everything above `bits`, then force the top bit.
+    if bits < 256 {
+        v = v.shl(256 - bits).shr(256 - bits);
+    }
+    let top = U256::ONE.shl(bits - 1);
+    let mut limbs = v.to_limbs();
+    limbs[(bits - 1) / 64] |= top.as_limbs()[(bits - 1) / 64];
+    U256::from_limbs(limbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 1_000_003];
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 1105, 1_000_001];
+        for p in primes {
+            assert!(is_prime(&U256::from_u64(p), &mut rng), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&U256::from_u64(c), &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller-Rabin.
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(&U256::from_u64(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 2^61 - 1 (Mersenne), 2^89 - 1 (Mersenne), 2^255 - 19.
+        let m61 = U256::from_u64((1u64 << 61) - 1);
+        let m89 = U256::from_u128((1u128 << 89) - 1);
+        let ed = U256::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        )
+        .unwrap();
+        assert!(is_prime(&m61, &mut rng));
+        assert!(is_prime(&m89, &mut rng));
+        assert!(is_prime(&ed, &mut rng));
+        // 2^67 - 1 = 193707721 × 761838257287 is composite.
+        let m67 = U256::from_u128((1u128 << 67) - 1);
+        assert!(!is_prime(&m67, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bits in [16, 32, 64, 96] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_small() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (p, q) = gen_safe_prime(32, &mut rng);
+        assert_eq!(p.bit_len(), 32);
+        assert_eq!(p, q.shl(1).wrapping_add(&U256::ONE));
+        assert!(is_prime(&p, &mut rng));
+        assert!(is_prime(&q, &mut rng));
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(trailing_zeros(&U256::from_u64(1)), 0);
+        assert_eq!(trailing_zeros(&U256::from_u64(8)), 3);
+        assert_eq!(trailing_zeros(&U256::ONE.shl(200)), 200);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the big-integer layer.
+//!
+//! Values are cross-checked against native `u128` arithmetic where the
+//! range allows it, and against algebraic identities where it does not.
+
+use cryptonn_bigint::{modular, prime, U256};
+use proptest::prelude::*;
+
+fn u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+/// A non-zero modulus below 2^126 so the doubling-based reference
+/// implementation in [`mulmod_shift64`] cannot overflow `u128`.
+fn modulus128() -> impl Strategy<Value = u128> {
+    2u128..(1u128 << 126)
+}
+
+proptest! {
+    #[test]
+    fn hex_roundtrip(a in u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn serde_roundtrip_via_display(a in u256()) {
+        // Display is `0x` + hex, and FromStr accepts the prefix.
+        let s = format!("{a}");
+        prop_assert_eq!(s.parse::<U256>().unwrap(), a);
+    }
+
+    #[test]
+    fn add_commutes(a in u256(), b in u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in u256(), b in u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn add_matches_u128(a in any::<u128>() , b in any::<u128>()) {
+        // Restrict to 127-bit halves so the sum cannot carry past 128 bits.
+        let (a, b) = (a >> 1, b >> 1);
+        let sum = U256::from_u128(a).wrapping_add(&U256::from_u128(b));
+        prop_assert_eq!(sum, U256::from_u128(a + b));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U256::from_u64(a).wrapping_mul(&U256::from_u64(b));
+        prop_assert_eq!(prod, U256::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in u256(), b in u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        // a == q*b + r, computed with a full-width check: q*b must not
+        // overflow since q <= a / b.
+        let qb = q.checked_mul(&b);
+        prop_assert!(qb.is_some());
+        prop_assert_eq!(qb.unwrap().checked_add(&r), Some(a));
+    }
+
+    #[test]
+    fn widening_mul_truncates_consistently(a in u256(), b in u256()) {
+        let wide = a.widening_mul(&b);
+        prop_assert_eq!(wide.truncate(), a.wrapping_mul(&b));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in u256(), s in 0usize..256) {
+        // Mask off the bits that would fall off the top.
+        let masked = a.shl(s).shr(s);
+        let expect = if s == 0 { a } else { a.shl(s).shr(s) };
+        prop_assert_eq!(masked, expect);
+        // shr then shl zeroes the low bits.
+        let low_cleared = a.shr(s).shl(s);
+        for i in 0..s {
+            prop_assert!(!low_cleared.bit(i));
+        }
+    }
+
+    #[test]
+    fn mod_mul_matches_u128(a in any::<u128>(), b in any::<u128>(), m in modulus128()) {
+        let a = a % m;
+        let b = b % m;
+        // Compute a*b mod m in u128 via a 64x64 split-free method:
+        // only feasible when the product fits; restrict a to 64 bits.
+        let a = a & (u64::MAX as u128);
+        let expect = mul_mod_u128(a, b, m);
+        let got = modular::mod_mul(&U256::from_u128(a), &U256::from_u128(b), &U256::from_u128(m));
+        prop_assert_eq!(got, U256::from_u128(expect));
+    }
+
+    #[test]
+    fn mod_add_sub_are_inverse(a in u256(), b in u256(), m in u256()) {
+        prop_assume!(m > U256::ONE);
+        let a = a.rem(&m);
+        let b = b.rem(&m);
+        let s = modular::mod_add(&a, &b, &m);
+        prop_assert_eq!(modular::mod_sub(&s, &b, &m), a);
+        prop_assert_eq!(modular::mod_sub(&s, &a, &m), b);
+    }
+
+    #[test]
+    fn mod_pow_add_law(a in u256(), e1 in 0u64..64, e2 in 0u64..64, m in u256()) {
+        // a^(e1+e2) == a^e1 * a^e2 (mod m)
+        prop_assume!(m > U256::ONE);
+        let a = a.rem(&m);
+        let lhs = modular::mod_pow(&a, &U256::from_u64(e1 + e2), &m);
+        let rhs = modular::mod_mul(
+            &modular::mod_pow(&a, &U256::from_u64(e1), &m),
+            &modular::mod_pow(&a, &U256::from_u64(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in u256()) {
+        // Against the 2^255 - 19 prime.
+        let p = U256::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        ).unwrap();
+        let a = a.rem(&p);
+        prop_assume!(!a.is_zero());
+        let inv = modular::mod_inv(&a, &p).unwrap();
+        prop_assert_eq!(modular::mod_mul(&a, &inv, &p), U256::ONE);
+    }
+
+    #[test]
+    fn rem_u64_matches_rem(a in u256(), d in 1u64..) {
+        let r = a.rem_u64(d);
+        prop_assert_eq!(U256::from_u64(r), a.rem(&U256::from_u64(d)));
+    }
+}
+
+/// Schoolbook `a * b % m` for u128 operands where `a` fits in 64 bits.
+fn mul_mod_u128(a: u128, b: u128, m: u128) -> u128 {
+    // a < 2^64, so a * (b >> 64) < 2^128 and a * (b & mask) < 2^128.
+    let lo = b & (u64::MAX as u128);
+    let hi = b >> 64;
+    // a*b = a*hi*2^64 + a*lo
+    let part_hi = mulmod_shift64(a.wrapping_mul(hi) % m, m);
+    (part_hi + a.wrapping_mul(lo) % m) % m
+}
+
+/// Computes `(x << 64) % m` without overflow by 64 doubling steps.
+fn mulmod_shift64(mut x: u128, m: u128) -> u128 {
+    for _ in 0..64 {
+        x <<= 1;
+        if x >= m {
+            x -= m;
+        }
+    }
+    x
+}
+
+#[test]
+fn random_primes_are_odd_and_sized() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(99);
+    let p = prime::gen_prime(80, &mut rng);
+    assert!(p.is_odd());
+    assert_eq!(p.bit_len(), 80);
+}

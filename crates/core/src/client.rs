@@ -1,0 +1,323 @@
+//! The client (data-owner) role of the CryptoNN architecture (Fig. 1).
+//!
+//! Clients pre-process their training data — flattening images, one-hot
+//! encoding labels — quantize it, and encrypt it under the authority's
+//! public keys before anything leaves their machine. Several clients
+//! encrypting under the same `mpk` can feed one server-side model (the
+//! paper's "distributed data source" property).
+
+use cryptonn_fe::{FeboPublicKey, FeipPublicKey, KeyAuthority};
+use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
+use cryptonn_smc::{encrypt_windows, EncryptedMatrix, EncryptedWindows, FixedPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::CryptoNnError;
+
+/// One encrypted mini-batch for MLP-style training.
+///
+/// `x` holds the sample feature vectors as FEIP-encrypted *columns*
+/// (`features × batch`), which serve both the secure feed-forward
+/// (`W·X`) and — via ciphertext combination — the secure first-layer
+/// gradient (`δ·Xᵀ`). `y` holds one-hot labels (`classes × batch`)
+/// encrypted both ways: FEIP columns for the secure loss inner product
+/// and FEBO elements for the secure `Ŷ − Y` evaluation.
+#[derive(Debug, Clone)]
+pub struct EncryptedBatch {
+    pub(crate) x: EncryptedMatrix,
+    pub(crate) y: EncryptedMatrix,
+    pub(crate) batch_size: usize,
+    /// Largest |quantized| feature value — public metadata the server
+    /// needs to size its discrete-log search.
+    pub(crate) max_abs_x: u64,
+}
+
+impl EncryptedBatch {
+    /// Number of samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.y.rows()
+    }
+
+    /// The encrypted label matrix (`classes × batch`), for callers that
+    /// drive the secure output steps directly.
+    pub fn labels(&self) -> &EncryptedMatrix {
+        &self.y
+    }
+}
+
+/// One encrypted mini-batch for CNN training: FEIP-encrypted convolution
+/// windows (Algorithm 3) plus encrypted labels.
+#[derive(Debug, Clone)]
+pub struct EncryptedImageBatch {
+    pub(crate) windows: EncryptedWindows,
+    pub(crate) y: EncryptedMatrix,
+    pub(crate) batch_size: usize,
+    pub(crate) max_abs_x: u64,
+}
+
+impl EncryptedImageBatch {
+    /// Number of images in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Window vector length (`c·kh·kw`).
+    pub fn window_dim(&self) -> usize {
+        self.windows.dim()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.y.rows()
+    }
+
+    /// The encrypted label matrix (`classes × batch`).
+    pub fn labels(&self) -> &EncryptedMatrix {
+        &self.y
+    }
+}
+
+/// A CryptoNN client: quantizes and encrypts its own data under the
+/// authority's public keys.
+#[derive(Debug)]
+pub struct Client {
+    fp: FixedPoint,
+    x_mpk: FeipPublicKey,
+    y_mpk: FeipPublicKey,
+    febo_mpk: FeboPublicKey,
+    classes: usize,
+    rng: StdRng,
+}
+
+impl Client {
+    /// Creates a client for MLP-style training: feature vectors of
+    /// length `feature_dim`, `classes` output classes.
+    pub fn for_mlp(
+        authority: &KeyAuthority,
+        feature_dim: usize,
+        classes: usize,
+        fp: FixedPoint,
+        seed: u64,
+    ) -> Self {
+        Self {
+            fp,
+            x_mpk: authority.feip_public_key(feature_dim),
+            y_mpk: authority.feip_public_key(classes),
+            febo_mpk: authority.febo_public_key(),
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a client for CNN training: the server has published its
+    /// first-layer convolution geometry (`spec`, `in_channels`) per
+    /// Algorithm 3, which fixes the window dimension.
+    pub fn for_cnn(
+        authority: &KeyAuthority,
+        spec: &ConvSpec,
+        in_channels: usize,
+        classes: usize,
+        fp: FixedPoint,
+        seed: u64,
+    ) -> Self {
+        let window_dim = in_channels * spec.kh * spec.kw;
+        Self {
+            fp,
+            x_mpk: authority.feip_public_key(window_dim),
+            y_mpk: authority.feip_public_key(classes),
+            febo_mpk: authority.febo_public_key(),
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The quantization this client applies.
+    pub fn fixed_point(&self) -> FixedPoint {
+        self.fp
+    }
+
+    /// Encrypts an MLP batch: `x` is `(batch, features)`, `y_onehot` is
+    /// `(batch, classes)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoNnError::BatchShapeMismatch`] if the shapes do
+    /// not match this client's configuration.
+    pub fn encrypt_batch(
+        &mut self,
+        x: &Matrix<f64>,
+        y_onehot: &Matrix<f64>,
+    ) -> Result<EncryptedBatch, CryptoNnError> {
+        if x.cols() != self.x_mpk.dimension() {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.x_mpk.dimension(),
+                got: x.cols(),
+                what: "feature dimension",
+            });
+        }
+        if y_onehot.cols() != self.classes {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.classes,
+                got: y_onehot.cols(),
+                what: "class count",
+            });
+        }
+        if x.rows() != y_onehot.rows() {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: x.rows(),
+                got: y_onehot.rows(),
+                what: "batch size",
+            });
+        }
+
+        // Transpose to the paper's samples-as-columns layout, quantize.
+        let xq = self.fp.encode_matrix(&x.transpose()); // features × batch
+        let yq = self.fp.encode_matrix(&y_onehot.transpose()); // classes × batch
+        let max_abs_x = xq.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1);
+
+        let enc_x = EncryptedMatrix::encrypt_columns(&xq, &self.x_mpk, &mut self.rng)?;
+        let enc_y =
+            EncryptedMatrix::encrypt_full(&yq, &self.y_mpk, &self.febo_mpk, &mut self.rng)?;
+        Ok(EncryptedBatch { x: enc_x, y: enc_y, batch_size: x.rows(), max_abs_x })
+    }
+
+    /// Encrypts features only, for the prediction phase.
+    ///
+    /// # Errors
+    ///
+    /// As [`encrypt_batch`](Self::encrypt_batch).
+    pub fn encrypt_features(
+        &mut self,
+        x: &Matrix<f64>,
+    ) -> Result<EncryptedBatch, CryptoNnError> {
+        let y_dummy = Matrix::zeros(x.rows(), self.classes);
+        self.encrypt_batch(x, &y_dummy)
+    }
+
+    /// Encrypts a CNN batch: `images` is `(batch, c, h, w)`, `y_onehot`
+    /// is `(batch, classes)`. The windows are extracted and encrypted
+    /// per Algorithm 3 using the server-published `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoNnError::BatchShapeMismatch`] on any shape
+    /// disagreement.
+    pub fn encrypt_image_batch(
+        &mut self,
+        images: &Tensor4,
+        y_onehot: &Matrix<f64>,
+        spec: &ConvSpec,
+    ) -> Result<EncryptedImageBatch, CryptoNnError> {
+        let (n, c, _, _) = images.shape();
+        let window_dim = c * spec.kh * spec.kw;
+        if window_dim != self.x_mpk.dimension() {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.x_mpk.dimension(),
+                got: window_dim,
+                what: "window dimension",
+            });
+        }
+        if y_onehot.rows() != n {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: n,
+                got: y_onehot.rows(),
+                what: "batch size",
+            });
+        }
+        if y_onehot.cols() != self.classes {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.classes,
+                got: y_onehot.cols(),
+                what: "class count",
+            });
+        }
+
+        let max_abs_x = images
+            .as_slice()
+            .iter()
+            .map(|&v| self.fp.encode(v).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let windows = encrypt_windows(images, spec, self.fp, &self.x_mpk, &mut self.rng)?;
+        let yq = self.fp.encode_matrix(&y_onehot.transpose());
+        let enc_y =
+            EncryptedMatrix::encrypt_full(&yq, &self.y_mpk, &self.febo_mpk, &mut self.rng)?;
+        Ok(EncryptedImageBatch { windows, y: enc_y, batch_size: n, max_abs_x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_group::{SchnorrGroup, SecurityLevel};
+
+    fn authority() -> KeyAuthority {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        KeyAuthority::with_seed(group, PermittedFunctions::all(), 31)
+    }
+
+    #[test]
+    fn encrypts_mlp_batch() {
+        let auth = authority();
+        let mut client = Client::for_mlp(&auth, 4, 3, FixedPoint::TWO_DECIMALS, 1);
+        let x = Matrix::from_fn(5, 4, |r, c| (r + c) as f64 / 10.0);
+        let y = Matrix::from_fn(5, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        let batch = client.encrypt_batch(&x, &y).unwrap();
+        assert_eq!(batch.batch_size(), 5);
+        assert_eq!(batch.feature_dim(), 4);
+        assert_eq!(batch.classes(), 3);
+        assert!(batch.max_abs_x <= 100);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let auth = authority();
+        let mut client = Client::for_mlp(&auth, 4, 3, FixedPoint::TWO_DECIMALS, 2);
+        let x = Matrix::zeros(2, 5); // wrong feature dim
+        let y = Matrix::zeros(2, 3);
+        assert!(matches!(
+            client.encrypt_batch(&x, &y),
+            Err(CryptoNnError::BatchShapeMismatch { what: "feature dimension", .. })
+        ));
+        let x = Matrix::zeros(2, 4);
+        let y = Matrix::zeros(3, 3); // wrong batch size
+        assert!(matches!(
+            client.encrypt_batch(&x, &y),
+            Err(CryptoNnError::BatchShapeMismatch { what: "batch size", .. })
+        ));
+    }
+
+    #[test]
+    fn encrypts_image_batch() {
+        let auth = authority();
+        let spec = ConvSpec::square(3, 1, 1);
+        let mut client = Client::for_cnn(&auth, &spec, 1, 10, FixedPoint::TWO_DECIMALS, 3);
+        let images = Tensor4::zeros(2, 1, 8, 8);
+        let y = Matrix::from_fn(2, 10, |r, c| if c == r { 1.0 } else { 0.0 });
+        let batch = client.encrypt_image_batch(&images, &y, &spec).unwrap();
+        assert_eq!(batch.batch_size(), 2);
+        assert_eq!(batch.window_dim(), 9);
+        assert_eq!(batch.classes(), 10);
+    }
+
+    #[test]
+    fn inference_batch_has_dummy_labels() {
+        let auth = authority();
+        let mut client = Client::for_mlp(&auth, 2, 2, FixedPoint::TWO_DECIMALS, 4);
+        let x = Matrix::from_rows(&[&[0.1, 0.9]]);
+        let batch = client.encrypt_features(&x).unwrap();
+        assert_eq!(batch.batch_size(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the CryptoNN framework.
+
+use core::fmt;
+
+use cryptonn_fe::FeError;
+use cryptonn_smc::SmcError;
+
+/// Errors from encrypted training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoNnError {
+    /// An encrypted batch's dimensions do not match the model.
+    BatchShapeMismatch {
+        /// What the model expects (features or classes).
+        expected: usize,
+        /// What the batch carries.
+        got: usize,
+        /// Which dimension disagreed.
+        what: &'static str,
+    },
+    /// The secure-computation layer failed.
+    Smc(SmcError),
+    /// A functional-encryption operation failed.
+    Fe(FeError),
+}
+
+impl fmt::Display for CryptoNnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoNnError::BatchShapeMismatch { expected, got, what } => {
+                write!(f, "encrypted batch {what} mismatch: expected {expected}, got {got}")
+            }
+            CryptoNnError::Smc(e) => write!(f, "secure computation failed: {e}"),
+            CryptoNnError::Fe(e) => write!(f, "functional encryption failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoNnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CryptoNnError::Smc(e) => Some(e),
+            CryptoNnError::Fe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SmcError> for CryptoNnError {
+    fn from(e: SmcError) -> Self {
+        CryptoNnError::Smc(e)
+    }
+}
+
+impl From<FeError> for CryptoNnError {
+    fn from(e: FeError) -> Self {
+        CryptoNnError::Fe(e)
+    }
+}

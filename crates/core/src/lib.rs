@@ -1,0 +1,61 @@
+//! # cryptonn-core
+//!
+//! The CryptoNN framework (Xu, Joshi & Li, ICDCS 2019): **training
+//! neural networks over encrypted data** with functional encryption —
+//! Algorithm 2 of the paper, plus the CryptoCNN instantiation (§III-E)
+//! and the §III-D MLP family.
+//!
+//! ## Roles (paper Fig. 1)
+//!
+//! - [`KeyAuthority`](cryptonn_fe::KeyAuthority) — the trusted third
+//!   party: master keys, public-key distribution, function-key issuance
+//!   under the permitted set `F`.
+//! - [`Client`] — the data owner: pre-processes (one-hot labels,
+//!   flattening, quantization) and encrypts; nothing leaves in the
+//!   clear. Any number of clients may encrypt under the same `mpk`
+//!   (distributed data sources).
+//! - Server — [`CryptoMlp`] / [`CryptoCnn`]: trains on the encrypted
+//!   batches, learning only the functional outputs (first-layer
+//!   products, `P − Y`, the loss, and the first-layer gradients).
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_core::{Client, CryptoMlp, CryptoNnConfig, Objective};
+//! use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+//! use cryptonn_group::SchnorrGroup;
+//! use cryptonn_matrix::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let config = CryptoNnConfig::fast();
+//! let group = SchnorrGroup::precomputed(config.level);
+//! let authority = KeyAuthority::with_seed(group, PermittedFunctions::all(), 7);
+//!
+//! // Client encrypts a (tiny) batch.
+//! let mut client = Client::for_mlp(&authority, 2, 1, config.fp, 8);
+//! let x = Matrix::from_rows(&[&[0.9, 0.1], &[0.1, 0.9]]);
+//! let y = Matrix::from_rows(&[&[1.0], &[0.0]]);
+//! let batch = client.encrypt_batch(&x, &y)?;
+//!
+//! // Server trains without ever seeing x or y.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let mut model = CryptoMlp::binary(2, &[4], config, &mut rng);
+//! let step = model.train_encrypted_batch(&authority, &batch, 1.0)?;
+//! assert!(step.loss.is_finite());
+//! # Ok::<(), cryptonn_core::CryptoNnError>(())
+//! ```
+
+mod client;
+mod cnn;
+mod config;
+mod error;
+mod mlp;
+pub mod secure_steps;
+mod tables;
+
+pub use client::{Client, EncryptedBatch, EncryptedImageBatch};
+pub use cnn::CryptoCnn;
+pub use config::CryptoNnConfig;
+pub use error::CryptoNnError;
+pub use mlp::{CryptoMlp, Objective, StepOutput};
+pub use tables::DlogTableCache;

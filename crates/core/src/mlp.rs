@@ -1,0 +1,374 @@
+//! CryptoNN over fully-connected networks — Algorithm 2 for the
+//! §III-D model family (and any MLP).
+
+use cryptonn_fe::{FeipFunctionKey, KeyAuthority};
+use cryptonn_matrix::Matrix;
+use cryptonn_nn::{
+    Activation, ActivationLayer, Dense, Layer, Loss, Mse, Sequential, SoftmaxCrossEntropy,
+};
+use rand::Rng;
+
+use crate::client::EncryptedBatch;
+use crate::config::CryptoNnConfig;
+use crate::error::CryptoNnError;
+use crate::secure_steps::{
+    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward,
+    secure_dense_weight_grad, secure_output_delta,
+};
+use crate::tables::DlogTableCache;
+
+/// The training objective of a CryptoNN model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Sigmoid output + mean squared error (§III-D).
+    SigmoidMse,
+    /// Softmax output + cross-entropy (§III-E2).
+    SoftmaxCrossEntropy,
+}
+
+/// Metrics returned by one encrypted training step.
+#[derive(Debug, Clone)]
+pub struct StepOutput {
+    /// The batch loss (computed securely for cross-entropy; derived from
+    /// the securely-obtained `P − Y` for MSE).
+    pub loss: f64,
+    /// The model outputs for the batch (`batch × classes`): softmax
+    /// probabilities or sigmoid activations.
+    pub predictions: Matrix<f64>,
+}
+
+/// A CryptoNN multi-layer perceptron: a [`Dense`] first layer whose
+/// forward product and weight gradient are computed **over encrypted
+/// inputs**, followed by plaintext hidden layers, with the output-layer
+/// evaluation computed **over encrypted labels**.
+///
+/// The server running this model never sees the training data or labels
+/// in the clear — only the functional-encryption outputs that Algorithm
+/// 2 authorizes.
+#[derive(Debug)]
+pub struct CryptoMlp {
+    first: Dense,
+    rest: Sequential,
+    objective: Objective,
+    config: CryptoNnConfig,
+    cache: DlogTableCache,
+    unit_keys: Option<Vec<FeipFunctionKey>>,
+}
+
+impl CryptoMlp {
+    /// Builds a CryptoNN MLP: `feature_dim → hidden[0] → … → classes`,
+    /// sigmoid activations throughout (the paper's choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is empty or any width is zero.
+    pub fn new<R: Rng + ?Sized>(
+        feature_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+        objective: Objective,
+        config: CryptoNnConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!hidden.is_empty(), "at least one hidden layer required");
+        let first = Dense::new(feature_dim, hidden[0], rng);
+        let mut rest = Sequential::new();
+        rest.push(ActivationLayer::new(Activation::Sigmoid));
+        let mut prev = hidden[0];
+        for &width in &hidden[1..] {
+            rest.push(Dense::new(prev, width, rng));
+            rest.push(ActivationLayer::new(Activation::Sigmoid));
+            prev = width;
+        }
+        rest.push(Dense::new(prev, classes, rng));
+        if objective == Objective::SigmoidMse {
+            rest.push(ActivationLayer::new(Activation::Sigmoid));
+        }
+        let group = cryptonn_group::SchnorrGroup::precomputed(config.level);
+        Self {
+            first,
+            rest,
+            objective,
+            config,
+            cache: DlogTableCache::new(group),
+            unit_keys: None,
+        }
+    }
+
+    /// The §III-D binary classifier: one output, sigmoid + MSE.
+    pub fn binary<R: Rng + ?Sized>(
+        feature_dim: usize,
+        hidden: &[usize],
+        config: CryptoNnConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(feature_dim, hidden, 1, Objective::SigmoidMse, config, rng)
+    }
+
+    /// The secure first layer's plaintext twin (weights live here).
+    pub fn first_layer(&self) -> &Dense {
+        &self.first
+    }
+
+    /// The configured objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &CryptoNnConfig {
+        &self.config
+    }
+
+    fn unit_keys(&mut self, authority: &KeyAuthority) -> Result<&[FeipFunctionKey], CryptoNnError> {
+        if self.unit_keys.is_none() {
+            self.unit_keys = Some(derive_unit_keys(authority, self.first.in_dim())?);
+        }
+        Ok(self.unit_keys.as_deref().expect("just inserted"))
+    }
+
+    /// Converts final-layer outputs to predictions per the objective.
+    fn predictions(&self, out: &Matrix<f64>) -> Matrix<f64> {
+        match self.objective {
+            Objective::SigmoidMse => out.clone(),
+            Objective::SoftmaxCrossEntropy => cryptonn_nn::softmax(out),
+        }
+    }
+
+    /// One Algorithm-2 training iteration on an encrypted batch.
+    ///
+    /// Secure feed-forward → plaintext forward → secure evaluation →
+    /// plaintext back-propagation → secure first-layer gradient →
+    /// parameter update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-computation failures; the model is unchanged on
+    /// error.
+    pub fn train_encrypted_batch(
+        &mut self,
+        authority: &KeyAuthority,
+        batch: &EncryptedBatch,
+        lr: f64,
+    ) -> Result<StepOutput, CryptoNnError> {
+        let m = batch.batch_size() as f64;
+        let (fp, grad_fp, par) = (self.config.fp, self.config.grad_fp, self.config.parallelism);
+
+        // --- secure feed-forward (Algorithm 2 lines 4-5) ---
+        let z1 = secure_dense_forward(authority, &mut self.cache, batch, &self.first, fp, par)?;
+
+        // --- normal feed-forward (line 6) ---
+        let out = self.rest.forward(&z1, true);
+        let p = self.predictions(&out);
+
+        // --- secure back-propagation / evaluation (lines 7-9) ---
+        let p_minus_y = secure_output_delta(authority, &mut self.cache, &batch.y, &p, fp, par)?;
+        let loss = match self.objective {
+            Objective::SigmoidMse => {
+                // L = (1/2N)‖P − Y‖², derivable from the secure P − Y.
+                0.5 * p_minus_y.hadamard(&p_minus_y).sum() / m
+            }
+            Objective::SoftmaxCrossEntropy => {
+                secure_cross_entropy_loss(authority, &mut self.cache, &batch.y, &p, fp, par)?
+            }
+        };
+
+        // For both objectives the output-layer gradient is (P − Y)/N:
+        // w.r.t. the sigmoid activation for MSE (the sigmoid layer in
+        // `rest` then applies its own derivative), w.r.t. the logits for
+        // softmax cross-entropy (§III-E2).
+        let grad_out = p_minus_y.scale(1.0 / m);
+
+        // --- normal back-propagation (line 10) ---
+        let grad_z1 = self.rest.backward(&grad_out);
+
+        // --- secure first-layer gradient + update (line 11) ---
+        let delta1 = grad_z1.transpose(); // (hidden × batch)
+        let unit_keys = {
+            // Borrow dance: unit keys are cached lazily.
+            self.unit_keys(authority)?.to_vec()
+        };
+        let grad_w1 = secure_dense_weight_grad(
+            authority,
+            &mut self.cache,
+            batch,
+            &delta1,
+            &unit_keys,
+            fp,
+            grad_fp,
+            par,
+        )?;
+        let grad_b1 = grad_z1.sum_rows();
+
+        let new_w = self.first.weights().sub(&grad_w1.scale(lr));
+        let new_b = self.first.bias().sub(&grad_b1.scale(lr));
+        self.first.set_params(new_w, new_b);
+        self.rest.update(lr);
+
+        Ok(StepOutput { loss, predictions: p })
+    }
+
+    /// Encrypted prediction (the FE-based prediction path of §III-D):
+    /// secure first layer, plaintext remainder. The server learns the
+    /// prediction, as the paper's FE mode allows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-computation failures.
+    pub fn predict_encrypted(
+        &mut self,
+        authority: &KeyAuthority,
+        batch: &EncryptedBatch,
+    ) -> Result<Matrix<f64>, CryptoNnError> {
+        let z1 = secure_dense_forward(
+            authority,
+            &mut self.cache,
+            batch,
+            &self.first,
+            self.config.fp,
+            self.config.parallelism,
+        )?;
+        let out = self.rest.forward(&z1, false);
+        Ok(self.predictions(&out))
+    }
+
+    /// Plaintext forward pass — used by the evaluation harness to score
+    /// the trained model on a test set it owns.
+    pub fn predict_plain(&mut self, x: &Matrix<f64>) -> Matrix<f64> {
+        let z1 = self.first.forward(x, false);
+        let out = self.rest.forward(&z1, false);
+        self.predictions(&out)
+    }
+
+    /// Reference plaintext training step with *identical* quantization,
+    /// used by the equivalence tests: the encrypted and plaintext paths
+    /// must produce the same numbers up to quantization error.
+    pub fn train_plain_batch(
+        &mut self,
+        x: &Matrix<f64>,
+        y: &Matrix<f64>,
+        lr: f64,
+    ) -> StepOutput {
+        let m = x.rows() as f64;
+        let z1 = self.first.forward(x, true);
+        let out = self.rest.forward(&z1, true);
+        let p = self.predictions(&out);
+        let loss = match self.objective {
+            Objective::SigmoidMse => Mse.forward(&p, y),
+            Objective::SoftmaxCrossEntropy => SoftmaxCrossEntropy.forward(&out, y),
+        };
+        let grad_out = p.sub(y).scale(1.0 / m);
+        let grad_z1 = self.rest.backward(&grad_out);
+        let _ = self.first.backward(&grad_z1);
+        self.first.update(lr);
+        self.rest.update(lr);
+        StepOutput { loss, predictions: p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_group::SchnorrGroup;
+    use cryptonn_nn::metrics::one_hot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn authority(config: &CryptoNnConfig) -> KeyAuthority {
+        let group = SchnorrGroup::precomputed(config.level);
+        KeyAuthority::with_seed(group, PermittedFunctions::all(), 41)
+    }
+
+    #[test]
+    fn encrypted_step_close_to_plaintext_step() {
+        let config = CryptoNnConfig::fast();
+        let auth = authority(&config);
+        let mut rng = StdRng::seed_from_u64(42);
+
+        // Two identical twins.
+        let mut crypto = CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let mut plain = CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng2);
+
+        let x = Matrix::from_fn(6, 4, |r, c| ((r * 3 + c) % 7) as f64 / 7.0);
+        let y = one_hot(&[0, 1, 0, 1, 1, 0], 2);
+
+        let mut client = Client::for_mlp(&auth, 4, 2, config.fp, 43);
+        let batch = client.encrypt_batch(&x, &y).unwrap();
+
+        let enc_out = crypto.train_encrypted_batch(&auth, &batch, 0.5).unwrap();
+        let plain_out = plain.train_plain_batch(&x, &y, 0.5);
+
+        // Quantization at two decimals: predictions agree to ~1e-2.
+        assert!(
+            enc_out.predictions.approx_eq(&plain_out.predictions, 0.05),
+            "encrypted and plaintext predictions must track each other"
+        );
+        assert!((enc_out.loss - plain_out.loss).abs() < 0.05);
+        // Updated first-layer weights stay close.
+        assert!(crypto.first.weights().approx_eq(plain.first.weights(), 0.05));
+    }
+
+    #[test]
+    fn encrypted_training_learns_a_separable_task() {
+        let config = CryptoNnConfig::fast();
+        let auth = authority(&config);
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut model = CryptoMlp::binary(2, &[4], config, &mut rng);
+
+        // Linearly separable blobs.
+        let x = Matrix::from_fn(10, 2, |r, c| {
+            let sign = if r % 2 == 0 { 0.9 } else { 0.1 };
+            sign + (c as f64) * 0.01
+        });
+        let y = Matrix::from_fn(10, 1, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 });
+
+        let mut client = Client::for_mlp(&auth, 2, 1, config.fp, 45);
+        let batch = client.encrypt_batch(&x, &y).unwrap();
+        let mut losses = Vec::new();
+        for _ in 0..80 {
+            losses.push(model.train_encrypted_batch(&auth, &batch, 2.0).unwrap().loss);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.7),
+            "loss should drop: {losses:?}"
+        );
+        // Prediction phase (encrypted features only).
+        let pred_batch = client.encrypt_features(&x).unwrap();
+        let p = model.predict_encrypted(&auth, &pred_batch).unwrap();
+        assert!(p[(0, 0)] > 0.5 && p[(1, 0)] < 0.5);
+    }
+
+    #[test]
+    fn training_requires_permitted_functions() {
+        let config = CryptoNnConfig::fast();
+        let group = SchnorrGroup::precomputed(config.level);
+        // dot-product only: the secure evaluation (Sub) must be refused.
+        let auth = KeyAuthority::with_seed(
+            group,
+            cryptonn_fe::PermittedFunctions {
+                dot_product: true,
+                add: false,
+                sub: false,
+                mul: false,
+                div: false,
+            },
+            46,
+        );
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut model = CryptoMlp::binary(2, &[3], config, &mut rng);
+        let mut client = Client::for_mlp(&auth, 2, 1, config.fp, 48);
+        let x = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let y = Matrix::from_rows(&[&[1.0]]);
+        let batch = client.encrypt_batch(&x, &y).unwrap();
+        let err = model.train_encrypted_batch(&auth, &batch, 0.1).unwrap_err();
+        assert!(matches!(
+            err,
+            CryptoNnError::Smc(cryptonn_smc::SmcError::Fe(
+                cryptonn_fe::FeError::FunctionNotPermitted(_)
+            ))
+        ));
+    }
+}

@@ -1,0 +1,377 @@
+//! The server-side secure computations of Algorithm 2.
+//!
+//! CryptoNN replaces exactly four computations of normal training with
+//! secure ones; everything else stays plaintext on the server:
+//!
+//! 1. **Secure feed-forward** — first-layer pre-activation `W·X`
+//!    ([`secure_dense_forward`]) or the first convolution
+//!    ([`secure_conv_forward`]).
+//! 2. **Secure evaluation** — the output-layer error `P − Y` against the
+//!    encrypted labels ([`secure_output_delta`]).
+//! 3. **Secure loss** — the cross-entropy `−⟨y, log p⟩`
+//!    ([`secure_cross_entropy_loss`]).
+//! 4. **Secure first-layer gradient** — `δ·Xᵀ`, via the linear
+//!    homomorphism of FEIP ciphertexts ([`secure_dense_weight_grad`],
+//!    [`secure_conv_weight_grad`]); the paper's Algorithm 2 leaves this
+//!    step implicit, see DESIGN.md §4.
+
+use cryptonn_fe::{feip, BasicOp, FeError, FeipFunctionKey, KeyAuthority};
+use cryptonn_matrix::Matrix;
+use cryptonn_nn::{Conv2D, Dense};
+use cryptonn_smc::{
+    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, parallel_map,
+    secure_convolution, secure_dot, secure_elementwise, FixedPoint, Parallelism,
+};
+
+use crate::client::{EncryptedBatch, EncryptedImageBatch};
+use crate::error::CryptoNnError;
+use crate::tables::DlogTableCache;
+
+fn max_abs_q(m: &Matrix<i64>) -> u64 {
+    m.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1)
+}
+
+/// Derives FEIP keys for all `dim` unit vectors — used to read the
+/// coordinates of combined (gradient) ciphertexts. The trainer caches
+/// the result across iterations.
+///
+/// # Errors
+///
+/// Propagates authority refusals.
+pub fn derive_unit_keys(
+    authority: &KeyAuthority,
+    dim: usize,
+) -> Result<Vec<FeipFunctionKey>, CryptoNnError> {
+    let mut keys = Vec::with_capacity(dim);
+    let mut unit = vec![0i64; dim];
+    for j in 0..dim {
+        unit[j] = 1;
+        keys.push(authority.derive_ip_key(dim, &unit)?);
+        unit[j] = 0;
+    }
+    Ok(keys)
+}
+
+/// Secure feed-forward for a dense first layer: computes
+/// `Z₁ = X·W + b` (batch-major) from the encrypted batch, learning only
+/// the product — exactly `a = g(skf(W)·enc(X) + b)` from §III-A before
+/// the activation.
+///
+/// # Errors
+///
+/// Propagates secure-computation failures; a `DlogOutOfRange` inside
+/// means the bound bookkeeping was violated (a bug, not a user error).
+pub fn secure_dense_forward(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    batch: &EncryptedBatch,
+    layer: &Dense,
+    fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<Matrix<f64>, CryptoNnError> {
+    let n = batch.feature_dim();
+    if layer.in_dim() != n {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: layer.in_dim(),
+            got: n,
+            what: "feature dimension",
+        });
+    }
+    // Server operand: quantized Wᵀ (out × in), one row per neuron.
+    let wq = fp.encode_matrix(&layer.weights().transpose());
+    let bound = (n as u64)
+        .saturating_mul(batch.max_abs_x)
+        .saturating_mul(max_abs_q(&wq));
+    let table = cache.table(bound);
+
+    let keys = derive_dot_keys(authority, &wq)?;
+    let mpk = authority.feip_public_key(n);
+    let zq = secure_dot(&mpk, &batch.x, &keys, &wq, &table, parallelism)?;
+    // zq is (out × batch) carrying scale²; decode and return batch-major
+    // with the bias added.
+    let z = fp.decode_product_matrix(&zq).transpose();
+    Ok(z.add_row_broadcast(layer.bias()))
+}
+
+/// Secure evaluation at the output layer: recovers `P − Y` from the
+/// FEBO-encrypted labels and the server's plaintext predictions `p`
+/// (`batch × classes`). This is the `∂L/∂A = P − Y` term of §III-D /
+/// §III-E2, computed without learning `Y` itself beyond the difference.
+///
+/// # Errors
+///
+/// Propagates secure-computation failures.
+pub fn secure_output_delta(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    enc_y: &cryptonn_smc::EncryptedMatrix,
+    p: &Matrix<f64>,
+    fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<Matrix<f64>, CryptoNnError> {
+    if p.cols() != enc_y.rows() || p.rows() != enc_y.cols() {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: enc_y.rows(),
+            got: p.cols(),
+            what: "class count",
+        });
+    }
+    // Server operand: quantized P in the classes × batch layout.
+    let pq = fp.encode_matrix(&p.transpose());
+    let scale = fp.scale() as u64;
+    let bound = scale.saturating_add(max_abs_q(&pq)).saturating_mul(2);
+    let table = cache.table(bound);
+
+    let keys = derive_elementwise_keys(authority, enc_y, BasicOp::Sub, &pq)?;
+    let febo_mpk = authority.febo_public_key();
+    let diff = secure_elementwise(&febo_mpk, enc_y, &keys, BasicOp::Sub, &pq, &table, parallelism)?;
+    // diff = Yq − Pq at a single scale; P − Y = −decode(diff).
+    Ok(fp.decode_matrix(&diff).transpose().neg())
+}
+
+/// Secure cross-entropy loss `−(1/N) Σ ⟨yₛ, log pₛ⟩` via one FEIP
+/// decryption per sample against the encrypted label columns (§III-E2:
+/// "the loss L = −⟨y, p′⟩ is a kind of inner-product computation").
+///
+/// # Errors
+///
+/// Propagates secure-computation failures.
+pub fn secure_cross_entropy_loss(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    enc_y: &cryptonn_smc::EncryptedMatrix,
+    p: &Matrix<f64>,
+    fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<f64, CryptoNnError> {
+    let classes = enc_y.rows();
+    let samples = enc_y.cols();
+    if p.rows() != samples || p.cols() != classes {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: samples,
+            got: p.rows(),
+            what: "batch size",
+        });
+    }
+
+    // Server operand p′ = quantized log-probabilities, one row per sample.
+    let logp = p.map(|v| v.max(1e-30).ln());
+    let lq = fp.encode_matrix(&logp);
+    let scale = fp.scale() as u64;
+    let bound = (classes as u64)
+        .saturating_mul(scale)
+        .saturating_mul(max_abs_q(&lq));
+    let table = cache.table(bound);
+
+    // One key per sample (each sample has its own p′ vector).
+    let mut keys = Vec::with_capacity(samples);
+    for s in 0..samples {
+        keys.push(authority.derive_ip_key(classes, lq.row(s))?);
+    }
+    let mpk = authority.feip_public_key(classes);
+    let columns = enc_y.feip_columns()?;
+    let results: Vec<Result<i64, FeError>> =
+        parallel_map(samples, parallelism.thread_count(), |s| {
+            feip::decrypt(&mpk, &columns[s], &keys[s], lq.row(s), &table)
+        });
+    let mut total = 0.0;
+    for r in results {
+        total += fp.decode_product(r?);
+    }
+    Ok(-total / samples as f64)
+}
+
+/// Secure first-layer weight gradient for a dense layer:
+/// `∇W = δ·Xᵀ` where `δ` is the plaintext pre-activation delta
+/// (`out × batch`) and `X` is only available encrypted. Each gradient
+/// row is the δ-weighted combination of the encrypted sample columns,
+/// read out coordinate-wise with the cached unit keys.
+///
+/// Returns the gradient in the layer's `(in, out)` orientation.
+///
+/// # Errors
+///
+/// Propagates secure-computation failures.
+pub fn secure_dense_weight_grad(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    batch: &EncryptedBatch,
+    delta: &Matrix<f64>,
+    unit_keys: &[FeipFunctionKey],
+    data_fp: FixedPoint,
+    grad_fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<Matrix<f64>, CryptoNnError> {
+    let n = batch.feature_dim();
+    let m = batch.batch_size();
+    if delta.cols() != m {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: m,
+            got: delta.cols(),
+            what: "batch size",
+        });
+    }
+    let k = delta.rows();
+    // Dynamic fixed point: normalize by the batch's largest |δ| so tiny
+    // deltas (vanishing gradients through sigmoid stacks) keep full
+    // relative precision at the configured resolution.
+    let max_delta = delta.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    if max_delta == 0.0 {
+        return Ok(Matrix::zeros(n, k));
+    }
+    let factor = grad_fp.scale() as f64 / max_delta;
+    let dq = delta.map(|v| (v * factor).round() as i64);
+    let bound = (m as u64)
+        .saturating_mul(max_abs_q(&dq))
+        .saturating_mul(batch.max_abs_x);
+    let table = cache.table(bound);
+
+    let mpk = authority.feip_public_key(n);
+    let columns = batch.x.feip_columns()?;
+    let column_refs: Vec<&cryptonn_fe::FeipCiphertext> = columns.iter().collect();
+
+    // One combined ciphertext per output neuron, then n coordinate reads
+    // each. Rows are independent → parallelize across them.
+    let rows: Vec<Result<Vec<i64>, CryptoNnError>> =
+        parallel_map(k, parallelism.thread_count(), |i| {
+            let combined = feip::combine(&mpk, &column_refs, dq.row(i))?;
+            let mut unit = vec![0i64; n];
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n {
+                unit[j] = 1;
+                let v = feip::decrypt(&mpk, &combined, &unit_keys[j], &unit, &table)
+                    .map_err(CryptoNnError::from)?;
+                unit[j] = 0;
+                row.push(v);
+            }
+            Ok(row)
+        });
+
+    let denom = factor * data_fp.scale() as f64;
+    let mut grad = Matrix::zeros(k, n);
+    for (i, row) in rows.into_iter().enumerate() {
+        for (j, v) in row?.into_iter().enumerate() {
+            grad[(i, j)] = v as f64 / denom;
+        }
+    }
+    // (out × in) → layer orientation (in × out).
+    Ok(grad.transpose())
+}
+
+/// Secure feed-forward for a first convolutional layer: Algorithm 3's
+/// secure convolution, decoded back to floats with the layer bias added.
+/// Output is `(batch, out_c·oh·ow)` in the standard layer layout.
+///
+/// # Errors
+///
+/// Propagates secure-computation failures.
+pub fn secure_conv_forward(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    batch: &EncryptedImageBatch,
+    layer: &Conv2D,
+    fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<Matrix<f64>, CryptoNnError> {
+    let dim = batch.window_dim();
+    if layer.filters().cols() != dim {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: layer.filters().cols(),
+            got: dim,
+            what: "window dimension",
+        });
+    }
+    let wq = fp.encode_matrix(layer.filters());
+    let bound = (dim as u64)
+        .saturating_mul(batch.max_abs_x)
+        .saturating_mul(max_abs_q(&wq));
+    let table = cache.table(bound);
+
+    let keys = derive_filter_keys(authority, &wq)?;
+    let mpk = authority.feip_public_key(dim);
+    let zq = secure_convolution(&mpk, &batch.windows, &keys, &wq, &table, parallelism)?;
+    let mut z = fp.decode_product_matrix(&zq);
+
+    // Add the per-channel bias in the (oc·oh + oy)·ow + ox layout.
+    let (oc, oh, ow) = layer.out_shape();
+    debug_assert_eq!(z.cols(), oc * oh * ow);
+    for r in 0..z.rows() {
+        for c in 0..oc {
+            for px in 0..oh * ow {
+                z[(r, c * oh * ow + px)] += layer.bias()[c];
+            }
+        }
+    }
+    Ok(z)
+}
+
+/// Secure first-layer filter gradient for a convolutional layer:
+/// `∇W[oc] = Σ_windows Gp[window, oc] · window`, computed by combining
+/// the encrypted window ciphertexts with the plaintext per-window deltas
+/// `Gp` (`n_windows × out_c`).
+///
+/// Returns the gradient in the layer's `(out_c, c·kh·kw)` orientation.
+///
+/// # Errors
+///
+/// Propagates secure-computation failures.
+pub fn secure_conv_weight_grad(
+    authority: &KeyAuthority,
+    cache: &mut DlogTableCache,
+    batch: &EncryptedImageBatch,
+    grad_rows: &Matrix<f64>,
+    unit_keys: &[FeipFunctionKey],
+    data_fp: FixedPoint,
+    grad_fp: FixedPoint,
+    parallelism: Parallelism,
+) -> Result<Matrix<f64>, CryptoNnError> {
+    let windows = batch.windows.ciphertexts();
+    if grad_rows.rows() != windows.len() {
+        return Err(CryptoNnError::BatchShapeMismatch {
+            expected: windows.len(),
+            got: grad_rows.rows(),
+            what: "window count",
+        });
+    }
+    let dim = batch.window_dim();
+    let out_c = grad_rows.cols();
+    // Dynamic fixed point (see secure_dense_weight_grad).
+    let max_delta = grad_rows.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    if max_delta == 0.0 {
+        return Ok(Matrix::zeros(out_c, dim));
+    }
+    let factor = grad_fp.scale() as f64 / max_delta;
+    let gq = grad_rows.map(|v| (v * factor).round() as i64);
+    let bound = (windows.len() as u64)
+        .saturating_mul(max_abs_q(&gq))
+        .saturating_mul(batch.max_abs_x);
+    let table = cache.table(bound);
+
+    let mpk = authority.feip_public_key(dim);
+    let window_refs: Vec<&cryptonn_fe::FeipCiphertext> = windows.iter().collect();
+
+    let rows: Vec<Result<Vec<i64>, CryptoNnError>> =
+        parallel_map(out_c, parallelism.thread_count(), |oc| {
+            let weights = gq.col(oc);
+            let combined = feip::combine(&mpk, &window_refs, &weights)?;
+            let mut unit = vec![0i64; dim];
+            let mut row = Vec::with_capacity(dim);
+            for j in 0..dim {
+                unit[j] = 1;
+                let v = feip::decrypt(&mpk, &combined, &unit_keys[j], &unit, &table)
+                    .map_err(CryptoNnError::from)?;
+                unit[j] = 0;
+                row.push(v);
+            }
+            Ok(row)
+        });
+
+    let denom = factor * data_fp.scale() as f64;
+    let mut grad = Matrix::zeros(out_c, dim);
+    for (oc, row) in rows.into_iter().enumerate() {
+        for (j, v) in row?.into_iter().enumerate() {
+            grad[(oc, j)] = v as f64 / denom;
+        }
+    }
+    Ok(grad)
+}

@@ -1,0 +1,79 @@
+//! Cached baby-step giant-step tables.
+//!
+//! Training recomputes secure dot-products every iteration with bounds
+//! that depend on the current weights; rebuilding a BSGS table per
+//! iteration would dominate the runtime. The cache rounds requested
+//! bounds up to the next power of two and reuses the table until a
+//! larger bound is needed.
+
+use std::sync::Arc;
+
+use cryptonn_group::{DlogTable, SchnorrGroup};
+
+/// A grow-only cache of one [`DlogTable`] per group.
+#[derive(Debug)]
+pub struct DlogTableCache {
+    group: SchnorrGroup,
+    current: Option<Arc<DlogTable>>,
+}
+
+impl DlogTableCache {
+    /// Creates an empty cache for `group`.
+    pub fn new(group: SchnorrGroup) -> Self {
+        Self { group, current: None }
+    }
+
+    /// The group this cache serves.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Returns a table covering at least `[-bound, bound]`, building or
+    /// growing (to the next power of two) as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn table(&mut self, bound: u64) -> Arc<DlogTable> {
+        assert!(bound > 0, "dlog bound must be positive");
+        match &self.current {
+            Some(t) if t.bound() >= bound => t.clone(),
+            _ => {
+                let rounded = bound.next_power_of_two();
+                let table = Arc::new(DlogTable::new(&self.group, rounded));
+                self.current = Some(table.clone());
+                table
+            }
+        }
+    }
+
+    /// The bound of the currently cached table, if any.
+    pub fn current_bound(&self) -> Option<u64> {
+        self.current.as_ref().map(|t| t.bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_group::SecurityLevel;
+
+    #[test]
+    fn grows_monotonically_and_reuses() {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let mut cache = DlogTableCache::new(group.clone());
+        assert_eq!(cache.current_bound(), None);
+
+        let t1 = cache.table(1000);
+        assert_eq!(t1.bound(), 1024);
+        let t2 = cache.table(500);
+        assert!(Arc::ptr_eq(&t1, &t2), "smaller bound reuses the table");
+        let t3 = cache.table(5000);
+        assert_eq!(t3.bound(), 8192);
+        assert!(!Arc::ptr_eq(&t1, &t3));
+
+        // The grown table still solves correctly.
+        let target = group.exp(&group.scalar_from_i64(-4999));
+        assert_eq!(t3.solve(&group, &target), Ok(-4999));
+    }
+}

@@ -1,0 +1,218 @@
+//! Direct equivalence tests for each secure step of Algorithm 2:
+//! every secure computation must equal its plaintext reference on the
+//! quantized values, and every misuse must yield a typed error.
+
+use cryptonn_core::secure_steps::{
+    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward,
+    secure_dense_weight_grad, secure_output_delta,
+};
+use cryptonn_core::{Client, CryptoNnConfig, DlogTableCache};
+use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+use cryptonn_group::SchnorrGroup;
+use cryptonn_matrix::Matrix;
+use cryptonn_nn::Dense;
+use cryptonn_smc::{FixedPoint, Parallelism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    authority: KeyAuthority,
+    cache: DlogTableCache,
+    config: CryptoNnConfig,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let config = CryptoNnConfig::fast();
+    let group = SchnorrGroup::precomputed(config.level);
+    Fixture {
+        authority: KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), seed),
+        cache: DlogTableCache::new(group),
+        config,
+    }
+}
+
+#[test]
+fn secure_forward_equals_quantized_plaintext_forward() {
+    let mut fx = fixture(81);
+    let fp = fx.config.fp;
+    let (n, k, m) = (5, 3, 4);
+
+    let mut rng = StdRng::seed_from_u64(82);
+    let layer = Dense::new(n, k, &mut rng);
+    let x = Matrix::from_fn(m, n, |r, c| ((r * n + c) % 10) as f64 / 10.0);
+    let y = Matrix::zeros(m, 1);
+
+    let mut client = Client::for_mlp(&fx.authority, n, 1, fp, 83);
+    let batch = client.encrypt_batch(&x, &y).unwrap();
+
+    let z = secure_dense_forward(
+        &fx.authority,
+        &mut fx.cache,
+        &batch,
+        &layer,
+        fp,
+        Parallelism::Serial,
+    )
+    .unwrap();
+
+    // Reference: quantize x and W the same way, multiply in plaintext.
+    let xq = fp.roundtrip_matrix(&x);
+    let wq = fp.roundtrip_matrix(layer.weights());
+    let expect = xq.matmul(&wq).add_row_broadcast(layer.bias());
+    assert!(z.approx_eq(&expect, 1e-9), "distance {}", z.distance(&expect));
+}
+
+#[test]
+fn secure_delta_equals_quantized_p_minus_y() {
+    let mut fx = fixture(84);
+    let fp = fx.config.fp;
+    let (classes, m) = (3, 4);
+    let mut client = Client::for_mlp(&fx.authority, 2, classes, fp, 85);
+    let x = Matrix::zeros(m, 2);
+    let y = Matrix::from_fn(m, classes, |r, c| if r % classes == c { 1.0 } else { 0.0 });
+    let batch = client.encrypt_batch(&x, &y).unwrap();
+
+    let p = Matrix::from_fn(m, classes, |r, c| ((r + c) % 5) as f64 / 5.0);
+    let delta = secure_output_delta(
+        &fx.authority,
+        &mut fx.cache,
+        batch.labels(),
+        &p,
+        fp,
+        Parallelism::Serial,
+    )
+    .unwrap();
+    let expect = fp.roundtrip_matrix(&p).sub(&fp.roundtrip_matrix(&y));
+    assert!(delta.approx_eq(&expect, 1e-9));
+}
+
+#[test]
+fn secure_loss_equals_quantized_cross_entropy() {
+    let mut fx = fixture(86);
+    let fp = fx.config.fp;
+    let (classes, m) = (4, 3);
+    let mut client = Client::for_mlp(&fx.authority, 2, classes, fp, 87);
+    let x = Matrix::zeros(m, 2);
+    let labels = [0usize, 2, 3];
+    let y = Matrix::from_fn(m, classes, |r, c| if labels[r] == c { 1.0 } else { 0.0 });
+    let batch = client.encrypt_batch(&x, &y).unwrap();
+
+    // A valid probability matrix.
+    let p = Matrix::from_fn(m, classes, |r, c| {
+        let logits = [(r + c) as f64 / 3.0, 0.5, 1.0, 0.2][c % 4];
+        logits.exp()
+    });
+    let row_sums = p.sum_cols();
+    let p = Matrix::from_fn(m, classes, |r, c| p[(r, c)] / row_sums[(r, 0)]);
+
+    let loss = secure_cross_entropy_loss(
+        &fx.authority,
+        &mut fx.cache,
+        batch.labels(),
+        &p,
+        fp,
+        Parallelism::Serial,
+    )
+    .unwrap();
+
+    // Reference with the same quantization of y and log p.
+    let mut expect = 0.0;
+    for (r, &lab) in labels.iter().enumerate() {
+        let yq = fp.roundtrip(1.0);
+        let lq = fp.roundtrip(p[(r, lab)].ln());
+        expect -= yq * lq;
+    }
+    expect /= m as f64;
+    assert!((loss - expect).abs() < 1e-9, "{loss} vs {expect}");
+}
+
+#[test]
+fn secure_gradient_equals_delta_x_transpose() {
+    let mut fx = fixture(88);
+    let fp = fx.config.fp;
+    let grad_fp = fx.config.grad_fp;
+    let (n, k, m) = (4, 3, 5);
+    let mut client = Client::for_mlp(&fx.authority, n, 1, fp, 89);
+    let x = Matrix::from_fn(m, n, |r, c| ((r * 3 + c * 7) % 10) as f64 / 10.0);
+    let y = Matrix::zeros(m, 1);
+    let batch = client.encrypt_batch(&x, &y).unwrap();
+
+    let delta = Matrix::from_fn(k, m, |r, c| ((r + c) as f64 - 3.0) / 100.0);
+    let unit_keys = derive_unit_keys(&fx.authority, n).unwrap();
+    let grad = secure_dense_weight_grad(
+        &fx.authority,
+        &mut fx.cache,
+        &batch,
+        &delta,
+        &unit_keys,
+        fp,
+        grad_fp,
+        Parallelism::Threads(2),
+    )
+    .unwrap();
+
+    // Reference: δ·X̂ᵀ on quantized data/deltas, in layer orientation.
+    let xq = fp.roundtrip_matrix(&x); // m × n
+    let expect = delta.matmul(&xq).transpose(); // n × k
+    assert_eq!(grad.shape(), (n, k));
+    // Dynamic delta quantization at grad_fp resolution: relative error
+    // ~ 1e-4 of max |δ| per term, m terms.
+    assert!(grad.approx_eq(&expect, 1e-3), "distance {}", grad.distance(&expect));
+}
+
+#[test]
+fn zero_delta_short_circuits_to_zero_gradient() {
+    let mut fx = fixture(90);
+    let (n, k, m) = (3, 2, 2);
+    let mut client = Client::for_mlp(&fx.authority, n, 1, fx.config.fp, 91);
+    let batch = client
+        .encrypt_batch(&Matrix::zeros(m, n), &Matrix::zeros(m, 1))
+        .unwrap();
+    let unit_keys = derive_unit_keys(&fx.authority, n).unwrap();
+    let grad = secure_dense_weight_grad(
+        &fx.authority,
+        &mut fx.cache,
+        &batch,
+        &Matrix::zeros(k, m),
+        &unit_keys,
+        fx.config.fp,
+        fx.config.grad_fp,
+        Parallelism::Serial,
+    )
+    .unwrap();
+    assert!(grad.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn shape_mismatches_yield_typed_errors() {
+    let mut fx = fixture(92);
+    let mut rng = StdRng::seed_from_u64(93);
+    let layer = Dense::new(7, 3, &mut rng); // expects 7 features
+    let mut client = Client::for_mlp(&fx.authority, 4, 1, fx.config.fp, 94);
+    let batch = client
+        .encrypt_batch(&Matrix::zeros(2, 4), &Matrix::zeros(2, 1))
+        .unwrap();
+    let err = secure_dense_forward(
+        &fx.authority,
+        &mut fx.cache,
+        &batch,
+        &layer,
+        fx.config.fp,
+        Parallelism::Serial,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        cryptonn_core::CryptoNnError::BatchShapeMismatch { expected: 7, got: 4, .. }
+    ));
+}
+
+#[test]
+fn quantization_codec_used_by_client_matches_fixed_point() {
+    // The client quantizes with FixedPoint; make sure the public codec
+    // agrees with what the secure forward assumed.
+    let fp = FixedPoint::TWO_DECIMALS;
+    for v in [0.0, 0.25, -0.999, 1.0] {
+        assert!((fp.roundtrip(v) - v).abs() <= 0.005 + 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! The labelled-dataset container and batching.
+
+use cryptonn_matrix::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled dataset: `(n, features)` inputs plus integer class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Matrix<f64>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != images.rows()`, if `classes` is zero,
+    /// or if any label is out of range.
+    pub fn new(images: Matrix<f64>, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.rows(), labels.len(), "one label per row required");
+        assert!(classes > 0, "at least one class required");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Self { images, labels, classes }
+    }
+
+    /// The input matrix `(n, features)`.
+    pub fn images(&self) -> &Matrix<f64> {
+        &self.images
+    }
+
+    /// The integer class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no samples (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.images.cols()
+    }
+
+    /// One-hot encoded labels `(n, classes)` — the client-side label
+    /// pre-processing of the paper's Fig. 1.
+    pub fn one_hot_labels(&self) -> Matrix<f64> {
+        Matrix::from_fn(self.len(), self.classes, |r, c| {
+            if self.labels[r] == c {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The first `n` samples as a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size.
+    pub fn take(&self, n: usize) -> Self {
+        assert!(n > 0 && n <= self.len(), "subset size out of range");
+        let images = Matrix::from_fn(n, self.feature_dim(), |r, c| self.images[(r, c)]);
+        Self { images, labels: self.labels[..n].to_vec(), classes: self.classes }
+    }
+
+    /// Shuffles samples in place with the given RNG.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let images = Matrix::from_fn(self.len(), self.feature_dim(), |r, c| {
+            self.images[(order[r], c)]
+        });
+        let labels = order.iter().map(|&i| self.labels[i]).collect();
+        self.images = images;
+        self.labels = labels;
+    }
+
+    /// Splits into `(x, one-hot y)` mini-batches of at most `batch_size`
+    /// rows, in order (shuffle first for SGD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> Vec<(Matrix<f64>, Matrix<f64>)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let y = self.one_hot_labels();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            let x_batch = Matrix::from_fn(end - start, self.feature_dim(), |r, c| {
+                self.images[(start + r, c)]
+            });
+            let y_batch =
+                Matrix::from_fn(end - start, self.classes, |r, c| y[(start + r, c)]);
+            out.push((x_batch, y_batch));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        let images = Matrix::from_rows(&[
+            &[0.0, 0.1],
+            &[1.0, 1.1],
+            &[2.0, 2.1],
+            &[3.0, 3.1],
+            &[4.0, 4.1],
+        ]);
+        Dataset::new(images, vec![0, 1, 2, 0, 1], 3)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.classes(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let d = tiny();
+        let y = d.one_hot_labels();
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(y.row(2), &[0.0, 0.0, 1.0]);
+        assert_eq!(y.row(3), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batches_cover_everything_in_order() {
+        let d = tiny();
+        let batches = d.batches(2);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.rows(), 2);
+        assert_eq!(batches[2].0.rows(), 1); // remainder batch
+        assert_eq!(batches[2].0.row(0), &[4.0, 4.1]);
+        assert_eq!(batches[1].1.row(0), &[0.0, 0.0, 1.0]); // label 2
+    }
+
+    #[test]
+    fn take_subset() {
+        let d = tiny();
+        let s = d.take(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut d = tiny();
+        let sums_before: f64 = d.images().sum();
+        let mut rng = StdRng::seed_from_u64(1);
+        d.shuffle(&mut rng);
+        assert!((d.images().sum() - sums_before).abs() < 1e-12);
+        // Label multiset preserved.
+        let mut labels = d.labels().to_vec();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn labels_validated() {
+        let _ = Dataset::new(Matrix::zeros(1, 1), vec![5], 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # cryptonn-data
+//!
+//! Offline datasets for the CryptoNN evaluation:
+//!
+//! - [`synthetic_mnist`] / [`synthetic_digits`] — a deterministic
+//!   MNIST-like 10-class digit dataset (the paper's MNIST cannot be
+//!   downloaded in this offline environment; see DESIGN.md §3.1 for the
+//!   substitution argument).
+//! - [`clinic_dataset`] — the "distributed federal clinics" tabular task
+//!   motivating the paper's introduction, with [`split_among_clients`]
+//!   to shard it across data owners.
+//! - [`Dataset`] — labelled data with one-hot encoding, shuffling and
+//!   mini-batching.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_data::{synthetic_digits, DigitConfig};
+//!
+//! let train = synthetic_digits(100, DigitConfig::mnist_like(), 42);
+//! assert_eq!(train.images().shape(), (100, 784));
+//! let batches = train.batches(32);
+//! assert_eq!(batches.len(), 4); // 32+32+32+4
+//! ```
+
+mod clinic;
+mod dataset;
+mod digits;
+
+pub use clinic::{clinic_dataset, split_among_clients, CLINIC_FEATURES};
+pub use dataset::Dataset;
+pub use digits::{synthetic_digits, synthetic_mnist, DigitConfig};

@@ -1,0 +1,67 @@
+//! Property-based tests for the dataset layer.
+
+use cryptonn_data::{clinic_dataset, split_among_clients, synthetic_digits, DigitConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn digits_are_valid_images(n in 1usize..60, seed in any::<u64>()) {
+        let d = synthetic_digits(n, DigitConfig::small(), seed);
+        prop_assert_eq!(d.len(), n);
+        prop_assert_eq!(d.feature_dim(), 196);
+        prop_assert!(d.images().as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(d.labels().iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn one_hot_is_a_valid_indicator(n in 1usize..40, seed in any::<u64>()) {
+        let d = synthetic_digits(n, DigitConfig::small(), seed);
+        let y = d.one_hot_labels();
+        for r in 0..n {
+            let row_sum: f64 = y.row(r).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-12);
+            prop_assert_eq!(y[(r, d.labels()[r])], 1.0);
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_dataset(n in 1usize..50, batch in 1usize..16, seed in any::<u64>()) {
+        let d = clinic_dataset(n, seed);
+        let batches = d.batches(batch);
+        let total: usize = batches.iter().map(|(x, _)| x.rows()).sum();
+        prop_assert_eq!(total, n);
+        for (x, y) in &batches {
+            prop_assert!(x.rows() <= batch);
+            prop_assert_eq!(x.rows(), y.rows());
+        }
+    }
+
+    #[test]
+    fn client_split_partitions(n in 4usize..60, k in 1usize..4, seed in any::<u64>()) {
+        let d = clinic_dataset(n, seed);
+        let shards = split_among_clients(&d, k);
+        prop_assert_eq!(shards.len(), k);
+        prop_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), n);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(n in 2usize..30, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut d = clinic_dataset(n, seed);
+        let sum_before: f64 = d.images().sum();
+        let mut labels_before = d.labels().to_vec();
+        labels_before.sort_unstable();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 1);
+        d.shuffle(&mut rng);
+        prop_assert!((d.images().sum() - sum_before).abs() < 1e-9);
+        let mut labels_after = d.labels().to_vec();
+        labels_after.sort_unstable();
+        prop_assert_eq!(labels_before, labels_after);
+    }
+}

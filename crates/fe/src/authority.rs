@@ -1,0 +1,351 @@
+//! The trusted key authority of the CryptoNN architecture (Fig. 1).
+//!
+//! The authority holds every master secret key, distributes public keys
+//! to clients and servers, and answers function-key requests — enforcing
+//! the permitted-function set `F` from Algorithms 1–2. It also keeps a
+//! communication log so the key-generation overhead analysis of §IV-B2
+//! ("the server sends `k·n·|w|` and receives `k·|sk|` per iteration")
+//! can be measured rather than estimated.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cryptonn_group::{Element, SchnorrGroup};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FeError;
+use crate::febo::{self, BasicOp, FeboFunctionKey, FeboMasterKey, FeboPublicKey};
+use crate::feip::{self, FeipFunctionKey, FeipMasterKey, FeipPublicKey};
+
+/// The permitted-function set `F` enforced at key-derivation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermittedFunctions {
+    /// FEIP inner-product keys may be issued.
+    pub dot_product: bool,
+    /// FEBO addition keys may be issued.
+    pub add: bool,
+    /// FEBO subtraction keys may be issued.
+    pub sub: bool,
+    /// FEBO multiplication keys may be issued.
+    pub mul: bool,
+    /// FEBO division keys may be issued.
+    pub div: bool,
+}
+
+impl PermittedFunctions {
+    /// Permits every supported function.
+    pub fn all() -> Self {
+        Self { dot_product: true, add: true, sub: true, mul: true, div: true }
+    }
+
+    /// Permits nothing; enable functions individually.
+    pub fn none() -> Self {
+        Self { dot_product: false, add: false, sub: false, mul: false, div: false }
+    }
+
+    /// The minimal set CryptoNN training needs: dot-product for the
+    /// secure feed-forward and subtraction for the secure evaluation.
+    pub fn cryptonn_training() -> Self {
+        Self { dot_product: true, add: false, sub: true, mul: false, div: false }
+    }
+
+    fn allows_op(&self, op: BasicOp) -> bool {
+        match op {
+            BasicOp::Add => self.add,
+            BasicOp::Sub => self.sub,
+            BasicOp::Mul => self.mul,
+            BasicOp::Div => self.div,
+        }
+    }
+}
+
+impl Default for PermittedFunctions {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Byte sizes used in the communication accounting, mirroring §IV-B2:
+/// a weight `|w|` is one `i64`, a derived key `|sk|` is one 256-bit value.
+pub const WEIGHT_BYTES: u64 = 8;
+/// Size of one derived key in bytes (a 256-bit scalar or element).
+pub const KEY_BYTES: u64 = 32;
+/// Size of one FEBO commitment in bytes.
+pub const COMMITMENT_BYTES: u64 = 32;
+
+/// A snapshot of the authority's communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommLog {
+    /// Number of FEIP (dot-product) key requests served.
+    pub ip_requests: u64,
+    /// Total weight values received across FEIP requests.
+    pub ip_weights_received: u64,
+    /// Number of FEBO key requests served.
+    pub bo_requests: u64,
+}
+
+impl CommLog {
+    /// Bytes the servers sent to the authority
+    /// (`Σ n·|w|` for FEIP plus `|cmt| + |w|` per FEBO request).
+    pub fn bytes_received(&self) -> u64 {
+        self.ip_weights_received * WEIGHT_BYTES
+            + self.bo_requests * (COMMITMENT_BYTES + WEIGHT_BYTES)
+    }
+
+    /// Bytes the authority sent back (`|sk|` per request).
+    pub fn bytes_sent(&self) -> u64 {
+        (self.ip_requests + self.bo_requests) * KEY_BYTES
+    }
+}
+
+/// The trusted authority: master-key holder and key-derivation oracle.
+///
+/// The authority is `Sync`; servers may request keys from multiple
+/// threads.
+///
+/// ```
+/// use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+/// use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+///
+/// let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+/// let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 1);
+///
+/// // Client side: encrypt x = [3, 4] under the FEIP public key.
+/// let mpk = authority.feip_public_key(2);
+/// let mut rng = rand::rng();
+/// let ct = cryptonn_fe::feip::encrypt(&mpk, &[3, 4], &mut rng)?;
+///
+/// // Server side: request a key for y = [10, 1] and decrypt <x, y> = 34.
+/// let sk = authority.derive_ip_key(2, &[10, 1])?;
+/// let table = DlogTable::new(&group, 1_000);
+/// assert_eq!(cryptonn_fe::feip::decrypt(&mpk, &ct, &sk, &[10, 1], &table)?, 34);
+/// # Ok::<(), cryptonn_fe::FeError>(())
+/// ```
+#[derive(Debug)]
+pub struct KeyAuthority {
+    group: SchnorrGroup,
+    permitted: PermittedFunctions,
+    febo_mpk: FeboPublicKey,
+    febo_msk: FeboMasterKey,
+    feip: Mutex<HashMap<usize, Arc<FeipInstance>>>,
+    log: Mutex<CommLog>,
+    rng: Mutex<StdRng>,
+}
+
+#[derive(Debug)]
+struct FeipInstance {
+    mpk: FeipPublicKey,
+    msk: FeipMasterKey,
+}
+
+impl KeyAuthority {
+    /// Creates an authority with OS-sourced randomness.
+    pub fn new(group: SchnorrGroup, permitted: PermittedFunctions) -> Self {
+        Self::from_rng(group, permitted, StdRng::from_rng(&mut rand::rng()))
+    }
+
+    /// Creates an authority with a deterministic seed (tests, benches).
+    pub fn with_seed(group: SchnorrGroup, permitted: PermittedFunctions, seed: u64) -> Self {
+        Self::from_rng(group, permitted, StdRng::seed_from_u64(seed))
+    }
+
+    fn from_rng(group: SchnorrGroup, permitted: PermittedFunctions, mut rng: StdRng) -> Self {
+        let (febo_mpk, febo_msk) = febo::setup(group.clone(), &mut rng);
+        Self {
+            group,
+            permitted,
+            febo_mpk,
+            febo_msk,
+            feip: Mutex::new(HashMap::new()),
+            log: Mutex::new(CommLog::default()),
+            rng: Mutex::new(rng),
+        }
+    }
+
+    /// The group all schemes operate in.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The permitted-function set `F`.
+    pub fn permitted(&self) -> &PermittedFunctions {
+        &self.permitted
+    }
+
+    /// The FEBO public key, distributed to clients.
+    pub fn febo_public_key(&self) -> FeboPublicKey {
+        self.febo_mpk.clone()
+    }
+
+    /// The FEIP public key for vectors of length `dim`, creating the
+    /// instance on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn feip_public_key(&self, dim: usize) -> FeipPublicKey {
+        self.feip_instance(dim).mpk.clone()
+    }
+
+    fn feip_instance(&self, dim: usize) -> Arc<FeipInstance> {
+        let mut map = self.feip.lock();
+        map.entry(dim)
+            .or_insert_with(|| {
+                let mut rng = self.rng.lock();
+                let (mpk, msk) = feip::setup(self.group.clone(), dim, &mut *rng);
+                Arc::new(FeipInstance { mpk, msk })
+            })
+            .clone()
+    }
+
+    /// Serves a dot-product key request for weight vector `y` against the
+    /// dimension-`dim` FEIP instance.
+    ///
+    /// # Errors
+    ///
+    /// - [`FeError::FunctionNotPermitted`] if `F` excludes dot-product,
+    /// - [`FeError::DimensionMismatch`] if `y.len() != dim`.
+    pub fn derive_ip_key(&self, dim: usize, y: &[i64]) -> Result<FeipFunctionKey, FeError> {
+        if !self.permitted.dot_product {
+            return Err(FeError::FunctionNotPermitted("dot-product"));
+        }
+        let instance = self.feip_instance(dim);
+        let key = feip::key_derive(&self.group, &instance.msk, y)?;
+        let mut log = self.log.lock();
+        log.ip_requests += 1;
+        log.ip_weights_received += y.len() as u64;
+        Ok(key)
+    }
+
+    /// Serves a basic-operation key request for commitment `cmt`,
+    /// operation `op` and server operand `y`.
+    ///
+    /// # Errors
+    ///
+    /// - [`FeError::FunctionNotPermitted`] if `F` excludes `op`,
+    /// - [`FeError::InvalidOperand`] for division by zero.
+    pub fn derive_bo_key(
+        &self,
+        cmt: &Element,
+        op: BasicOp,
+        y: i64,
+    ) -> Result<FeboFunctionKey, FeError> {
+        if !self.permitted.allows_op(op) {
+            return Err(FeError::FunctionNotPermitted(op.symbol()));
+        }
+        let key = febo::key_derive(&self.group, &self.febo_msk, cmt, op, y)?;
+        self.log.lock().bo_requests += 1;
+        Ok(key)
+    }
+
+    /// A snapshot of the communication counters.
+    pub fn comm_log(&self) -> CommLog {
+        *self.log.lock()
+    }
+
+    /// Resets the communication counters (e.g. between training epochs).
+    pub fn reset_comm_log(&self) {
+        *self.log.lock() = CommLog::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_group::{DlogTable, SecurityLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn authority(permitted: PermittedFunctions) -> KeyAuthority {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        KeyAuthority::with_seed(group, permitted, 99)
+    }
+
+    #[test]
+    fn end_to_end_ip_through_authority() {
+        let auth = authority(PermittedFunctions::all());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mpk = auth.feip_public_key(3);
+        let table = DlogTable::new(auth.group(), 1000);
+        let ct = feip::encrypt(&mpk, &[1, 2, 3], &mut rng).unwrap();
+        let sk = auth.derive_ip_key(3, &[4, 5, 6]).unwrap();
+        assert_eq!(feip::decrypt(&mpk, &ct, &sk, &[4, 5, 6], &table).unwrap(), 32);
+    }
+
+    #[test]
+    fn end_to_end_bo_through_authority() {
+        let auth = authority(PermittedFunctions::all());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mpk = auth.febo_public_key();
+        let table = DlogTable::new(auth.group(), 1000);
+        let ct = febo::encrypt(&mpk, 30, &mut rng);
+        let sk = auth.derive_bo_key(ct.commitment(), BasicOp::Sub, 12).unwrap();
+        assert_eq!(febo::decrypt(&mpk, &sk, &ct, BasicOp::Sub, 12, &table).unwrap(), 18);
+    }
+
+    #[test]
+    fn permitted_set_is_enforced() {
+        let auth = authority(PermittedFunctions::cryptonn_training());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mpk = auth.febo_public_key();
+        let ct = febo::encrypt(&mpk, 5, &mut rng);
+        // Sub and dot-product allowed.
+        assert!(auth.derive_bo_key(ct.commitment(), BasicOp::Sub, 1).is_ok());
+        assert!(auth.derive_ip_key(2, &[1, 2]).is_ok());
+        // Mul, Add, Div denied.
+        for op in [BasicOp::Add, BasicOp::Mul, BasicOp::Div] {
+            assert!(matches!(
+                auth.derive_bo_key(ct.commitment(), op, 1),
+                Err(FeError::FunctionNotPermitted(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn nothing_permitted() {
+        let auth = authority(PermittedFunctions::none());
+        assert!(matches!(
+            auth.derive_ip_key(2, &[1, 2]),
+            Err(FeError::FunctionNotPermitted("dot-product"))
+        ));
+    }
+
+    #[test]
+    fn feip_instances_are_cached_per_dimension() {
+        let auth = authority(PermittedFunctions::all());
+        let a = auth.feip_public_key(4);
+        let b = auth.feip_public_key(4);
+        assert_eq!(a, b, "same dimension must return the same instance");
+        let c = auth.feip_public_key(5);
+        assert_eq!(c.dimension(), 5);
+    }
+
+    #[test]
+    fn comm_log_accounts_bytes() {
+        let auth = authority(PermittedFunctions::all());
+        let mut rng = StdRng::seed_from_u64(8);
+        auth.derive_ip_key(10, &[1; 10]).unwrap();
+        auth.derive_ip_key(10, &[2; 10]).unwrap();
+        let ct = febo::encrypt(&auth.febo_public_key(), 1, &mut rng);
+        auth.derive_bo_key(ct.commitment(), BasicOp::Add, 2).unwrap();
+
+        let log = auth.comm_log();
+        assert_eq!(log.ip_requests, 2);
+        assert_eq!(log.ip_weights_received, 20);
+        assert_eq!(log.bo_requests, 1);
+        assert_eq!(log.bytes_received(), 20 * WEIGHT_BYTES + (COMMITMENT_BYTES + WEIGHT_BYTES));
+        assert_eq!(log.bytes_sent(), 3 * KEY_BYTES);
+
+        auth.reset_comm_log();
+        assert_eq!(auth.comm_log(), CommLog::default());
+    }
+
+    #[test]
+    fn authority_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<KeyAuthority>();
+    }
+}

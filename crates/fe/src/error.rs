@@ -1,0 +1,56 @@
+//! Error types for the functional-encryption layer.
+
+use core::fmt;
+
+use cryptonn_group::GroupError;
+
+/// Errors from FEIP/FEBO operations and the key authority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FeError {
+    /// A vector's length does not match the scheme dimension.
+    DimensionMismatch {
+        /// The dimension the scheme was set up with.
+        expected: usize,
+        /// The dimension that was supplied.
+        got: usize,
+    },
+    /// Division key requested for `y = 0`, or another operand outside the
+    /// scheme's domain.
+    InvalidOperand(&'static str),
+    /// The requested function is not in the authority's permitted set `F`.
+    FunctionNotPermitted(&'static str),
+    /// An underlying group operation failed (typically a discrete log out
+    /// of range, meaning the plaintext result exceeded the search bound).
+    Group(GroupError),
+}
+
+impl fmt::Display for FeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeError::DimensionMismatch { expected, got } => {
+                write!(f, "vector dimension mismatch: expected {expected}, got {got}")
+            }
+            FeError::InvalidOperand(what) => write!(f, "invalid operand: {what}"),
+            FeError::FunctionNotPermitted(what) => {
+                write!(f, "function not in the permitted set: {what}")
+            }
+            FeError::Group(e) => write!(f, "group operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeError::Group(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GroupError> for FeError {
+    fn from(e: GroupError) -> Self {
+        FeError::Group(e)
+    }
+}

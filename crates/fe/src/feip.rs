@@ -1,0 +1,386 @@
+//! FEIP: functional encryption for inner products.
+//!
+//! The construction of Abdalla, Bourse, De Caro and Pointcheval
+//! ("Simple functional encryption schemes for inner products", PKC 2015),
+//! exactly as restated in §II-B of the CryptoNN paper:
+//!
+//! - `Setup(1^λ, 1^η)`: sample `s = (s₁…s_η) ∈ Z_q^η`; publish
+//!   `mpk = (g, hᵢ = g^{sᵢ})`.
+//! - `KeyDerive(msk, y)`: `sk_f = ⟨y, s⟩ mod q`.
+//! - `Encrypt(mpk, x)`: sample `r`; `ct₀ = g^r`, `ctᵢ = hᵢ^r · g^{xᵢ}`.
+//! - `Decrypt`: `∏ ctᵢ^{yᵢ} / ct₀^{sk_f} = g^{⟨x,y⟩}`, recovered by
+//!   baby-step giant-step.
+
+use cryptonn_group::{DlogTable, Element, Scalar, SchnorrGroup};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FeError;
+
+/// Public parameters of an FEIP instance: the group and `hᵢ = g^{sᵢ}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeipPublicKey {
+    group: SchnorrGroup,
+    h: Vec<Element>,
+}
+
+impl FeipPublicKey {
+    /// The vector dimension `η` this instance supports.
+    pub fn dimension(&self) -> usize {
+        self.h.len()
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+}
+
+/// The master secret key `s ∈ Z_q^η`. Held only by the authority.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeipMasterKey {
+    s: Vec<Scalar>,
+}
+
+impl FeipMasterKey {
+    /// The vector dimension `η`.
+    pub fn dimension(&self) -> usize {
+        self.s.len()
+    }
+}
+
+/// A function-derived key `sk_f = ⟨y, s⟩` for a specific weight vector `y`.
+///
+/// The decryptor must supply the same `y` at decryption time; the scheme
+/// does not bind `y` into the key (as in the paper, the server knows its
+/// own weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeipFunctionKey {
+    sk: Scalar,
+}
+
+impl FeipFunctionKey {
+    /// Raw scalar, exposed for size accounting in the authority's
+    /// communication log.
+    pub fn scalar(&self) -> &Scalar {
+        &self.sk
+    }
+}
+
+/// Ciphertext `(ct₀, ct₁…ct_η)` of a vector `x`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeipCiphertext {
+    ct0: Element,
+    cts: Vec<Element>,
+}
+
+impl FeipCiphertext {
+    /// The vector dimension `η` of the encrypted plaintext.
+    pub fn dimension(&self) -> usize {
+        self.cts.len()
+    }
+}
+
+/// `Setup(1^λ, 1^η)`: creates an FEIP instance of dimension `dim` over
+/// `group`.
+///
+/// # Panics
+///
+/// Panics if `dim` is zero.
+pub fn setup<R: Rng + ?Sized>(
+    group: SchnorrGroup,
+    dim: usize,
+    rng: &mut R,
+) -> (FeipPublicKey, FeipMasterKey) {
+    assert!(dim > 0, "FEIP dimension must be positive");
+    let s: Vec<Scalar> = (0..dim).map(|_| group.random_scalar(rng)).collect();
+    let h: Vec<Element> = s.iter().map(|si| group.exp(si)).collect();
+    (FeipPublicKey { group, h }, FeipMasterKey { s })
+}
+
+/// `KeyDerive(msk, y)`: returns `sk_f = ⟨y, s⟩ mod q`.
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if `y` has the wrong length.
+pub fn key_derive(
+    group: &SchnorrGroup,
+    msk: &FeipMasterKey,
+    y: &[i64],
+) -> Result<FeipFunctionKey, FeError> {
+    if y.len() != msk.s.len() {
+        return Err(FeError::DimensionMismatch { expected: msk.s.len(), got: y.len() });
+    }
+    let y_scalars: Vec<Scalar> = y.iter().map(|&v| group.scalar_from_i64(v)).collect();
+    Ok(FeipFunctionKey { sk: group.scalar_dot(&y_scalars, &msk.s) })
+}
+
+/// `Encrypt(mpk, x)`: encrypts a signed integer vector.
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if `x` has the wrong length.
+pub fn encrypt<R: Rng + ?Sized>(
+    mpk: &FeipPublicKey,
+    x: &[i64],
+    rng: &mut R,
+) -> Result<FeipCiphertext, FeError> {
+    if x.len() != mpk.h.len() {
+        return Err(FeError::DimensionMismatch { expected: mpk.h.len(), got: x.len() });
+    }
+    let group = &mpk.group;
+    let r = group.random_scalar(rng);
+    let ct0 = group.exp(&r);
+    let cts = x
+        .iter()
+        .zip(&mpk.h)
+        .map(|(&xi, hi)| {
+            let hr = group.pow(hi, &r);
+            group.mul(&hr, &group.exp(&group.scalar_from_i64(xi)))
+        })
+        .collect();
+    Ok(FeipCiphertext { ct0, cts })
+}
+
+/// Linearly combines ciphertexts: given encryptions of vectors
+/// `x_1 … x_k` and integer weights `w_1 … w_k`, produces a valid
+/// encryption of `Σ w_j · x_j` (under randomness `Σ w_j · r_j`).
+///
+/// This homomorphism is what lets the CryptoNN server evaluate the
+/// first-layer weight gradient `δ · Xᵀ` without learning `X`: each
+/// gradient row is a weighted sum of the encrypted sample columns (see
+/// DESIGN.md §4 for the security discussion).
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if the ciphertext dimensions
+/// disagree or `weights.len() != cts.len()`.
+///
+/// # Panics
+///
+/// Panics if `cts` is empty.
+pub fn combine(
+    mpk: &FeipPublicKey,
+    cts: &[&FeipCiphertext],
+    weights: &[i64],
+) -> Result<FeipCiphertext, FeError> {
+    assert!(!cts.is_empty(), "combine requires at least one ciphertext");
+    if weights.len() != cts.len() {
+        return Err(FeError::DimensionMismatch { expected: cts.len(), got: weights.len() });
+    }
+    let dim = cts[0].dimension();
+    for ct in cts {
+        if ct.dimension() != dim {
+            return Err(FeError::DimensionMismatch { expected: dim, got: ct.dimension() });
+        }
+    }
+    let group = &mpk.group;
+    let mut ct0 = group.identity();
+    let mut cts_out = vec![group.identity(); dim];
+    for (ct, &w) in cts.iter().zip(weights) {
+        if w == 0 {
+            continue;
+        }
+        let e = group.scalar_from_i64(w);
+        ct0 = group.mul(&ct0, &group.pow(&ct.ct0, &e));
+        for (acc, cti) in cts_out.iter_mut().zip(&ct.cts) {
+            *acc = group.mul(acc, &group.pow(cti, &e));
+        }
+    }
+    Ok(FeipCiphertext { ct0, cts: cts_out })
+}
+
+/// Computes the raw decryption `g^{⟨x,y⟩} = ∏ ctᵢ^{yᵢ} / ct₀^{sk_f}`
+/// without solving the discrete log.
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if `y` does not match the
+/// ciphertext dimension.
+pub fn decrypt_raw(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    sk: &FeipFunctionKey,
+    y: &[i64],
+) -> Result<Element, FeError> {
+    if y.len() != ct.cts.len() {
+        return Err(FeError::DimensionMismatch { expected: ct.cts.len(), got: y.len() });
+    }
+    let group = &mpk.group;
+    let mut num = group.identity();
+    for (cti, &yi) in ct.cts.iter().zip(y) {
+        if yi == 0 {
+            continue;
+        }
+        num = group.mul(&num, &group.pow(cti, &group.scalar_from_i64(yi)));
+    }
+    let denom = group.pow(&ct.ct0, &sk.sk);
+    Ok(group.div(&num, &denom))
+}
+
+/// `Decrypt(mpk, ct, sk_f, y)`: recovers `⟨x, y⟩` as a signed integer
+/// using the supplied BSGS table.
+///
+/// # Errors
+///
+/// - [`FeError::DimensionMismatch`] if `y` has the wrong length,
+/// - [`FeError::Group`] wrapping `DlogOutOfRange` if `|⟨x,y⟩|` exceeds
+///   the table bound.
+pub fn decrypt(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    sk: &FeipFunctionKey,
+    y: &[i64],
+    table: &DlogTable,
+) -> Result<i64, FeError> {
+    let raw = decrypt_raw(mpk, ct, sk, y)?;
+    Ok(table.solve(&mpk.group, &raw)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_group::{GroupError, SecurityLevel};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn setup_small(dim: usize) -> (FeipPublicKey, FeipMasterKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let (mpk, msk) = setup(group, dim, &mut rng);
+        (mpk, msk, rng)
+    }
+
+    #[test]
+    fn roundtrip_inner_product() {
+        let (mpk, msk, mut rng) = setup_small(5);
+        let table = DlogTable::new(mpk.group(), 100_000);
+        let x = [1i64, -2, 3, 0, 7];
+        let y = [10i64, 20, -30, 40, 5];
+        let expected: i64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+
+        let ct = encrypt(&mpk, &x, &mut rng).unwrap();
+        let sk = key_derive(mpk.group(), &msk, &y).unwrap();
+        let got = decrypt(&mpk, &ct, &sk, &y, &table).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_vectors() {
+        let (mpk, msk, mut rng) = setup_small(8);
+        let table = DlogTable::new(mpk.group(), 1_000_000);
+        for _ in 0..16 {
+            let x: Vec<i64> = (0..8).map(|_| rng.random_range(-100..=100)).collect();
+            let y: Vec<i64> = (0..8).map(|_| rng.random_range(-100..=100)).collect();
+            let expected: i64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let ct = encrypt(&mpk, &x, &mut rng).unwrap();
+            let sk = key_derive(mpk.group(), &msk, &y).unwrap();
+            assert_eq!(decrypt(&mpk, &ct, &sk, &y, &table).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_vectors() {
+        let (mpk, msk, mut rng) = setup_small(3);
+        let table = DlogTable::new(mpk.group(), 10);
+        let ct = encrypt(&mpk, &[0, 0, 0], &mut rng).unwrap();
+        let sk = key_derive(mpk.group(), &msk, &[1, 2, 3]).unwrap();
+        assert_eq!(decrypt(&mpk, &ct, &sk, &[1, 2, 3], &table).unwrap(), 0);
+        // All-zero y also works (key is the zero scalar).
+        let sk0 = key_derive(mpk.group(), &msk, &[0, 0, 0]).unwrap();
+        let ct2 = encrypt(&mpk, &[5, -6, 7], &mut rng).unwrap();
+        assert_eq!(decrypt(&mpk, &ct2, &sk0, &[0, 0, 0], &table).unwrap(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatches() {
+        let (mpk, msk, mut rng) = setup_small(4);
+        assert_eq!(
+            encrypt(&mpk, &[1, 2, 3], &mut rng),
+            Err(FeError::DimensionMismatch { expected: 4, got: 3 })
+        );
+        assert_eq!(
+            key_derive(mpk.group(), &msk, &[1; 5]).unwrap_err(),
+            FeError::DimensionMismatch { expected: 4, got: 5 }
+        );
+        let ct = encrypt(&mpk, &[1, 2, 3, 4], &mut rng).unwrap();
+        let sk = key_derive(mpk.group(), &msk, &[1; 4]).unwrap();
+        assert!(decrypt_raw(&mpk, &ct, &sk, &[1; 2]).is_err());
+    }
+
+    #[test]
+    fn wrong_key_gives_wrong_or_no_result() {
+        let (mpk, msk, mut rng) = setup_small(3);
+        let table = DlogTable::new(mpk.group(), 1000);
+        let x = [3i64, 4, 5];
+        let y = [1i64, 1, 1];
+        let y_other = [2i64, 0, 1];
+        let ct = encrypt(&mpk, &x, &mut rng).unwrap();
+        let sk_other = key_derive(mpk.group(), &msk, &y_other).unwrap();
+        // Decrypting y's product with y_other's key must not yield <x,y>.
+        match decrypt(&mpk, &ct, &sk_other, &y, &table) {
+            Ok(v) => assert_ne!(v, 12),
+            Err(FeError::Group(GroupError::DlogOutOfRange { .. })) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_result_is_detected() {
+        let (mpk, msk, mut rng) = setup_small(2);
+        let table = DlogTable::new(mpk.group(), 10);
+        let ct = encrypt(&mpk, &[100, 100], &mut rng).unwrap();
+        let sk = key_derive(mpk.group(), &msk, &[1, 1]).unwrap();
+        assert_eq!(
+            decrypt(&mpk, &ct, &sk, &[1, 1], &table),
+            Err(FeError::Group(GroupError::DlogOutOfRange { bound: 10 }))
+        );
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let (mpk, _msk, mut rng) = setup_small(2);
+        let a = encrypt(&mpk, &[7, 7], &mut rng).unwrap();
+        let b = encrypt(&mpk, &[7, 7], &mut rng).unwrap();
+        assert_ne!(a, b, "two encryptions of the same plaintext must differ");
+    }
+
+    #[test]
+    fn combine_is_linearly_homomorphic() {
+        let (mpk, msk, mut rng) = setup_small(3);
+        let table = DlogTable::new(mpk.group(), 100_000);
+        let x1 = [1i64, -2, 3];
+        let x2 = [10i64, 20, -30];
+        let x3 = [0i64, 5, 7];
+        let w = [4i64, -3, 2];
+        let cts = [
+            encrypt(&mpk, &x1, &mut rng).unwrap(),
+            encrypt(&mpk, &x2, &mut rng).unwrap(),
+            encrypt(&mpk, &x3, &mut rng).unwrap(),
+        ];
+        let combined =
+            combine(&mpk, &[&cts[0], &cts[1], &cts[2]], &w).unwrap();
+        // Decrypt each coordinate of the combination with a unit-vector key.
+        for i in 0..3 {
+            let mut unit = [0i64; 3];
+            unit[i] = 1;
+            let sk = key_derive(mpk.group(), &msk, &unit).unwrap();
+            let got = decrypt(&mpk, &combined, &sk, &unit, &table).unwrap();
+            let expect = w[0] * x1[i] + w[1] * x2[i] + w[2] * x3[i];
+            assert_eq!(got, expect, "coordinate {i}");
+        }
+        // And with a full weight vector key.
+        let y = [1i64, 1, 1];
+        let sk = key_derive(mpk.group(), &msk, &y).unwrap();
+        let got = decrypt(&mpk, &combined, &sk, &y, &table).unwrap();
+        let expect: i64 = (0..3).map(|i| w[0] * x1[i] + w[1] * x2[i] + w[2] * x3[i]).sum();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn combine_rejects_mismatches() {
+        let (mpk, _msk, mut rng) = setup_small(2);
+        let ct = encrypt(&mpk, &[1, 2], &mut rng).unwrap();
+        assert!(combine(&mpk, &[&ct], &[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests: FEIP and FEBO decryption must equal the
+//! plaintext function on random inputs, and must be randomized.
+
+use cryptonn_fe::{febo, feip, BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn group() -> &'static SchnorrGroup {
+    static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+    GROUP.get_or_init(|| SchnorrGroup::precomputed(SecurityLevel::Bits64))
+}
+
+fn table() -> &'static DlogTable {
+    static TABLE: OnceLock<DlogTable> = OnceLock::new();
+    // Bound covers |<x,y>| for 8-dim vectors of |v| <= 300, and all FEBO
+    // results for |x|,|y| <= 1000.
+    TABLE.get_or_init(|| DlogTable::new(group(), 1_100_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn feip_decrypts_inner_product(
+        x in proptest::collection::vec(-300i64..=300, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = x.len();
+        let y: Vec<i64> = (0..dim).map(|i| ((seed >> (i % 48)) as i64 % 300) - 150).collect();
+        let (mpk, msk) = feip::setup(group().clone(), dim, &mut rng);
+        let ct = feip::encrypt(&mpk, &x, &mut rng).unwrap();
+        let sk = feip::key_derive(group(), &msk, &y).unwrap();
+        let expected: i64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(feip::decrypt(&mpk, &ct, &sk, &y, table()).unwrap(), expected);
+    }
+
+    #[test]
+    fn febo_add_sub_mul_decrypt(
+        x in -1000i64..=1000,
+        y in -1000i64..=1000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mpk, msk) = febo::setup(group().clone(), &mut rng);
+        for op in [BasicOp::Add, BasicOp::Sub, BasicOp::Mul] {
+            let ct = febo::encrypt(&mpk, x, &mut rng);
+            let sk = febo::key_derive(group(), &msk, ct.commitment(), op, y).unwrap();
+            prop_assert_eq!(
+                febo::decrypt(&mpk, &sk, &ct, op, y, table()).unwrap(),
+                op.apply(x, y)
+            );
+        }
+    }
+
+    #[test]
+    fn febo_exact_division(
+        quotient in -1000i64..=1000,
+        y in prop_oneof![1i64..=30, -30i64..=-1],
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mpk, msk) = febo::setup(group().clone(), &mut rng);
+        let x = quotient * y;
+        let ct = febo::encrypt(&mpk, x, &mut rng);
+        let sk = febo::key_derive(group(), &msk, ct.commitment(), BasicOp::Div, y).unwrap();
+        prop_assert_eq!(
+            febo::decrypt(&mpk, &sk, &ct, BasicOp::Div, y, table()).unwrap(),
+            quotient
+        );
+    }
+
+    #[test]
+    fn authority_roundtrip_matches_direct_scheme(
+        x in proptest::collection::vec(-100i64..=100, 3),
+        y in proptest::collection::vec(-100i64..=100, 3),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let auth = KeyAuthority::with_seed(group().clone(), PermittedFunctions::all(), seed);
+        let mpk = auth.feip_public_key(3);
+        let ct = feip::encrypt(&mpk, &x, &mut rng).unwrap();
+        let sk = auth.derive_ip_key(3, &y).unwrap();
+        let expected: i64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(feip::decrypt(&mpk, &ct, &sk, &y, table()).unwrap(), expected);
+    }
+}

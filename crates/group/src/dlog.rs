@@ -1,0 +1,253 @@
+//! Discrete-logarithm recovery in a known small range.
+//!
+//! FEIP/FEBO decryption ends with a value `g^z` where `z` is the function
+//! output (an inner product or an element-wise result) known to lie in a
+//! bounded range. The paper cites Shanks' baby-step giant-step algorithm
+//! [26] for recovering `z`; this module implements it, with a reusable
+//! precomputed table ([`DlogTable`]) because in Algorithm 1 the server
+//! performs thousands of recoveries against the same generator.
+
+use std::collections::HashMap;
+
+use crate::error::GroupError;
+use crate::group::{Element, SchnorrGroup};
+
+/// A precomputed baby-step table for solving `g^z = target` with
+/// `z ∈ [-bound, bound]` (signed) or `z ∈ [0, bound]` (unsigned).
+///
+/// Construction costs `O(√B)` group operations and the same amount of
+/// memory; each [`solve`](DlogTable::solve) costs `O(√B)` multiplications
+/// worst-case.
+///
+/// ```
+/// use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+///
+/// let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+/// let table = DlogTable::new(&group, 1_000);
+/// let target = group.exp(&group.scalar_from_i64(-517));
+/// assert_eq!(table.solve(&group, &target), Ok(-517));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DlogTable {
+    /// Baby steps: `g^j → j` for `j ∈ [0, m)`.
+    baby: HashMap<Element, u64>,
+    /// `g^{-m}`, the giant-step factor.
+    giant_factor: Element,
+    /// Baby-step count `m = ⌈√(2B+1)⌉`.
+    m: u64,
+    /// The signed bound `B`.
+    bound: u64,
+}
+
+impl DlogTable {
+    /// Builds a table able to recover exponents in `[-bound, bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn new(group: &SchnorrGroup, bound: u64) -> Self {
+        assert!(bound > 0, "dlog bound must be positive");
+        let range = 2 * bound + 1;
+        let m = (range as f64).sqrt().ceil() as u64;
+        let mut baby = HashMap::with_capacity(m as usize);
+        let g = group.generator();
+        let mut acc = group.identity();
+        for j in 0..m {
+            baby.entry(acc).or_insert(j);
+            acc = group.mul(&acc, &g);
+        }
+        // g^{-m} = (g^m)^{-1}; acc currently holds g^m.
+        let giant_factor = group.inv(&acc);
+        Self { baby, giant_factor, m, bound }
+    }
+
+    /// The signed bound `B` this table covers.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Recovers `z ∈ [-B, B]` with `g^z = target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::DlogOutOfRange`] if no such `z` exists in the
+    /// range — for CryptoNN this means a plaintext value exceeded the
+    /// advertised range and the caller's bound must be increased.
+    pub fn solve(&self, group: &SchnorrGroup, target: &Element) -> Result<i64, GroupError> {
+        // Shift the range: solve g^(z+B) = target * g^B, z+B ∈ [0, 2B].
+        let shift = group.scalar_from_u64(self.bound);
+        let mut gamma = group.mul(target, &group.exp(&shift));
+        let range = 2 * self.bound;
+        let giant_steps = range / self.m + 1;
+        for i in 0..=giant_steps {
+            if let Some(&j) = self.baby.get(&gamma) {
+                let z = i * self.m + j;
+                if z <= range {
+                    return Ok(z as i64 - self.bound as i64);
+                }
+            }
+            gamma = group.mul(&gamma, &self.giant_factor);
+        }
+        Err(GroupError::DlogOutOfRange { bound: self.bound })
+    }
+
+    /// Recovers `z ∈ [0, B]` with `g^z = target`, rejecting negatives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::DlogOutOfRange`] if `z` is negative or
+    /// exceeds the bound.
+    pub fn solve_unsigned(
+        &self,
+        group: &SchnorrGroup,
+        target: &Element,
+    ) -> Result<u64, GroupError> {
+        match self.solve(group, target)? {
+            z if z >= 0 => Ok(z as u64),
+            _ => Err(GroupError::DlogOutOfRange { bound: self.bound }),
+        }
+    }
+}
+
+/// One-shot signed BSGS without table reuse. Prefer [`DlogTable`] when
+/// solving more than once against the same group.
+///
+/// # Errors
+///
+/// Returns [`GroupError::DlogOutOfRange`] if no exponent in
+/// `[-bound, bound]` matches.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn solve_dlog(
+    group: &SchnorrGroup,
+    target: &Element,
+    bound: u64,
+) -> Result<i64, GroupError> {
+    DlogTable::new(group, bound).solve(group, target)
+}
+
+/// Exhaustive-search discrete log for tiny ranges; used to cross-check
+/// BSGS in tests and for one-off recoveries where building a table is
+/// not worth it.
+///
+/// # Errors
+///
+/// Returns [`GroupError::DlogOutOfRange`] if no exponent in
+/// `[-bound, bound]` matches.
+pub fn solve_dlog_naive(
+    group: &SchnorrGroup,
+    target: &Element,
+    bound: u64,
+) -> Result<i64, GroupError> {
+    let g = group.generator();
+    let mut pos = group.identity();
+    let mut neg = group.identity();
+    let g_inv = group.inv(&g);
+    if *target == pos {
+        return Ok(0);
+    }
+    for z in 1..=bound {
+        pos = group.mul(&pos, &g);
+        if pos == *target {
+            return Ok(z as i64);
+        }
+        neg = group.mul(&neg, &g_inv);
+        if neg == *target {
+            return Ok(-(z as i64));
+        }
+    }
+    Err(GroupError::DlogOutOfRange { bound })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::SecurityLevel;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn group() -> SchnorrGroup {
+        SchnorrGroup::precomputed(SecurityLevel::Bits64)
+    }
+
+    #[test]
+    fn solves_all_values_in_small_range() {
+        let g = group();
+        let table = DlogTable::new(&g, 50);
+        for z in -50i64..=50 {
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(table.solve(&g, &target), Ok(z), "z = {z}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let g = group();
+        let table = DlogTable::new(&g, 10);
+        for z in [11i64, -11, 100, -100, 12345] {
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(
+                table.solve(&g, &target),
+                Err(GroupError::DlogOutOfRange { bound: 10 }),
+                "z = {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsigned_rejects_negative() {
+        let g = group();
+        let table = DlogTable::new(&g, 20);
+        let target = g.exp(&g.scalar_from_i64(-5));
+        assert!(table.solve_unsigned(&g, &target).is_err());
+        let target = g.exp(&g.scalar_from_i64(17));
+        assert_eq!(table.solve_unsigned(&g, &target), Ok(17));
+    }
+
+    #[test]
+    fn random_values_large_bound() {
+        let g = group();
+        let bound = 1_000_000;
+        let table = DlogTable::new(&g, bound);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..64 {
+            let z = rng.random_range(-(bound as i64)..=bound as i64);
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(table.solve(&g, &target), Ok(z));
+        }
+    }
+
+    #[test]
+    fn matches_naive() {
+        let g = group();
+        let table = DlogTable::new(&g, 64);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let z = rng.random_range(-64i64..=64);
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(
+                table.solve(&g, &target).unwrap(),
+                solve_dlog_naive(&g, &target, 64).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn one_shot_helper() {
+        let g = group();
+        let target = g.exp(&g.scalar_from_i64(-99));
+        assert_eq!(solve_dlog(&g, &target, 100), Ok(-99));
+    }
+
+    #[test]
+    fn boundary_values() {
+        let g = group();
+        let table = DlogTable::new(&g, 1);
+        for z in [-1i64, 0, 1] {
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(table.solve(&g, &target), Ok(z));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the group layer.
+
+use core::fmt;
+
+/// Errors arising from group construction or discrete-logarithm recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GroupError {
+    /// The supplied modulus `p` failed a primality check.
+    CompositeModulus,
+    /// The supplied order `q` failed a primality check or does not divide
+    /// `p - 1`.
+    InvalidOrder,
+    /// The supplied generator is not an element of the order-`q` subgroup
+    /// (or is the identity).
+    InvalidGenerator,
+    /// BSGS did not find the exponent within the configured bound; the
+    /// underlying plaintext value lies outside the advertised range.
+    DlogOutOfRange {
+        /// The (unsigned) search bound that was exhausted.
+        bound: u64,
+    },
+    /// A discrete-log bound of zero was requested.
+    EmptyDlogRange,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::CompositeModulus => write!(f, "group modulus is not prime"),
+            GroupError::InvalidOrder => {
+                write!(f, "subgroup order is not prime or does not divide p - 1")
+            }
+            GroupError::InvalidGenerator => {
+                write!(f, "generator is not a non-identity element of the subgroup")
+            }
+            GroupError::DlogOutOfRange { bound } => {
+                write!(f, "discrete logarithm not found within bound {bound}")
+            }
+            GroupError::EmptyDlogRange => write!(f, "discrete-log search bound is zero"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}

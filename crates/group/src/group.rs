@@ -1,0 +1,431 @@
+//! Schnorr groups: the DDH-hard setting for FEIP and FEBO.
+//!
+//! `GroupGen(1^λ)` in the paper returns a triple `(G, p, g)`. We realize
+//! `G` as the order-`q` subgroup of `Z_p^*` for a safe prime `p = 2q + 1`
+//! (the subgroup of quadratic residues), in which the Decisional
+//! Diffie–Hellman assumption is standard.
+
+use cryptonn_bigint::modular::{mod_inv, mod_mul, mod_neg, mod_pow};
+use cryptonn_bigint::prime::{gen_safe_prime, is_prime};
+use cryptonn_bigint::U256;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GroupError;
+
+/// An element of the multiplicative group `Z_p^*` (in practice, of its
+/// order-`q` subgroup of quadratic residues).
+///
+/// Elements are created and combined through [`SchnorrGroup`] methods,
+/// which maintain the reduced-mod-`p` invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Element(U256);
+
+impl Element {
+    /// The raw reduced representative in `[0, p)`.
+    pub fn value(&self) -> &U256 {
+        &self.0
+    }
+}
+
+/// An exponent in `Z_q`, the scalar field of the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The scalar zero.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// The raw reduced representative in `[0, q)`.
+    pub fn value(&self) -> &U256 {
+        &self.0
+    }
+}
+
+/// A Schnorr group `(p, q, g)` with `p = 2q + 1` a safe prime and `g` a
+/// generator of the order-`q` subgroup.
+///
+/// ```
+/// use cryptonn_group::{SchnorrGroup, SecurityLevel};
+///
+/// let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+/// let x = group.scalar_from_u64(7);
+/// let gx = group.exp(&x);                  // g^7
+/// let g3 = group.exp(&group.scalar_from_u64(3));
+/// let g4 = group.exp(&group.scalar_from_u64(4));
+/// assert_eq!(group.mul(&g3, &g4), gx);     // g^3 · g^4 = g^7
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchnorrGroup {
+    p: U256,
+    q: U256,
+    g: U256,
+}
+
+/// Named security levels with precomputed safe-prime parameters.
+///
+/// The parameters were generated once by
+/// `cryptonn-bigint/examples/gen_group_params.rs` from a fixed seed and
+/// verified prime on construction (see `params` tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SecurityLevel {
+    /// 32-bit toy parameters — unit tests only.
+    Bits32,
+    /// 64-bit parameters — fast integration tests and CI benches.
+    Bits64,
+    /// 128-bit parameters — the default for the figure benchmarks.
+    Bits128,
+    /// 192-bit parameters.
+    Bits192,
+    /// 224-bit parameters.
+    Bits224,
+    /// 256-bit parameters — the paper's evaluation setting.
+    Bits256,
+}
+
+impl SecurityLevel {
+    /// The modulus width in bits.
+    pub fn bits(&self) -> usize {
+        match self {
+            SecurityLevel::Bits32 => 32,
+            SecurityLevel::Bits64 => 64,
+            SecurityLevel::Bits128 => 128,
+            SecurityLevel::Bits192 => 192,
+            SecurityLevel::Bits224 => 224,
+            SecurityLevel::Bits256 => 256,
+        }
+    }
+}
+
+/// Precomputed `(p, q)` hex pairs, indexed like [`SecurityLevel`].
+const PARAMS: &[(SecurityLevel, &str, &str)] = &[
+    (SecurityLevel::Bits32, "85a1545f", "42d0aa2f"),
+    (SecurityLevel::Bits64, "e1946b58700bae4f", "70ca35ac3805d727"),
+    (
+        SecurityLevel::Bits128,
+        "e8a60f34154b07019e29019fd53661e7",
+        "7453079a0aa58380cf1480cfea9b30f3",
+    ),
+    (
+        SecurityLevel::Bits192,
+        "cae643bc62df98dce86d1a300a4f8dc41916bd5ee88ba403",
+        "657321de316fcc6e74368d180527c6e20c8b5eaf7445d201",
+    ),
+    (
+        SecurityLevel::Bits224,
+        "f1fcd972befe655dea418894ba5e896515c2f7f09dee7ecd12512353",
+        "78fe6cb95f7f32aef520c44a5d2f44b28ae17bf84ef73f66892891a9",
+    ),
+    (
+        SecurityLevel::Bits256,
+        "a504130456d8cce0af73fd190c683b02148b6371a703ba4bac786a772db736af",
+        "528209822b6c667057b9fe8c86341d810a45b1b8d381dd25d63c353b96db9b57",
+    ),
+];
+
+impl SchnorrGroup {
+    /// `GroupGen(1^λ)`: generates a fresh safe-prime group of `bits` bits.
+    ///
+    /// This is expensive for large `bits`; prefer [`SchnorrGroup::precomputed`]
+    /// unless fresh parameters are required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 4` or `bits > 256`.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!((4..=256).contains(&bits), "bits must be in 4..=256");
+        let (p, q) = gen_safe_prime(bits, rng);
+        Self::with_default_generator(p, q)
+    }
+
+    /// Returns the embedded group for a named security level.
+    pub fn precomputed(level: SecurityLevel) -> Self {
+        let (_, p_hex, q_hex) = PARAMS
+            .iter()
+            .find(|(l, _, _)| *l == level)
+            .expect("all levels have parameters");
+        let p = U256::from_hex(p_hex).expect("valid embedded hex");
+        let q = U256::from_hex(q_hex).expect("valid embedded hex");
+        Self::with_default_generator(p, q)
+    }
+
+    /// Builds a group from explicit parameters, validating primality of
+    /// `p` and `q`, the safe-prime relation, and the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError`] if any validity check fails.
+    pub fn from_params<R: Rng + ?Sized>(
+        p: U256,
+        q: U256,
+        g: U256,
+        rng: &mut R,
+    ) -> Result<Self, GroupError> {
+        if !is_prime(&p, rng) {
+            return Err(GroupError::CompositeModulus);
+        }
+        if !is_prime(&q, rng) || p != q.shl(1).wrapping_add(&U256::ONE) {
+            return Err(GroupError::InvalidOrder);
+        }
+        if g <= U256::ONE || g >= p || mod_pow(&g, &q, &p) != U256::ONE {
+            return Err(GroupError::InvalidGenerator);
+        }
+        Ok(Self { p, q, g })
+    }
+
+    /// `g = 4 = 2²`, a quadratic residue, generates the order-`q`
+    /// subgroup whenever `q` is prime and `4 ≠ 1 (mod p)`.
+    fn with_default_generator(p: U256, q: U256) -> Self {
+        let g = U256::from_u64(4);
+        debug_assert_eq!(mod_pow(&g, &q, &p), U256::ONE);
+        Self { p, q, g }
+    }
+
+    /// The prime modulus `p`.
+    pub fn modulus(&self) -> &U256 {
+        &self.p
+    }
+
+    /// The prime subgroup order `q`.
+    pub fn order(&self) -> &U256 {
+        &self.q
+    }
+
+    /// The subgroup generator `g`.
+    pub fn generator(&self) -> Element {
+        Element(self.g)
+    }
+
+    /// The identity element `1`.
+    pub fn identity(&self) -> Element {
+        Element(U256::ONE)
+    }
+
+    // ---- scalar (Z_q) arithmetic -------------------------------------
+
+    /// Embeds a `u64` into `Z_q`.
+    pub fn scalar_from_u64(&self, v: u64) -> Scalar {
+        Scalar(U256::from_u64(v).rem(&self.q))
+    }
+
+    /// Embeds a signed integer into `Z_q` (negative values map to
+    /// `q - |v|`, the standard balanced representation).
+    pub fn scalar_from_i64(&self, v: i64) -> Scalar {
+        if v >= 0 {
+            self.scalar_from_u64(v as u64)
+        } else {
+            Scalar(mod_neg(&U256::from_u64(v.unsigned_abs()).rem(&self.q), &self.q))
+        }
+    }
+
+    /// Reduces an arbitrary 256-bit value into `Z_q`.
+    pub fn scalar_from_u256(&self, v: U256) -> Scalar {
+        Scalar(v.rem(&self.q))
+    }
+
+    /// Samples a uniform scalar in `[0, q)`.
+    pub fn random_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> Scalar {
+        Scalar(U256::random_below(rng, &self.q))
+    }
+
+    /// `(a + b) mod q`.
+    pub fn scalar_add(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(cryptonn_bigint::modular::mod_add(&a.0, &b.0, &self.q))
+    }
+
+    /// `(a - b) mod q`.
+    pub fn scalar_sub(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(cryptonn_bigint::modular::mod_sub(&a.0, &b.0, &self.q))
+    }
+
+    /// `(a * b) mod q`.
+    pub fn scalar_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(mod_mul(&a.0, &b.0, &self.q))
+    }
+
+    /// `(-a) mod q`.
+    pub fn scalar_neg(&self, a: &Scalar) -> Scalar {
+        Scalar(mod_neg(&a.0, &self.q))
+    }
+
+    /// `a⁻¹ mod q`, or `None` for the zero scalar.
+    pub fn scalar_inv(&self, a: &Scalar) -> Option<Scalar> {
+        mod_inv(&a.0, &self.q).map(Scalar)
+    }
+
+    /// Inner product `⟨a, b⟩ mod q` of two scalar slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn scalar_dot(&self, a: &[Scalar], b: &[Scalar]) -> Scalar {
+        assert_eq!(a.len(), b.len(), "scalar_dot length mismatch");
+        let mut acc = Scalar::ZERO;
+        for (x, y) in a.iter().zip(b) {
+            acc = self.scalar_add(&acc, &self.scalar_mul(x, y));
+        }
+        acc
+    }
+
+    // ---- group (Z_p^*) arithmetic ------------------------------------
+
+    /// `g^e` for the group generator.
+    pub fn exp(&self, e: &Scalar) -> Element {
+        Element(mod_pow(&self.g, &e.0, &self.p))
+    }
+
+    /// `base^e`.
+    pub fn pow(&self, base: &Element, e: &Scalar) -> Element {
+        Element(mod_pow(&base.0, &e.0, &self.p))
+    }
+
+    /// `a · b mod p`.
+    pub fn mul(&self, a: &Element, b: &Element) -> Element {
+        Element(mod_mul(&a.0, &b.0, &self.p))
+    }
+
+    /// `a⁻¹ mod p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero — zero is not a group element, so this
+    /// indicates a broken invariant upstream.
+    pub fn inv(&self, a: &Element) -> Element {
+        Element(mod_inv(&a.0, &self.p).expect("group elements are invertible"))
+    }
+
+    /// `a / b = a · b⁻¹ mod p`.
+    pub fn div(&self, a: &Element, b: &Element) -> Element {
+        self.mul(a, &self.inv(b))
+    }
+
+    /// Builds an element from a raw value, reducing mod `p`.
+    ///
+    /// Intended for deserialization paths; arithmetic should go through
+    /// the other methods.
+    pub fn element_from_u256(&self, v: U256) -> Element {
+        Element(v.rem(&self.p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> SchnorrGroup {
+        SchnorrGroup::precomputed(SecurityLevel::Bits64)
+    }
+
+    #[test]
+    fn all_precomputed_params_are_valid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for (level, _, _) in PARAMS {
+            let g = SchnorrGroup::precomputed(*level);
+            assert_eq!(g.modulus().bit_len(), level.bits());
+            // Re-validate through the checked constructor.
+            let validated =
+                SchnorrGroup::from_params(*g.modulus(), *g.order(), *g.generator().value(), &mut rng);
+            assert!(validated.is_ok(), "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn generate_small_group() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = SchnorrGroup::generate(24, &mut rng);
+        assert_eq!(g.modulus().bit_len(), 24);
+        let e = g.random_scalar(&mut rng);
+        let x = g.exp(&e);
+        assert_eq!(mod_pow(x.value(), g.order(), g.modulus()), U256::ONE);
+    }
+
+    #[test]
+    fn from_params_rejects_bad_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = group();
+        let (p, q) = (*g.modulus(), *g.order());
+        // Composite modulus.
+        assert_eq!(
+            SchnorrGroup::from_params(U256::from_u64(15), q, U256::from_u64(4), &mut rng),
+            Err(GroupError::CompositeModulus)
+        );
+        // Wrong order.
+        assert_eq!(
+            SchnorrGroup::from_params(p, U256::from_u64(97), U256::from_u64(4), &mut rng),
+            Err(GroupError::InvalidOrder)
+        );
+        // Identity generator.
+        assert_eq!(
+            SchnorrGroup::from_params(p, q, U256::ONE, &mut rng),
+            Err(GroupError::InvalidGenerator)
+        );
+        // Generator outside subgroup: p - 1 ≡ -1 has order 2, and is a
+        // non-residue since p ≡ 3 (mod 4).
+        assert_eq!(
+            SchnorrGroup::from_params(p, q, p.wrapping_sub(&U256::ONE), &mut rng),
+            Err(GroupError::InvalidGenerator)
+        );
+    }
+
+    #[test]
+    fn exp_homomorphism() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..16 {
+            let a = g.random_scalar(&mut rng);
+            let b = g.random_scalar(&mut rng);
+            let lhs = g.exp(&g.scalar_add(&a, &b));
+            let rhs = g.mul(&g.exp(&a), &g.exp(&b));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn signed_scalar_encoding() {
+        let g = group();
+        // g^(-3) * g^3 = identity
+        let neg = g.exp(&g.scalar_from_i64(-3));
+        let pos = g.exp(&g.scalar_from_i64(3));
+        assert_eq!(g.mul(&neg, &pos), g.identity());
+        assert_eq!(g.scalar_from_i64(5), g.scalar_from_u64(5));
+    }
+
+    #[test]
+    fn scalar_field_laws() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..32 {
+            let a = g.random_scalar(&mut rng);
+            let b = g.random_scalar(&mut rng);
+            assert_eq!(g.scalar_add(&a, &g.scalar_neg(&a)), Scalar::ZERO);
+            assert_eq!(g.scalar_sub(&g.scalar_add(&a, &b), &b), a);
+            if a != Scalar::ZERO {
+                let inv = g.scalar_inv(&a).unwrap();
+                assert_eq!(g.scalar_mul(&a, &inv), Scalar::ONE);
+            }
+        }
+        assert_eq!(g.scalar_inv(&Scalar::ZERO), None);
+    }
+
+    #[test]
+    fn scalar_dot_small() {
+        let g = group();
+        let a: Vec<_> = [1u64, 2, 3].iter().map(|&v| g.scalar_from_u64(v)).collect();
+        let b: Vec<_> = [4u64, 5, 6].iter().map(|&v| g.scalar_from_u64(v)).collect();
+        assert_eq!(g.scalar_dot(&a, &b), g.scalar_from_u64(32));
+    }
+
+    #[test]
+    fn div_is_mul_inverse() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = g.exp(&g.random_scalar(&mut rng));
+        let b = g.exp(&g.random_scalar(&mut rng));
+        assert_eq!(g.mul(&g.div(&a, &b), &b), a);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cryptonn-group
+//!
+//! DDH-hard Schnorr groups and bounded discrete-logarithm recovery — the
+//! algebraic setting for CryptoNN's functional encryption schemes.
+//!
+//! The paper's `GroupGen(1^λ)` (§II-B) is realized by
+//! [`SchnorrGroup::generate`] (fresh safe prime) or
+//! [`SchnorrGroup::precomputed`] (embedded parameters per
+//! [`SecurityLevel`]). Decryption in both FEIP and FEBO ends with a
+//! discrete logarithm of a bounded value, recovered via the baby-step
+//! giant-step [`DlogTable`].
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+//!
+//! let group = SchnorrGroup::precomputed(SecurityLevel::Bits128);
+//! let table = DlogTable::new(&group, 10_000);
+//!
+//! // g^(a+b) recovered from g^a * g^b.
+//! let ga = group.exp(&group.scalar_from_i64(1234));
+//! let gb = group.exp(&group.scalar_from_i64(-7000));
+//! let sum = group.mul(&ga, &gb);
+//! assert_eq!(table.solve(&group, &sum)?, -5766);
+//! # Ok::<(), cryptonn_group::GroupError>(())
+//! ```
+
+mod dlog;
+mod error;
+mod group;
+
+pub use dlog::{solve_dlog, solve_dlog_naive, DlogTable};
+pub use error::GroupError;
+pub use group::{Element, Scalar, SchnorrGroup, SecurityLevel};

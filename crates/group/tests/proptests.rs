@@ -1,0 +1,79 @@
+//! Property-based tests for the group layer: exponent homomorphisms and
+//! discrete-log recovery over random values.
+
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn group() -> &'static SchnorrGroup {
+    static G: OnceLock<SchnorrGroup> = OnceLock::new();
+    G.get_or_init(|| SchnorrGroup::precomputed(SecurityLevel::Bits64))
+}
+
+fn table() -> &'static DlogTable {
+    static T: OnceLock<DlogTable> = OnceLock::new();
+    T.get_or_init(|| DlogTable::new(group(), 3_000_000))
+}
+
+proptest! {
+    #[test]
+    fn exp_is_homomorphic(a in -100_000i64..=100_000, b in -100_000i64..=100_000) {
+        let g = group();
+        let lhs = g.exp(&g.scalar_from_i64(a + b));
+        let rhs = g.mul(&g.exp(&g.scalar_from_i64(a)), &g.exp(&g.scalar_from_i64(b)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pow_respects_scalar_mul(a in 1i64..=1000, b in 1i64..=1000) {
+        let g = group();
+        // (g^a)^b = g^(ab)
+        let lhs = g.pow(&g.exp(&g.scalar_from_i64(a)), &g.scalar_from_i64(b));
+        let rhs = g.exp(&g.scalar_from_i64(a * b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn dlog_roundtrips_signed(z in -2_000_000i64..=2_000_000) {
+        let g = group();
+        let target = g.exp(&g.scalar_from_i64(z));
+        prop_assert_eq!(table().solve(g, &target), Ok(z));
+    }
+
+    #[test]
+    fn dlog_out_of_range_is_detected(z in 3_000_001i64..=4_000_000) {
+        let g = group();
+        for sign in [1, -1] {
+            let target = g.exp(&g.scalar_from_i64(sign * z));
+            prop_assert!(table().solve(g, &target).is_err());
+        }
+    }
+
+    #[test]
+    fn inverse_cancels(a in 1i64..=1_000_000) {
+        let g = group();
+        let x = g.exp(&g.scalar_from_i64(a));
+        prop_assert_eq!(g.mul(&x, &g.inv(&x)), g.identity());
+        prop_assert_eq!(g.div(&x, &x), g.identity());
+    }
+
+    #[test]
+    fn scalar_field_distributes(a in -500i64..=500, b in -500i64..=500, c in -500i64..=500) {
+        let g = group();
+        let (sa, sb, sc) = (g.scalar_from_i64(a), g.scalar_from_i64(b), g.scalar_from_i64(c));
+        // a(b + c) = ab + ac in Z_q
+        let lhs = g.scalar_mul(&sa, &g.scalar_add(&sb, &sc));
+        let rhs = g.scalar_add(&g.scalar_mul(&sa, &sb), &g.scalar_mul(&sa, &sc));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn elements_live_in_the_subgroup(a in any::<u64>()) {
+        let g = group();
+        let x = g.exp(&g.scalar_from_u64(a));
+        // x^q = 1 for every produced element.
+        let q = *g.order();
+        let e = g.scalar_from_u256(q); // q ≡ 0 (mod q) → scalar zero
+        prop_assert_eq!(g.pow(&x, &e), g.identity());
+    }
+}

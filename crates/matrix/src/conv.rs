@@ -1,0 +1,284 @@
+//! Convolution lowering: im2col / col2im and a reference conv2d.
+//!
+//! The paper's Fig. 2 describes the sliding-window view of a padded
+//! image; `im2col` materializes exactly those windows as matrix rows so
+//! that convolution becomes one matrix product (and, in the secure
+//! variant, one batch of FEIP inner products — Algorithm 3 encrypts the
+//! same windows).
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor4;
+
+/// Geometry of a convolution: kernel size, stride and zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// A square kernel with the given size, stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        Self { kh: k, kw: k, stride, pad }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(ph >= self.kh && pw >= self.kw, "kernel larger than padded input");
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+}
+
+/// Lowers sliding windows to matrix rows.
+///
+/// The output has one row per `(batch, out_y, out_x)` window, ordered
+/// batch-major, and `C·kh·kw` columns ordered channel-major — so
+/// `im2col(x) · wᵀ` (with `w` of shape `out_c × C·kh·kw`) computes the
+/// convolution.
+pub fn im2col(input: &Tensor4, spec: &ConvSpec) -> Matrix<f64> {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = spec.output_size(h, w);
+    let padded = input.pad(spec.pad);
+    let cols = c * spec.kh * spec.kw;
+    let mut data = Vec::with_capacity(n * oh * ow * cols);
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let y0 = oy * spec.stride;
+                let x0 = ox * spec.stride;
+                for ch in 0..c {
+                    for ky in 0..spec.kh {
+                        for kx in 0..spec.kw {
+                            data.push(padded[(b, ch, y0 + ky, x0 + kx)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(n * oh * ow, cols, data)
+}
+
+/// Adjoint of [`im2col`]: scatters window-rows back into an image,
+/// accumulating where windows overlap. Used for the convolution backward
+/// pass (gradient w.r.t. the input).
+///
+/// `out_shape` is the original (unpadded) input shape.
+///
+/// # Panics
+///
+/// Panics if `cols` has a shape inconsistent with `out_shape` and `spec`.
+pub fn col2im(
+    cols: &Matrix<f64>,
+    out_shape: (usize, usize, usize, usize),
+    spec: &ConvSpec,
+) -> Tensor4 {
+    let (n, c, h, w) = out_shape;
+    let (oh, ow) = spec.output_size(h, w);
+    assert_eq!(cols.rows(), n * oh * ow, "col2im row count mismatch");
+    assert_eq!(cols.cols(), c * spec.kh * spec.kw, "col2im column count mismatch");
+
+    let mut padded = Tensor4::zeros(n, c, h + 2 * spec.pad, w + 2 * spec.pad);
+    let mut row = 0;
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let y0 = oy * spec.stride;
+                let x0 = ox * spec.stride;
+                let r = cols.row(row);
+                let mut i = 0;
+                for ch in 0..c {
+                    for ky in 0..spec.kh {
+                        for kx in 0..spec.kw {
+                            padded[(b, ch, y0 + ky, x0 + kx)] += r[i];
+                            i += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+
+    // Crop the padding back off.
+    let mut out = Tensor4::zeros(n, c, h, w);
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    out[(b, ch, y, x)] = padded[(b, ch, y + spec.pad, x + spec.pad)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reference convolution: `weights` is `out_c × (C·kh·kw)`, `bias` is
+/// `out_c` long. Returns an `(N, out_c, oh, ow)` tensor.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d(input: &Tensor4, weights: &Matrix<f64>, bias: &[f64], spec: &ConvSpec) -> Tensor4 {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = spec.output_size(h, w);
+    let out_c = weights.rows();
+    assert_eq!(weights.cols(), c * spec.kh * spec.kw, "weight width mismatch");
+    assert_eq!(bias.len(), out_c, "bias length mismatch");
+
+    let cols = im2col(input, spec); // (n*oh*ow) × (c*kh*kw)
+    let prod = cols.matmul(&weights.transpose()); // (n*oh*ow) × out_c
+
+    let mut out = Tensor4::zeros(n, out_c, oh, ow);
+    let mut row = 0;
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let r = prod.row(row);
+                for (oc, &v) in r.iter().enumerate() {
+                    out[(b, oc, oy, ox)] = v + bias[oc];
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Direct (nested-loop) convolution used to cross-check the im2col
+/// implementation in tests.
+pub fn conv2d_naive(
+    input: &Tensor4,
+    weights: &Matrix<f64>,
+    bias: &[f64],
+    spec: &ConvSpec,
+) -> Tensor4 {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = spec.output_size(h, w);
+    let out_c = weights.rows();
+    let padded = input.pad(spec.pad);
+    let mut out = Tensor4::zeros(n, out_c, oh, ow);
+    for b in 0..n {
+        for oc in 0..out_c {
+            let wr = weights.row(oc);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    let mut i = 0;
+                    for ch in 0..c {
+                        for ky in 0..spec.kh {
+                            for kx in 0..spec.kw {
+                                acc += wr[i]
+                                    * padded[(b, ch, oy * spec.stride + ky, ox * spec.stride + kx)];
+                                i += 1;
+                            }
+                        }
+                    }
+                    out[(b, oc, oy, ox)] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_matches_paper_figure() {
+        // Fig. 2: 5×5 image, padding 1, 3×3 filter, stride 2 → 3×3 output.
+        let spec = ConvSpec::square(3, 2, 1);
+        assert_eq!(spec.output_size(5, 5), (3, 3));
+    }
+
+    #[test]
+    fn im2col_simple_windows() {
+        // 1×1×3×3 image, 2×2 kernel, stride 1, no padding → 4 windows.
+        let t = Tensor4::from_vec(1, 1, 3, 3, (1..=9).map(f64::from).collect());
+        let spec = ConvSpec::square(2, 1, 0);
+        let cols = im2col(&t, &spec);
+        assert_eq!(cols.shape(), (4, 4));
+        assert_eq!(cols.row(0), &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(cols.row(3), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_respects_padding_and_stride() {
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let spec = ConvSpec::square(2, 2, 1);
+        let cols = im2col(&t, &spec);
+        // Padded image is 4×4, stride 2 → 2×2 windows.
+        assert_eq!(cols.shape(), (4, 4));
+        // Top-left window covers the zero border and pixel 1.
+        assert_eq!(cols.row(0), &[0.0, 0.0, 0.0, 1.0]);
+        // Bottom-right window covers pixel 4 and border.
+        assert_eq!(cols.row(3), &[4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_matches_naive_multichannel() {
+        let input = Tensor4::from_vec(2, 3, 5, 5, (0..150).map(|v| (v % 13) as f64 - 6.0).collect());
+        for (k, s, p) in [(3, 1, 0), (3, 2, 1), (5, 1, 2), (2, 2, 0)] {
+            let spec = ConvSpec::square(k, s, p);
+            let out_c = 4;
+            let weights = Matrix::from_fn(out_c, 3 * k * k, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+            let bias = vec![0.5, -0.5, 0.0, 1.0];
+            let fast = conv2d(&input, &weights, &bias, &spec);
+            let slow = conv2d_naive(&input, &weights, &bias, &spec);
+            assert!(fast.approx_eq(&slow, 1e-9), "k={k} s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // For non-overlapping windows (stride == kernel), col2im(im2col(x))
+        // reproduces x exactly.
+        let t = Tensor4::from_vec(1, 2, 4, 4, (0..32).map(f64::from).collect());
+        let spec = ConvSpec::square(2, 2, 0);
+        let cols = im2col(&t, &spec);
+        let back = col2im(&cols, t.shape(), &spec);
+        assert!(back.approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // With stride 1, interior pixels belong to several windows; the
+        // adjoint must accumulate their contributions.
+        let t = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let spec = ConvSpec::square(2, 1, 0);
+        let cols = im2col(&t, &spec);
+        let back = col2im(&cols, t.shape(), &spec);
+        // Center pixel is in all 4 windows.
+        assert_eq!(back[(0, 0, 1, 1)], 4.0);
+        // Corner pixels in exactly 1.
+        assert_eq!(back[(0, 0, 0, 0)], 1.0);
+        // Edge pixels in 2.
+        assert_eq!(back[(0, 0, 0, 1)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than padded input")]
+    fn kernel_too_large_panics() {
+        ConvSpec::square(5, 1, 0).output_size(3, 3);
+    }
+}

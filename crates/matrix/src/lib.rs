@@ -1,0 +1,30 @@
+//! # cryptonn-matrix
+//!
+//! Dense matrices, NCHW tensors and convolution lowering — the NumPy
+//! stand-in for the CryptoNN reproduction's neural-network stack.
+//!
+//! - [`Matrix`] — row-major 2-D arrays, generic over the element type
+//!   (`f64` for model math, `i64` for the fixed-point encrypted domain).
+//! - [`Tensor4`] — `(batch, channel, height, width)` tensors for
+//!   convolutional layers.
+//! - [`conv`] — `im2col`/`col2im` window lowering (the same windows that
+//!   Algorithm 3 encrypts) and a reference `conv2d`.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_matrix::Matrix;
+//!
+//! let w = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+//! let x = Matrix::from_rows(&[&[1.0], &[3.0]]);
+//! let y = w.matmul(&x);
+//! assert_eq!(y, Matrix::from_rows(&[&[-2.5], &[2.0]]));
+//! ```
+
+pub mod conv;
+mod matrix;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_naive, im2col, ConvSpec};
+pub use matrix::Matrix;
+pub use tensor::Tensor4;

@@ -1,0 +1,85 @@
+//! Property-based tests for the matrix layer: algebraic laws of matmul
+//! and the im2col/conv equivalences.
+
+use cryptonn_matrix::{col2im, conv2d, conv2d_naive, im2col, ConvSpec, Matrix, Tensor4};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_associates(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn sums_are_consistent(a in matrix(4, 6)) {
+        let total = a.sum();
+        prop_assert!((a.sum_rows().sum() - total).abs() < 1e-9);
+        prop_assert!((a.sum_cols().sum() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn im2col_conv_equals_naive_conv(
+        data in proptest::collection::vec(-2.0f64..2.0, 2 * 2 * 6 * 6),
+        weights in proptest::collection::vec(-1.0f64..1.0, 3 * 2 * 2 * 2),
+        stride in 1usize..=2,
+        pad in 0usize..=1,
+    ) {
+        let input = Tensor4::from_vec(2, 2, 6, 6, data);
+        let w = Matrix::from_vec(3, 8, weights);
+        let spec = ConvSpec::square(2, stride, pad);
+        let bias = [0.1, -0.2, 0.3];
+        let fast = conv2d(&input, &w, &bias, &spec);
+        let slow = conv2d_naive(&input, &w, &bias, &spec);
+        prop_assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn col2im_adjoint_identity(
+        data in proptest::collection::vec(-3.0f64..3.0, 4 * 4),
+        cols_data in proptest::collection::vec(-3.0f64..3.0, 9 * 4),
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // that makes the convolution backward pass correct.
+        let x = Tensor4::from_vec(1, 1, 4, 4, data);
+        let spec = ConvSpec::square(2, 1, 0);
+        let y = Matrix::from_vec(9, 4, cols_data);
+
+        let ix = im2col(&x, &spec);
+        let lhs: f64 = ix.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+
+        let cy = col2im(&y, (1, 1, 4, 4), &spec);
+        let rhs: f64 = x.as_slice().iter().zip(cy.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn flatten_preserves_values(data in proptest::collection::vec(-5.0f64..5.0, 2 * 3 * 2 * 2)) {
+        let t = Tensor4::from_vec(2, 3, 2, 2, data);
+        let back = Tensor4::from_flat(&t.flatten(), 3, 2, 2);
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,157 @@
+//! Activation functions and their layer wrapper.
+
+use core::fmt;
+
+use cryptonn_matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// The activation functions used in the paper's models (§II-C lists
+/// sigmoid, ReLU and tanh as the typical choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `θ(z) = 1 / (1 + e^{-z})` — used throughout LeNet-5 and the
+    /// binary-classification example of §III-D.
+    Sigmoid,
+    /// `max(0, z)`.
+    Relu,
+    /// `tanh(z)`.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the function to a scalar.
+    pub fn apply(&self, z: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// The derivative expressed in terms of the *output* `a = f(z)`
+    /// (all three functions admit this form, which avoids caching `z`).
+    pub fn derivative_from_output(&self, a: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An element-wise activation layer.
+#[derive(Debug, Clone)]
+pub struct ActivationLayer {
+    kind: Activation,
+    /// Cached forward output, consumed by `backward`.
+    output: Option<Matrix<f64>>,
+}
+
+impl ActivationLayer {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: Activation) -> Self {
+        Self { kind, output: None }
+    }
+
+    /// The activation kind.
+    pub fn kind(&self) -> Activation {
+        self.kind
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
+        let out = input.map(|v| self.kind.apply(v));
+        if train {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
+        let output = self.output.as_ref().expect("backward called before forward");
+        grad_out.zip_map(output, |g, a| g * self.kind.derivative_from_output(a))
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_values() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(10.0) > 0.9999);
+        assert!(s.apply(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn relu_values() {
+        let r = Activation::Relu;
+        assert_eq!(r.apply(-1.0), 0.0);
+        assert_eq!(r.apply(2.5), 2.5);
+        assert_eq!(r.derivative_from_output(0.0), 0.0);
+        assert_eq!(r.derivative_from_output(3.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for kind in [Activation::Sigmoid, Activation::Tanh] {
+            for z in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+                let numeric = (kind.apply(z + eps) - kind.apply(z - eps)) / (2.0 * eps);
+                let analytic = kind.derivative_from_output(kind.apply(z));
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "{kind} at {z}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_forward_backward() {
+        let mut layer = ActivationLayer::new(Activation::Sigmoid);
+        let x = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let out = layer.forward(&x, true);
+        assert!((out[(0, 0)] - 0.5).abs() < 1e-12);
+        let grad = layer.backward(&Matrix::from_rows(&[&[1.0, 1.0]]));
+        // dσ/dz at z=0 is 0.25.
+        assert!((grad[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]));
+    }
+}

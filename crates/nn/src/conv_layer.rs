@@ -1,0 +1,309 @@
+//! 2-D convolutional layer (im2col-based).
+
+use cryptonn_matrix::{col2im, im2col, ConvSpec, Matrix, Tensor4};
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::layer::Layer;
+
+/// A convolutional layer over `(batch, c·h·w)`-flattened inputs.
+///
+/// The layer knows its spatial input shape `(c, h, w)` and reshapes at
+/// its boundaries so it composes with [`Dense`](crate::Dense) inside one
+/// [`Sequential`](crate::Sequential) container.
+#[derive(Debug, Clone)]
+pub struct Conv2D {
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    spec: ConvSpec,
+    /// `out_c × (in_c·kh·kw)` filter bank.
+    w: Matrix<f64>,
+    b: Vec<f64>,
+    cols: Option<Matrix<f64>>,
+    grad_w: Option<Matrix<f64>>,
+    grad_b: Option<Vec<f64>>,
+}
+
+impl Conv2D {
+    /// Creates a convolutional layer with Xavier-initialized filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel exceeds the padded
+    /// input.
+    pub fn new<R: Rng + ?Sized>(
+        in_shape: (usize, usize, usize),
+        out_c: usize,
+        spec: ConvSpec,
+        rng: &mut R,
+    ) -> Self {
+        let (in_c, in_h, in_w) = in_shape;
+        assert!(in_c > 0 && in_h > 0 && in_w > 0 && out_c > 0, "dimensions must be positive");
+        // Validate geometry eagerly.
+        let _ = spec.output_size(in_h, in_w);
+        let fan_in = in_c * spec.kh * spec.kw;
+        let (oh, ow) = spec.output_size(in_h, in_w);
+        let fan_out = out_c * oh * ow / (oh * ow).max(1);
+        let w = xavier_uniform(out_c, fan_in, fan_in, fan_out.max(1), rng);
+        Self {
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            spec,
+            w,
+            b: vec![0.0; out_c],
+            cols: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Creates a layer with explicit filters (tests, secure twin).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape inconsistency.
+    pub fn with_params(
+        in_shape: (usize, usize, usize),
+        spec: ConvSpec,
+        w: Matrix<f64>,
+        b: Vec<f64>,
+    ) -> Self {
+        let (in_c, in_h, in_w) = in_shape;
+        assert_eq!(w.cols(), in_c * spec.kh * spec.kw, "filter width mismatch");
+        assert_eq!(b.len(), w.rows(), "bias length mismatch");
+        let _ = spec.output_size(in_h, in_w);
+        Self {
+            in_c,
+            in_h,
+            in_w,
+            out_c: w.rows(),
+            spec,
+            w,
+            b,
+            cols: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Output shape `(out_c, oh, ow)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        let (oh, ow) = self.spec.output_size(self.in_h, self.in_w);
+        (self.out_c, oh, ow)
+    }
+
+    /// Flattened output width `out_c·oh·ow`.
+    pub fn out_dim(&self) -> usize {
+        let (c, h, w) = self.out_shape();
+        c * h * w
+    }
+
+    /// Flattened input width `in_c·in_h·in_w`.
+    pub fn in_dim(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    /// The filter bank `out_c × (in_c·kh·kw)`.
+    pub fn filters(&self) -> &Matrix<f64> {
+        &self.w
+    }
+
+    /// The per-filter bias.
+    pub fn bias(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Overwrites filters and bias (secure-twin synchronisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_params(&mut self, w: Matrix<f64>, b: Vec<f64>) {
+        assert_eq!(w.shape(), self.w.shape(), "filter shape mismatch");
+        assert_eq!(b.len(), self.b.len(), "bias length mismatch");
+        self.w = w;
+        self.b = b;
+    }
+
+    fn input_tensor(&self, input: &Matrix<f64>) -> Tensor4 {
+        Tensor4::from_flat(input, self.in_c, self.in_h, self.in_w)
+    }
+
+    /// Converts the `(n·oh·ow) × out_c` product-row layout into the
+    /// `(batch, out_c·oh·ow)` layer-output layout.
+    fn rows_to_output(&self, prod: &Matrix<f64>, n: usize) -> Matrix<f64> {
+        let (oh, ow) = self.spec.output_size(self.in_h, self.in_w);
+        let mut out = Matrix::zeros(n, self.out_c * oh * ow);
+        let mut row = 0;
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let r = prod.row(row);
+                    for (oc, &v) in r.iter().enumerate() {
+                        out[(b, (oc * oh + oy) * ow + ox)] = v;
+                    }
+                    row += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts a `(batch, out_c·oh·ow)` gradient into the
+    /// `(n·oh·ow) × out_c` product-row layout.
+    fn output_to_rows(&self, grad: &Matrix<f64>, n: usize) -> Matrix<f64> {
+        let (oh, ow) = self.spec.output_size(self.in_h, self.in_w);
+        let mut rows = Matrix::zeros(n * oh * ow, self.out_c);
+        let mut row = 0;
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for oc in 0..self.out_c {
+                        rows[(row, oc)] = grad[(b, (oc * oh + oy) * ow + ox)];
+                    }
+                    row += 1;
+                }
+            }
+        }
+        rows
+    }
+}
+
+impl Layer for Conv2D {
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
+        assert_eq!(input.cols(), self.in_dim(), "conv input width mismatch");
+        let n = input.rows();
+        let tensor = self.input_tensor(input);
+        let cols = im2col(&tensor, &self.spec);
+        let mut prod = cols.matmul(&self.w.transpose());
+        // Add bias per output channel.
+        for r in 0..prod.rows() {
+            for oc in 0..self.out_c {
+                prod[(r, oc)] += self.b[oc];
+            }
+        }
+        if train {
+            self.cols = Some(cols);
+        }
+        self.rows_to_output(&prod, n)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
+        let cols = self.cols.as_ref().expect("backward called before forward");
+        let n = grad_out.rows();
+        let grad_rows = self.output_to_rows(grad_out, n); // (n·oh·ow) × out_c
+
+        self.grad_w = Some(grad_rows.transpose().matmul(cols));
+        self.grad_b = Some(grad_rows.sum_rows().into_vec());
+
+        let grad_cols = grad_rows.matmul(&self.w); // (n·oh·ow) × (c·kh·kw)
+        let grad_input =
+            col2im(&grad_cols, (n, self.in_c, self.in_h, self.in_w), &self.spec);
+        grad_input.flatten()
+    }
+
+    fn update(&mut self, lr: f64) {
+        if let (Some(gw), Some(gb)) = (&self.grad_w, &self.grad_b) {
+            self.w = self.w.sub(&gw.scale(lr));
+            for (b, g) in self.b.iter_mut().zip(gb) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_matrix::conv2d_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_reference_conv() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = ConvSpec::square(3, 1, 1);
+        let mut layer = Conv2D::new((2, 5, 5), 3, spec, &mut rng);
+        let input_t = Tensor4::from_vec(2, 2, 5, 5, (0..100).map(|v| (v % 7) as f64 - 3.0).collect());
+        let out_flat = layer.forward(&input_t.flatten(), false);
+        let reference = conv2d_naive(&input_t, &layer.w, &layer.b, &spec);
+        assert!(
+            Tensor4::from_flat(&out_flat, 3, 5, 5).approx_eq(&reference, 1e-9),
+            "layer forward must equal reference convolution"
+        );
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = ConvSpec::square(2, 1, 0);
+        let mut layer = Conv2D::new((1, 3, 3), 2, spec, &mut rng);
+        let x = Matrix::from_fn(1, 9, |_, c| (c as f64) / 4.0 - 1.0);
+
+        // Objective: sum of outputs.
+        let y = layer.forward(&x, true);
+        let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let grad_in = layer.backward(&ones);
+        let gw = layer.grad_w.clone().unwrap();
+        let gb = layer.grad_b.clone().unwrap();
+
+        let eps = 1e-6;
+        let objective = |layer: &Conv2D, x: &Matrix<f64>| -> f64 {
+            let t = Tensor4::from_flat(x, 1, 3, 3);
+            conv2d_naive(&t, &layer.w, &layer.b, &spec).sum()
+        };
+
+        for (r, c) in [(0, 0), (1, 3), (0, 2)] {
+            let mut lp = layer.clone();
+            lp.w[(r, c)] += eps;
+            let mut lm = layer.clone();
+            lm.w[(r, c)] -= eps;
+            let numeric = (objective(&lp, &x) - objective(&lm, &x)) / (2.0 * eps);
+            assert!((numeric - gw[(r, c)]).abs() < 1e-5, "dW[{r},{c}]");
+        }
+        for oc in 0..2 {
+            let mut lp = layer.clone();
+            lp.b[oc] += eps;
+            let mut lm = layer.clone();
+            lm.b[oc] -= eps;
+            let numeric = (objective(&lp, &x) - objective(&lm, &x)) / (2.0 * eps);
+            assert!((numeric - gb[oc]).abs() < 1e-5, "db[{oc}]");
+        }
+        for i in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp[(0, i)] += eps;
+            let mut xm = x.clone();
+            xm[(0, i)] -= eps;
+            let numeric = (objective(&layer, &xp) - objective(&layer, &xm)) / (2.0 * eps);
+            assert!((numeric - grad_in[(0, i)]).abs() < 1e-5, "dX[{i}]");
+        }
+    }
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // LeNet C1: 1×28×28, 6 filters 5×5 pad 2 → 6×28×28.
+        let layer = Conv2D::new((1, 28, 28), 6, ConvSpec::square(5, 1, 2), &mut rng);
+        assert_eq!(layer.out_shape(), (6, 28, 28));
+        assert_eq!(layer.in_dim(), 784);
+        assert_eq!(layer.out_dim(), 6 * 28 * 28);
+        assert_eq!(layer.param_count(), 6 * 25 + 6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fully connected (dense) layers.
+
+use cryptonn_matrix::Matrix;
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::layer::Layer;
+
+/// A fully connected layer computing `Y = X·W + b` for
+/// `X: (batch, in)`, `W: (in, out)`, `b: (1, out)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix<f64>,
+    b: Matrix<f64>,
+    input: Option<Matrix<f64>>,
+    grad_w: Option<Matrix<f64>>,
+    grad_b: Option<Matrix<f64>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights and zero
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        Self {
+            w: xavier_uniform(in_dim, out_dim, in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+            input: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Creates a dense layer with explicit parameters (tests and the
+    /// secure first layer, which must share weights with a plaintext
+    /// twin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1 × w.cols()`.
+    pub fn with_params(w: Matrix<f64>, b: Matrix<f64>) -> Self {
+        assert_eq!(b.shape(), (1, w.cols()), "bias shape must be 1 x out_dim");
+        Self { w, b, input: None, grad_w: None, grad_b: None }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The weight matrix `W: (in, out)`.
+    pub fn weights(&self) -> &Matrix<f64> {
+        &self.w
+    }
+
+    /// The bias row `b: (1, out)`.
+    pub fn bias(&self) -> &Matrix<f64> {
+        &self.b
+    }
+
+    /// Overwrites the parameters (used by CryptoNN's secure layer to
+    /// keep plaintext and encrypted twins in lock-step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch with the existing parameters.
+    pub fn set_params(&mut self, w: Matrix<f64>, b: Matrix<f64>) {
+        assert_eq!(w.shape(), self.w.shape(), "weight shape mismatch");
+        assert_eq!(b.shape(), self.b.shape(), "bias shape mismatch");
+        self.w = w;
+        self.b = b;
+    }
+
+    /// The last computed weight gradient, if a backward pass ran.
+    pub fn grad_weights(&self) -> Option<&Matrix<f64>> {
+        self.grad_w.as_ref()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
+        if train {
+            self.input = Some(input.clone());
+        }
+        input.matmul(&self.w).add_row_broadcast(&self.b)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
+        let input = self.input.as_ref().expect("backward called before forward");
+        self.grad_w = Some(input.transpose().matmul(grad_out));
+        self.grad_b = Some(grad_out.sum_rows());
+        grad_out.matmul(&self.w.transpose())
+    }
+
+    fn update(&mut self, lr: f64) {
+        if let (Some(gw), Some(gb)) = (&self.grad_w, &self.grad_b) {
+            self.w = self.w.sub(&gw.scale(lr));
+            self.b = self.b.sub(&gb.scale(lr));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let mut layer = Dense::with_params(w, b);
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y, Matrix::from_rows(&[&[3.5, 7.5]]));
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| (r as f64 - c as f64) / 3.0);
+        // Scalar objective: sum of outputs. dL/dy = 1.
+        let y = layer.forward(&x, true);
+        let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let grad_in = layer.backward(&ones);
+
+        let eps = 1e-6;
+        // Check dL/dW numerically.
+        let gw = layer.grad_w.clone().unwrap();
+        for (r, c) in [(0, 0), (1, 2), (3, 1)] {
+            let mut wp = layer.w.clone();
+            wp[(r, c)] += eps;
+            let lp = x.matmul(&wp).add_row_broadcast(&layer.b).sum();
+            let mut wm = layer.w.clone();
+            wm[(r, c)] -= eps;
+            let lm = x.matmul(&wm).add_row_broadcast(&layer.b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gw[(r, c)]).abs() < 1e-5, "dW[{r},{c}]");
+        }
+        // Check dL/dX numerically.
+        for (r, c) in [(0, 0), (1, 3)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let lp = xp.matmul(&layer.w).add_row_broadcast(&layer.b).sum();
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            let lm = xm.matmul(&layer.w).add_row_broadcast(&layer.b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad_in[(r, c)]).abs() < 1e-5, "dX[{r},{c}]");
+        }
+    }
+
+    #[test]
+    fn update_moves_against_gradient() {
+        let w = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[0.0]]);
+        let mut layer = Dense::with_params(w, b);
+        let x = Matrix::from_rows(&[&[2.0]]);
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&Matrix::from_rows(&[&[1.0]]));
+        layer.update(0.1);
+        // grad_w = xᵀ·1 = 2, so w ← 1 - 0.1·2 = 0.8.
+        assert!((layer.w[(0, 0)] - 0.8).abs() < 1e-12);
+        // grad_b = 1, so b ← -0.1.
+        assert!((layer.b[(0, 0)] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Dense::new(10, 5, &mut rng);
+        assert_eq!(layer.param_count(), 55);
+    }
+}

@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use cryptonn_matrix::Matrix;
+use rand::{Rng, RngExt};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The standard choice for
+/// sigmoid/tanh networks such as LeNet-5.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Matrix<f64> {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`, suited to ReLU activations.
+pub fn he_uniform<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    rng: &mut R,
+) -> Matrix<f64> {
+    let a = (6.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, 10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() < a));
+        // Not all identical.
+        assert!(m.as_slice().iter().any(|&v| v != m[(0, 0)]));
+    }
+
+    #[test]
+    fn he_within_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = he_uniform(5, 5, 25, &mut rng);
+        let a = (6.0 / 25.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() < a));
+    }
+}

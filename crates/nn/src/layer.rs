@@ -1,0 +1,39 @@
+//! The layer abstraction shared by the plaintext network and CryptoNN's
+//! secure wrappers.
+
+use core::fmt;
+
+use cryptonn_matrix::Matrix;
+
+/// One differentiable layer.
+///
+/// All inter-layer activations are `(batch, features)` matrices;
+/// convolutional layers carry their spatial shape internally and reshape
+/// at their boundaries (mirroring the paper's NumPy prototype).
+pub trait Layer: fmt::Debug + Send {
+    /// Computes the layer output. When `train` is true the layer caches
+    /// whatever [`backward`](Layer::backward) will need.
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64>;
+
+    /// Propagates the loss gradient, storing parameter gradients
+    /// internally, and returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode `forward`.
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64>;
+
+    /// Applies one SGD step with learning rate `lr` to the stored
+    /// gradients. Stateless layers keep the default no-op.
+    fn update(&mut self, lr: f64) {
+        let _ = lr;
+    }
+
+    /// A short human-readable layer name.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,54 @@
+//! # cryptonn-nn
+//!
+//! A from-scratch plaintext neural-network framework — the NumPy model
+//! stack of the CryptoNN paper, and the baseline ("original LeNet-5")
+//! arm of its evaluation.
+//!
+//! - Layers: [`Dense`], [`Conv2D`], [`AvgPool2D`], [`MaxPool2D`],
+//!   [`ActivationLayer`] (sigmoid / ReLU / tanh).
+//! - Losses: [`SoftmaxCrossEntropy`] (§III-E2) and [`Mse`] (§III-D).
+//! - [`Sequential`] container with SGD training.
+//! - Presets: [`lenet5`] (the paper's CryptoCNN backbone), [`lenet_small`]
+//!   (CI-sized twin), [`binary_mlp`] (§III-D's classifier).
+//!
+//! CryptoNN (`cryptonn-core`) reuses every piece of this crate and swaps
+//! the first-layer and output-layer computations for their secure
+//! counterparts.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_matrix::Matrix;
+//! use cryptonn_nn::{binary_mlp, Mse};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut net = binary_mlp(2, &[4], &mut rng);
+//! let x = Matrix::from_rows(&[&[0.2, 0.9]]);
+//! let y = Matrix::from_rows(&[&[1.0]]);
+//! for _ in 0..10 {
+//!     net.train_batch(&x, &y, &Mse, 1.0);
+//! }
+//! assert!(net.predict(&x)[(0, 0)] > 0.5);
+//! ```
+
+mod activation;
+mod conv_layer;
+mod dense;
+pub mod init;
+mod layer;
+mod lenet;
+mod loss;
+pub mod metrics;
+mod network;
+mod pool;
+
+pub use activation::{Activation, ActivationLayer};
+pub use conv_layer::Conv2D;
+pub use dense::Dense;
+pub use layer::Layer;
+pub use lenet::{binary_mlp, lenet5, lenet_small};
+pub use loss::{softmax, Loss, Mse, SoftmaxCrossEntropy};
+pub use metrics::{accuracy, binary_accuracy, one_hot};
+pub use network::Sequential;
+pub use pool::{AvgPool2D, MaxPool2D};

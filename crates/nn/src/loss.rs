@@ -1,0 +1,179 @@
+//! Loss functions: softmax cross-entropy (CryptoCNN's output layer,
+//! §III-E2) and mean squared error (the binary-classification model of
+//! §III-D).
+
+use cryptonn_matrix::Matrix;
+
+/// A differentiable training objective over `(batch, outputs)` matrices.
+pub trait Loss: core::fmt::Debug + Send {
+    /// The scalar loss averaged over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on shape mismatch between `output` and
+    /// `target`.
+    fn forward(&self, output: &Matrix<f64>, target: &Matrix<f64>) -> f64;
+
+    /// The gradient of the loss with respect to `output`, already
+    /// divided by the batch size.
+    fn backward(&self, output: &Matrix<f64>, target: &Matrix<f64>) -> Matrix<f64>;
+}
+
+/// Numerically stable row-wise softmax.
+pub fn softmax(logits: &Matrix<f64>) -> Matrix<f64> {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row_max = logits.row(r).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for c in 0..out.cols() {
+            let e = (logits[(r, c)] - row_max).exp();
+            out[(r, c)] = e;
+            sum += e;
+        }
+        for c in 0..out.cols() {
+            out[(r, c)] /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax + cross-entropy with one-hot targets:
+/// `L = -(1/N) Σᵢ Σₖ yᵢₖ log pᵢₖ`, gradient `(P − Y)/N` — the exact
+/// expression derived in §III-E2 of the paper, whose `P − Y` term is the
+/// secure element-wise subtraction CryptoNN performs on encrypted labels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl Loss for SoftmaxCrossEntropy {
+    fn forward(&self, logits: &Matrix<f64>, target: &Matrix<f64>) -> f64 {
+        assert_eq!(logits.shape(), target.shape(), "loss shape mismatch");
+        let p = softmax(logits);
+        let n = logits.rows() as f64;
+        let mut loss = 0.0;
+        for r in 0..p.rows() {
+            for c in 0..p.cols() {
+                if target[(r, c)] != 0.0 {
+                    loss -= target[(r, c)] * p[(r, c)].max(1e-300).ln();
+                }
+            }
+        }
+        loss / n
+    }
+
+    fn backward(&self, logits: &Matrix<f64>, target: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(logits.shape(), target.shape(), "loss shape mismatch");
+        let n = logits.rows() as f64;
+        softmax(logits).sub(target).scale(1.0 / n)
+    }
+}
+
+/// Mean squared error `L = (1/2N) Σᵢ ‖ŷᵢ − yᵢ‖²`, gradient `(Ŷ − Y)/N` —
+/// the §III-D objective whose `Ŷ − Y` is again a secure element-wise
+/// subtraction in CryptoNN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn forward(&self, output: &Matrix<f64>, target: &Matrix<f64>) -> f64 {
+        assert_eq!(output.shape(), target.shape(), "loss shape mismatch");
+        let n = output.rows() as f64;
+        let diff = output.sub(target);
+        0.5 * diff.hadamard(&diff).sum() / n
+    }
+
+    fn backward(&self, output: &Matrix<f64>, target: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(output.shape(), target.shape(), "loss shape mismatch");
+        let n = output.rows() as f64;
+        output.sub(target).scale(1.0 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Monotone in the logits.
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        let p = softmax(&a);
+        assert!(p[(0, 0)].is_finite() && p[(0, 1)].is_finite());
+        let b = Matrix::from_rows(&[&[0.0, 1.0]]);
+        assert!(p.approx_eq(&softmax(&b), 1e-12));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let loss = SoftmaxCrossEntropy;
+        let logits = Matrix::from_rows(&[&[100.0, 0.0, 0.0]]);
+        let target = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        assert!(loss.forward(&logits, &target) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_y_over_n() {
+        let loss = SoftmaxCrossEntropy;
+        let logits = Matrix::from_rows(&[&[0.2, -0.3, 0.9], &[1.0, 1.0, 1.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]]);
+        let g = loss.backward(&logits, &target);
+        let expect = softmax(&logits).sub(&target).scale(0.5);
+        assert!(g.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let loss = SoftmaxCrossEntropy;
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0, 1.0]]);
+        let g = loss.backward(&logits, &target);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp[(0, c)] += eps;
+            let mut lm = logits.clone();
+            lm[(0, c)] -= eps;
+            let numeric = (loss.forward(&lp, &target) - loss.forward(&lm, &target)) / (2.0 * eps);
+            assert!((numeric - g[(0, c)]).abs() < 1e-6, "logit {c}");
+        }
+    }
+
+    #[test]
+    fn mse_values_and_gradient() {
+        let loss = Mse;
+        let out = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        // (1 + 4) / 2 = 2.5
+        assert!((loss.forward(&out, &target) - 2.5).abs() < 1e-12);
+        let g = loss.backward(&out, &target);
+        assert!(g.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0]]), 1e-12));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let loss = Mse;
+        let out = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.1]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let g = loss.backward(&out, &target);
+        let eps = 1e-6;
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let mut op = out.clone();
+            op[(r, c)] += eps;
+            let mut om = out.clone();
+            om[(r, c)] -= eps;
+            let numeric = (loss.forward(&op, &target) - loss.forward(&om, &target)) / (2.0 * eps);
+            assert!((numeric - g[(r, c)]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Evaluation metrics.
+
+use cryptonn_matrix::Matrix;
+
+/// Classification accuracy: fraction of rows where the arg-max of
+/// `output` matches the arg-max of the one-hot `target`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn accuracy(output: &Matrix<f64>, target_onehot: &Matrix<f64>) -> f64 {
+    assert_eq!(output.shape(), target_onehot.shape(), "accuracy shape mismatch");
+    let pred = output.argmax_rows();
+    let truth = target_onehot.argmax_rows();
+    let correct = pred.iter().zip(&truth).filter(|(p, t)| p == t).count();
+    correct as f64 / output.rows() as f64
+}
+
+/// Binary accuracy with a 0.5 threshold on a single output column.
+///
+/// # Panics
+///
+/// Panics if either matrix is not a single column or shapes mismatch.
+pub fn binary_accuracy(output: &Matrix<f64>, target: &Matrix<f64>) -> f64 {
+    assert_eq!(output.shape(), target.shape(), "accuracy shape mismatch");
+    assert_eq!(output.cols(), 1, "binary accuracy expects one output column");
+    let correct = output
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .filter(|(&p, &t)| (p >= 0.5) == (t >= 0.5))
+        .count();
+    correct as f64 / output.rows() as f64
+}
+
+/// One-hot encodes class labels into a `(len, classes)` matrix — the
+/// label pre-processing the paper's Fig. 1 shows on the client before
+/// encryption.
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes` or `labels` is empty.
+pub fn one_hot(labels: &[usize], classes: usize) -> Matrix<f64> {
+    assert!(!labels.is_empty(), "labels must be non-empty");
+    Matrix::from_fn(labels.len(), classes, |r, c| {
+        assert!(labels[r] < classes, "label out of range");
+        if labels[r] == c {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let out = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        let y = one_hot(&[0, 1, 1], 2);
+        assert!((accuracy(&out, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_accuracy_thresholds() {
+        let out = Matrix::from_rows(&[&[0.7], &[0.4], &[0.5]]);
+        let y = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+        assert!((binary_accuracy(&out, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let y = one_hot(&[2, 0], 3);
+        assert_eq!(y.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(y.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn one_hot_validates_range() {
+        let _ = one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! Pooling layers. LeNet-5 (the paper's CryptoCNN backbone) uses average
+//! pooling for its S2 and S4 layers; max pooling is provided for
+//! completeness (§II-C lists both).
+
+use cryptonn_matrix::{Matrix, Tensor4};
+
+use crate::layer::Layer;
+
+/// Average pooling over non-overlapping `k × k` windows with stride `k`.
+#[derive(Debug, Clone)]
+pub struct AvgPool2D {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    batch: Option<usize>,
+}
+
+impl AvgPool2D {
+    /// Creates an average-pooling layer for `(c, h, w)` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or does not divide both spatial dimensions
+    /// (LeNet's pooling windows tile the plane exactly).
+    pub fn new(in_shape: (usize, usize, usize), k: usize) -> Self {
+        let (c, h, w) = in_shape;
+        assert!(k > 0, "pool size must be positive");
+        assert!(h % k == 0 && w % k == 0, "pool size must divide the spatial dims");
+        Self { c, h, w, k, batch: None }
+    }
+
+    /// Output shape `(c, h/k, w/k)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h / self.k, self.w / self.k)
+    }
+
+    /// Flattened output width.
+    pub fn out_dim(&self) -> usize {
+        let (c, h, w) = self.out_shape();
+        c * h * w
+    }
+}
+
+impl Layer for AvgPool2D {
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
+        assert_eq!(input.cols(), self.c * self.h * self.w, "pool input width mismatch");
+        let n = input.rows();
+        if train {
+            self.batch = Some(n);
+        }
+        let t = Tensor4::from_flat(input, self.c, self.h, self.w);
+        let (oh, ow) = (self.h / self.k, self.w / self.k);
+        let mut out = Tensor4::zeros(n, self.c, oh, ow);
+        let norm = 1.0 / (self.k * self.k) as f64;
+        for b in 0..n {
+            for c in 0..self.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                acc += t[(b, c, oy * self.k + ky, ox * self.k + kx)];
+                            }
+                        }
+                        out[(b, c, oy, ox)] = acc * norm;
+                    }
+                }
+            }
+        }
+        out.flatten()
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
+        let n = self.batch.expect("backward called before forward");
+        let (oh, ow) = (self.h / self.k, self.w / self.k);
+        let g = Tensor4::from_flat(grad_out, self.c, oh, ow);
+        let mut out = Tensor4::zeros(n, self.c, self.h, self.w);
+        let norm = 1.0 / (self.k * self.k) as f64;
+        for b in 0..n {
+            for c in 0..self.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let v = g[(b, c, oy, ox)] * norm;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                out[(b, c, oy * self.k + ky, ox * self.k + kx)] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.flatten()
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+/// Max pooling over non-overlapping `k × k` windows with stride `k`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2D {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    /// Argmax linear offsets (into the flattened input) per output cell.
+    argmax: Option<Vec<usize>>,
+    batch: Option<usize>,
+}
+
+impl MaxPool2D {
+    /// Creates a max-pooling layer for `(c, h, w)` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or does not divide both spatial dimensions.
+    pub fn new(in_shape: (usize, usize, usize), k: usize) -> Self {
+        let (c, h, w) = in_shape;
+        assert!(k > 0, "pool size must be positive");
+        assert!(h % k == 0 && w % k == 0, "pool size must divide the spatial dims");
+        Self { c, h, w, k, argmax: None, batch: None }
+    }
+
+    /// Output shape `(c, h/k, w/k)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h / self.k, self.w / self.k)
+    }
+}
+
+impl Layer for MaxPool2D {
+    fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
+        assert_eq!(input.cols(), self.c * self.h * self.w, "pool input width mismatch");
+        let n = input.rows();
+        let t = Tensor4::from_flat(input, self.c, self.h, self.w);
+        let (oh, ow) = (self.h / self.k, self.w / self.k);
+        let mut out = Tensor4::zeros(n, self.c, oh, ow);
+        let mut argmax = vec![0usize; n * self.c * oh * ow];
+        let mut idx = 0;
+        for b in 0..n {
+            for c in 0..self.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let y = oy * self.k + ky;
+                                let x = ox * self.k + kx;
+                                let v = t[(b, c, y, x)];
+                                if v > best {
+                                    best = v;
+                                    best_off = b * self.c * self.h * self.w
+                                        + c * self.h * self.w
+                                        + y * self.w
+                                        + x;
+                                }
+                            }
+                        }
+                        out[(b, c, oy, ox)] = best;
+                        argmax[idx] = best_off;
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.batch = Some(n);
+        }
+        out.flatten()
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
+        let argmax = self.argmax.as_ref().expect("backward called before forward");
+        let n = self.batch.expect("backward called before forward");
+        let mut out = Matrix::zeros(n, self.c * self.h * self.w);
+        let plane = self.c * self.h * self.w;
+        for (i, &off) in argmax.iter().enumerate() {
+            let b = off / plane;
+            out[(b, off % plane)] += grad_out.as_slice()[i];
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_forward() {
+        let mut pool = AvgPool2D::new((1, 4, 4), 2);
+        let t = Tensor4::from_vec(1, 1, 4, 4, (1..=16).map(f64::from).collect());
+        let out = pool.forward(&t.flatten(), false);
+        // Window means: (1+2+5+6)/4=3.5, (3+4+7+8)/4=5.5, ...
+        assert_eq!(out.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
+        assert_eq!(pool.out_shape(), (1, 2, 2));
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let mut pool = AvgPool2D::new((1, 2, 2), 2);
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = pool.forward(&t.flatten(), true);
+        let grad = pool.backward(&Matrix::from_rows(&[&[8.0]]));
+        assert_eq!(grad.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_check() {
+        let mut pool = AvgPool2D::new((2, 4, 4), 2);
+        let x = Matrix::from_fn(2, 32, |r, c| ((r * 31 + c * 7) % 11) as f64 - 5.0);
+        let y = pool.forward(&x, true);
+        let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let g = pool.backward(&ones);
+        // Objective = sum(out). d/dx = 1/k² for every input element.
+        assert!(g.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let mut pool = MaxPool2D::new((1, 2, 2), 2);
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 9.0, 3.0, 4.0]);
+        let out = pool.forward(&t.flatten(), true);
+        assert_eq!(out.as_slice(), &[9.0]);
+        let grad = pool.backward(&Matrix::from_rows(&[&[5.0]]));
+        assert_eq!(grad.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_batch_routing() {
+        let mut pool = MaxPool2D::new((1, 2, 2), 2);
+        // Two samples with maxima in different corners.
+        let x = Matrix::from_rows(&[&[7.0, 1.0, 1.0, 1.0], &[1.0, 1.0, 1.0, 7.0]]);
+        let _ = pool.forward(&x, true);
+        let grad = pool.backward(&Matrix::from_rows(&[&[1.0], &[2.0]]));
+        assert_eq!(grad.row(0), &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(grad.row(1), &[0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn pool_size_must_divide() {
+        let _ = AvgPool2D::new((1, 5, 5), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Systematic numerical gradient verification: every layer's analytic
+//! backward pass is checked against central finite differences through
+//! randomized network configurations.
+
+use cryptonn_matrix::Matrix;
+use cryptonn_nn::{
+    Activation, ActivationLayer, AvgPool2D, Conv2D, Dense, Layer, Loss, MaxPool2D, Mse,
+    Sequential, SoftmaxCrossEntropy,
+};
+use cryptonn_matrix::ConvSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a small randomized network, runs one forward/backward, and
+/// verifies dL/dX against finite differences of the whole network.
+fn check_network_input_grad(net: &mut Sequential, x: &Matrix<f64>, y: &Matrix<f64>, loss: &dyn Loss) {
+    let out = net.forward(x, true);
+    let grad = loss.backward(&out, y);
+    let grad_in = net.backward(&grad);
+
+    let eps = 1e-5;
+    // Spot-check a handful of coordinates.
+    let coords: Vec<(usize, usize)> = (0..x.rows())
+        .flat_map(|r| [(r, 0), (r, x.cols() / 2), (r, x.cols() - 1)])
+        .collect();
+    for (r, c) in coords {
+        let mut xp = x.clone();
+        xp[(r, c)] += eps;
+        let mut xm = x.clone();
+        xm[(r, c)] -= eps;
+        let lp = loss.forward(&net.forward(&xp, false), y);
+        let lm = loss.forward(&net.forward(&xm, false), y);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = grad_in[(r, c)];
+        assert!(
+            (numeric - analytic).abs() < 1e-4,
+            "dX[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn mlp_with_every_activation() {
+    for act in [Activation::Sigmoid, Activation::Tanh] {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut net = Sequential::new();
+        net.push(Dense::new(6, 5, &mut rng));
+        net.push(ActivationLayer::new(act));
+        net.push(Dense::new(5, 3, &mut rng));
+        let x = Matrix::from_fn(4, 6, |r, c| ((r * 7 + c * 3) % 11) as f64 / 11.0 - 0.5);
+        let y = Matrix::from_fn(4, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        check_network_input_grad(&mut net, &x, &y, &SoftmaxCrossEntropy);
+    }
+}
+
+#[test]
+fn conv_pool_dense_stack() {
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut net = Sequential::new();
+    net.push(Conv2D::new((1, 6, 6), 2, ConvSpec::square(3, 1, 1), &mut rng));
+    net.push(ActivationLayer::new(Activation::Tanh));
+    net.push(AvgPool2D::new((2, 6, 6), 2));
+    net.push(Dense::new(2 * 3 * 3, 2, &mut rng));
+    let x = Matrix::from_fn(3, 36, |r, c| ((r * 13 + c * 5) % 9) as f64 / 9.0 - 0.4);
+    let y = Matrix::from_fn(3, 2, |r, c| if r % 2 == c { 1.0 } else { 0.0 });
+    check_network_input_grad(&mut net, &x, &y, &SoftmaxCrossEntropy);
+}
+
+#[test]
+fn mse_head() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let mut net = Sequential::new();
+    net.push(Dense::new(4, 6, &mut rng));
+    net.push(ActivationLayer::new(Activation::Sigmoid));
+    net.push(Dense::new(6, 1, &mut rng));
+    net.push(ActivationLayer::new(Activation::Sigmoid));
+    let x = Matrix::from_fn(5, 4, |r, c| (r as f64 - c as f64) / 4.0);
+    let y = Matrix::from_fn(5, 1, |r, _| (r % 2) as f64);
+    check_network_input_grad(&mut net, &x, &y, &Mse);
+}
+
+#[test]
+fn max_pool_network() {
+    // MaxPool gradients are only piecewise-smooth; keep inputs away from
+    // argmax ties by construction.
+    let mut rng = StdRng::seed_from_u64(64);
+    let mut net = Sequential::new();
+    net.push(MaxPool2D::new((1, 4, 4), 2));
+    net.push(Dense::new(4, 2, &mut rng));
+    let x = Matrix::from_fn(2, 16, |r, c| (c as f64) + (r as f64) * 0.3);
+    let y = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+    check_network_input_grad(&mut net, &x, &y, &SoftmaxCrossEntropy);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random dense nets: parameter gradients must match finite
+    /// differences of the loss with respect to each weight.
+    #[test]
+    fn dense_weight_gradients(seed in 0u64..1000, hidden in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut first = Dense::new(3, hidden, &mut rng);
+        let x = Matrix::from_fn(2, 3, |r, c| ((seed as usize + r * 3 + c) % 7) as f64 / 7.0);
+        let target = Matrix::from_fn(2, hidden, |r, c| ((r + c) % 2) as f64);
+
+        let out = first.forward(&x, true);
+        let grad_out = Mse.backward(&out, &target);
+        let _ = first.backward(&grad_out);
+        let gw = first.grad_weights().unwrap().clone();
+
+        let eps = 1e-6;
+        let w0 = first.weights().clone();
+        let b0 = first.bias().clone();
+        for (r, c) in [(0, 0), (2, hidden - 1)] {
+            let mut wp = w0.clone();
+            wp[(r, c)] += eps;
+            let mut layer_p = Dense::with_params(wp, b0.clone());
+            let lp = Mse.forward(&layer_p.forward(&x, false), &target);
+            let mut wm = w0.clone();
+            wm[(r, c)] -= eps;
+            let mut layer_m = Dense::with_params(wm, b0.clone());
+            let lm = Mse.forward(&layer_m.forward(&x, false), &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!((numeric - gw[(r, c)]).abs() < 1e-4);
+        }
+    }
+}

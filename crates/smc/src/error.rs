@@ -1,0 +1,70 @@
+//! Error types for the secure-computation layer.
+
+use core::fmt;
+
+use cryptonn_fe::FeError;
+
+/// Errors from secure matrix computation and secure convolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmcError {
+    /// Two matrices that must agree in shape do not.
+    ShapeMismatch {
+        /// The shape required by the operation.
+        expected: (usize, usize),
+        /// The shape that was supplied.
+        got: (usize, usize),
+    },
+    /// The ciphertext was produced without the FEIP (per-column) part
+    /// needed for dot-products.
+    NotEncryptedForDot,
+    /// The ciphertext was produced without the FEBO (per-element) part
+    /// needed for element-wise operations.
+    NotEncryptedForElementwise,
+    /// A key batch does not match the operand it was derived for.
+    KeyCountMismatch {
+        /// Keys required.
+        expected: usize,
+        /// Keys supplied.
+        got: usize,
+    },
+    /// An underlying FE operation failed.
+    Fe(FeError),
+}
+
+impl fmt::Display for SmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcError::ShapeMismatch { expected, got } => write!(
+                f,
+                "matrix shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            SmcError::NotEncryptedForDot => {
+                write!(f, "matrix was not encrypted with the FEIP (dot-product) part")
+            }
+            SmcError::NotEncryptedForElementwise => {
+                write!(f, "matrix was not encrypted with the FEBO (element-wise) part")
+            }
+            SmcError::KeyCountMismatch { expected, got } => {
+                write!(f, "function key count mismatch: expected {expected}, got {got}")
+            }
+            SmcError::Fe(e) => write!(f, "functional encryption failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmcError::Fe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FeError> for SmcError {
+    fn from(e: FeError) -> Self {
+        SmcError::Fe(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! # cryptonn-smc
+//!
+//! Secure matrix computation over functional encryption — Algorithms 1
+//! and 3 of the CryptoNN paper:
+//!
+//! - secure matrix computation: clients encrypt a matrix
+//!   (FEIP per column + FEBO per element), servers derive function keys
+//!   from the [`KeyAuthority`](cryptonn_fe::KeyAuthority) and decrypt
+//!   dot-products or element-wise results — never the plaintext operand.
+//! - secure convolution: the convolutional variant —
+//!   padded sliding windows encrypted under FEIP, one key per filter.
+//! - [`FixedPoint`]: the paper's two-decimal quantization between the
+//!   float model domain and the integer encrypted domain.
+//! - [`Parallelism`] / [`parallel_map`]: the scoped-thread decryption
+//!   fan-out behind the "(P)" arms of Figs. 3–5.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+//! use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+//! use cryptonn_matrix::Matrix;
+//! use cryptonn_smc::{derive_dot_keys, secure_dot, EncryptedMatrix, Parallelism};
+//!
+//! let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+//! let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 5);
+//! let table = DlogTable::new(&group, 10_000);
+//!
+//! // Client: encrypt X (features × samples) column-wise.
+//! let x = Matrix::from_rows(&[&[1i64, 2], &[3, 4]]);
+//! let mpk = authority.feip_public_key(2);
+//! let enc = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rand::rng())?;
+//!
+//! // Server: W · X without ever seeing X.
+//! let w = Matrix::from_rows(&[&[5i64, 6]]);
+//! let keys = derive_dot_keys(&authority, &w)?;
+//! let z = secure_dot(&mpk, &enc, &keys, &w, &table, Parallelism::Serial)?;
+//! assert_eq!(z, w.matmul(&x));
+//! # Ok::<(), cryptonn_smc::SmcError>(())
+//! ```
+
+mod error;
+mod parallel;
+mod quantize;
+mod secure_conv;
+mod secure_matrix;
+
+pub use error::SmcError;
+pub use parallel::{parallel_map, Parallelism};
+pub use quantize::FixedPoint;
+pub use secure_conv::{
+    derive_filter_keys, encrypt_windows, secure_convolution, EncryptedWindows,
+};
+pub use secure_matrix::{
+    derive_dot_keys, derive_elementwise_keys, dot_bound, elementwise_bound, secure_compute,
+    secure_dot, secure_elementwise, EncryptedMatrix, SecureFunction,
+};

@@ -1,0 +1,120 @@
+//! Minimal fork-join parallelism for the decryption loops.
+//!
+//! The paper notes that Algorithm 1's decryption loops (lines 8 and 12)
+//! are embarrassingly parallel and reports order-of-magnitude speedups
+//! from parallelizing them (Figs. 3d, 4d, 5d). This module provides the
+//! scoped-thread fan-out used by every secure computation.
+
+/// Computes `f(0), f(1), …, f(n-1)` across `threads` OS threads,
+/// preserving index order in the returned vector.
+///
+/// `threads <= 1` runs inline with zero overhead. Results are collected
+/// per-chunk so no locking is involved.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A thread-count policy for the secure computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded decryption — the paper's baseline arms in
+    /// Figs. 3c/4c/5c.
+    Serial,
+    /// Decryption fanned out over the given number of threads — the
+    /// "(P)" arms in Figs. 3d/4d/5d.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The effective worker count (1 for serial).
+    pub fn thread_count(&self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => (*n).max(1),
+        }
+    }
+
+    /// One thread per available CPU.
+    pub fn available() -> Self {
+        Parallelism::Threads(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Serial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = parallel_map(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _ = parallel_map(64, 4, |i| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn parallelism_thread_counts() {
+        assert_eq!(Parallelism::Serial.thread_count(), 1);
+        assert_eq!(Parallelism::Threads(4).thread_count(), 4);
+        assert_eq!(Parallelism::Threads(0).thread_count(), 1);
+        assert!(Parallelism::available().thread_count() >= 1);
+    }
+}

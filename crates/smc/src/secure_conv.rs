@@ -1,0 +1,267 @@
+//! Secure convolution — Algorithm 3 of the paper.
+//!
+//! The client learns the padding strategy and filter size from the
+//! server, pads its (quantized) image, extracts every sliding window,
+//! flattens each to a vector and encrypts it under FEIP
+//! ([`encrypt_windows`]). The server derives one FEIP key per filter
+//! ([`derive_filter_keys`]) and decrypts each window's inner product
+//! with the filter, recovering exactly the convolution outputs
+//! ([`secure_convolution`]).
+//!
+//! Note that, as in the paper's Algorithm 3, *whole padded windows* are
+//! encrypted — the plaintext zero padding is encrypted along with the
+//! image pixels, so "partially encrypted" windows need no special case.
+
+use cryptonn_fe::{feip, FeError, FeipCiphertext, FeipFunctionKey, FeipPublicKey, KeyAuthority};
+use cryptonn_group::DlogTable;
+use cryptonn_matrix::{im2col, ConvSpec, Matrix, Tensor4};
+use rand::Rng;
+
+use crate::error::SmcError;
+use crate::parallel::{parallel_map, Parallelism};
+use crate::quantize::FixedPoint;
+
+/// A batch of FEIP-encrypted sliding windows, ready for secure
+/// convolution against any number of filters.
+#[derive(Debug, Clone)]
+pub struct EncryptedWindows {
+    windows: Vec<FeipCiphertext>,
+    batch: usize,
+    out_h: usize,
+    out_w: usize,
+    dim: usize,
+}
+
+impl EncryptedWindows {
+    /// Number of images in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Output spatial size `(oh, ow)` of the convolution.
+    pub fn output_size(&self) -> (usize, usize) {
+        (self.out_h, self.out_w)
+    }
+
+    /// Window vector length (`c · kh · kw`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of encrypted windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if there are no windows (cannot happen for valid inputs).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The raw window ciphertexts in `(batch, oy, ox)` row-major order,
+    /// for callers that combine or decrypt them directly (CryptoNN's
+    /// secure convolution-gradient step).
+    pub fn ciphertexts(&self) -> &[FeipCiphertext] {
+        &self.windows
+    }
+}
+
+/// Client-side `pre-process-encryption` of Algorithm 3: quantizes the
+/// image batch, pads it, extracts every sliding window and encrypts each
+/// as one FEIP vector.
+///
+/// # Errors
+///
+/// Returns [`SmcError::Fe`] if `feip_mpk`'s dimension does not equal
+/// `channels · kh · kw`.
+pub fn encrypt_windows<R: Rng + ?Sized>(
+    images: &Tensor4,
+    spec: &ConvSpec,
+    fp: FixedPoint,
+    feip_mpk: &FeipPublicKey,
+    rng: &mut R,
+) -> Result<EncryptedWindows, SmcError> {
+    let (n, _c, h, w) = images.shape();
+    let (oh, ow) = spec.output_size(h, w);
+    // Quantize, then lower to windows. The quantized values are exact
+    // integers stored in f64, so the cast below is lossless.
+    let quantized = images.map(|v| fp.encode(v) as f64);
+    let cols = im2col(&quantized, spec);
+    let dim = cols.cols();
+    let mut windows = Vec::with_capacity(cols.rows());
+    for r in 0..cols.rows() {
+        let window: Vec<i64> = cols.row(r).iter().map(|&v| v as i64).collect();
+        windows.push(feip::encrypt(feip_mpk, &window, rng)?);
+    }
+    Ok(EncryptedWindows { windows, batch: n, out_h: oh, out_w: ow, dim })
+}
+
+/// Server-side `pre-process-key-derivative` of Algorithm 3: one FEIP key
+/// per filter. `filters` is `out_c × (c·kh·kw)` with quantized integer
+/// weights.
+///
+/// # Errors
+///
+/// Propagates authority refusals and dimension mismatches.
+pub fn derive_filter_keys(
+    authority: &KeyAuthority,
+    filters: &Matrix<i64>,
+) -> Result<Vec<FeipFunctionKey>, SmcError> {
+    let mut keys = Vec::with_capacity(filters.rows());
+    for i in 0..filters.rows() {
+        keys.push(authority.derive_ip_key(filters.cols(), filters.row(i))?);
+    }
+    Ok(keys)
+}
+
+/// Server-side `secure-convolution` of Algorithm 3: decrypts the inner
+/// product of every window with every filter.
+///
+/// Returns a `(batch, out_c·oh·ow)` integer matrix in the standard
+/// layer layout (`(oc·oh + oy)·ow + ox` per row), carrying scale² from
+/// the two quantized operands.
+///
+/// # Errors
+///
+/// - [`SmcError::KeyCountMismatch`] if `keys.len() != filters.rows()`,
+/// - [`SmcError::ShapeMismatch`] if the filter width differs from the
+///   window dimension,
+/// - wrapped dlog-range errors if an output exceeds the table bound.
+pub fn secure_convolution(
+    feip_mpk: &FeipPublicKey,
+    enc: &EncryptedWindows,
+    keys: &[FeipFunctionKey],
+    filters: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Matrix<i64>, SmcError> {
+    if keys.len() != filters.rows() {
+        return Err(SmcError::KeyCountMismatch { expected: filters.rows(), got: keys.len() });
+    }
+    if filters.cols() != enc.dim {
+        return Err(SmcError::ShapeMismatch {
+            expected: (filters.rows(), enc.dim),
+            got: filters.shape(),
+        });
+    }
+
+    let out_c = filters.rows();
+    let (oh, ow) = (enc.out_h, enc.out_w);
+    let windows_per_image = oh * ow;
+    let total = enc.batch * out_c * windows_per_image;
+
+    // Work item order: (b, oc, oy, ox) — matches the output layout, so
+    // the result vector is already in place.
+    let results: Vec<Result<i64, FeError>> =
+        parallel_map(total, parallelism.thread_count(), |idx| {
+            let b = idx / (out_c * windows_per_image);
+            let rem = idx % (out_c * windows_per_image);
+            let oc = rem / windows_per_image;
+            let pos = rem % windows_per_image;
+            let window = &enc.windows[b * windows_per_image + pos];
+            feip::decrypt(feip_mpk, window, &keys[oc], filters.row(oc), table)
+        });
+    let values = results.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
+    Ok(Matrix::from_vec(enc.batch, out_c * windows_per_image, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_group::{SchnorrGroup, SecurityLevel};
+    use cryptonn_matrix::conv2d_naive;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn fixture() -> (KeyAuthority, DlogTable, StdRng) {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 23);
+        let table = DlogTable::new(&group, 5_000_000);
+        (authority, table, StdRng::seed_from_u64(24))
+    }
+
+    #[test]
+    fn secure_convolution_matches_plaintext() {
+        let (authority, table, mut rng) = fixture();
+        let fp = FixedPoint::ONE_DECIMAL;
+        let spec = ConvSpec::square(3, 2, 1); // the paper's Fig. 2 geometry
+        let images = Tensor4::from_vec(
+            2,
+            1,
+            5,
+            5,
+            (0..50).map(|_| (rng.random_range(-20i32..=20) as f64) / 10.0).collect(),
+        );
+        let filters_f = Matrix::from_fn(2, 9, |r, c| ((r * 5 + c) % 7) as f64 / 10.0 - 0.3);
+        let filters_q = fp.encode_matrix(&filters_f);
+
+        let feip_mpk = authority.feip_public_key(9);
+        let enc = encrypt_windows(&images, &spec, fp, &feip_mpk, &mut rng).unwrap();
+        assert_eq!(enc.batch(), 2);
+        assert_eq!(enc.output_size(), (3, 3));
+        assert_eq!(enc.dim(), 9);
+        assert_eq!(enc.len(), 2 * 9);
+
+        let keys = derive_filter_keys(&authority, &filters_q).unwrap();
+        let out = secure_convolution(
+            &feip_mpk,
+            &enc,
+            &keys,
+            &filters_q,
+            &table,
+            Parallelism::Threads(4),
+        )
+        .unwrap();
+
+        // Reference: plaintext convolution over quantized values.
+        let images_q = images.map(|v| fp.encode(v) as f64);
+        let filters_qf = filters_q.map(|v| v as f64);
+        let reference = conv2d_naive(&images_q, &filters_qf, &[0.0, 0.0], &spec);
+        let out_f = out.map(|v| v as f64);
+        assert!(
+            Tensor4::from_flat(&out_f, 2, 3, 3).approx_eq(&reference, 1e-9),
+            "secure convolution must equal the plaintext convolution"
+        );
+    }
+
+    #[test]
+    fn key_and_shape_mismatches() {
+        let (authority, table, mut rng) = fixture();
+        let fp = FixedPoint::ONE_DECIMAL;
+        let spec = ConvSpec::square(2, 1, 0);
+        let images = Tensor4::zeros(1, 1, 3, 3);
+        let feip_mpk = authority.feip_public_key(4);
+        let enc = encrypt_windows(&images, &spec, fp, &feip_mpk, &mut rng).unwrap();
+
+        let filters = Matrix::from_fn(2, 4, |_, _| 1i64);
+        let keys = derive_filter_keys(&authority, &filters).unwrap();
+        assert!(matches!(
+            secure_convolution(&feip_mpk, &enc, &keys[..1], &filters, &table, Parallelism::Serial),
+            Err(SmcError::KeyCountMismatch { expected: 2, got: 1 })
+        ));
+
+        let wrong_width = Matrix::from_fn(2, 5, |_, _| 1i64);
+        let keys5 = derive_filter_keys(&authority, &wrong_width).unwrap();
+        assert!(matches!(
+            secure_convolution(&feip_mpk, &enc, &keys5, &wrong_width, &table, Parallelism::Serial),
+            Err(SmcError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_image_convolves_to_zero() {
+        let (authority, table, mut rng) = fixture();
+        let fp = FixedPoint::TWO_DECIMALS;
+        let spec = ConvSpec::square(2, 1, 0);
+        let images = Tensor4::zeros(1, 1, 3, 3);
+        let feip_mpk = authority.feip_public_key(4);
+        let enc = encrypt_windows(&images, &spec, fp, &feip_mpk, &mut rng).unwrap();
+        let filters = Matrix::from_fn(1, 4, |_, c| c as i64 + 1);
+        let keys = derive_filter_keys(&authority, &filters).unwrap();
+        let out =
+            secure_convolution(&feip_mpk, &enc, &keys, &filters, &table, Parallelism::Serial)
+                .unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,497 @@
+//! Secure matrix computation — Algorithm 1 of the paper.
+//!
+//! The scheme has three parts, mirrored here function-for-function:
+//!
+//! - **pre-process-encryption** (client): each *column* of `X` is
+//!   encrypted under FEIP (for dot-products) and each *element* under
+//!   FEBO (for element-wise arithmetic) →
+//!   [`EncryptedMatrix::encrypt_full`] (or the cheaper single-purpose
+//!   constructors).
+//! - **pre-process-key-derivative** (server ↔ authority): one FEIP key
+//!   per row of the server operand `Y` for dot-products
+//!   ([`derive_dot_keys`]), or one FEBO key per element otherwise
+//!   ([`derive_elementwise_keys`]).
+//! - **secure-computation** (server): decrypt every output cell —
+//!   `Z[i][j] = ⟨yᵢ, xⱼ⟩` for dot-products ([`secure_dot`]) or
+//!   `Z[i][j] = X[i][j] Δ Y[i][j]` element-wise
+//!   ([`secure_elementwise`]). Both decryption loops take a
+//!   [`Parallelism`] policy (the paper's "(P)" arms).
+
+use cryptonn_fe::{febo, feip, BasicOp, FeError, KeyAuthority};
+use cryptonn_fe::{FeboCiphertext, FeboFunctionKey, FeboPublicKey};
+use cryptonn_fe::{FeipCiphertext, FeipFunctionKey, FeipPublicKey};
+use cryptonn_group::DlogTable;
+use cryptonn_matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SmcError;
+use crate::parallel::{parallel_map, Parallelism};
+
+/// The permitted function set `F` of Algorithm 1: a dot-product or one
+/// of the four element-wise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecureFunction {
+    /// `Z = Y · X` via FEIP.
+    DotProduct,
+    /// `Z[i][j] = X[i][j] Δ Y[i][j]` via FEBO.
+    Elementwise(BasicOp),
+}
+
+/// A matrix encrypted by a client for server-side secure computation.
+///
+/// Per Algorithm 1's `pre-process-encryption`, the FEIP part holds one
+/// ciphertext per column (`[[x]]`) and the FEBO part one ciphertext per
+/// element (`[[X]]`). Either part may be omitted when the workload only
+/// needs the other.
+#[derive(Debug, Clone)]
+pub struct EncryptedMatrix {
+    rows: usize,
+    cols: usize,
+    columns: Option<Vec<FeipCiphertext>>,
+    elements: Option<Matrix<FeboCiphertext>>,
+}
+
+impl EncryptedMatrix {
+    /// Encrypts for dot-products only (FEIP per column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::Fe`] if `mpk`'s dimension differs from the
+    /// row count of `x`.
+    pub fn encrypt_columns<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        feip_mpk: &FeipPublicKey,
+        rng: &mut R,
+    ) -> Result<Self, SmcError> {
+        let mut columns = Vec::with_capacity(x.cols());
+        for j in 0..x.cols() {
+            columns.push(feip::encrypt(feip_mpk, &x.col(j), rng)?);
+        }
+        Ok(Self { rows: x.rows(), cols: x.cols(), columns: Some(columns), elements: None })
+    }
+
+    /// Encrypts for element-wise computation only (FEBO per element).
+    pub fn encrypt_elements<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        febo_mpk: &FeboPublicKey,
+        rng: &mut R,
+    ) -> Result<Self, SmcError> {
+        let elements = Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            febo::encrypt(febo_mpk, x[(i, j)], rng)
+        });
+        Ok(Self { rows: x.rows(), cols: x.cols(), columns: None, elements: Some(elements) })
+    }
+
+    /// Full Algorithm-1 encryption: both the FEIP and FEBO parts.
+    pub fn encrypt_full<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        feip_mpk: &FeipPublicKey,
+        febo_mpk: &FeboPublicKey,
+        rng: &mut R,
+    ) -> Result<Self, SmcError> {
+        let with_cols = Self::encrypt_columns(x, feip_mpk, rng)?;
+        let with_elems = Self::encrypt_elements(x, febo_mpk, rng)?;
+        Ok(Self {
+            rows: x.rows(),
+            cols: x.cols(),
+            columns: with_cols.columns,
+            elements: with_elems.elements,
+        })
+    }
+
+    /// Number of rows of the underlying plaintext.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying plaintext.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the underlying plaintext.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if the FEIP (dot-product) part is present.
+    pub fn supports_dot(&self) -> bool {
+        self.columns.is_some()
+    }
+
+    /// True if the FEBO (element-wise) part is present.
+    pub fn supports_elementwise(&self) -> bool {
+        self.elements.is_some()
+    }
+
+    /// The per-column FEIP ciphertexts, for callers that combine or
+    /// decrypt them directly (e.g. CryptoNN's secure gradient step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::NotEncryptedForDot`] if the FEIP part is
+    /// absent.
+    pub fn feip_columns(&self) -> Result<&[FeipCiphertext], SmcError> {
+        self.columns()
+    }
+
+    fn columns(&self) -> Result<&[FeipCiphertext], SmcError> {
+        self.columns.as_deref().ok_or(SmcError::NotEncryptedForDot)
+    }
+
+    fn elements(&self) -> Result<&Matrix<FeboCiphertext>, SmcError> {
+        self.elements.as_ref().ok_or(SmcError::NotEncryptedForElementwise)
+    }
+}
+
+/// `pre-process-key-derivative`, dot-product branch: requests one FEIP
+/// key per row of the server operand `y` (each row is one neuron's
+/// weight vector).
+///
+/// # Errors
+///
+/// Propagates authority refusals ([`FeError::FunctionNotPermitted`]) and
+/// dimension mismatches.
+pub fn derive_dot_keys(
+    authority: &KeyAuthority,
+    y: &Matrix<i64>,
+) -> Result<Vec<FeipFunctionKey>, SmcError> {
+    let mut keys = Vec::with_capacity(y.rows());
+    for i in 0..y.rows() {
+        keys.push(authority.derive_ip_key(y.cols(), y.row(i))?);
+    }
+    Ok(keys)
+}
+
+/// `pre-process-key-derivative`, element-wise branch: requests one FEBO
+/// key per element, bound to the matching ciphertext commitment.
+///
+/// # Errors
+///
+/// - [`SmcError::ShapeMismatch`] if `y`'s shape differs from the
+///   encrypted matrix,
+/// - [`SmcError::NotEncryptedForElementwise`] if the FEBO part is absent,
+/// - authority refusals.
+pub fn derive_elementwise_keys(
+    authority: &KeyAuthority,
+    enc: &EncryptedMatrix,
+    op: BasicOp,
+    y: &Matrix<i64>,
+) -> Result<Matrix<FeboFunctionKey>, SmcError> {
+    if y.shape() != enc.shape() {
+        return Err(SmcError::ShapeMismatch { expected: enc.shape(), got: y.shape() });
+    }
+    let elements = enc.elements()?;
+    let mut keys = Vec::with_capacity(y.rows() * y.cols());
+    for i in 0..y.rows() {
+        for j in 0..y.cols() {
+            keys.push(authority.derive_bo_key(
+                elements[(i, j)].commitment(),
+                op,
+                y[(i, j)],
+            )?);
+        }
+    }
+    Ok(Matrix::from_vec(y.rows(), y.cols(), keys))
+}
+
+/// `secure-computation`, dot-product branch: computes `Z = Y · X` with
+/// `Z[i][j] = ⟨yᵢ, x_colⱼ⟩` by decrypting every cell (lines 4–8 of
+/// Algorithm 1).
+///
+/// # Errors
+///
+/// - [`SmcError::NotEncryptedForDot`] if the FEIP part is absent,
+/// - [`SmcError::KeyCountMismatch`] / [`SmcError::ShapeMismatch`] on
+///   operand disagreement,
+/// - [`FeError::Group`] (wrapped) if a result exceeds the dlog bound.
+pub fn secure_dot(
+    feip_mpk: &FeipPublicKey,
+    enc: &EncryptedMatrix,
+    keys: &[FeipFunctionKey],
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Matrix<i64>, SmcError> {
+    let columns = enc.columns()?;
+    if y.cols() != enc.rows() {
+        return Err(SmcError::ShapeMismatch { expected: (y.rows(), enc.rows()), got: y.shape() });
+    }
+    if keys.len() != y.rows() {
+        return Err(SmcError::KeyCountMismatch { expected: y.rows(), got: keys.len() });
+    }
+
+    let out_rows = y.rows();
+    let out_cols = enc.cols();
+    let results: Vec<Result<i64, FeError>> =
+        parallel_map(out_rows * out_cols, parallelism.thread_count(), |idx| {
+            let i = idx / out_cols;
+            let j = idx % out_cols;
+            feip::decrypt(feip_mpk, &columns[j], &keys[i], y.row(i), table)
+        });
+    collect_matrix(out_rows, out_cols, results)
+}
+
+/// `secure-computation`, element-wise branch: computes
+/// `Z[i][j] = X[i][j] Δ Y[i][j]` by decrypting every cell (lines 9–12 of
+/// Algorithm 1).
+///
+/// # Errors
+///
+/// As [`secure_dot`], with [`SmcError::NotEncryptedForElementwise`] when
+/// the FEBO part is absent. Division results must be exact integers.
+pub fn secure_elementwise(
+    febo_mpk: &FeboPublicKey,
+    enc: &EncryptedMatrix,
+    keys: &Matrix<FeboFunctionKey>,
+    op: BasicOp,
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Matrix<i64>, SmcError> {
+    let elements = enc.elements()?;
+    if y.shape() != enc.shape() {
+        return Err(SmcError::ShapeMismatch { expected: enc.shape(), got: y.shape() });
+    }
+    if keys.shape() != enc.shape() {
+        return Err(SmcError::KeyCountMismatch {
+            expected: enc.rows * enc.cols,
+            got: keys.len(),
+        });
+    }
+
+    let (rows, cols) = enc.shape();
+    let results: Vec<Result<i64, FeError>> =
+        parallel_map(rows * cols, parallelism.thread_count(), |idx| {
+            let i = idx / cols;
+            let j = idx % cols;
+            febo::decrypt(febo_mpk, &keys[(i, j)], &elements[(i, j)], op, y[(i, j)], table)
+        });
+    collect_matrix(rows, cols, results)
+}
+
+/// One-call facade over key derivation + secure computation, matching
+/// the `secure-computation` dispatcher of Algorithm 1.
+///
+/// # Errors
+///
+/// As the underlying stage functions.
+#[allow(clippy::too_many_arguments)]
+pub fn secure_compute(
+    authority: &KeyAuthority,
+    feip_mpk: &FeipPublicKey,
+    febo_mpk: &FeboPublicKey,
+    enc: &EncryptedMatrix,
+    f: SecureFunction,
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Matrix<i64>, SmcError> {
+    match f {
+        SecureFunction::DotProduct => {
+            let keys = derive_dot_keys(authority, y)?;
+            secure_dot(feip_mpk, enc, &keys, y, table, parallelism)
+        }
+        SecureFunction::Elementwise(op) => {
+            let keys = derive_elementwise_keys(authority, enc, op, y)?;
+            secure_elementwise(febo_mpk, enc, &keys, op, y, table, parallelism)
+        }
+    }
+}
+
+/// A conservative signed dlog bound for dot-products of `len`-long
+/// vectors with entries bounded by `max_x` and `max_y`.
+pub fn dot_bound(max_x: u64, max_y: u64, len: usize) -> u64 {
+    max_x.saturating_mul(max_y).saturating_mul(len as u64).max(1)
+}
+
+/// A conservative signed dlog bound for an element-wise operation with
+/// operands bounded by `max_x` and `max_y`.
+pub fn elementwise_bound(op: BasicOp, max_x: u64, max_y: u64) -> u64 {
+    match op {
+        BasicOp::Add | BasicOp::Sub => max_x.saturating_add(max_y).max(1),
+        BasicOp::Mul => max_x.saturating_mul(max_y).max(1),
+        BasicOp::Div => max_x.max(1),
+    }
+}
+
+fn collect_matrix(
+    rows: usize,
+    cols: usize,
+    results: Vec<Result<i64, FeError>>,
+) -> Result<Matrix<i64>, SmcError> {
+    let values = results.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
+    Ok(Matrix::from_vec(rows, cols, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_group::{SchnorrGroup, SecurityLevel};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    struct Fixture {
+        authority: KeyAuthority,
+        table: DlogTable,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 17);
+        let table = DlogTable::new(&group, 2_000_000);
+        Fixture { authority, table, rng: StdRng::seed_from_u64(18) }
+    }
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, range: i64) -> Matrix<i64> {
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-range..=range))
+    }
+
+    #[test]
+    fn secure_dot_matches_plaintext() {
+        let mut fx = fixture();
+        let x = random_matrix(&mut fx.rng, 4, 3, 50); // features × samples
+        let y = random_matrix(&mut fx.rng, 2, 4, 50); // neurons × features
+        let feip_mpk = fx.authority.feip_public_key(4);
+        let enc = EncryptedMatrix::encrypt_columns(&x, &feip_mpk, &mut fx.rng).unwrap();
+
+        let keys = derive_dot_keys(&fx.authority, &y).unwrap();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let z = secure_dot(&feip_mpk, &enc, &keys, &y, &fx.table, par).unwrap();
+            assert_eq!(z, y.matmul(&x), "parallelism {par:?}");
+        }
+    }
+
+    #[test]
+    fn secure_elementwise_all_ops_match_plaintext() {
+        let mut fx = fixture();
+        let febo_mpk = fx.authority.febo_public_key();
+        // Divisible pairs for Div: x = q*y.
+        let q = random_matrix(&mut fx.rng, 3, 3, 30);
+        let y = Matrix::from_fn(3, 3, |i, j| {
+            let v: i64 = ((i * 3 + j) as i64 % 5) + 1;
+            if (i + j) % 2 == 0 {
+                v
+            } else {
+                -v
+            }
+        });
+        let x = q.hadamard(&y);
+
+        let enc = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut fx.rng).unwrap();
+        for op in BasicOp::ALL {
+            let keys = derive_elementwise_keys(&fx.authority, &enc, op, &y).unwrap();
+            let z = secure_elementwise(
+                &febo_mpk,
+                &enc,
+                &keys,
+                op,
+                &y,
+                &fx.table,
+                Parallelism::Threads(2),
+            )
+            .unwrap();
+            let expect = x.zip_map(&y, |a, b| op.apply(a, b));
+            assert_eq!(z, expect, "op {op}");
+        }
+    }
+
+    #[test]
+    fn facade_dispatches_both_branches() {
+        let mut fx = fixture();
+        let x = random_matrix(&mut fx.rng, 3, 2, 20);
+        let feip_mpk = fx.authority.feip_public_key(3);
+        let febo_mpk = fx.authority.febo_public_key();
+        let enc =
+            EncryptedMatrix::encrypt_full(&x, &feip_mpk, &febo_mpk, &mut fx.rng).unwrap();
+        assert!(enc.supports_dot() && enc.supports_elementwise());
+
+        let w = random_matrix(&mut fx.rng, 2, 3, 20);
+        let z = secure_compute(
+            &fx.authority,
+            &feip_mpk,
+            &febo_mpk,
+            &enc,
+            SecureFunction::DotProduct,
+            &w,
+            &fx.table,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        assert_eq!(z, w.matmul(&x));
+
+        let y = random_matrix(&mut fx.rng, 3, 2, 20);
+        let z = secure_compute(
+            &fx.authority,
+            &feip_mpk,
+            &febo_mpk,
+            &enc,
+            SecureFunction::Elementwise(BasicOp::Add),
+            &y,
+            &fx.table,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        assert_eq!(z, x.add(&y));
+    }
+
+    #[test]
+    fn missing_parts_are_reported() {
+        let mut fx = fixture();
+        let x = random_matrix(&mut fx.rng, 2, 2, 5);
+        let feip_mpk = fx.authority.feip_public_key(2);
+        let febo_mpk = fx.authority.febo_public_key();
+
+        let dot_only = EncryptedMatrix::encrypt_columns(&x, &feip_mpk, &mut fx.rng).unwrap();
+        assert_eq!(
+            derive_elementwise_keys(&fx.authority, &dot_only, BasicOp::Add, &x).unwrap_err(),
+            SmcError::NotEncryptedForElementwise
+        );
+
+        let elem_only = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut fx.rng).unwrap();
+        let keys = derive_dot_keys(&fx.authority, &x).unwrap();
+        assert_eq!(
+            secure_dot(&feip_mpk, &elem_only, &keys, &x, &fx.table, Parallelism::Serial)
+                .unwrap_err(),
+            SmcError::NotEncryptedForDot
+        );
+    }
+
+    #[test]
+    fn shape_and_key_mismatches_are_reported() {
+        let mut fx = fixture();
+        let x = random_matrix(&mut fx.rng, 3, 2, 5);
+        let feip_mpk = fx.authority.feip_public_key(3);
+        let enc = EncryptedMatrix::encrypt_columns(&x, &feip_mpk, &mut fx.rng).unwrap();
+
+        // y with wrong inner dimension.
+        let bad_y = random_matrix(&mut fx.rng, 2, 4, 5);
+        let keys = derive_dot_keys(&fx.authority, &random_matrix(&mut fx.rng, 2, 3, 5)).unwrap();
+        assert!(matches!(
+            secure_dot(&feip_mpk, &enc, &keys, &bad_y, &fx.table, Parallelism::Serial),
+            Err(SmcError::ShapeMismatch { .. })
+        ));
+
+        // Too few keys.
+        let y = random_matrix(&mut fx.rng, 2, 3, 5);
+        assert!(matches!(
+            secure_dot(&feip_mpk, &enc, &keys[..1], &y, &fx.table, Parallelism::Serial),
+            Err(SmcError::KeyCountMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn bounds_helpers() {
+        assert_eq!(dot_bound(10, 10, 5), 500);
+        assert_eq!(elementwise_bound(BasicOp::Add, 100, 50), 150);
+        assert_eq!(elementwise_bound(BasicOp::Mul, 100, 50), 5000);
+        assert_eq!(elementwise_bound(BasicOp::Div, 100, 50), 100);
+        // Saturation instead of overflow.
+        assert_eq!(dot_bound(u64::MAX, 2, 3), u64::MAX);
+        // Never zero.
+        assert_eq!(dot_bound(0, 0, 0), 1);
+    }
+}

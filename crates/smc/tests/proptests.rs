@@ -1,0 +1,93 @@
+//! Property-based tests for the secure-computation layer: quantization
+//! laws and secure-vs-plaintext equivalence on randomized inputs.
+
+use cryptonn_fe::{BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use cryptonn_matrix::Matrix;
+use cryptonn_smc::{
+    derive_dot_keys, derive_elementwise_keys, parallel_map, secure_dot, secure_elementwise,
+    EncryptedMatrix, FixedPoint, Parallelism,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn group() -> &'static SchnorrGroup {
+    static G: OnceLock<SchnorrGroup> = OnceLock::new();
+    G.get_or_init(|| SchnorrGroup::precomputed(SecurityLevel::Bits64))
+}
+
+fn table() -> &'static DlogTable {
+    static T: OnceLock<DlogTable> = OnceLock::new();
+    T.get_or_init(|| DlogTable::new(group(), 3_000_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn quantization_error_is_half_step(v in -10_000.0f64..10_000.0, scale in 1u32..10_000) {
+        let fp = FixedPoint::new(scale);
+        let err = (fp.roundtrip(v) - v).abs();
+        prop_assert!(err <= 0.5 / scale as f64 + 1e-9);
+    }
+
+    #[test]
+    fn product_decode_is_exact_for_quantized_inputs(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let fp = FixedPoint::TWO_DECIMALS;
+        let qa = fp.encode(a);
+        let qb = fp.encode(b);
+        let decoded = fp.decode_product(qa * qb);
+        let exact = fp.decode(qa) * fp.decode(qb);
+        prop_assert!((decoded - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_map_equals_serial_map(n in 0usize..64, threads in 1usize..8) {
+        let serial: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        let parallel = parallel_map(n, threads, |i| i * 3 + 1);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn secure_dot_equals_matmul(
+        seed in any::<u64>(),
+        n in 1usize..6,
+        m in 1usize..5,
+        k in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let auth = KeyAuthority::with_seed(group().clone(), PermittedFunctions::all(), seed);
+        let x = Matrix::from_fn(n, m, |r, c| ((seed as usize + r * 31 + c * 17) % 201) as i64 - 100);
+        let w = Matrix::from_fn(k, n, |r, c| ((seed as usize + r * 13 + c * 7) % 201) as i64 - 100);
+        let mpk = auth.feip_public_key(n);
+        let enc = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+        let keys = derive_dot_keys(&auth, &w).unwrap();
+        let z = secure_dot(&mpk, &enc, &keys, &w, table(), Parallelism::Serial).unwrap();
+        prop_assert_eq!(z, w.matmul(&x));
+    }
+
+    #[test]
+    fn secure_elementwise_equals_plaintext(
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        cols in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let auth = KeyAuthority::with_seed(group().clone(), PermittedFunctions::all(), seed);
+        let mpk = auth.febo_public_key();
+        let x = Matrix::from_fn(rows, cols, |r, c| ((seed as usize + r * 5 + c) % 1001) as i64 - 500);
+        let y = Matrix::from_fn(rows, cols, |r, c| ((seed as usize + r + c * 11) % 1001) as i64 - 500);
+        let enc = EncryptedMatrix::encrypt_elements(&x, &mpk, &mut rng).unwrap();
+        for op in [BasicOp::Add, BasicOp::Sub, BasicOp::Mul] {
+            let keys = derive_elementwise_keys(&auth, &enc, op, &y).unwrap();
+            let z = secure_elementwise(&mpk, &enc, &keys, op, &y, table(), Parallelism::Serial)
+                .unwrap();
+            prop_assert_eq!(z, x.zip_map(&y, |a, b| op.apply(a, b)));
+        }
+    }
+}

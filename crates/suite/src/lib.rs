@@ -1,0 +1,12 @@
+//! # cryptonn-suite
+//!
+//! Carrier crate for the repository-level `examples/` and `tests/`
+//! targets (Cargo requires example and integration-test files to belong
+//! to a package; this package exists solely to host them at the
+//! repository root, spanning every other crate in the workspace).
+//!
+//! Run the examples with, e.g.:
+//!
+//! ```sh
+//! cargo run --release -p cryptonn-suite --example quickstart
+//! ```

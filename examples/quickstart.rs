@@ -1,0 +1,86 @@
+//! Quickstart: the CryptoNN pipeline in one file.
+//!
+//! 1. An authority sets up the crypto parameters.
+//! 2. A client encrypts a feature vector under FEIP and a value under
+//!    FEBO.
+//! 3. The server obtains function keys and computes over the
+//!    ciphertexts — learning only the function outputs.
+//! 4. A tiny CryptoNN model trains over an encrypted batch.
+//!
+//! Run with: `cargo run --release -p cryptonn-suite --example quickstart`
+
+use cryptonn_core::{Client, CryptoMlp, CryptoNnConfig};
+use cryptonn_fe::{febo, feip, BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup};
+use cryptonn_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Authority setup -------------------------------------------
+    let config = CryptoNnConfig::fast(); // 64-bit demo group; use `paper()` for 256-bit
+    let group = SchnorrGroup::precomputed(config.level);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 2019);
+    println!("group: {}-bit safe prime p = {}", group.modulus().bit_len(), group.modulus());
+
+    // --- 2. Client-side encryption ------------------------------------
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = [3i64, -1, 4, 1, 5];
+    let feip_mpk = authority.feip_public_key(x.len());
+    let ct_vec = feip::encrypt(&feip_mpk, &x, &mut rng)?;
+
+    let secret = 42i64;
+    let febo_mpk = authority.febo_public_key();
+    let ct_val = febo::encrypt(&febo_mpk, secret, &mut rng);
+    println!("client encrypted x = {x:?} (FEIP) and {secret} (FEBO)");
+
+    // --- 3. Server-side secure computation ----------------------------
+    let table = DlogTable::new(&group, 100_000);
+
+    // Inner product <x, w> without seeing x.
+    let w = [2i64, 7, 1, 8, 2];
+    let sk = authority.derive_ip_key(w.len(), &w)?;
+    let ip = feip::decrypt(&feip_mpk, &ct_vec, &sk, &w, &table)?;
+    println!("server computed <x, w> = {ip} (expected {})", 3 * 2 - 7 + 4 + 8 + 10);
+
+    // Basic arithmetic on the encrypted value.
+    for (op, y) in [(BasicOp::Add, 8), (BasicOp::Sub, 50), (BasicOp::Mul, -3), (BasicOp::Div, 6)] {
+        let sk = authority.derive_bo_key(ct_val.commitment(), op, y)?;
+        let z = febo::decrypt(&febo_mpk, &sk, &ct_val, op, y, &table)?;
+        println!("server computed {secret} {op} {y} = {z}");
+    }
+
+    // --- 4. Encrypted training ----------------------------------------
+    // A 2-feature binary task: the server never sees the plaintext batch.
+    let x = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2], &[0.1, 0.9], &[0.2, 0.8]]);
+    let y = Matrix::from_rows(&[&[1.0], &[1.0], &[0.0], &[0.0]]);
+    let mut client = Client::for_mlp(&authority, 2, 1, config.fp, 3);
+    let batch = client.encrypt_batch(&x, &y)?;
+
+    let mut model_rng = StdRng::seed_from_u64(4);
+    let mut model = CryptoMlp::binary(2, &[4], config, &mut model_rng);
+    for epoch in 0..40 {
+        let step = model.train_encrypted_batch(&authority, &batch, 2.0)?;
+        if epoch % 10 == 0 {
+            println!("encrypted training epoch {epoch:>2}: loss = {:.4}", step.loss);
+        }
+    }
+    let pred = model.predict_plain(&x);
+    println!(
+        "predictions after encrypted training: {:.2} {:.2} {:.2} {:.2} (want 1 1 0 0)",
+        pred[(0, 0)],
+        pred[(1, 0)],
+        pred[(2, 0)],
+        pred[(3, 0)]
+    );
+
+    let log = authority.comm_log();
+    println!(
+        "authority served {} dot-product and {} element-wise key requests ({} B in, {} B out)",
+        log.ip_requests,
+        log.bo_requests,
+        log.bytes_received(),
+        log.bytes_sent()
+    );
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the secure computation layer (Algorithms 1 & 3):
+//! encrypted results must equal plaintext reference computations across
+//! shapes, operations and parallelism policies.
+
+use cryptonn_fe::{BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use cryptonn_matrix::{conv2d_naive, ConvSpec, Matrix, Tensor4};
+use cryptonn_smc::{
+    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, encrypt_windows,
+    secure_compute, secure_convolution, secure_dot, secure_elementwise, EncryptedMatrix,
+    FixedPoint, Parallelism, SecureFunction,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn fixture(seed: u64) -> (KeyAuthority, DlogTable, StdRng) {
+    let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), seed);
+    let table = DlogTable::new(&group, 4_000_000);
+    (authority, table, StdRng::seed_from_u64(seed ^ 0xabcd))
+}
+
+#[test]
+fn dot_products_match_matmul_across_shapes() {
+    let (authority, table, mut rng) = fixture(1);
+    for (k, n, m) in [(1, 1, 1), (1, 8, 4), (5, 3, 7), (4, 16, 2), (3, 10, 10)] {
+        let x = Matrix::from_fn(n, m, |_, _| rng.random_range(-40i64..=40));
+        let w = Matrix::from_fn(k, n, |_, _| rng.random_range(-40i64..=40));
+        let mpk = authority.feip_public_key(n);
+        let enc = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+        let keys = derive_dot_keys(&authority, &w).unwrap();
+        let z = secure_dot(&mpk, &enc, &keys, &w, &table, Parallelism::Threads(3)).unwrap();
+        assert_eq!(z, w.matmul(&x), "shape k={k} n={n} m={m}");
+    }
+}
+
+#[test]
+fn elementwise_matches_reference_for_every_op_and_parallelism() {
+    let (authority, table, mut rng) = fixture(2);
+    let febo_mpk = authority.febo_public_key();
+    let y = Matrix::from_fn(4, 5, |i, j| {
+        let v = ((i * 5 + j) % 6 + 1) as i64;
+        if (i + j) % 2 == 0 {
+            v
+        } else {
+            -v
+        }
+    });
+    let q = Matrix::from_fn(4, 5, |_, _| rng.random_range(-25i64..=25));
+    let x = q.hadamard(&y); // divisible by construction
+
+    let enc = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+    for op in BasicOp::ALL {
+        for par in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let keys = derive_elementwise_keys(&authority, &enc, op, &y).unwrap();
+            let z = secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, par).unwrap();
+            assert_eq!(z, x.zip_map(&y, |a, b| op.apply(a, b)), "op {op} par {par:?}");
+        }
+    }
+}
+
+#[test]
+fn facade_rejects_unpermitted_functions() {
+    let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+    let authority =
+        KeyAuthority::with_seed(group.clone(), PermittedFunctions::cryptonn_training(), 3);
+    let table = DlogTable::new(&group, 1_000);
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Matrix::from_fn(2, 2, |_, _| 1i64);
+    let feip_mpk = authority.feip_public_key(2);
+    let febo_mpk = authority.febo_public_key();
+    let enc = EncryptedMatrix::encrypt_full(&x, &feip_mpk, &febo_mpk, &mut rng).unwrap();
+
+    // Mul is outside the training permitted set.
+    let err = secure_compute(
+        &authority,
+        &feip_mpk,
+        &febo_mpk,
+        &enc,
+        SecureFunction::Elementwise(BasicOp::Mul),
+        &x,
+        &table,
+        Parallelism::Serial,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        cryptonn_smc::SmcError::Fe(cryptonn_fe::FeError::FunctionNotPermitted("*"))
+    ));
+
+    // Dot-product is inside.
+    let ok = secure_compute(
+        &authority,
+        &feip_mpk,
+        &febo_mpk,
+        &enc,
+        SecureFunction::DotProduct,
+        &x,
+        &table,
+        Parallelism::Serial,
+    );
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn secure_convolution_matches_reference_over_fig2_geometry() {
+    // The paper's Fig. 2: 5×5 image, padding 1, 3×3 filter, stride 2.
+    let (authority, table, mut rng) = fixture(5);
+    let fp = FixedPoint::ONE_DECIMAL;
+    let spec = ConvSpec::square(3, 2, 1);
+    let images = Tensor4::from_vec(
+        3,
+        1,
+        5,
+        5,
+        (0..75).map(|_| rng.random_range(0.0..1.0)).collect(),
+    );
+    let filters_f = Matrix::from_fn(4, 9, |r, c| ((r + c * 3) % 11) as f64 / 10.0 - 0.5);
+    let filters_q = fp.encode_matrix(&filters_f);
+
+    let mpk = authority.feip_public_key(9);
+    let enc = encrypt_windows(&images, &spec, fp, &mpk, &mut rng).unwrap();
+    let keys = derive_filter_keys(&authority, &filters_q).unwrap();
+    let out =
+        secure_convolution(&mpk, &enc, &keys, &filters_q, &table, Parallelism::Threads(4))
+            .unwrap();
+
+    let images_q = images.map(|v| fp.encode(v) as f64);
+    let reference = conv2d_naive(&images_q, &filters_q.map(|v| v as f64), &[0.0; 4], &spec);
+    assert!(Tensor4::from_flat(&out.map(|v| v as f64), 4, 3, 3).approx_eq(&reference, 1e-9));
+}
+
+#[test]
+fn quantized_secure_dot_approximates_float_matmul() {
+    // End-to-end fixed-point: float data → quantize → encrypt → secure
+    // dot → decode ≈ float matmul within quantization error.
+    let (authority, table, mut rng) = fixture(6);
+    let fp = FixedPoint::TWO_DECIMALS;
+    let xf = Matrix::from_fn(6, 4, |_, _| rng.random_range(-1.0..1.0));
+    let wf = Matrix::from_fn(3, 6, |_, _| rng.random_range(-1.0..1.0));
+
+    let xq = fp.encode_matrix(&xf);
+    let wq = fp.encode_matrix(&wf);
+    let mpk = authority.feip_public_key(6);
+    let enc = EncryptedMatrix::encrypt_columns(&xq, &mpk, &mut rng).unwrap();
+    let keys = derive_dot_keys(&authority, &wq).unwrap();
+    let zq = secure_dot(&mpk, &enc, &keys, &wq, &table, Parallelism::Serial).unwrap();
+    let z = fp.decode_product_matrix(&zq);
+
+    let exact = wf.matmul(&xf);
+    // Error per entry ≤ 6 terms × (2 × 0.005 + 0.005²) ≈ 0.07.
+    assert!(z.approx_eq(&exact, 0.08), "distance {}", z.distance(&exact));
+}
+
+#[test]
+fn parallel_and_serial_agree_bit_for_bit() {
+    let (authority, table, mut rng) = fixture(7);
+    let x = Matrix::from_fn(8, 8, |_, _| rng.random_range(-30i64..=30));
+    let w = Matrix::from_fn(8, 8, |_, _| rng.random_range(-30i64..=30));
+    let mpk = authority.feip_public_key(8);
+    let enc = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
+    let keys = derive_dot_keys(&authority, &w).unwrap();
+    let serial = secure_dot(&mpk, &enc, &keys, &w, &table, Parallelism::Serial).unwrap();
+    let parallel = secure_dot(&mpk, &enc, &keys, &w, &table, Parallelism::available()).unwrap();
+    assert_eq!(serial, parallel);
+}
