@@ -6,15 +6,22 @@
 //! - `ablation_bsgs_reuse`: reusing a precomputed BSGS table vs
 //!   rebuilding per decryption.
 //! - `ablation_threads`: decryption throughput vs thread count.
+//! - `ablation_exponentiation`: the Montgomery + fixed-base pipeline
+//!   (DESIGN.md §8) vs the pre-refactor generic exponentiation path,
+//!   at the paper's 256-bit setting. The refactor's acceptance bar is
+//!   ≥ 2× FEIP-encrypt throughput on `Bits256`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cryptonn_bench::{bench_rng, fixture, random_matrix, thread_counts};
-use cryptonn_fe::BasicOp;
-use cryptonn_group::{solve_dlog, DlogTable};
+use cryptonn_bigint::modular::{mod_mul, mod_pow_schoolbook};
+use cryptonn_bigint::U256;
+use cryptonn_fe::{feip, BasicOp, FeipPublicKey, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{solve_dlog, DlogTable, SchnorrGroup, SecurityLevel};
 use cryptonn_smc::{
-    derive_dot_keys, derive_elementwise_keys, secure_dot, secure_elementwise,
-    EncryptedMatrix, Parallelism,
+    derive_dot_keys, derive_elementwise_keys, secure_dot, secure_elementwise, EncryptedMatrix,
+    Parallelism,
 };
+use rand::rngs::StdRng;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -125,5 +132,83 @@ fn threads(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, dot_vs_febo, bsgs_reuse, threads);
+/// The pre-refactor FEIP `Encrypt`: generic 4-bit-window schoolbook
+/// exponentiation (one 512-bit Knuth division per product, no
+/// precomputed bases), exactly as `cryptonn_bigint::modular::mod_pow`
+/// and `SchnorrGroup::{exp, pow}` computed before the Montgomery
+/// refactor. The table bases double as the public `hᵢ` values.
+fn generic_feip_encrypt(mpk: &FeipPublicKey, x: &[i64], rng: &mut StdRng) -> (U256, Vec<U256>) {
+    let group = mpk.group();
+    let p = group.modulus();
+    let g = group.generator();
+    let r = group.random_scalar(rng);
+    let ct0 = mod_pow_schoolbook(g.value(), r.value(), p);
+    let cts = x
+        .iter()
+        .enumerate()
+        .map(|(i, &xi)| {
+            let hi = mpk.h_table(i).base();
+            let hr = mod_pow_schoolbook(hi, r.value(), p);
+            let gx = mod_pow_schoolbook(g.value(), group.scalar_from_i64(xi).value(), p);
+            mod_mul(&hr, &gx, p)
+        })
+        .collect();
+    (ct0, cts)
+}
+
+/// Generic schoolbook exponentiation vs the Montgomery + fixed-base
+/// pipeline, on FEIP `Encrypt` at the paper's `Bits256` setting (the
+/// perf-trajectory arm for the Montgomery refactor) and on the raw
+/// `g^e` primitive underneath it.
+fn exponentiation(c: &mut Criterion) {
+    // Fixed at Bits256 regardless of CRYPTONN_BENCH_FULL: the
+    // acceptance criterion is defined at the paper's setting.
+    let group = SchnorrGroup::precomputed(SecurityLevel::Bits256);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 604);
+    let dim = 16;
+    let mpk = authority.feip_public_key(dim);
+    let x: Vec<i64> = (0..dim as i64).map(|i| i * 37 - 300).collect();
+
+    let mut g = c.benchmark_group("ablation_exponentiation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("feip_encrypt_bits256/generic_schoolbook", |b| {
+        let mut rng = bench_rng(61);
+        b.iter(|| black_box(generic_feip_encrypt(&mpk, &x, &mut rng)));
+    });
+    g.bench_function("feip_encrypt_bits256/montgomery_fixed_base", |b| {
+        let mut rng = bench_rng(61);
+        b.iter(|| black_box(feip::encrypt(&mpk, &x, &mut rng).unwrap()));
+    });
+
+    // The raw primitive: one full-width g^e. The exponent rotates
+    // through a pool per iteration so the loop-invariant call cannot be
+    // hoisted out of the timing loop (black_box alone does not stop
+    // that here).
+    let mut rng = bench_rng(62);
+    let exps: Vec<_> = (0..16).map(|_| group.random_scalar(&mut rng)).collect();
+    g.bench_function("g_pow_e_bits256/generic_schoolbook", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exps.len();
+            black_box(mod_pow_schoolbook(
+                group.generator().value(),
+                exps[i].value(),
+                group.modulus(),
+            ))
+        });
+    });
+    g.bench_function("g_pow_e_bits256/fixed_base_table", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exps.len();
+            black_box(group.exp(&exps[i]))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dot_vs_febo, bsgs_reuse, threads, exponentiation);
 criterion_main!(benches);

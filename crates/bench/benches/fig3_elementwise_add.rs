@@ -11,9 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cryptonn_bench::{bench_rng, fixture, random_elements, sweep, ELEMENT_RANGES};
 use cryptonn_fe::BasicOp;
 use cryptonn_group::DlogTable;
-use cryptonn_smc::{
-    derive_elementwise_keys, secure_elementwise, EncryptedMatrix, Parallelism,
-};
+use cryptonn_smc::{derive_elementwise_keys, secure_elementwise, EncryptedMatrix, Parallelism};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -34,9 +32,7 @@ fn fig3(c: &mut Criterion) {
             enc.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
                 let mut rng = bench_rng(12);
                 b.iter(|| {
-                    black_box(
-                        EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap(),
-                    )
+                    black_box(EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap())
                 });
             });
         }
@@ -64,22 +60,21 @@ fn fig3(c: &mut Criterion) {
     }
     kd.finish();
 
-    for (panel, par) in
-        [("fig3c_secure_add_serial", Parallelism::Serial), ("fig3d_secure_add_parallel", Parallelism::available())]
-    {
+    for (panel, par) in [
+        ("fig3c_secure_add_serial", Parallelism::Serial),
+        ("fig3d_secure_add_parallel", Parallelism::available()),
+    ] {
         let mut g = c.benchmark_group(panel);
         g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+        g.measurement_time(Duration::from_secs(2));
+        g.warm_up_time(Duration::from_millis(500));
         for &k in &sizes {
             for (lo, hi, label) in ELEMENT_RANGES {
                 let x = random_elements(k, lo, hi, 16);
                 let y = random_elements(k, lo, hi, 17);
                 let mut rng = bench_rng(18);
-                let enc_x =
-                    EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
-                let keys =
-                    derive_elementwise_keys(&authority, &enc_x, BasicOp::Add, &y).unwrap();
+                let enc_x = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
+                let keys = derive_elementwise_keys(&authority, &enc_x, BasicOp::Add, &y).unwrap();
                 g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
                     b.iter(|| {
                         black_box(

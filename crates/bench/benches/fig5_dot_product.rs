@@ -36,9 +36,7 @@ fn fig5(c: &mut Criterion) {
             let mpk = authority.feip_public_key(l);
             enc.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
                 let mut rng = bench_rng(32);
-                b.iter(|| {
-                    black_box(EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap())
-                });
+                b.iter(|| black_box(EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap()));
             });
         }
     }
@@ -61,13 +59,14 @@ fn fig5(c: &mut Criterion) {
     }
     kd.finish();
 
-    for (panel, par) in
-        [("fig5c_secure_dot_serial", Parallelism::Serial), ("fig5d_secure_dot_parallel", Parallelism::available())]
-    {
+    for (panel, par) in [
+        ("fig5c_secure_dot_serial", Parallelism::Serial),
+        ("fig5d_secure_dot_parallel", Parallelism::available()),
+    ] {
         let mut g = c.benchmark_group(panel);
         g.sample_size(10);
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+        g.measurement_time(Duration::from_secs(2));
+        g.warm_up_time(Duration::from_millis(500));
         for &k in &counts {
             for (l, v, label) in CONFIGS {
                 // k total decryptions: 1 weight row × k encrypted columns.
@@ -78,11 +77,7 @@ fn fig5(c: &mut Criterion) {
                 let enc_x = EncryptedMatrix::encrypt_columns(&x, &mpk, &mut rng).unwrap();
                 let keys = derive_dot_keys(&authority, &w).unwrap();
                 g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            secure_dot(&mpk, &enc_x, &keys, &w, &table, par).unwrap(),
-                        )
-                    });
+                    b.iter(|| black_box(secure_dot(&mpk, &enc_x, &keys, &w, &table, par).unwrap()));
                 });
             }
         }

@@ -21,7 +21,10 @@ fn main() {
     let test = clinic_dataset(60, 72);
     let squash = |m: &Matrix<f64>| m.map(|v: f64| (v / 3.0).clamp(-1.0, 1.0));
 
-    println!("{:>8} {:>18} {:>16}", "scale", "final loss", "test accuracy");
+    println!(
+        "{:>8} {:>18} {:>16}",
+        "scale", "final loss", "test accuracy"
+    );
     for scale in [10u32, 100, 1000] {
         let config = CryptoNnConfig {
             level: cryptonn_bench::bench_level(),
@@ -39,7 +42,10 @@ fn main() {
             for (x, y) in train.batches(16) {
                 let y_bin = Matrix::from_fn(y.rows(), 1, |r, _| y[(r, 1)]);
                 let batch = client.encrypt_batch(&squash(&x), &y_bin).unwrap();
-                last_loss = model.train_encrypted_batch(&authority, &batch, 1.5).unwrap().loss;
+                last_loss = model
+                    .train_encrypted_batch(&authority, &batch, 1.5)
+                    .unwrap()
+                    .loss;
             }
         }
         let pred = model.predict_plain(&squash(test.images()));

@@ -17,7 +17,10 @@ fn main() {
     println!("COMMUNICATION OVERHEAD OF KEY GENERATION (paper §IV-B2)\n");
     println!("analytic model: per iteration the server sends k·n·|w| and receives k·|sk|");
     println!("with |w| = {WEIGHT_BYTES} B and |sk| = {KEY_BYTES} B\n");
-    println!("{:>6} {:>6} {:>14} {:>14}", "k", "n", "sent (B)", "received (B)");
+    println!(
+        "{:>6} {:>6} {:>14} {:>14}",
+        "k", "n", "sent (B)", "received (B)"
+    );
     for (k, n) in [(8usize, 16usize), (16, 64), (64, 256), (120, 784)] {
         println!(
             "{k:>6} {n:>6} {:>14} {:>14}",
@@ -29,7 +32,10 @@ fn main() {
     // Measured: one encrypted-training iteration of an 8-unit MLP on
     // 16-feature data (k = 8, n = 16).
     let (_, authority) = fixture(701);
-    let config = CryptoNnConfig { level: cryptonn_bench::bench_level(), ..CryptoNnConfig::fast() };
+    let config = CryptoNnConfig {
+        level: cryptonn_bench::bench_level(),
+        ..CryptoNnConfig::fast()
+    };
     let (k, n, m) = (8usize, 16usize, 4usize);
     let mut client = Client::for_mlp(&authority, n, 1, config.fp, 702);
     let mut rng = StdRng::seed_from_u64(703);
@@ -40,14 +46,21 @@ fn main() {
 
     // First iteration includes the one-time unit-key derivation for the
     // secure gradient; iterate twice and report the steady state.
-    model.train_encrypted_batch(&authority, &batch, 0.5).unwrap();
+    model
+        .train_encrypted_batch(&authority, &batch, 0.5)
+        .unwrap();
     authority.reset_comm_log();
-    model.train_encrypted_batch(&authority, &batch, 0.5).unwrap();
+    model
+        .train_encrypted_batch(&authority, &batch, 0.5)
+        .unwrap();
     let log = authority.comm_log();
 
     println!("\nmeasured (k = {k}, n = {n}, batch = {m}, steady-state iteration):");
     println!("  FEIP key requests: {}", log.ip_requests);
-    println!("  FEBO key requests: {} (secure P − Y evaluation, one per output cell)", log.bo_requests);
+    println!(
+        "  FEBO key requests: {} (secure P − Y evaluation, one per output cell)",
+        log.bo_requests
+    );
     println!("  bytes sent to authority:   {}", log.bytes_received());
     println!("  bytes received from authority: {}", log.bytes_sent());
     println!(

@@ -14,15 +14,18 @@ use cryptonn_bench::{
 use cryptonn_fe::BasicOp;
 use cryptonn_group::DlogTable;
 use cryptonn_smc::{
-    derive_dot_keys, derive_elementwise_keys, secure_dot, secure_elementwise,
-    EncryptedMatrix, Parallelism,
+    derive_dot_keys, derive_elementwise_keys, secure_dot, secure_elementwise, EncryptedMatrix,
+    Parallelism,
 };
 
 fn elementwise_report(op: BasicOp, figure: &str, sizes: &[usize], dlog_bound: u64) {
     let (group, authority) = fixture(801);
     let febo_mpk = authority.febo_public_key();
     let table = DlogTable::new(&group, dlog_bound);
-    println!("\n=== {figure}: element-wise {op} (group {} bits) ===", group.modulus().bit_len());
+    println!(
+        "\n=== {figure}: element-wise {op} (group {} bits) ===",
+        group.modulus().bit_len()
+    );
     println!(
         "{:>8} {:>14} {:>12} {:>12} {:>14} {:>14}",
         "k", "range", "enc (ms)", "keys (ms)", "serial (ms)", "parallel (ms)"
@@ -42,14 +45,22 @@ fn elementwise_report(op: BasicOp, figure: &str, sizes: &[usize], dlog_bound: u6
             let t_keys = t.elapsed();
 
             let t = Instant::now();
-            let z1 = secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, Parallelism::Serial)
-                .unwrap();
+            let z1 =
+                secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, Parallelism::Serial)
+                    .unwrap();
             let t_serial = t.elapsed();
 
             let t = Instant::now();
-            let z2 =
-                secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, Parallelism::available())
-                    .unwrap();
+            let z2 = secure_elementwise(
+                &febo_mpk,
+                &enc,
+                &keys,
+                op,
+                &y,
+                &table,
+                Parallelism::available(),
+            )
+            .unwrap();
             let t_parallel = t.elapsed();
             assert_eq!(z1, z2);
             assert_eq!(z1, x.zip_map(&y, |a, b| op.apply(a, b)));
@@ -68,15 +79,21 @@ fn elementwise_report(op: BasicOp, figure: &str, sizes: &[usize], dlog_bound: u6
 fn dot_report(counts: &[usize]) {
     let (group, authority) = fixture(802);
     let table = DlogTable::new(&group, 1_100_000);
-    println!("\n=== Fig. 5: secure dot-product (group {} bits) ===", group.modulus().bit_len());
+    println!(
+        "\n=== Fig. 5: secure dot-product (group {} bits) ===",
+        group.modulus().bit_len()
+    );
     println!(
         "{:>8} {:>16} {:>12} {:>12} {:>14} {:>14}",
         "k", "config", "enc (ms)", "keys (ms)", "serial (ms)", "parallel (ms)"
     );
     for &k in counts {
-        for (l, v, label) in
-            [(10usize, 10i64, "l=10,v=[1,10]"), (10, 100, "l=10,v=[1,100]"), (100, 10, "l=100,v=[1,10]"), (100, 100, "l=100,v=[1,100]")]
-        {
+        for (l, v, label) in [
+            (10usize, 10i64, "l=10,v=[1,10]"),
+            (10, 100, "l=10,v=[1,100]"),
+            (100, 10, "l=100,v=[1,10]"),
+            (100, 100, "l=100,v=[1,100]"),
+        ] {
             let x = random_matrix(l, k, 1, v, 64);
             let w = random_matrix(1, l, 1, v, 65);
             let mpk = authority.feip_public_key(l);
@@ -112,7 +129,10 @@ fn dot_report(counts: &[usize]) {
 }
 
 fn main() {
-    let sizes_add = sweep(&[256usize, 512, 1024], &[2_000, 4_000, 6_000, 8_000, 10_000]);
+    let sizes_add = sweep(
+        &[256usize, 512, 1024],
+        &[2_000, 4_000, 6_000, 8_000, 10_000],
+    );
     let sizes_mul = sweep(&[128usize, 256, 512], &[2_000, 4_000, 6_000, 8_000, 10_000]);
     let counts = sweep(&[16usize, 32, 64], &[2_000, 4_000, 6_000, 8_000, 10_000]);
 

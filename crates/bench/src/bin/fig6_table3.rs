@@ -36,13 +36,38 @@ struct Scale {
 
 fn main() {
     let scale = if full_scale() {
-        Scale { classes: 10, img: 28, train: 6_000, test: 1_000, batch: 64, epochs: 2, bucket: 50, lr: 0.3 }
+        Scale {
+            classes: 10,
+            img: 28,
+            train: 6_000,
+            test: 1_000,
+            batch: 64,
+            epochs: 2,
+            bucket: 50,
+            lr: 0.3,
+        }
     } else {
-        Scale { classes: 4, img: 14, train: 320, test: 80, batch: 8, epochs: 2, bucket: 5, lr: 0.3 }
+        Scale {
+            classes: 4,
+            img: 14,
+            train: 320,
+            test: 80,
+            batch: 8,
+            epochs: 2,
+            bucket: 5,
+            lr: 0.3,
+        }
     };
-    let digit_config = if full_scale() { DigitConfig::mnist_like() } else { DigitConfig::small() };
+    let digit_config = if full_scale() {
+        DigitConfig::mnist_like()
+    } else {
+        DigitConfig::small()
+    };
 
-    let config = CryptoNnConfig { level: cryptonn_bench::bench_level(), ..CryptoNnConfig::fast() };
+    let config = CryptoNnConfig {
+        level: cryptonn_bench::bench_level(),
+        ..CryptoNnConfig::fast()
+    };
     let group = SchnorrGroup::precomputed(config.level);
     let authority = KeyAuthority::with_seed(group, PermittedFunctions::all(), 901);
 
@@ -50,8 +75,10 @@ fn main() {
     let train_all = synthetic_digits(scale.train * 10 / scale.classes.min(10), digit_config, 902);
     let test_all = synthetic_digits(scale.test * 10 / scale.classes.min(10), digit_config, 903);
     let filter = |d: &cryptonn_data::Dataset, n: usize| -> (Matrix<f64>, Vec<usize>) {
-        let idx: Vec<usize> =
-            (0..d.len()).filter(|&i| d.labels()[i] < scale.classes).take(n).collect();
+        let idx: Vec<usize> = (0..d.len())
+            .filter(|&i| d.labels()[i] < scale.classes)
+            .take(n)
+            .collect();
         let images = Matrix::from_fn(idx.len(), d.feature_dim(), |r, c| d.images()[(idx[r], c)]);
         let labels = idx.iter().map(|&i| d.labels()[i]).collect();
         (images, labels)
@@ -67,7 +94,10 @@ fn main() {
     let mut rng_a = StdRng::seed_from_u64(904);
     let mut rng_b = StdRng::seed_from_u64(904);
     let (mut crypto, mut plain) = if full_scale() {
-        (CryptoCnn::lenet5(config, &mut rng_a), CryptoCnn::lenet5(config, &mut rng_b))
+        (
+            CryptoCnn::lenet5(config, &mut rng_a),
+            CryptoCnn::lenet5(config, &mut rng_b),
+        )
     } else {
         (
             CryptoCnn::lenet_small(config, scale.classes, &mut rng_a),
@@ -75,7 +105,8 @@ fn main() {
         )
     };
     let spec = crypto.conv_spec();
-    let mut client = Client::for_cnn(&authority, &spec, 1, scale.classes, config.fp, 905);
+    let mut client = Client::for_cnn(&authority, &spec, 1, scale.classes, config.fp, 905)
+        .with_parallelism(config.parallelism);
 
     let y_test = one_hot(&test_y, scale.classes);
     let mut fig6: Vec<(usize, f64, f64)> = Vec::new();
@@ -96,7 +127,9 @@ fn main() {
 
             let t = Instant::now();
             let batch = client.encrypt_image_batch(&images, &y, &spec).unwrap();
-            let step_c = crypto.train_encrypted_batch(&authority, &batch, scale.lr).unwrap();
+            let step_c = crypto
+                .train_encrypted_batch(&authority, &batch, scale.lr)
+                .unwrap();
             t_crypto += t.elapsed();
 
             let t = Instant::now();
@@ -108,7 +141,11 @@ fn main() {
             in_bucket += 1;
             iteration += 1;
             if in_bucket == scale.bucket {
-                fig6.push((iteration, acc_c / in_bucket as f64, acc_p / in_bucket as f64));
+                fig6.push((
+                    iteration,
+                    acc_c / in_bucket as f64,
+                    acc_p / in_bucket as f64,
+                ));
                 acc_c = 0.0;
                 acc_p = 0.0;
                 in_bucket = 0;
@@ -121,29 +158,55 @@ fn main() {
         table3.push((epoch + 1, acc_crypto, acc_plain));
         println!(
             "epoch {} done: test acc CryptoCNN {:.4}, LeNet {:.4}",
-            epoch + 1, acc_crypto, acc_plain
+            epoch + 1,
+            acc_crypto,
+            acc_plain
         );
     }
     if in_bucket > 0 {
-        fig6.push((iteration, acc_c / in_bucket as f64, acc_p / in_bucket as f64));
+        fig6.push((
+            iteration,
+            acc_c / in_bucket as f64,
+            acc_p / in_bucket as f64,
+        ));
     }
 
-    println!("\n=== Fig. 6: average batch accuracy per {}-iteration bucket ===", scale.bucket);
-    println!("{:>10} {:>16} {:>16}", "iteration", "CryptoCNN", "LeNet (plain)");
+    println!(
+        "\n=== Fig. 6: average batch accuracy per {}-iteration bucket ===",
+        scale.bucket
+    );
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "iteration", "CryptoCNN", "LeNet (plain)"
+    );
     for (it, c, p) in &fig6 {
         println!("{it:>10} {c:>16.4} {p:>16.4}");
     }
 
     println!("\n=== Table III: accuracy and training time ===");
-    println!("{:<12} {:>14} {:>14} {:>16}", "model", "epoch 1 (acc)", "epoch 2 (acc)", "training time");
-    let get = |arm: usize, e: usize| table3.get(e).map(|r| if arm == 0 { r.1 } else { r.2 }).unwrap_or(f64::NAN);
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "model", "epoch 1 (acc)", "epoch 2 (acc)", "training time"
+    );
+    let get = |arm: usize, e: usize| {
+        table3
+            .get(e)
+            .map(|r| if arm == 0 { r.1 } else { r.2 })
+            .unwrap_or(f64::NAN)
+    };
     println!(
         "{:<12} {:>13.2}% {:>13.2}% {:>16}",
-        "LeNet-5", 100.0 * get(1, 0), 100.0 * get(1, 1), format!("{:.1?}", t_plain)
+        "LeNet-5",
+        100.0 * get(1, 0),
+        100.0 * get(1, 1),
+        format!("{:.1?}", t_plain)
     );
     println!(
         "{:<12} {:>13.2}% {:>13.2}% {:>16}",
-        "CryptoCNN", 100.0 * get(0, 0), 100.0 * get(0, 1), format!("{:.1?}", t_crypto)
+        "CryptoCNN",
+        100.0 * get(0, 0),
+        100.0 * get(0, 1),
+        format!("{:.1?}", t_crypto)
     );
     println!(
         "\npaper (256-bit group, 60k MNIST): LeNet-5 93.04%/95.48% in 4h;\n\

@@ -6,18 +6,74 @@ fn main() {
     println!("TABLE I: COMPARISON OF PRIVACY-PRESERVING APPROACHES IN ML MODELS");
     println!("(reproduced from the paper; ● = yes, ○ = no; privacy: ◐ mild, ● strong)\n");
     let rows = [
-        ("Mirhoseini et al. [4]", "●", "●", "◐", "General", "Delegation"),
-        ("Shokri & Shmatikov [7]", "●", "○", "◐", "Deep Learning", "Distributed"),
-        ("Abadi et al. [8]", "●", "○", "◐", "Deep Learning", "Differential Privacy"),
-        ("SecureML [6]", "●", "●", "◑", "General", "Secure Protocol (SMC)"),
-        ("DeepSecure [5]", "●", "●", "◑", "Deep Learning", "Garbled Circuits"),
-        ("CryptoNets [3] et al.", "○", "●", "●", "Covers All", "Homomorphic Encryption"),
-        ("Bost et al. [2]", "●", "●", "●", "Limited ML", "HE + Secure Protocol"),
-        ("CryptoNN (this repo)", "●", "●", "●", "Neural Networks", "Functional Encryption"),
+        (
+            "Mirhoseini et al. [4]",
+            "●",
+            "●",
+            "◐",
+            "General",
+            "Delegation",
+        ),
+        (
+            "Shokri & Shmatikov [7]",
+            "●",
+            "○",
+            "◐",
+            "Deep Learning",
+            "Distributed",
+        ),
+        (
+            "Abadi et al. [8]",
+            "●",
+            "○",
+            "◐",
+            "Deep Learning",
+            "Differential Privacy",
+        ),
+        (
+            "SecureML [6]",
+            "●",
+            "●",
+            "◑",
+            "General",
+            "Secure Protocol (SMC)",
+        ),
+        (
+            "DeepSecure [5]",
+            "●",
+            "●",
+            "◑",
+            "Deep Learning",
+            "Garbled Circuits",
+        ),
+        (
+            "CryptoNets [3] et al.",
+            "○",
+            "●",
+            "●",
+            "Covers All",
+            "Homomorphic Encryption",
+        ),
+        (
+            "Bost et al. [2]",
+            "●",
+            "●",
+            "●",
+            "Limited ML",
+            "HE + Secure Protocol",
+        ),
+        (
+            "CryptoNN (this repo)",
+            "●",
+            "●",
+            "●",
+            "Neural Networks",
+            "Functional Encryption",
+        ),
     ];
     println!(
-        "{:<24} {:^8} {:^10} {:^8} {:<16} {}",
-        "Proposed Work", "Training", "Prediction", "Privacy", "ML Model", "Approach"
+        "{:<24} {:^8} {:^10} {:^8} {:<16} Approach",
+        "Proposed Work", "Training", "Prediction", "Privacy", "ML Model"
     );
     println!("{}", "-".repeat(96));
     for (work, train, pred, priv_, model, approach) in rows {

@@ -74,7 +74,9 @@ pub fn bench_rng(seed: u64) -> StdRng {
 
 /// Thread counts for parallel-arm sweeps, capped at the machine size.
 pub fn thread_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut counts = vec![1, 2, 4, 8, 16];
     counts.retain(|&c| c <= max);
     counts
@@ -99,7 +101,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(random_elements(5, -10, 10, 1), random_elements(5, -10, 10, 1));
+        assert_eq!(
+            random_elements(5, -10, 10, 1),
+            random_elements(5, -10, 10, 1)
+        );
         let m = random_matrix(3, 4, -5, 5, 2);
         assert!(m.as_slice().iter().all(|v| (-5..=5).contains(v)));
     }

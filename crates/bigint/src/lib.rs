@@ -9,6 +9,9 @@
 //! - [`U256`] / [`U512`]: fixed-width unsigned integers with full
 //!   arithmetic (Knuth Algorithm D division, widening multiplication),
 //! - [`modular`]: modular add/sub/mul/pow/inverse over 256-bit moduli,
+//! - [`montgomery`]: a reusable Montgomery reduction context (CIOS
+//!   multiplication) that backs [`modular::mod_pow`] for odd moduli and
+//!   the group layer's fixed-base exponentiation tables,
 //! - [`prime`]: Miller–Rabin primality testing and (safe-)prime
 //!   generation for `GroupGen(1^λ)`.
 //!
@@ -25,7 +28,9 @@
 
 pub mod limbs;
 pub mod modular;
+pub mod montgomery;
 pub mod prime;
 mod uint;
 
+pub use montgomery::Montgomery;
 pub use uint::{ParseUintError, U256, U512};

@@ -22,7 +22,9 @@ pub const fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
 /// borrow out (0 or 1).
 #[inline(always)]
 pub const fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
-    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (t as Limb, ((t >> LIMB_BITS) as Limb) & 1)
 }
 
@@ -184,7 +186,10 @@ pub fn div_rem_into(u: &[Limb], v: &[Limb], q: &mut [Limb], r: &mut [Limb]) {
     let n = significant_limbs(v);
     assert!(n > 0, "division by zero");
     let m = significant_limbs(u);
-    assert!(u.len() < MAX_DIV_LIMBS, "dividend too large for div_rem_into");
+    assert!(
+        u.len() < MAX_DIV_LIMBS,
+        "dividend too large for div_rem_into"
+    );
     assert!(q.len() >= m.max(1), "quotient buffer too small");
     assert!(r.len() >= n, "remainder buffer too small");
     q.fill(0);
@@ -227,8 +232,7 @@ pub fn div_rem_into(u: &[Limb], v: &[Limb], q: &mut [Limb], r: &mut [Limb]) {
 
         // Correct q̂ down at most twice.
         while qhat >> 64 != 0
-            || (qhat as u64 as u128) * (vn[n - 2] as u128)
-                > ((rhat << 64) | un[j + n - 2] as u128)
+            || (qhat as u64 as u128) * (vn[n - 2] as u128) > ((rhat << 64) | un[j + n - 2] as u128)
         {
             qhat -= 1;
             rhat += den;
@@ -319,7 +323,10 @@ mod tests {
 
         // (2^64 - 1)^2 = 2^128 - 2^65 + 1
         mul_into(&[u64::MAX], &[u64::MAX], &mut out[..2]);
-        assert_eq!(to_u128(&out[..2]), (u128::from(u64::MAX)) * (u128::from(u64::MAX)));
+        assert_eq!(
+            to_u128(&out[..2]),
+            (u128::from(u64::MAX)) * (u128::from(u64::MAX))
+        );
     }
 
     #[test]

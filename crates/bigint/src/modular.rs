@@ -59,12 +59,45 @@ pub fn mod_mul(a: &U256, b: &U256, m: &U256) -> U256 {
     a.widening_mul(b).rem_u256(m)
 }
 
-/// `(a^exp) mod m` by square-and-multiply (left-to-right, 4-bit window).
+/// `(a^exp) mod m`.
+///
+/// Odd moduli (every prime modulus in this workspace) take the
+/// Montgomery-form path: a [`Montgomery`](crate::montgomery::Montgomery)
+/// context is built once and the whole exponentiation runs on CIOS
+/// products, replacing one 512-bit Knuth division per multiply with two
+/// 256-bit multiplies. Even moduli fall back to
+/// [`mod_pow_schoolbook`]. Both paths are bit-identical (see the
+/// equivalence property tests).
+///
+/// Callers that exponentiate repeatedly against one modulus should
+/// build and reuse a [`Montgomery`](crate::montgomery::Montgomery)
+/// context (or a fixed-base table in the group layer) instead of
+/// calling this in a loop — the context construction is amortized here
+/// over only a single exponentiation.
 ///
 /// # Panics
 ///
 /// Panics if `m` is zero. `m == 1` yields 0.
 pub fn mod_pow(base: &U256, exp: &U256, m: &U256) -> U256 {
+    assert!(!m.is_zero(), "zero modulus");
+    match crate::montgomery::Montgomery::new(m) {
+        Some(ctx) => ctx.pow(base, exp),
+        None => mod_pow_schoolbook(base, exp, m),
+    }
+}
+
+/// `(a^exp) mod m` by schoolbook square-and-multiply (left-to-right,
+/// 4-bit window) with a full division-based reduction per product.
+///
+/// This is the pre-Montgomery generic path, kept for even moduli and as
+/// the reference implementation the Montgomery path is property-tested
+/// against (and benchmarked against in `cryptonn-bench`'s
+/// `ablation_exponentiation`).
+///
+/// # Panics
+///
+/// Panics if `m` is zero. `m == 1` yields 0.
+pub fn mod_pow_schoolbook(base: &U256, exp: &U256, m: &U256) -> U256 {
     assert!(!m.is_zero(), "zero modulus");
     if m == &U256::ONE {
         return U256::ZERO;
@@ -244,10 +277,8 @@ mod tests {
     #[test]
     fn fermat_little_theorem_256bit() {
         // p = 2^255 - 19 is prime; a^(p-1) ≡ 1 (mod p).
-        let p = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .unwrap();
+        let p = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .unwrap();
         let pm1 = p.wrapping_sub(&U256::ONE);
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..4 {
@@ -282,10 +313,8 @@ mod tests {
 
     #[test]
     fn inverse_256bit_prime() {
-        let p = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .unwrap();
+        let p = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(15);
         for _ in 0..8 {
             let a = U256::random_below(&mut rng, &p);

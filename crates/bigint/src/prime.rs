@@ -14,9 +14,9 @@ use crate::uint::U256;
 /// Miller–Rabin.
 const SMALL_PRIMES: [u64; 64] = [
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
-    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
-    293, 307, 311, 313,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311, 313,
 ];
 
 /// Number of Miller–Rabin rounds; 40 random bases gives an error bound of
@@ -190,10 +190,8 @@ mod tests {
         // 2^61 - 1 (Mersenne), 2^89 - 1 (Mersenne), 2^255 - 19.
         let m61 = U256::from_u64((1u64 << 61) - 1);
         let m89 = U256::from_u128((1u128 << 89) - 1);
-        let ed = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .unwrap();
+        let ed = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .unwrap();
         assert!(is_prime(&m61, &mut rng));
         assert!(is_prime(&m89, &mut rng));
         assert!(is_prime(&ed, &mut rng));

@@ -588,10 +588,9 @@ mod tests {
         let b = U256::from_u128(u128::MAX);
         let wide = a.widening_mul(&b);
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
-        let expect = U512::from_hex(
-            "fffffffffffffffffffffffffffffffe00000000000000000000000000000001",
-        )
-        .unwrap();
+        let expect =
+            U512::from_hex("fffffffffffffffffffffffffffffffe00000000000000000000000000000001")
+                .unwrap();
         assert_eq!(wide, expect);
     }
 
@@ -614,7 +613,7 @@ mod tests {
     #[test]
     fn shifts() {
         let v = U256::from_u64(1);
-        assert_eq!(v.shl(255).bit(255), true);
+        assert!(v.shl(255).bit(255));
         assert_eq!(v.shl(256), U256::ZERO);
         assert_eq!(v.shl(64).low_u64(), 0);
         assert_eq!(v.shl(64).as_limbs()[1], 1);
@@ -638,7 +637,10 @@ mod tests {
     #[test]
     fn rem_u64_small() {
         let v = U256::from_u128(12345678901234567890123456789);
-        assert_eq!(v.rem_u64(97), (12345678901234567890123456789u128 % 97) as u64);
+        assert_eq!(
+            v.rem_u64(97),
+            (12345678901234567890123456789u128 % 97) as u64
+        );
     }
 
     #[test]

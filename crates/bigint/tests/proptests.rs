@@ -174,3 +174,88 @@ fn random_primes_are_odd_and_sized() {
     assert!(p.is_odd());
     assert_eq!(p.bit_len(), 80);
 }
+
+/// The `(p, q)` safe-prime pairs embedded in `cryptonn-group` for each
+/// `SecurityLevel` (duplicated here because a dev-dependency on the
+/// group crate would be cyclic). The Montgomery/schoolbook equivalence
+/// below must hold at exactly these production moduli.
+const LEVEL_PARAMS: &[(&str, &str, &str)] = &[
+    ("Bits32", "85a1545f", "42d0aa2f"),
+    ("Bits64", "e1946b58700bae4f", "70ca35ac3805d727"),
+    (
+        "Bits128",
+        "e8a60f34154b07019e29019fd53661e7",
+        "7453079a0aa58380cf1480cfea9b30f3",
+    ),
+    (
+        "Bits192",
+        "cae643bc62df98dce86d1a300a4f8dc41916bd5ee88ba403",
+        "657321de316fcc6e74368d180527c6e20c8b5eaf7445d201",
+    ),
+    (
+        "Bits224",
+        "f1fcd972befe655dea418894ba5e896515c2f7f09dee7ecd12512353",
+        "78fe6cb95f7f32aef520c44a5d2f44b28ae17bf84ef73f66892891a9",
+    ),
+    (
+        "Bits256",
+        "a504130456d8cce0af73fd190c683b02148b6371a703ba4bac786a772db736af",
+        "528209822b6c667057b9fe8c86341d810a45b1b8d381dd25d63c353b96db9b57",
+    ),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Montgomery `mod_mul` is bit-identical to the schoolbook
+    /// (widening-multiply + Knuth-division) product at every embedded
+    /// security level's `p` and `q`.
+    #[test]
+    fn montgomery_mod_mul_equals_schoolbook_at_all_levels(a in u256(), b in u256()) {
+        for (level, p_hex, q_hex) in LEVEL_PARAMS {
+            for m_hex in [p_hex, q_hex] {
+                let m = U256::from_hex(m_hex).unwrap();
+                let ctx = cryptonn_bigint::Montgomery::new(&m).unwrap();
+                let (ar, br) = (a.rem(&m), b.rem(&m));
+                prop_assert_eq!(
+                    ctx.mod_mul(&ar, &br),
+                    modular::mod_mul(&ar, &br, &m),
+                    "level {} modulus {}", level, m
+                );
+            }
+        }
+    }
+
+    /// `mod_pow` (Montgomery path) is bit-identical to
+    /// `mod_pow_schoolbook` at every embedded security level.
+    #[test]
+    fn montgomery_mod_pow_equals_schoolbook_at_all_levels(base in u256(), exp in u256()) {
+        for (level, p_hex, q_hex) in LEVEL_PARAMS {
+            for m_hex in [p_hex, q_hex] {
+                let m = U256::from_hex(m_hex).unwrap();
+                prop_assert_eq!(
+                    modular::mod_pow(&base, &exp, &m),
+                    modular::mod_pow_schoolbook(&base, &exp, &m),
+                    "level {} modulus {}", level, m
+                );
+            }
+        }
+    }
+
+    /// The two paths also agree on arbitrary odd moduli (the fallback
+    /// boundary itself: even moduli take the schoolbook path inside
+    /// `mod_pow`, so both calls degenerate to the same code there).
+    #[test]
+    fn montgomery_mod_pow_equals_schoolbook_random_moduli(
+        base in u256(),
+        exp in u256(),
+        m in u256(),
+    ) {
+        prop_assume!(m > U256::ONE);
+        prop_assert_eq!(
+            modular::mod_pow(&base, &exp, &m),
+            modular::mod_pow_schoolbook(&base, &exp, &m),
+            "modulus {}", m
+        );
+    }
+}

@@ -8,7 +8,9 @@
 
 use cryptonn_fe::{FeboPublicKey, FeipPublicKey, KeyAuthority};
 use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
-use cryptonn_smc::{encrypt_windows, EncryptedMatrix, EncryptedWindows, FixedPoint};
+use cryptonn_smc::{
+    encrypt_windows_with, EncryptedMatrix, EncryptedWindows, FixedPoint, Parallelism,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -89,6 +91,12 @@ impl EncryptedImageBatch {
 
 /// A CryptoNN client: quantizes and encrypts its own data under the
 /// authority's public keys.
+///
+/// Encryption is the client's dominant cost (`η + 1` fixed-base
+/// exponentiations per sample); [`with_parallelism`](Self::with_parallelism)
+/// fans the per-sample work out over threads through the FE layer's
+/// batch-encrypt API. The ciphertexts are bit-identical regardless of
+/// the thread count.
 #[derive(Debug)]
 pub struct Client {
     fp: FixedPoint,
@@ -97,6 +105,7 @@ pub struct Client {
     febo_mpk: FeboPublicKey,
     classes: usize,
     rng: StdRng,
+    parallelism: Parallelism,
 }
 
 impl Client {
@@ -116,6 +125,7 @@ impl Client {
             febo_mpk: authority.febo_public_key(),
             classes,
             rng: StdRng::seed_from_u64(seed),
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -138,7 +148,19 @@ impl Client {
             febo_mpk: authority.febo_public_key(),
             classes,
             rng: StdRng::seed_from_u64(seed),
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Sets the thread policy for this client's encryption fan-out.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The thread policy used for encryption.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The quantization this client applies.
@@ -183,12 +205,33 @@ impl Client {
         // Transpose to the paper's samples-as-columns layout, quantize.
         let xq = self.fp.encode_matrix(&x.transpose()); // features × batch
         let yq = self.fp.encode_matrix(&y_onehot.transpose()); // classes × batch
-        let max_abs_x = xq.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1);
+        let max_abs_x = xq
+            .as_slice()
+            .iter()
+            .map(|v| v.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .max(1);
 
-        let enc_x = EncryptedMatrix::encrypt_columns(&xq, &self.x_mpk, &mut self.rng)?;
-        let enc_y =
-            EncryptedMatrix::encrypt_full(&yq, &self.y_mpk, &self.febo_mpk, &mut self.rng)?;
-        Ok(EncryptedBatch { x: enc_x, y: enc_y, batch_size: x.rows(), max_abs_x })
+        let enc_x = EncryptedMatrix::encrypt_columns_with(
+            &xq,
+            &self.x_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?;
+        let enc_y = EncryptedMatrix::encrypt_full_with(
+            &yq,
+            &self.y_mpk,
+            &self.febo_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?;
+        Ok(EncryptedBatch {
+            x: enc_x,
+            y: enc_y,
+            batch_size: x.rows(),
+            max_abs_x,
+        })
     }
 
     /// Encrypts features only, for the prediction phase.
@@ -196,10 +239,7 @@ impl Client {
     /// # Errors
     ///
     /// As [`encrypt_batch`](Self::encrypt_batch).
-    pub fn encrypt_features(
-        &mut self,
-        x: &Matrix<f64>,
-    ) -> Result<EncryptedBatch, CryptoNnError> {
+    pub fn encrypt_features(&mut self, x: &Matrix<f64>) -> Result<EncryptedBatch, CryptoNnError> {
         let y_dummy = Matrix::zeros(x.rows(), self.classes);
         self.encrypt_batch(x, &y_dummy)
     }
@@ -249,11 +289,28 @@ impl Client {
             .max()
             .unwrap_or(0)
             .max(1);
-        let windows = encrypt_windows(images, spec, self.fp, &self.x_mpk, &mut self.rng)?;
+        let windows = encrypt_windows_with(
+            images,
+            spec,
+            self.fp,
+            &self.x_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?;
         let yq = self.fp.encode_matrix(&y_onehot.transpose());
-        let enc_y =
-            EncryptedMatrix::encrypt_full(&yq, &self.y_mpk, &self.febo_mpk, &mut self.rng)?;
-        Ok(EncryptedImageBatch { windows, y: enc_y, batch_size: n, max_abs_x })
+        let enc_y = EncryptedMatrix::encrypt_full_with(
+            &yq,
+            &self.y_mpk,
+            &self.febo_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?;
+        Ok(EncryptedImageBatch {
+            windows,
+            y: enc_y,
+            batch_size: n,
+            max_abs_x,
+        })
     }
 }
 
@@ -289,13 +346,19 @@ mod tests {
         let y = Matrix::zeros(2, 3);
         assert!(matches!(
             client.encrypt_batch(&x, &y),
-            Err(CryptoNnError::BatchShapeMismatch { what: "feature dimension", .. })
+            Err(CryptoNnError::BatchShapeMismatch {
+                what: "feature dimension",
+                ..
+            })
         ));
         let x = Matrix::zeros(2, 4);
         let y = Matrix::zeros(3, 3); // wrong batch size
         assert!(matches!(
             client.encrypt_batch(&x, &y),
-            Err(CryptoNnError::BatchShapeMismatch { what: "batch size", .. })
+            Err(CryptoNnError::BatchShapeMismatch {
+                what: "batch size",
+                ..
+            })
         ));
     }
 

@@ -3,11 +3,10 @@
 
 use cryptonn_fe::{FeipFunctionKey, KeyAuthority};
 use cryptonn_matrix::{ConvSpec, Matrix};
-use cryptonn_nn::{
-    Activation, ActivationLayer, AvgPool2D, Conv2D, Dense, Layer, Sequential,
-    SoftmaxCrossEntropy,
-};
 use cryptonn_nn::Loss;
+use cryptonn_nn::{
+    Activation, ActivationLayer, AvgPool2D, Conv2D, Dense, Layer, Sequential, SoftmaxCrossEntropy,
+};
 use rand::Rng;
 
 use crate::client::EncryptedImageBatch;
@@ -15,8 +14,8 @@ use crate::config::CryptoNnConfig;
 use crate::error::CryptoNnError;
 use crate::mlp::StepOutput;
 use crate::secure_steps::{
-    derive_unit_keys, secure_conv_forward, secure_conv_weight_grad,
-    secure_cross_entropy_loss, secure_output_delta,
+    derive_unit_keys, secure_conv_forward, secure_conv_weight_grad, secure_cross_entropy_loss,
+    secure_output_delta,
 };
 use crate::tables::DlogTableCache;
 
@@ -39,7 +38,13 @@ impl CryptoCnn {
     /// (softmax + cross-entropy is applied per §III-E2).
     pub fn from_parts(first: Conv2D, rest: Sequential, config: CryptoNnConfig) -> Self {
         let group = cryptonn_group::SchnorrGroup::precomputed(config.level);
-        Self { first, rest, config, cache: DlogTableCache::new(group), unit_keys: None }
+        Self {
+            first,
+            rest,
+            config,
+            cache: DlogTableCache::new(group),
+            unit_keys: None,
+        }
     }
 
     /// The paper's CryptoCNN: LeNet-5 over 1×28×28 inputs, 10 classes.
@@ -95,7 +100,10 @@ impl CryptoCnn {
         &self.config
     }
 
-    fn unit_keys(&mut self, authority: &KeyAuthority) -> Result<Vec<FeipFunctionKey>, CryptoNnError> {
+    fn unit_keys(
+        &mut self,
+        authority: &KeyAuthority,
+    ) -> Result<Vec<FeipFunctionKey>, CryptoNnError> {
         if self.unit_keys.is_none() {
             self.unit_keys = Some(derive_unit_keys(authority, self.first.filters().cols())?);
         }
@@ -179,7 +187,10 @@ impl CryptoCnn {
         self.first.set_params(new_w, new_b);
         self.rest.update(lr);
 
-        Ok(StepOutput { loss, predictions: p })
+        Ok(StepOutput {
+            loss,
+            predictions: p,
+        })
     }
 
     /// Encrypted prediction: secure first convolution, plaintext rest.
@@ -224,7 +235,10 @@ impl CryptoCnn {
         let _ = self.first.backward(&grad_z1);
         self.first.update(lr);
         self.rest.update(lr);
-        StepOutput { loss, predictions: p }
+        StepOutput {
+            loss,
+            predictions: p,
+        }
     }
 }
 
@@ -260,7 +274,9 @@ mod tests {
             1,
             14,
             14,
-            (0..3 * 196).map(|_| data_rng.random_range(0.0..1.0)).collect(),
+            (0..3 * 196)
+                .map(|_| data_rng.random_range(0.0..1.0))
+                .collect(),
         );
         let y = one_hot(&[0, 2, 3], 4);
 
@@ -276,7 +292,10 @@ mod tests {
             "encrypted and plaintext CNN predictions must track"
         );
         assert!((enc_out.loss - plain_out.loss).abs() < 0.05);
-        assert!(crypto.first.filters().approx_eq(plain.first.filters(), 0.05));
+        assert!(crypto
+            .first
+            .filters()
+            .approx_eq(plain.first.filters(), 0.05));
     }
 
     #[test]
@@ -286,7 +305,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(55);
         let mut model = CryptoCnn::lenet_small(config, 3, &mut rng);
 
-        let images = Tensor4::from_vec(2, 1, 14, 14, (0..392).map(|v| (v % 9) as f64 / 9.0).collect());
+        let images = Tensor4::from_vec(
+            2,
+            1,
+            14,
+            14,
+            (0..392).map(|v| (v % 9) as f64 / 9.0).collect(),
+        );
         let y = one_hot(&[0, 1], 3);
         let spec = model.conv_spec();
         let mut client = Client::for_cnn(&auth, &spec, 1, 3, config.fp, 56);

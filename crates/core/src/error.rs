@@ -27,8 +27,15 @@ pub enum CryptoNnError {
 impl fmt::Display for CryptoNnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CryptoNnError::BatchShapeMismatch { expected, got, what } => {
-                write!(f, "encrypted batch {what} mismatch: expected {expected}, got {got}")
+            CryptoNnError::BatchShapeMismatch {
+                expected,
+                got,
+                what,
+            } => {
+                write!(
+                    f,
+                    "encrypted batch {what} mismatch: expected {expected}, got {got}"
+                )
             }
             CryptoNnError::Smc(e) => write!(f, "secure computation failed: {e}"),
             CryptoNnError::Fe(e) => write!(f, "functional encryption failed: {e}"),

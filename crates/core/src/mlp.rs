@@ -12,8 +12,8 @@ use crate::client::EncryptedBatch;
 use crate::config::CryptoNnConfig;
 use crate::error::CryptoNnError;
 use crate::secure_steps::{
-    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward,
-    secure_dense_weight_grad, secure_output_delta,
+    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward, secure_dense_weight_grad,
+    secure_output_delta,
 };
 use crate::tables::DlogTableCache;
 
@@ -205,7 +205,10 @@ impl CryptoMlp {
         self.first.set_params(new_w, new_b);
         self.rest.update(lr);
 
-        Ok(StepOutput { loss, predictions: p })
+        Ok(StepOutput {
+            loss,
+            predictions: p,
+        })
     }
 
     /// Encrypted prediction (the FE-based prediction path of §III-D):
@@ -243,12 +246,7 @@ impl CryptoMlp {
     /// Reference plaintext training step with *identical* quantization,
     /// used by the equivalence tests: the encrypted and plaintext paths
     /// must produce the same numbers up to quantization error.
-    pub fn train_plain_batch(
-        &mut self,
-        x: &Matrix<f64>,
-        y: &Matrix<f64>,
-        lr: f64,
-    ) -> StepOutput {
+    pub fn train_plain_batch(&mut self, x: &Matrix<f64>, y: &Matrix<f64>, lr: f64) -> StepOutput {
         let m = x.rows() as f64;
         let z1 = self.first.forward(x, true);
         let out = self.rest.forward(&z1, true);
@@ -262,7 +260,10 @@ impl CryptoMlp {
         let _ = self.first.backward(&grad_z1);
         self.first.update(lr);
         self.rest.update(lr);
-        StepOutput { loss, predictions: p }
+        StepOutput {
+            loss,
+            predictions: p,
+        }
     }
 }
 
@@ -288,9 +289,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
 
         // Two identical twins.
-        let mut crypto = CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng);
+        let mut crypto =
+            CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(42);
-        let mut plain = CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng2);
+        let mut plain = CryptoMlp::new(
+            4,
+            &[5],
+            2,
+            Objective::SoftmaxCrossEntropy,
+            config,
+            &mut rng2,
+        );
 
         let x = Matrix::from_fn(6, 4, |r, c| ((r * 3 + c) % 7) as f64 / 7.0);
         let y = one_hot(&[0, 1, 0, 1, 1, 0], 2);
@@ -308,7 +317,10 @@ mod tests {
         );
         assert!((enc_out.loss - plain_out.loss).abs() < 0.05);
         // Updated first-layer weights stay close.
-        assert!(crypto.first.weights().approx_eq(plain.first.weights(), 0.05));
+        assert!(crypto
+            .first
+            .weights()
+            .approx_eq(plain.first.weights(), 0.05));
     }
 
     #[test]
@@ -329,7 +341,12 @@ mod tests {
         let batch = client.encrypt_batch(&x, &y).unwrap();
         let mut losses = Vec::new();
         for _ in 0..80 {
-            losses.push(model.train_encrypted_batch(&auth, &batch, 2.0).unwrap().loss);
+            losses.push(
+                model
+                    .train_encrypted_batch(&auth, &batch, 2.0)
+                    .unwrap()
+                    .loss,
+            );
         }
         assert!(
             losses.last().unwrap() < &(losses[0] * 0.7),

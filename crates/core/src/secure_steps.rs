@@ -19,8 +19,8 @@ use cryptonn_fe::{feip, BasicOp, FeError, FeipFunctionKey, KeyAuthority};
 use cryptonn_matrix::Matrix;
 use cryptonn_nn::{Conv2D, Dense};
 use cryptonn_smc::{
-    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, parallel_map,
-    secure_convolution, secure_dot, secure_elementwise, FixedPoint, Parallelism,
+    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, parallel_map, secure_convolution,
+    secure_dot, secure_elementwise, FixedPoint, Parallelism,
 };
 
 use crate::client::{EncryptedBatch, EncryptedImageBatch};
@@ -28,7 +28,12 @@ use crate::error::CryptoNnError;
 use crate::tables::DlogTableCache;
 
 fn max_abs_q(m: &Matrix<i64>) -> u64 {
-    m.as_slice().iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1)
+    m.as_slice()
+        .iter()
+        .map(|v| v.unsigned_abs())
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// Derives FEIP keys for all `dim` unit vectors — used to read the
@@ -124,7 +129,15 @@ pub fn secure_output_delta(
 
     let keys = derive_elementwise_keys(authority, enc_y, BasicOp::Sub, &pq)?;
     let febo_mpk = authority.febo_public_key();
-    let diff = secure_elementwise(&febo_mpk, enc_y, &keys, BasicOp::Sub, &pq, &table, parallelism)?;
+    let diff = secure_elementwise(
+        &febo_mpk,
+        enc_y,
+        &keys,
+        BasicOp::Sub,
+        &pq,
+        &table,
+        parallelism,
+    )?;
     // diff = Yq − Pq at a single scale; P − Y = −decode(diff).
     Ok(fp.decode_matrix(&diff).transpose().neg())
 }
@@ -192,6 +205,7 @@ pub fn secure_cross_entropy_loss(
 /// # Errors
 ///
 /// Propagates secure-computation failures.
+#[allow(clippy::too_many_arguments)]
 pub fn secure_dense_weight_grad(
     authority: &KeyAuthority,
     cache: &mut DlogTableCache,
@@ -315,6 +329,7 @@ pub fn secure_conv_forward(
 /// # Errors
 ///
 /// Propagates secure-computation failures.
+#[allow(clippy::too_many_arguments)]
 pub fn secure_conv_weight_grad(
     authority: &KeyAuthority,
     cache: &mut DlogTableCache,
@@ -336,7 +351,10 @@ pub fn secure_conv_weight_grad(
     let dim = batch.window_dim();
     let out_c = grad_rows.cols();
     // Dynamic fixed point (see secure_dense_weight_grad).
-    let max_delta = grad_rows.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let max_delta = grad_rows
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b.abs()));
     if max_delta == 0.0 {
         return Ok(Matrix::zeros(out_c, dim));
     }

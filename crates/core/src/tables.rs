@@ -20,7 +20,10 @@ pub struct DlogTableCache {
 impl DlogTableCache {
     /// Creates an empty cache for `group`.
     pub fn new(group: SchnorrGroup) -> Self {
-        Self { group, current: None }
+        Self {
+            group,
+            current: None,
+        }
     }
 
     /// The group this cache serves.

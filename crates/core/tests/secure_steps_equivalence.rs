@@ -3,8 +3,8 @@
 //! quantized values, and every misuse must yield a typed error.
 
 use cryptonn_core::secure_steps::{
-    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward,
-    secure_dense_weight_grad, secure_output_delta,
+    derive_unit_keys, secure_cross_entropy_loss, secure_dense_forward, secure_dense_weight_grad,
+    secure_output_delta,
 };
 use cryptonn_core::{Client, CryptoNnConfig, DlogTableCache};
 use cryptonn_fe::{KeyAuthority, PermittedFunctions};
@@ -59,7 +59,11 @@ fn secure_forward_equals_quantized_plaintext_forward() {
     let xq = fp.roundtrip_matrix(&x);
     let wq = fp.roundtrip_matrix(layer.weights());
     let expect = xq.matmul(&wq).add_row_broadcast(layer.bias());
-    assert!(z.approx_eq(&expect, 1e-9), "distance {}", z.distance(&expect));
+    assert!(
+        z.approx_eq(&expect, 1e-9),
+        "distance {}",
+        z.distance(&expect)
+    );
 }
 
 #[test]
@@ -157,7 +161,11 @@ fn secure_gradient_equals_delta_x_transpose() {
     assert_eq!(grad.shape(), (n, k));
     // Dynamic delta quantization at grad_fp resolution: relative error
     // ~ 1e-4 of max |δ| per term, m terms.
-    assert!(grad.approx_eq(&expect, 1e-3), "distance {}", grad.distance(&expect));
+    assert!(
+        grad.approx_eq(&expect, 1e-3),
+        "distance {}",
+        grad.distance(&expect)
+    );
 }
 
 #[test]
@@ -203,7 +211,11 @@ fn shape_mismatches_yield_typed_errors() {
     .unwrap_err();
     assert!(matches!(
         err,
-        cryptonn_core::CryptoNnError::BatchShapeMismatch { expected: 7, got: 4, .. }
+        cryptonn_core::CryptoNnError::BatchShapeMismatch {
+            expected: 7,
+            got: 4,
+            ..
+        }
     ));
 }
 

@@ -23,7 +23,11 @@ impl Dataset {
         assert_eq!(images.rows(), labels.len(), "one label per row required");
         assert!(classes > 0, "at least one class required");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
-        Self { images, labels, classes }
+        Self {
+            images,
+            labels,
+            classes,
+        }
     }
 
     /// The input matrix `(n, features)`.
@@ -76,7 +80,11 @@ impl Dataset {
     pub fn take(&self, n: usize) -> Self {
         assert!(n > 0 && n <= self.len(), "subset size out of range");
         let images = Matrix::from_fn(n, self.feature_dim(), |r, c| self.images[(r, c)]);
-        Self { images, labels: self.labels[..n].to_vec(), classes: self.classes }
+        Self {
+            images,
+            labels: self.labels[..n].to_vec(),
+            classes: self.classes,
+        }
     }
 
     /// Shuffles samples in place with the given RNG.
@@ -107,8 +115,7 @@ impl Dataset {
             let x_batch = Matrix::from_fn(end - start, self.feature_dim(), |r, c| {
                 self.images[(start + r, c)]
             });
-            let y_batch =
-                Matrix::from_fn(end - start, self.classes, |r, c| y[(start + r, c)]);
+            let y_batch = Matrix::from_fn(end - start, self.classes, |r, c| y[(start + r, c)]);
             out.push((x_batch, y_batch));
             start = end;
         }

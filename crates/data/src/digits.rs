@@ -19,25 +19,45 @@ use crate::dataset::Dataset;
 /// 7×7 glyph templates, one per digit. `#` is ink, `.` is background.
 const GLYPHS: [[&str; 7]; 10] = [
     // 0
-    [".###...", "#...#..", "#...#..", "#...#..", "#...#..", "#...#..", ".###..."],
+    [
+        ".###...", "#...#..", "#...#..", "#...#..", "#...#..", "#...#..", ".###...",
+    ],
     // 1
-    ["..#....", ".##....", "..#....", "..#....", "..#....", "..#....", ".###..."],
+    [
+        "..#....", ".##....", "..#....", "..#....", "..#....", "..#....", ".###...",
+    ],
     // 2
-    [".###...", "#...#..", "....#..", "...#...", "..#....", ".#.....", "#####.."],
+    [
+        ".###...", "#...#..", "....#..", "...#...", "..#....", ".#.....", "#####..",
+    ],
     // 3
-    [".###...", "#...#..", "....#..", "..##...", "....#..", "#...#..", ".###..."],
+    [
+        ".###...", "#...#..", "....#..", "..##...", "....#..", "#...#..", ".###...",
+    ],
     // 4
-    ["...#...", "..##...", ".#.#...", "#..#...", "#####..", "...#...", "...#..."],
+    [
+        "...#...", "..##...", ".#.#...", "#..#...", "#####..", "...#...", "...#...",
+    ],
     // 5
-    ["#####..", "#......", "####...", "....#..", "....#..", "#...#..", ".###..."],
+    [
+        "#####..", "#......", "####...", "....#..", "....#..", "#...#..", ".###...",
+    ],
     // 6
-    [".###...", "#......", "#......", "####...", "#...#..", "#...#..", ".###..."],
+    [
+        ".###...", "#......", "#......", "####...", "#...#..", "#...#..", ".###...",
+    ],
     // 7
-    ["#####..", "....#..", "...#...", "..#....", ".#.....", ".#.....", ".#....."],
+    [
+        "#####..", "....#..", "...#...", "..#....", ".#.....", ".#.....", ".#.....",
+    ],
     // 8
-    [".###...", "#...#..", "#...#..", ".###...", "#...#..", "#...#..", ".###..."],
+    [
+        ".###...", "#...#..", "#...#..", ".###...", "#...#..", "#...#..", ".###...",
+    ],
     // 9
-    [".###...", "#...#..", "#...#..", ".####..", "....#..", "....#..", ".###..."],
+    [
+        ".###...", "#...#..", "#...#..", ".####..", "....#..", "....#..", ".###...",
+    ],
 ];
 
 /// Configuration for the synthetic digit generator.
@@ -56,12 +76,22 @@ pub struct DigitConfig {
 impl DigitConfig {
     /// The MNIST-like default: 28×28, ±2 px shift, moderate noise.
     pub fn mnist_like() -> Self {
-        Self { size: 28, max_shift: 2, noise: 0.08, intensity_jitter: 0.3 }
+        Self {
+            size: 28,
+            max_shift: 2,
+            noise: 0.08,
+            intensity_jitter: 0.3,
+        }
     }
 
     /// A small 14×14 variant for fast tests and CI benches.
     pub fn small() -> Self {
-        Self { size: 14, max_shift: 1, noise: 0.05, intensity_jitter: 0.2 }
+        Self {
+            size: 14,
+            max_shift: 1,
+            noise: 0.05,
+            intensity_jitter: 0.2,
+        }
     }
 }
 
@@ -76,7 +106,10 @@ impl DigitConfig {
 /// Panics if `n` is zero or `config.size < 7`.
 pub fn synthetic_digits(n: usize, config: DigitConfig, seed: u64) -> Dataset {
     assert!(n > 0, "dataset size must be positive");
-    assert!(config.size >= 7, "image size must be at least the glyph size");
+    assert!(
+        config.size >= 7,
+        "image size must be at least the glyph size"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let dim = config.size * config.size;
     let mut data = Vec::with_capacity(n * dim);
@@ -93,7 +126,10 @@ pub fn synthetic_digits(n: usize, config: DigitConfig, seed: u64) -> Dataset {
 /// harness: disjoint seeds for the two sets.
 pub fn synthetic_mnist(train: usize, test: usize, seed: u64) -> (Dataset, Dataset) {
     let config = DigitConfig::mnist_like();
-    (synthetic_digits(train, config, seed), synthetic_digits(test, config, seed ^ 0x5eed))
+    (
+        synthetic_digits(train, config, seed),
+        synthetic_digits(test, config, seed ^ 0x5eed),
+    )
 }
 
 /// Renders one digit as a `size × size` image in `[0, 1]`.
@@ -154,7 +190,11 @@ mod tests {
         assert_eq!(a.images(), b.images());
         assert_eq!(a.labels(), b.labels());
         let c = synthetic_digits(30, DigitConfig::mnist_like(), 8);
-        assert_ne!(a.images(), c.images(), "different seeds give different data");
+        assert_ne!(
+            a.images(),
+            c.images(),
+            "different seeds give different data"
+        );
     }
 
     #[test]
@@ -163,7 +203,11 @@ mod tests {
         assert_eq!(d.len(), 25);
         assert_eq!(d.images().shape(), (25, 784));
         assert_eq!(d.classes(), 10);
-        assert!(d.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(d
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -189,7 +233,10 @@ mod tests {
     fn different_classes_differ_more_than_same_class() {
         // Noise-free rendering: intra-class distance (same digit, shifted)
         // should on average be below inter-class distance.
-        let config = DigitConfig { noise: 0.0, ..DigitConfig::mnist_like() };
+        let config = DigitConfig {
+            noise: 0.0,
+            ..DigitConfig::mnist_like()
+        };
         let d = synthetic_digits(200, config, 4);
         let img = |i: usize| Matrix::from_vec(1, 784, d.images().row(i).to_vec());
         // Samples i and i+10 share a class; i and i+1 do not.

@@ -38,18 +38,36 @@ pub struct PermittedFunctions {
 impl PermittedFunctions {
     /// Permits every supported function.
     pub fn all() -> Self {
-        Self { dot_product: true, add: true, sub: true, mul: true, div: true }
+        Self {
+            dot_product: true,
+            add: true,
+            sub: true,
+            mul: true,
+            div: true,
+        }
     }
 
     /// Permits nothing; enable functions individually.
     pub fn none() -> Self {
-        Self { dot_product: false, add: false, sub: false, mul: false, div: false }
+        Self {
+            dot_product: false,
+            add: false,
+            sub: false,
+            mul: false,
+            div: false,
+        }
     }
 
     /// The minimal set CryptoNN training needs: dot-product for the
     /// secure feed-forward and subtraction for the secure evaluation.
     pub fn cryptonn_training() -> Self {
-        Self { dot_product: true, add: false, sub: true, mul: false, div: false }
+        Self {
+            dot_product: true,
+            add: false,
+            sub: true,
+            mul: false,
+            div: false,
+        }
     }
 
     fn allows_op(&self, op: BasicOp) -> bool {
@@ -272,7 +290,10 @@ mod tests {
         let table = DlogTable::new(auth.group(), 1000);
         let ct = feip::encrypt(&mpk, &[1, 2, 3], &mut rng).unwrap();
         let sk = auth.derive_ip_key(3, &[4, 5, 6]).unwrap();
-        assert_eq!(feip::decrypt(&mpk, &ct, &sk, &[4, 5, 6], &table).unwrap(), 32);
+        assert_eq!(
+            feip::decrypt(&mpk, &ct, &sk, &[4, 5, 6], &table).unwrap(),
+            32
+        );
     }
 
     #[test]
@@ -282,8 +303,13 @@ mod tests {
         let mpk = auth.febo_public_key();
         let table = DlogTable::new(auth.group(), 1000);
         let ct = febo::encrypt(&mpk, 30, &mut rng);
-        let sk = auth.derive_bo_key(ct.commitment(), BasicOp::Sub, 12).unwrap();
-        assert_eq!(febo::decrypt(&mpk, &sk, &ct, BasicOp::Sub, 12, &table).unwrap(), 18);
+        let sk = auth
+            .derive_bo_key(ct.commitment(), BasicOp::Sub, 12)
+            .unwrap();
+        assert_eq!(
+            febo::decrypt(&mpk, &sk, &ct, BasicOp::Sub, 12, &table).unwrap(),
+            18
+        );
     }
 
     #[test]
@@ -330,13 +356,17 @@ mod tests {
         auth.derive_ip_key(10, &[1; 10]).unwrap();
         auth.derive_ip_key(10, &[2; 10]).unwrap();
         let ct = febo::encrypt(&auth.febo_public_key(), 1, &mut rng);
-        auth.derive_bo_key(ct.commitment(), BasicOp::Add, 2).unwrap();
+        auth.derive_bo_key(ct.commitment(), BasicOp::Add, 2)
+            .unwrap();
 
         let log = auth.comm_log();
         assert_eq!(log.ip_requests, 2);
         assert_eq!(log.ip_weights_received, 20);
         assert_eq!(log.bo_requests, 1);
-        assert_eq!(log.bytes_received(), 20 * WEIGHT_BYTES + (COMMITMENT_BYTES + WEIGHT_BYTES));
+        assert_eq!(
+            log.bytes_received(),
+            20 * WEIGHT_BYTES + (COMMITMENT_BYTES + WEIGHT_BYTES)
+        );
         assert_eq!(log.bytes_sent(), 3 * KEY_BYTES);
 
         auth.reset_comm_log();

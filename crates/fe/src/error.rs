@@ -29,7 +29,10 @@ impl fmt::Display for FeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FeError::DimensionMismatch { expected, got } => {
-                write!(f, "vector dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "vector dimension mismatch: expected {expected}, got {got}"
+                )
             }
             FeError::InvalidOperand(what) => write!(f, "invalid operand: {what}"),
             FeError::FunctionNotPermitted(what) => {

@@ -18,8 +18,12 @@
 //! element and [`decrypt`] reports `DlogOutOfRange`. This is inherent to
 //! the paper's construction (see DESIGN.md §3.4).
 
-use cryptonn_group::{DlogTable, Element, Scalar, SchnorrGroup};
-use rand::Rng;
+use std::sync::{Arc, OnceLock};
+
+use cryptonn_group::{DlogTable, Element, FixedBaseTable, Scalar, SchnorrGroup};
+use cryptonn_parallel::{parallel_map, Parallelism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::FeError;
@@ -70,16 +74,78 @@ impl core::fmt::Display for BasicOp {
 }
 
 /// FEBO public key `(g, h = g^s)` plus the group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Carries a fixed-base comb table for `h` — derived state that
+/// travels with the key and is rebuilt (lazily, on first [`encrypt`])
+/// rather than shipped across serialization (DESIGN.md §8). Clones
+/// share the table via `Arc`.
+#[derive(Clone)]
 pub struct FeboPublicKey {
     group: SchnorrGroup,
     h: Element,
+    /// Comb table for `h`; lazily built, never serialized.
+    h_table: Arc<OnceLock<FixedBaseTable>>,
 }
 
 impl FeboPublicKey {
+    /// Assembles a public key from its parts.
+    fn assemble(group: SchnorrGroup, h: Element) -> Self {
+        Self {
+            group,
+            h,
+            h_table: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// The underlying group.
     pub fn group(&self) -> &SchnorrGroup {
         &self.group
+    }
+
+    /// The comb table for `h`, built on first use.
+    pub fn h_table(&self) -> &FixedBaseTable {
+        self.h_table
+            .get_or_init(|| self.group.fixed_base_table(&self.h))
+    }
+}
+
+impl core::fmt::Debug for FeboPublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FeboPublicKey")
+            .field("group", &self.group)
+            .field("h", &self.h)
+            .finish()
+    }
+}
+
+impl PartialEq for FeboPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The table is a pure function of (group, h).
+        self.group == other.group && self.h == other.h
+    }
+}
+
+impl Eq for FeboPublicKey {}
+
+impl Serialize for FeboPublicKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(serde::Value::Map(vec![
+            ("group".to_string(), serde::ser::to_value(&self.group)),
+            ("h".to_string(), serde::ser::to_value(&self.h)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for FeboPublicKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.deserialize_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected map for FeboPublicKey"))?;
+        let group: SchnorrGroup = serde::de::field(entries, "group").map_err(D::Error::custom)?;
+        let h: Element = serde::de::field(entries, "h").map_err(D::Error::custom)?;
+        Ok(Self::assemble(group, h))
     }
 }
 
@@ -129,21 +195,48 @@ impl FeboFunctionKey {
 pub fn setup<R: Rng + ?Sized>(group: SchnorrGroup, rng: &mut R) -> (FeboPublicKey, FeboMasterKey) {
     let s = group.random_scalar(rng);
     let h = group.exp(&s);
-    (FeboPublicKey { group, h }, FeboMasterKey { s })
+    (FeboPublicKey::assemble(group, h), FeboMasterKey { s })
 }
 
 /// `Encrypt(mpk, x)`: encrypts a signed integer.
-pub fn encrypt<R: Rng + ?Sized>(
-    mpk: &FeboPublicKey,
-    x: i64,
-    rng: &mut R,
-) -> FeboCiphertext {
+///
+/// Both exponentiations run against precomputed fixed-base tables:
+/// `cmt = g^r` through the generator table and `ct = h^r · g^x` as one
+/// fused two-factor multi-exponentiation through the key's `h` table.
+pub fn encrypt<R: Rng + ?Sized>(mpk: &FeboPublicKey, x: i64, rng: &mut R) -> FeboCiphertext {
     let group = &mpk.group;
     let r = group.random_scalar(rng);
     let cmt = group.exp(&r);
-    let hr = group.pow(&mpk.h, &r);
-    let ct = group.mul(&hr, &group.exp(&group.scalar_from_i64(x)));
+    let x = group.scalar_from_i64(x);
+    let ct = group.multi_pow(&[(mpk.h_table(), &r), (group.generator_table(), &x)]);
     FeboCiphertext { cmt, ct }
+}
+
+/// Batched `Encrypt`: encrypts each value in `xs`, fanning the samples
+/// out over `parallelism`.
+///
+/// Randomness is forked exactly as in
+/// [`feip::encrypt_batch`](crate::feip::encrypt_batch): one full-width
+/// 256-bit seed per sample drawn from `rng` up front, so the output is
+/// bit-identical across thread counts without capping the
+/// per-ciphertext randomness.
+pub fn encrypt_batch<R: Rng + ?Sized>(
+    mpk: &FeboPublicKey,
+    xs: &[i64],
+    rng: &mut R,
+    parallelism: Parallelism,
+) -> Vec<FeboCiphertext> {
+    let seeds: Vec<[u8; 32]> = (0..xs.len())
+        .map(|_| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            seed
+        })
+        .collect();
+    parallel_map(xs.len(), parallelism.thread_count(), |i| {
+        let mut sample_rng = StdRng::from_seed(seeds[i]);
+        encrypt(mpk, xs[i], &mut sample_rng)
+    })
 }
 
 /// `KeyDerive(msk, cmt, Δ, y)`: derives the operation key for a specific
@@ -199,7 +292,9 @@ pub fn decrypt_raw(
     y: i64,
 ) -> Result<Element, FeError> {
     if sk.op != op {
-        return Err(FeError::InvalidOperand("function key derived for a different operation"));
+        return Err(FeError::InvalidOperand(
+            "function key derived for a different operation",
+        ));
     }
     let group = &mpk.group;
     let raw = match op {
@@ -305,7 +400,10 @@ mod tests {
         // Exact: 84 / 7 = 12.
         let ct = encrypt(&mpk, 84, &mut rng);
         let sk = key_derive(mpk.group(), &msk, ct.commitment(), BasicOp::Div, 7).unwrap();
-        assert_eq!(decrypt(&mpk, &sk, &ct, BasicOp::Div, 7, &table).unwrap(), 12);
+        assert_eq!(
+            decrypt(&mpk, &sk, &ct, BasicOp::Div, 7, &table).unwrap(),
+            12
+        );
         // Inexact: 85 / 7 — exponent is a field element, dlog must fail.
         let ct = encrypt(&mpk, 85, &mut rng);
         let sk = key_derive(mpk.group(), &msk, ct.commitment(), BasicOp::Div, 7).unwrap();
@@ -369,13 +467,19 @@ mod tests {
         for op in [BasicOp::Add, BasicOp::Sub, BasicOp::Mul, BasicOp::Div] {
             let ct = encrypt(&mpk, 0, &mut rng);
             let sk = key_derive(mpk.group(), &msk, ct.commitment(), op, 4).unwrap();
-            assert_eq!(decrypt(&mpk, &sk, &ct, op, 4, &table).unwrap(), op.apply(0, 4));
+            assert_eq!(
+                decrypt(&mpk, &sk, &ct, op, 4, &table).unwrap(),
+                op.apply(0, 4)
+            );
         }
         // y = 0 works for add/sub/mul.
         for op in [BasicOp::Add, BasicOp::Sub, BasicOp::Mul] {
             let ct = encrypt(&mpk, 9, &mut rng);
             let sk = key_derive(mpk.group(), &msk, ct.commitment(), op, 0).unwrap();
-            assert_eq!(decrypt(&mpk, &sk, &ct, op, 0, &table).unwrap(), op.apply(9, 0));
+            assert_eq!(
+                decrypt(&mpk, &sk, &ct, op, 0, &table).unwrap(),
+                op.apply(9, 0)
+            );
         }
     }
 }

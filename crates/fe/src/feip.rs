@@ -11,20 +11,44 @@
 //! - `Decrypt`: `∏ ctᵢ^{yᵢ} / ct₀^{sk_f} = g^{⟨x,y⟩}`, recovered by
 //!   baby-step giant-step.
 
-use cryptonn_group::{DlogTable, Element, Scalar, SchnorrGroup};
-use rand::Rng;
+use std::sync::{Arc, OnceLock};
+
+use cryptonn_group::{DlogTable, Element, FixedBaseTable, Scalar, SchnorrGroup};
+use cryptonn_parallel::{parallel_map, Parallelism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::FeError;
 
 /// Public parameters of an FEIP instance: the group and `hᵢ = g^{sᵢ}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The key carries one fixed-base comb table per `hᵢ` — derived state
+/// that travels with the key (including across serialization, where it
+/// is rebuilt rather than shipped; DESIGN.md §8). Tables are built
+/// lazily on the first [`encrypt`], so decrypt-/combine-only consumers
+/// of a deserialized key (which never exponentiate the `hᵢ`) pay
+/// neither the ~30 KiB per coordinate nor the build cost. Clones share
+/// the tables via `Arc`.
+#[derive(Clone)]
 pub struct FeipPublicKey {
     group: SchnorrGroup,
     h: Vec<Element>,
+    /// `h_tables[i]` is the comb table for `hᵢ`; lazily built, never
+    /// serialized.
+    h_tables: Arc<OnceLock<Vec<FixedBaseTable>>>,
 }
 
 impl FeipPublicKey {
+    /// Assembles a public key from its parts.
+    fn assemble(group: SchnorrGroup, h: Vec<Element>) -> Self {
+        Self {
+            group,
+            h,
+            h_tables: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// The vector dimension `η` this instance supports.
     pub fn dimension(&self) -> usize {
         self.h.len()
@@ -33,6 +57,62 @@ impl FeipPublicKey {
     /// The underlying group.
     pub fn group(&self) -> &SchnorrGroup {
         &self.group
+    }
+
+    /// The comb table for `hᵢ`, building the full table set on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dimension()`.
+    pub fn h_table(&self, i: usize) -> &FixedBaseTable {
+        let tables = self.h_tables.get_or_init(|| {
+            self.h
+                .iter()
+                .map(|hi| self.group.fixed_base_table(hi))
+                .collect()
+        });
+        &tables[i]
+    }
+}
+
+impl core::fmt::Debug for FeipPublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FeipPublicKey")
+            .field("group", &self.group)
+            .field("h", &self.h)
+            .finish()
+    }
+}
+
+impl PartialEq for FeipPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Tables are a pure function of (group, h).
+        self.group == other.group && self.h == other.h
+    }
+}
+
+impl Eq for FeipPublicKey {}
+
+impl Serialize for FeipPublicKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(serde::Value::Map(vec![
+            ("group".to_string(), serde::ser::to_value(&self.group)),
+            ("h".to_string(), serde::ser::to_value(&self.h)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for FeipPublicKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.deserialize_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected map for FeipPublicKey"))?;
+        let group: SchnorrGroup = serde::de::field(entries, "group").map_err(D::Error::custom)?;
+        let h: Vec<Element> = serde::de::field(entries, "h").map_err(D::Error::custom)?;
+        Ok(Self::assemble(group, h))
     }
 }
 
@@ -95,7 +175,7 @@ pub fn setup<R: Rng + ?Sized>(
     assert!(dim > 0, "FEIP dimension must be positive");
     let s: Vec<Scalar> = (0..dim).map(|_| group.random_scalar(rng)).collect();
     let h: Vec<Element> = s.iter().map(|si| group.exp(si)).collect();
-    (FeipPublicKey { group, h }, FeipMasterKey { s })
+    (FeipPublicKey::assemble(group, h), FeipMasterKey { s })
 }
 
 /// `KeyDerive(msk, y)`: returns `sk_f = ⟨y, s⟩ mod q`.
@@ -109,13 +189,23 @@ pub fn key_derive(
     y: &[i64],
 ) -> Result<FeipFunctionKey, FeError> {
     if y.len() != msk.s.len() {
-        return Err(FeError::DimensionMismatch { expected: msk.s.len(), got: y.len() });
+        return Err(FeError::DimensionMismatch {
+            expected: msk.s.len(),
+            got: y.len(),
+        });
     }
     let y_scalars: Vec<Scalar> = y.iter().map(|&v| group.scalar_from_i64(v)).collect();
-    Ok(FeipFunctionKey { sk: group.scalar_dot(&y_scalars, &msk.s) })
+    Ok(FeipFunctionKey {
+        sk: group.scalar_dot(&y_scalars, &msk.s),
+    })
 }
 
 /// `Encrypt(mpk, x)`: encrypts a signed integer vector.
+///
+/// Every exponentiation runs against a precomputed fixed-base table:
+/// `ct₀ = g^r` through the group's generator table and each
+/// `ctᵢ = hᵢ^r · g^{xᵢ}` as one fused two-factor multi-exponentiation
+/// through the key's `hᵢ` table.
 ///
 /// # Errors
 ///
@@ -126,20 +216,67 @@ pub fn encrypt<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<FeipCiphertext, FeError> {
     if x.len() != mpk.h.len() {
-        return Err(FeError::DimensionMismatch { expected: mpk.h.len(), got: x.len() });
+        return Err(FeError::DimensionMismatch {
+            expected: mpk.h.len(),
+            got: x.len(),
+        });
     }
     let group = &mpk.group;
+    let g_table = group.generator_table();
     let r = group.random_scalar(rng);
     let ct0 = group.exp(&r);
     let cts = x
         .iter()
-        .zip(&mpk.h)
-        .map(|(&xi, hi)| {
-            let hr = group.pow(hi, &r);
-            group.mul(&hr, &group.exp(&group.scalar_from_i64(xi)))
+        .enumerate()
+        .map(|(i, &xi)| {
+            let xi = group.scalar_from_i64(xi);
+            group.multi_pow(&[(mpk.h_table(i), &r), (g_table, &xi)])
         })
         .collect();
     Ok(FeipCiphertext { ct0, cts })
+}
+
+/// Batched `Encrypt`: encrypts each vector in `xs`, fanning the samples
+/// out over `parallelism`.
+///
+/// Randomness is forked deterministically: one full-width (256-bit)
+/// seed per sample is drawn from `rng` up front (in order, via
+/// `fill_bytes`), and sample `i` is encrypted with
+/// `StdRng::from_seed(seedᵢ)`. The output is therefore **bit-identical
+/// across thread counts** for a given `rng` state, and reproducible
+/// from a seeded `rng` — the property the batch/sequential equivalence
+/// tests pin down. Full-width forking keeps the per-ciphertext
+/// randomness at the caller RNG's entropy (a 64-bit seed would cap
+/// every `r` at 2⁶⁴ regardless of `SecurityLevel`, and risk birthday
+/// collisions — hence reused nonces — in large batches).
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if any vector has the wrong
+/// length.
+pub fn encrypt_batch<R, V>(
+    mpk: &FeipPublicKey,
+    xs: &[V],
+    rng: &mut R,
+    parallelism: Parallelism,
+) -> Result<Vec<FeipCiphertext>, FeError>
+where
+    R: Rng + ?Sized,
+    V: AsRef<[i64]> + Sync,
+{
+    let seeds: Vec<[u8; 32]> = (0..xs.len())
+        .map(|_| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            seed
+        })
+        .collect();
+    parallel_map(xs.len(), parallelism.thread_count(), |i| {
+        let mut sample_rng = StdRng::from_seed(seeds[i]);
+        encrypt(mpk, xs[i].as_ref(), &mut sample_rng)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Linearly combines ciphertexts: given encryptions of vectors
@@ -166,12 +303,18 @@ pub fn combine(
 ) -> Result<FeipCiphertext, FeError> {
     assert!(!cts.is_empty(), "combine requires at least one ciphertext");
     if weights.len() != cts.len() {
-        return Err(FeError::DimensionMismatch { expected: cts.len(), got: weights.len() });
+        return Err(FeError::DimensionMismatch {
+            expected: cts.len(),
+            got: weights.len(),
+        });
     }
     let dim = cts[0].dimension();
     for ct in cts {
         if ct.dimension() != dim {
-            return Err(FeError::DimensionMismatch { expected: dim, got: ct.dimension() });
+            return Err(FeError::DimensionMismatch {
+                expected: dim,
+                got: ct.dimension(),
+            });
         }
     }
     let group = &mpk.group;
@@ -204,7 +347,10 @@ pub fn decrypt_raw(
     y: &[i64],
 ) -> Result<Element, FeError> {
     if y.len() != ct.cts.len() {
-        return Err(FeError::DimensionMismatch { expected: ct.cts.len(), got: y.len() });
+        return Err(FeError::DimensionMismatch {
+            expected: ct.cts.len(),
+            got: y.len(),
+        });
     }
     let group = &mpk.group;
     let mut num = group.identity();
@@ -297,11 +443,17 @@ mod tests {
         let (mpk, msk, mut rng) = setup_small(4);
         assert_eq!(
             encrypt(&mpk, &[1, 2, 3], &mut rng),
-            Err(FeError::DimensionMismatch { expected: 4, got: 3 })
+            Err(FeError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
         );
         assert_eq!(
             key_derive(mpk.group(), &msk, &[1; 5]).unwrap_err(),
-            FeError::DimensionMismatch { expected: 4, got: 5 }
+            FeError::DimensionMismatch {
+                expected: 4,
+                got: 5
+            }
         );
         let ct = encrypt(&mpk, &[1, 2, 3, 4], &mut rng).unwrap();
         let sk = key_derive(mpk.group(), &msk, &[1; 4]).unwrap();
@@ -358,8 +510,7 @@ mod tests {
             encrypt(&mpk, &x2, &mut rng).unwrap(),
             encrypt(&mpk, &x3, &mut rng).unwrap(),
         ];
-        let combined =
-            combine(&mpk, &[&cts[0], &cts[1], &cts[2]], &w).unwrap();
+        let combined = combine(&mpk, &[&cts[0], &cts[1], &cts[2]], &w).unwrap();
         // Decrypt each coordinate of the combination with a unit-vector key.
         for i in 0..3 {
             let mut unit = [0i64; 3];
@@ -373,7 +524,9 @@ mod tests {
         let y = [1i64, 1, 1];
         let sk = key_derive(mpk.group(), &msk, &y).unwrap();
         let got = decrypt(&mpk, &combined, &sk, &y, &table).unwrap();
-        let expect: i64 = (0..3).map(|i| w[0] * x1[i] + w[1] * x2[i] + w[2] * x3[i]).sum();
+        let expect: i64 = (0..3)
+            .map(|i| w[0] * x1[i] + w[1] * x2[i] + w[2] * x3[i])
+            .sum();
         assert_eq!(got, expect);
     }
 

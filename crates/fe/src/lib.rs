@@ -48,4 +48,6 @@ pub use authority::{
 };
 pub use error::FeError;
 pub use febo::{BasicOp, FeboCiphertext, FeboFunctionKey, FeboMasterKey, FeboPublicKey};
-pub use feip::{combine as feip_combine, FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey};
+pub use feip::{
+    combine as feip_combine, FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey,
+};

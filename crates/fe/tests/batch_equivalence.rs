@@ -1,0 +1,136 @@
+//! Equivalence tests for the batched encryption fan-out: under a seeded
+//! RNG, `encrypt_batch` must be reproducible, bit-identical across
+//! thread counts, and exactly equal to sequentially encrypting each
+//! sample with the documented seed-forking scheme.
+
+use cryptonn_fe::{febo, feip, BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use cryptonn_parallel::Parallelism;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Replays the documented fork: one 32-byte seed per sample, in order.
+fn fork(rng: &mut StdRng) -> StdRng {
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    StdRng::from_seed(seed)
+}
+use std::sync::OnceLock;
+
+fn authority() -> &'static KeyAuthority {
+    static A: OnceLock<KeyAuthority> = OnceLock::new();
+    A.get_or_init(|| {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        KeyAuthority::with_seed(group, PermittedFunctions::all(), 77)
+    })
+}
+
+fn table() -> &'static DlogTable {
+    static T: OnceLock<DlogTable> = OnceLock::new();
+    T.get_or_init(|| DlogTable::new(authority().group(), 2_000_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `feip::encrypt_batch` equals per-sample sequential `encrypt`
+    /// under the documented RNG forking (one 32-byte `fill_bytes` seed
+    /// per sample, drawn in order), and is invariant to the thread
+    /// count.
+    #[test]
+    fn feip_batch_equals_sequential(
+        seed in any::<u64>(),
+        dim in 1usize..5,
+        samples in 1usize..7,
+    ) {
+        let mpk = authority().feip_public_key(dim);
+        let xs: Vec<Vec<i64>> = (0..samples)
+            .map(|s| (0..dim).map(|i| ((seed >> (i % 48)) as i64 % 200) - 100 + s as i64).collect())
+            .collect();
+
+        let mut batch_rng = StdRng::seed_from_u64(seed);
+        let batch =
+            feip::encrypt_batch(&mpk, &xs, &mut batch_rng, Parallelism::Serial).unwrap();
+
+        // Reference: replay the seed fork by hand, sequentially.
+        let mut seq_rng = StdRng::seed_from_u64(seed);
+        for (i, x) in xs.iter().enumerate() {
+            let mut sample_rng = fork(&mut seq_rng);
+            let expect = feip::encrypt(&mpk, x, &mut sample_rng).unwrap();
+            prop_assert_eq!(&batch[i], &expect, "sample {}", i);
+        }
+
+        // Thread-count invariance, bit for bit.
+        for threads in [2usize, 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parallel =
+                feip::encrypt_batch(&mpk, &xs, &mut rng, Parallelism::Threads(threads)).unwrap();
+            prop_assert_eq!(&parallel, &batch, "threads = {}", threads);
+        }
+
+        // And the ciphertexts are genuine: decrypt one inner product.
+        let y: Vec<i64> = (0..dim).map(|i| (i as i64 % 7) - 3).collect();
+        let sk = authority().derive_ip_key(dim, &y).unwrap();
+        let expect: i64 = xs[0].iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(
+            feip::decrypt(&mpk, &batch[0], &sk, &y, table()).unwrap(),
+            expect
+        );
+    }
+
+    /// `febo::encrypt_batch` has the same three properties.
+    #[test]
+    fn febo_batch_equals_sequential(seed in any::<u64>(), samples in 1usize..10) {
+        let mpk = authority().febo_public_key();
+        let xs: Vec<i64> = (0..samples)
+            .map(|s| ((seed >> (s % 48)) as i64 % 500) - 250)
+            .collect();
+
+        let mut batch_rng = StdRng::seed_from_u64(seed);
+        let batch = febo::encrypt_batch(&mpk, &xs, &mut batch_rng, Parallelism::Serial);
+
+        let mut seq_rng = StdRng::seed_from_u64(seed);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut sample_rng = fork(&mut seq_rng);
+            let expect = febo::encrypt(&mpk, x, &mut sample_rng);
+            prop_assert_eq!(&batch[i], &expect, "sample {}", i);
+        }
+
+        for threads in [2usize, 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parallel = febo::encrypt_batch(&mpk, &xs, &mut rng, Parallelism::Threads(threads));
+            prop_assert_eq!(&parallel, &batch, "threads = {}", threads);
+        }
+
+        let sk = authority()
+            .derive_bo_key(batch[0].commitment(), BasicOp::Add, 40)
+            .unwrap();
+        prop_assert_eq!(
+            febo::decrypt(&mpk, &sk, &batch[0], BasicOp::Add, 40, table()).unwrap(),
+            xs[0] + 40
+        );
+    }
+}
+
+#[test]
+fn empty_batches_are_fine() {
+    let mpk = authority().feip_public_key(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let none: Vec<Vec<i64>> = Vec::new();
+    assert!(
+        feip::encrypt_batch(&mpk, &none, &mut rng, Parallelism::Threads(4))
+            .unwrap()
+            .is_empty()
+    );
+    let febo_mpk = authority().febo_public_key();
+    assert!(febo::encrypt_batch(&febo_mpk, &[], &mut rng, Parallelism::Threads(4)).is_empty());
+}
+
+#[test]
+fn batch_dimension_mismatch_is_reported() {
+    let mpk = authority().feip_public_key(3);
+    let mut rng = StdRng::seed_from_u64(2);
+    let xs = vec![vec![1i64, 2, 3], vec![4, 5]]; // second sample wrong
+    assert!(feip::encrypt_batch(&mpk, &xs, &mut rng, Parallelism::Serial).is_err());
+}

@@ -7,10 +7,37 @@
 //! precomputed table ([`DlogTable`]) because in Algorithm 1 the server
 //! performs thousands of recoveries against the same generator.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::error::GroupError;
 use crate::group::{Element, SchnorrGroup};
+
+/// A multiply-xor hasher (FxHash-style) for the already-uniform low-64
+/// baby-step keys. The default `HashMap` SipHash costs more than the
+/// group multiplication between probes; group elements are
+/// indistinguishable from uniform, so a keyed hash buys nothing here.
+#[derive(Default)]
+pub(crate) struct FxHasher64(u64);
+
+impl Hasher for FxHasher64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FxMap = HashMap<u64, u64, BuildHasherDefault<FxHasher64>>;
 
 /// A precomputed baby-step table for solving `g^z = target` with
 /// `z ∈ [-bound, bound]` (signed) or `z ∈ [0, bound]` (unsigned).
@@ -18,6 +45,13 @@ use crate::group::{Element, SchnorrGroup};
 /// Construction costs `O(√B)` group operations and the same amount of
 /// memory; each [`solve`](DlogTable::solve) costs `O(√B)` multiplications
 /// worst-case.
+///
+/// The baby-step map is keyed on the *low 64 bits* of each element
+/// through a multiply-xor hasher, not on full 256-bit elements through
+/// SipHash: lookups sit on the giant-step hot loop, and the truncated
+/// key plus a final fixed-base verification is both faster and exact.
+/// Truncation collisions are kept in a (virtually always empty)
+/// side list, so no representable solution can be missed.
 ///
 /// ```
 /// use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
@@ -29,8 +63,10 @@ use crate::group::{Element, SchnorrGroup};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DlogTable {
-    /// Baby steps: `g^j → j` for `j ∈ [0, m)`.
-    baby: HashMap<Element, u64>,
+    /// Baby steps: `low64(g^j) → j` for `j ∈ [0, m)`, first entry wins.
+    baby: HashMap<u64, u64, BuildHasherDefault<FxHasher64>>,
+    /// Baby steps whose truncated key collided with an earlier entry.
+    collisions: Vec<(u64, u64)>,
     /// `g^{-m}`, the giant-step factor.
     giant_factor: Element,
     /// Baby-step count `m = ⌈√(2B+1)⌉`.
@@ -49,21 +85,56 @@ impl DlogTable {
         assert!(bound > 0, "dlog bound must be positive");
         let range = 2 * bound + 1;
         let m = (range as f64).sqrt().ceil() as u64;
-        let mut baby = HashMap::with_capacity(m as usize);
+        let mut baby = FxMap::with_capacity_and_hasher(m as usize, Default::default());
+        let mut collisions = Vec::new();
         let g = group.generator();
         let mut acc = group.identity();
         for j in 0..m {
-            baby.entry(acc).or_insert(j);
+            let key = acc.value().low_u64();
+            // First entry wins (matching the seed's or_insert semantics);
+            // later arrivals under the same truncated key go to the side
+            // list so no representable solution can be missed.
+            match baby.entry(key) {
+                Entry::Occupied(_) => collisions.push((key, j)),
+                Entry::Vacant(slot) => {
+                    slot.insert(j);
+                }
+            }
             acc = group.mul(&acc, &g);
         }
         // g^{-m} = (g^m)^{-1}; acc currently holds g^m.
         let giant_factor = group.inv(&acc);
-        Self { baby, giant_factor, m, bound }
+        Self {
+            baby,
+            collisions,
+            giant_factor,
+            m,
+            bound,
+        }
     }
 
     /// The signed bound `B` this table covers.
     pub fn bound(&self) -> u64 {
         self.bound
+    }
+
+    /// Checks whether baby index `j` at giant step `i` solves the
+    /// instance, verifying `g^j = gamma` in full (the map key is only
+    /// 64 bits of the element).
+    fn check_candidate(
+        &self,
+        group: &SchnorrGroup,
+        gamma: &Element,
+        i: u64,
+        j: u64,
+        range: u64,
+    ) -> Option<i64> {
+        let z = i * self.m + j;
+        if z > range {
+            return None;
+        }
+        let verified = group.exp(&group.scalar_from_u64(j)) == *gamma;
+        verified.then_some(z as i64 - self.bound as i64)
     }
 
     /// Recovers `z ∈ [-B, B]` with `g^z = target`.
@@ -80,10 +151,19 @@ impl DlogTable {
         let range = 2 * self.bound;
         let giant_steps = range / self.m + 1;
         for i in 0..=giant_steps {
-            if let Some(&j) = self.baby.get(&gamma) {
-                let z = i * self.m + j;
-                if z <= range {
-                    return Ok(z as i64 - self.bound as i64);
+            let key = gamma.value().low_u64();
+            if let Some(&j) = self.baby.get(&key) {
+                if let Some(z) = self.check_candidate(group, &gamma, i, j, range) {
+                    return Ok(z);
+                }
+                // A truncated-key hit that failed verification: consult
+                // the collision side list before moving on.
+                for &(ckey, cj) in &self.collisions {
+                    if ckey == key {
+                        if let Some(z) = self.check_candidate(group, &gamma, i, cj, range) {
+                            return Ok(z);
+                        }
+                    }
                 }
             }
             gamma = group.mul(&gamma, &self.giant_factor);
@@ -120,11 +200,7 @@ impl DlogTable {
 /// # Panics
 ///
 /// Panics if `bound` is zero.
-pub fn solve_dlog(
-    group: &SchnorrGroup,
-    target: &Element,
-    bound: u64,
-) -> Result<i64, GroupError> {
+pub fn solve_dlog(group: &SchnorrGroup, target: &Element, bound: u64) -> Result<i64, GroupError> {
     DlogTable::new(group, bound).solve(group, target)
 }
 

@@ -1,0 +1,205 @@
+//! Fixed-base exponentiation tables (radix-2⁴ comb).
+//!
+//! CryptoNN's hot exponentiations almost all share a handful of bases:
+//! the group generator `g` (every `Encrypt`, every BSGS verification)
+//! and the FEIP public-key elements `hᵢ = g^{sᵢ}` (once per coordinate
+//! per `Encrypt`). A [`FixedBaseTable`] trades one-time precomputation
+//! for a ~5× cheaper exponentiation: it stores
+//! `base^(d · 16^i)` for every window index `i` and digit `d ∈ [1, 16)`
+//! in Montgomery form, so `base^e` becomes at most 64 Montgomery
+//! products — no squarings, no conversions until the very end
+//! (DESIGN.md §8).
+//!
+//! Tables are bound to the group's modulus; build them through
+//! [`SchnorrGroup::fixed_base_table`](crate::SchnorrGroup::fixed_base_table)
+//! and use them through
+//! [`exp_table`](crate::SchnorrGroup::exp_table) /
+//! [`multi_pow`](crate::SchnorrGroup::multi_pow).
+
+use cryptonn_bigint::{Montgomery, U256};
+
+/// Window width in bits. 4 balances table size (64 × 15 × 32 B = 30 KiB
+/// per base) against the per-exponentiation product count (≤ 64).
+const WINDOW_BITS: usize = 4;
+/// Number of radix-2⁴ windows covering a 256-bit exponent.
+const WINDOWS: usize = U256::BITS.div_ceil(WINDOW_BITS);
+/// Non-zero digits per window.
+const DIGITS: usize = (1 << WINDOW_BITS) - 1;
+
+/// A precomputed radix-2⁴ comb table for one base in one group.
+///
+/// The table is deliberately *not* serializable: it is derived state,
+/// rebuilt from the base at deserialization time by the owning key
+/// material (`SchnorrGroup`, `FeipPublicKey`, `FeboPublicKey`).
+#[derive(Clone)]
+pub struct FixedBaseTable {
+    /// The plain-form base, for equality/debugging.
+    base: U256,
+    /// The modulus the Montgomery entries live under.
+    modulus: U256,
+    /// `rows[i][d - 1] = base^(d · 16^i) mod m`, in Montgomery form.
+    rows: Vec<[U256; DIGITS]>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the comb for `base` under `ctx`. Costs
+    /// `WINDOWS × DIGITS` Montgomery products — amortized after roughly
+    /// four exponentiations.
+    pub(crate) fn build(ctx: &Montgomery, base: &U256) -> Self {
+        let base = if base < ctx.modulus() {
+            *base
+        } else {
+            base.rem(ctx.modulus())
+        };
+        let mut rows = Vec::with_capacity(WINDOWS);
+        // cur = base^(16^i) in Montgomery form.
+        let mut cur = ctx.to_mont(&base);
+        for _ in 0..WINDOWS {
+            let mut row = [ctx.one(); DIGITS];
+            row[0] = cur;
+            for d in 1..DIGITS {
+                row[d] = ctx.mont_mul(&row[d - 1], &cur);
+            }
+            // base^(16^(i+1)) = base^(15·16^i) · base^(16^i).
+            cur = ctx.mont_mul(&row[DIGITS - 1], &cur);
+            rows.push(row);
+        }
+        Self {
+            base,
+            modulus: *ctx.modulus(),
+            rows,
+        }
+    }
+
+    /// The plain-form base this table was built for.
+    pub fn base(&self) -> &U256 {
+        &self.base
+    }
+
+    /// The modulus this table's entries are reduced by.
+    pub fn modulus(&self) -> &U256 {
+        &self.modulus
+    }
+
+    /// Multiplies `acc` (Montgomery form) by `base^e`, staying in the
+    /// Montgomery domain. This is the composable core: chaining calls
+    /// over several tables evaluates a multi-exponentiation
+    /// `∏ baseⱼ^{eⱼ}` with zero intermediate conversions.
+    pub(crate) fn mul_pow_mont(&self, ctx: &Montgomery, mut acc: U256, e: &U256) -> U256 {
+        // A real assert, not debug: exp_table/multi_pow are public APIs
+        // taking arbitrary tables, and a table built for a different
+        // group would silently produce garbage elements in release
+        // builds. Four u64 compares against dozens of Montgomery
+        // products is free.
+        assert_eq!(
+            &self.modulus,
+            ctx.modulus(),
+            "fixed-base table used with a foreign group"
+        );
+        let bits = e.bit_len();
+        let windows = bits.div_ceil(WINDOW_BITS).min(WINDOWS);
+        for (w, row) in self.rows.iter().enumerate().take(windows) {
+            let mut digit = 0usize;
+            for b in 0..WINDOW_BITS {
+                let idx = w * WINDOW_BITS + b;
+                if idx < bits && e.bit(idx) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                acc = ctx.mont_mul(&acc, &row[digit - 1]);
+            }
+        }
+        acc
+    }
+
+    /// `base^e mod m` as a plain residue.
+    pub(crate) fn pow(&self, ctx: &Montgomery, e: &U256) -> U256 {
+        ctx.from_mont(&self.mul_pow_mont(ctx, ctx.one(), e))
+    }
+}
+
+impl core::fmt::Debug for FixedBaseTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FixedBaseTable")
+            .field("base", &self.base)
+            .field("modulus", &self.modulus)
+            .field("windows", &self.rows.len())
+            .finish()
+    }
+}
+
+impl PartialEq for FixedBaseTable {
+    fn eq(&self, other: &Self) -> bool {
+        // Tables are fully determined by (base, modulus).
+        self.base == other.base && self.modulus == other.modulus
+    }
+}
+
+impl Eq for FixedBaseTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_bigint::modular;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p25519() -> U256 {
+        U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed").unwrap()
+    }
+
+    #[test]
+    fn matches_generic_mod_pow() {
+        let p = p25519();
+        let ctx = Montgomery::new(&p).unwrap();
+        let base = U256::from_u64(4);
+        let table = FixedBaseTable::build(&ctx, &base);
+        let mut rng = StdRng::seed_from_u64(200);
+        for _ in 0..32 {
+            let e = U256::random(&mut rng);
+            assert_eq!(
+                table.pow(&ctx, &e),
+                modular::mod_pow(&base, &e, &p),
+                "e = {e}"
+            );
+        }
+        // Degenerate exponents.
+        assert_eq!(table.pow(&ctx, &U256::ZERO), U256::ONE);
+        assert_eq!(table.pow(&ctx, &U256::ONE), base);
+        assert_eq!(
+            table.pow(&ctx, &U256::MAX),
+            modular::mod_pow(&base, &U256::MAX, &p)
+        );
+    }
+
+    #[test]
+    fn chained_multi_exponentiation() {
+        let p = p25519();
+        let ctx = Montgomery::new(&p).unwrap();
+        let (b1, b2) = (U256::from_u64(4), U256::from_u64(9));
+        let (t1, t2) = (
+            FixedBaseTable::build(&ctx, &b1),
+            FixedBaseTable::build(&ctx, &b2),
+        );
+        let (e1, e2) = (U256::from_u64(12345), U256::from_u64(67890));
+        let acc = t1.mul_pow_mont(&ctx, ctx.one(), &e1);
+        let acc = t2.mul_pow_mont(&ctx, acc, &e2);
+        let got = ctx.from_mont(&acc);
+        let expect = modular::mod_mul(
+            &modular::mod_pow(&b1, &e1, &p),
+            &modular::mod_pow(&b2, &e2, &p),
+            &p,
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn unreduced_base_is_reduced() {
+        let p = U256::from_u64(97);
+        let ctx = Montgomery::new(&p).unwrap();
+        let table = FixedBaseTable::build(&ctx, &U256::from_u64(97 + 5));
+        assert_eq!(*table.base(), U256::from_u64(5));
+        assert_eq!(table.pow(&ctx, &U256::from_u64(2)), U256::from_u64(25));
+    }
+}

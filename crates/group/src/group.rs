@@ -5,13 +5,16 @@
 //! (the subgroup of quadratic residues), in which the Decisional
 //! Diffie–Hellman assumption is standard.
 
-use cryptonn_bigint::modular::{mod_inv, mod_mul, mod_neg, mod_pow};
+use std::sync::Arc;
+
+use cryptonn_bigint::modular::{mod_inv, mod_neg, mod_pow};
 use cryptonn_bigint::prime::{gen_safe_prime, is_prime};
-use cryptonn_bigint::U256;
+use cryptonn_bigint::{Montgomery, U256};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::GroupError;
+use crate::fixed_base::FixedBaseTable;
 
 /// An element of the multiplicative group `Z_p^*` (in practice, of its
 /// order-`q` subgroup of quadratic residues).
@@ -47,6 +50,14 @@ impl Scalar {
 /// A Schnorr group `(p, q, g)` with `p = 2q + 1` a safe prime and `g` a
 /// generator of the order-`q` subgroup.
 ///
+/// Every group carries a shared precomputation context: Montgomery
+/// reduction contexts for both `p` (element arithmetic) and `q` (scalar
+/// arithmetic), plus a fixed-base comb table for the generator. The
+/// context is rebuilt from `(p, q, g)` on deserialization and is never
+/// serialized itself, so key material carries its own precomputation
+/// wherever it travels (DESIGN.md §8). Cloning a group shares the
+/// context via `Arc`.
+///
 /// ```
 /// use cryptonn_group::{SchnorrGroup, SecurityLevel};
 ///
@@ -57,11 +68,75 @@ impl Scalar {
 /// let g4 = group.exp(&group.scalar_from_u64(4));
 /// assert_eq!(group.mul(&g3, &g4), gx);     // g^3 · g^4 = g^7
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct SchnorrGroup {
     p: U256,
     q: U256,
     g: U256,
+    ctx: Arc<GroupCtx>,
+}
+
+/// Shared per-group precomputation: built once per `(p, q, g)` and
+/// shared by all clones.
+#[derive(Debug)]
+struct GroupCtx {
+    /// Montgomery context for the element field `Z_p`.
+    mont_p: Montgomery,
+    /// Montgomery context for the scalar field `Z_q`.
+    mont_q: Montgomery,
+    /// Radix-2⁴ comb table for the generator `g`.
+    g_table: FixedBaseTable,
+}
+
+impl core::fmt::Debug for SchnorrGroup {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The derived cache is noise; show the defining triple only.
+        f.debug_struct("SchnorrGroup")
+            .field("p", &self.p)
+            .field("q", &self.q)
+            .field("g", &self.g)
+            .finish()
+    }
+}
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        // The context is a pure function of (p, q, g).
+        self.p == other.p && self.q == other.q && self.g == other.g
+    }
+}
+
+impl Eq for SchnorrGroup {}
+
+impl Serialize for SchnorrGroup {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Mirrors the layout a field derive would produce; the
+        // precomputation context is derived state and stays local.
+        serializer.serialize_value(serde::Value::Map(vec![
+            ("p".to_string(), serde::ser::to_value(&self.p)),
+            ("q".to_string(), serde::ser::to_value(&self.q)),
+            ("g".to_string(), serde::ser::to_value(&self.g)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for SchnorrGroup {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.deserialize_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected map for SchnorrGroup"))?;
+        let p: U256 = serde::de::field(entries, "p").map_err(D::Error::custom)?;
+        let q: U256 = serde::de::field(entries, "q").map_err(D::Error::custom)?;
+        let g: U256 = serde::de::field(entries, "g").map_err(D::Error::custom)?;
+        if p.is_even() || p <= U256::ONE || q.is_even() || q <= U256::ONE {
+            return Err(D::Error::custom(
+                "SchnorrGroup moduli must be odd primes greater than one",
+            ));
+        }
+        Ok(Self::from_checked_parts(p, q, g))
+    }
 }
 
 /// Named security levels with precomputed safe-prime parameters.
@@ -103,7 +178,11 @@ impl SecurityLevel {
 /// Precomputed `(p, q)` hex pairs, indexed like [`SecurityLevel`].
 const PARAMS: &[(SecurityLevel, &str, &str)] = &[
     (SecurityLevel::Bits32, "85a1545f", "42d0aa2f"),
-    (SecurityLevel::Bits64, "e1946b58700bae4f", "70ca35ac3805d727"),
+    (
+        SecurityLevel::Bits64,
+        "e1946b58700bae4f",
+        "70ca35ac3805d727",
+    ),
     (
         SecurityLevel::Bits128,
         "e8a60f34154b07019e29019fd53661e7",
@@ -173,7 +252,7 @@ impl SchnorrGroup {
         if g <= U256::ONE || g >= p || mod_pow(&g, &q, &p) != U256::ONE {
             return Err(GroupError::InvalidGenerator);
         }
-        Ok(Self { p, q, g })
+        Ok(Self::from_checked_parts(p, q, g))
     }
 
     /// `g = 4 = 2²`, a quadratic residue, generates the order-`q`
@@ -181,7 +260,26 @@ impl SchnorrGroup {
     fn with_default_generator(p: U256, q: U256) -> Self {
         let g = U256::from_u64(4);
         debug_assert_eq!(mod_pow(&g, &q, &p), U256::ONE);
-        Self { p, q, g }
+        Self::from_checked_parts(p, q, g)
+    }
+
+    /// Builds the group and its shared precomputation context. `p` and
+    /// `q` must already be validated odd primes (all callers either
+    /// embed, generate, or explicitly check them).
+    fn from_checked_parts(p: U256, q: U256, g: U256) -> Self {
+        let mont_p = Montgomery::new(&p).expect("p is an odd prime");
+        let mont_q = Montgomery::new(&q).expect("q is an odd prime");
+        let g_table = FixedBaseTable::build(&mont_p, &g);
+        Self {
+            p,
+            q,
+            g,
+            ctx: Arc::new(GroupCtx {
+                mont_p,
+                mont_q,
+                g_table,
+            }),
+        }
     }
 
     /// The prime modulus `p`.
@@ -217,7 +315,10 @@ impl SchnorrGroup {
         if v >= 0 {
             self.scalar_from_u64(v as u64)
         } else {
-            Scalar(mod_neg(&U256::from_u64(v.unsigned_abs()).rem(&self.q), &self.q))
+            Scalar(mod_neg(
+                &U256::from_u64(v.unsigned_abs()).rem(&self.q),
+                &self.q,
+            ))
         }
     }
 
@@ -241,9 +342,9 @@ impl SchnorrGroup {
         Scalar(cryptonn_bigint::modular::mod_sub(&a.0, &b.0, &self.q))
     }
 
-    /// `(a * b) mod q`.
+    /// `(a * b) mod q`, via the cached Montgomery context for `q`.
     pub fn scalar_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
-        Scalar(mod_mul(&a.0, &b.0, &self.q))
+        Scalar(self.ctx.mont_q.mod_mul(&a.0, &b.0))
     }
 
     /// `(-a) mod q`.
@@ -272,19 +373,24 @@ impl SchnorrGroup {
 
     // ---- group (Z_p^*) arithmetic ------------------------------------
 
-    /// `g^e` for the group generator.
+    /// `g^e` for the group generator, via the cached fixed-base comb
+    /// table (≤ 64 Montgomery products, no squarings).
     pub fn exp(&self, e: &Scalar) -> Element {
-        Element(mod_pow(&self.g, &e.0, &self.p))
+        Element(self.ctx.g_table.pow(&self.ctx.mont_p, &e.0))
     }
 
-    /// `base^e`.
+    /// `base^e` for an arbitrary base, by windowed exponentiation in
+    /// the cached Montgomery domain. For bases that recur (the FEIP
+    /// `hᵢ`, any server-side constant), precompute a
+    /// [`FixedBaseTable`] and use [`exp_table`](Self::exp_table)
+    /// instead.
     pub fn pow(&self, base: &Element, e: &Scalar) -> Element {
-        Element(mod_pow(&base.0, &e.0, &self.p))
+        Element(self.ctx.mont_p.pow(&base.0, &e.0))
     }
 
-    /// `a · b mod p`.
+    /// `a · b mod p`, via the cached Montgomery context for `p`.
     pub fn mul(&self, a: &Element, b: &Element) -> Element {
-        Element(mod_mul(&a.0, &b.0, &self.p))
+        Element(self.ctx.mont_p.mod_mul(&a.0, &b.0))
     }
 
     /// `a⁻¹ mod p`.
@@ -309,6 +415,45 @@ impl SchnorrGroup {
     pub fn element_from_u256(&self, v: U256) -> Element {
         Element(v.rem(&self.p))
     }
+
+    // ---- fixed-base exponentiation -----------------------------------
+
+    /// Precomputes a radix-2⁴ comb table for `base`, making every
+    /// subsequent [`exp_table`](Self::exp_table) against that base cost
+    /// at most 64 Montgomery products. The build amortizes after about
+    /// four exponentiations; key material with long-lived bases (the
+    /// FEIP `hᵢ`) builds tables at setup/deserialization time.
+    pub fn fixed_base_table(&self, base: &Element) -> FixedBaseTable {
+        FixedBaseTable::build(&self.ctx.mont_p, &base.0)
+    }
+
+    /// The cached comb table for the generator `g` — the same table
+    /// [`exp`](Self::exp) uses internally.
+    pub fn generator_table(&self) -> &FixedBaseTable {
+        &self.ctx.g_table
+    }
+
+    /// `base^e` through a precomputed table.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `table` was built for this group's modulus.
+    pub fn exp_table(&self, table: &FixedBaseTable, e: &Scalar) -> Element {
+        Element(table.pow(&self.ctx.mont_p, &e.0))
+    }
+
+    /// The multi-exponentiation `∏ tableⱼ.base ^ eⱼ`, evaluated in one
+    /// pass through the Montgomery domain (one final conversion instead
+    /// of one per factor). This is the shape of FEIP/FEBO encryption:
+    /// `hᵢ^r · g^x` is a two-factor multi-pow.
+    pub fn multi_pow(&self, factors: &[(&FixedBaseTable, &Scalar)]) -> Element {
+        let ctx = &self.ctx.mont_p;
+        let mut acc = ctx.one();
+        for (table, e) in factors {
+            acc = table.mul_pow_mont(ctx, acc, &e.0);
+        }
+        Element(ctx.from_mont(&acc))
+    }
 }
 
 #[cfg(test)]
@@ -328,8 +473,12 @@ mod tests {
             let g = SchnorrGroup::precomputed(*level);
             assert_eq!(g.modulus().bit_len(), level.bits());
             // Re-validate through the checked constructor.
-            let validated =
-                SchnorrGroup::from_params(*g.modulus(), *g.order(), *g.generator().value(), &mut rng);
+            let validated = SchnorrGroup::from_params(
+                *g.modulus(),
+                *g.order(),
+                *g.generator().value(),
+                &mut rng,
+            );
             assert!(validated.is_ok(), "level {level:?}");
         }
     }
@@ -427,5 +576,68 @@ mod tests {
         let a = g.exp(&g.random_scalar(&mut rng));
         let b = g.exp(&g.random_scalar(&mut rng));
         assert_eq!(g.mul(&g.div(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn exp_table_matches_pow() {
+        let g = SchnorrGroup::precomputed(SecurityLevel::Bits256);
+        let mut rng = StdRng::seed_from_u64(6);
+        let base = g.exp(&g.random_scalar(&mut rng));
+        let table = g.fixed_base_table(&base);
+        for _ in 0..16 {
+            let e = g.random_scalar(&mut rng);
+            assert_eq!(g.exp_table(&table, &e), g.pow(&base, &e));
+        }
+        // The cached generator table is the exp() fast path.
+        let e = g.random_scalar(&mut rng);
+        assert_eq!(g.exp_table(g.generator_table(), &e), g.exp(&e));
+    }
+
+    #[test]
+    fn multi_pow_matches_factored_form() {
+        let g = SchnorrGroup::precomputed(SecurityLevel::Bits128);
+        let mut rng = StdRng::seed_from_u64(7);
+        let b1 = g.exp(&g.random_scalar(&mut rng));
+        let b2 = g.exp(&g.random_scalar(&mut rng));
+        let (t1, t2) = (g.fixed_base_table(&b1), g.fixed_base_table(&b2));
+        for _ in 0..8 {
+            let (e1, e2) = (g.random_scalar(&mut rng), g.random_scalar(&mut rng));
+            let fused = g.multi_pow(&[(&t1, &e1), (&t2, &e2)]);
+            let split = g.mul(&g.pow(&b1, &e1), &g.pow(&b2, &e2));
+            assert_eq!(fused, split);
+        }
+        // Empty product is the identity.
+        assert_eq!(g.multi_pow(&[]), g.identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign group")]
+    fn foreign_table_is_rejected_in_release_too() {
+        let g64 = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let g128 = SchnorrGroup::precomputed(SecurityLevel::Bits128);
+        let table = g64.fixed_base_table(&g64.generator());
+        let _ = g128.exp_table(&table, &g128.scalar_from_u64(3));
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_context() {
+        let g = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let value = serde::ser::to_value(&g);
+        let back: SchnorrGroup = serde::de::from_value(value).unwrap();
+        assert_eq!(back, g);
+        // The rebuilt context must actually work.
+        let e = back.scalar_from_u64(123);
+        assert_eq!(back.exp(&e), g.exp(&e));
+    }
+
+    #[test]
+    fn deserialize_rejects_even_moduli() {
+        use cryptonn_bigint::U256;
+        let bad = serde::Value::Map(vec![
+            ("p".to_string(), serde::ser::to_value(&U256::from_u64(16))),
+            ("q".to_string(), serde::ser::to_value(&U256::from_u64(7))),
+            ("g".to_string(), serde::ser::to_value(&U256::from_u64(4))),
+        ]);
+        assert!(serde::de::from_value::<SchnorrGroup>(bad).is_err());
     }
 }

@@ -10,6 +10,12 @@
 //! discrete logarithm of a bounded value, recovered via the baby-step
 //! giant-step [`DlogTable`].
 //!
+//! All arithmetic runs on a cached per-group Montgomery context, and
+//! fixed bases (the generator, FE public-key elements) get radix-2⁴
+//! comb tables ([`FixedBaseTable`], [`SchnorrGroup::exp_table`],
+//! [`SchnorrGroup::multi_pow`]) — the exponentiation pipeline of
+//! DESIGN.md §8.
+//!
 //! ## Example
 //!
 //! ```
@@ -28,8 +34,10 @@
 
 mod dlog;
 mod error;
+mod fixed_base;
 mod group;
 
 pub use dlog::{solve_dlog, solve_dlog_naive, DlogTable};
 pub use error::GroupError;
+pub use fixed_base::FixedBaseTable;
 pub use group::{Element, Scalar, SchnorrGroup, SecurityLevel};

@@ -30,7 +30,12 @@ impl ConvSpec {
     /// Panics if `k` or `stride` is zero.
     pub fn square(k: usize, stride: usize, pad: usize) -> Self {
         assert!(k > 0 && stride > 0, "kernel and stride must be positive");
-        Self { kh: k, kw: k, stride, pad }
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
     }
 
     /// Output spatial size for an `h × w` input.
@@ -41,8 +46,14 @@ impl ConvSpec {
     pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
         let ph = h + 2 * self.pad;
         let pw = w + 2 * self.pad;
-        assert!(ph >= self.kh && pw >= self.kw, "kernel larger than padded input");
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel larger than padded input"
+        );
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
@@ -93,7 +104,11 @@ pub fn col2im(
     let (n, c, h, w) = out_shape;
     let (oh, ow) = spec.output_size(h, w);
     assert_eq!(cols.rows(), n * oh * ow, "col2im row count mismatch");
-    assert_eq!(cols.cols(), c * spec.kh * spec.kw, "col2im column count mismatch");
+    assert_eq!(
+        cols.cols(),
+        c * spec.kh * spec.kw,
+        "col2im column count mismatch"
+    );
 
     let mut padded = Tensor4::zeros(n, c, h + 2 * spec.pad, w + 2 * spec.pad);
     let mut row = 0;
@@ -141,7 +156,11 @@ pub fn conv2d(input: &Tensor4, weights: &Matrix<f64>, bias: &[f64], spec: &ConvS
     let (n, c, h, w) = input.shape();
     let (oh, ow) = spec.output_size(h, w);
     let out_c = weights.rows();
-    assert_eq!(weights.cols(), c * spec.kh * spec.kw, "weight width mismatch");
+    assert_eq!(
+        weights.cols(),
+        c * spec.kh * spec.kw,
+        "weight width mismatch"
+    );
     assert_eq!(bias.len(), out_c, "bias length mismatch");
 
     let cols = im2col(input, spec); // (n*oh*ow) × (c*kh*kw)
@@ -237,11 +256,18 @@ mod tests {
 
     #[test]
     fn conv_matches_naive_multichannel() {
-        let input = Tensor4::from_vec(2, 3, 5, 5, (0..150).map(|v| (v % 13) as f64 - 6.0).collect());
+        let input = Tensor4::from_vec(
+            2,
+            3,
+            5,
+            5,
+            (0..150).map(|v| (v % 13) as f64 - 6.0).collect(),
+        );
         for (k, s, p) in [(3, 1, 0), (3, 2, 1), (5, 1, 2), (2, 2, 0)] {
             let spec = ConvSpec::square(k, s, p);
             let out_c = 4;
-            let weights = Matrix::from_fn(out_c, 3 * k * k, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+            let weights =
+                Matrix::from_fn(out_c, 3 * k * k, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
             let bias = vec![0.5, -0.5, 0.0, 1.0];
             let fast = conv2d(&input, &weights, &bias, &spec);
             let slow = conv2d_naive(&input, &weights, &bias, &spec);

@@ -50,7 +50,11 @@ impl<T: Copy + Default> Matrix<T> {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![T::default(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl<T: Copy> Matrix<T> {
     /// Panics if `data.len() != rows * cols` or either dimension is zero.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        assert_eq!(data.len(), rows * cols, "data length must equal rows * cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length must equal rows * cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -80,7 +88,11 @@ impl<T: Copy> Matrix<T> {
             assert_eq!(row.len(), cols, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -166,7 +178,9 @@ impl<T: Copy> Matrix<T> {
     /// Panics if `col >= cols`.
     pub fn col(&self, col: usize) -> Vec<T> {
         assert!(col < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// Iterator over rows as slices.
@@ -181,7 +195,11 @@ impl<T: Copy> Matrix<T> {
 
     /// Applies `f` to every element, producing a new matrix.
     pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Combines two equal-shape matrices element-wise.
@@ -189,16 +207,17 @@ impl<T: Copy> Matrix<T> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip_map<U: Copy, V: Copy>(
-        &self,
-        other: &Matrix<U>,
-        f: impl Fn(T, U) -> V,
-    ) -> Matrix<V> {
+    pub fn zip_map<U: Copy, V: Copy>(&self, other: &Matrix<U>, f: impl Fn(T, U) -> V) -> Matrix<V> {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -211,7 +230,11 @@ impl<T: Copy> Matrix<T> {
         assert_eq!(self.cols, other.cols, "column count mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Self { rows: self.rows + other.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -219,14 +242,20 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
 
     fn index(&self, (row, col): (usize, usize)) -> &T {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl<T> IndexMut<(usize, usize)> for Matrix<T> {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }
@@ -259,7 +288,11 @@ where
                 }
             }
         }
-        Self { rows: self.rows, cols: other.cols, data: out }
+        Self {
+            rows: self.rows,
+            cols: other.cols,
+            data: out,
+        }
     }
 
     /// Sum of all elements.
@@ -279,7 +312,11 @@ where
                 *o += v;
             }
         }
-        Self { rows: 1, cols: self.cols, data: out }
+        Self {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
     }
 
     /// Per-row sums as a `rows × 1` matrix (NumPy `sum(axis=1)`).
@@ -294,13 +331,21 @@ where
                 acc
             })
             .collect();
-        Self { rows: self.rows, cols: 1, data }
+        Self {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Identity matrix of size `n`, using `T::default()` as zero and
     /// requiring a unit produced by `one`.
     pub fn identity_with(n: usize, one: T) -> Self {
-        let mut m = Self { rows: n, cols: n, data: vec![T::default(); n * n] };
+        let mut m = Self {
+            rows: n,
+            cols: n,
+            data: vec![T::default(); n * n],
+        };
         for i in 0..n {
             m.data[i * n + i] = one;
         }
@@ -462,7 +507,10 @@ impl Matrix<f64> {
     /// Panics on shape mismatch.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -542,12 +590,21 @@ mod tests {
     fn elementwise_ops() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
-        assert_eq!(a.add(&b), Matrix::from_rows(&[&[11.0, 22.0], &[33.0, 44.0]]));
+        assert_eq!(
+            a.add(&b),
+            Matrix::from_rows(&[&[11.0, 22.0], &[33.0, 44.0]])
+        );
         assert_eq!(b.sub(&a), Matrix::from_rows(&[&[9.0, 18.0], &[27.0, 36.0]]));
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[10.0, 40.0], &[90.0, 160.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[10.0, 40.0], &[90.0, 160.0]])
+        );
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
         assert_eq!(a.neg()[(0, 0)], -1.0);
-        assert_eq!(b.div_elem(&a), Matrix::from_rows(&[&[10.0, 10.0], &[10.0, 10.0]]));
+        assert_eq!(
+            b.div_elem(&a),
+            Matrix::from_rows(&[&[10.0, 10.0], &[10.0, 10.0]])
+        );
     }
 
     #[test]
@@ -564,10 +621,16 @@ mod tests {
         let m = sample();
         let bias = Matrix::from_rows(&[&[10.0, 20.0, 30.0]]);
         let out = m.add_row_broadcast(&bias);
-        assert_eq!(out, Matrix::from_rows(&[&[11.0, 22.0, 33.0], &[14.0, 25.0, 36.0]]));
+        assert_eq!(
+            out,
+            Matrix::from_rows(&[&[11.0, 22.0, 33.0], &[14.0, 25.0, 36.0]])
+        );
         let col = Matrix::from_rows(&[&[100.0], &[200.0]]);
         let out = m.add_col_broadcast(&col);
-        assert_eq!(out, Matrix::from_rows(&[&[101.0, 102.0, 103.0], &[204.0, 205.0, 206.0]]));
+        assert_eq!(
+            out,
+            Matrix::from_rows(&[&[101.0, 102.0, 103.0], &[204.0, 205.0, 206.0]])
+        );
     }
 
     #[test]

@@ -33,8 +33,17 @@ impl Tensor4 {
     ///
     /// Panics if any dimension is zero.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
-        assert!(n > 0 && c > 0 && h > 0 && w > 0, "tensor dimensions must be positive");
-        Self { n, c, h, w, data: vec![0.0; n * c * h * w] }
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be positive"
+        );
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
     }
 
     /// Creates a tensor from an NCHW-ordered data vector.
@@ -43,7 +52,10 @@ impl Tensor4 {
     ///
     /// Panics if `data.len() != n*c*h*w` or any dimension is zero.
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
-        assert!(n > 0 && c > 0 && h > 0 && w > 0, "tensor dimensions must be positive");
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be positive"
+        );
         assert_eq!(data.len(), n * c * h * w, "data length must equal n*c*h*w");
         Self { n, c, h, w, data }
     }
@@ -97,7 +109,11 @@ impl Tensor4 {
     pub fn plane(&self, n: usize, c: usize) -> Matrix<f64> {
         assert!(n < self.n && c < self.c, "plane index out of bounds");
         let start = self.offset(n, c, 0, 0);
-        Matrix::from_vec(self.h, self.w, self.data[start..start + self.h * self.w].to_vec())
+        Matrix::from_vec(
+            self.h,
+            self.w,
+            self.data[start..start + self.h * self.w].to_vec(),
+        )
     }
 
     /// Zero-pads every spatial plane by `pad` on each side.
@@ -136,7 +152,10 @@ impl Tensor4 {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), ..*self }
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            ..*self
+        }
     }
 
     /// Element-wise sum.
@@ -147,7 +166,12 @@ impl Tensor4 {
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
         Self {
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
             ..*self
         }
     }
@@ -169,7 +193,10 @@ impl Tensor4 {
     /// Panics on shape mismatch.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -204,7 +231,7 @@ mod tests {
     fn indexing_layout() {
         let mut t = Tensor4::zeros(2, 3, 4, 5);
         t[(1, 2, 3, 4)] = 9.0;
-        assert_eq!(t.as_slice()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0);
+        assert_eq!(t.as_slice()[((3 + 2) * 4 + 3) * 5 + 4], 9.0);
         assert_eq!(t[(1, 2, 3, 4)], 9.0);
         assert_eq!(t[(0, 0, 0, 0)], 0.0);
     }

@@ -88,7 +88,10 @@ impl Layer for ActivationLayer {
     }
 
     fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
-        let output = self.output.as_ref().expect("backward called before forward");
+        let output = self
+            .output
+            .as_ref()
+            .expect("backward called before forward");
         grad_out.zip_map(output, |g, a| g * self.kind.derivative_from_output(a))
     }
 

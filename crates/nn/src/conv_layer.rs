@@ -40,7 +40,10 @@ impl Conv2D {
         rng: &mut R,
     ) -> Self {
         let (in_c, in_h, in_w) = in_shape;
-        assert!(in_c > 0 && in_h > 0 && in_w > 0 && out_c > 0, "dimensions must be positive");
+        assert!(
+            in_c > 0 && in_h > 0 && in_w > 0 && out_c > 0,
+            "dimensions must be positive"
+        );
         // Validate geometry eagerly.
         let _ = spec.output_size(in_h, in_w);
         let fan_in = in_c * spec.kh * spec.kw;
@@ -206,8 +209,7 @@ impl Layer for Conv2D {
         self.grad_b = Some(grad_rows.sum_rows().into_vec());
 
         let grad_cols = grad_rows.matmul(&self.w); // (n·oh·ow) × (c·kh·kw)
-        let grad_input =
-            col2im(&grad_cols, (n, self.in_c, self.in_h, self.in_w), &self.spec);
+        let grad_input = col2im(&grad_cols, (n, self.in_c, self.in_h, self.in_w), &self.spec);
         grad_input.flatten()
     }
 
@@ -241,7 +243,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let spec = ConvSpec::square(3, 1, 1);
         let mut layer = Conv2D::new((2, 5, 5), 3, spec, &mut rng);
-        let input_t = Tensor4::from_vec(2, 2, 5, 5, (0..100).map(|v| (v % 7) as f64 - 3.0).collect());
+        let input_t =
+            Tensor4::from_vec(2, 2, 5, 5, (0..100).map(|v| (v % 7) as f64 - 3.0).collect());
         let out_flat = layer.forward(&input_t.flatten(), false);
         let reference = conv2d_naive(&input_t, &layer.w, &layer.b, &spec);
         assert!(
@@ -278,6 +281,7 @@ mod tests {
             let numeric = (objective(&lp, &x) - objective(&lm, &x)) / (2.0 * eps);
             assert!((numeric - gw[(r, c)]).abs() < 1e-5, "dW[{r},{c}]");
         }
+        #[allow(clippy::needless_range_loop)]
         for oc in 0..2 {
             let mut lp = layer.clone();
             lp.b[oc] += eps;

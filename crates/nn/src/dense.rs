@@ -25,7 +25,10 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "dense dimensions must be positive"
+        );
         Self {
             w: xavier_uniform(in_dim, out_dim, in_dim, out_dim, rng),
             b: Matrix::zeros(1, out_dim),
@@ -44,7 +47,13 @@ impl Dense {
     /// Panics if `b` is not `1 × w.cols()`.
     pub fn with_params(w: Matrix<f64>, b: Matrix<f64>) -> Self {
         assert_eq!(b.shape(), (1, w.cols()), "bias shape must be 1 x out_dim");
-        Self { w, b, input: None, grad_w: None, grad_b: None }
+        Self {
+            w,
+            b,
+            input: None,
+            grad_w: None,
+            grad_b: None,
+        }
     }
 
     /// Input dimension.

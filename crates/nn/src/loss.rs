@@ -23,7 +23,11 @@ pub trait Loss: core::fmt::Debug + Send {
 pub fn softmax(logits: &Matrix<f64>) -> Matrix<f64> {
     let mut out = logits.clone();
     for r in 0..out.rows() {
-        let row_max = logits.row(r).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let row_max = logits
+            .row(r)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for c in 0..out.cols() {
             let e = (logits[(r, c)] - row_max).exp();

@@ -9,7 +9,11 @@ use cryptonn_matrix::Matrix;
 ///
 /// Panics on shape mismatch.
 pub fn accuracy(output: &Matrix<f64>, target_onehot: &Matrix<f64>) -> f64 {
-    assert_eq!(output.shape(), target_onehot.shape(), "accuracy shape mismatch");
+    assert_eq!(
+        output.shape(),
+        target_onehot.shape(),
+        "accuracy shape mismatch"
+    );
     let pred = output.argmax_rows();
     let truth = target_onehot.argmax_rows();
     let correct = pred.iter().zip(&truth).filter(|(p, t)| p == t).count();
@@ -23,7 +27,11 @@ pub fn accuracy(output: &Matrix<f64>, target_onehot: &Matrix<f64>) -> f64 {
 /// Panics if either matrix is not a single column or shapes mismatch.
 pub fn binary_accuracy(output: &Matrix<f64>, target: &Matrix<f64>) -> f64 {
     assert_eq!(output.shape(), target.shape(), "accuracy shape mismatch");
-    assert_eq!(output.cols(), 1, "binary accuracy expects one output column");
+    assert_eq!(
+        output.cols(),
+        1,
+        "binary accuracy expects one output column"
+    );
     let correct = output
         .as_slice()
         .iter()

@@ -26,8 +26,17 @@ impl AvgPool2D {
     pub fn new(in_shape: (usize, usize, usize), k: usize) -> Self {
         let (c, h, w) = in_shape;
         assert!(k > 0, "pool size must be positive");
-        assert!(h % k == 0 && w % k == 0, "pool size must divide the spatial dims");
-        Self { c, h, w, k, batch: None }
+        assert!(
+            h % k == 0 && w % k == 0,
+            "pool size must divide the spatial dims"
+        );
+        Self {
+            c,
+            h,
+            w,
+            k,
+            batch: None,
+        }
     }
 
     /// Output shape `(c, h/k, w/k)`.
@@ -44,7 +53,11 @@ impl AvgPool2D {
 
 impl Layer for AvgPool2D {
     fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
-        assert_eq!(input.cols(), self.c * self.h * self.w, "pool input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.c * self.h * self.w,
+            "pool input width mismatch"
+        );
         let n = input.rows();
         if train {
             self.batch = Some(n);
@@ -120,8 +133,18 @@ impl MaxPool2D {
     pub fn new(in_shape: (usize, usize, usize), k: usize) -> Self {
         let (c, h, w) = in_shape;
         assert!(k > 0, "pool size must be positive");
-        assert!(h % k == 0 && w % k == 0, "pool size must divide the spatial dims");
-        Self { c, h, w, k, argmax: None, batch: None }
+        assert!(
+            h % k == 0 && w % k == 0,
+            "pool size must divide the spatial dims"
+        );
+        Self {
+            c,
+            h,
+            w,
+            k,
+            argmax: None,
+            batch: None,
+        }
     }
 
     /// Output shape `(c, h/k, w/k)`.
@@ -132,7 +155,11 @@ impl MaxPool2D {
 
 impl Layer for MaxPool2D {
     fn forward(&mut self, input: &Matrix<f64>, train: bool) -> Matrix<f64> {
-        assert_eq!(input.cols(), self.c * self.h * self.w, "pool input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.c * self.h * self.w,
+            "pool input width mismatch"
+        );
         let n = input.rows();
         let t = Tensor4::from_flat(input, self.c, self.h, self.w);
         let (oh, ow) = (self.h / self.k, self.w / self.k);
@@ -174,7 +201,10 @@ impl Layer for MaxPool2D {
     }
 
     fn backward(&mut self, grad_out: &Matrix<f64>) -> Matrix<f64> {
-        let argmax = self.argmax.as_ref().expect("backward called before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("backward called before forward");
         let n = self.batch.expect("backward called before forward");
         let mut out = Matrix::zeros(n, self.c * self.h * self.w);
         let plane = self.c * self.h * self.w;

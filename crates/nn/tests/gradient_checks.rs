@@ -2,19 +2,24 @@
 //! backward pass is checked against central finite differences through
 //! randomized network configurations.
 
+use cryptonn_matrix::ConvSpec;
 use cryptonn_matrix::Matrix;
 use cryptonn_nn::{
-    Activation, ActivationLayer, AvgPool2D, Conv2D, Dense, Layer, Loss, MaxPool2D, Mse,
-    Sequential, SoftmaxCrossEntropy,
+    Activation, ActivationLayer, AvgPool2D, Conv2D, Dense, Layer, Loss, MaxPool2D, Mse, Sequential,
+    SoftmaxCrossEntropy,
 };
-use cryptonn_matrix::ConvSpec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Builds a small randomized network, runs one forward/backward, and
 /// verifies dL/dX against finite differences of the whole network.
-fn check_network_input_grad(net: &mut Sequential, x: &Matrix<f64>, y: &Matrix<f64>, loss: &dyn Loss) {
+fn check_network_input_grad(
+    net: &mut Sequential,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    loss: &dyn Loss,
+) {
     let out = net.forward(x, true);
     let grad = loss.backward(&out, y);
     let grad_in = net.backward(&grad);
@@ -58,7 +63,12 @@ fn mlp_with_every_activation() {
 fn conv_pool_dense_stack() {
     let mut rng = StdRng::seed_from_u64(62);
     let mut net = Sequential::new();
-    net.push(Conv2D::new((1, 6, 6), 2, ConvSpec::square(3, 1, 1), &mut rng));
+    net.push(Conv2D::new(
+        (1, 6, 6),
+        2,
+        ConvSpec::square(3, 1, 1),
+        &mut rng,
+    ));
     net.push(ActivationLayer::new(Activation::Tanh));
     net.push(AvgPool2D::new((2, 6, 6), 2));
     net.push(Dense::new(2 * 3 * 3, 2, &mut rng));

@@ -1,9 +1,16 @@
-//! Minimal fork-join parallelism for the decryption loops.
+//! # cryptonn-parallel
+//!
+//! Minimal fork-join parallelism shared by the encryption and
+//! decryption loops.
 //!
 //! The paper notes that Algorithm 1's decryption loops (lines 8 and 12)
 //! are embarrassingly parallel and reports order-of-magnitude speedups
-//! from parallelizing them (Figs. 3d, 4d, 5d). This module provides the
-//! scoped-thread fan-out used by every secure computation.
+//! from parallelizing them (Figs. 3d, 4d, 5d). The same fan-out applies
+//! to the client-side batch encryption added with the Montgomery
+//! refactor (DESIGN.md §8). This crate provides the scoped-thread
+//! [`parallel_map`] and the [`Parallelism`] policy used by both; it
+//! lives below `cryptonn-fe` so the FE layer can batch-encrypt without
+//! a dependency cycle through `cryptonn-smc`.
 
 /// Computes `f(0), f(1), …, f(n-1)` across `threads` OS threads,
 /// preserving index order in the returned vector.
@@ -42,10 +49,11 @@ where
 }
 
 /// A thread-count policy for the secure computations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Parallelism {
     /// Single-threaded decryption — the paper's baseline arms in
     /// Figs. 3c/4c/5c.
+    #[default]
     Serial,
     /// Decryption fanned out over the given number of threads — the
     /// "(P)" arms in Figs. 3d/4d/5d.
@@ -64,14 +72,10 @@ impl Parallelism {
     /// One thread per available CPU.
     pub fn available() -> Self {
         Parallelism::Threads(
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         )
-    }
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Serial
     }
 }
 
@@ -83,7 +87,11 @@ mod tests {
     fn preserves_order() {
         for threads in [1, 2, 3, 8] {
             let out = parallel_map(17, threads, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

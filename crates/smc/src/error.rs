@@ -41,13 +41,22 @@ impl fmt::Display for SmcError {
                 expected.0, expected.1, got.0, got.1
             ),
             SmcError::NotEncryptedForDot => {
-                write!(f, "matrix was not encrypted with the FEIP (dot-product) part")
+                write!(
+                    f,
+                    "matrix was not encrypted with the FEIP (dot-product) part"
+                )
             }
             SmcError::NotEncryptedForElementwise => {
-                write!(f, "matrix was not encrypted with the FEBO (element-wise) part")
+                write!(
+                    f,
+                    "matrix was not encrypted with the FEBO (element-wise) part"
+                )
             }
             SmcError::KeyCountMismatch { expected, got } => {
-                write!(f, "function key count mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "function key count mismatch: expected {expected}, got {got}"
+                )
             }
             SmcError::Fe(e) => write!(f, "functional encryption failed: {e}"),
         }

@@ -11,8 +11,10 @@
 //!   padded sliding windows encrypted under FEIP, one key per filter.
 //! - [`FixedPoint`]: the paper's two-decimal quantization between the
 //!   float model domain and the integer encrypted domain.
-//! - [`Parallelism`] / [`parallel_map`]: the scoped-thread decryption
-//!   fan-out behind the "(P)" arms of Figs. 3–5.
+//! - [`Parallelism`] / [`parallel_map`] (re-exported from
+//!   `cryptonn-parallel`): the scoped-thread fan-out behind the "(P)"
+//!   arms of Figs. 3–5, used both for decryption loops here and for
+//!   the `encrypt_*_with` batch-encryption constructors.
 //!
 //! ## Example
 //!
@@ -40,16 +42,15 @@
 //! ```
 
 mod error;
-mod parallel;
 mod quantize;
 mod secure_conv;
 mod secure_matrix;
 
+pub use cryptonn_parallel::{parallel_map, Parallelism};
 pub use error::SmcError;
-pub use parallel::{parallel_map, Parallelism};
 pub use quantize::FixedPoint;
 pub use secure_conv::{
-    derive_filter_keys, encrypt_windows, secure_convolution, EncryptedWindows,
+    derive_filter_keys, encrypt_windows, encrypt_windows_with, secure_convolution, EncryptedWindows,
 };
 pub use secure_matrix::{
     derive_dot_keys, derive_elementwise_keys, dot_bound, elementwise_bound, secure_compute,

@@ -18,8 +18,8 @@ use cryptonn_matrix::{im2col, ConvSpec, Matrix, Tensor4};
 use rand::Rng;
 
 use crate::error::SmcError;
-use crate::parallel::{parallel_map, Parallelism};
 use crate::quantize::FixedPoint;
+use cryptonn_parallel::{parallel_map, Parallelism};
 
 /// A batch of FEIP-encrypted sliding windows, ready for secure
 /// convolution against any number of filters.
@@ -81,6 +81,24 @@ pub fn encrypt_windows<R: Rng + ?Sized>(
     feip_mpk: &FeipPublicKey,
     rng: &mut R,
 ) -> Result<EncryptedWindows, SmcError> {
+    encrypt_windows_with(images, spec, fp, feip_mpk, rng, Parallelism::Serial)
+}
+
+/// As [`encrypt_windows`], fanning the window ciphertexts out over
+/// `parallelism` via [`feip::encrypt_batch`]. The output is
+/// bit-identical across thread counts for a given `rng` state.
+///
+/// # Errors
+///
+/// As [`encrypt_windows`].
+pub fn encrypt_windows_with<R: Rng + ?Sized>(
+    images: &Tensor4,
+    spec: &ConvSpec,
+    fp: FixedPoint,
+    feip_mpk: &FeipPublicKey,
+    rng: &mut R,
+    parallelism: Parallelism,
+) -> Result<EncryptedWindows, SmcError> {
     let (n, _c, h, w) = images.shape();
     let (oh, ow) = spec.output_size(h, w);
     // Quantize, then lower to windows. The quantized values are exact
@@ -88,12 +106,17 @@ pub fn encrypt_windows<R: Rng + ?Sized>(
     let quantized = images.map(|v| fp.encode(v) as f64);
     let cols = im2col(&quantized, spec);
     let dim = cols.cols();
-    let mut windows = Vec::with_capacity(cols.rows());
-    for r in 0..cols.rows() {
-        let window: Vec<i64> = cols.row(r).iter().map(|&v| v as i64).collect();
-        windows.push(feip::encrypt(feip_mpk, &window, rng)?);
-    }
-    Ok(EncryptedWindows { windows, batch: n, out_h: oh, out_w: ow, dim })
+    let window_vecs: Vec<Vec<i64>> = (0..cols.rows())
+        .map(|r| cols.row(r).iter().map(|&v| v as i64).collect())
+        .collect();
+    let windows = feip::encrypt_batch(feip_mpk, &window_vecs, rng, parallelism)?;
+    Ok(EncryptedWindows {
+        windows,
+        batch: n,
+        out_h: oh,
+        out_w: ow,
+        dim,
+    })
 }
 
 /// Server-side `pre-process-key-derivative` of Algorithm 3: one FEIP key
@@ -136,7 +159,10 @@ pub fn secure_convolution(
     parallelism: Parallelism,
 ) -> Result<Matrix<i64>, SmcError> {
     if keys.len() != filters.rows() {
-        return Err(SmcError::KeyCountMismatch { expected: filters.rows(), got: keys.len() });
+        return Err(SmcError::KeyCountMismatch {
+            expected: filters.rows(),
+            got: keys.len(),
+        });
     }
     if filters.cols() != enc.dim {
         return Err(SmcError::ShapeMismatch {
@@ -162,7 +188,11 @@ pub fn secure_convolution(
             feip::decrypt(feip_mpk, window, &keys[oc], filters.row(oc), table)
         });
     let values = results.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
-    Ok(Matrix::from_vec(enc.batch, out_c * windows_per_image, values))
+    Ok(Matrix::from_vec(
+        enc.batch,
+        out_c * windows_per_image,
+        values,
+    ))
 }
 
 #[cfg(test)]
@@ -191,7 +221,9 @@ mod tests {
             1,
             5,
             5,
-            (0..50).map(|_| (rng.random_range(-20i32..=20) as f64) / 10.0).collect(),
+            (0..50)
+                .map(|_| (rng.random_range(-20i32..=20) as f64) / 10.0)
+                .collect(),
         );
         let filters_f = Matrix::from_fn(2, 9, |r, c| ((r * 5 + c) % 7) as f64 / 10.0 - 0.3);
         let filters_q = fp.encode_matrix(&filters_f);
@@ -237,14 +269,31 @@ mod tests {
         let filters = Matrix::from_fn(2, 4, |_, _| 1i64);
         let keys = derive_filter_keys(&authority, &filters).unwrap();
         assert!(matches!(
-            secure_convolution(&feip_mpk, &enc, &keys[..1], &filters, &table, Parallelism::Serial),
-            Err(SmcError::KeyCountMismatch { expected: 2, got: 1 })
+            secure_convolution(
+                &feip_mpk,
+                &enc,
+                &keys[..1],
+                &filters,
+                &table,
+                Parallelism::Serial
+            ),
+            Err(SmcError::KeyCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
 
         let wrong_width = Matrix::from_fn(2, 5, |_, _| 1i64);
         let keys5 = derive_filter_keys(&authority, &wrong_width).unwrap();
         assert!(matches!(
-            secure_convolution(&feip_mpk, &enc, &keys5, &wrong_width, &table, Parallelism::Serial),
+            secure_convolution(
+                &feip_mpk,
+                &enc,
+                &keys5,
+                &wrong_width,
+                &table,
+                Parallelism::Serial
+            ),
             Err(SmcError::ShapeMismatch { .. })
         ));
     }
@@ -259,9 +308,15 @@ mod tests {
         let enc = encrypt_windows(&images, &spec, fp, &feip_mpk, &mut rng).unwrap();
         let filters = Matrix::from_fn(1, 4, |_, c| c as i64 + 1);
         let keys = derive_filter_keys(&authority, &filters).unwrap();
-        let out =
-            secure_convolution(&feip_mpk, &enc, &keys, &filters, &table, Parallelism::Serial)
-                .unwrap();
+        let out = secure_convolution(
+            &feip_mpk,
+            &enc,
+            &keys,
+            &filters,
+            &table,
+            Parallelism::Serial,
+        )
+        .unwrap();
         assert!(out.as_slice().iter().all(|&v| v == 0));
     }
 }

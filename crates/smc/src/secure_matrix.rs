@@ -26,7 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SmcError;
-use crate::parallel::{parallel_map, Parallelism};
+use cryptonn_parallel::{parallel_map, Parallelism};
 
 /// The permitted function set `F` of Algorithm 1: a dot-product or one
 /// of the four element-wise operations.
@@ -53,7 +53,7 @@ pub struct EncryptedMatrix {
 }
 
 impl EncryptedMatrix {
-    /// Encrypts for dot-products only (FEIP per column).
+    /// Encrypts for dot-products only (FEIP per column), serially.
     ///
     /// # Errors
     ///
@@ -64,34 +64,82 @@ impl EncryptedMatrix {
         feip_mpk: &FeipPublicKey,
         rng: &mut R,
     ) -> Result<Self, SmcError> {
-        let mut columns = Vec::with_capacity(x.cols());
-        for j in 0..x.cols() {
-            columns.push(feip::encrypt(feip_mpk, &x.col(j), rng)?);
-        }
-        Ok(Self { rows: x.rows(), cols: x.cols(), columns: Some(columns), elements: None })
+        Self::encrypt_columns_with(x, feip_mpk, rng, Parallelism::Serial)
     }
 
-    /// Encrypts for element-wise computation only (FEBO per element).
+    /// Encrypts for dot-products only, fanning the column ciphertexts
+    /// out over `parallelism` via [`feip::encrypt_batch`]. The output
+    /// is bit-identical across thread counts for a given `rng` state.
+    ///
+    /// # Errors
+    ///
+    /// As [`encrypt_columns`](Self::encrypt_columns).
+    pub fn encrypt_columns_with<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        feip_mpk: &FeipPublicKey,
+        rng: &mut R,
+        parallelism: Parallelism,
+    ) -> Result<Self, SmcError> {
+        let cols: Vec<Vec<i64>> = (0..x.cols()).map(|j| x.col(j)).collect();
+        let columns = feip::encrypt_batch(feip_mpk, &cols, rng, parallelism)?;
+        Ok(Self {
+            rows: x.rows(),
+            cols: x.cols(),
+            columns: Some(columns),
+            elements: None,
+        })
+    }
+
+    /// Encrypts for element-wise computation only (FEBO per element),
+    /// serially.
     pub fn encrypt_elements<R: Rng + ?Sized>(
         x: &Matrix<i64>,
         febo_mpk: &FeboPublicKey,
         rng: &mut R,
     ) -> Result<Self, SmcError> {
-        let elements = Matrix::from_fn(x.rows(), x.cols(), |i, j| {
-            febo::encrypt(febo_mpk, x[(i, j)], rng)
-        });
-        Ok(Self { rows: x.rows(), cols: x.cols(), columns: None, elements: Some(elements) })
+        Self::encrypt_elements_with(x, febo_mpk, rng, Parallelism::Serial)
     }
 
-    /// Full Algorithm-1 encryption: both the FEIP and FEBO parts.
+    /// Encrypts for element-wise computation only, fanning the element
+    /// ciphertexts out over `parallelism` via [`febo::encrypt_batch`].
+    pub fn encrypt_elements_with<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        febo_mpk: &FeboPublicKey,
+        rng: &mut R,
+        parallelism: Parallelism,
+    ) -> Result<Self, SmcError> {
+        let cts = febo::encrypt_batch(febo_mpk, x.as_slice(), rng, parallelism);
+        let elements = Matrix::from_vec(x.rows(), x.cols(), cts);
+        Ok(Self {
+            rows: x.rows(),
+            cols: x.cols(),
+            columns: None,
+            elements: Some(elements),
+        })
+    }
+
+    /// Full Algorithm-1 encryption: both the FEIP and FEBO parts,
+    /// serially.
     pub fn encrypt_full<R: Rng + ?Sized>(
         x: &Matrix<i64>,
         feip_mpk: &FeipPublicKey,
         febo_mpk: &FeboPublicKey,
         rng: &mut R,
     ) -> Result<Self, SmcError> {
-        let with_cols = Self::encrypt_columns(x, feip_mpk, rng)?;
-        let with_elems = Self::encrypt_elements(x, febo_mpk, rng)?;
+        Self::encrypt_full_with(x, feip_mpk, febo_mpk, rng, Parallelism::Serial)
+    }
+
+    /// Full Algorithm-1 encryption with a parallel fan-out for both
+    /// parts.
+    pub fn encrypt_full_with<R: Rng + ?Sized>(
+        x: &Matrix<i64>,
+        feip_mpk: &FeipPublicKey,
+        febo_mpk: &FeboPublicKey,
+        rng: &mut R,
+        parallelism: Parallelism,
+    ) -> Result<Self, SmcError> {
+        let with_cols = Self::encrypt_columns_with(x, feip_mpk, rng, parallelism)?;
+        let with_elems = Self::encrypt_elements_with(x, febo_mpk, rng, parallelism)?;
         Ok(Self {
             rows: x.rows(),
             cols: x.cols(),
@@ -141,7 +189,9 @@ impl EncryptedMatrix {
     }
 
     fn elements(&self) -> Result<&Matrix<FeboCiphertext>, SmcError> {
-        self.elements.as_ref().ok_or(SmcError::NotEncryptedForElementwise)
+        self.elements
+            .as_ref()
+            .ok_or(SmcError::NotEncryptedForElementwise)
     }
 }
 
@@ -180,17 +230,16 @@ pub fn derive_elementwise_keys(
     y: &Matrix<i64>,
 ) -> Result<Matrix<FeboFunctionKey>, SmcError> {
     if y.shape() != enc.shape() {
-        return Err(SmcError::ShapeMismatch { expected: enc.shape(), got: y.shape() });
+        return Err(SmcError::ShapeMismatch {
+            expected: enc.shape(),
+            got: y.shape(),
+        });
     }
     let elements = enc.elements()?;
     let mut keys = Vec::with_capacity(y.rows() * y.cols());
     for i in 0..y.rows() {
         for j in 0..y.cols() {
-            keys.push(authority.derive_bo_key(
-                elements[(i, j)].commitment(),
-                op,
-                y[(i, j)],
-            )?);
+            keys.push(authority.derive_bo_key(elements[(i, j)].commitment(), op, y[(i, j)])?);
         }
     }
     Ok(Matrix::from_vec(y.rows(), y.cols(), keys))
@@ -216,10 +265,16 @@ pub fn secure_dot(
 ) -> Result<Matrix<i64>, SmcError> {
     let columns = enc.columns()?;
     if y.cols() != enc.rows() {
-        return Err(SmcError::ShapeMismatch { expected: (y.rows(), enc.rows()), got: y.shape() });
+        return Err(SmcError::ShapeMismatch {
+            expected: (y.rows(), enc.rows()),
+            got: y.shape(),
+        });
     }
     if keys.len() != y.rows() {
-        return Err(SmcError::KeyCountMismatch { expected: y.rows(), got: keys.len() });
+        return Err(SmcError::KeyCountMismatch {
+            expected: y.rows(),
+            got: keys.len(),
+        });
     }
 
     let out_rows = y.rows();
@@ -252,7 +307,10 @@ pub fn secure_elementwise(
 ) -> Result<Matrix<i64>, SmcError> {
     let elements = enc.elements()?;
     if y.shape() != enc.shape() {
-        return Err(SmcError::ShapeMismatch { expected: enc.shape(), got: y.shape() });
+        return Err(SmcError::ShapeMismatch {
+            expected: enc.shape(),
+            got: y.shape(),
+        });
     }
     if keys.shape() != enc.shape() {
         return Err(SmcError::KeyCountMismatch {
@@ -266,7 +324,14 @@ pub fn secure_elementwise(
         parallel_map(rows * cols, parallelism.thread_count(), |idx| {
             let i = idx / cols;
             let j = idx % cols;
-            febo::decrypt(febo_mpk, &keys[(i, j)], &elements[(i, j)], op, y[(i, j)], table)
+            febo::decrypt(
+                febo_mpk,
+                &keys[(i, j)],
+                &elements[(i, j)],
+                op,
+                y[(i, j)],
+                table,
+            )
         });
     collect_matrix(rows, cols, results)
 }
@@ -303,7 +368,10 @@ pub fn secure_compute(
 /// A conservative signed dlog bound for dot-products of `len`-long
 /// vectors with entries bounded by `max_x` and `max_y`.
 pub fn dot_bound(max_x: u64, max_y: u64, len: usize) -> u64 {
-    max_x.saturating_mul(max_y).saturating_mul(len as u64).max(1)
+    max_x
+        .saturating_mul(max_y)
+        .saturating_mul(len as u64)
+        .max(1)
 }
 
 /// A conservative signed dlog bound for an element-wise operation with
@@ -343,7 +411,11 @@ mod tests {
         let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
         let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 17);
         let table = DlogTable::new(&group, 2_000_000);
-        Fixture { authority, table, rng: StdRng::seed_from_u64(18) }
+        Fixture {
+            authority,
+            table,
+            rng: StdRng::seed_from_u64(18),
+        }
     }
 
     fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, range: i64) -> Matrix<i64> {
@@ -405,8 +477,7 @@ mod tests {
         let x = random_matrix(&mut fx.rng, 3, 2, 20);
         let feip_mpk = fx.authority.feip_public_key(3);
         let febo_mpk = fx.authority.febo_public_key();
-        let enc =
-            EncryptedMatrix::encrypt_full(&x, &feip_mpk, &febo_mpk, &mut fx.rng).unwrap();
+        let enc = EncryptedMatrix::encrypt_full(&x, &feip_mpk, &febo_mpk, &mut fx.rng).unwrap();
         assert!(enc.supports_dot() && enc.supports_elementwise());
 
         let w = random_matrix(&mut fx.rng, 2, 3, 20);
@@ -454,8 +525,15 @@ mod tests {
         let elem_only = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut fx.rng).unwrap();
         let keys = derive_dot_keys(&fx.authority, &x).unwrap();
         assert_eq!(
-            secure_dot(&feip_mpk, &elem_only, &keys, &x, &fx.table, Parallelism::Serial)
-                .unwrap_err(),
+            secure_dot(
+                &feip_mpk,
+                &elem_only,
+                &keys,
+                &x,
+                &fx.table,
+                Parallelism::Serial
+            )
+            .unwrap_err(),
             SmcError::NotEncryptedForDot
         );
     }
@@ -471,15 +549,32 @@ mod tests {
         let bad_y = random_matrix(&mut fx.rng, 2, 4, 5);
         let keys = derive_dot_keys(&fx.authority, &random_matrix(&mut fx.rng, 2, 3, 5)).unwrap();
         assert!(matches!(
-            secure_dot(&feip_mpk, &enc, &keys, &bad_y, &fx.table, Parallelism::Serial),
+            secure_dot(
+                &feip_mpk,
+                &enc,
+                &keys,
+                &bad_y,
+                &fx.table,
+                Parallelism::Serial
+            ),
             Err(SmcError::ShapeMismatch { .. })
         ));
 
         // Too few keys.
         let y = random_matrix(&mut fx.rng, 2, 3, 5);
         assert!(matches!(
-            secure_dot(&feip_mpk, &enc, &keys[..1], &y, &fx.table, Parallelism::Serial),
-            Err(SmcError::KeyCountMismatch { expected: 2, got: 1 })
+            secure_dot(
+                &feip_mpk,
+                &enc,
+                &keys[..1],
+                &y,
+                &fx.table,
+                Parallelism::Serial
+            ),
+            Err(SmcError::KeyCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Each clinic is an independent client — same mpk, own RNG.
     let mut clients: Vec<Client> = (0..clinics.len() as u64)
-        .map(|i| Client::for_mlp(&authority, features, 1, config.fp, 100 + i))
+        .map(|i| {
+            Client::for_mlp(&authority, features, 1, config.fp, 100 + i)
+                .with_parallelism(config.parallelism)
+        })
         .collect();
 
     let mut rng = StdRng::seed_from_u64(23);
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         if epoch % 3 == 0 {
-            println!("epoch {epoch:>2}: mean encrypted-batch loss = {:.4}", loss_sum / batches);
+            println!(
+                "epoch {epoch:>2}: mean encrypted-batch loss = {:.4}",
+                loss_sum / batches
+            );
         }
     }
 

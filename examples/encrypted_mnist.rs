@@ -27,9 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let classes = 2;
     let train = synthetic_digits(96, DigitConfig::small(), 11);
     // Keep only labels < classes (synthetic_digits cycles 0..10).
-    let keep: Vec<usize> =
-        (0..train.len()).filter(|&i| train.labels()[i] < classes).collect();
-    println!("training CryptoCNN vs plaintext LeNet on {} encrypted digits", keep.len());
+    let keep: Vec<usize> = (0..train.len())
+        .filter(|&i| train.labels()[i] < classes)
+        .collect();
+    println!(
+        "training CryptoCNN vs plaintext LeNet on {} encrypted digits",
+        keep.len()
+    );
 
     let mut rng = StdRng::seed_from_u64(12);
     let mut crypto = CryptoCnn::lenet_small(config, classes, &mut rng);
@@ -37,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut plain = CryptoCnn::lenet_small(config, classes, &mut rng_twin);
 
     let spec = crypto.conv_spec();
-    let mut client = Client::for_cnn(&authority, &spec, 1, classes, config.fp, 13);
+    let mut client = Client::for_cnn(&authority, &spec, 1, classes, config.fp, 13)
+        .with_parallelism(config.parallelism);
 
     let batch_size = 8;
     for epoch in 0..8 {

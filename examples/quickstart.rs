@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = CryptoNnConfig::fast(); // 64-bit demo group; use `paper()` for 256-bit
     let group = SchnorrGroup::precomputed(config.level);
     let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 2019);
-    println!("group: {}-bit safe prime p = {}", group.modulus().bit_len(), group.modulus());
+    println!(
+        "group: {}-bit safe prime p = {}",
+        group.modulus().bit_len(),
+        group.modulus()
+    );
 
     // --- 2. Client-side encryption ------------------------------------
     let mut rng = StdRng::seed_from_u64(1);
@@ -41,10 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = [2i64, 7, 1, 8, 2];
     let sk = authority.derive_ip_key(w.len(), &w)?;
     let ip = feip::decrypt(&feip_mpk, &ct_vec, &sk, &w, &table)?;
-    println!("server computed <x, w> = {ip} (expected {})", 3 * 2 - 7 + 4 + 8 + 10);
+    println!(
+        "server computed <x, w> = {ip} (expected {})",
+        3 * 2 - 7 + 4 + 8 + 10
+    );
 
     // Basic arithmetic on the encrypted value.
-    for (op, y) in [(BasicOp::Add, 8), (BasicOp::Sub, 50), (BasicOp::Mul, -3), (BasicOp::Div, 6)] {
+    for (op, y) in [
+        (BasicOp::Add, 8),
+        (BasicOp::Sub, 50),
+        (BasicOp::Mul, -3),
+        (BasicOp::Div, 6),
+    ] {
         let sk = authority.derive_bo_key(ct_val.commitment(), op, y)?;
         let z = febo::decrypt(&febo_mpk, &sk, &ct_val, op, y, &table)?;
         println!("server computed {secret} {op} {y} = {z}");
@@ -54,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2-feature binary task: the server never sees the plaintext batch.
     let x = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2], &[0.1, 0.9], &[0.2, 0.8]]);
     let y = Matrix::from_rows(&[&[1.0], &[1.0], &[0.0], &[0.0]]);
-    let mut client = Client::for_mlp(&authority, 2, 1, config.fp, 3);
+    let mut client =
+        Client::for_mlp(&authority, 2, 1, config.fp, 3).with_parallelism(config.parallelism);
     let batch = client.encrypt_batch(&x, &y)?;
 
     let mut model_rng = StdRng::seed_from_u64(4);
@@ -62,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for epoch in 0..40 {
         let step = model.train_encrypted_batch(&authority, &batch, 2.0)?;
         if epoch % 10 == 0 {
-            println!("encrypted training epoch {epoch:>2}: loss = {:.4}", step.loss);
+            println!(
+                "encrypted training epoch {epoch:>2}: loss = {:.4}",
+                step.loss
+            );
         }
     }
     let pred = model.predict_plain(&x);

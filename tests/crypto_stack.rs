@@ -94,7 +94,10 @@ fn serde_roundtrips_ciphertexts_and_keys() {
         serde_json::from_str(&serde_json::to_string(&sk).unwrap()).unwrap();
 
     let table = DlogTable::new(&group, 1_000);
-    assert_eq!(feip::decrypt(&mpk2, &ct2, &sk2, &[4, 5, 6], &table).unwrap(), 32);
+    assert_eq!(
+        feip::decrypt(&mpk2, &ct2, &sk2, &[4, 5, 6], &table).unwrap(),
+        32
+    );
 }
 
 #[test]

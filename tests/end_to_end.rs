@@ -41,7 +41,10 @@ fn encrypted_mlp_learns_the_clinic_task() {
     let pred = model.predict_plain(&squash(test.images()));
     let y_test = Matrix::from_fn(test.len(), 1, |r, _| test.labels()[r] as f64);
     let acc = binary_accuracy(&pred, &y_test);
-    assert!(acc > 0.8, "encrypted training should learn the task, got {acc}");
+    assert!(
+        acc > 0.8,
+        "encrypted training should learn the task, got {acc}"
+    );
 }
 
 /// Encrypted and plaintext training must track each other batch by
@@ -106,7 +109,10 @@ fn multiple_clients_train_one_encrypted_model() {
             for (x, y) in shard.batches(15) {
                 let y_bin = Matrix::from_fn(y.rows(), 1, |r, _| y[(r, 1)]);
                 let batch = client.encrypt_batch(&squash(&x), &y_bin).unwrap();
-                last_loss = model.train_encrypted_batch(&auth, &batch, 1.5).unwrap().loss;
+                last_loss = model
+                    .train_encrypted_batch(&auth, &batch, 1.5)
+                    .unwrap()
+                    .loss;
                 first_loss.get_or_insert(last_loss);
             }
         }
@@ -125,7 +131,9 @@ fn encrypted_cnn_tracks_plaintext_twin_on_digits() {
     let auth = authority(&config, 9);
     let classes = 3;
     let data = synthetic_digits(60, DigitConfig::small(), 14);
-    let keep: Vec<usize> = (0..data.len()).filter(|&i| data.labels()[i] < classes).collect();
+    let keep: Vec<usize> = (0..data.len())
+        .filter(|&i| data.labels()[i] < classes)
+        .collect();
 
     let mut rng_a = StdRng::seed_from_u64(10);
     let mut crypto = CryptoCnn::lenet_small(config, classes, &mut rng_a);
@@ -163,7 +171,10 @@ fn encrypted_cnn_tracks_plaintext_twin_on_digits() {
     }
     // Same-batch accuracies agree closely (predictions near-identical).
     for (e, p) in enc_accs.iter().zip(&plain_accs) {
-        assert!((e - p).abs() <= 0.34, "batch accuracies diverged: {e} vs {p}");
+        assert!(
+            (e - p).abs() <= 0.34,
+            "batch accuracies diverged: {e} vs {p}"
+        );
     }
 }
 

@@ -6,9 +6,9 @@ use cryptonn_fe::{BasicOp, KeyAuthority, PermittedFunctions};
 use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
 use cryptonn_matrix::{conv2d_naive, ConvSpec, Matrix, Tensor4};
 use cryptonn_smc::{
-    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, encrypt_windows,
-    secure_compute, secure_convolution, secure_dot, secure_elementwise, EncryptedMatrix,
-    FixedPoint, Parallelism, SecureFunction,
+    derive_dot_keys, derive_elementwise_keys, derive_filter_keys, encrypt_windows, secure_compute,
+    secure_convolution, secure_dot, secure_elementwise, EncryptedMatrix, FixedPoint, Parallelism,
+    SecureFunction,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -51,10 +51,18 @@ fn elementwise_matches_reference_for_every_op_and_parallelism() {
 
     let enc = EncryptedMatrix::encrypt_elements(&x, &febo_mpk, &mut rng).unwrap();
     for op in BasicOp::ALL {
-        for par in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)] {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ] {
             let keys = derive_elementwise_keys(&authority, &enc, op, &y).unwrap();
             let z = secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, par).unwrap();
-            assert_eq!(z, x.zip_map(&y, |a, b| op.apply(a, b)), "op {op} par {par:?}");
+            assert_eq!(
+                z,
+                x.zip_map(&y, |a, b| op.apply(a, b)),
+                "op {op} par {par:?}"
+            );
         }
     }
 }
@@ -121,9 +129,15 @@ fn secure_convolution_matches_reference_over_fig2_geometry() {
     let mpk = authority.feip_public_key(9);
     let enc = encrypt_windows(&images, &spec, fp, &mpk, &mut rng).unwrap();
     let keys = derive_filter_keys(&authority, &filters_q).unwrap();
-    let out =
-        secure_convolution(&mpk, &enc, &keys, &filters_q, &table, Parallelism::Threads(4))
-            .unwrap();
+    let out = secure_convolution(
+        &mpk,
+        &enc,
+        &keys,
+        &filters_q,
+        &table,
+        Parallelism::Threads(4),
+    )
+    .unwrap();
 
     let images_q = images.map(|v| fp.encode(v) as f64);
     let reference = conv2d_naive(&images_q, &filters_q.map(|v| v as f64), &[0.0; 4], &spec);

@@ -1,0 +1,385 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches were written against
+//! ([`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], the `criterion_group!`/`criterion_main!` macros and
+//! [`black_box`]) over a simple wall-clock harness: each benchmark warms
+//! up, then runs `sample_size` samples and prints min/mean per-iteration
+//! times. There is no statistical analysis, HTML report, or baseline
+//! comparison — results are a single-line series suitable for eyeballing
+//! and for the perf-trajectory log.
+//!
+//! `CRYPTONN_BENCH_FAST=1` caps measurement at one sample per benchmark
+//! so CI can smoke-test the bench targets quickly.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// The top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(2),
+            default_warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring criterion's
+    /// builder so `criterion_group!`-generated code can call it.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let label = id.render();
+        let (sample_size, measurement_time, warm_up_time) = (
+            self.default_sample_size,
+            self.default_measurement_time,
+            self.default_warm_up_time,
+        );
+        run_benchmark(&label, sample_size, measurement_time, warm_up_time, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput annotations (accepted and ignored by this harness).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Calibration pass: determine iterations per sample.
+    Calibrate {
+        target: Duration,
+        measured: Option<(u64, Duration)>,
+    },
+    /// Measurement pass: record `samples`.
+    Measure { sample_count: usize },
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BencherMode::Calibrate { target, measured } => {
+                // Double the iteration count until the batch takes at
+                // least ~1% of the warm-up target, then scale.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= *target / 20 || iters >= 1 << 20 {
+                        *measured = Some((iters, elapsed));
+                        break;
+                    }
+                    iters *= 2;
+                }
+            }
+            BencherMode::Measure { sample_count } => {
+                for _ in 0..*sample_count {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("CRYPTONN_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) {
+    // Calibration/warm-up pass.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        mode: BencherMode::Calibrate {
+            target: warm_up_time,
+            measured: None,
+        },
+    };
+    f(&mut bencher);
+    let (cal_iters, cal_elapsed) = match bencher.mode {
+        BencherMode::Calibrate { measured, .. } => measured.unwrap_or((1, Duration::ZERO)),
+        BencherMode::Measure { .. } => unreachable!(),
+    };
+    let per_iter = if cal_iters > 0 && !cal_elapsed.is_zero() {
+        cal_elapsed / cal_iters as u32
+    } else {
+        Duration::from_nanos(1)
+    };
+
+    let sample_count = if fast_mode() { 1 } else { sample_size.max(1) };
+    // Aim each sample at measurement_time / sample_count.
+    let sample_budget = measurement_time / sample_count as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1
+    } else {
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample,
+        mode: BencherMode::Measure { sample_count },
+    };
+    f(&mut bencher);
+
+    let iters = bencher.iters_per_sample;
+    let per_iter_times: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    if per_iter_times.is_empty() {
+        println!("{label:<60} (no samples — closure never called iter)");
+        return;
+    }
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    let min = per_iter_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<60} time: [min {} mean {}]  ({} samples x {} iters)",
+        format_time(min),
+        format_time(mean),
+        per_iter_times.len(),
+        iters,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("CRYPTONN_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("test_group");
+            g.sample_size(2);
+            g.measurement_time(Duration::from_millis(10));
+            g.warm_up_time(Duration::from_millis(1));
+            g.bench_function("counting", |b| b.iter(|| count += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(5).render(), "5");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

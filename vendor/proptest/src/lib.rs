@@ -1,0 +1,499 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`, range and
+//! [`any`] strategies, [`collection::vec`], [`array::uniform4`],
+//! `prop_oneof!`, and the `proptest! { ... }` test macro with
+//! `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: cases are drawn from a deterministic per-test RNG (seeded from
+//! the test name), and failing cases are **not shrunk** — the failure
+//! message reports the case index instead so the run can be replayed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng, StandardUniform};
+
+/// The RNG driving every strategy.
+pub type TestRng = StdRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier crypto
+        // properties fast in CI while still exploring the space.
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (used by `prop_oneof!`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: StandardUniform> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full range of `T` (integers, bool, unit floats).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A size specification: an exact length or a range of lengths.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates `Vec`s of values from `element` with lengths from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_n {
+        ($($name:ident => $n:literal),*) => {$(
+            /// The strategy type produced by the matching `uniformN`.
+            pub struct $name<S>(S);
+
+            impl<S: Strategy> Strategy for $name<S> {
+                type Value = [S::Value; $n];
+
+                fn sample(&self, rng: &mut TestRng) -> [S::Value; $n] {
+                    core::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+        )*};
+    }
+
+    uniform_n!(Uniform2 => 2, Uniform4 => 4, Uniform8 => 8);
+
+    /// Generates `[T; 2]` arrays from one element strategy.
+    pub fn uniform2<S: Strategy>(s: S) -> Uniform2<S> {
+        Uniform2(s)
+    }
+
+    /// Generates `[T; 4]` arrays from one element strategy.
+    pub fn uniform4<S: Strategy>(s: S) -> Uniform4<S> {
+        Uniform4(s)
+    }
+
+    /// Generates `[T; 8]` arrays from one element strategy.
+    pub fn uniform8<S: Strategy>(s: S) -> Uniform8<S> {
+        Uniform8(s)
+    }
+}
+
+/// A strategy choosing uniformly among boxed alternatives; built by
+/// `prop_oneof!`.
+pub struct OneOf<T> {
+    /// The alternatives (public for the macro; treat as internal).
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one option"
+        );
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Derives the deterministic RNG for one property (seeded by hashing the
+/// fully-qualified test name, overridable via `PROPTEST_SEED`).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or(0),
+        Err(_) => 0,
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// case instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                ::core::stringify!($cond),
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __l,
+                __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                ::std::format!($($fmt)*),
+                __l,
+                __r,
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __l,
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: ::std::vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` body is
+/// run for the configured number of random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::test_rng(::core::concat!(
+                    ::core::module_path!(), "::", ::core::stringify!($name)
+                ));
+                $(let $arg = $crate::Strategy::boxed($strategy);)*
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&$arg, &mut __rng);)*
+                    let __result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(__msg) = __result {
+                        ::core::panic!(
+                            "property `{}` failed at case {}/{}:\n{}",
+                            ::core::stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __msg,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_range() {
+        let mut rng = super::test_rng("strategies_sample_in_range");
+        for _ in 0..200 {
+            let v = (3i64..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let v = (0.0f64..1.0).sample(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+            let arr = super::array::uniform4(any::<u64>()).sample(&mut rng);
+            assert_eq!(arr.len(), 4);
+            let v = super::collection::vec(0u64..5, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let one = prop_oneof![1i64..=3, 10i64..=12].sample(&mut rng);
+            assert!((1..=3).contains(&one) || (10..=12).contains(&one));
+            assert_eq!(Just(7u8).sample(&mut rng), 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b + 1);
+        }
+
+        #[test]
+        fn mapped_strategy(v in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 20, "v = {}", v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_property` failed")]
+    fn failures_report_case() {
+        proptest! {
+            @cfg (ProptestConfig::with_cases(5))
+            fn failing_property(a in 0u64..10) {
+                prop_assert!(a > 100);
+            }
+        }
+        failing_property();
+    }
+}

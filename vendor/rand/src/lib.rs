@@ -1,0 +1,422 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the small subset of the `rand` 0.9-style API it
+//! actually uses: [`RngCore`] / [`Rng`] / [`RngExt`] traits,
+//! [`SeedableRng`], the deterministic [`rngs::StdRng`] (xoshiro256**),
+//! an entropy-seeded [`rng()`] constructor, uniform range sampling, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is *not* cryptographically secure; it exists so the
+//! reproduction's tests, benches and examples are deterministic and
+//! self-contained. Production deployments should swap in a CSPRNG by
+//! replacing this vendored crate with the real `rand`/`rand_chacha`.
+
+/// Low-level source of randomness: everything is derived from
+/// [`next_u64`](RngCore::next_u64).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Marker trait mirroring `rand::Rng`; blanket-implemented for every
+/// [`RngCore`] so generic bounds read like the real crate.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods for sampling typed values, mirroring the
+/// `random`/`random_range` family.
+pub trait RngExt: RngCore {
+    /// Samples a value of a type with a standard uniform distribution
+    /// (integers over their full range, `f64`/`f32` in `[0, 1)`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b`, `a..=b`, or `a..`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types that can be sampled from their standard uniform distribution.
+pub trait StandardUniform: Sized {
+    /// Draws one sample from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardUniform for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as $wide;
+                let v = <$wide as StandardUniform>::sample_standard(rng) % span;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is admissible.
+                    return <$wide as StandardUniform>::sample_standard(rng) as $t;
+                }
+                let v = <$wide as StandardUniform>::sample_standard(rng) % span;
+                start.wrapping_add(v as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeFrom<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                (self.start..=<$t>::MAX).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64, u128 => u128,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64, i128 => u128
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::sample_standard(rng)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + (end - start) * f64::sample_standard(rng)
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The full-width seed type (32 bytes for [`rngs::StdRng`],
+    /// matching real rand's shape).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator seeded from another generator, transferring a
+    /// full-width seed (not just 64 bits).
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+
+    /// Builds a generator seeded from ambient entropy.
+    fn from_os_rng() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded through
+    /// SplitMix64. Deterministic, `Clone`, and fast — but **not** a
+    /// CSPRNG (see the crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (limb, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *limb = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro forbids the all-zero state.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for limb in &mut s {
+                *limb = Self::splitmix64(&mut state);
+            }
+            // SplitMix64 cannot produce the all-zero state from any
+            // seed, but keep the guard explicit.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Shuffling for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Returns an entropy-seeded generator, mirroring `rand::rng()`.
+///
+/// Entropy comes from the OS-seeded `RandomState` hasher plus a
+/// process-wide counter, so repeated calls yield independent streams.
+pub fn rng() -> rngs::StdRng {
+    rngs::StdRng::seed_from_u64(entropy_seed())
+}
+
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // RandomState is seeded from OS entropy once per process.
+    let mut hasher = std::hash::RandomState::new().build_hasher();
+    hasher.write_u64(count);
+    if let Ok(elapsed) = std::time::UNIX_EPOCH.elapsed() {
+        hasher.write_u128(elapsed.as_nanos());
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn from_seed_uses_full_width() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        // Differ only in the last byte: a 64-bit-truncating seed would
+        // collapse these to the same stream.
+        a[31] = 1;
+        b[31] = 2;
+        // xoshiro's first output reflects only s[1], so compare a short
+        // stream rather than a single draw.
+        let (mut ra, mut rb) = (StdRng::from_seed(a), StdRng::from_seed(b));
+        let stream = |r: &mut StdRng| [r.next_u64(), r.next_u64(), r.next_u64()];
+        assert_ne!(stream(&mut ra), stream(&mut rb));
+        // Same seed, same stream.
+        let (mut r1, mut r2) = (StdRng::from_seed(a), StdRng::from_seed(a));
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        // All-zero seed is patched, not a stuck generator.
+        let mut rz = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rz.next_u64(), rz.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.random_range(10u64..20);
+            assert!((10..20).contains(&u));
+            let f = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let w = rng.random_range(3usize..4);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u64 = rng.random_range(0u64..=u64::MAX);
+        let _: u128 = rng.random_range(0u128..=u128::MAX);
+    }
+
+    #[test]
+    fn unit_float_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "49! permutations; identity is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    fn entropy_rngs_differ() {
+        let mut a = super::rng();
+        let mut b = super::rng();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

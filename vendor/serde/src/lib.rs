@@ -1,0 +1,511 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates registry, so the workspace
+//! vendors a small serialization framework exposing the `serde` trait
+//! names the code was written against ([`Serialize`], [`Deserialize`],
+//! [`Serializer`], [`Deserializer`], `de::Error::custom`) plus the
+//! `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Unlike real serde's visitor architecture, everything routes through
+//! one self-describing [`Value`] tree (the JSON data model). That is
+//! sufficient for the formats this workspace uses (`serde_json`) while
+//! keeping the vendored code small and auditable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// The self-describing data model every serializer/deserializer in this
+/// vendored framework speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (used for negative numbers).
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (fields preserve declaration
+    /// order; JSON objects preserve document order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the framework.
+
+    use super::Value;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A sink for one [`Value`] tree.
+    pub trait Serializer: Sized {
+        /// The successful result type.
+        type Ok;
+        /// The error type.
+        type Error: Error;
+
+        /// Consumes a fully-built value tree.
+        fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string.
+        fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(s.to_owned()))
+        }
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::U64(v))
+        }
+
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::I64(v))
+        }
+
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+
+        /// Serializes a unit value as null.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+    }
+
+    /// The error of [`ValueSerializer`]; never actually constructed.
+    #[derive(Debug)]
+    pub struct Infallible(String);
+
+    impl std::fmt::Display for Infallible {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl Error for Infallible {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Infallible(msg.to_string())
+        }
+    }
+
+    /// A serializer that just hands back the built [`Value`].
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Infallible;
+
+        fn serialize_value(self, v: Value) -> Result<Value, Infallible> {
+            Ok(v)
+        }
+    }
+
+    /// Serializes any [`Serialize`](super::Serialize) into the value model.
+    pub fn to_value<T: super::Serialize + ?Sized>(v: &T) -> Value {
+        v.serialize(ValueSerializer)
+            .expect("ValueSerializer is infallible")
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the framework.
+
+    use super::Value;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A source of one [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// The error type.
+        type Error: Error;
+
+        /// Produces the full value tree.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A plain string error for value-model conversions.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ValueError(pub String);
+
+    impl std::fmt::Display for ValueError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ValueError {}
+
+    impl Error for ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    /// A deserializer reading from an owned [`Value`].
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = ValueError;
+
+        fn deserialize_value(self) -> Result<Value, ValueError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Shorthand for types deserializable from any lifetime (all types
+    /// in this value-model framework are).
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Converts a value-model node into a typed value.
+    pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, ValueError> {
+        T::deserialize(ValueDeserializer(v))
+    }
+
+    /// Pulls field `name` out of map entries and deserializes it — the
+    /// workhorse of derived struct impls.
+    pub fn field<T: DeserializeOwned>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, ValueError> {
+        let v = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| ValueError(format!("missing field `{name}`")))?;
+        from_value(v).map_err(|e| ValueError(format!("field `{name}`: {e}")))
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A type serializable into the value model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type deserializable from the value model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---- primitive impls -----------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_unit(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|v| ser::to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), ser::to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<V: Serialize, H> Serialize for HashMap<String, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), ser::to_value(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+fn type_error<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw: u64 = match v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    other => return Err(type_error("unsigned integer", &other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw: i64 = match v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    other => return Err(type_error("integer", &other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::F64(f) => Ok(f),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            other => Err(type_error("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Cow<'de, str> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(Cow::Owned)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => de::from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| de::from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(ser::to_value(&42u32), Value::U64(42));
+        assert_eq!(ser::to_value(&-7i64), Value::I64(-7));
+        assert_eq!(ser::to_value(&true), Value::Bool(true));
+        assert_eq!(ser::to_value(&"hi".to_string()), Value::Str("hi".into()));
+        let v: u32 = de::from_value(Value::U64(42)).unwrap();
+        assert_eq!(v, 42);
+        let s: String = de::from_value(Value::Str("x".into())).unwrap();
+        assert_eq!(s, "x");
+        let o: Option<u64> = de::from_value(Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let val = ser::to_value(&v);
+        assert_eq!(
+            val,
+            Value::Seq(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        let back: Vec<u64> = de::from_value(val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn range_errors() {
+        let r: Result<u8, _> = de::from_value(Value::U64(300));
+        assert!(r.is_err());
+        let r: Result<u64, _> = de::from_value(Value::Str("nope".into()));
+        assert!(r.is_err());
+    }
+}

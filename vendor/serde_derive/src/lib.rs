@@ -1,0 +1,467 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored value-model `serde` crate, without `syn`/`quote`
+//! (no registry access). The parser covers exactly the shapes this
+//! workspace derives on:
+//!
+//! - structs with named fields (optionally generic over type params),
+//! - tuple structs (newtype-transparent for one field, sequences
+//!   otherwise),
+//! - enums with unit and one-field tuple variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! `#[serde(...)]` field attributes are not supported and the workspace
+//! does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Input {
+    name: String,
+    /// Type parameters as `(ident, has_explicit_bounds)`.
+    params: Vec<(String, String)>,
+    data: Data,
+}
+
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, bool)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => {
+            let code = match mode {
+                Mode::Ser => gen_serialize(&parsed),
+                Mode::De => gen_deserialize(&parsed),
+            };
+            code.parse().expect("derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let params = parse_generics(&tokens, &mut i)?;
+
+    let data = if kind == "enum" {
+        let group = expect_group(&tokens, &mut i, Delimiter::Brace)?;
+        Data::Enum(parse_variants(group)?)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    };
+
+    Ok(Input { name, params, data })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` — the attribute body is the next group.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<(String, String)>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .ok_or_else(|| "unclosed generic parameter list".to_string())?
+            .clone();
+        *i += 1;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    current.push(tok);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                push_param(&mut params, &mut current)?;
+            }
+            _ => current.push(tok),
+        }
+    }
+    push_param(&mut params, &mut current)?;
+    Ok(params)
+}
+
+fn push_param(
+    params: &mut Vec<(String, String)>,
+    current: &mut Vec<TokenTree>,
+) -> Result<(), String> {
+    if current.is_empty() {
+        return Ok(());
+    }
+    if matches!(&current[0], TokenTree::Punct(p) if p.as_char() == '\'') {
+        return Err("lifetime parameters are not supported by the vendored derive".into());
+    }
+    let ident = match &current[0] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("unsupported generic parameter: {other}")),
+    };
+    let bounds = current
+        .iter()
+        .skip(2) // ident and `:`
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    current.clear();
+    params.push((ident, bounds));
+    Ok(())
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    delim: Delimiter,
+) -> Result<TokenStream, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            Ok(g.stream())
+        }
+        other => Err(format!("expected {delim:?} group, found {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        fields.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type: consume until a comma outside any `<...>` nesting.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        let mut payload = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    if count_tuple_fields(g.stream()) != 1 {
+                        return Err(format!(
+                            "variant `{name}`: only single-field tuple variants are supported"
+                        ));
+                    }
+                    payload = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "variant `{name}`: struct variants are not supported"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, payload));
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn impl_header(input: &Input, mode: Mode) -> String {
+    let bound = match mode {
+        Mode::Ser => "::serde::Serialize",
+        Mode::De => "::serde::de::DeserializeOwned",
+    };
+    let lifetime = match mode {
+        Mode::Ser => String::new(),
+        Mode::De => "'de, ".to_string(),
+    };
+    let trait_name = match mode {
+        Mode::Ser => "::serde::Serialize".to_string(),
+        Mode::De => "::serde::Deserialize<'de>".to_string(),
+    };
+    let (impl_params, ty_args) = if input.params.is_empty() {
+        if mode == Mode::De {
+            ("<'de>".to_string(), String::new())
+        } else {
+            (String::new(), String::new())
+        }
+    } else {
+        let decls: Vec<String> = input
+            .params
+            .iter()
+            .map(|(id, bounds)| {
+                if bounds.is_empty() {
+                    format!("{id}: {bound}")
+                } else {
+                    format!("{id}: {bounds} + {bound}")
+                }
+            })
+            .collect();
+        let args: Vec<String> = input.params.iter().map(|(id, _)| id.clone()).collect();
+        (
+            format!("<{}{}>", lifetime, decls.join(", ")),
+            format!("<{}>", args.join(", ")),
+        )
+    };
+    format!(
+        "impl{impl_params} {trait_name} for {name}{ty_args}",
+        name = input.name
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, Mode::Ser);
+    let body = match &input.data {
+        Data::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!("__m.push(({f:?}.to_string(), ::serde::ser::to_value(&self.{f})));\n")
+                })
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 __serializer.serialize_value(::serde::Value::Map(__m))"
+            )
+        }
+        Data::Tuple(1) => "::serde::Serialize::serialize(&self.0, __serializer)".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    let name = &input.name;
+                    if *payload {
+                        format!(
+                            "{name}::{v}(__inner) => __serializer.serialize_value(\
+                             ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+                             ::serde::ser::to_value(__inner))])),\n"
+                        )
+                    } else {
+                        format!("{name}::{v} => __serializer.serialize_str({v:?}),\n")
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, Mode::De);
+    let name = &input.name;
+    let custom = "<__D::Error as ::serde::de::Error>::custom";
+    let body = match &input.data {
+        Data::Named(fields) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__m, {f:?}).map_err({custom})?,\n"))
+                .collect();
+            format!(
+                "let __value = __deserializer.deserialize_value()?;\n\
+                 let __m = __value.as_map().ok_or_else(|| {custom}(\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", __value.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{reads}}})"
+            )
+        }
+        Data::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))"
+        ),
+        Data::Tuple(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::de::from_value(__items[{i}].clone()).map_err({custom})?")
+                })
+                .collect();
+            format!(
+                "let __value = __deserializer.deserialize_value()?;\n\
+                 let __items = __value.as_seq().ok_or_else(|| {custom}(\
+                 \"expected sequence for tuple struct {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::core::result::Result::Err({custom}(::std::format!(\
+                 \"expected {n} elements, got {{}}\", __items.len())));\n}}\n\
+                 ::core::result::Result::Ok({name}({reads}))",
+                reads = reads.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::de::from_value(__inner).map_err({custom})?)),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match __deserializer.deserialize_value()? {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))),\n}},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.into_iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"expected variant of {name}, got {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}"
+    )
+}
