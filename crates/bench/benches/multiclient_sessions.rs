@@ -1,0 +1,111 @@
+//! Session-layer throughput: full federated training runs vs client
+//! count and encrypt/train pipelining (DESIGN.md §9).
+//!
+//! Two claims are measured:
+//!
+//! - **Client-count neutrality** — because decryption is exact on
+//!   quantized integers, sharding across K clients changes *who*
+//!   encrypts, not *what* the server computes; wall-clock should be
+//!   flat in K for a fixed schedule.
+//! - **Pipelining** — overlapping client encryption of batch `t+1`
+//!   with server training on batch `t` hides the encryption latency;
+//!   the attainable speed-up is bounded by encryption's share of
+//!   wall-clock (large when encryption rivals the server's decryption
+//!   loops, small when BSGS decryption dominates, as it does for this
+//!   workload at CI scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cryptonn_bench::{bench_level, sweep};
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_fe::PermittedFunctions;
+use cryptonn_parallel::Parallelism;
+use cryptonn_protocol::{MlpSpec, ModelSpec, RunnerOptions, SessionConfig, TrainingSessionRunner};
+use cryptonn_smc::FixedPoint;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn session_config(clients: u32, feature_dim: usize, classes: usize) -> SessionConfig {
+    SessionConfig {
+        level: bench_level(),
+        fp: FixedPoint::TWO_DECIMALS,
+        grad_fp: FixedPoint::new(10_000),
+        permitted: PermittedFunctions::all(),
+        model: ModelSpec::Mlp(MlpSpec {
+            feature_dim,
+            hidden: vec![6],
+            classes,
+            objective: Objective::SoftmaxCrossEntropy,
+        }),
+        lr: 1.0,
+        epochs: 1,
+        batch_size: 8,
+        clients,
+        authority_seed: 701,
+        model_seed: 702,
+        client_seed_base: 703,
+    }
+}
+
+/// One full training session per iteration, swept over client count
+/// and pipelining mode.
+fn multiclient_throughput(c: &mut Criterion) {
+    let samples = if cryptonn_bench::full_scale() { 64 } else { 32 };
+    let data = clinic_dataset(samples, 201);
+    let ks = sweep(&[1u32, 2, 4], &[1u32, 2, 4, 8]);
+
+    let mut g = c.benchmark_group("session_throughput");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for &k in &ks {
+        for pipelined in [false, true] {
+            let label = if pipelined { "pipelined" } else { "serial" };
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("clients={k}")),
+                &k,
+                |b, &k| {
+                    let runner = TrainingSessionRunner::new(session_config(
+                        k,
+                        data.feature_dim(),
+                        data.classes(),
+                    ))
+                    .with_options(RunnerOptions {
+                        pipelined,
+                        parallelism: Parallelism::Serial,
+                        record: false,
+                    });
+                    b.iter(|| black_box(runner.run_mlp(&data).expect("session").summary.steps));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Transcript recording overhead: the same session with and without
+/// the message recorder attached.
+fn recording_overhead(c: &mut Criterion) {
+    let data = clinic_dataset(16, 202);
+    let mut g = c.benchmark_group("session_recording");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for record in [false, true] {
+        let label = if record { "recorded" } else { "bare" };
+        g.bench_function(label, |b| {
+            let runner =
+                TrainingSessionRunner::new(session_config(2, data.feature_dim(), data.classes()))
+                    .with_options(RunnerOptions {
+                        pipelined: true,
+                        parallelism: Parallelism::Serial,
+                        record,
+                    });
+            b.iter(|| black_box(runner.run_mlp(&data).expect("session").transcript.len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, multiclient_throughput, recording_overhead);
+criterion_main!(benches);

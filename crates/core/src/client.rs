@@ -4,7 +4,10 @@
 //! encoding labels — quantize it, and encrypt it under the authority's
 //! public keys before anything leaves their machine. Several clients
 //! encrypting under the same `mpk` can feed one server-side model (the
-//! paper's "distributed data source" property).
+//! paper's "distributed data source" property); the session layer in
+//! `cryptonn-protocol` drives exactly that topology, constructing each
+//! client from the wire-delivered public parameters via
+//! [`Client::from_keys`].
 
 use cryptonn_fe::{FeboPublicKey, FeipPublicKey, KeyAuthority};
 use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
@@ -13,6 +16,7 @@ use cryptonn_smc::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::error::CryptoNnError;
 
@@ -23,11 +27,16 @@ use crate::error::CryptoNnError;
 /// (`W·X`) and — via ciphertext combination — the secure first-layer
 /// gradient (`δ·Xᵀ`). `y` holds one-hot labels (`classes × batch`)
 /// encrypted both ways: FEIP columns for the secure loss inner product
-/// and FEBO elements for the secure `Ŷ − Y` evaluation.
-#[derive(Debug, Clone)]
+/// and FEBO elements for the secure `Ŷ − Y` evaluation. Prediction
+/// batches ([`Client::encrypt_features`]) carry no labels at all.
+///
+/// Serializable: this is the payload that crosses the wire in the
+/// session layer's `EncryptedBatchMsg`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncryptedBatch {
     pub(crate) x: EncryptedMatrix,
-    pub(crate) y: EncryptedMatrix,
+    pub(crate) y: Option<EncryptedMatrix>,
+    pub(crate) classes: usize,
     pub(crate) batch_size: usize,
     /// Largest |quantized| feature value — public metadata the server
     /// needs to size its discrete-log search.
@@ -47,19 +56,30 @@ impl EncryptedBatch {
 
     /// Number of classes.
     pub fn classes(&self) -> usize {
-        self.y.rows()
+        self.classes
     }
 
-    /// The encrypted label matrix (`classes × batch`), for callers that
-    /// drive the secure output steps directly.
-    pub fn labels(&self) -> &EncryptedMatrix {
-        &self.y
+    /// The encrypted label matrix (`classes × batch`) if this batch was
+    /// encrypted for training; `None` for prediction batches.
+    pub fn labels(&self) -> Option<&EncryptedMatrix> {
+        self.y.as_ref()
+    }
+
+    /// The encrypted labels, or a typed error for a prediction batch
+    /// fed into a training step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoNnError::MissingLabels`] when the batch carries
+    /// no labels.
+    pub fn require_labels(&self) -> Result<&EncryptedMatrix, CryptoNnError> {
+        self.y.as_ref().ok_or(CryptoNnError::MissingLabels)
     }
 }
 
 /// One encrypted mini-batch for CNN training: FEIP-encrypted convolution
 /// windows (Algorithm 3) plus encrypted labels.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncryptedImageBatch {
     pub(crate) windows: EncryptedWindows,
     pub(crate) y: EncryptedMatrix,
@@ -109,6 +129,31 @@ pub struct Client {
 }
 
 impl Client {
+    /// Creates a client directly from public keys — the form the
+    /// session layer uses, where the keys arrive in a `PublicParams`
+    /// wire message rather than from a co-located authority.
+    ///
+    /// `x_mpk` fixes the feature (or window) dimension, `y_mpk` the
+    /// class count.
+    pub fn from_keys(
+        x_mpk: FeipPublicKey,
+        y_mpk: FeipPublicKey,
+        febo_mpk: FeboPublicKey,
+        fp: FixedPoint,
+        seed: u64,
+    ) -> Self {
+        let classes = y_mpk.dimension();
+        Self {
+            fp,
+            x_mpk,
+            y_mpk,
+            febo_mpk,
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+            parallelism: Parallelism::Serial,
+        }
+    }
+
     /// Creates a client for MLP-style training: feature vectors of
     /// length `feature_dim`, `classes` output classes.
     pub fn for_mlp(
@@ -118,15 +163,13 @@ impl Client {
         fp: FixedPoint,
         seed: u64,
     ) -> Self {
-        Self {
+        Self::from_keys(
+            authority.feip_public_key(feature_dim),
+            authority.feip_public_key(classes),
+            authority.febo_public_key(),
             fp,
-            x_mpk: authority.feip_public_key(feature_dim),
-            y_mpk: authority.feip_public_key(classes),
-            febo_mpk: authority.febo_public_key(),
-            classes,
-            rng: StdRng::seed_from_u64(seed),
-            parallelism: Parallelism::Serial,
-        }
+            seed,
+        )
     }
 
     /// Creates a client for CNN training: the server has published its
@@ -141,15 +184,13 @@ impl Client {
         seed: u64,
     ) -> Self {
         let window_dim = in_channels * spec.kh * spec.kw;
-        Self {
+        Self::from_keys(
+            authority.feip_public_key(window_dim),
+            authority.feip_public_key(classes),
+            authority.febo_public_key(),
             fp,
-            x_mpk: authority.feip_public_key(window_dim),
-            y_mpk: authority.feip_public_key(classes),
-            febo_mpk: authority.febo_public_key(),
-            classes,
-            rng: StdRng::seed_from_u64(seed),
-            parallelism: Parallelism::Serial,
-        }
+            seed,
+        )
     }
 
     /// Sets the thread policy for this client's encryption fan-out.
@@ -168,6 +209,60 @@ impl Client {
         self.fp
     }
 
+    /// The shared feature preamble of every encrypt path: shape checks,
+    /// transpose to the paper's samples-as-columns layout, quantization,
+    /// and the max-|x| metadata the server's dlog bound needs.
+    fn quantize_features(&self, x: &Matrix<f64>) -> Result<(Matrix<i64>, u64), CryptoNnError> {
+        if x.cols() != self.x_mpk.dimension() {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.x_mpk.dimension(),
+                got: x.cols(),
+                what: "feature dimension",
+            });
+        }
+        let xq = self.fp.encode_matrix(&x.transpose()); // features × batch
+        let max_abs_x = xq
+            .as_slice()
+            .iter()
+            .map(|v| v.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        Ok((xq, max_abs_x))
+    }
+
+    /// The shared label preamble + encryption: shape checks, one-hot
+    /// quantization, and the dual FEIP/FEBO label encryption that both
+    /// the MLP and CNN batch paths use.
+    fn encrypt_labels(
+        &mut self,
+        y_onehot: &Matrix<f64>,
+        batch_size: usize,
+    ) -> Result<EncryptedMatrix, CryptoNnError> {
+        if y_onehot.cols() != self.classes {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: self.classes,
+                got: y_onehot.cols(),
+                what: "class count",
+            });
+        }
+        if y_onehot.rows() != batch_size {
+            return Err(CryptoNnError::BatchShapeMismatch {
+                expected: batch_size,
+                got: y_onehot.rows(),
+                what: "batch size",
+            });
+        }
+        let yq = self.fp.encode_matrix(&y_onehot.transpose()); // classes × batch
+        Ok(EncryptedMatrix::encrypt_full_with(
+            &yq,
+            &self.y_mpk,
+            &self.febo_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?)
+    }
+
     /// Encrypts an MLP batch: `x` is `(batch, features)`, `y_onehot` is
     /// `(batch, classes)`.
     ///
@@ -180,68 +275,47 @@ impl Client {
         x: &Matrix<f64>,
         y_onehot: &Matrix<f64>,
     ) -> Result<EncryptedBatch, CryptoNnError> {
-        if x.cols() != self.x_mpk.dimension() {
-            return Err(CryptoNnError::BatchShapeMismatch {
-                expected: self.x_mpk.dimension(),
-                got: x.cols(),
-                what: "feature dimension",
-            });
-        }
-        if y_onehot.cols() != self.classes {
-            return Err(CryptoNnError::BatchShapeMismatch {
-                expected: self.classes,
-                got: y_onehot.cols(),
-                what: "class count",
-            });
-        }
-        if x.rows() != y_onehot.rows() {
-            return Err(CryptoNnError::BatchShapeMismatch {
-                expected: x.rows(),
-                got: y_onehot.rows(),
-                what: "batch size",
-            });
-        }
-
-        // Transpose to the paper's samples-as-columns layout, quantize.
-        let xq = self.fp.encode_matrix(&x.transpose()); // features × batch
-        let yq = self.fp.encode_matrix(&y_onehot.transpose()); // classes × batch
-        let max_abs_x = xq
-            .as_slice()
-            .iter()
-            .map(|v| v.unsigned_abs())
-            .max()
-            .unwrap_or(0)
-            .max(1);
-
+        let (xq, max_abs_x) = self.quantize_features(x)?;
+        let enc_y = self.encrypt_labels(y_onehot, x.rows())?;
         let enc_x = EncryptedMatrix::encrypt_columns_with(
             &xq,
             &self.x_mpk,
             &mut self.rng,
             self.parallelism,
         )?;
-        let enc_y = EncryptedMatrix::encrypt_full_with(
-            &yq,
-            &self.y_mpk,
-            &self.febo_mpk,
-            &mut self.rng,
-            self.parallelism,
-        )?;
         Ok(EncryptedBatch {
             x: enc_x,
-            y: enc_y,
+            y: Some(enc_y),
+            classes: self.classes,
             batch_size: x.rows(),
             max_abs_x,
         })
     }
 
-    /// Encrypts features only, for the prediction phase.
+    /// Encrypts features only, for the prediction phase. The resulting
+    /// batch carries no labels — and skips the label-encryption cost
+    /// entirely — so feeding it to a training step fails with
+    /// [`CryptoNnError::MissingLabels`] rather than training on dummy
+    /// zeros.
     ///
     /// # Errors
     ///
-    /// As [`encrypt_batch`](Self::encrypt_batch).
+    /// As [`encrypt_batch`](Self::encrypt_batch) for the feature checks.
     pub fn encrypt_features(&mut self, x: &Matrix<f64>) -> Result<EncryptedBatch, CryptoNnError> {
-        let y_dummy = Matrix::zeros(x.rows(), self.classes);
-        self.encrypt_batch(x, &y_dummy)
+        let (xq, max_abs_x) = self.quantize_features(x)?;
+        let enc_x = EncryptedMatrix::encrypt_columns_with(
+            &xq,
+            &self.x_mpk,
+            &mut self.rng,
+            self.parallelism,
+        )?;
+        Ok(EncryptedBatch {
+            x: enc_x,
+            y: None,
+            classes: self.classes,
+            batch_size: x.rows(),
+            max_abs_x,
+        })
     }
 
     /// Encrypts a CNN batch: `images` is `(batch, c, h, w)`, `y_onehot`
@@ -267,21 +341,7 @@ impl Client {
                 what: "window dimension",
             });
         }
-        if y_onehot.rows() != n {
-            return Err(CryptoNnError::BatchShapeMismatch {
-                expected: n,
-                got: y_onehot.rows(),
-                what: "batch size",
-            });
-        }
-        if y_onehot.cols() != self.classes {
-            return Err(CryptoNnError::BatchShapeMismatch {
-                expected: self.classes,
-                got: y_onehot.cols(),
-                what: "class count",
-            });
-        }
-
+        let enc_y = self.encrypt_labels(y_onehot, n)?;
         let max_abs_x = images
             .as_slice()
             .iter()
@@ -294,14 +354,6 @@ impl Client {
             spec,
             self.fp,
             &self.x_mpk,
-            &mut self.rng,
-            self.parallelism,
-        )?;
-        let yq = self.fp.encode_matrix(&y_onehot.transpose());
-        let enc_y = EncryptedMatrix::encrypt_full_with(
-            &yq,
-            &self.y_mpk,
-            &self.febo_mpk,
             &mut self.rng,
             self.parallelism,
         )?;
@@ -336,6 +388,7 @@ mod tests {
         assert_eq!(batch.feature_dim(), 4);
         assert_eq!(batch.classes(), 3);
         assert!(batch.max_abs_x <= 100);
+        assert!(batch.labels().is_some());
     }
 
     #[test]
@@ -360,6 +413,15 @@ mod tests {
                 ..
             })
         ));
+        let x = Matrix::zeros(2, 4);
+        let y = Matrix::zeros(2, 2); // wrong class count
+        assert!(matches!(
+            client.encrypt_batch(&x, &y),
+            Err(CryptoNnError::BatchShapeMismatch {
+                what: "class count",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -376,11 +438,37 @@ mod tests {
     }
 
     #[test]
-    fn inference_batch_has_dummy_labels() {
+    fn inference_batch_has_no_labels() {
         let auth = authority();
         let mut client = Client::for_mlp(&auth, 2, 2, FixedPoint::TWO_DECIMALS, 4);
         let x = Matrix::from_rows(&[&[0.1, 0.9]]);
         let batch = client.encrypt_features(&x).unwrap();
         assert_eq!(batch.batch_size(), 1);
+        assert_eq!(batch.classes(), 2);
+        assert!(batch.labels().is_none());
+        assert!(matches!(
+            batch.require_labels(),
+            Err(CryptoNnError::MissingLabels)
+        ));
+    }
+
+    #[test]
+    fn from_keys_matches_authority_constructor() {
+        let auth = authority();
+        let mut a = Client::for_mlp(&auth, 3, 2, FixedPoint::TWO_DECIMALS, 9);
+        let mut b = Client::from_keys(
+            auth.feip_public_key(3),
+            auth.feip_public_key(2),
+            auth.febo_public_key(),
+            FixedPoint::TWO_DECIMALS,
+            9,
+        );
+        let x = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64 / 10.0);
+        let y = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        // Same keys, same seed: bit-identical ciphertexts.
+        assert_eq!(
+            a.encrypt_batch(&x, &y).unwrap(),
+            b.encrypt_batch(&x, &y).unwrap()
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! CryptoCNN — the concrete CryptoNN instantiation over LeNet-5
 //! (§III-E of the paper).
 
-use cryptonn_fe::{FeipFunctionKey, KeyAuthority};
+use cryptonn_fe::{FeipFunctionKey, KeyService};
 use cryptonn_matrix::{ConvSpec, Matrix};
 use cryptonn_nn::Loss;
 use cryptonn_nn::{
@@ -100,9 +100,9 @@ impl CryptoCnn {
         &self.config
     }
 
-    fn unit_keys(
+    fn unit_keys<A: KeyService + ?Sized>(
         &mut self,
-        authority: &KeyAuthority,
+        authority: &A,
     ) -> Result<Vec<FeipFunctionKey>, CryptoNnError> {
         if self.unit_keys.is_none() {
             self.unit_keys = Some(derive_unit_keys(authority, self.first.filters().cols())?);
@@ -137,9 +137,9 @@ impl CryptoCnn {
     ///
     /// Propagates secure-computation failures; the model is unchanged on
     /// error.
-    pub fn train_encrypted_batch(
+    pub fn train_encrypted_batch<A: KeyService + ?Sized>(
         &mut self,
-        authority: &KeyAuthority,
+        authority: &A,
         batch: &EncryptedImageBatch,
         lr: f64,
     ) -> Result<StepOutput, CryptoNnError> {
@@ -198,9 +198,9 @@ impl CryptoCnn {
     /// # Errors
     ///
     /// Propagates secure-computation failures.
-    pub fn predict_encrypted(
+    pub fn predict_encrypted<A: KeyService + ?Sized>(
         &mut self,
-        authority: &KeyAuthority,
+        authority: &A,
         batch: &EncryptedImageBatch,
     ) -> Result<Matrix<f64>, CryptoNnError> {
         let z1 = secure_conv_forward(
@@ -246,7 +246,7 @@ impl CryptoCnn {
 mod tests {
     use super::*;
     use crate::client::Client;
-    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_fe::{KeyAuthority, PermittedFunctions};
     use cryptonn_group::SchnorrGroup;
     use cryptonn_matrix::Tensor4;
     use cryptonn_nn::metrics::one_hot;

@@ -18,6 +18,9 @@ pub enum CryptoNnError {
         /// Which dimension disagreed.
         what: &'static str,
     },
+    /// A prediction batch (no encrypted labels) was fed to a training
+    /// step that needs the secure evaluation against `Y`.
+    MissingLabels,
     /// The secure-computation layer failed.
     Smc(SmcError),
     /// A functional-encryption operation failed.
@@ -36,6 +39,9 @@ impl fmt::Display for CryptoNnError {
                     f,
                     "encrypted batch {what} mismatch: expected {expected}, got {got}"
                 )
+            }
+            CryptoNnError::MissingLabels => {
+                write!(f, "batch was encrypted without labels (prediction batch)")
             }
             CryptoNnError::Smc(e) => write!(f, "secure computation failed: {e}"),
             CryptoNnError::Fe(e) => write!(f, "functional encryption failed: {e}"),

@@ -13,12 +13,36 @@
 //! - [`Client`] — the data owner: pre-processes (one-hot labels,
 //!   flattening, quantization) and encrypts; nothing leaves in the
 //!   clear. Any number of clients may encrypt under the same `mpk`
-//!   (distributed data sources).
+//!   (distributed data sources); [`Client::from_keys`] builds a client
+//!   from wire-delivered public parameters alone.
 //! - Server — [`CryptoMlp`] / [`CryptoCnn`]: trains on the encrypted
 //!   batches, learning only the functional outputs (first-layer
-//!   products, `P − Y`, the loss, and the first-layer gradients).
+//!   products, `P − Y`, the loss, and the first-layer gradients). The
+//!   training loops are generic over
+//!   [`KeyService`](cryptonn_fe::KeyService), the authority-capability
+//!   trait — hand them a [`KeyAuthority`](cryptonn_fe::KeyAuthority)
+//!   for in-process training (below) or a wire-backed service for the
+//!   federated session topology.
 //!
-//! ## Example
+//! ## Multi-client sessions
+//!
+//! The `cryptonn-protocol` crate drives these roles as message-passing
+//! sessions: K clients shard a dataset, encrypt in a pipeline, and
+//! stream batches to one server, with every exchange recorded into a
+//! replayable transcript. In-process single-client training (this
+//! crate's API, below) is exactly the `K = 1` special case:
+//!
+//! ```ignore
+//! use cryptonn_protocol::{mlp_session_config, MlpSpec, TrainingSessionRunner};
+//!
+//! let spec = MlpSpec { feature_dim, hidden: vec![8], classes, objective };
+//! let runner = TrainingSessionRunner::new(mlp_session_config(spec, 4, 10, 16, 1.0));
+//! let outcome = runner.run_mlp(&dataset)?;          // 4 clients, recorded
+//! let replay = cryptonn_protocol::replay_server(&outcome.transcript)?;
+//! assert!(replay.matches_recording());              // bit-for-bit
+//! ```
+//!
+//! ## Example (in-process, K = 1)
 //!
 //! ```
 //! use cryptonn_core::{Client, CryptoMlp, CryptoNnConfig, Objective};

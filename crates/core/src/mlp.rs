@@ -1,12 +1,13 @@
 //! CryptoNN over fully-connected networks — Algorithm 2 for the
 //! §III-D model family (and any MLP).
 
-use cryptonn_fe::{FeipFunctionKey, KeyAuthority};
+use cryptonn_fe::{FeipFunctionKey, KeyService};
 use cryptonn_matrix::Matrix;
 use cryptonn_nn::{
     Activation, ActivationLayer, Dense, Layer, Loss, Mse, Sequential, SoftmaxCrossEntropy,
 };
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::client::EncryptedBatch;
 use crate::config::CryptoNnConfig;
@@ -18,7 +19,7 @@ use crate::secure_steps::{
 use crate::tables::DlogTableCache;
 
 /// The training objective of a CryptoNN model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Objective {
     /// Sigmoid output + mean squared error (§III-D).
     SigmoidMse,
@@ -120,7 +121,10 @@ impl CryptoMlp {
         &self.config
     }
 
-    fn unit_keys(&mut self, authority: &KeyAuthority) -> Result<&[FeipFunctionKey], CryptoNnError> {
+    fn unit_keys<A: KeyService + ?Sized>(
+        &mut self,
+        authority: &A,
+    ) -> Result<&[FeipFunctionKey], CryptoNnError> {
         if self.unit_keys.is_none() {
             self.unit_keys = Some(derive_unit_keys(authority, self.first.in_dim())?);
         }
@@ -145,13 +149,14 @@ impl CryptoMlp {
     ///
     /// Propagates secure-computation failures; the model is unchanged on
     /// error.
-    pub fn train_encrypted_batch(
+    pub fn train_encrypted_batch<A: KeyService + ?Sized>(
         &mut self,
-        authority: &KeyAuthority,
+        authority: &A,
         batch: &EncryptedBatch,
         lr: f64,
     ) -> Result<StepOutput, CryptoNnError> {
         let m = batch.batch_size() as f64;
+        let enc_y = batch.require_labels()?;
         let (fp, grad_fp, par) = (self.config.fp, self.config.grad_fp, self.config.parallelism);
 
         // --- secure feed-forward (Algorithm 2 lines 4-5) ---
@@ -162,14 +167,14 @@ impl CryptoMlp {
         let p = self.predictions(&out);
 
         // --- secure back-propagation / evaluation (lines 7-9) ---
-        let p_minus_y = secure_output_delta(authority, &mut self.cache, &batch.y, &p, fp, par)?;
+        let p_minus_y = secure_output_delta(authority, &mut self.cache, enc_y, &p, fp, par)?;
         let loss = match self.objective {
             Objective::SigmoidMse => {
                 // L = (1/2N)‖P − Y‖², derivable from the secure P − Y.
                 0.5 * p_minus_y.hadamard(&p_minus_y).sum() / m
             }
             Objective::SoftmaxCrossEntropy => {
-                secure_cross_entropy_loss(authority, &mut self.cache, &batch.y, &p, fp, par)?
+                secure_cross_entropy_loss(authority, &mut self.cache, enc_y, &p, fp, par)?
             }
         };
 
@@ -218,9 +223,9 @@ impl CryptoMlp {
     /// # Errors
     ///
     /// Propagates secure-computation failures.
-    pub fn predict_encrypted(
+    pub fn predict_encrypted<A: KeyService + ?Sized>(
         &mut self,
-        authority: &KeyAuthority,
+        authority: &A,
         batch: &EncryptedBatch,
     ) -> Result<Matrix<f64>, CryptoNnError> {
         let z1 = secure_dense_forward(
@@ -271,7 +276,7 @@ impl CryptoMlp {
 mod tests {
     use super::*;
     use crate::client::Client;
-    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_fe::{KeyAuthority, PermittedFunctions};
     use cryptonn_group::SchnorrGroup;
     use cryptonn_nn::metrics::one_hot;
     use rand::rngs::StdRng;

@@ -15,7 +15,7 @@
 //!    [`secure_conv_weight_grad`]); the paper's Algorithm 2 leaves this
 //!    step implicit, see DESIGN.md §4.
 
-use cryptonn_fe::{feip, BasicOp, FeError, FeipFunctionKey, KeyAuthority};
+use cryptonn_fe::{feip, BasicOp, FeError, FeipFunctionKey, KeyService};
 use cryptonn_matrix::Matrix;
 use cryptonn_nn::{Conv2D, Dense};
 use cryptonn_smc::{
@@ -43,18 +43,18 @@ fn max_abs_q(m: &Matrix<i64>) -> u64 {
 /// # Errors
 ///
 /// Propagates authority refusals.
-pub fn derive_unit_keys(
-    authority: &KeyAuthority,
+pub fn derive_unit_keys<A: KeyService + ?Sized>(
+    authority: &A,
     dim: usize,
 ) -> Result<Vec<FeipFunctionKey>, CryptoNnError> {
-    let mut keys = Vec::with_capacity(dim);
-    let mut unit = vec![0i64; dim];
-    for j in 0..dim {
-        unit[j] = 1;
-        keys.push(authority.derive_ip_key(dim, &unit)?);
-        unit[j] = 0;
-    }
-    Ok(keys)
+    let units: Vec<Vec<i64>> = (0..dim)
+        .map(|j| {
+            let mut unit = vec![0i64; dim];
+            unit[j] = 1;
+            unit
+        })
+        .collect();
+    Ok(authority.derive_ip_keys(dim, &units)?)
 }
 
 /// Secure feed-forward for a dense first layer: computes
@@ -66,8 +66,8 @@ pub fn derive_unit_keys(
 ///
 /// Propagates secure-computation failures; a `DlogOutOfRange` inside
 /// means the bound bookkeeping was violated (a bug, not a user error).
-pub fn secure_dense_forward(
-    authority: &KeyAuthority,
+pub fn secure_dense_forward<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     batch: &EncryptedBatch,
     layer: &Dense,
@@ -90,7 +90,7 @@ pub fn secure_dense_forward(
     let table = cache.table(bound);
 
     let keys = derive_dot_keys(authority, &wq)?;
-    let mpk = authority.feip_public_key(n);
+    let mpk = authority.feip_public_key(n)?;
     let zq = secure_dot(&mpk, &batch.x, &keys, &wq, &table, parallelism)?;
     // zq is (out × batch) carrying scale²; decode and return batch-major
     // with the bias added.
@@ -106,8 +106,8 @@ pub fn secure_dense_forward(
 /// # Errors
 ///
 /// Propagates secure-computation failures.
-pub fn secure_output_delta(
-    authority: &KeyAuthority,
+pub fn secure_output_delta<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     enc_y: &cryptonn_smc::EncryptedMatrix,
     p: &Matrix<f64>,
@@ -128,7 +128,7 @@ pub fn secure_output_delta(
     let table = cache.table(bound);
 
     let keys = derive_elementwise_keys(authority, enc_y, BasicOp::Sub, &pq)?;
-    let febo_mpk = authority.febo_public_key();
+    let febo_mpk = authority.febo_public_key()?;
     let diff = secure_elementwise(
         &febo_mpk,
         enc_y,
@@ -149,8 +149,8 @@ pub fn secure_output_delta(
 /// # Errors
 ///
 /// Propagates secure-computation failures.
-pub fn secure_cross_entropy_loss(
-    authority: &KeyAuthority,
+pub fn secure_cross_entropy_loss<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     enc_y: &cryptonn_smc::EncryptedMatrix,
     p: &Matrix<f64>,
@@ -176,12 +176,11 @@ pub fn secure_cross_entropy_loss(
         .saturating_mul(max_abs_q(&lq));
     let table = cache.table(bound);
 
-    // One key per sample (each sample has its own p′ vector).
-    let mut keys = Vec::with_capacity(samples);
-    for s in 0..samples {
-        keys.push(authority.derive_ip_key(classes, lq.row(s))?);
-    }
-    let mpk = authority.feip_public_key(classes);
+    // One key per sample (each sample has its own p′ vector), requested
+    // as a single batch so a wire-backed authority sees one message.
+    let ys: Vec<Vec<i64>> = (0..samples).map(|s| lq.row(s).to_vec()).collect();
+    let keys = authority.derive_ip_keys(classes, &ys)?;
+    let mpk = authority.feip_public_key(classes)?;
     let columns = enc_y.feip_columns()?;
     let results: Vec<Result<i64, FeError>> =
         parallel_map(samples, parallelism.thread_count(), |s| {
@@ -206,8 +205,8 @@ pub fn secure_cross_entropy_loss(
 ///
 /// Propagates secure-computation failures.
 #[allow(clippy::too_many_arguments)]
-pub fn secure_dense_weight_grad(
-    authority: &KeyAuthority,
+pub fn secure_dense_weight_grad<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     batch: &EncryptedBatch,
     delta: &Matrix<f64>,
@@ -240,7 +239,7 @@ pub fn secure_dense_weight_grad(
         .saturating_mul(batch.max_abs_x);
     let table = cache.table(bound);
 
-    let mpk = authority.feip_public_key(n);
+    let mpk = authority.feip_public_key(n)?;
     let columns = batch.x.feip_columns()?;
     let column_refs: Vec<&cryptonn_fe::FeipCiphertext> = columns.iter().collect();
 
@@ -279,8 +278,8 @@ pub fn secure_dense_weight_grad(
 /// # Errors
 ///
 /// Propagates secure-computation failures.
-pub fn secure_conv_forward(
-    authority: &KeyAuthority,
+pub fn secure_conv_forward<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     batch: &EncryptedImageBatch,
     layer: &Conv2D,
@@ -302,7 +301,7 @@ pub fn secure_conv_forward(
     let table = cache.table(bound);
 
     let keys = derive_filter_keys(authority, &wq)?;
-    let mpk = authority.feip_public_key(dim);
+    let mpk = authority.feip_public_key(dim)?;
     let zq = secure_convolution(&mpk, &batch.windows, &keys, &wq, &table, parallelism)?;
     let mut z = fp.decode_product_matrix(&zq);
 
@@ -330,8 +329,8 @@ pub fn secure_conv_forward(
 ///
 /// Propagates secure-computation failures.
 #[allow(clippy::too_many_arguments)]
-pub fn secure_conv_weight_grad(
-    authority: &KeyAuthority,
+pub fn secure_conv_weight_grad<A: KeyService + ?Sized>(
+    authority: &A,
     cache: &mut DlogTableCache,
     batch: &EncryptedImageBatch,
     grad_rows: &Matrix<f64>,
@@ -365,7 +364,7 @@ pub fn secure_conv_weight_grad(
         .saturating_mul(batch.max_abs_x);
     let table = cache.table(bound);
 
-    let mpk = authority.feip_public_key(dim);
+    let mpk = authority.feip_public_key(dim)?;
     let window_refs: Vec<&cryptonn_fe::FeipCiphertext> = windows.iter().collect();
 
     let rows: Vec<Result<Vec<i64>, CryptoNnError>> =

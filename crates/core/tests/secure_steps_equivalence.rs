@@ -80,7 +80,7 @@ fn secure_delta_equals_quantized_p_minus_y() {
     let delta = secure_output_delta(
         &fx.authority,
         &mut fx.cache,
-        batch.labels(),
+        batch.require_labels().unwrap(),
         &p,
         fp,
         Parallelism::Serial,
@@ -112,7 +112,7 @@ fn secure_loss_equals_quantized_cross_entropy() {
     let loss = secure_cross_entropy_loss(
         &fx.authority,
         &mut fx.cache,
-        batch.labels(),
+        batch.require_labels().unwrap(),
         &p,
         fp,
         Parallelism::Serial,

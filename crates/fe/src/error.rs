@@ -23,6 +23,10 @@ pub enum FeError {
     /// An underlying group operation failed (typically a discrete log out
     /// of range, meaning the plaintext result exceeded the search bound).
     Group(GroupError),
+    /// A wire-backed key service failed: transport error, replay
+    /// divergence, or a request for material the session never
+    /// published.
+    Protocol(String),
 }
 
 impl fmt::Display for FeError {
@@ -39,6 +43,7 @@ impl fmt::Display for FeError {
                 write!(f, "function not in the permitted set: {what}")
             }
             FeError::Group(e) => write!(f, "group operation failed: {e}"),
+            FeError::Protocol(what) => write!(f, "key-service protocol failure: {what}"),
         }
     }
 }

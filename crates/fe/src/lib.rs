@@ -42,6 +42,7 @@ mod authority;
 mod error;
 pub mod febo;
 pub mod feip;
+mod service;
 
 pub use authority::{
     CommLog, KeyAuthority, PermittedFunctions, COMMITMENT_BYTES, KEY_BYTES, WEIGHT_BYTES,
@@ -51,3 +52,4 @@ pub use febo::{BasicOp, FeboCiphertext, FeboFunctionKey, FeboMasterKey, FeboPubl
 pub use feip::{
     combine as feip_combine, FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey,
 };
+pub use service::{FeboKeyRequest, KeyService};

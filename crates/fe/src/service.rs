@@ -1,0 +1,190 @@
+//! The key-service abstraction: what a CryptoNN *server* needs from the
+//! key authority, as an interface.
+//!
+//! The secure computations of Algorithms 1–3 consume exactly four
+//! capabilities of the authority: the two public keys and the two
+//! key-derivation oracles. [`KeyService`] captures them so the same
+//! server code runs against
+//!
+//! - a co-located [`KeyAuthority`] (the in-process, single-machine
+//!   special case used by tests and benches), or
+//! - a message channel to a remote authority (the `cryptonn-protocol`
+//!   session layer), where every request/response pair is a
+//!   serializable wire message that can be recorded and replayed.
+//!
+//! Requests are *batched*: one [`derive_ip_keys`](KeyService::derive_ip_keys)
+//! call covers a whole layer's weight rows, so a wire-backed
+//! implementation sends one message per Algorithm-2 step rather than
+//! one per neuron.
+
+use cryptonn_group::Element;
+use serde::{Deserialize, Serialize};
+
+use crate::authority::KeyAuthority;
+use crate::error::FeError;
+use crate::febo::{BasicOp, FeboFunctionKey, FeboPublicKey};
+use crate::feip::{FeipFunctionKey, FeipPublicKey};
+
+/// One FEBO key request: the ciphertext commitment the key binds to,
+/// the operation, and the server operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeboKeyRequest {
+    /// The commitment `cmt = g^r` of the target ciphertext.
+    pub cmt: Element,
+    /// The requested operation `Δ`.
+    pub op: BasicOp,
+    /// The server operand `y`.
+    pub y: i64,
+}
+
+/// The authority capabilities a CryptoNN server consumes, served either
+/// in-process by [`KeyAuthority`] or across a recorded message channel
+/// by the session layer.
+pub trait KeyService {
+    /// The FEIP public key for dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Wire-backed implementations fail with [`FeError::Protocol`] when
+    /// no instance of that dimension was published to the session.
+    fn feip_public_key(&self, dim: usize) -> Result<FeipPublicKey, FeError>;
+
+    /// The FEBO public key.
+    ///
+    /// # Errors
+    ///
+    /// As [`feip_public_key`](Self::feip_public_key).
+    fn febo_public_key(&self) -> Result<FeboPublicKey, FeError>;
+
+    /// Derives one FEIP key per weight vector in `ys`, all against the
+    /// dimension-`dim` instance.
+    ///
+    /// # Errors
+    ///
+    /// Authority refusals ([`FeError::FunctionNotPermitted`],
+    /// [`FeError::DimensionMismatch`]) and transport failures.
+    fn derive_ip_keys(&self, dim: usize, ys: &[Vec<i64>]) -> Result<Vec<FeipFunctionKey>, FeError>;
+
+    /// Derives one FEBO key per `(cmt, Δ, y)` request.
+    ///
+    /// # Errors
+    ///
+    /// As [`derive_ip_keys`](Self::derive_ip_keys), plus
+    /// [`FeError::InvalidOperand`] for division by zero.
+    fn derive_bo_keys(&self, reqs: &[FeboKeyRequest]) -> Result<Vec<FeboFunctionKey>, FeError>;
+
+    /// Convenience single-key form of [`derive_ip_keys`](Self::derive_ip_keys).
+    ///
+    /// # Errors
+    ///
+    /// As the batched form.
+    fn derive_ip_key(&self, dim: usize, y: &[i64]) -> Result<FeipFunctionKey, FeError> {
+        let mut keys = self.derive_ip_keys(dim, std::slice::from_ref(&y.to_vec()))?;
+        keys.pop().ok_or_else(|| {
+            FeError::Protocol("empty key batch returned for a one-key request".into())
+        })
+    }
+
+    /// Convenience single-key form of [`derive_bo_keys`](Self::derive_bo_keys).
+    ///
+    /// # Errors
+    ///
+    /// As the batched form.
+    fn derive_bo_key(
+        &self,
+        cmt: &Element,
+        op: BasicOp,
+        y: i64,
+    ) -> Result<FeboFunctionKey, FeError> {
+        let mut keys = self.derive_bo_keys(&[FeboKeyRequest { cmt: *cmt, op, y }])?;
+        keys.pop().ok_or_else(|| {
+            FeError::Protocol("empty key batch returned for a one-key request".into())
+        })
+    }
+}
+
+impl KeyService for KeyAuthority {
+    fn feip_public_key(&self, dim: usize) -> Result<FeipPublicKey, FeError> {
+        Ok(KeyAuthority::feip_public_key(self, dim))
+    }
+
+    fn febo_public_key(&self) -> Result<FeboPublicKey, FeError> {
+        Ok(KeyAuthority::febo_public_key(self))
+    }
+
+    fn derive_ip_keys(&self, dim: usize, ys: &[Vec<i64>]) -> Result<Vec<FeipFunctionKey>, FeError> {
+        ys.iter()
+            .map(|y| KeyAuthority::derive_ip_key(self, dim, y))
+            .collect()
+    }
+
+    fn derive_bo_keys(&self, reqs: &[FeboKeyRequest]) -> Result<Vec<FeboFunctionKey>, FeError> {
+        reqs.iter()
+            .map(|r| KeyAuthority::derive_bo_key(self, &r.cmt, r.op, r.y))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{febo, PermittedFunctions};
+    use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn authority() -> KeyAuthority {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        KeyAuthority::with_seed(group, PermittedFunctions::all(), 77)
+    }
+
+    /// The trait impl must be observationally identical to the inherent
+    /// authority methods (same keys, same logging).
+    #[test]
+    fn trait_impl_matches_inherent_methods() {
+        let auth = authority();
+        let direct = KeyAuthority::derive_ip_key(&auth, 3, &[1, -2, 3]).unwrap();
+        let via_trait = KeyService::derive_ip_key(&auth, 3, &[1, -2, 3]).unwrap();
+        assert_eq!(direct, via_trait);
+        assert_eq!(auth.comm_log().ip_requests, 2);
+
+        let batched = auth
+            .derive_ip_keys(3, &[vec![1, -2, 3], vec![0, 0, 1]])
+            .unwrap();
+        assert_eq!(batched.len(), 2);
+        assert_eq!(batched[0], direct);
+        assert_eq!(auth.comm_log().ip_requests, 4);
+    }
+
+    #[test]
+    fn batched_bo_keys_decrypt() {
+        let auth = authority();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mpk = KeyService::febo_public_key(&auth).unwrap();
+        let table = DlogTable::new(auth.group(), 1_000);
+        let cts: Vec<_> = [10i64, 20]
+            .iter()
+            .map(|&x| febo::encrypt(&mpk, x, &mut rng))
+            .collect();
+        let reqs: Vec<FeboKeyRequest> = cts
+            .iter()
+            .map(|ct| FeboKeyRequest {
+                cmt: *ct.commitment(),
+                op: BasicOp::Sub,
+                y: 4,
+            })
+            .collect();
+        let keys = auth.derive_bo_keys(&reqs).unwrap();
+        for (ct, key) in cts.iter().zip(&keys) {
+            let z = febo::decrypt(&mpk, key, ct, BasicOp::Sub, 4, &table).unwrap();
+            assert!(z == 6 || z == 16);
+        }
+    }
+
+    #[test]
+    fn dyn_compatible() {
+        let auth = authority();
+        let service: &dyn KeyService = &auth;
+        assert_eq!(service.feip_public_key(2).unwrap().dimension(), 2);
+    }
+}

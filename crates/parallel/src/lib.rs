@@ -48,6 +48,63 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Runs `produce(0..n)` on a dedicated producer thread while
+/// `consume(i, item)` runs on the calling thread, overlapping the two —
+/// the session layer's encrypt/train pipeline, where clients encrypt
+/// batch `t+1` while the server trains on batch `t`.
+///
+/// The producer runs strictly in index order on one thread, so any
+/// state it mutates (client RNGs) evolves exactly as in the serial
+/// schedule: outputs are bit-identical with pipelining on or off. The
+/// channel holds at most one finished item, bounding the pipeline at
+/// double-buffering depth.
+///
+/// `pipelined = false` degrades to the serial produce-then-consume loop
+/// with zero threading overhead (the baseline arm of the pipelining
+/// ablation).
+///
+/// # Panics
+///
+/// Propagates panics from `produce` (after the consumer drains the
+/// items produced before the panic) and from `consume`.
+pub fn double_buffered<T, P, C>(n: usize, pipelined: bool, mut produce: P, mut consume: C)
+where
+    T: Send,
+    P: FnMut(usize) -> T + Send,
+    C: FnMut(usize, T),
+{
+    if !pipelined || n <= 1 {
+        for i in 0..n {
+            let item = produce(i);
+            consume(i, item);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
+        let producer = scope.spawn(move || {
+            for i in 0..n {
+                // The consumer hanging up (on its own panic) is not an
+                // error worth a second panic here.
+                if tx.send(produce(i)).is_err() {
+                    break;
+                }
+            }
+        });
+        for i in 0..n {
+            match rx.recv() {
+                Ok(item) => consume(i, item),
+                Err(_) => break, // producer panicked; join propagates it
+            }
+        }
+        if let Err(payload) = producer.join() {
+            // Re-raise with the original payload so the caller sees the
+            // producer's own panic message, not a generic join error.
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
 /// A thread-count policy for the secure computations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Parallelism {
@@ -116,6 +173,57 @@ mod tests {
             i
         });
         assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn double_buffered_matches_serial() {
+        for pipelined in [false, true] {
+            let mut state = 7u64; // producer-side mutable state
+            let mut seen = Vec::new();
+            double_buffered(
+                9,
+                pipelined,
+                |i| {
+                    state = state.wrapping_mul(31).wrapping_add(i as u64);
+                    state
+                },
+                |i, v| seen.push((i, v)),
+            );
+            // Same producer-state evolution regardless of pipelining.
+            let mut expect_state = 7u64;
+            let expect: Vec<(usize, u64)> = (0..9)
+                .map(|i| {
+                    expect_state = expect_state.wrapping_mul(31).wrapping_add(i as u64);
+                    (i, expect_state)
+                })
+                .collect();
+            assert_eq!(seen, expect, "pipelined={pipelined}");
+        }
+    }
+
+    #[test]
+    fn double_buffered_overlaps_producer_and_consumer() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // With a depth-1 channel the producer can run at most 2 items
+        // ahead; verify it does run ahead at least once.
+        let max_lead = AtomicUsize::new(0);
+        let produced = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        double_buffered(
+            8,
+            true,
+            |i| {
+                produced.fetch_add(1, Ordering::SeqCst);
+                let lead = produced.load(Ordering::SeqCst) - consumed.load(Ordering::SeqCst);
+                max_lead.fetch_max(lead, Ordering::SeqCst);
+                i
+            },
+            |_, _| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                consumed.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert!(max_lead.load(Ordering::SeqCst) >= 2);
     }
 
     #[test]

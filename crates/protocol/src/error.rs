@@ -1,0 +1,74 @@
+//! Error type of the session layer.
+
+use core::fmt;
+
+use cryptonn_core::CryptoNnError;
+use cryptonn_fe::FeError;
+
+/// Errors from running or replaying a training session.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A message arrived before its prerequisite (e.g. an encrypted
+    /// batch before the public parameters).
+    MissingMessage(&'static str),
+    /// A batch arrived out of schedule order.
+    OutOfOrder {
+        /// The step the server expected next.
+        expected: u64,
+        /// The step the message carried.
+        got: u64,
+    },
+    /// A replayed request diverged from the recorded one — the code
+    /// under replay no longer produces the transcript's traffic.
+    ReplayDivergence(String),
+    /// The underlying encrypted-training step failed.
+    Training(CryptoNnError),
+    /// Transcript (de)serialization failed.
+    Serde(String),
+    /// Transcript file I/O failed (distinct from a malformed
+    /// transcript).
+    Io(String),
+    /// A session-configuration inconsistency (zero clients, shard/step
+    /// disagreement…).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MissingMessage(what) => {
+                write!(f, "required message missing or premature: {what}")
+            }
+            ProtocolError::OutOfOrder { expected, got } => {
+                write!(f, "batch out of order: expected step {expected}, got {got}")
+            }
+            ProtocolError::ReplayDivergence(what) => write!(f, "replay divergence: {what}"),
+            ProtocolError::Training(e) => write!(f, "encrypted training failed: {e}"),
+            ProtocolError::Serde(e) => write!(f, "transcript (de)serialization failed: {e}"),
+            ProtocolError::Io(e) => write!(f, "transcript file I/O failed: {e}"),
+            ProtocolError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Training(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoNnError> for ProtocolError {
+    fn from(e: CryptoNnError) -> Self {
+        ProtocolError::Training(e)
+    }
+}
+
+impl From<FeError> for ProtocolError {
+    fn from(e: FeError) -> Self {
+        ProtocolError::Training(CryptoNnError::Fe(e))
+    }
+}

@@ -1,0 +1,68 @@
+//! # cryptonn-protocol
+//!
+//! The session layer for multi-client federated CryptoNN training —
+//! the paper's Fig. 1 topology made explicit: many data owners stream
+//! encrypted batches to one server under a shared key authority, and
+//! every cross-role interaction is a serializable [`WireMessage`].
+//!
+//! - [`messages`] — the wire alphabet: registration, public-parameter
+//!   distribution, encrypted batches, batched key request/response
+//!   traffic, per-step metrics, epoch barriers, the final summary.
+//! - [`session`] — the role state machines: [`ClientSession`],
+//!   [`ServerSession`], [`AuthoritySession`], glued by the
+//!   [`AuthorityChannel`] request/response hook.
+//! - [`runner`] — [`TrainingSessionRunner`]: the deterministic
+//!   scheduler that shards a dataset across `K` clients, pipelines
+//!   encryption against training, and records a [`Transcript`].
+//! - [`replay`] — [`replay_server`]: re-executes the server from a
+//!   transcript alone and verifies it reproduces the recording.
+//!
+//! Single-client training is the `K = 1` special case of the same
+//! machinery; DESIGN.md §9 documents the message flow per Algorithm 2
+//! step and the determinism argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use cryptonn_data::clinic_dataset;
+//! use cryptonn_core::Objective;
+//! use cryptonn_protocol::{mlp_session_config, MlpSpec, TrainingSessionRunner};
+//!
+//! let data = clinic_dataset(12, 5);
+//! let spec = MlpSpec {
+//!     feature_dim: data.feature_dim(),
+//!     hidden: vec![4],
+//!     classes: data.classes(),
+//!     objective: Objective::SoftmaxCrossEntropy,
+//! };
+//! // Two clients, one epoch, batches of 6 — recorded and replayable.
+//! let runner = TrainingSessionRunner::new(mlp_session_config(spec, 2, 1, 6, 0.5));
+//! let outcome = runner.run_mlp(&data)?;
+//! assert_eq!(outcome.summary.steps, 2);
+//!
+//! // The transcript alone reproduces the server's final weights.
+//! let replayed = cryptonn_protocol::replay_server(&outcome.transcript)?;
+//! assert!(replayed.matches_recording());
+//! # Ok::<(), cryptonn_protocol::ProtocolError>(())
+//! ```
+
+mod error;
+pub mod messages;
+pub mod replay;
+pub mod runner;
+pub mod session;
+mod transcript;
+
+pub use error::ProtocolError;
+pub use messages::{
+    ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
+    FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PublicParams,
+    RegisterClient, SessionConfig, SessionSummary, WireMessage,
+};
+pub use replay::{replay_server, ReplayChannel, ReplayOutcome};
+pub use runner::{mlp_session_config, RunnerOptions, SessionOutcome, TrainingSessionRunner};
+pub use session::{
+    rows_to_images, AuthorityChannel, AuthoritySession, ChannelKeyService, ClientSession,
+    ServerModel, ServerSession,
+};
+pub use transcript::{Envelope, Party, Transcript};

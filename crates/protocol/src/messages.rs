@@ -1,0 +1,277 @@
+//! The wire messages of the CryptoNN session protocol.
+//!
+//! Every cross-role data flow of the paper's Fig. 1 — key distribution,
+//! encrypted batches, function-key traffic, training metrics — is one
+//! of these serde-serializable types. Sessions exchange *only* these
+//! messages (no shared memory), which is what makes a recorded
+//! [`Transcript`](crate::Transcript) a complete description of a
+//! training run: the server side can be re-executed from the message
+//! stream alone (see [`replay_server`](crate::replay_server)).
+//!
+//! The message ↔ Algorithm 2 correspondence is documented in
+//! DESIGN.md §9.
+
+use cryptonn_core::{EncryptedBatch, EncryptedImageBatch, Objective};
+use cryptonn_fe::{
+    FeboFunctionKey, FeboKeyRequest, FeboPublicKey, FeipFunctionKey, FeipPublicKey,
+    PermittedFunctions,
+};
+use cryptonn_group::SecurityLevel;
+use cryptonn_matrix::Matrix;
+use cryptonn_smc::FixedPoint;
+use serde::{Deserialize, Serialize};
+
+/// A client (data-owner) identifier within one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl core::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// The MLP topology a session trains (§III-D family).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    /// Input feature dimensionality.
+    pub feature_dim: usize,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Output classes.
+    pub classes: usize,
+    /// Output layer + loss pairing.
+    pub objective: Objective,
+}
+
+/// A named CNN architecture (§III-E); topologies are fixed by name so
+/// the spec stays a small wire value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CnnArch {
+    /// The paper's LeNet-5 over 1×28×28 inputs, 10 classes.
+    Lenet5,
+    /// The scaled-down 1×14×14 variant, with the given class count.
+    LenetSmall(usize),
+}
+
+/// What the server trains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// A fully-connected CryptoNN model.
+    Mlp(MlpSpec),
+    /// A CryptoCNN instantiation.
+    Cnn(CnnArch),
+}
+
+/// Everything the three roles must agree on before the first batch:
+/// crypto parameters, quantization, model, schedule, and the seeds that
+/// make the run reproducible. Broadcast by the scheduler as the first
+/// message of every session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Group security level.
+    pub level: SecurityLevel,
+    /// Quantization for data, labels and weights.
+    pub fp: FixedPoint,
+    /// Quantization for back-propagated deltas.
+    pub grad_fp: FixedPoint,
+    /// The permitted-function set the authority enforces.
+    pub permitted: PermittedFunctions,
+    /// The model the server builds.
+    pub model: ModelSpec,
+    /// Learning rate.
+    pub lr: f64,
+    /// Epochs over the sharded dataset.
+    pub epochs: u32,
+    /// Rows per mini-batch.
+    pub batch_size: u32,
+    /// Number of participating clients.
+    pub clients: u32,
+    /// Seed for the authority's master-key generation.
+    pub authority_seed: u64,
+    /// Seed for the server's weight initialization.
+    pub model_seed: u64,
+    /// Base seed for client encryption randomness (client `i` uses
+    /// `client_seed_base + i`).
+    pub client_seed_base: u64,
+}
+
+/// Client → server: announces participation and how many batches the
+/// client's shard contributes per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterClient {
+    /// The registering client.
+    pub client: ClientId,
+    /// Batches per epoch from this client's shard.
+    pub batches_per_epoch: u64,
+}
+
+/// Authority → everyone: the public keys of the session. `x_mpk` covers
+/// the feature (or convolution-window) dimension, `y_mpk` the class
+/// dimension; the FEBO key serves the element-wise label evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublicParams {
+    /// FEIP public key for feature vectors.
+    pub x_mpk: FeipPublicKey,
+    /// FEIP public key for one-hot label vectors.
+    pub y_mpk: FeipPublicKey,
+    /// FEBO public key.
+    pub febo_mpk: FeboPublicKey,
+    /// The agreed quantization (repeated here so a client can be built
+    /// from this one message).
+    pub fp: FixedPoint,
+}
+
+/// Client → server: one encrypted MLP mini-batch, tagged with the
+/// global step it occupies in the training schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncryptedBatchMsg {
+    /// The sending client.
+    pub client: ClientId,
+    /// Global step index (0-based across epochs).
+    pub step: u64,
+    /// The encrypted payload.
+    pub batch: EncryptedBatch,
+}
+
+/// Client → server: one encrypted CNN mini-batch (Algorithm 3 windows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncryptedImageBatchMsg {
+    /// The sending client.
+    pub client: ClientId,
+    /// Global step index.
+    pub step: u64,
+    /// The encrypted payload.
+    pub batch: EncryptedImageBatch,
+}
+
+/// Server → authority: a batched request for FEIP function keys, one
+/// per weight vector, all against the dimension-`dim` instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeipKeysRequest {
+    /// The FEIP instance dimension.
+    pub dim: usize,
+    /// One weight vector per requested key.
+    pub ys: Vec<Vec<i64>>,
+}
+
+/// Server → authority: a batched request for FEBO operation keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeboKeysRequest {
+    /// One `(commitment, op, operand)` triple per requested key.
+    pub reqs: Vec<FeboKeyRequest>,
+}
+
+/// Server → authority: every request the server can make mid-training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeyRequest {
+    /// The FEIP public key of the given dimension (used when a step
+    /// needs an instance beyond those in [`PublicParams`]).
+    FeipMpk(usize),
+    /// Batched FEIP function keys — the per-layer weight keys of
+    /// Algorithm 2 line 4, the per-sample loss keys of §III-E2, and the
+    /// cached unit keys of the secure gradient step.
+    Feip(FeipKeysRequest),
+    /// Batched FEBO keys — the `P − Y` evaluation keys of line 8.
+    Febo(FeboKeysRequest),
+}
+
+/// Authority → server: the response to one [`KeyRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeyResponse {
+    /// A public key.
+    FeipMpk(FeipPublicKey),
+    /// Derived FEIP keys, in request order.
+    Feip(Vec<FeipFunctionKey>),
+    /// Derived FEBO keys, in request order.
+    Febo(Vec<FeboFunctionKey>),
+    /// The authority refused (permitted-set violation, bad operand…).
+    /// Refusals are recorded so replay reproduces them too.
+    Denied(String),
+}
+
+/// Server → everyone: metrics after one training step. This is the
+/// paper's "server learns only functional outputs" boundary: clients
+/// observe training progress, never each other's data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelDelta {
+    /// The global step just completed.
+    pub step: u64,
+    /// Which client's batch was consumed.
+    pub client: ClientId,
+    /// The secure loss of the step.
+    pub loss: f64,
+}
+
+/// Scheduler → everyone: all clients' batches for one epoch have been
+/// consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochBarrier {
+    /// The epoch just completed (0-based).
+    pub epoch: u32,
+}
+
+/// Server → everyone: the session's final state — the replay fixpoint a
+/// re-executed server must reproduce bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Total training steps taken.
+    pub steps: u64,
+    /// Per-step secure losses.
+    pub losses: Vec<f64>,
+    /// Final first-layer weights (the encrypted-path parameters).
+    pub final_w1: Matrix<f64>,
+    /// Final first-layer bias.
+    pub final_b1: Matrix<f64>,
+}
+
+/// The session protocol's message alphabet. A [`Transcript`] is a
+/// sequence of these, each wrapped in an addressed
+/// [`Envelope`](crate::Envelope).
+///
+/// [`Transcript`]: crate::Transcript
+// Payload sizes are dominated by heap-side ciphertext vectors, not the
+// inline variant size, so boxing the big variants would buy one pointer
+// of stack at the cost of an indirection on every recorded message.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// Session parameters (scheduler broadcast, first message).
+    Config(SessionConfig),
+    /// Client registration.
+    Register(RegisterClient),
+    /// Public-key distribution.
+    PublicParams(PublicParams),
+    /// An encrypted MLP batch.
+    Batch(EncryptedBatchMsg),
+    /// An encrypted CNN batch.
+    ImageBatch(EncryptedImageBatchMsg),
+    /// A server → authority key request.
+    KeyRequest(KeyRequest),
+    /// The authority's response.
+    KeyResponse(KeyResponse),
+    /// Per-step training metrics.
+    Delta(ModelDelta),
+    /// Epoch boundary.
+    Epoch(EpochBarrier),
+    /// Final model fingerprint.
+    Summary(SessionSummary),
+}
+
+impl WireMessage {
+    /// A short tag for diagnostics and transcript browsing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMessage::Config(_) => "config",
+            WireMessage::Register(_) => "register",
+            WireMessage::PublicParams(_) => "public-params",
+            WireMessage::Batch(_) => "batch",
+            WireMessage::ImageBatch(_) => "image-batch",
+            WireMessage::KeyRequest(_) => "key-request",
+            WireMessage::KeyResponse(_) => "key-response",
+            WireMessage::Delta(_) => "delta",
+            WireMessage::Epoch(_) => "epoch",
+            WireMessage::Summary(_) => "summary",
+        }
+    }
+}

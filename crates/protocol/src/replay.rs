@@ -1,0 +1,222 @@
+//! Re-executing the server side of a session from its transcript.
+//!
+//! A [`Transcript`] contains everything the server consumed — config,
+//! public parameters, encrypted batches, and every authority response —
+//! so the server's computation can be re-run *without* the dataset,
+//! the clients, or the authority's master keys. The replay verifies,
+//! message by message, that the re-executed server emits the recorded
+//! traffic: each key request must match the recorded one before its
+//! recorded response is released, each step's loss must equal the
+//! recorded [`ModelDelta`], and the final weights must equal the
+//! recorded [`SessionSummary`] bit-for-bit.
+//!
+//! [`ModelDelta`]: crate::ModelDelta
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::error::ProtocolError;
+use crate::messages::{KeyRequest, KeyResponse, SessionSummary, WireMessage};
+use crate::session::{AuthorityChannel, ServerSession};
+use crate::transcript::Transcript;
+
+/// An [`AuthorityChannel`] fed from recorded traffic: requests are
+/// matched against the transcript and answered with the recorded
+/// responses, never touching a live authority.
+///
+/// Clones share the same queue, so a caller can keep a handle and
+/// assert every recorded exchange was consumed after the replay (a
+/// transcript with *extra* recorded key traffic is as tampered as one
+/// with missing traffic).
+#[derive(Clone)]
+pub struct ReplayChannel {
+    exchanges: Rc<RefCell<VecDeque<(KeyRequest, KeyResponse)>>>,
+}
+
+impl ReplayChannel {
+    /// Collects the request/response pairs of `transcript`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ReplayDivergence`] if requests and responses do
+    /// not alternate cleanly.
+    pub fn from_transcript(transcript: &Transcript) -> Result<Self, ProtocolError> {
+        let mut exchanges = VecDeque::new();
+        let mut pending: Option<KeyRequest> = None;
+        for e in &transcript.entries {
+            match &e.msg {
+                WireMessage::KeyRequest(req) => {
+                    if pending.is_some() {
+                        return Err(ProtocolError::ReplayDivergence(format!(
+                            "two key requests without a response (seq {})",
+                            e.seq
+                        )));
+                    }
+                    pending = Some(req.clone());
+                }
+                WireMessage::KeyResponse(resp) => {
+                    let req = pending.take().ok_or_else(|| {
+                        ProtocolError::ReplayDivergence(format!(
+                            "key response without a request (seq {})",
+                            e.seq
+                        ))
+                    })?;
+                    exchanges.push_back((req, resp.clone()));
+                }
+                _ => {}
+            }
+        }
+        if pending.is_some() {
+            return Err(ProtocolError::ReplayDivergence(
+                "transcript ends with an unanswered key request".into(),
+            ));
+        }
+        Ok(Self {
+            exchanges: Rc::new(RefCell::new(exchanges)),
+        })
+    }
+
+    /// Recorded exchanges not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.exchanges.borrow().len()
+    }
+}
+
+impl AuthorityChannel for ReplayChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        let (recorded_req, resp) = self.exchanges.borrow_mut().pop_front().ok_or_else(|| {
+            ProtocolError::ReplayDivergence(
+                "server issued more key requests than the transcript recorded".into(),
+            )
+        })?;
+        if recorded_req != req {
+            return Err(ProtocolError::ReplayDivergence(format!(
+                "request diverged from the recording: recorded {}, replayed {}",
+                describe(&recorded_req),
+                describe(&req)
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+fn describe(req: &KeyRequest) -> String {
+    match req {
+        KeyRequest::FeipMpk(dim) => format!("FeipMpk(dim={dim})"),
+        KeyRequest::Feip(r) => format!("Feip(dim={}, {} vectors)", r.dim, r.ys.len()),
+        KeyRequest::Febo(r) => format!("Febo({} triples)", r.reqs.len()),
+    }
+}
+
+/// The result of a successful replay.
+pub struct ReplayOutcome {
+    /// The summary the re-executed server produced.
+    pub replayed: SessionSummary,
+    /// The summary the transcript recorded, if any.
+    pub recorded: Option<SessionSummary>,
+    /// The re-executed server (trained model inside).
+    pub server: ServerSession,
+}
+
+impl ReplayOutcome {
+    /// True if the re-executed server reproduced the recorded final
+    /// weights and losses exactly (bit-for-bit on every `f64`).
+    pub fn matches_recording(&self) -> bool {
+        match &self.recorded {
+            Some(recorded) => recorded == &self.replayed,
+            None => false,
+        }
+    }
+}
+
+/// Re-executes the server side of `transcript` and cross-checks every
+/// recorded observable along the way.
+///
+/// # Errors
+///
+/// - [`ProtocolError::MissingMessage`] if the transcript lacks the
+///   config or public parameters;
+/// - [`ProtocolError::ReplayDivergence`] if the re-executed server's
+///   key traffic or per-step losses differ from the recording;
+/// - training failures from the re-executed steps.
+pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolError> {
+    let config = transcript
+        .entries
+        .iter()
+        .find_map(|e| match &e.msg {
+            WireMessage::Config(c) => Some(c.clone()),
+            _ => None,
+        })
+        .ok_or(ProtocolError::MissingMessage("SessionConfig"))?;
+    let params = transcript
+        .entries
+        .iter()
+        .find_map(|e| match &e.msg {
+            WireMessage::PublicParams(p) => Some(p.clone()),
+            _ => None,
+        })
+        .ok_or(ProtocolError::MissingMessage("PublicParams"))?;
+
+    let channel = ReplayChannel::from_transcript(transcript)?;
+    let channel_handle = channel.clone();
+    let mut server = ServerSession::new(
+        &config,
+        &params,
+        Box::new(channel),
+        cryptonn_parallel::Parallelism::Serial,
+    );
+
+    // Feed the batches in recorded order, checking each recorded delta.
+    let mut recorded_deltas = transcript.entries.iter().filter_map(|e| match &e.msg {
+        WireMessage::Delta(d) => Some(d),
+        _ => None,
+    });
+    for e in &transcript.entries {
+        let delta = match &e.msg {
+            WireMessage::Batch(msg) => server.handle_batch(msg)?,
+            WireMessage::ImageBatch(msg) => server.handle_image_batch(msg)?,
+            _ => continue,
+        };
+        // Every batch must have its recorded delta: a transcript with
+        // the Delta stream stripped or truncated is a tampered
+        // recording, not a weaker recording.
+        let recorded = recorded_deltas.next().ok_or_else(|| {
+            ProtocolError::ReplayDivergence(format!(
+                "step {}: batch has no recorded ModelDelta",
+                delta.step
+            ))
+        })?;
+        if recorded != &delta {
+            return Err(ProtocolError::ReplayDivergence(format!(
+                "step {}: recorded loss {}, replayed {}",
+                delta.step, recorded.loss, delta.loss
+            )));
+        }
+    }
+
+    // Full consumption: recorded observables the replay never produced
+    // (trailing deltas, extra key exchanges) are forgeries, not slack.
+    if let Some(extra) = recorded_deltas.next() {
+        return Err(ProtocolError::ReplayDivergence(format!(
+            "recorded delta for step {} has no corresponding batch",
+            extra.step
+        )));
+    }
+    if channel_handle.remaining() != 0 {
+        return Err(ProtocolError::ReplayDivergence(format!(
+            "{} recorded key exchanges were never requested by the replayed server",
+            channel_handle.remaining()
+        )));
+    }
+
+    let recorded = transcript.entries.iter().rev().find_map(|e| match &e.msg {
+        WireMessage::Summary(s) => Some(s.clone()),
+        _ => None,
+    });
+    Ok(ReplayOutcome {
+        replayed: server.summary(),
+        recorded,
+        server,
+    })
+}

@@ -1,0 +1,374 @@
+//! The deterministic in-process scheduler driving a multi-client
+//! training session.
+//!
+//! [`TrainingSessionRunner`] shards a dataset across `K` clients,
+//! schedules their encrypted batches in a fixed global order, pipelines
+//! client-side encryption against server-side training (clients encrypt
+//! batch `t+1` while the server trains on batch `t`), and records every
+//! exchanged message into a replayable [`Transcript`].
+//!
+//! ## Determinism
+//!
+//! The final model is a pure function of the [`SessionConfig`] and the
+//! dataset, independent of the client count `K`, the pipelining mode,
+//! and every thread-count knob:
+//!
+//! - batches are assigned round-robin by in-epoch index (`batch i`
+//!   belongs to client `i mod K`) and consumed in global order, so the
+//!   server sees the same plaintext-content sequence for every `K`;
+//! - FEIP/FEBO decryption is exact on the quantized integers, so the
+//!   decrypted training signal carries no trace of which client's
+//!   randomness produced a ciphertext;
+//! - the encryption pipeline runs the producer sequentially on one
+//!   thread ([`double_buffered`]), so client RNGs evolve exactly as in
+//!   the serial schedule.
+//!
+//! This is the client-count-invariance property the equivalence tests
+//! pin down: `K ∈ {1, 2, 4}` produce bit-identical final weights.
+
+use cryptonn_data::Dataset;
+use cryptonn_parallel::{double_buffered, Parallelism};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::ProtocolError;
+use crate::messages::{
+    ClientId, EpochBarrier, KeyRequest, KeyResponse, MlpSpec, ModelSpec, SessionConfig,
+    SessionSummary, WireMessage,
+};
+use crate::session::{AuthorityChannel, AuthoritySession, ClientSession, ServerSession};
+use crate::transcript::{Party, Transcript};
+
+/// Scheduling knobs that are *not* part of the wire-level session
+/// agreement: thread policies and whether to record or pipeline.
+/// Everything that affects the trained weights lives in
+/// [`SessionConfig`] instead.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerOptions {
+    /// Overlap client encryption with server training (double-buffered;
+    /// bit-identical results either way).
+    pub pipelined: bool,
+    /// Thread policy for client encryption and server decryption
+    /// fan-outs.
+    pub parallelism: Parallelism,
+    /// Record the message stream into the outcome's transcript.
+    /// Disabled for pure-throughput runs (the bench arm).
+    pub record: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        Self {
+            pipelined: true,
+            parallelism: Parallelism::Serial,
+            record: true,
+        }
+    }
+}
+
+/// The result of a completed session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The recorded message stream (empty when recording was off).
+    pub transcript: Transcript,
+    /// The final model fingerprint (also the transcript's last message).
+    pub summary: SessionSummary,
+    /// The server session, with the trained model inside.
+    pub server: ServerSession,
+}
+
+/// The live channel: forwards requests to the in-process authority and
+/// records both directions of the exchange.
+struct RecordingChannel {
+    authority: Rc<AuthoritySession>,
+    transcript: Rc<RefCell<Transcript>>,
+    record: bool,
+}
+
+impl AuthorityChannel for RecordingChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        let resp = self.authority.handle(&req);
+        if self.record {
+            let mut t = self.transcript.borrow_mut();
+            t.push(
+                Party::Server,
+                Party::Authority,
+                WireMessage::KeyRequest(req),
+            );
+            t.push(
+                Party::Authority,
+                Party::Server,
+                WireMessage::KeyResponse(resp.clone()),
+            );
+        }
+        Ok(resp)
+    }
+}
+
+/// The deterministic scheduler: wires authority, clients and server
+/// together and drives the whole training session.
+#[derive(Debug, Clone)]
+pub struct TrainingSessionRunner {
+    config: SessionConfig,
+    options: RunnerOptions,
+}
+
+impl TrainingSessionRunner {
+    /// Creates a runner for the given wire-level session agreement.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            config,
+            options: RunnerOptions::default(),
+        }
+    }
+
+    /// Replaces the local scheduling options.
+    pub fn with_options(mut self, options: RunnerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The wire-level session agreement.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs a full multi-client MLP training session over `dataset`.
+    ///
+    /// The dataset is batched in order (`batch_size` rows each), and
+    /// batch `i` of each epoch is owned — and encrypted — by client
+    /// `i mod K`. Labels are one-hot encoded by the owning client, per
+    /// the paper's client-side pre-processing.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] for an unusable config (zero
+    /// clients, more clients than batches, non-MLP model); training and
+    /// encryption failures otherwise.
+    pub fn run_mlp(&self, dataset: &Dataset) -> Result<SessionOutcome, ProtocolError> {
+        let spec = match &self.config.model {
+            ModelSpec::Mlp(spec) => spec.clone(),
+            ModelSpec::Cnn(_) => {
+                return Err(ProtocolError::InvalidConfig(
+                    "run_mlp requires an MLP model spec".into(),
+                ))
+            }
+        };
+        if spec.feature_dim != dataset.feature_dim() || spec.classes != dataset.classes() {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "model expects {}→{} but dataset is {}→{}",
+                spec.feature_dim,
+                spec.classes,
+                dataset.feature_dim(),
+                dataset.classes()
+            )));
+        }
+        let k = self.config.clients as usize;
+        if k == 0 {
+            return Err(ProtocolError::InvalidConfig("zero clients".into()));
+        }
+        if self.config.batch_size == 0 {
+            return Err(ProtocolError::InvalidConfig("zero batch size".into()));
+        }
+        if self.config.epochs == 0 {
+            return Err(ProtocolError::InvalidConfig("zero epochs".into()));
+        }
+        let batches = dataset.batches(self.config.batch_size as usize);
+        if batches.len() < k {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{} clients but only {} batches to shard",
+                k,
+                batches.len()
+            )));
+        }
+
+        let record = self.options.record;
+        let transcript = Rc::new(RefCell::new(Transcript::new()));
+        if record {
+            transcript.borrow_mut().push(
+                Party::Scheduler,
+                Party::Broadcast,
+                WireMessage::Config(self.config.clone()),
+            );
+        }
+
+        // --- shard: in-epoch batch i belongs to client i mod K -------
+        // `owners[t]` maps each in-epoch step to (client, local index).
+        let mut shards: Vec<Vec<(cryptonn_matrix::Matrix<f64>, cryptonn_matrix::Matrix<f64>)>> =
+            vec![Vec::new(); k];
+        let mut owners = Vec::with_capacity(batches.len());
+        for (i, batch) in batches.into_iter().enumerate() {
+            let owner = i % k;
+            owners.push((owner, shards[owner].len()));
+            shards[owner].push(batch);
+        }
+
+        let mut clients: Vec<ClientSession> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                ClientSession::new(
+                    ClientId(i as u32),
+                    self.config.client_seed_base + i as u64,
+                    self.options.parallelism,
+                    shard,
+                )
+            })
+            .collect();
+
+        if record {
+            let mut t = transcript.borrow_mut();
+            for client in &clients {
+                t.push(
+                    Party::Client(client.id().0),
+                    Party::Server,
+                    WireMessage::Register(client.register()),
+                );
+            }
+        }
+
+        // --- authority setup + key distribution ----------------------
+        let authority = Rc::new(AuthoritySession::new(&self.config));
+        let params = authority.public_params(spec.feature_dim, spec.classes, &self.config);
+        if record {
+            transcript.borrow_mut().push(
+                Party::Authority,
+                Party::Broadcast,
+                WireMessage::PublicParams(params.clone()),
+            );
+        }
+        for client in &mut clients {
+            client.on_public_params(&params);
+        }
+
+        let mut server = ServerSession::new(
+            &self.config,
+            &params,
+            Box::new(RecordingChannel {
+                authority: Rc::clone(&authority),
+                transcript: Rc::clone(&transcript),
+                record,
+            }),
+            self.options.parallelism,
+        );
+
+        // --- the training schedule -----------------------------------
+        // Global step t covers in-epoch batch t % B of epoch t / B; the
+        // producer side encrypts (one thread, sequential), the consumer
+        // side trains. With pipelining on, encryption of step t+1
+        // overlaps training of step t.
+        let b = owners.len();
+        let total = b * self.config.epochs as usize;
+        let mut failure: Option<ProtocolError> = None;
+        // Once anything fails, the producer must stop paying for
+        // encryption (thousands of exponentiations per batch), not just
+        // have its output discarded: the consumer raises `abort` and the
+        // producer yields `None` from then on.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        double_buffered(
+            total,
+            self.options.pipelined,
+            |t| {
+                if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                    return None;
+                }
+                let (owner, local_idx) = owners[t % b];
+                Some(clients[owner].encrypt_step(local_idx, t as u64))
+            },
+            |t, produced| {
+                if failure.is_some() {
+                    return;
+                }
+                let msg = match produced {
+                    Some(Ok(msg)) => msg,
+                    Some(Err(e)) => {
+                        failure = Some(e);
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    }
+                    // Producer already aborted; nothing to consume.
+                    None => return,
+                };
+                if record {
+                    transcript.borrow_mut().push(
+                        Party::Client(msg.client.0),
+                        Party::Server,
+                        WireMessage::Batch(msg.clone()),
+                    );
+                }
+                match server.handle_batch(&msg) {
+                    Ok(delta) => {
+                        if record {
+                            let mut tr = transcript.borrow_mut();
+                            tr.push(Party::Server, Party::Broadcast, WireMessage::Delta(delta));
+                            if (t + 1) % b == 0 {
+                                let epoch = (t / b) as u32;
+                                tr.push(
+                                    Party::Scheduler,
+                                    Party::Broadcast,
+                                    WireMessage::Epoch(EpochBarrier { epoch }),
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            },
+        );
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        let summary = server.summary();
+        if record {
+            transcript.borrow_mut().push(
+                Party::Server,
+                Party::Broadcast,
+                WireMessage::Summary(summary.clone()),
+            );
+        }
+        // The server's recording channel keeps its Rc alive, so move the
+        // record out rather than cloning it; the channel sees an empty
+        // transcript from here on, which only affects post-session
+        // handle_batch calls on the returned server (unrecorded anyway).
+        let transcript = std::mem::take(&mut *transcript.borrow_mut());
+        Ok(SessionOutcome {
+            transcript,
+            summary,
+            server,
+        })
+    }
+}
+
+/// A convenience [`SessionConfig`] for MLP sessions: fills the crypto
+/// and seed fields with the workspace's fast-test defaults so tests
+/// and examples only state what varies.
+pub fn mlp_session_config(
+    spec: MlpSpec,
+    clients: u32,
+    epochs: u32,
+    batch_size: u32,
+    lr: f64,
+) -> SessionConfig {
+    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_group::SecurityLevel;
+    use cryptonn_smc::FixedPoint;
+    SessionConfig {
+        level: SecurityLevel::Bits64,
+        fp: FixedPoint::TWO_DECIMALS,
+        grad_fp: FixedPoint::new(10_000),
+        permitted: PermittedFunctions::all(),
+        model: ModelSpec::Mlp(spec),
+        lr,
+        epochs,
+        batch_size,
+        clients,
+        authority_seed: 1009,
+        model_seed: 2017,
+        client_seed_base: 4001,
+    }
+}

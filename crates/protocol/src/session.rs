@@ -1,0 +1,593 @@
+//! The per-role state machines of the session protocol.
+//!
+//! Each session owns its role's private state (master keys, plaintext
+//! shard, model weights) and communicates *only* through the
+//! [`WireMessage`](crate::WireMessage) alphabet:
+//!
+//! - [`AuthoritySession`] answers [`KeyRequest`]s, enforcing the
+//!   permitted set exactly as the in-process [`KeyAuthority`] does;
+//! - [`ClientSession`] builds its encryptor from the wire-delivered
+//!   [`PublicParams`] and emits encrypted batch messages;
+//! - [`ServerSession`] consumes batch messages and trains, reaching the
+//!   authority through an [`AuthorityChannel`] — the synchronous
+//!   request/response hook that the runner records and the replayer
+//!   feeds from a transcript.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cryptonn_core::{Client, CryptoCnn, CryptoMlp, CryptoNnConfig};
+use cryptonn_fe::{
+    FeError, FeboFunctionKey, FeboKeyRequest, FeboPublicKey, FeipFunctionKey, FeipPublicKey,
+    KeyAuthority, KeyService,
+};
+use cryptonn_group::SchnorrGroup;
+use cryptonn_matrix::{Matrix, Tensor4};
+use cryptonn_parallel::Parallelism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ProtocolError;
+use crate::messages::{
+    ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, FeboKeysRequest, FeipKeysRequest,
+    KeyRequest, KeyResponse, ModelDelta, ModelSpec, PublicParams, RegisterClient, SessionConfig,
+    SessionSummary,
+};
+
+/// The server's synchronous line to the authority: one request in, one
+/// response out. The live implementation forwards to an
+/// [`AuthoritySession`] and records both directions; the replay
+/// implementation pops recorded responses and verifies the requests
+/// still match.
+pub trait AuthorityChannel {
+    /// Sends `req` and returns the authority's response.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures (replay exhaustion/divergence).
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError>;
+}
+
+/// The key authority as a session: owns the master keys, answers
+/// serializable key requests.
+#[derive(Debug)]
+pub struct AuthoritySession {
+    authority: KeyAuthority,
+}
+
+impl AuthoritySession {
+    /// Sets up the authority for a session: group from the configured
+    /// level, master keys from the configured seed.
+    pub fn new(config: &SessionConfig) -> Self {
+        let group = SchnorrGroup::precomputed(config.level);
+        Self {
+            authority: KeyAuthority::with_seed(group, config.permitted, config.authority_seed),
+        }
+    }
+
+    /// The underlying authority (for comm-log inspection in tests and
+    /// benches).
+    pub fn authority(&self) -> &KeyAuthority {
+        &self.authority
+    }
+
+    /// The session's public parameters: FEIP instances for the feature
+    /// and class dimensions plus the FEBO key.
+    ///
+    /// The two instances are created in a fixed order (features first),
+    /// so the authority's RNG evolution — and hence every derived key —
+    /// is independent of the client count.
+    pub fn public_params(
+        &self,
+        feature_dim: usize,
+        classes: usize,
+        config: &SessionConfig,
+    ) -> PublicParams {
+        PublicParams {
+            x_mpk: self.authority.feip_public_key(feature_dim),
+            y_mpk: self.authority.feip_public_key(classes),
+            febo_mpk: self.authority.febo_public_key(),
+            fp: config.fp,
+        }
+    }
+
+    /// Serves one key request. Refusals (permitted-set violations,
+    /// invalid operands) come back as [`KeyResponse::Denied`] rather
+    /// than an `Err`: a refusal is a protocol outcome worth recording,
+    /// not a transport failure.
+    pub fn handle(&self, req: &KeyRequest) -> KeyResponse {
+        // Requests come off the wire: a zero dimension would panic the
+        // FEIP setup, so refuse it like any other bad operand.
+        let dim_of = |r: &KeyRequest| match r {
+            KeyRequest::FeipMpk(dim) | KeyRequest::Feip(FeipKeysRequest { dim, .. }) => Some(*dim),
+            KeyRequest::Febo(_) => None,
+        };
+        if dim_of(req) == Some(0) {
+            return KeyResponse::Denied("FEIP dimension must be positive".into());
+        }
+        match req {
+            KeyRequest::FeipMpk(dim) => KeyResponse::FeipMpk(self.authority.feip_public_key(*dim)),
+            KeyRequest::Feip(FeipKeysRequest { dim, ys }) => {
+                // First-error semantics via the same batched KeyService
+                // path the in-process special case uses.
+                match self.authority.derive_ip_keys(*dim, ys) {
+                    Ok(keys) => KeyResponse::Feip(keys),
+                    Err(e) => KeyResponse::Denied(e.to_string()),
+                }
+            }
+            KeyRequest::Febo(FeboKeysRequest { reqs }) => {
+                match self.authority.derive_bo_keys(reqs) {
+                    Ok(keys) => KeyResponse::Febo(keys),
+                    Err(e) => KeyResponse::Denied(e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// A [`KeyService`] that reaches the authority over an
+/// [`AuthorityChannel`]: what turns the secure steps of Algorithm 2
+/// into recorded (and replayable) wire traffic.
+///
+/// Public keys delivered in [`PublicParams`] are cached; anything else
+/// goes over the channel.
+pub struct ChannelKeyService {
+    link: RefCell<Box<dyn AuthorityChannel>>,
+    mpks: RefCell<HashMap<usize, FeipPublicKey>>,
+    febo_mpk: FeboPublicKey,
+}
+
+impl ChannelKeyService {
+    /// Builds the service from the session's public parameters and a
+    /// channel for everything else.
+    pub fn new(params: &PublicParams, link: Box<dyn AuthorityChannel>) -> Self {
+        let mut mpks = HashMap::new();
+        mpks.insert(params.x_mpk.dimension(), params.x_mpk.clone());
+        mpks.insert(params.y_mpk.dimension(), params.y_mpk.clone());
+        Self {
+            link: RefCell::new(link),
+            mpks: RefCell::new(mpks),
+            febo_mpk: params.febo_mpk.clone(),
+        }
+    }
+
+    fn exchange(&self, req: KeyRequest) -> Result<KeyResponse, FeError> {
+        self.link
+            .borrow_mut()
+            .exchange(req)
+            .map_err(|e| FeError::Protocol(e.to_string()))
+    }
+}
+
+impl KeyService for ChannelKeyService {
+    fn feip_public_key(&self, dim: usize) -> Result<FeipPublicKey, FeError> {
+        if let Some(mpk) = self.mpks.borrow().get(&dim) {
+            return Ok(mpk.clone());
+        }
+        match self.exchange(KeyRequest::FeipMpk(dim))? {
+            KeyResponse::FeipMpk(mpk) => {
+                self.mpks.borrow_mut().insert(dim, mpk.clone());
+                Ok(mpk)
+            }
+            KeyResponse::Denied(why) => Err(FeError::Protocol(why)),
+            other => Err(FeError::Protocol(format!(
+                "expected an mpk response, got {other:?}"
+            ))),
+        }
+    }
+
+    fn febo_public_key(&self) -> Result<FeboPublicKey, FeError> {
+        Ok(self.febo_mpk.clone())
+    }
+
+    fn derive_ip_keys(&self, dim: usize, ys: &[Vec<i64>]) -> Result<Vec<FeipFunctionKey>, FeError> {
+        let req = KeyRequest::Feip(FeipKeysRequest {
+            dim,
+            ys: ys.to_vec(),
+        });
+        match self.exchange(req)? {
+            KeyResponse::Feip(keys) if keys.len() == ys.len() => Ok(keys),
+            KeyResponse::Feip(keys) => Err(FeError::Protocol(format!(
+                "requested {} FEIP keys, authority returned {}",
+                ys.len(),
+                keys.len()
+            ))),
+            KeyResponse::Denied(why) => Err(FeError::Protocol(why)),
+            other => Err(FeError::Protocol(format!(
+                "expected FEIP keys, got {other:?}"
+            ))),
+        }
+    }
+
+    fn derive_bo_keys(&self, reqs: &[FeboKeyRequest]) -> Result<Vec<FeboFunctionKey>, FeError> {
+        let req = KeyRequest::Febo(FeboKeysRequest {
+            reqs: reqs.to_vec(),
+        });
+        match self.exchange(req)? {
+            KeyResponse::Febo(keys) if keys.len() == reqs.len() => Ok(keys),
+            KeyResponse::Febo(keys) => Err(FeError::Protocol(format!(
+                "requested {} FEBO keys, authority returned {}",
+                reqs.len(),
+                keys.len()
+            ))),
+            KeyResponse::Denied(why) => Err(FeError::Protocol(why)),
+            other => Err(FeError::Protocol(format!(
+                "expected FEBO keys, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One data-owner: holds its plaintext shard and, once the public
+/// parameters arrive, its encryptor.
+#[derive(Debug)]
+pub struct ClientSession {
+    id: ClientId,
+    seed: u64,
+    parallelism: Parallelism,
+    /// This client's plaintext mini-batches `(x, one-hot y)`, in local
+    /// order.
+    shard: Vec<(Matrix<f64>, Matrix<f64>)>,
+    client: Option<Client>,
+}
+
+impl ClientSession {
+    /// Creates the session over a plaintext shard. Encryption becomes
+    /// possible once [`on_public_params`](Self::on_public_params) runs.
+    pub fn new(
+        id: ClientId,
+        seed: u64,
+        parallelism: Parallelism,
+        shard: Vec<(Matrix<f64>, Matrix<f64>)>,
+    ) -> Self {
+        Self {
+            id,
+            seed,
+            parallelism,
+            shard,
+            client: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of batches in this client's shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// The registration message this client opens with.
+    pub fn register(&self) -> RegisterClient {
+        RegisterClient {
+            client: self.id,
+            batches_per_epoch: self.shard.len() as u64,
+        }
+    }
+
+    /// Consumes the session's public parameters: builds the encryptor
+    /// from the wire-delivered keys (never from a local authority).
+    pub fn on_public_params(&mut self, params: &PublicParams) {
+        self.client = Some(
+            Client::from_keys(
+                params.x_mpk.clone(),
+                params.y_mpk.clone(),
+                params.febo_mpk.clone(),
+                params.fp,
+                self.seed,
+            )
+            .with_parallelism(self.parallelism),
+        );
+    }
+
+    /// Encrypts local batch `local_idx` for global step `step`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MissingMessage`] before the public parameters
+    /// arrived; shape errors from the encryptor.
+    pub fn encrypt_step(
+        &mut self,
+        local_idx: usize,
+        step: u64,
+    ) -> Result<EncryptedBatchMsg, ProtocolError> {
+        let (x, y) = self.shard.get(local_idx).ok_or_else(|| {
+            ProtocolError::InvalidConfig(format!(
+                "client {} has {} batches, scheduler asked for #{local_idx}",
+                self.id,
+                self.shard.len()
+            ))
+        })?;
+        let client = self
+            .client
+            .as_mut()
+            .ok_or(ProtocolError::MissingMessage("PublicParams"))?;
+        let batch = client.encrypt_batch(x, y)?;
+        Ok(EncryptedBatchMsg {
+            client: self.id,
+            step,
+            batch,
+        })
+    }
+}
+
+/// The model a [`ServerSession`] trains.
+#[derive(Debug)]
+pub enum ServerModel {
+    /// A fully-connected CryptoNN model.
+    Mlp(CryptoMlp),
+    /// A CryptoCNN instantiation.
+    Cnn(CryptoCnn),
+}
+
+/// The training server: consumes encrypted batch messages in schedule
+/// order, reaching the authority only through its channel.
+pub struct ServerSession {
+    model: ServerModel,
+    keys: ChannelKeyService,
+    lr: f64,
+    next_step: u64,
+    losses: Vec<f64>,
+}
+
+impl core::fmt::Debug for ServerSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServerSession")
+            .field("model", &self.model)
+            .field("lr", &self.lr)
+            .field("next_step", &self.next_step)
+            .field("losses", &self.losses.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerSession {
+    /// Builds the server from the session config and public parameters,
+    /// with `link` as its line to the authority. `parallelism` is the
+    /// server's local thread policy for the decryption loops (a runtime
+    /// choice — results are bit-identical across policies).
+    pub fn new(
+        config: &SessionConfig,
+        params: &PublicParams,
+        link: Box<dyn AuthorityChannel>,
+        parallelism: Parallelism,
+    ) -> Self {
+        let cc = CryptoNnConfig {
+            level: config.level,
+            fp: config.fp,
+            grad_fp: config.grad_fp,
+            parallelism,
+        };
+        let mut rng = StdRng::seed_from_u64(config.model_seed);
+        let model = match &config.model {
+            ModelSpec::Mlp(spec) => ServerModel::Mlp(CryptoMlp::new(
+                spec.feature_dim,
+                &spec.hidden,
+                spec.classes,
+                spec.objective,
+                cc,
+                &mut rng,
+            )),
+            ModelSpec::Cnn(CnnArch::Lenet5) => ServerModel::Cnn(CryptoCnn::lenet5(cc, &mut rng)),
+            ModelSpec::Cnn(CnnArch::LenetSmall(classes)) => {
+                ServerModel::Cnn(CryptoCnn::lenet_small(cc, *classes, &mut rng))
+            }
+        };
+        Self {
+            model,
+            keys: ChannelKeyService::new(params, link),
+            lr: config.lr,
+            next_step: 0,
+            losses: Vec::new(),
+        }
+    }
+
+    /// The trained MLP, if this session trains one.
+    pub fn mlp(&self) -> Option<&CryptoMlp> {
+        match &self.model {
+            ServerModel::Mlp(m) => Some(m),
+            ServerModel::Cnn(_) => None,
+        }
+    }
+
+    /// The trained CNN, if this session trains one.
+    pub fn cnn(&self) -> Option<&CryptoCnn> {
+        match &self.model {
+            ServerModel::Cnn(m) => Some(m),
+            ServerModel::Mlp(_) => None,
+        }
+    }
+
+    /// Mutable access to the trained MLP (plaintext prediction passes).
+    pub fn mlp_mut(&mut self) -> Option<&mut CryptoMlp> {
+        match &mut self.model {
+            ServerModel::Mlp(m) => Some(m),
+            ServerModel::Cnn(_) => None,
+        }
+    }
+
+    /// Mutable access to the trained CNN.
+    pub fn cnn_mut(&mut self) -> Option<&mut CryptoCnn> {
+        match &mut self.model {
+            ServerModel::Cnn(m) => Some(m),
+            ServerModel::Mlp(_) => None,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Per-step secure losses so far.
+    pub fn losses(&self) -> &[f64] {
+        &self.losses
+    }
+
+    fn check_order(&self, step: u64) -> Result<(), ProtocolError> {
+        if step != self.next_step {
+            return Err(ProtocolError::OutOfOrder {
+                expected: self.next_step,
+                got: step,
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared step bookkeeping: advance the schedule, log the loss,
+    /// emit the metric broadcast.
+    fn finish_step(&mut self, step: u64, client: ClientId, loss: f64) -> ModelDelta {
+        self.next_step += 1;
+        self.losses.push(loss);
+        ModelDelta { step, client, loss }
+    }
+
+    /// One Algorithm-2 training step on an encrypted MLP batch message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::OutOfOrder`] off schedule;
+    /// [`ProtocolError::InvalidConfig`] if this session trains a CNN;
+    /// training failures otherwise. The model is unchanged on error.
+    pub fn handle_batch(&mut self, msg: &EncryptedBatchMsg) -> Result<ModelDelta, ProtocolError> {
+        self.check_order(msg.step)?;
+        let out = match &mut self.model {
+            ServerModel::Mlp(m) => m.train_encrypted_batch(&self.keys, &msg.batch, self.lr)?,
+            ServerModel::Cnn(_) => {
+                return Err(ProtocolError::InvalidConfig(
+                    "MLP batch sent to a CNN session".into(),
+                ))
+            }
+        };
+        Ok(self.finish_step(msg.step, msg.client, out.loss))
+    }
+
+    /// One training step on an encrypted CNN batch message.
+    ///
+    /// # Errors
+    ///
+    /// As [`handle_batch`](Self::handle_batch), with the model kinds
+    /// swapped.
+    pub fn handle_image_batch(
+        &mut self,
+        msg: &EncryptedImageBatchMsg,
+    ) -> Result<ModelDelta, ProtocolError> {
+        self.check_order(msg.step)?;
+        let out = match &mut self.model {
+            ServerModel::Cnn(m) => m.train_encrypted_batch(&self.keys, &msg.batch, self.lr)?,
+            ServerModel::Mlp(_) => {
+                return Err(ProtocolError::InvalidConfig(
+                    "CNN batch sent to an MLP session".into(),
+                ))
+            }
+        };
+        Ok(self.finish_step(msg.step, msg.client, out.loss))
+    }
+
+    /// The session's final fingerprint: step count, loss trajectory,
+    /// and the first-layer parameters (the encrypted-path weights).
+    pub fn summary(&self) -> SessionSummary {
+        let (w1, b1) = match &self.model {
+            ServerModel::Mlp(m) => (
+                m.first_layer().weights().clone(),
+                m.first_layer().bias().clone(),
+            ),
+            ServerModel::Cnn(m) => {
+                let bias = m.first_layer().bias();
+                (
+                    m.first_layer().filters().clone(),
+                    Matrix::from_rows(&[bias]),
+                )
+            }
+        };
+        SessionSummary {
+            steps: self.next_step,
+            losses: self.losses.clone(),
+            final_w1: w1,
+            final_b1: b1,
+        }
+    }
+}
+
+/// Reshapes a flat `(batch, c·h·w)` feature matrix into the `(batch,
+/// c, h, w)` tensor the CNN client path encrypts — the bridge between
+/// [`Dataset`](cryptonn_data::Dataset) rows and Algorithm 3 windows.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != c * h * w`.
+pub fn rows_to_images(x: &Matrix<f64>, c: usize, h: usize, w: usize) -> Tensor4 {
+    assert_eq!(x.cols(), c * h * w, "row length must equal c*h*w");
+    Tensor4::from_vec(x.rows(), c, h, w, x.as_slice().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::MlpSpec;
+    use crate::runner::mlp_session_config;
+    use cryptonn_core::Objective;
+    use std::rc::Rc;
+
+    fn config() -> SessionConfig {
+        mlp_session_config(
+            MlpSpec {
+                feature_dim: 3,
+                hidden: vec![2],
+                classes: 2,
+                objective: Objective::SoftmaxCrossEntropy,
+            },
+            1,
+            1,
+            2,
+            0.5,
+        )
+    }
+
+    /// A channel that forwards to an authority session and counts the
+    /// exchanges, to observe the mpk cache behavior.
+    struct CountingChannel {
+        authority: Rc<AuthoritySession>,
+        exchanges: Rc<std::cell::Cell<usize>>,
+    }
+
+    impl AuthorityChannel for CountingChannel {
+        fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+            self.exchanges.set(self.exchanges.get() + 1);
+            Ok(self.authority.handle(&req))
+        }
+    }
+
+    /// Requesting an mpk dimension beyond those in PublicParams goes
+    /// over the wire once, then serves from cache.
+    #[test]
+    fn uncached_mpk_dimension_is_fetched_then_cached() {
+        let config = config();
+        let authority = Rc::new(AuthoritySession::new(&config));
+        let params = authority.public_params(3, 2, &config);
+        let exchanges = Rc::new(std::cell::Cell::new(0));
+        let service = ChannelKeyService::new(
+            &params,
+            Box::new(CountingChannel {
+                authority: Rc::clone(&authority),
+                exchanges: Rc::clone(&exchanges),
+            }),
+        );
+
+        // Published dimensions never touch the wire.
+        assert_eq!(service.feip_public_key(3).unwrap().dimension(), 3);
+        assert_eq!(service.feip_public_key(2).unwrap().dimension(), 2);
+        assert_eq!(exchanges.get(), 0);
+
+        // An unpublished dimension is one exchange, then cached — and
+        // identical to what the authority would hand out directly.
+        let wire = service.feip_public_key(5).unwrap();
+        assert_eq!(exchanges.get(), 1);
+        assert_eq!(wire, authority.authority().feip_public_key(5));
+        let again = service.feip_public_key(5).unwrap();
+        assert_eq!(exchanges.get(), 1, "second lookup must hit the cache");
+        assert_eq!(again, wire);
+    }
+}

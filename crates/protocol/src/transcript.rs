@@ -1,0 +1,112 @@
+//! Recorded message streams: every session run can be captured as a
+//! [`Transcript`] — an ordered sequence of addressed envelopes — and a
+//! transcript is sufficient to re-execute the server side
+//! ([`replay_server`](crate::replay_server)).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProtocolError;
+use crate::messages::WireMessage;
+
+/// A protocol participant, as an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// The deterministic scheduler driving the session.
+    Scheduler,
+    /// The trusted key authority.
+    Authority,
+    /// The training server.
+    Server,
+    /// A data-owner client.
+    Client(u32),
+    /// Everyone (key distribution, metrics, barriers).
+    Broadcast,
+}
+
+/// One addressed, sequenced message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Position in the transcript (0-based, dense).
+    pub seq: u64,
+    /// Sender.
+    pub from: Party,
+    /// Recipient.
+    pub to: Party,
+    /// Payload.
+    pub msg: WireMessage,
+}
+
+/// An ordered record of every message a session exchanged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// The envelopes, in exchange order (`entries[i].seq == i`).
+    pub entries: Vec<Envelope>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a message, assigning the next sequence number.
+    pub fn push(&mut self, from: Party, to: Party, msg: WireMessage) {
+        let seq = self.entries.len() as u64;
+        self.entries.push(Envelope { seq, from, to, msg });
+    }
+
+    /// Number of recorded messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Messages of one kind, in order (see [`WireMessage::kind`]).
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Envelope> {
+        self.entries.iter().filter(move |e| e.msg.kind() == kind)
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Serde`] on serializer failure.
+    pub fn to_json(&self) -> Result<String, ProtocolError> {
+        serde_json::to_string(self).map_err(|e| ProtocolError::Serde(e.to_string()))
+    }
+
+    /// Parses a transcript from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Serde`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, ProtocolError> {
+        serde_json::from_str(s).map_err(|e| ProtocolError::Serde(e.to_string()))
+    }
+
+    /// Writes the JSON form to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Serde`] on serializer failure,
+    /// [`ProtocolError::Io`] on filesystem failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ProtocolError> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| ProtocolError::Io(e.to_string()))
+    }
+
+    /// Reads a transcript from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] if the file cannot be read,
+    /// [`ProtocolError::Serde`] if its contents are malformed.
+    pub fn load(path: &std::path::Path) -> Result<Self, ProtocolError> {
+        let json = std::fs::read_to_string(path).map_err(|e| ProtocolError::Io(e.to_string()))?;
+        Self::from_json(&json)
+    }
+}

@@ -1,0 +1,195 @@
+//! Transcript recording and replay: a recorded session must re-execute
+//! bit-for-bit from its message stream alone, through JSON and back,
+//! and tampering must be detected — plus the checked-in golden
+//! transcript, which pins both the wire format and the training
+//! numerics across commits.
+
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_protocol::{
+    mlp_session_config, replay_server, MlpSpec, SessionConfig, TrainingSessionRunner, Transcript,
+    WireMessage,
+};
+
+/// The golden session: 2 clients, 2 batches of 3 over the 6-sample
+/// clinic set, one epoch. Regenerate the checked-in JSON with
+/// `cargo run --release -p cryptonn-suite --example record_transcript`.
+pub fn golden_config(feature_dim: usize, classes: usize) -> SessionConfig {
+    mlp_session_config(
+        MlpSpec {
+            feature_dim,
+            hidden: vec![3],
+            classes,
+            objective: Objective::SoftmaxCrossEntropy,
+        },
+        2,
+        1,
+        3,
+        0.7,
+    )
+}
+
+fn record_small_session() -> (cryptonn_protocol::SessionSummary, Transcript) {
+    let data = clinic_dataset(6, 71);
+    let config = golden_config(data.feature_dim(), data.classes());
+    let outcome = TrainingSessionRunner::new(config)
+        .run_mlp(&data)
+        .expect("session must run");
+    (outcome.summary, outcome.transcript)
+}
+
+#[test]
+fn replay_reproduces_the_recorded_run() {
+    let (summary, transcript) = record_small_session();
+    let replayed = replay_server(&transcript).expect("replay must run");
+    assert!(replayed.matches_recording());
+    assert_eq!(replayed.replayed, summary);
+}
+
+#[test]
+fn replay_survives_json_roundtrip() {
+    let (_, transcript) = record_small_session();
+    let json = transcript.to_json().unwrap();
+    let parsed = Transcript::from_json(&json).unwrap();
+    assert_eq!(parsed, transcript);
+    let replayed = replay_server(&parsed).expect("replay after JSON roundtrip");
+    assert!(replayed.matches_recording());
+}
+
+#[test]
+fn tampered_key_response_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    // Corrupt the first recorded FEIP key response by dropping a key:
+    // the replayed server must either diverge or fail, never silently
+    // reproduce the recording.
+    let tampered = transcript
+        .entries
+        .iter_mut()
+        .find_map(|e| match &mut e.msg {
+            WireMessage::KeyResponse(cryptonn_protocol::KeyResponse::Feip(keys))
+                if !keys.is_empty() =>
+            {
+                keys.pop();
+                Some(())
+            }
+            _ => None,
+        });
+    assert!(tampered.is_some(), "no FEIP response to tamper with");
+    match replay_server(&transcript) {
+        Err(_) => {}
+        Ok(outcome) => assert!(!outcome.matches_recording()),
+    }
+}
+
+/// A forged trailing metric — attesting a training step that never
+/// happened — must not pass adversarial replay.
+#[test]
+fn forged_trailing_delta_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    transcript.push(
+        cryptonn_protocol::Party::Server,
+        cryptonn_protocol::Party::Broadcast,
+        WireMessage::Delta(cryptonn_protocol::ModelDelta {
+            step: 99,
+            client: cryptonn_protocol::ClientId(0),
+            loss: -1.0,
+        }),
+    );
+    assert!(matches!(
+        replay_server(&transcript),
+        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
+    ));
+}
+
+/// Extra recorded key exchanges the replayed server never asks for are
+/// equally a forgery.
+#[test]
+fn unconsumed_key_exchange_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    transcript.push(
+        cryptonn_protocol::Party::Server,
+        cryptonn_protocol::Party::Authority,
+        WireMessage::KeyRequest(cryptonn_protocol::KeyRequest::FeipMpk(7)),
+    );
+    transcript.push(
+        cryptonn_protocol::Party::Authority,
+        cryptonn_protocol::Party::Server,
+        WireMessage::KeyResponse(cryptonn_protocol::KeyResponse::Denied("x".into())),
+    );
+    assert!(matches!(
+        replay_server(&transcript),
+        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
+    ));
+}
+
+/// Malformed wire requests are refused, never panicking the authority.
+#[test]
+fn zero_dimension_key_requests_are_denied() {
+    let data = clinic_dataset(6, 71);
+    let config = golden_config(data.feature_dim(), data.classes());
+    let authority = cryptonn_protocol::AuthoritySession::new(&config);
+    for req in [
+        cryptonn_protocol::KeyRequest::FeipMpk(0),
+        cryptonn_protocol::KeyRequest::Feip(cryptonn_protocol::FeipKeysRequest {
+            dim: 0,
+            ys: vec![vec![]],
+        }),
+    ] {
+        assert!(matches!(
+            authority.handle(&req),
+            cryptonn_protocol::KeyResponse::Denied(_)
+        ));
+    }
+}
+
+/// Stripping the per-step metric stream is tampering, not a weaker
+/// recording: replay must refuse rather than skip the cross-check.
+#[test]
+fn stripped_delta_stream_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    transcript.entries.retain(|e| e.msg.kind() != "delta");
+    assert!(matches!(
+        replay_server(&transcript),
+        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
+    ));
+}
+
+#[test]
+fn tampered_batch_step_is_rejected() {
+    let (_, mut transcript) = record_small_session();
+    for e in &mut transcript.entries {
+        if let WireMessage::Batch(msg) = &mut e.msg {
+            msg.step += 1; // break schedule order
+            break;
+        }
+    }
+    assert!(replay_server(&transcript).is_err());
+}
+
+/// The checked-in golden transcript replays to its recorded weights.
+/// This is the cross-commit guarantee: any change to quantization, key
+/// derivation, message layout, or training order breaks this test.
+///
+/// The recording pins bit-exact `f64` training numerics, which pass
+/// through `exp`/`ln` in the softmax path — so a libm whose
+/// transcendentals differ by an ulp from the recording platform can
+/// fail this test without any code change. If that is the only
+/// failure on a new platform, regenerate the fixture with the
+/// `record_transcript` example and inspect the diff.
+#[test]
+fn golden_transcript_replays_to_identical_weights() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_2client_mlp.json");
+    let transcript = Transcript::load(&path).expect("golden transcript must parse");
+    let replayed = replay_server(&transcript).expect("golden transcript must replay");
+    assert!(
+        replayed.matches_recording(),
+        "replayed weights/losses diverged from the checked-in recording"
+    );
+    // And the recording is what the current code would produce live.
+    let (summary, _) = record_small_session();
+    assert_eq!(
+        replayed.replayed, summary,
+        "live run diverged from the golden recording"
+    );
+}

@@ -1,0 +1,191 @@
+//! Serde roundtrips for every wire message type: anything the session
+//! layer can put on the wire must survive JSON and come back equal —
+//! including the ciphertext-bearing payloads, whose group elements are
+//! the actual serialized surface.
+
+use cryptonn_core::{Client, Objective};
+use cryptonn_fe::{BasicOp, FeboKeyRequest, KeyAuthority, KeyService, PermittedFunctions};
+use cryptonn_group::{SchnorrGroup, SecurityLevel};
+use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
+use cryptonn_protocol::{
+    mlp_session_config, ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier,
+    FeboKeysRequest, FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec,
+    Party, PublicParams, RegisterClient, SessionSummary, Transcript, WireMessage,
+};
+use cryptonn_smc::FixedPoint;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn authority() -> &'static KeyAuthority {
+    static AUTH: OnceLock<KeyAuthority> = OnceLock::new();
+    AUTH.get_or_init(|| {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        KeyAuthority::with_seed(group, PermittedFunctions::all(), 55)
+    })
+}
+
+fn roundtrip(msg: &WireMessage) {
+    let json = serde_json::to_string(msg).expect("serialize");
+    let back: WireMessage = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn config_roundtrips(clients in 1u32..8, epochs in 1u32..5, hidden in 1usize..9) {
+        let spec = MlpSpec {
+            feature_dim: 7,
+            hidden: vec![hidden, hidden + 1],
+            classes: 3,
+            objective: Objective::SoftmaxCrossEntropy,
+        };
+        roundtrip(&WireMessage::Config(mlp_session_config(spec, clients, epochs, 4, 0.25)));
+    }
+
+    #[test]
+    fn register_and_metrics_roundtrip(client in 0u32..32, step in 0u64..1000, loss in -10.0f64..10.0) {
+        roundtrip(&WireMessage::Register(RegisterClient {
+            client: ClientId(client),
+            batches_per_epoch: step,
+        }));
+        roundtrip(&WireMessage::Delta(ModelDelta {
+            step,
+            client: ClientId(client),
+            loss,
+        }));
+        roundtrip(&WireMessage::Epoch(EpochBarrier { epoch: client }));
+    }
+
+    #[test]
+    fn public_params_roundtrip(dim in 1usize..5, classes in 1usize..4) {
+        let auth = authority();
+        roundtrip(&WireMessage::PublicParams(PublicParams {
+            x_mpk: KeyAuthority::feip_public_key(auth, dim),
+            y_mpk: KeyAuthority::feip_public_key(auth, classes),
+            febo_mpk: KeyAuthority::febo_public_key(auth),
+            fp: FixedPoint::TWO_DECIMALS,
+        }));
+    }
+
+    #[test]
+    fn encrypted_batch_roundtrips(seed in 0u64..1000, rows in 1usize..4) {
+        let auth = authority();
+        let mut client = Client::for_mlp(auth, 3, 2, FixedPoint::TWO_DECIMALS, seed);
+        let x = Matrix::from_fn(rows, 3, |r, c| ((r * 3 + c + seed as usize) % 10) as f64 / 10.0);
+        let y = Matrix::from_fn(rows, 2, |r, c| if r % 2 == c { 1.0 } else { 0.0 });
+        let batch = client.encrypt_batch(&x, &y).unwrap();
+        roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
+            client: ClientId(seed as u32 % 4),
+            step: seed,
+            batch,
+        }));
+        // Label-free prediction batches serialize too.
+        let pred = client.encrypt_features(&x).unwrap();
+        roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
+            client: ClientId(0),
+            step: seed,
+            batch: pred,
+        }));
+    }
+
+    #[test]
+    fn encrypted_image_batch_roundtrips(seed in 0u64..1000) {
+        let auth = authority();
+        let spec = ConvSpec::square(3, 1, 1);
+        let mut client = Client::for_cnn(auth, &spec, 1, 2, FixedPoint::TWO_DECIMALS, seed);
+        let images = Tensor4::from_vec(
+            1, 1, 4, 4,
+            (0..16).map(|v| ((v + seed as usize) % 7) as f64 / 7.0).collect(),
+        );
+        let y = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let batch = client.encrypt_image_batch(&images, &y, &spec).unwrap();
+        roundtrip(&WireMessage::ImageBatch(EncryptedImageBatchMsg {
+            client: ClientId(1),
+            step: seed,
+            batch,
+        }));
+    }
+
+    #[test]
+    fn key_traffic_roundtrips(dim in 1usize..4, y in -50i64..50) {
+        let auth = authority();
+        let ys: Vec<Vec<i64>> = (0..2).map(|i| (0..dim).map(|j| y + (i * dim + j) as i64).collect()).collect();
+        roundtrip(&WireMessage::KeyRequest(KeyRequest::FeipMpk(dim)));
+        roundtrip(&WireMessage::KeyRequest(KeyRequest::Feip(FeipKeysRequest {
+            dim,
+            ys: ys.clone(),
+        })));
+        let keys = auth.derive_ip_keys(dim, &ys).unwrap();
+        roundtrip(&WireMessage::KeyResponse(KeyResponse::Feip(keys)));
+        roundtrip(&WireMessage::KeyResponse(KeyResponse::FeipMpk(
+            KeyAuthority::feip_public_key(auth, dim),
+        )));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(y.unsigned_abs());
+        let ct = cryptonn_fe::febo::encrypt(&KeyAuthority::febo_public_key(auth), y, &mut rng);
+        let reqs = vec![FeboKeyRequest { cmt: *ct.commitment(), op: BasicOp::Sub, y }];
+        roundtrip(&WireMessage::KeyRequest(KeyRequest::Febo(FeboKeysRequest {
+            reqs: reqs.clone(),
+        })));
+        let keys = auth.derive_bo_keys(&reqs).unwrap();
+        roundtrip(&WireMessage::KeyResponse(KeyResponse::Febo(keys)));
+        roundtrip(&WireMessage::KeyResponse(KeyResponse::Denied("refused".into())));
+    }
+
+    #[test]
+    fn summary_roundtrips(rows in 1usize..4, cols in 1usize..4) {
+        roundtrip(&WireMessage::Summary(SessionSummary {
+            steps: (rows * cols) as u64,
+            losses: (0..rows).map(|i| i as f64 / 3.0).collect(),
+            final_w1: Matrix::from_fn(rows, cols, |r, c| (r as f64) - (c as f64) / 7.0),
+            final_b1: Matrix::from_fn(1, cols, |_, c| c as f64 * 0.125),
+        }));
+    }
+}
+
+use rand::SeedableRng;
+
+/// A transcript with one envelope of every party pairing survives the
+/// JSON roundtrip with sequence numbers and addressing intact.
+#[test]
+fn transcript_envelopes_roundtrip() {
+    let mut t = Transcript::new();
+    t.push(
+        Party::Scheduler,
+        Party::Broadcast,
+        WireMessage::Epoch(EpochBarrier { epoch: 0 }),
+    );
+    t.push(
+        Party::Client(3),
+        Party::Server,
+        WireMessage::Register(RegisterClient {
+            client: ClientId(3),
+            batches_per_epoch: 2,
+        }),
+    );
+    t.push(
+        Party::Server,
+        Party::Authority,
+        WireMessage::KeyRequest(KeyRequest::FeipMpk(5)),
+    );
+    let json = t.to_json().unwrap();
+    let back = Transcript::from_json(&json).unwrap();
+    assert_eq!(back, t);
+    assert_eq!(back.entries[2].seq, 2);
+    assert_eq!(back.of_kind("key-request").count(), 1);
+}
+
+/// The CNN model specs serialize (they ride in `SessionConfig`).
+#[test]
+fn cnn_specs_roundtrip() {
+    for model in [
+        ModelSpec::Cnn(CnnArch::Lenet5),
+        ModelSpec::Cnn(CnnArch::LenetSmall(4)),
+    ] {
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, model);
+    }
+}

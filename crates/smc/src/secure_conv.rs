@@ -12,10 +12,11 @@
 //! encrypted — the plaintext zero padding is encrypted along with the
 //! image pixels, so "partially encrypted" windows need no special case.
 
-use cryptonn_fe::{feip, FeError, FeipCiphertext, FeipFunctionKey, FeipPublicKey, KeyAuthority};
+use cryptonn_fe::{feip, FeError, FeipCiphertext, FeipFunctionKey, FeipPublicKey, KeyService};
 use cryptonn_group::DlogTable;
 use cryptonn_matrix::{im2col, ConvSpec, Matrix, Tensor4};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::error::SmcError;
 use crate::quantize::FixedPoint;
@@ -23,7 +24,10 @@ use cryptonn_parallel::{parallel_map, Parallelism};
 
 /// A batch of FEIP-encrypted sliding windows, ready for secure
 /// convolution against any number of filters.
-#[derive(Debug, Clone)]
+///
+/// Serializable, so image batches travel over the session layer's wire
+/// protocol like MLP batches do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncryptedWindows {
     windows: Vec<FeipCiphertext>,
     batch: usize,
@@ -126,15 +130,14 @@ pub fn encrypt_windows_with<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates authority refusals and dimension mismatches.
-pub fn derive_filter_keys(
-    authority: &KeyAuthority,
+pub fn derive_filter_keys<A: KeyService + ?Sized>(
+    authority: &A,
     filters: &Matrix<i64>,
 ) -> Result<Vec<FeipFunctionKey>, SmcError> {
-    let mut keys = Vec::with_capacity(filters.rows());
-    for i in 0..filters.rows() {
-        keys.push(authority.derive_ip_key(filters.cols(), filters.row(i))?);
-    }
-    Ok(keys)
+    let rows: Vec<Vec<i64>> = (0..filters.rows())
+        .map(|i| filters.row(i).to_vec())
+        .collect();
+    Ok(authority.derive_ip_keys(filters.cols(), &rows)?)
 }
 
 /// Server-side `secure-convolution` of Algorithm 3: decrypts the inner
@@ -198,7 +201,7 @@ pub fn secure_convolution(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_fe::{KeyAuthority, PermittedFunctions};
     use cryptonn_group::{SchnorrGroup, SecurityLevel};
     use cryptonn_matrix::conv2d_naive;
     use rand::rngs::StdRng;

@@ -17,7 +17,7 @@
 //!   ([`secure_elementwise`]). Both decryption loops take a
 //!   [`Parallelism`] policy (the paper's "(P)" arms).
 
-use cryptonn_fe::{febo, feip, BasicOp, FeError, KeyAuthority};
+use cryptonn_fe::{febo, feip, BasicOp, FeError, FeboKeyRequest, KeyService};
 use cryptonn_fe::{FeboCiphertext, FeboFunctionKey, FeboPublicKey};
 use cryptonn_fe::{FeipCiphertext, FeipFunctionKey, FeipPublicKey};
 use cryptonn_group::DlogTable;
@@ -44,7 +44,10 @@ pub enum SecureFunction {
 /// ciphertext per column (`[[x]]`) and the FEBO part one ciphertext per
 /// element (`[[X]]`). Either part may be omitted when the workload only
 /// needs the other.
-#[derive(Debug, Clone)]
+///
+/// Serializes as-is (ciphertexts are group elements); this is the
+/// payload of the session layer's `EncryptedBatchMsg` wire message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncryptedMatrix {
     rows: usize,
     cols: usize,
@@ -203,15 +206,12 @@ impl EncryptedMatrix {
 ///
 /// Propagates authority refusals ([`FeError::FunctionNotPermitted`]) and
 /// dimension mismatches.
-pub fn derive_dot_keys(
-    authority: &KeyAuthority,
+pub fn derive_dot_keys<A: KeyService + ?Sized>(
+    authority: &A,
     y: &Matrix<i64>,
 ) -> Result<Vec<FeipFunctionKey>, SmcError> {
-    let mut keys = Vec::with_capacity(y.rows());
-    for i in 0..y.rows() {
-        keys.push(authority.derive_ip_key(y.cols(), y.row(i))?);
-    }
-    Ok(keys)
+    let rows: Vec<Vec<i64>> = (0..y.rows()).map(|i| y.row(i).to_vec()).collect();
+    Ok(authority.derive_ip_keys(y.cols(), &rows)?)
 }
 
 /// `pre-process-key-derivative`, element-wise branch: requests one FEBO
@@ -223,8 +223,8 @@ pub fn derive_dot_keys(
 ///   encrypted matrix,
 /// - [`SmcError::NotEncryptedForElementwise`] if the FEBO part is absent,
 /// - authority refusals.
-pub fn derive_elementwise_keys(
-    authority: &KeyAuthority,
+pub fn derive_elementwise_keys<A: KeyService + ?Sized>(
+    authority: &A,
     enc: &EncryptedMatrix,
     op: BasicOp,
     y: &Matrix<i64>,
@@ -236,12 +236,17 @@ pub fn derive_elementwise_keys(
         });
     }
     let elements = enc.elements()?;
-    let mut keys = Vec::with_capacity(y.rows() * y.cols());
+    let mut reqs = Vec::with_capacity(y.rows() * y.cols());
     for i in 0..y.rows() {
         for j in 0..y.cols() {
-            keys.push(authority.derive_bo_key(elements[(i, j)].commitment(), op, y[(i, j)])?);
+            reqs.push(FeboKeyRequest {
+                cmt: *elements[(i, j)].commitment(),
+                op,
+                y: y[(i, j)],
+            });
         }
     }
+    let keys = authority.derive_bo_keys(&reqs)?;
     Ok(Matrix::from_vec(y.rows(), y.cols(), keys))
 }
 
@@ -343,8 +348,8 @@ pub fn secure_elementwise(
 ///
 /// As the underlying stage functions.
 #[allow(clippy::too_many_arguments)]
-pub fn secure_compute(
-    authority: &KeyAuthority,
+pub fn secure_compute<A: KeyService + ?Sized>(
+    authority: &A,
     feip_mpk: &FeipPublicKey,
     febo_mpk: &FeboPublicKey,
     enc: &EncryptedMatrix,
@@ -396,7 +401,7 @@ fn collect_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cryptonn_fe::PermittedFunctions;
+    use cryptonn_fe::{KeyAuthority, PermittedFunctions};
     use cryptonn_group::{SchnorrGroup, SecurityLevel};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};

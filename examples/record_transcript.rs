@@ -1,0 +1,65 @@
+//! Records the golden 2-client MLP session transcript used by the
+//! `cryptonn-protocol` replay tests, and demonstrates the transcript
+//! tooling: record → save → load → replay → verify.
+//!
+//! Run with:
+//! `cargo run --release -p cryptonn-suite --example record_transcript [out.json]`
+//!
+//! Without an argument the transcript is written next to the replay
+//! test's golden fixture path **only if run from the repository root**
+//! (`crates/protocol/tests/data/golden_2client_mlp.json`).
+
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_protocol::{
+    mlp_session_config, replay_server, MlpSpec, TrainingSessionRunner, Transcript,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Keep this in lock-step with `golden_config` in
+    // crates/protocol/tests/transcript_replay.rs.
+    let data = clinic_dataset(6, 71);
+    let config = mlp_session_config(
+        MlpSpec {
+            feature_dim: data.feature_dim(),
+            hidden: vec![3],
+            classes: data.classes(),
+            objective: Objective::SoftmaxCrossEntropy,
+        },
+        2,
+        1,
+        3,
+        0.7,
+    );
+
+    let outcome = TrainingSessionRunner::new(config).run_mlp(&data)?;
+    println!(
+        "recorded {} messages over {} training steps (losses: {:?})",
+        outcome.transcript.len(),
+        outcome.summary.steps,
+        outcome.summary.losses
+    );
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crates/protocol/tests/data/golden_2client_mlp.json".to_string());
+    let path = std::path::Path::new(&path);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    outcome.transcript.save(path)?;
+    println!("wrote {}", path.display());
+
+    // Round-trip through disk and replay the server from the file alone.
+    let loaded = Transcript::load(path)?;
+    let replayed = replay_server(&loaded)?;
+    assert!(
+        replayed.matches_recording(),
+        "replay must reproduce the recorded weights bit-for-bit"
+    );
+    println!(
+        "replay verified: {} steps, final weights identical",
+        replayed.replayed.steps
+    );
+    Ok(())
+}

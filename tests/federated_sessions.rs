@@ -1,0 +1,174 @@
+//! Whole-stack integration tests for the multi-client session layer:
+//! federated training must actually learn, the CNN loop must run over
+//! the wire protocol, and a transcript must survive the disk roundtrip
+//! and replay — all across crate boundaries, exactly as an application
+//! would wire them.
+
+use std::rc::Rc;
+
+use cryptonn_core::Objective;
+use cryptonn_data::{clinic_dataset, synthetic_digits, DigitConfig};
+use cryptonn_nn::one_hot;
+use cryptonn_parallel::Parallelism;
+use cryptonn_protocol::{
+    mlp_session_config, replay_server, AuthorityChannel, AuthoritySession, ClientId, CnnArch,
+    EncryptedImageBatchMsg, KeyRequest, KeyResponse, MlpSpec, ModelSpec, ProtocolError,
+    RunnerOptions, ServerSession, SessionConfig, TrainingSessionRunner, Transcript,
+};
+
+/// A test channel that forwards to an in-process authority session
+/// without recording — the minimal live wiring.
+struct DirectChannel(Rc<AuthoritySession>);
+
+impl AuthorityChannel for DirectChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        Ok(self.0.handle(&req))
+    }
+}
+
+/// Federated encrypted MLP training through the session layer must
+/// learn the clinic task — the session-layer twin of the end-to-end
+/// `multiple_clients_train_one_encrypted_model` test, now with real
+/// sharding, scheduling and pipelining.
+#[test]
+fn federated_session_learns_the_clinic_task() {
+    let train = clinic_dataset(45, 13);
+    let spec = MlpSpec {
+        feature_dim: train.feature_dim(),
+        hidden: vec![6],
+        classes: train.classes(),
+        objective: Objective::SoftmaxCrossEntropy,
+    };
+    let config = mlp_session_config(spec, 3, 4, 15, 1.2);
+    let outcome = TrainingSessionRunner::new(config)
+        .with_options(RunnerOptions {
+            pipelined: true,
+            parallelism: Parallelism::Threads(2),
+            record: false,
+        })
+        .run_mlp(&train)
+        .expect("session must run");
+
+    let losses = &outcome.summary.losses;
+    assert_eq!(losses.len() as u64, outcome.summary.steps);
+    assert!(
+        losses.last().unwrap() < &losses[0],
+        "federated session should reduce loss: {losses:?}"
+    );
+}
+
+/// The CNN training loop runs on top of the session layer: encrypted
+/// window batches travel as wire messages and the server trains through
+/// its authority channel only.
+#[test]
+fn cnn_training_runs_over_the_session_layer() {
+    let classes = 3;
+    let config = SessionConfig {
+        model: ModelSpec::Cnn(CnnArch::LenetSmall(classes)),
+        ..mlp_session_config(
+            MlpSpec {
+                feature_dim: 196,
+                hidden: vec![1],
+                classes,
+                objective: Objective::SoftmaxCrossEntropy,
+            },
+            2,
+            1,
+            6,
+            0.5,
+        )
+    };
+    let authority = Rc::new(AuthoritySession::new(&config));
+
+    // The server publishes its conv geometry; window_dim fixes x_mpk.
+    let data = synthetic_digits(40, DigitConfig::small(), 14);
+    let keep: Vec<usize> = (0..data.len())
+        .filter(|&i| data.labels()[i] < classes)
+        .collect();
+    let spec = cryptonn_matrix::ConvSpec::square(3, 1, 1);
+    let window_dim = 3 * 3;
+    let params = authority.public_params(window_dim, classes, &config);
+
+    let mut server = ServerSession::new(
+        &config,
+        &params,
+        Box::new(DirectChannel(Rc::clone(&authority))),
+        Parallelism::Threads(2),
+    );
+
+    // Two clients alternate encrypted image batches.
+    let mut clients: Vec<cryptonn_core::Client> = (0..2u64)
+        .map(|i| {
+            cryptonn_core::Client::from_keys(
+                params.x_mpk.clone(),
+                params.y_mpk.clone(),
+                params.febo_mpk.clone(),
+                params.fp,
+                90 + i,
+            )
+        })
+        .collect();
+
+    let mut losses = Vec::new();
+    for (step, chunk) in keep.chunks(5).take(2).enumerate() {
+        let rows: Vec<&[f64]> = chunk.iter().map(|&i| data.images().row(i)).collect();
+        let labels: Vec<usize> = chunk.iter().map(|&i| data.labels()[i]).collect();
+        let images = cryptonn_protocol::rows_to_images(
+            &cryptonn_matrix::Matrix::from_rows(&rows),
+            1,
+            14,
+            14,
+        );
+        let y = one_hot(&labels, classes);
+        let owner = step % 2;
+        let batch = clients[owner]
+            .encrypt_image_batch(&images, &y, &spec)
+            .expect("encrypt");
+        let delta = server
+            .handle_image_batch(&EncryptedImageBatchMsg {
+                client: ClientId(owner as u32),
+                step: step as u64,
+                batch,
+            })
+            .expect("train");
+        losses.push(delta.loss);
+    }
+    assert_eq!(server.steps(), 2);
+    assert!(losses.iter().all(|l| l.is_finite()));
+
+    // And the authority really was exercised over the channel.
+    let log = authority.authority().comm_log();
+    assert!(log.ip_requests > 0 && log.bo_requests > 0);
+}
+
+/// Record → save to disk → load → replay, through the suite's public
+/// surface only.
+#[test]
+fn transcript_survives_disk_roundtrip_and_replays() {
+    let train = clinic_dataset(12, 17);
+    let spec = MlpSpec {
+        feature_dim: train.feature_dim(),
+        hidden: vec![4],
+        classes: train.classes(),
+        objective: Objective::SigmoidMse,
+    };
+    let config = mlp_session_config(spec, 2, 1, 6, 0.8);
+    let outcome = TrainingSessionRunner::new(config)
+        .run_mlp(&train)
+        .expect("session must run");
+
+    // Per-process path so concurrent test runs cannot race on the file.
+    let dir = std::env::temp_dir().join(format!(
+        "cryptonn-federated-sessions-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("session.json");
+    outcome.transcript.save(&path).expect("save");
+    let loaded = Transcript::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let replayed = replay_server(&loaded).expect("replay");
+    assert!(replayed.matches_recording());
+    assert_eq!(replayed.replayed, outcome.summary);
+}
