@@ -10,6 +10,9 @@
 //!   (DESIGN.md §8) vs the pre-refactor generic exponentiation path,
 //!   at the paper's 256-bit setting. The refactor's acceptance bar is
 //!   ≥ 2× FEIP-encrypt throughput on `Bits256`.
+//! - `ablation_multi_scalar_decrypt`: naive one-pow-per-term FEIP
+//!   decryption vs the Straus/wNAF multi-scalar fast path
+//!   (DESIGN.md §10), dim-784 at `Bits256`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cryptonn_bench::{bench_rng, fixture, random_matrix, thread_counts};
@@ -210,5 +213,51 @@ fn exponentiation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, dot_vs_febo, bsgs_reuse, threads, exponentiation);
+/// Naive one-pow-per-term decryption vs the Straus/wNAF multi-scalar
+/// path (DESIGN.md §10), on a dim-784 FEIP `Decrypt` at the paper's
+/// `Bits256` setting — the perf-trajectory arm for the decrypt fast
+/// path (acceptance ≥ 5× on the batched `secure_dot` cell loop, gated
+/// at ≥ 2× in CI by the `server_decrypt` telemetry bin).
+fn multi_scalar_decrypt(c: &mut Criterion) {
+    // Fixed at Bits256 regardless of CRYPTONN_BENCH_FULL: the
+    // acceptance criterion is defined at the paper's setting.
+    let group = SchnorrGroup::precomputed(SecurityLevel::Bits256);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 605);
+    let dim = 784;
+    let mpk = authority.feip_public_key(dim);
+    let table = DlogTable::new(&group, 784 * 100 * 100);
+    let mut rng = bench_rng(71);
+    let x = random_matrix(dim, 1, -100, 100, 72);
+    let y: Vec<i64> = random_matrix(1, dim, -100, 100, 73).into_vec();
+    let enc = EncryptedMatrix::encrypt_columns_with(
+        &x,
+        &mpk,
+        &mut rng,
+        cryptonn_smc::Parallelism::available(),
+    )
+    .unwrap();
+    let ct = &enc.feip_columns().unwrap()[0];
+    let sk = authority.derive_ip_key(dim, &y).unwrap();
+
+    let mut g = c.benchmark_group("ablation_multi_scalar_decrypt");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.bench_function("feip_decrypt_bits256_dim784/naive", |b| {
+        b.iter(|| black_box(feip::decrypt_naive(&mpk, ct, &sk, &y, &table).unwrap()));
+    });
+    g.bench_function("feip_decrypt_bits256_dim784/multi_scalar", |b| {
+        b.iter(|| black_box(feip::decrypt(&mpk, ct, &sk, &y, &table).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    dot_vs_febo,
+    bsgs_reuse,
+    threads,
+    exponentiation,
+    multi_scalar_decrypt
+);
 criterion_main!(benches);

@@ -1,0 +1,319 @@
+//! Server-side decrypt telemetry — the machine-readable perf trajectory
+//! for the `secure-computation` hot path.
+//!
+//! Measures per-cell latency and throughput of `secure_dot` and
+//! `secure_elementwise` cell decryption at the paper's dimensions
+//! (dim-784 feature rows, MNIST geometry), on `Bits64` and `Bits256`,
+//! with 1 and 4 decryption threads, for both arms:
+//!
+//! - **naive** — the pre-multi-scalar path: one full-width
+//!   exponentiation per nonzero coefficient and an eager inversion per
+//!   cell (`feip::decrypt_naive` / `febo::decrypt_naive`);
+//! - **multi_scalar** — the Straus/wNAF shared-squaring pipeline with
+//!   batched inversion (DESIGN.md §10).
+//!
+//! Emits `BENCH_server_decrypt.json` (schema documented in DESIGN.md
+//! §10.4) so future PRs can prove wins and regressions mechanically, and
+//! exits nonzero under `--check-speedup <min>` if the Bits256 dim-784
+//! `secure_dot` single-thread speedup falls below `<min>` — the CI
+//! regression gate.
+//!
+//! ```text
+//! cargo run --release -p cryptonn-bench --bin server_decrypt -- \
+//!     [--out BENCH_server_decrypt.json] [--check-speedup 2.0]
+//! ```
+
+use std::time::Instant;
+
+use cryptonn_bench::random_matrix;
+use cryptonn_fe::{febo, feip, BasicOp, KeyAuthority, PermittedFunctions};
+use cryptonn_group::{DlogTable, SchnorrGroup, SecurityLevel};
+use cryptonn_matrix::Matrix;
+use cryptonn_smc::{
+    derive_dot_keys, derive_elementwise_keys, dot_bound, elementwise_bound, parallel_map,
+    secure_dot, secure_elementwise, EncryptedMatrix, Parallelism,
+};
+use serde::Serialize;
+
+/// The paper's first-layer geometry: 784 features (28×28 MNIST).
+const DIM: usize = 784;
+/// Output neurons (one FEIP key per row), as in the 10-class output.
+const ROWS: usize = 10;
+/// Encrypted sample columns per measured batch.
+const COLS: usize = 4;
+/// Element count for the element-wise workload (the paper's Figs. 3–4
+/// sweep up to 1000 elements).
+const ELEMS: usize = 1000;
+/// Operand magnitude — two-decimal fixed-point weights/features land in
+/// roughly this range after quantization.
+const RANGE: i64 = 100;
+
+#[derive(Debug, Clone, Serialize)]
+struct Measurement {
+    workload: String,
+    level: String,
+    threads: usize,
+    cells: usize,
+    naive_cell_us: f64,
+    naive_ops_per_sec: f64,
+    multi_scalar_cell_us: f64,
+    multi_scalar_ops_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Acceptance {
+    metric: String,
+    value: f64,
+    min_required: f64,
+    pass: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    dot_dim: usize,
+    dot_rows: usize,
+    dot_cols: usize,
+    elementwise_elems: usize,
+    operand_range: i64,
+    measurements: Vec<Measurement>,
+    acceptance: Acceptance,
+}
+
+fn level_name(level: SecurityLevel) -> String {
+    format!("{level:?}")
+}
+
+/// Times `f` over `reps` runs and returns the best per-run seconds —
+/// minimum, not mean, so background noise cannot inflate a gate metric.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn reps() -> usize {
+    if std::env::var("CRYPTONN_BENCH_FAST").is_ok_and(|v| v == "1") {
+        1
+    } else {
+        3
+    }
+}
+
+/// The dot workload at one (level, threads) point: naive vs multi-scalar
+/// over the same ciphertexts, keys and weights.
+fn measure_dot(level: SecurityLevel, threads: usize) -> Measurement {
+    let group = SchnorrGroup::precomputed(level);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 901);
+    let x = random_matrix(DIM, COLS, -RANGE, RANGE, 902);
+    let w = random_matrix(ROWS, DIM, -RANGE, RANGE, 903);
+    let table = DlogTable::new(&group, dot_bound(RANGE as u64, RANGE as u64, DIM));
+    let mpk = authority.feip_public_key(DIM);
+    let mut rng = cryptonn_bench::bench_rng(904);
+    let enc = EncryptedMatrix::encrypt_columns_with(&x, &mpk, &mut rng, Parallelism::available())
+        .unwrap();
+    let keys = derive_dot_keys(&authority, &w).unwrap();
+    let columns = enc.feip_columns().unwrap();
+    let parallelism = if threads <= 1 {
+        Parallelism::Serial
+    } else {
+        Parallelism::Threads(threads)
+    };
+    let cells = ROWS * COLS;
+    let reps = reps();
+
+    // Naive arm: the exact pre-multi-scalar cell loop.
+    let mut naive_out = Matrix::zeros(ROWS, COLS);
+    let t_naive = time_best(reps, || {
+        let values: Vec<i64> = parallel_map(cells, parallelism.thread_count(), |idx| {
+            let (i, j) = (idx / COLS, idx % COLS);
+            feip::decrypt_naive(&mpk, &columns[j], &keys[i], w.row(i), &table).unwrap()
+        });
+        naive_out = Matrix::from_vec(ROWS, COLS, values);
+    });
+
+    // Multi-scalar arm: the production batched path.
+    let mut fast_out = Matrix::zeros(ROWS, COLS);
+    let t_fast = time_best(reps, || {
+        fast_out = secure_dot(&mpk, &enc, &keys, &w, &table, parallelism).unwrap();
+    });
+    assert_eq!(naive_out, fast_out, "arms must agree cell-for-cell");
+    assert_eq!(fast_out, w.matmul(&x), "decryption must match plaintext");
+
+    Measurement {
+        workload: "secure_dot".into(),
+        level: level_name(level),
+        threads,
+        cells,
+        naive_cell_us: t_naive / cells as f64 * 1e6,
+        naive_ops_per_sec: cells as f64 / t_naive,
+        multi_scalar_cell_us: t_fast / cells as f64 * 1e6,
+        multi_scalar_ops_per_sec: cells as f64 / t_fast,
+        speedup: t_naive / t_fast,
+    }
+}
+
+/// The element-wise workload (one op) at one (level, threads) point.
+fn measure_elementwise(level: SecurityLevel, threads: usize, op: BasicOp) -> Measurement {
+    let group = SchnorrGroup::precomputed(level);
+    let authority = KeyAuthority::with_seed(group.clone(), PermittedFunctions::all(), 905);
+    let x = random_matrix(1, ELEMS, -RANGE, RANGE, 906);
+    let y = random_matrix(1, ELEMS, -RANGE, RANGE, 907);
+    let table = DlogTable::new(&group, elementwise_bound(op, RANGE as u64, RANGE as u64));
+    let febo_mpk = authority.febo_public_key();
+    let mut rng = cryptonn_bench::bench_rng(908);
+    let enc =
+        EncryptedMatrix::encrypt_elements_with(&x, &febo_mpk, &mut rng, Parallelism::available())
+            .unwrap();
+    let keys = derive_elementwise_keys(&authority, &enc, op, &y).unwrap();
+    let parallelism = if threads <= 1 {
+        Parallelism::Serial
+    } else {
+        Parallelism::Threads(threads)
+    };
+    let reps = reps();
+
+    // Naive arm needs the raw ciphertext elements; re-derive them the
+    // way secure_elementwise's pre-batch loop did.
+    let mut naive_out = Matrix::zeros(1, ELEMS);
+    let t_naive = time_best(reps, || {
+        let values: Vec<i64> = parallel_map(ELEMS, parallelism.thread_count(), |j| {
+            febo::decrypt_naive(
+                &febo_mpk,
+                &keys[(0, j)],
+                enc_element(&enc, j),
+                op,
+                y[(0, j)],
+                &table,
+            )
+            .unwrap()
+        });
+        naive_out = Matrix::from_vec(1, ELEMS, values);
+    });
+
+    let mut fast_out = Matrix::zeros(1, ELEMS);
+    let t_fast = time_best(reps, || {
+        fast_out = secure_elementwise(&febo_mpk, &enc, &keys, op, &y, &table, parallelism).unwrap();
+    });
+    assert_eq!(naive_out, fast_out, "arms must agree cell-for-cell");
+    assert_eq!(fast_out, x.zip_map(&y, |a, b| op.apply(a, b)));
+
+    Measurement {
+        workload: format!("secure_elementwise_{}", op_slug(op)),
+        level: level_name(level),
+        threads,
+        cells: ELEMS,
+        naive_cell_us: t_naive / ELEMS as f64 * 1e6,
+        naive_ops_per_sec: ELEMS as f64 / t_naive,
+        multi_scalar_cell_us: t_fast / ELEMS as f64 * 1e6,
+        multi_scalar_ops_per_sec: ELEMS as f64 / t_fast,
+        speedup: t_naive / t_fast,
+    }
+}
+
+fn op_slug(op: BasicOp) -> &'static str {
+    match op {
+        BasicOp::Add => "add",
+        BasicOp::Sub => "sub",
+        BasicOp::Mul => "mul",
+        BasicOp::Div => "div",
+    }
+}
+
+/// FEBO element access for the naive arm.
+fn enc_element(enc: &EncryptedMatrix, j: usize) -> &cryptonn_fe::FeboCiphertext {
+    &enc.febo_elements().expect("encrypted for element-wise")[(0, j)]
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_server_decrypt.json");
+    let mut check_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--check-speedup" => {
+                check_speedup = Some(
+                    args.next()
+                        .expect("--check-speedup requires a number")
+                        .parse()
+                        .expect("--check-speedup must be a float"),
+                )
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let mut measurements = Vec::new();
+    println!(
+        "{:<26} {:>8} {:>3} {:>14} {:>14} {:>9}",
+        "workload", "level", "t", "naive µs/cell", "fast µs/cell", "speedup"
+    );
+    for level in [SecurityLevel::Bits64, SecurityLevel::Bits256] {
+        for threads in [1usize, 4] {
+            let mut batch = vec![measure_dot(level, threads)];
+            for op in [BasicOp::Add, BasicOp::Mul] {
+                batch.push(measure_elementwise(level, threads, op));
+            }
+            for m in batch {
+                println!(
+                    "{:<26} {:>8} {:>3} {:>14.1} {:>14.1} {:>8.1}x",
+                    m.workload,
+                    m.level,
+                    m.threads,
+                    m.naive_cell_us,
+                    m.multi_scalar_cell_us,
+                    m.speedup
+                );
+                measurements.push(m);
+            }
+        }
+    }
+
+    // The acceptance metric: Bits256 dim-784 secure_dot, single thread.
+    let gate = measurements
+        .iter()
+        .find(|m| m.workload == "secure_dot" && m.level == "Bits256" && m.threads == 1)
+        .expect("gate measurement always present");
+    let min_required = check_speedup.unwrap_or(2.0);
+    let acceptance = Acceptance {
+        metric: "secure_dot/Bits256/threads=1 multi-scalar vs naive speedup".into(),
+        value: gate.speedup,
+        min_required,
+        pass: gate.speedup >= min_required,
+    };
+    let report = Report {
+        schema: "cryptonn.bench.server_decrypt/v1".into(),
+        generated_by: "cargo run --release -p cryptonn-bench --bin server_decrypt".into(),
+        dot_dim: DIM,
+        dot_rows: ROWS,
+        dot_cols: COLS,
+        elementwise_elems: ELEMS,
+        operand_range: RANGE,
+        measurements,
+        acceptance,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
+    println!("\nwrote {out_path}");
+
+    if let Some(min) = check_speedup {
+        if report.acceptance.value < min {
+            eprintln!(
+                "FAIL: multi-scalar speedup {:.2}x below required {min:.2}x",
+                report.acceptance.value
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PASS: multi-scalar speedup {:.2}x ≥ required {min:.2}x",
+            report.acceptance.value
+        );
+    }
+}

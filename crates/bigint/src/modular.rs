@@ -194,6 +194,30 @@ pub fn mod_inv(a: &U256, m: &U256) -> Option<U256> {
     Some(if u == U256::ONE { x1 } else { x2 })
 }
 
+/// Batch modular inversion (Montgomery's trick) for an odd modulus:
+/// inverts all of `values` with a single extended-GCD inversion plus
+/// `3(n−1)` multiplications. Returns `None` if any value is zero or not
+/// coprime with `m` (a partial batch would corrupt later inverses).
+///
+/// This is the one-shot wrapper over
+/// [`Montgomery::batch_inv`](crate::montgomery::Montgomery::batch_inv);
+/// callers inverting repeatedly against one modulus (the group layer)
+/// should build and reuse a context instead, as with [`mod_pow`].
+///
+/// # Panics
+///
+/// Panics if `m` is zero or even, as [`mod_inv`] does.
+pub fn batch_mod_inv(values: &[U256], m: &U256) -> Option<Vec<U256>> {
+    assert!(!m.is_zero(), "zero modulus");
+    assert!(m.is_odd(), "batch_mod_inv requires an odd modulus");
+    if *m == U256::ONE {
+        return None;
+    }
+    crate::montgomery::Montgomery::new(m)
+        .expect("odd modulus > 1 always has a Montgomery context")
+        .batch_inv(values)
+}
+
 /// Reduces a 512-bit value modulo a 256-bit modulus.
 ///
 /// # Panics
@@ -327,6 +351,22 @@ mod tests {
             let fermat = mod_pow(&a, &p.wrapping_sub(&U256::from_u64(2)), &p);
             assert_eq!(inv, fermat);
         }
+    }
+
+    #[test]
+    fn batch_mod_inv_matches_mod_inv() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = u(P61);
+        let values: Vec<U256> = (0..32).map(|_| u(rng.random_range(1..P61))).collect();
+        let batch = batch_mod_inv(&values, &m).unwrap();
+        for (v, inv) in values.iter().zip(&batch) {
+            assert_eq!(*inv, mod_inv(v, &m).unwrap());
+            assert_eq!(mod_mul(v, inv, &m), U256::ONE);
+        }
+        // Any zero poisons the whole batch.
+        assert_eq!(batch_mod_inv(&[u(3), U256::ZERO], &m), None);
+        assert_eq!(batch_mod_inv(&[], &m), Some(Vec::new()));
+        assert_eq!(batch_mod_inv(&[u(2)], &U256::ONE), None);
     }
 
     #[test]

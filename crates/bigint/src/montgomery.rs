@@ -165,6 +165,57 @@ impl Montgomery {
         self.mont_mul(x, x)
     }
 
+    /// Batch modular inversion by Montgomery's trick: inverts every
+    /// element of `values` at the cost of **one** extended-GCD
+    /// inversion plus `3(n−1)` Montgomery products (and the domain
+    /// conversions at the edges).
+    ///
+    /// The trick: form the prefix products `P_i = v_0·…·v_i`, invert
+    /// only `P_{n−1}`, then peel inverses off the back —
+    /// `v_i⁻¹ = P_{n−1}⁻¹·…·v_{i+1}⁻¹·P_{i−1}` — reusing the running
+    /// suffix inverse. The CryptoNN server uses this to amortize the
+    /// per-cell division of `∏ ctᵢ^{yᵢ} / ct₀^{sk}` across a whole
+    /// matrix of decryptions (DESIGN.md §10).
+    ///
+    /// Operands may be unreduced (wire data); they are reduced on entry
+    /// like [`mod_mul`](Self::mod_mul). Returns `None` if **any** value
+    /// is not invertible (zero or sharing a factor with `m`) — partial
+    /// results would silently corrupt every later inverse, so the whole
+    /// batch is refused.
+    pub fn batch_inv(&self, values: &[U256]) -> Option<Vec<U256>> {
+        if values.is_empty() {
+            return Some(Vec::new());
+        }
+        // All products run in the Montgomery domain: prefix[i] carries a
+        // single factor of R, so one mont_mul per step keeps the form.
+        let mont: Vec<U256> = values
+            .iter()
+            .map(|v| {
+                let v = if v < &self.m { *v } else { v.rem(&self.m) };
+                self.to_mont(&v)
+            })
+            .collect();
+        let mut prefix = Vec::with_capacity(mont.len());
+        let mut acc = mont[0];
+        prefix.push(acc);
+        for v in &mont[1..] {
+            acc = self.mont_mul(&acc, v);
+            prefix.push(acc);
+        }
+        // One real inversion, of the full product.
+        let total = self.from_mont(&acc);
+        let inv_total = crate::modular::mod_inv(&total, &self.m)?;
+        // suffix = (v_i·…·v_{n−1})⁻¹ in Montgomery form, peeled backwards.
+        let mut suffix = self.to_mont(&inv_total);
+        let mut out = vec![U256::ZERO; mont.len()];
+        for i in (1..mont.len()).rev() {
+            out[i] = self.from_mont(&self.mont_mul(&suffix, &prefix[i - 1]));
+            suffix = self.mont_mul(&suffix, &mont[i]);
+        }
+        out[0] = self.from_mont(&suffix);
+        Some(out)
+    }
+
     /// `(a · b) mod m` on plain residues: one conversion plus one
     /// Montgomery product — two multiplies in place of the schoolbook
     /// 512-bit Knuth division.
@@ -374,6 +425,46 @@ mod tests {
             modular::mod_mul(&a.rem(&m), &b.rem(&m), &m)
         );
         assert_eq!(ctx.mod_mul(&a, &U256::ONE), a.rem(&m));
+    }
+
+    #[test]
+    fn batch_inv_matches_individual_inverses() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let m = U256::from_hex(P25519).unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        for n in [1usize, 2, 3, 17, 64] {
+            let values: Vec<U256> = (0..n)
+                .map(|_| loop {
+                    let v = U256::random_below(&mut rng, &m);
+                    if !v.is_zero() {
+                        break v;
+                    }
+                })
+                .collect();
+            let batch = ctx.batch_inv(&values).expect("all invertible");
+            for (v, inv) in values.iter().zip(&batch) {
+                assert_eq!(*inv, modular::mod_inv(v, &m).unwrap(), "n={n} v={v}");
+            }
+        }
+        assert_eq!(ctx.batch_inv(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn batch_inv_refuses_zero_and_noncoprime() {
+        let m = U256::from_hex(P25519).unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let ok = U256::from_u64(7);
+        assert_eq!(ctx.batch_inv(&[ok, U256::ZERO, ok]), None);
+        // Composite modulus: 3 shares a factor with 15.
+        let ctx15 = Montgomery::new(&U256::from_u64(15)).unwrap();
+        assert_eq!(
+            ctx15.batch_inv(&[U256::from_u64(2), U256::from_u64(3)]),
+            None
+        );
+        // Unreduced operands are accepted, as in mod_mul.
+        let big = U256::MAX; // >= m
+        let got = ctx.batch_inv(&[big]).unwrap();
+        assert_eq!(got[0], modular::mod_inv(&big.rem(&m), &m).unwrap());
     }
 
     #[test]

@@ -259,3 +259,25 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Montgomery-trick batch inversion equals element-wise `mod_inv`
+    /// at every embedded security level's `p` and `q`.
+    #[test]
+    fn batch_inversion_equals_individual_at_all_levels(
+        values in proptest::collection::vec(u256(), 1..12),
+    ) {
+        for (level, p_hex, q_hex) in LEVEL_PARAMS {
+            for m_hex in [p_hex, q_hex] {
+                let m = U256::from_hex(m_hex).unwrap();
+                let reduced: Vec<U256> = values.iter().map(|v| v.rem(&m)).collect();
+                let batch = modular::batch_mod_inv(&reduced, &m);
+                let individual: Option<Vec<U256>> =
+                    reduced.iter().map(|v| modular::mod_inv(v, &m)).collect();
+                prop_assert_eq!(batch, individual, "level {} modulus {}", level, m);
+            }
+        }
+    }
+}

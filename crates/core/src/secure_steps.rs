@@ -243,21 +243,14 @@ pub fn secure_dense_weight_grad<A: KeyService + ?Sized>(
     let columns = batch.x.feip_columns()?;
     let column_refs: Vec<&cryptonn_fe::FeipCiphertext> = columns.iter().collect();
 
-    // One combined ciphertext per output neuron, then n coordinate reads
-    // each. Rows are independent → parallelize across them.
+    // One combined ciphertext per output neuron, then all n coordinates
+    // read in one batched pass (shared ct₀ comb table, one inversion).
+    // Rows are independent → parallelize across them.
     let rows: Vec<Result<Vec<i64>, CryptoNnError>> =
         parallel_map(k, parallelism.thread_count(), |i| {
             let combined = feip::combine(&mpk, &column_refs, dq.row(i))?;
-            let mut unit = vec![0i64; n];
-            let mut row = Vec::with_capacity(n);
-            for j in 0..n {
-                unit[j] = 1;
-                let v = feip::decrypt(&mpk, &combined, &unit_keys[j], &unit, &table)
-                    .map_err(CryptoNnError::from)?;
-                unit[j] = 0;
-                row.push(v);
-            }
-            Ok(row)
+            feip::decrypt_coordinates(&mpk, &combined, unit_keys, &table)
+                .map_err(CryptoNnError::from)
         });
 
     let denom = factor * data_fp.scale() as f64;
@@ -371,16 +364,8 @@ pub fn secure_conv_weight_grad<A: KeyService + ?Sized>(
         parallel_map(out_c, parallelism.thread_count(), |oc| {
             let weights = gq.col(oc);
             let combined = feip::combine(&mpk, &window_refs, &weights)?;
-            let mut unit = vec![0i64; dim];
-            let mut row = Vec::with_capacity(dim);
-            for j in 0..dim {
-                unit[j] = 1;
-                let v = feip::decrypt(&mpk, &combined, &unit_keys[j], &unit, &table)
-                    .map_err(CryptoNnError::from)?;
-                unit[j] = 0;
-                row.push(v);
-            }
-            Ok(row)
+            feip::decrypt_coordinates(&mpk, &combined, unit_keys, &table)
+                .map_err(CryptoNnError::from)
         });
 
     let denom = factor * data_fp.scale() as f64;

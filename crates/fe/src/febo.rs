@@ -20,7 +20,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cryptonn_group::{DlogTable, Element, FixedBaseTable, Scalar, SchnorrGroup};
+use cryptonn_group::{DlogTable, Element, ElementRatio, FixedBaseTable, Scalar, SchnorrGroup};
 use cryptonn_parallel::{parallel_map, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -280,11 +280,70 @@ pub fn key_derive(
 /// Computes the raw decryption `g^{f_Δ(x,y)}` without solving the
 /// discrete log.
 ///
+/// The multiply branch runs `ct^y` through the wNAF signed-digit path
+/// (`SchnorrGroup::pow_signed_ratio`), so its cost scales with
+/// `log₂|y|` instead of the full 256-bit chain. Batch callers should
+/// prefer [`decrypt_ratio`] + `SchnorrGroup::resolve_ratios` so the
+/// `/ sk` division amortizes across a whole matrix of cells.
+///
 /// # Errors
 ///
 /// Returns [`FeError::InvalidOperand`] if the key's operation disagrees
 /// with `op`, or for `Δ = ÷` with `y = 0`.
 pub fn decrypt_raw(
+    mpk: &FeboPublicKey,
+    sk: &FeboFunctionKey,
+    ct: &FeboCiphertext,
+    op: BasicOp,
+    y: i64,
+) -> Result<Element, FeError> {
+    Ok(decrypt_ratio(mpk, sk, ct, op, y)?.resolve(&mpk.group))
+}
+
+/// As [`decrypt_raw`], but returns the deferred ratio so many cells can
+/// be resolved with one batched inversion (for `+`/`−` the numerator is
+/// just `ct` — the whole per-cell cost collapses into the shared
+/// inversion).
+///
+/// # Errors
+///
+/// As [`decrypt_raw`].
+pub fn decrypt_ratio(
+    mpk: &FeboPublicKey,
+    sk: &FeboFunctionKey,
+    ct: &FeboCiphertext,
+    op: BasicOp,
+    y: i64,
+) -> Result<ElementRatio, FeError> {
+    if sk.op != op {
+        return Err(FeError::InvalidOperand(
+            "function key derived for a different operation",
+        ));
+    }
+    let group = &mpk.group;
+    let ratio = match op {
+        BasicOp::Add | BasicOp::Sub => ElementRatio::from_element(group, ct.ct),
+        BasicOp::Mul => group.pow_signed_ratio(&ct.ct, y),
+        BasicOp::Div => {
+            let y_scalar = group.scalar_from_i64(y);
+            let y_inv = group
+                .scalar_inv(&y_scalar)
+                .ok_or(FeError::InvalidOperand("division by zero"))?;
+            ElementRatio::from_element(group, group.pow(&ct.ct, &y_inv))
+        }
+    };
+    Ok(ratio.div_by(group, &sk.sk))
+}
+
+/// The pre-multi-scalar reference decryption: a full-width
+/// exponentiation for `×` and an eager inversion per cell. Kept public
+/// as the baseline arm of the `server_decrypt` telemetry and the
+/// equivalence property tests.
+///
+/// # Errors
+///
+/// As [`decrypt_raw`].
+pub fn decrypt_raw_naive(
     mpk: &FeboPublicKey,
     sk: &FeboFunctionKey,
     ct: &FeboCiphertext,
@@ -313,6 +372,24 @@ pub fn decrypt_raw(
         }
     };
     Ok(raw)
+}
+
+/// Reference `Decrypt` on top of [`decrypt_raw_naive`] — the "naive" arm
+/// of the decrypt ablations.
+///
+/// # Errors
+///
+/// As [`decrypt`].
+pub fn decrypt_naive(
+    mpk: &FeboPublicKey,
+    sk: &FeboFunctionKey,
+    ct: &FeboCiphertext,
+    op: BasicOp,
+    y: i64,
+    table: &DlogTable,
+) -> Result<i64, FeError> {
+    let raw = decrypt_raw_naive(mpk, sk, ct, op, y)?;
+    Ok(table.solve(&mpk.group, &raw)?)
 }
 
 /// `Decrypt(mpk, sk_fΔ, ct, Δ, y)`: recovers `x Δ y` as a signed integer
@@ -410,6 +487,37 @@ mod tests {
         assert_eq!(
             decrypt(&mpk, &sk, &ct, BasicOp::Div, 7, &table),
             Err(FeError::Group(GroupError::DlogOutOfRange { bound: 1000 }))
+        );
+    }
+
+    #[test]
+    fn fast_decrypt_matches_naive_reference() {
+        let (mpk, msk, mut rng) = setup_small();
+        for _ in 0..16 {
+            let x = rng.random_range(-500i64..=500);
+            let y = rng.random_range(-500i64..=500);
+            for op in [BasicOp::Add, BasicOp::Sub, BasicOp::Mul] {
+                let ct = encrypt(&mpk, x, &mut rng);
+                let sk = key_derive(mpk.group(), &msk, ct.commitment(), op, y).unwrap();
+                assert_eq!(
+                    decrypt_raw(&mpk, &sk, &ct, op, y).unwrap(),
+                    decrypt_raw_naive(&mpk, &sk, &ct, op, y).unwrap(),
+                    "{x} {op} {y}"
+                );
+            }
+        }
+        // Division (exact and inexact raw forms agree too) and y = 0 mul.
+        let ct = encrypt(&mpk, 84, &mut rng);
+        let sk = key_derive(mpk.group(), &msk, ct.commitment(), BasicOp::Div, 7).unwrap();
+        assert_eq!(
+            decrypt_raw(&mpk, &sk, &ct, BasicOp::Div, 7).unwrap(),
+            decrypt_raw_naive(&mpk, &sk, &ct, BasicOp::Div, 7).unwrap()
+        );
+        let ct = encrypt(&mpk, 9, &mut rng);
+        let sk = key_derive(mpk.group(), &msk, ct.commitment(), BasicOp::Mul, 0).unwrap();
+        assert_eq!(
+            decrypt_raw(&mpk, &sk, &ct, BasicOp::Mul, 0).unwrap(),
+            decrypt_raw_naive(&mpk, &sk, &ct, BasicOp::Mul, 0).unwrap()
         );
     }
 

@@ -13,7 +13,10 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cryptonn_group::{DlogTable, Element, FixedBaseTable, Scalar, SchnorrGroup};
+use cryptonn_group::{
+    DlogTable, Element, ElementRatio, FixedBaseTable, OddPowerTables, Scalar, SchnorrGroup,
+    WnafScalars,
+};
 use cryptonn_parallel::{parallel_map, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -336,11 +339,82 @@ pub fn combine(
 /// Computes the raw decryption `g^{⟨x,y⟩} = ∏ ctᵢ^{yᵢ} / ct₀^{sk_f}`
 /// without solving the discrete log.
 ///
+/// The numerator runs through the Straus/wNAF multi-scalar subsystem
+/// (`cryptonn_group::multi_scalar`): one shared squaring chain of
+/// height `log₂(max|yᵢ|)` across all bases instead of one full-width
+/// exponentiation per nonzero `yᵢ`. Batch callers should prefer
+/// [`decrypt_ratio`] + [`SchnorrGroup::resolve_ratios`] so the final
+/// division amortizes too.
+///
 /// # Errors
 ///
 /// Returns [`FeError::DimensionMismatch`] if `y` does not match the
 /// ciphertext dimension.
 pub fn decrypt_raw(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    sk: &FeipFunctionKey,
+    y: &[i64],
+) -> Result<Element, FeError> {
+    Ok(decrypt_ratio(mpk, ct, sk, y)?.resolve(&mpk.group))
+}
+
+/// As [`decrypt_raw`], but returns the deferred ratio
+/// `(∏ ctᵢ^{yᵢ}) / (den · ct₀^{sk_f})` so many cells can be resolved
+/// with one batched inversion.
+///
+/// Bases with `yᵢ = 0` are filtered out before any table is built, and
+/// an all-zero `y` skips the numerator entirely (the ratio is
+/// `1 / ct₀^{sk_f}`).
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if `y` does not match the
+/// ciphertext dimension.
+pub fn decrypt_ratio(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    sk: &FeipFunctionKey,
+    y: &[i64],
+) -> Result<ElementRatio, FeError> {
+    if y.len() != ct.cts.len() {
+        return Err(FeError::DimensionMismatch {
+            expected: ct.cts.len(),
+            got: y.len(),
+        });
+    }
+    let group = &mpk.group;
+    let denom = group.pow(&ct.ct0, &sk.sk);
+    // Single-cell call: drop the zero-exponent bases so their odd-power
+    // tables are never built (batch callers keep full-width tables and
+    // amortize them across rows instead).
+    let (bases, nonzero): (Vec<Element>, Vec<i64>) = ct
+        .cts
+        .iter()
+        .zip(y)
+        .filter(|(_, &yi)| yi != 0)
+        .map(|(cti, &yi)| (*cti, yi))
+        .unzip();
+    if bases.is_empty() {
+        return Ok(ElementRatio::from_element(group, group.identity()).div_by(group, &denom));
+    }
+    let scalars = WnafScalars::recode(&nonzero);
+    let tables = group.odd_power_tables(&bases);
+    Ok(group
+        .multi_scalar_ratio(&tables, &scalars)
+        .div_by(group, &denom))
+}
+
+/// The pre-multi-scalar reference decryption: one full-width
+/// exponentiation per nonzero `yᵢ`. Kept public as the baseline arm of
+/// the `server_decrypt` telemetry and the equivalence property tests;
+/// production callers use [`decrypt_raw`].
+///
+/// # Errors
+///
+/// Returns [`FeError::DimensionMismatch`] if `y` does not match the
+/// ciphertext dimension.
+pub fn decrypt_raw_naive(
     mpk: &FeipPublicKey,
     ct: &FeipCiphertext,
     sk: &FeipFunctionKey,
@@ -353,15 +427,197 @@ pub fn decrypt_raw(
         });
     }
     let group = &mpk.group;
-    let mut num = group.identity();
-    for (cti, &yi) in ct.cts.iter().zip(y) {
-        if yi == 0 {
-            continue;
+    // Start the accumulator at the first nonzero term instead of the
+    // identity — the identity start paid one wasted group.mul per cell.
+    let mut terms = ct.cts.iter().zip(y).filter(|(_, &yi)| yi != 0);
+    let num = match terms.next() {
+        None => group.identity(),
+        Some((ct0, &y0)) => {
+            let mut acc = group.pow(ct0, &group.scalar_from_i64(y0));
+            for (cti, &yi) in terms {
+                acc = group.mul(&acc, &group.pow(cti, &group.scalar_from_i64(yi)));
+            }
+            acc
         }
-        num = group.mul(&num, &group.pow(cti, &group.scalar_from_i64(yi)));
-    }
+    };
     let denom = group.pow(&ct.ct0, &sk.sk);
     Ok(group.div(&num, &denom))
+}
+
+/// Reference `Decrypt` on top of [`decrypt_raw_naive`] — the "naive" arm
+/// of the decrypt ablations.
+///
+/// # Errors
+///
+/// As [`decrypt`].
+pub fn decrypt_naive(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    sk: &FeipFunctionKey,
+    y: &[i64],
+    table: &DlogTable,
+) -> Result<i64, FeError> {
+    let raw = decrypt_raw_naive(mpk, ct, sk, y)?;
+    Ok(table.solve(&mpk.group, &raw)?)
+}
+
+/// How many reuses of one fixed base justify building a comb table for
+/// it: the build costs ~960 Montgomery products, a direct 256-bit `pow`
+/// ~320, a table-backed one ≤ 64.
+const FIXED_BASE_THRESHOLD: usize = 4;
+
+/// Batched cross-product decryption: recovers
+/// `⟨xᶜ, yʳ⟩` for **every** (ciphertext `c`, key row `r`) pair — the
+/// cell loop of Algorithm 1's `secure-computation`, with every
+/// amortization the batch shape allows:
+///
+/// - each `y` row is wNAF-recoded **once** and shared across all
+///   ciphertexts;
+/// - each ciphertext's odd-power tables are built **once** and shared
+///   across all rows;
+/// - each `ct₀` gets a fixed-base comb table when enough rows reuse it;
+/// - all `nrows × ncts` divisions resolve through **one** batched
+///   inversion.
+///
+/// Returns values in ciphertext-major order:
+/// `out[c * rows.len() + r]`.
+///
+/// # Errors
+///
+/// - [`FeError::DimensionMismatch`] if `keys` and `rows` disagree in
+///   length, or any row/ciphertext does not match the first
+///   ciphertext's dimension,
+/// - [`FeError::Group`] wrapping `DlogOutOfRange` if any cell exceeds
+///   the table bound.
+pub fn decrypt_cells(
+    mpk: &FeipPublicKey,
+    cts: &[FeipCiphertext],
+    keys: &[FeipFunctionKey],
+    rows: &[&[i64]],
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Vec<i64>, FeError> {
+    if keys.len() != rows.len() {
+        return Err(FeError::DimensionMismatch {
+            expected: rows.len(),
+            got: keys.len(),
+        });
+    }
+    if cts.is_empty() || rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dim = cts[0].dimension();
+    for ct in cts {
+        if ct.dimension() != dim {
+            return Err(FeError::DimensionMismatch {
+                expected: dim,
+                got: ct.dimension(),
+            });
+        }
+    }
+    for row in rows {
+        if row.len() != dim {
+            return Err(FeError::DimensionMismatch {
+                expected: dim,
+                got: row.len(),
+            });
+        }
+    }
+    let group = &mpk.group;
+    let threads = parallelism.thread_count();
+    // Recode every row once, up front (cheap, integer-only).
+    let recoded: Vec<WnafScalars> = rows.iter().map(|row| WnafScalars::recode(row)).collect();
+
+    // Phase 1 — per-ciphertext precomputation (odd-power tables, ct₀
+    // comb table), parallel across ciphertexts.
+    let precomp: Vec<(OddPowerTables, Option<FixedBaseTable>)> =
+        parallel_map(cts.len(), threads, |c| {
+            let ct = &cts[c];
+            let tables = group.odd_power_tables(&ct.cts);
+            let ct0_table =
+                (keys.len() >= FIXED_BASE_THRESHOLD).then(|| group.fixed_base_table(&ct.ct0));
+            (tables, ct0_table)
+        });
+
+    // Phase 2 — one deferred ratio per cell, parallel across **all**
+    // `ncts × nrows` cells (not just ciphertexts: a single-column batch
+    // with many key rows must still occupy every thread — the Straus
+    // evaluations here are the dominant cost).
+    let nrows = rows.len();
+    let ratios: Vec<ElementRatio> = parallel_map(cts.len() * nrows, threads, |idx| {
+        let (c, r) = (idx / nrows, idx % nrows);
+        let ct = &cts[c];
+        let (tables, ct0_table) = &precomp[c];
+        let (scalars, key) = (&recoded[r], &keys[r]);
+        let denom = match ct0_table {
+            Some(t) => group.exp_table(t, &key.sk),
+            None => group.pow(&ct.ct0, &key.sk),
+        };
+        if scalars.is_all_zero() {
+            ElementRatio::from_element(group, group.identity()).div_by(group, &denom)
+        } else {
+            group
+                .multi_scalar_ratio(tables, scalars)
+                .div_by(group, &denom)
+        }
+    });
+
+    // Phase 3 — one batched inversion for the whole matrix of cells.
+    let raws = group.resolve_ratios(&ratios);
+
+    // Phase 4 — discrete logs, parallel across cells.
+    parallel_map(raws.len(), threads, |i| {
+        table.solve(group, &raws[i]).map_err(FeError::from)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Reads every coordinate of a (typically [`combine`]d) ciphertext with
+/// the caller's cached unit-vector keys: returns `x_j` for each `j`.
+///
+/// The unit numerators are just `ctⱼ` (no exponentiation at all), the
+/// `ct₀^{sk_j}` denominators share one comb table on `ct₀`, and all
+/// `dim` divisions resolve through one batched inversion — this is the
+/// fast path under the secure first-layer gradient's coordinate reads.
+///
+/// # Errors
+///
+/// - [`FeError::DimensionMismatch`] if `unit_keys` does not match the
+///   ciphertext dimension,
+/// - [`FeError::Group`] wrapping `DlogOutOfRange` if any coordinate
+///   exceeds the table bound.
+pub fn decrypt_coordinates(
+    mpk: &FeipPublicKey,
+    ct: &FeipCiphertext,
+    unit_keys: &[FeipFunctionKey],
+    table: &DlogTable,
+) -> Result<Vec<i64>, FeError> {
+    if unit_keys.len() != ct.cts.len() {
+        return Err(FeError::DimensionMismatch {
+            expected: ct.cts.len(),
+            got: unit_keys.len(),
+        });
+    }
+    let group = &mpk.group;
+    let ct0_table =
+        (unit_keys.len() >= FIXED_BASE_THRESHOLD).then(|| group.fixed_base_table(&ct.ct0));
+    let ratios: Vec<ElementRatio> = ct
+        .cts
+        .iter()
+        .zip(unit_keys)
+        .map(|(cti, key)| {
+            let denom = match &ct0_table {
+                Some(t) => group.exp_table(t, &key.sk),
+                None => group.pow(&ct.ct0, &key.sk),
+            };
+            ElementRatio::from_element(group, *cti).div_by(group, &denom)
+        })
+        .collect();
+    let raws = group.resolve_ratios(&ratios);
+    raws.iter()
+        .map(|raw| table.solve(group, raw).map_err(FeError::from))
+        .collect()
 }
 
 /// `Decrypt(mpk, ct, sk_f, y)`: recovers `⟨x, y⟩` as a signed integer
@@ -528,6 +784,106 @@ mod tests {
             .map(|i| w[0] * x1[i] + w[1] * x2[i] + w[2] * x3[i])
             .sum();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multi_scalar_decrypt_matches_naive_reference() {
+        let (mpk, msk, mut rng) = setup_small(6);
+        for _ in 0..8 {
+            let x: Vec<i64> = (0..6).map(|_| rng.random_range(-200..=200)).collect();
+            let y: Vec<i64> = (0..6).map(|_| rng.random_range(-200..=200)).collect();
+            let ct = encrypt(&mpk, &x, &mut rng).unwrap();
+            let sk = key_derive(mpk.group(), &msk, &y).unwrap();
+            assert_eq!(
+                decrypt_raw(&mpk, &ct, &sk, &y).unwrap(),
+                decrypt_raw_naive(&mpk, &ct, &sk, &y).unwrap()
+            );
+        }
+        // All-zero y takes the numerator-skip path in both.
+        let ct = encrypt(&mpk, &[1, 2, 3, 4, 5, 6], &mut rng).unwrap();
+        let zero = [0i64; 6];
+        let sk = key_derive(mpk.group(), &msk, &zero).unwrap();
+        assert_eq!(
+            decrypt_raw(&mpk, &ct, &sk, &zero).unwrap(),
+            decrypt_raw_naive(&mpk, &ct, &sk, &zero).unwrap()
+        );
+    }
+
+    #[test]
+    fn decrypt_cells_matches_per_cell_decrypt() {
+        let (mpk, msk, mut rng) = setup_small(5);
+        let table = DlogTable::new(mpk.group(), 1_000_000);
+        let cts: Vec<FeipCiphertext> = (0..3)
+            .map(|_| {
+                let x: Vec<i64> = (0..5).map(|_| rng.random_range(-100..=100)).collect();
+                encrypt(&mpk, &x, &mut rng).unwrap()
+            })
+            .collect();
+        // Rows exercise dense, sparse, all-zero and all-negative shapes
+        // (row count ≥ FIXED_BASE_THRESHOLD hits the ct₀ comb path).
+        let rows: Vec<Vec<i64>> = vec![
+            (0..5).map(|_| rng.random_range(-100..=100)).collect(),
+            vec![0, 7, 0, 0, -3],
+            vec![0; 5],
+            vec![-9, -1, -50, -2, -13],
+        ];
+        let keys: Vec<FeipFunctionKey> = rows
+            .iter()
+            .map(|r| key_derive(mpk.group(), &msk, r).unwrap())
+            .collect();
+        let row_refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let got = decrypt_cells(&mpk, &cts, &keys, &row_refs, &table, par).unwrap();
+            for (c, ct) in cts.iter().enumerate() {
+                for (r, row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        got[c * rows.len() + r],
+                        decrypt(&mpk, ct, &keys[r], row, &table).unwrap(),
+                        "cell ({c},{r}) under {par:?}"
+                    );
+                }
+            }
+        }
+        // Degenerate shapes.
+        assert!(
+            decrypt_cells(&mpk, &[], &keys, &row_refs, &table, Parallelism::Serial)
+                .unwrap()
+                .is_empty()
+        );
+        assert!(decrypt_cells(
+            &mpk,
+            &cts,
+            &keys[..1],
+            &row_refs,
+            &table,
+            Parallelism::Serial
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decrypt_coordinates_reads_combined_ciphertexts() {
+        let (mpk, msk, mut rng) = setup_small(4);
+        let table = DlogTable::new(mpk.group(), 100_000);
+        let x1 = [3i64, -4, 5, 0];
+        let x2 = [-1i64, 2, -3, 4];
+        let cts = [
+            encrypt(&mpk, &x1, &mut rng).unwrap(),
+            encrypt(&mpk, &x2, &mut rng).unwrap(),
+        ];
+        let combined = combine(&mpk, &[&cts[0], &cts[1]], &[5, -2]).unwrap();
+        let unit_keys: Vec<FeipFunctionKey> = (0..4)
+            .map(|j| {
+                let mut unit = [0i64; 4];
+                unit[j] = 1;
+                key_derive(mpk.group(), &msk, &unit).unwrap()
+            })
+            .collect();
+        let coords = decrypt_coordinates(&mpk, &combined, &unit_keys, &table).unwrap();
+        for j in 0..4 {
+            assert_eq!(coords[j], 5 * x1[j] - 2 * x2[j], "coordinate {j}");
+        }
+        assert!(decrypt_coordinates(&mpk, &combined, &unit_keys[..2], &table).is_err());
     }
 
     #[test]

@@ -88,3 +88,72 @@ proptest! {
         prop_assert_eq!(feip::decrypt(&mpk, &ct, &sk, &y, table()).unwrap(), expected);
     }
 }
+
+/// Every embedded security level — the multi-scalar ≡ naive equivalence
+/// must hold at each one (different moduli exercise different carry and
+/// reduction paths).
+const ALL_LEVELS: [SecurityLevel; 6] = [
+    SecurityLevel::Bits32,
+    SecurityLevel::Bits64,
+    SecurityLevel::Bits128,
+    SecurityLevel::Bits192,
+    SecurityLevel::Bits224,
+    SecurityLevel::Bits256,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Straus/wNAF FEIP decrypt path is bit-identical to the naive
+    /// one-pow-per-term reference for random signed weight rows —
+    /// including all-zero and all-negative rows — at every level.
+    #[test]
+    fn feip_multi_scalar_equals_naive_at_all_levels(
+        x in proptest::collection::vec(-200i64..=200, 4),
+        y in prop_oneof![
+            proptest::collection::vec(-200i64..=200, 4),
+            proptest::collection::vec(Just(0i64), 4),
+            proptest::collection::vec(-200i64..=-1, 4),
+        ],
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for level in ALL_LEVELS {
+            let g = SchnorrGroup::precomputed(level);
+            let (mpk, msk) = feip::setup(g.clone(), 4, &mut rng);
+            let ct = feip::encrypt(&mpk, &x, &mut rng).unwrap();
+            let sk = feip::key_derive(&g, &msk, &y).unwrap();
+            prop_assert_eq!(
+                feip::decrypt_raw(&mpk, &ct, &sk, &y).unwrap(),
+                feip::decrypt_raw_naive(&mpk, &ct, &sk, &y).unwrap(),
+                "level {:?}", level
+            );
+        }
+    }
+
+    /// Same equivalence for the FEBO fast path, across all four ops.
+    #[test]
+    fn febo_multi_scalar_equals_naive_at_all_levels(
+        x in -500i64..=500,
+        y in prop_oneof![-500i64..=-1, 1i64..=500, Just(0i64)],
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for level in ALL_LEVELS {
+            let g = SchnorrGroup::precomputed(level);
+            let (mpk, msk) = febo::setup(g.clone(), &mut rng);
+            for op in BasicOp::ALL {
+                if op == BasicOp::Div && y == 0 {
+                    continue;
+                }
+                let ct = febo::encrypt(&mpk, x, &mut rng);
+                let sk = febo::key_derive(&g, &msk, ct.commitment(), op, y).unwrap();
+                prop_assert_eq!(
+                    febo::decrypt_raw(&mpk, &sk, &ct, op, y).unwrap(),
+                    febo::decrypt_raw_naive(&mpk, &sk, &ct, op, y).unwrap(),
+                    "level {:?} op {}", level, op
+                );
+            }
+        }
+    }
+}

@@ -318,6 +318,46 @@ mod tests {
     }
 
     #[test]
+    fn truncation_collision_side_list_is_consulted() {
+        // Real low-64-bit collisions among `√(2B)` baby steps are a
+        // ~2⁻⁴⁴-per-table event, so fabricate one: evict the baby-map
+        // entry for `j2`'s truncated key and repoint it at a different
+        // index, exactly the state `new` leaves behind when a later
+        // baby step collides with an earlier one (first entry wins, the
+        // loser goes to the side list). `solve` must then fail the full
+        // verification against the squatter and fall through to the
+        // side list — still recovering the exact exponent.
+        let g = group();
+        let bound = 10_000;
+        let mut table = DlogTable::new(&g, bound);
+        let j2 = table.m / 2;
+        let j1 = j2 + 1; // squatter with a different true key
+        let key = g.exp(&g.scalar_from_u64(j2)).value().low_u64();
+        assert_eq!(table.baby.get(&key), Some(&j2), "fixture sanity");
+        table.baby.insert(key, j1);
+        table.collisions.push((key, j2));
+
+        // Every giant step `i` whose solution lands on baby index j2
+        // must go through the side list; check i = 0 and a later one.
+        for i in [0u64, 3] {
+            let z = (i * table.m + j2) as i64 - bound as i64;
+            if z.unsigned_abs() > bound {
+                continue;
+            }
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(table.solve(&g, &target), Ok(z), "giant step {i}");
+        }
+        // The squatter's own solutions and unrelated values still solve.
+        let z1 = j1 as i64 - bound as i64;
+        let target = g.exp(&g.scalar_from_i64(z1));
+        assert_eq!(table.solve(&g, &target), Ok(z1));
+        for z in [-(bound as i64), -1, 0, 1, 4321, bound as i64] {
+            let target = g.exp(&g.scalar_from_i64(z));
+            assert_eq!(table.solve(&g, &target), Ok(z), "z = {z}");
+        }
+    }
+
+    #[test]
     fn boundary_values() {
         let g = group();
         let table = DlogTable::new(&g, 1);

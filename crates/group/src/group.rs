@@ -22,7 +22,7 @@ use crate::fixed_base::FixedBaseTable;
 /// Elements are created and combined through [`SchnorrGroup`] methods,
 /// which maintain the reduced-mod-`p` invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Element(U256);
+pub struct Element(pub(crate) U256);
 
 impl Element {
     /// The raw reduced representative in `[0, p)`.
@@ -282,6 +282,12 @@ impl SchnorrGroup {
         }
     }
 
+    /// The cached Montgomery context for the element field `Z_p` — the
+    /// in-crate hook the multi-scalar module evaluates through.
+    pub(crate) fn mont_p(&self) -> &Montgomery {
+        &self.ctx.mont_p
+    }
+
     /// The prime modulus `p`.
     pub fn modulus(&self) -> &U256 {
         &self.p
@@ -406,6 +412,28 @@ impl SchnorrGroup {
     /// `a / b = a · b⁻¹ mod p`.
     pub fn div(&self, a: &Element, b: &Element) -> Element {
         self.mul(a, &self.inv(b))
+    }
+
+    /// Inverts every element at the cost of **one** extended-GCD
+    /// inversion plus three Montgomery products per element
+    /// (Montgomery's trick; see
+    /// [`Montgomery::batch_inv`](cryptonn_bigint::Montgomery::batch_inv)).
+    /// The decrypt fast path uses this to amortize the divisions of a
+    /// whole matrix of cells into a single inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero — zero is not a group element, so
+    /// this indicates a broken invariant upstream (as [`inv`](Self::inv)).
+    pub fn inv_batch(&self, elements: &[Element]) -> Vec<Element> {
+        let values: Vec<U256> = elements.iter().map(|e| e.0).collect();
+        self.ctx
+            .mont_p
+            .batch_inv(&values)
+            .expect("group elements are invertible")
+            .into_iter()
+            .map(Element)
+            .collect()
     }
 
     /// Builds an element from a raw value, reducing mod `p`.

@@ -14,7 +14,11 @@
 //! fixed bases (the generator, FE public-key elements) get radix-2⁴
 //! comb tables ([`FixedBaseTable`], [`SchnorrGroup::exp_table`],
 //! [`SchnorrGroup::multi_pow`]) — the exponentiation pipeline of
-//! DESIGN.md §8.
+//! DESIGN.md §8. *Variable* bases with small signed exponents (the
+//! decrypt-side `∏ ctᵢ^{yᵢ}`) go through the Straus/wNAF multi-scalar
+//! subsystem ([`WnafScalars`], [`OddPowerTables`],
+//! [`SchnorrGroup::multi_scalar_ratio`]) with batched inversion
+//! ([`SchnorrGroup::inv_batch`]) — DESIGN.md §10.
 //!
 //! ## Example
 //!
@@ -36,8 +40,10 @@ mod dlog;
 mod error;
 mod fixed_base;
 mod group;
+mod multi_scalar;
 
 pub use dlog::{solve_dlog, solve_dlog_naive, DlogTable};
 pub use error::GroupError;
 pub use fixed_base::FixedBaseTable;
 pub use group::{Element, Scalar, SchnorrGroup, SecurityLevel};
+pub use multi_scalar::{ElementRatio, OddPowerTables, WnafScalars, DEFAULT_WINDOW};

@@ -77,3 +77,67 @@ proptest! {
         prop_assert_eq!(g.pow(&x, &e), g.identity());
     }
 }
+
+/// Reference for the multi-scalar subsystem: one full-width `pow` per
+/// nonzero exponent.
+fn naive_multi_pow(
+    g: &SchnorrGroup,
+    bases: &[cryptonn_group::Element],
+    y: &[i64],
+) -> cryptonn_group::Element {
+    let mut acc = g.identity();
+    for (b, &yi) in bases.iter().zip(y) {
+        if yi != 0 {
+            acc = g.mul(&acc, &g.pow(b, &g.scalar_from_i64(yi)));
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Straus/wNAF multi-scalar exponentiation equals the one-pow-per-base
+    /// product for random signed exponents (zeros included).
+    #[test]
+    fn multi_scalar_matches_naive(
+        y in proptest::collection::vec(-1_000_000i64..=1_000_000, 1..10),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<_> = (0..y.len()).map(|_| g.exp(&g.random_scalar(&mut rng))).collect();
+        prop_assert_eq!(g.multi_scalar_pow(&bases, &y), naive_multi_pow(g, &bases, &y));
+    }
+
+    /// Deferred ratios resolved through the batched inversion equal the
+    /// per-ratio division, and folding an extra denominator in commutes
+    /// with resolution.
+    #[test]
+    fn batched_ratio_resolution_matches_division(
+        y in proptest::collection::vec(-50_000i64..=50_000, 1..6),
+        extra in 1i64..=1_000_000,
+        seed in any::<u64>(),
+    ) {
+        use cryptonn_group::{ElementRatio, WnafScalars};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<_> = (0..y.len()).map(|_| g.exp(&g.random_scalar(&mut rng))).collect();
+        let scalars = WnafScalars::recode(&y);
+        let den = g.exp(&g.scalar_from_i64(extra));
+        let ratio = if scalars.is_all_zero() {
+            ElementRatio::from_element(g, g.identity())
+        } else {
+            let tables = g.odd_power_tables(&bases);
+            g.multi_scalar_ratio(&tables, &scalars)
+        };
+        let folded = ratio.div_by(g, &den);
+        let resolved = g.resolve_ratios(&[ratio, folded]);
+        prop_assert_eq!(resolved[0], g.div(&naive_multi_pow(g, &bases, &y), &g.identity()));
+        prop_assert_eq!(resolved[1], g.div(&naive_multi_pow(g, &bases, &y), &den));
+    }
+}

@@ -1,0 +1,89 @@
+//! The shared cell-decryption core of `secure-computation`.
+//!
+//! `secure_dot` (Algorithm 1, lines 4–8) and `secure_convolution`
+//! (Algorithm 3) are the same computation with different bookkeeping: a
+//! cross product of FEIP ciphertexts against server operand rows, one
+//! bounded-dlog decryption per cell. This module holds that loop once,
+//! on top of the batched [`feip::decrypt_cells`] fast path (wNAF
+//! recoding shared across columns, odd-power tables shared across rows,
+//! one batched inversion per matrix — DESIGN.md §10), so both entry
+//! points land on exactly one implementation. The element-wise branch
+//! gets the same treatment via [`febo::decrypt_ratio`].
+
+use cryptonn_fe::{febo, feip, BasicOp, FeError};
+use cryptonn_fe::{FeboCiphertext, FeboFunctionKey, FeboPublicKey};
+use cryptonn_fe::{FeipCiphertext, FeipFunctionKey, FeipPublicKey};
+use cryptonn_group::{DlogTable, ElementRatio};
+use cryptonn_matrix::Matrix;
+use cryptonn_parallel::{parallel_map, Parallelism};
+
+use crate::error::SmcError;
+
+/// Decrypts the full (ciphertext × key-row) cross product through the
+/// multi-scalar fast path and hands each cell's value to `place`, which
+/// writes it wherever the caller's output layout wants it:
+/// `place(out, ct_index, row_index, value)`.
+///
+/// `y` supplies one operand row per key (`y.rows() == keys.len()`).
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and dlog-range failures from
+/// [`feip::decrypt_cells`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decrypt_feip_cells<F>(
+    mpk: &FeipPublicKey,
+    cts: &[FeipCiphertext],
+    keys: &[FeipFunctionKey],
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+    out: &mut Matrix<i64>,
+    place: F,
+) -> Result<(), SmcError>
+where
+    F: Fn(&mut Matrix<i64>, usize, usize, i64),
+{
+    let rows: Vec<&[i64]> = (0..y.rows()).map(|r| y.row(r)).collect();
+    let values = feip::decrypt_cells(mpk, cts, keys, &rows, table, parallelism)?;
+    let nrows = rows.len();
+    for (idx, v) in values.into_iter().enumerate() {
+        place(out, idx / nrows, idx % nrows, v);
+    }
+    Ok(())
+}
+
+/// Decrypts every element-wise cell `X[i][j] Δ Y[i][j]` through the
+/// deferred-ratio path: per-cell ratios in parallel, **one** batched
+/// inversion for the whole matrix, then parallel dlog recovery.
+///
+/// For `+`/`−` the per-cell work before the shared inversion is nothing
+/// but the ratio bookkeeping — the entire cost of those ops collapses
+/// into the batched inversion plus the dlog solve.
+pub(crate) fn decrypt_febo_cells(
+    mpk: &FeboPublicKey,
+    elements: &Matrix<FeboCiphertext>,
+    keys: &Matrix<FeboFunctionKey>,
+    op: BasicOp,
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Matrix<i64>, SmcError> {
+    let (rows, cols) = y.shape();
+    let total = rows * cols;
+    let ratios: Vec<Result<ElementRatio, FeError>> =
+        parallel_map(total, parallelism.thread_count(), |idx| {
+            let (i, j) = (idx / cols, idx % cols);
+            febo::decrypt_ratio(mpk, &keys[(i, j)], &elements[(i, j)], op, y[(i, j)])
+        });
+    let ratios = ratios
+        .into_iter()
+        .collect::<Result<Vec<ElementRatio>, FeError>>()?;
+    let raws = mpk.group().resolve_ratios(&ratios);
+    let values: Vec<Result<i64, FeError>> =
+        parallel_map(total, parallelism.thread_count(), |idx| {
+            table.solve(mpk.group(), &raws[idx]).map_err(FeError::from)
+        });
+    let values = values.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
+    Ok(Matrix::from_vec(rows, cols, values))
+}

@@ -41,6 +41,7 @@
 //! # Ok::<(), cryptonn_smc::SmcError>(())
 //! ```
 
+mod cells;
 mod error;
 mod quantize;
 mod secure_conv;

@@ -12,7 +12,7 @@
 //! encrypted — the plaintext zero padding is encrypted along with the
 //! image pixels, so "partially encrypted" windows need no special case.
 
-use cryptonn_fe::{feip, FeError, FeipCiphertext, FeipFunctionKey, FeipPublicKey, KeyService};
+use cryptonn_fe::{feip, FeipCiphertext, FeipFunctionKey, FeipPublicKey, KeyService};
 use cryptonn_group::DlogTable;
 use cryptonn_matrix::{im2col, ConvSpec, Matrix, Tensor4};
 use rand::Rng;
@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::SmcError;
 use crate::quantize::FixedPoint;
-use cryptonn_parallel::{parallel_map, Parallelism};
+use cryptonn_parallel::Parallelism;
 
 /// A batch of FEIP-encrypted sliding windows, ready for secure
 /// convolution against any number of filters.
@@ -177,25 +177,25 @@ pub fn secure_convolution(
     let out_c = filters.rows();
     let (oh, ow) = (enc.out_h, enc.out_w);
     let windows_per_image = oh * ow;
-    let total = enc.batch * out_c * windows_per_image;
 
-    // Work item order: (b, oc, oy, ox) — matches the output layout, so
-    // the result vector is already in place.
-    let results: Vec<Result<i64, FeError>> =
-        parallel_map(total, parallelism.thread_count(), |idx| {
-            let b = idx / (out_c * windows_per_image);
-            let rem = idx % (out_c * windows_per_image);
-            let oc = rem / windows_per_image;
-            let pos = rem % windows_per_image;
-            let window = &enc.windows[b * windows_per_image + pos];
-            feip::decrypt(feip_mpk, window, &keys[oc], filters.row(oc), table)
-        });
-    let values = results.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
-    Ok(Matrix::from_vec(
-        enc.batch,
-        out_c * windows_per_image,
-        values,
-    ))
+    let mut out = Matrix::zeros(enc.batch, out_c * windows_per_image);
+    crate::cells::decrypt_feip_cells(
+        feip_mpk,
+        &enc.windows,
+        keys,
+        filters,
+        table,
+        parallelism,
+        &mut out,
+        // Cell (window b·wpi + pos, filter oc) lands at the standard
+        // layer layout (oc·oh + oy)·ow + ox of image b.
+        |out, w, oc, v| {
+            let b = w / windows_per_image;
+            let pos = w % windows_per_image;
+            out[(b, oc * windows_per_image + pos)] = v;
+        },
+    )?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //!   ([`secure_elementwise`]). Both decryption loops take a
 //!   [`Parallelism`] policy (the paper's "(P)" arms).
 
-use cryptonn_fe::{febo, feip, BasicOp, FeError, FeboKeyRequest, KeyService};
+use cryptonn_fe::{febo, feip, BasicOp, FeboKeyRequest, KeyService};
 use cryptonn_fe::{FeboCiphertext, FeboFunctionKey, FeboPublicKey};
 use cryptonn_fe::{FeipCiphertext, FeipFunctionKey, FeipPublicKey};
 use cryptonn_group::DlogTable;
@@ -26,7 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SmcError;
-use cryptonn_parallel::{parallel_map, Parallelism};
+use cryptonn_parallel::Parallelism;
 
 /// The permitted function set `F` of Algorithm 1: a dot-product or one
 /// of the four element-wise operations.
@@ -187,6 +187,18 @@ impl EncryptedMatrix {
         self.columns()
     }
 
+    /// The per-element FEBO ciphertexts, for callers that decrypt them
+    /// directly (the naive arm of the decrypt telemetry, external
+    /// pipelines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmcError::NotEncryptedForElementwise`] if the FEBO part
+    /// is absent.
+    pub fn febo_elements(&self) -> Result<&Matrix<FeboCiphertext>, SmcError> {
+        self.elements()
+    }
+
     fn columns(&self) -> Result<&[FeipCiphertext], SmcError> {
         self.columns.as_deref().ok_or(SmcError::NotEncryptedForDot)
     }
@@ -282,15 +294,19 @@ pub fn secure_dot(
         });
     }
 
-    let out_rows = y.rows();
-    let out_cols = enc.cols();
-    let results: Vec<Result<i64, FeError>> =
-        parallel_map(out_rows * out_cols, parallelism.thread_count(), |idx| {
-            let i = idx / out_cols;
-            let j = idx % out_cols;
-            feip::decrypt(feip_mpk, &columns[j], &keys[i], y.row(i), table)
-        });
-    collect_matrix(out_rows, out_cols, results)
+    let mut out = Matrix::zeros(y.rows(), enc.cols());
+    crate::cells::decrypt_feip_cells(
+        feip_mpk,
+        columns,
+        keys,
+        y,
+        table,
+        parallelism,
+        &mut out,
+        // Cell (ciphertext column j, key row i) is output Z[i][j].
+        |out, j, i, v| out[(i, j)] = v,
+    )?;
+    Ok(out)
 }
 
 /// `secure-computation`, element-wise branch: computes
@@ -324,21 +340,7 @@ pub fn secure_elementwise(
         });
     }
 
-    let (rows, cols) = enc.shape();
-    let results: Vec<Result<i64, FeError>> =
-        parallel_map(rows * cols, parallelism.thread_count(), |idx| {
-            let i = idx / cols;
-            let j = idx % cols;
-            febo::decrypt(
-                febo_mpk,
-                &keys[(i, j)],
-                &elements[(i, j)],
-                op,
-                y[(i, j)],
-                table,
-            )
-        });
-    collect_matrix(rows, cols, results)
+    crate::cells::decrypt_febo_cells(febo_mpk, elements, keys, op, y, table, parallelism)
 }
 
 /// One-call facade over key derivation + secure computation, matching
@@ -387,15 +389,6 @@ pub fn elementwise_bound(op: BasicOp, max_x: u64, max_y: u64) -> u64 {
         BasicOp::Mul => max_x.saturating_mul(max_y).max(1),
         BasicOp::Div => max_x.max(1),
     }
-}
-
-fn collect_matrix(
-    rows: usize,
-    cols: usize,
-    results: Vec<Result<i64, FeError>>,
-) -> Result<Matrix<i64>, SmcError> {
-    let values = results.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
-    Ok(Matrix::from_vec(rows, cols, values))
 }
 
 #[cfg(test)]
