@@ -1,0 +1,335 @@
+//! The key authority as a standalone networked service.
+//!
+//! [`AuthorityServer`] is the paper's trusted third party (Fig. 1) cut
+//! loose from the training process: it listens on a socket, keys its
+//! state by [`SessionId`], derives each session's master keys from the
+//! session config on first contact, publishes [`PublicParams`], and
+//! then serves the server's [`KeyRequest`] traffic over the framed
+//! codec. The training server reaches it through an
+//! [`AuthorityConnector`] — [`RemoteAuthority`] over TCP, or
+//! [`LocalAuthority`] for in-process wiring — and the connection
+//! implements the same [`AuthorityChannel`] hook the deterministic
+//! runner and the replayer use, so no key-derivation logic forks
+//! between transports.
+//!
+//! [`KeyRequest`]: cryptonn_protocol::KeyRequest
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use cryptonn_parallel::ThreadPool;
+use cryptonn_protocol::{
+    AuthorityChannel, AuthoritySession, KeyRequest, KeyResponse, ProtocolError, PublicParams,
+    SessionConfig, SessionId, WireMessage,
+};
+
+use crate::error::NetError;
+use crate::framing::DEFAULT_MAX_FRAME;
+use crate::transport::{FrameRx, FrameTx, Hello, NetMsg, Peer, TcpTransport};
+
+/// How a training server reaches the session's key authority: one call
+/// per session, yielding the published parameters and the live
+/// request/response channel.
+pub trait AuthorityConnector: Send + Sync {
+    /// Opens the authority link for `session` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the authority rejecting the session (e.g. a
+    /// config that disagrees with an earlier connection).
+    fn connect(
+        &self,
+        session: SessionId,
+        config: &SessionConfig,
+    ) -> Result<(PublicParams, Box<dyn AuthorityChannel>), NetError>;
+}
+
+/// In-process authority wiring: each session gets its own
+/// [`AuthoritySession`] behind a direct channel. The zero-network
+/// arm — what the deterministic runner effectively uses — provided
+/// here so a [`SessionServer`](crate::SessionServer) can run without a
+/// separate authority daemon.
+#[derive(Debug, Default)]
+pub struct LocalAuthority;
+
+struct DirectChannel(Arc<AuthoritySession>);
+
+impl AuthorityChannel for DirectChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        Ok(self.0.handle(&req))
+    }
+}
+
+impl AuthorityConnector for LocalAuthority {
+    fn connect(
+        &self,
+        _session: SessionId,
+        config: &SessionConfig,
+    ) -> Result<(PublicParams, Box<dyn AuthorityChannel>), NetError> {
+        let authority = Arc::new(AuthoritySession::new(config));
+        let params = authority.public_params_for(config);
+        Ok((params, Box::new(DirectChannel(authority))))
+    }
+}
+
+/// TCP connector to a running [`AuthorityServer`].
+#[derive(Debug, Clone)]
+pub struct RemoteAuthority {
+    addr: SocketAddr,
+    max_frame: usize,
+}
+
+impl RemoteAuthority {
+    /// Points at an authority daemon.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Replaces the frame cap used on authority connections.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+}
+
+impl AuthorityConnector for RemoteAuthority {
+    fn connect(
+        &self,
+        session: SessionId,
+        config: &SessionConfig,
+    ) -> Result<(PublicParams, Box<dyn AuthorityChannel>), NetError> {
+        let mut transport = TcpTransport::connect(self.addr, self.max_frame)?;
+        transport.send(&NetMsg::Hello(Hello {
+            session,
+            peer: Peer::Server,
+            config: config.clone(),
+        }))?;
+        let params = match transport.recv()? {
+            Some(NetMsg::Msg(WireMessage::PublicParams(p))) => p,
+            Some(NetMsg::Reject(why)) => return Err(NetError::Rejected(why)),
+            Some(_) => return Err(NetError::UnexpectedFrame("expected PublicParams")),
+            None => return Err(NetError::Disconnected),
+        };
+        Ok((params, Box::new(RemoteAuthorityChannel { transport })))
+    }
+}
+
+/// The [`AuthorityChannel`] over a live authority connection: each
+/// exchange is one request frame out, one response frame back.
+struct RemoteAuthorityChannel {
+    transport: TcpTransport,
+}
+
+impl AuthorityChannel for RemoteAuthorityChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        self.transport
+            .send(&NetMsg::Msg(WireMessage::KeyRequest(req)))
+            .map_err(|e| ProtocolError::Transport(e.to_string()))?;
+        match self
+            .transport
+            .recv()
+            .map_err(|e| ProtocolError::Transport(e.to_string()))?
+        {
+            Some(NetMsg::Msg(WireMessage::KeyResponse(resp))) => Ok(resp),
+            Some(NetMsg::Reject(why)) => Err(ProtocolError::Transport(format!(
+                "authority rejected the exchange: {why}"
+            ))),
+            Some(other) => Err(ProtocolError::Transport(format!(
+                "authority sent an unexpected frame: {other:?}"
+            ))),
+            None => Err(ProtocolError::Transport(
+                "authority closed the connection mid-session".into(),
+            )),
+        }
+    }
+}
+
+/// Options for the authority daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct AuthorityOptions {
+    /// Bounded pool size for connection handlers.
+    pub pool_threads: usize,
+    /// Frame cap per connection.
+    pub max_frame: usize,
+}
+
+impl Default for AuthorityOptions {
+    fn default() -> Self {
+        Self {
+            pool_threads: 16,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+struct AuthorityEntry {
+    config: SessionConfig,
+    session: Arc<AuthoritySession>,
+    params: PublicParams,
+}
+
+type AuthorityRegistry = Arc<Mutex<HashMap<SessionId, AuthorityEntry>>>;
+
+/// The networked key authority daemon: a session-keyed registry of
+/// [`AuthoritySession`]s behind a TCP accept loop on a bounded pool.
+pub struct AuthorityServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    registry: AuthorityRegistry,
+}
+
+impl AuthorityServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(addr: &str, options: AuthorityOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry: AuthorityRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(options.pool_threads);
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = Arc::clone(&registry);
+                    // `execute` blocks while the pool is saturated:
+                    // backpressure on the accept loop rather than
+                    // unbounded threads.
+                    pool.execute(move || serve_authority_conn(stream, options, &registry));
+                }
+                // Dropping the pool joins the in-flight handlers.
+            })
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            registry,
+        })
+    }
+
+    /// The bound address (use with [`RemoteAuthority::new`]).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently registered.
+    pub fn session_count(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Stops accepting and waits for the accept loop. Live connections
+    /// finish their current exchange and drop on the next read.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so the blocking accept wakes up.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AuthorityServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn serve_authority_conn(
+    stream: TcpStream,
+    options: AuthorityOptions,
+    registry: &AuthorityRegistry,
+) {
+    let Ok(mut transport) = TcpTransport::new(stream, options.max_frame) else {
+        return;
+    };
+    let hello = match transport.recv() {
+        Ok(Some(NetMsg::Hello(h))) => h,
+        Ok(_) | Err(_) => {
+            let _ = transport.send(&NetMsg::Reject("expected a Hello frame".into()));
+            return;
+        }
+    };
+    // One authority state per session, derived deterministically from
+    // the session config; later connections must agree bit-for-bit so
+    // a mismatched peer cannot steer key derivation.
+    let (session, params) = {
+        let mut reg = registry.lock();
+        match reg.get(&hello.session) {
+            Some(entry) if entry.config != hello.config => {
+                drop(reg);
+                let _ = transport.send(&NetMsg::Reject(format!(
+                    "{} already exists with a different config",
+                    hello.session
+                )));
+                return;
+            }
+            Some(entry) => (Arc::clone(&entry.session), entry.params.clone()),
+            None => {
+                let session = Arc::new(AuthoritySession::new(&hello.config));
+                let params = session.public_params_for(&hello.config);
+                reg.insert(
+                    hello.session,
+                    AuthorityEntry {
+                        config: hello.config.clone(),
+                        session: Arc::clone(&session),
+                        params: params.clone(),
+                    },
+                );
+                (session, params)
+            }
+        }
+    };
+    if transport
+        .send(&NetMsg::Msg(WireMessage::PublicParams(params)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match transport.recv() {
+            Ok(Some(NetMsg::Msg(msg))) => match session.handle_message(&msg) {
+                Ok(outs) => {
+                    for ob in outs {
+                        if transport.send(&NetMsg::Msg(ob.msg)).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = transport.send(&NetMsg::Reject(e.to_string()));
+                    return;
+                }
+            },
+            Ok(Some(_)) => {
+                let _ = transport.send(&NetMsg::Reject("unexpected frame".into()));
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The data-owner's network driver: a thin pump around
+//! [`ClientSession`].
+//!
+//! The driver owns no protocol logic — it hands every received frame to
+//! the client state machine and sends whatever the machine emits. The
+//! state machine's credit window (replenished by `ModelDelta`
+//! broadcasts) is what bounds the batches in flight, so a slow server
+//! backpressures encryption naturally.
+
+use cryptonn_protocol::{ClientSession, SessionConfig, SessionId, SessionSummary, WireMessage};
+
+use crate::error::NetError;
+use crate::transport::{Hello, NetMsg, Peer, Transport};
+
+/// Runs one data-owner session over `transport` until the final
+/// summary arrives, and returns it.
+///
+/// The handshake frames `Hello{session, client, config}`; the server
+/// answers with the session's [`PublicParams`] and, once all clients
+/// registered, the `Start` barrier — from there the state machine
+/// streams its encrypted shard.
+///
+/// # Errors
+///
+/// - [`NetError::Rejected`] if the server refuses the session (config
+///   mismatch, capacity, a failed session — including another member
+///   disconnecting);
+/// - [`NetError::Disconnected`] on a lost connection;
+/// - framing and encryption failures.
+///
+/// [`PublicParams`]: cryptonn_protocol::PublicParams
+pub fn run_client<T: Transport>(
+    mut transport: T,
+    session: SessionId,
+    mut sm: ClientSession,
+    config: &SessionConfig,
+) -> Result<SessionSummary, NetError> {
+    transport.send(&NetMsg::Hello(Hello {
+        session,
+        peer: Peer::Client(sm.id()),
+        config: config.clone(),
+    }))?;
+    // The driver holds the config locally; feeding it to the state
+    // machine yields the registration to forward.
+    let outs = sm.handle_message(&WireMessage::Config(config.clone()))?;
+    for ob in outs {
+        transport.send(&NetMsg::Msg(ob.msg))?;
+    }
+    loop {
+        match transport.recv()? {
+            Some(NetMsg::Msg(msg)) => {
+                let summary = match &msg {
+                    WireMessage::Summary(s) => Some(s.clone()),
+                    _ => None,
+                };
+                for ob in sm.handle_message(&msg)? {
+                    transport.send(&NetMsg::Msg(ob.msg))?;
+                }
+                if let Some(summary) = summary {
+                    return Ok(summary);
+                }
+            }
+            Some(NetMsg::Reject(why)) => return Err(NetError::Rejected(why)),
+            Some(NetMsg::Hello(_)) => return Err(NetError::UnexpectedFrame("Hello")),
+            None => return Err(NetError::Disconnected),
+        }
+    }
+}

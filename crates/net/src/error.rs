@@ -1,0 +1,87 @@
+//! Error type of the transport layer.
+
+use core::fmt;
+
+use cryptonn_protocol::ProtocolError;
+
+/// Errors from framed wire I/O, the session daemons, and the client
+/// drivers.
+///
+/// Defensive decoding is typed: an oversized frame, a truncated frame,
+/// and a garbage payload are distinct variants, so tests (and
+/// operators) can tell an attack-shaped input from a lost connection
+/// without string matching — and none of them ever panics the peer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Socket/channel I/O failed.
+    Io(String),
+    /// A frame header announced a payload beyond the configured cap.
+    /// The stream is poisoned (the next bytes are mid-payload), so the
+    /// connection must be dropped.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// Bytes the frame still owed.
+        missing: usize,
+    },
+    /// A complete frame whose payload does not decode.
+    Malformed(String),
+    /// The peer sent a well-formed frame of the wrong kind for this
+    /// point in the exchange (e.g. a second `Hello`).
+    UnexpectedFrame(&'static str),
+    /// The peer refused the exchange (capacity, config mismatch, a
+    /// failed session).
+    Rejected(String),
+    /// The peer closed the connection before the exchange completed.
+    Disconnected,
+    /// The session state machine under this transport failed.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport I/O failed: {e}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Truncated { missing } => {
+                write!(f, "stream ended inside a frame ({missing} bytes missing)")
+            }
+            NetError::Malformed(e) => write!(f, "frame payload does not decode: {e}"),
+            NetError::UnexpectedFrame(kind) => {
+                write!(f, "unexpected frame at this point in the exchange: {kind}")
+            }
+            NetError::Rejected(why) => write!(f, "peer rejected the exchange: {why}"),
+            NetError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
+            NetError::Protocol(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}

@@ -1,0 +1,112 @@
+//! # cryptonn-net
+//!
+//! The transport layer under the CryptoNN session protocol: the
+//! paper's Fig. 1 topology — many data owners, one training server,
+//! one key authority — over real sockets.
+//!
+//! - [`framing`] — the length-prefixed codec: 4-byte big-endian length
+//!   plus a serde-JSON payload, with a configurable cap and typed
+//!   rejection of oversized, truncated, and garbage frames.
+//! - [`transport`] — [`Transport`]: framed, splittable message pipes,
+//!   implemented by `std::net` TCP ([`TcpTransport`]) and an in-memory
+//!   channel pair ([`mem_pair`]) that moves the same encoded bytes.
+//! - [`server`] — [`SessionServer`]: the concurrent multi-session
+//!   daemon — a [`SessionId`]-keyed registry, thread-per-connection on
+//!   a bounded [`ThreadPool`](cryptonn_parallel::ThreadPool), bounded
+//!   per-session inbound queues for backpressure, and failure isolation
+//!   per session.
+//! - [`authority`] — [`AuthorityServer`]: the key authority as its own
+//!   networked service, plus the [`AuthorityConnector`] abstraction
+//!   ([`RemoteAuthority`] / [`LocalAuthority`]) the training server
+//!   uses to reach it.
+//! - [`client`] — [`run_client`]: the data-owner driver.
+//!
+//! Every daemon and driver pumps the *same* role state machines as the
+//! in-process [`TrainingSessionRunner`] and the transcript replayer
+//! (`cryptonn-protocol`), so a session trained over TCP loopback
+//! produces weights bit-identical to the deterministic in-process run
+//! on the same config and dataset.
+//!
+//! ## Example: full loopback topology
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cryptonn_core::Objective;
+//! use cryptonn_data::clinic_dataset;
+//! use cryptonn_parallel::Parallelism;
+//! use cryptonn_protocol::{
+//!     mlp_session_config, round_robin_shards, ClientId, ClientSession, MlpSpec, SessionId,
+//! };
+//! use cryptonn_net::{
+//!     run_client, AuthorityOptions, AuthorityServer, RemoteAuthority, ServerOptions,
+//!     SessionServer, TcpTransport, DEFAULT_MAX_FRAME,
+//! };
+//!
+//! // Daemons: key authority and multi-session training server.
+//! let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())?;
+//! let server = SessionServer::start(
+//!     "127.0.0.1:0",
+//!     Arc::new(RemoteAuthority::new(authority.local_addr())),
+//!     ServerOptions::default(),
+//! )?;
+//!
+//! // One two-client session over the clinic toy task.
+//! let data = clinic_dataset(12, 5);
+//! let spec = MlpSpec {
+//!     feature_dim: data.feature_dim(),
+//!     hidden: vec![4],
+//!     classes: data.classes(),
+//!     objective: Objective::SoftmaxCrossEntropy,
+//! };
+//! let config = mlp_session_config(spec, 2, 1, 6, 0.5);
+//! let shards = round_robin_shards(&data, 6, 2);
+//! let session = SessionId(1);
+//! let addr = server.local_addr();
+//! let workers: Vec<_> = shards
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, shard)| {
+//!         let config = config.clone();
+//!         std::thread::spawn(move || {
+//!             let sm = ClientSession::new(
+//!                 ClientId(i as u32),
+//!                 config.client_seed_base + i as u64,
+//!                 Parallelism::Serial,
+//!                 shard,
+//!             );
+//!             let transport = TcpTransport::connect(addr, DEFAULT_MAX_FRAME).unwrap();
+//!             run_client(transport, session, sm, &config).unwrap()
+//!         })
+//!     })
+//!     .collect();
+//! let summaries: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+//! assert_eq!(summaries[0], summaries[1]); // every member sees the same model
+//! assert_eq!(summaries[0].steps, 2);
+//! server.shutdown();
+//! authority.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod authority;
+pub mod client;
+pub mod framing;
+pub mod server;
+pub mod transport;
+
+mod error;
+
+pub use authority::{
+    AuthorityConnector, AuthorityOptions, AuthorityServer, LocalAuthority, RemoteAuthority,
+};
+pub use client::run_client;
+pub use error::NetError;
+pub use framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER};
+pub use server::{ServerOptions, SessionOutcomeKind, SessionServer};
+pub use transport::{
+    mem_pair, mem_pair_default, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport,
+    Transport,
+};
+
+// Re-exported so driver code built on this crate needs only one import
+// for the session-layer vocabulary it wires together.
+pub use cryptonn_protocol::{SessionConfig, SessionId};

@@ -1,0 +1,509 @@
+//! The concurrent multi-session training server.
+//!
+//! [`SessionServer`] multiplexes many independent training sessions
+//! over one listener:
+//!
+//! - **registry** — sessions are keyed by [`SessionId`]; the first
+//!   client's `Hello` creates the session (fixing its config and
+//!   opening the authority link), later clients must present the same
+//!   config bit-for-bit;
+//! - **thread-per-connection on a bounded pool** — each accepted
+//!   connection is handled by a `cryptonn-parallel`
+//!   [`ThreadPool`] worker; a saturated pool rejects new connections
+//!   instead of spawning unboundedly;
+//! - **bounded inbound queues** — every session has one
+//!   `sync_channel` of events; when its worker is busy training, the
+//!   connection readers block on the full queue, which backpressures
+//!   straight down to the clients' sockets;
+//! - **per-session worker** — one thread per live session pumps the
+//!   shared [`ServerSession`] state machine (the same one the
+//!   deterministic runner and the replayer drive) and broadcasts its
+//!   outbound messages to every connected client;
+//! - **failure isolation** — a client disconnecting mid-session (or a
+//!   training error) fails *its* session: remaining members get a
+//!   `Reject` frame and the session is removed; other sessions never
+//!   observe it.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use cryptonn_parallel::{Parallelism, ThreadPool};
+use cryptonn_protocol::{
+    ClientId, ProtocolError, PublicParams, ServerSession, SessionConfig, SessionId, WireMessage,
+};
+
+use crate::authority::AuthorityConnector;
+use crate::error::NetError;
+use crate::framing::DEFAULT_MAX_FRAME;
+use crate::transport::{FrameTx, NetMsg, Peer, TcpTransport, Transport};
+
+/// Tuning for the session server.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Bounded pool size for connection handlers (one per live client
+    /// connection); a saturated pool rejects new connections.
+    pub pool_threads: usize,
+    /// Maximum simultaneously live sessions; beyond it, session
+    /// creation is rejected.
+    pub max_sessions: usize,
+    /// Bounded depth of each session's inbound event queue.
+    pub queue_depth: usize,
+    /// Frame cap per connection.
+    pub max_frame: usize,
+    /// Thread policy for the server-side decryption loops.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            pool_threads: 32,
+            max_sessions: 8,
+            queue_depth: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            parallelism: Parallelism::Serial,
+        }
+    }
+}
+
+/// How one session ended, as observable from the server side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcomeKind {
+    /// Training completed; the summary was broadcast.
+    Completed,
+    /// The session failed (client loss, protocol violation, training
+    /// error) with this reason.
+    Failed(String),
+}
+
+// Events sit in a bounded queue; WireMessage payloads are heap-heavy
+// (ciphertext batches), so box them rather than inflate every slot.
+enum SessionEvent {
+    Msg(ClientId, Box<WireMessage>),
+    Gone(ClientId),
+}
+
+type Conns = Arc<Mutex<HashMap<ClientId, Box<dyn FrameTx>>>>;
+
+struct SessionEntry {
+    config: SessionConfig,
+    params: PublicParams,
+    inbound: SyncSender<SessionEvent>,
+    conns: Conns,
+}
+
+/// A registry slot. `Creating` reserves the id (and pins the config)
+/// while the founding connection opens the authority link *outside*
+/// the registry lock, so one unreachable authority cannot stall every
+/// other session's handshake.
+enum Slot {
+    Creating { config: SessionConfig },
+    // Boxed: a handful of sessions exist, while the variant size gap
+    // (PublicParams dominates SessionEntry) would otherwise inflate
+    // every map slot.
+    Ready(Box<SessionEntry>),
+}
+
+#[derive(Default)]
+struct Registry {
+    live: Mutex<HashMap<SessionId, Slot>>,
+    finished: Mutex<Vec<(SessionId, SessionOutcomeKind)>>,
+}
+
+impl Registry {
+    fn finish(&self, id: SessionId, outcome: SessionOutcomeKind) {
+        self.live.lock().remove(&id);
+        self.finished.lock().push((id, outcome));
+    }
+}
+
+/// The concurrent multi-session training daemon. See the module docs
+/// for the concurrency model.
+pub struct SessionServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl SessionServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving sessions,
+    /// reaching the key authority through `authority`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(
+        addr: &str,
+        authority: Arc<dyn AuthorityConnector>,
+        options: ServerOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::default());
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(options.pool_threads);
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // The stream rides in a shared slot so a refused
+                    // job hands it back for the rejection frame.
+                    let slot = Arc::new(Mutex::new(Some(stream)));
+                    let job_slot = Arc::clone(&slot);
+                    let registry = Arc::clone(&registry);
+                    let authority = Arc::clone(&authority);
+                    let accepted = pool.try_execute(move || {
+                        if let Some(stream) = job_slot.lock().take() {
+                            serve_client_conn(stream, options, &registry, authority.as_ref());
+                        }
+                    });
+                    if !accepted {
+                        // Saturated pool: refuse rather than queue — the
+                        // client gets a typed rejection, not a hang.
+                        if let Some(stream) = slot.lock().take() {
+                            if let Ok(mut t) = TcpTransport::new(stream, options.max_frame) {
+                                let _ = t.send(&NetMsg::Reject("server at capacity".into()));
+                            }
+                        }
+                    }
+                }
+                // Dropping the pool joins in-flight connection handlers.
+            })
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            registry,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently live.
+    pub fn live_sessions(&self) -> usize {
+        self.registry.live.lock().len()
+    }
+
+    /// Outcomes of sessions that ended, in completion order.
+    pub fn finished_sessions(&self) -> Vec<(SessionId, SessionOutcomeKind)> {
+        self.registry.finished.lock().clone()
+    }
+
+    /// Stops accepting, tears down live connections, and waits for the
+    /// accept loop (and through it, the handler pool) to drain.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Close every live connection so blocked readers unblock and
+        // the pool can drain.
+        for slot in self.registry.live.lock().values() {
+            if let Slot::Ready(entry) = slot {
+                for conn in entry.conns.lock().values_mut() {
+                    conn.close();
+                }
+            }
+        }
+        // Poke the listener so the blocking accept wakes up.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn serve_client_conn(
+    stream: TcpStream,
+    options: ServerOptions,
+    registry: &Arc<Registry>,
+    authority: &dyn AuthorityConnector,
+) {
+    let Ok(transport) = TcpTransport::new(stream, options.max_frame) else {
+        return;
+    };
+    let (tx, mut rx) = Box::new(transport).split();
+    let mut tx = Some(tx);
+    let reject = |tx: &mut Option<Box<dyn FrameTx>>, why: String| {
+        if let Some(mut tx) = tx.take() {
+            let _ = tx.send(&NetMsg::Reject(why));
+        }
+    };
+
+    let hello = match rx.recv() {
+        Ok(Some(NetMsg::Hello(h))) => h,
+        _ => {
+            reject(&mut tx, "expected a Hello frame".into());
+            return;
+        }
+    };
+    let Peer::Client(client_id) = hello.peer else {
+        reject(&mut tx, "only clients connect to the session server".into());
+        return;
+    };
+
+    // Join or create the session. The registry lock is only ever held
+    // for map operations — never across authority I/O or socket sends —
+    // so one slow peer or an unreachable authority cannot stall other
+    // sessions' handshakes.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let (inbound, conns, params) = loop {
+        let mut live = registry.live.lock();
+        match live.get(&hello.session) {
+            Some(Slot::Ready(entry)) => {
+                if entry.config != hello.config {
+                    drop(live);
+                    reject(
+                        &mut tx,
+                        format!("{} already exists with a different config", hello.session),
+                    );
+                    return;
+                }
+                break (
+                    entry.inbound.clone(),
+                    Arc::clone(&entry.conns),
+                    entry.params.clone(),
+                );
+            }
+            Some(Slot::Creating { config }) => {
+                // Another member is opening the authority link; check
+                // the config now, then wait our turn off-lock.
+                if *config != hello.config {
+                    drop(live);
+                    reject(
+                        &mut tx,
+                        format!("{} already exists with a different config", hello.session),
+                    );
+                    return;
+                }
+                drop(live);
+                if std::time::Instant::now() >= deadline {
+                    reject(&mut tx, "session setup timed out".into());
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            None => {
+                if live.len() >= options.max_sessions {
+                    drop(live);
+                    reject(&mut tx, "server at session capacity".into());
+                    return;
+                }
+                live.insert(
+                    hello.session,
+                    Slot::Creating {
+                        config: hello.config.clone(),
+                    },
+                );
+                drop(live);
+                match create_session(hello.session, &hello.config, options, registry, authority) {
+                    Ok(entry) => {
+                        let handles = (
+                            entry.inbound.clone(),
+                            Arc::clone(&entry.conns),
+                            entry.params.clone(),
+                        );
+                        registry
+                            .live
+                            .lock()
+                            .insert(hello.session, Slot::Ready(Box::new(entry)));
+                        break handles;
+                    }
+                    Err(e) => {
+                        registry.live.lock().remove(&hello.session);
+                        reject(&mut tx, format!("session setup failed: {e}"));
+                        return;
+                    }
+                }
+            }
+        }
+    };
+
+    // Register this connection's writer and relay the session's public
+    // parameters — under the per-session conns lock only.
+    {
+        let mut conns = conns.lock();
+        if conns.contains_key(&client_id) {
+            drop(conns);
+            reject(
+                &mut tx,
+                format!("{client_id} is already connected to {}", hello.session),
+            );
+            return;
+        }
+        let mut tx = tx.take().expect("writer not yet consumed");
+        if tx
+            .send(&NetMsg::Msg(WireMessage::PublicParams(params)))
+            .is_err()
+        {
+            return;
+        }
+        conns.insert(client_id, tx);
+    }
+
+    // If the worker died while we registered (a lost race with session
+    // completion/failure), nobody will ever serve this connection —
+    // tear it down rather than leave the client hanging.
+    let cleanup = || {
+        if let Some(mut conn) = conns.lock().remove(&client_id) {
+            conn.close();
+        }
+    };
+
+    // Pump frames into the session's bounded queue. A full queue blocks
+    // here — TCP backpressure to this client — while the worker trains.
+    loop {
+        match rx.recv() {
+            Ok(Some(NetMsg::Msg(msg))) => {
+                if inbound
+                    .send(SessionEvent::Msg(client_id, Box::new(msg)))
+                    .is_err()
+                {
+                    // Worker gone: session completed or failed.
+                    cleanup();
+                    return;
+                }
+            }
+            Ok(Some(_)) | Ok(None) | Err(_) => {
+                if inbound.send(SessionEvent::Gone(client_id)).is_err() {
+                    cleanup();
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn create_session(
+    id: SessionId,
+    config: &SessionConfig,
+    options: ServerOptions,
+    registry: &Arc<Registry>,
+    authority: &dyn AuthorityConnector,
+) -> Result<SessionEntry, NetError> {
+    if config.clients == 0 {
+        return Err(NetError::Protocol(ProtocolError::InvalidConfig(
+            "zero clients".into(),
+        )));
+    }
+    let (params, link) = authority.connect(id, config)?;
+    let server = ServerSession::new(config, &params, link, options.parallelism);
+    let (inbound_tx, inbound_rx) = std::sync::mpsc::sync_channel(options.queue_depth.max(1));
+    let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let conns = Arc::clone(&conns);
+        let registry = Arc::clone(registry);
+        std::thread::spawn(move || session_worker(id, server, inbound_rx, conns, registry));
+    }
+    Ok(SessionEntry {
+        config: config.clone(),
+        params,
+        inbound: inbound_tx,
+        conns,
+    })
+}
+
+fn session_worker(
+    id: SessionId,
+    mut server: ServerSession,
+    inbound: Receiver<SessionEvent>,
+    conns: Conns,
+    registry: Arc<Registry>,
+) {
+    let fail = |conns: &Conns, registry: &Registry, why: String| {
+        // Lock ordering: handlers take the registry lock before a
+        // session's conns lock, so never hold conns while finishing.
+        {
+            let mut conns = conns.lock();
+            for conn in conns.values_mut() {
+                let _ = conn.send(&NetMsg::Reject(why.clone()));
+                conn.close();
+            }
+            conns.clear();
+        }
+        registry.finish(id, SessionOutcomeKind::Failed(why));
+    };
+
+    loop {
+        let event = match inbound.recv() {
+            Ok(event) => event,
+            // Every connection handler is gone; if we had finished we
+            // would have exited below, so this is an abandoned session.
+            Err(_) => {
+                registry.finish(
+                    id,
+                    SessionOutcomeKind::Failed("all clients disconnected".into()),
+                );
+                return;
+            }
+        };
+        match event {
+            SessionEvent::Gone(client) => {
+                conns.lock().remove(&client);
+                fail(
+                    &conns,
+                    &registry,
+                    format!("{client} disconnected mid-session"),
+                );
+                return;
+            }
+            SessionEvent::Msg(client, msg) => match server.handle_message(&msg) {
+                Ok(outs) => {
+                    let mut finished = false;
+                    {
+                        let mut conns = conns.lock();
+                        for ob in outs {
+                            if matches!(ob.msg, WireMessage::Summary(_)) {
+                                finished = true;
+                            }
+                            let frame = NetMsg::Msg(ob.msg);
+                            conns.retain(|_, conn| conn.send(&frame).is_ok());
+                        }
+                        if finished {
+                            // Orderly close: every member got the
+                            // summary; tearing the connections down
+                            // unblocks their handlers.
+                            for conn in conns.values_mut() {
+                                conn.close();
+                            }
+                            conns.clear();
+                        }
+                    }
+                    if finished {
+                        registry.finish(id, SessionOutcomeKind::Completed);
+                        return;
+                    }
+                }
+                Err(e) => {
+                    fail(&conns, &registry, format!("{client}: {e}"));
+                    return;
+                }
+            },
+        }
+    }
+}

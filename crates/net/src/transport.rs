@@ -1,0 +1,330 @@
+//! The transport abstraction: framed, bidirectional, splittable
+//! message pipes.
+//!
+//! A [`Transport`] carries [`NetMsg`] frames — the session-protocol
+//! alphabet plus the connection-scoped handshake — over either a real
+//! `std::net` TCP stream ([`TcpTransport`]) or an in-memory channel
+//! pair ([`MemTransport`], from [`mem_pair`]). Both run the *same*
+//! length-prefixed codec from [`framing`](crate::framing): the
+//! in-memory pair moves encoded frames, not Rust values, so every test
+//! over it exercises the exact bytes TCP would carry.
+
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+use serde::{Deserialize, Serialize};
+
+use cryptonn_protocol::{ClientId, SessionConfig, SessionId, WireMessage};
+
+use crate::error::NetError;
+use crate::framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// Who is opening a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Peer {
+    /// A data-owner client.
+    Client(ClientId),
+    /// The training server (connecting to the key authority).
+    Server,
+}
+
+/// The connection handshake: names the session, the connecting role,
+/// and the session agreement the peer must share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// The session this connection belongs to.
+    pub session: SessionId,
+    /// The connecting role.
+    pub peer: Peer,
+    /// The wire-level session agreement; the first connection fixes it,
+    /// later ones must match bit-for-bit.
+    pub config: SessionConfig,
+}
+
+/// One frame on a CryptoNN transport.
+#[allow(clippy::large_enum_variant)] // payloads are heap-dominated, as WireMessage
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetMsg {
+    /// Connection handshake (first frame of every connection).
+    Hello(Hello),
+    /// A session-protocol message.
+    Msg(WireMessage),
+    /// The peer refuses or aborts the exchange with a reason.
+    Reject(String),
+}
+
+/// The sending half of a transport. Sends are whole frames, so a
+/// mutex around a `FrameTx` is enough to serialize concurrent writers.
+pub trait FrameTx: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::FrameTooLarge`] past the cap, I/O failures, or a
+    /// hung-up peer.
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError>;
+
+    /// Tears the connection down, unblocking a peer (or a local reader
+    /// thread) stuck in `recv`. Idempotent; errors are ignored.
+    fn close(&mut self);
+}
+
+/// The receiving half of a transport.
+pub trait FrameRx: Send {
+    /// Receives one frame; `None` on a clean close.
+    ///
+    /// # Errors
+    ///
+    /// Typed framing errors ([`NetError::FrameTooLarge`],
+    /// [`NetError::Truncated`], [`NetError::Malformed`]) and I/O
+    /// failures.
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError>;
+}
+
+/// A bidirectional framed pipe that can split into independently-owned
+/// halves (a reader thread and a shared writer).
+pub trait Transport: FrameTx + FrameRx {
+    /// Splits into send and receive halves.
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>);
+}
+
+// ---------------------------------------------------------------- TCP
+
+/// A framed codec over a `std::net::TcpStream`.
+///
+/// `TCP_NODELAY` is set: session frames are latency-sensitive
+/// request/response traffic, and Nagle coalescing would stall the
+/// per-step key exchanges.
+#[derive(Debug)]
+pub struct TcpTransport {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    max_frame: usize,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted or connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failure.
+    pub fn new(stream: TcpStream, max_frame: usize) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+            max_frame,
+        })
+    }
+
+    /// Connects to `addr` with the given frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr, max_frame: usize) -> std::io::Result<Self> {
+        Self::new(TcpStream::connect(addr)?, max_frame)
+    }
+}
+
+impl FrameTx for TcpTransport {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        write_frame(&mut self.writer, msg, self.max_frame)
+    }
+
+    fn close(&mut self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+impl FrameRx for TcpTransport {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        read_frame(&mut self.reader, self.max_frame)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let tx = TcpFrameTx {
+            writer: self.writer,
+            max_frame: self.max_frame,
+        };
+        let rx = TcpFrameRx {
+            reader: self.reader,
+            max_frame: self.max_frame,
+        };
+        (Box::new(tx), Box::new(rx))
+    }
+}
+
+struct TcpFrameTx {
+    writer: TcpStream,
+    max_frame: usize,
+}
+
+impl FrameTx for TcpFrameTx {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        write_frame(&mut self.writer, msg, self.max_frame)
+    }
+
+    fn close(&mut self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+struct TcpFrameRx {
+    reader: BufReader<TcpStream>,
+    max_frame: usize,
+}
+
+impl FrameRx for TcpFrameRx {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        read_frame(&mut self.reader, self.max_frame)
+    }
+}
+
+// ---------------------------------------------------------- in-memory
+
+/// One end of an in-memory transport pair. Frames cross the channel in
+/// their encoded byte form, so the codec (caps included) is exercised
+/// exactly as over TCP; the bounded channel depth provides the same
+/// backpressure a socket buffer would.
+pub struct MemTransport {
+    tx: Option<SyncSender<Vec<u8>>>,
+    rx: Receiver<Vec<u8>>,
+    max_frame: usize,
+}
+
+/// Builds a connected in-memory transport pair with the given channel
+/// depth (frames buffered per direction before senders block) and
+/// frame cap.
+pub fn mem_pair(depth: usize, max_frame: usize) -> (MemTransport, MemTransport) {
+    let (a_tx, a_rx) = std::sync::mpsc::sync_channel(depth.max(1));
+    let (b_tx, b_rx) = std::sync::mpsc::sync_channel(depth.max(1));
+    (
+        MemTransport {
+            tx: Some(a_tx),
+            rx: b_rx,
+            max_frame,
+        },
+        MemTransport {
+            tx: Some(b_tx),
+            rx: a_rx,
+            max_frame,
+        },
+    )
+}
+
+/// [`mem_pair`] with the default frame cap and a small depth.
+pub fn mem_pair_default() -> (MemTransport, MemTransport) {
+    mem_pair(16, DEFAULT_MAX_FRAME)
+}
+
+fn decode_mem_frame(bytes: &[u8], max_frame: usize) -> Result<Option<NetMsg>, NetError> {
+    let mut cursor = bytes;
+    read_frame(&mut cursor, max_frame)
+}
+
+impl FrameTx for MemTransport {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        let frame = encode_frame(msg, self.max_frame)?;
+        match &self.tx {
+            Some(tx) => tx.send(frame).map_err(|_| NetError::Disconnected),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
+    fn close(&mut self) {
+        self.tx.take();
+    }
+}
+
+impl FrameRx for MemTransport {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        match self.rx.recv() {
+            Ok(frame) => decode_mem_frame(&frame, self.max_frame),
+            Err(_) => Ok(None), // peer dropped: clean close
+        }
+    }
+}
+
+impl Transport for MemTransport {
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let tx = MemFrameTx {
+            tx: self.tx,
+            max_frame: self.max_frame,
+        };
+        let rx = MemFrameRx {
+            rx: self.rx,
+            max_frame: self.max_frame,
+        };
+        (Box::new(tx), Box::new(rx))
+    }
+}
+
+struct MemFrameTx {
+    tx: Option<SyncSender<Vec<u8>>>,
+    max_frame: usize,
+}
+
+impl FrameTx for MemFrameTx {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        let frame = encode_frame(msg, self.max_frame)?;
+        match &self.tx {
+            Some(tx) => tx.send(frame).map_err(|_| NetError::Disconnected),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
+    fn close(&mut self) {
+        self.tx.take();
+    }
+}
+
+struct MemFrameRx {
+    rx: Receiver<Vec<u8>>,
+    max_frame: usize,
+}
+
+impl FrameRx for MemFrameRx {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        match self.rx.recv() {
+            Ok(frame) => decode_mem_frame(&frame, self.max_frame),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptonn_protocol::{ClientId, SessionId};
+
+    #[test]
+    fn mem_pair_roundtrips_frames() {
+        let (mut a, mut b) = mem_pair_default();
+        a.send(&NetMsg::Reject("nope".into())).unwrap();
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::Reject("nope".into())));
+        b.send(&NetMsg::Reject("back".into())).unwrap();
+        assert_eq!(a.recv().unwrap(), Some(NetMsg::Reject("back".into())));
+        a.close();
+        assert_eq!(b.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn mem_pair_enforces_frame_cap() {
+        let (mut a, _b) = mem_pair(4, 8);
+        let err = a.send(&NetMsg::Reject("way too long for 8 bytes".into()));
+        assert!(matches!(err, Err(NetError::FrameTooLarge { max: 8, .. })));
+    }
+
+    #[test]
+    fn peer_roles_serialize() {
+        let peer = Peer::Client(ClientId(3));
+        let json = serde_json::to_string(&peer).unwrap();
+        assert_eq!(serde_json::from_str::<Peer>(&json).unwrap(), peer);
+        let _ = SessionId(7); // referenced: Hello carries it
+    }
+}

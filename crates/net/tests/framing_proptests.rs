@@ -1,0 +1,144 @@
+//! Fuzz-style properties of the framed codec: frames must survive
+//! arbitrary byte-boundary splits (a TCP stream owes no alignment),
+//! and every malformed input class must come back as its typed error,
+//! never a panic or a hang.
+
+use proptest::prelude::*;
+
+use cryptonn_net::{encode_frame, read_frame, write_frame, NetMsg, DEFAULT_MAX_FRAME};
+use cryptonn_protocol::{ClientId, EpochBarrier, ModelDelta, TrainingStart, WireMessage};
+
+/// A reader that hands out the underlying bytes in chunks whose sizes
+/// follow `cuts` — simulating a TCP stream fragmenting frames at
+/// arbitrary boundaries.
+struct ChoppyReader {
+    data: Vec<u8>,
+    pos: usize,
+    cuts: Vec<usize>,
+    next_cut: usize,
+}
+
+impl std::io::Read for ChoppyReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.cuts[self.next_cut % self.cuts.len()].max(1);
+        self.next_cut += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn msg_strategy() -> impl Strategy<Value = NetMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|seed| {
+            NetMsg::Msg(WireMessage::Delta(ModelDelta {
+                step: seed % 100_000,
+                client: ClientId((seed >> 17) as u32 % 16),
+                loss: ((seed % 2_000_001) as f64 / 1000.0) - 1000.0,
+            }))
+        }),
+        (0u64..10_000).prop_map(|b| {
+            NetMsg::Msg(WireMessage::Start(TrainingStart {
+                batches_per_epoch: b,
+            }))
+        }),
+        (0u32..100).prop_map(|e| NetMsg::Msg(WireMessage::Epoch(EpochBarrier { epoch: e }))),
+        proptest::collection::vec(0u8..128, 0..64)
+            .prop_map(|bytes| { NetMsg::Reject(String::from_utf8_lossy(&bytes).into_owned()) }),
+    ]
+}
+
+proptest! {
+    /// Any frame sequence, split at any byte boundaries, decodes back
+    /// to the original messages followed by a clean EOF.
+    #[test]
+    fn frames_survive_arbitrary_splits(
+        msgs in proptest::collection::vec(msg_strategy(), 1..6),
+        cuts in proptest::collection::vec(1usize..13, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut wire, msg, DEFAULT_MAX_FRAME).unwrap();
+        }
+        let mut reader = ChoppyReader { data: wire, pos: 0, cuts, next_cut: 0 };
+        let mut decoded = Vec::new();
+        while let Some(msg) = read_frame::<_, NetMsg>(&mut reader, DEFAULT_MAX_FRAME).unwrap() {
+            decoded.push(msg);
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Truncating a frame stream at any interior byte yields a typed
+    /// truncation error (or a clean EOF exactly at a frame boundary) —
+    /// never a panic and never a bogus message.
+    #[test]
+    fn truncation_never_panics(
+        msgs in proptest::collection::vec(msg_strategy(), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for msg in &msgs {
+            write_frame(&mut wire, msg, DEFAULT_MAX_FRAME).unwrap();
+            boundaries.push(wire.len());
+        }
+        let cut = ((wire.len() as f64) * frac) as usize;
+        wire.truncate(cut);
+        let mut reader = &wire[..];
+        loop {
+            match read_frame::<_, NetMsg>(&mut reader, DEFAULT_MAX_FRAME) {
+                Ok(Some(_)) => {} // a fully-contained prefix frame
+                Ok(None) => {
+                    // Clean EOF is only legal exactly on a boundary.
+                    prop_assert!(boundaries.contains(&cut));
+                    break;
+                }
+                Err(cryptonn_net::NetError::Truncated { missing }) => {
+                    prop_assert!(missing > 0);
+                    prop_assert!(!boundaries.contains(&cut));
+                    break;
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+    }
+
+    /// The frame cap is enforced against hostile headers before any
+    /// payload allocation.
+    #[test]
+    fn hostile_lengths_are_capped(len in 1024u32..u32::MAX) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_be_bytes());
+        wire.extend_from_slice(&[0u8; 32]);
+        let got = read_frame::<_, NetMsg>(&mut &wire[..], 1023);
+        prop_assert!(matches!(
+            got,
+            Err(cryptonn_net::NetError::FrameTooLarge { max: 1023, .. })
+        ));
+    }
+
+    /// Flipping any byte of a frame payload never panics the decoder:
+    /// it either still parses (rare) or fails typed.
+    #[test]
+    fn corrupted_payloads_fail_typed(
+        msg in msg_strategy(),
+        flip_at in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = encode_frame(&msg, DEFAULT_MAX_FRAME).unwrap();
+        let payload_len = wire.len() - 4;
+        if payload_len == 0 {
+            return Ok(());
+        }
+        let idx = 4 + flip_at % payload_len;
+        wire[idx] ^= xor;
+        match read_frame::<_, NetMsg>(&mut &wire[..], DEFAULT_MAX_FRAME) {
+            Ok(Some(_)) | Err(cryptonn_net::NetError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -48,61 +48,128 @@ where
     results.into_iter().flatten().collect()
 }
 
-/// Runs `produce(0..n)` on a dedicated producer thread while
-/// `consume(i, item)` runs on the calling thread, overlapping the two —
-/// the session layer's encrypt/train pipeline, where clients encrypt
-/// batch `t+1` while the server trains on batch `t`.
+/// A bounded pool of worker threads for long-running jobs — the
+/// session server's thread-per-connection model without unbounded
+/// thread growth.
 ///
-/// The producer runs strictly in index order on one thread, so any
-/// state it mutates (client RNGs) evolves exactly as in the serial
-/// schedule: outputs are bit-identical with pipelining on or off. The
-/// channel holds at most one finished item, bounding the pipeline at
-/// double-buffering depth.
-///
-/// `pipelined = false` degrades to the serial produce-then-consume loop
-/// with zero threading overhead (the baseline arm of the pipelining
-/// ablation).
-///
-/// # Panics
-///
-/// Propagates panics from `produce` (after the consumer drains the
-/// items produced before the panic) and from `consume`.
-pub fn double_buffered<T, P, C>(n: usize, pipelined: bool, mut produce: P, mut consume: C)
-where
-    T: Send,
-    P: FnMut(usize) -> T + Send,
-    C: FnMut(usize, T),
-{
-    if !pipelined || n <= 1 {
-        for i in 0..n {
-            let item = produce(i);
-            consume(i, item);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
-        let producer = scope.spawn(move || {
-            for i in 0..n {
-                // The consumer hanging up (on its own panic) is not an
-                // error worth a second panic here.
-                if tx.send(produce(i)).is_err() {
-                    break;
-                }
-            }
+/// Capacity is tracked as *slots*: a submission reserves a slot before
+/// the job is queued, and a worker frees it only when the job
+/// finishes, so at most `capacity` jobs exist in the pool at any
+/// moment — queued or running. [`execute`](Self::execute) *blocks*
+/// while every slot is taken (saturation backpressures the submitter;
+/// an accept loop stops accepting), while
+/// [`try_execute`](Self::try_execute) refuses instead of waiting.
+#[derive(Debug)]
+struct PoolSlots {
+    idle: std::sync::Mutex<usize>,
+    freed: std::sync::Condvar,
+}
+
+/// See [`PoolSlots`]-based capacity semantics in the struct docs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    tx: Option<std::sync::mpsc::Sender<Box<dyn FnOnce() + Send>>>,
+    slots: std::sync::Arc<PoolSlots>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<Box<dyn FnOnce() + Send>>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let slots = std::sync::Arc::new(PoolSlots {
+            idle: std::sync::Mutex::new(threads),
+            freed: std::sync::Condvar::new(),
         });
-        for i in 0..n {
-            match rx.recv() {
-                Ok(item) => consume(i, item),
-                Err(_) => break, // producer panicked; join propagates it
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                let slots = std::sync::Arc::clone(&slots);
+                std::thread::spawn(move || loop {
+                    // The receiver mutex is held only for the blocking
+                    // recv; the job itself runs unlocked.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return, // a job panicked mid-recv elsewhere
+                    };
+                    match job {
+                        Ok(job) => {
+                            // A panicking job must neither kill the
+                            // worker nor leak its capacity slot —
+                            // otherwise `capacity` hostile jobs would
+                            // wedge the pool shut permanently. The
+                            // panic is contained to the job.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if let Ok(mut idle) = slots.idle.lock() {
+                                *idle += 1;
+                            }
+                            slots.freed.notify_one();
+                        }
+                        Err(_) => return, // pool dropped, queue drained
+                    }
+                })
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            slots,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn capacity(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, job: Box<dyn FnOnce() + Send>) {
+        self.tx
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(job)
+            .expect("workers outlive the pool handle");
+    }
+
+    /// Runs `job` on a worker, blocking until a slot frees.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut idle = self.slots.idle.lock().expect("pool lock poisoned");
+            while *idle == 0 {
+                idle = self.slots.freed.wait(idle).expect("pool lock poisoned");
             }
+            *idle -= 1;
         }
-        if let Err(payload) = producer.join() {
-            // Re-raise with the original payload so the caller sees the
-            // producer's own panic message, not a generic join error.
-            std::panic::resume_unwind(payload);
+        self.submit(Box::new(job));
+    }
+
+    /// Runs `job` if a slot is free, or returns `false` without running
+    /// it when the pool is saturated — the reject-when-saturated arm
+    /// for callers that must not block.
+    #[must_use]
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        {
+            let mut idle = self.slots.idle.lock().expect("pool lock poisoned");
+            if *idle == 0 {
+                return false;
+            }
+            *idle -= 1;
         }
-    });
+        self.submit(Box::new(job));
+        true
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers exit once the queue drains, then
+        // wait for the busy ones to finish their current job.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// A thread-count policy for the secure computations.
@@ -176,54 +243,44 @@ mod tests {
     }
 
     #[test]
-    fn double_buffered_matches_serial() {
-        for pipelined in [false, true] {
-            let mut state = 7u64; // producer-side mutable state
-            let mut seen = Vec::new();
-            double_buffered(
-                9,
-                pipelined,
-                |i| {
-                    state = state.wrapping_mul(31).wrapping_add(i as u64);
-                    state
-                },
-                |i, v| seen.push((i, v)),
-            );
-            // Same producer-state evolution regardless of pipelining.
-            let mut expect_state = 7u64;
-            let expect: Vec<(usize, u64)> = (0..9)
-                .map(|i| {
-                    expect_state = expect_state.wrapping_mul(31).wrapping_add(i as u64);
-                    (i, expect_state)
-                })
-                .collect();
-            assert_eq!(seen, expect, "pipelined={pipelined}");
+    fn pool_runs_jobs_and_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.capacity(), 2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            pool.execute(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
         }
+        drop(pool); // joins workers
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
     }
 
     #[test]
-    fn double_buffered_overlaps_producer_and_consumer() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        // With a depth-1 channel the producer can run at most 2 items
-        // ahead; verify it does run ahead at least once.
-        let max_lead = AtomicUsize::new(0);
-        let produced = AtomicUsize::new(0);
-        let consumed = AtomicUsize::new(0);
-        double_buffered(
-            8,
-            true,
-            |i| {
-                produced.fetch_add(1, Ordering::SeqCst);
-                let lead = produced.load(Ordering::SeqCst) - consumed.load(Ordering::SeqCst);
-                max_lead.fetch_max(lead, Ordering::SeqCst);
-                i
-            },
-            |_, _| {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-                consumed.fetch_add(1, Ordering::SeqCst);
-            },
-        );
-        assert!(max_lead.load(Ordering::SeqCst) >= 2);
+    fn saturated_pool_refuses_try_execute() {
+        use std::sync::mpsc;
+        let pool = ThreadPool::new(1);
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.execute(move || {
+            started_tx.send(()).unwrap();
+            hold_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap(); // the only worker is now busy
+        assert!(!pool.try_execute(|| {}));
+        hold_tx.send(()).unwrap(); // release the worker
+                                   // Eventually accepts again (the worker must cycle back to recv).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if pool.try_execute(|| {}) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "pool never freed");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

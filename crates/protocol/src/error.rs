@@ -1,9 +1,131 @@
-//! Error type of the session layer.
+//! Error types of the session layer.
 
 use core::fmt;
 
 use cryptonn_core::CryptoNnError;
 use cryptonn_fe::FeError;
+
+/// A forged, tampered, or stale transcript, rejected by
+/// [`replay_server`](crate::replay_server) — every way an adversarial
+/// recording can fail verification, as a typed variant so rejection is
+/// testable without string matching.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// Two key requests were recorded without a response in between.
+    RequestWithoutResponse {
+        /// Transcript sequence number of the second request.
+        seq: u64,
+    },
+    /// A key response was recorded with no request before it.
+    ResponseWithoutRequest {
+        /// Transcript sequence number of the response.
+        seq: u64,
+    },
+    /// The transcript ends with an unanswered key request.
+    DanglingRequest,
+    /// The replayed server issued a key request the recording never
+    /// answered — the code under replay asks for more than it used to.
+    ExtraKeyRequest {
+        /// Description of the unmatched replayed request.
+        replayed: String,
+    },
+    /// The replayed server's key request differs from the recorded one
+    /// at the same position in the exchange stream.
+    RequestMismatch {
+        /// Description of the recorded request.
+        recorded: String,
+        /// Description of the replayed request.
+        replayed: String,
+    },
+    /// A replayed training step has no recorded [`ModelDelta`] — the
+    /// per-step metric stream was stripped or truncated.
+    ///
+    /// [`ModelDelta`]: crate::ModelDelta
+    MissingDelta {
+        /// The replayed step lacking its recorded metric.
+        step: u64,
+    },
+    /// The recorded metric for a step disagrees with the re-executed
+    /// one.
+    DeltaMismatch {
+        /// The diverging step.
+        step: u64,
+        /// The loss the transcript recorded.
+        recorded: f64,
+        /// The loss the re-executed server produced.
+        replayed: f64,
+    },
+    /// A recorded [`ModelDelta`] attests a training step the replayed
+    /// server never performed.
+    ///
+    /// [`ModelDelta`]: crate::ModelDelta
+    ForgedDelta {
+        /// The step the forged metric claims.
+        step: u64,
+    },
+    /// Recorded key exchanges the replayed server never requested.
+    UnconsumedKeyExchanges {
+        /// How many recorded exchanges were left over.
+        count: usize,
+    },
+    /// Recorded batches whose schedule slot never came up — their step
+    /// tags leave a hole in the schedule, so the server held them in
+    /// its reorder buffer until the transcript ran out.
+    StalledBatches {
+        /// How many batches never reached their slot.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::RequestWithoutResponse { seq } => {
+                write!(f, "two key requests without a response (seq {seq})")
+            }
+            ReplayError::ResponseWithoutRequest { seq } => {
+                write!(f, "key response without a request (seq {seq})")
+            }
+            ReplayError::DanglingRequest => {
+                write!(f, "transcript ends with an unanswered key request")
+            }
+            ReplayError::ExtraKeyRequest { replayed } => write!(
+                f,
+                "server issued a key request beyond the recording: {replayed}"
+            ),
+            ReplayError::RequestMismatch { recorded, replayed } => write!(
+                f,
+                "request diverged from the recording: recorded {recorded}, replayed {replayed}"
+            ),
+            ReplayError::MissingDelta { step } => {
+                write!(f, "step {step}: batch has no recorded ModelDelta")
+            }
+            ReplayError::DeltaMismatch {
+                step,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "step {step}: recorded loss {recorded}, replayed {replayed}"
+            ),
+            ReplayError::ForgedDelta { step } => write!(
+                f,
+                "recorded delta for step {step} has no corresponding batch"
+            ),
+            ReplayError::UnconsumedKeyExchanges { count } => write!(
+                f,
+                "{count} recorded key exchanges were never requested by the replayed server"
+            ),
+            ReplayError::StalledBatches { count } => write!(
+                f,
+                "{count} recorded batches never reached their schedule slot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Errors from running or replaying a training session.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,16 +134,34 @@ pub enum ProtocolError {
     /// A message arrived before its prerequisite (e.g. an encrypted
     /// batch before the public parameters).
     MissingMessage(&'static str),
-    /// A batch arrived out of schedule order.
+    /// A batch arrived for a schedule slot already consumed (a replayed
+    /// or duplicated step).
     OutOfOrder {
         /// The step the server expected next.
         expected: u64,
         /// The step the message carried.
         got: u64,
     },
-    /// A replayed request diverged from the recorded one — the code
-    /// under replay no longer produces the transcript's traffic.
-    ReplayDivergence(String),
+    /// A message kind this role's state machine never consumes.
+    Unexpected {
+        /// The receiving role.
+        role: &'static str,
+        /// The offending [`WireMessage::kind`](crate::WireMessage::kind).
+        kind: &'static str,
+    },
+    /// A batch arrived so far ahead of schedule that buffering it would
+    /// exceed the server's reorder window — a client ignoring the
+    /// credit-based flow control.
+    TooFarAhead {
+        /// The step the message carried.
+        step: u64,
+        /// The step the server expected next.
+        expected: u64,
+        /// The reorder-buffer capacity that would be exceeded.
+        cap: usize,
+    },
+    /// The replayed transcript failed verification.
+    Replay(ReplayError),
     /// The underlying encrypted-training step failed.
     Training(CryptoNnError),
     /// Transcript (de)serialization failed.
@@ -29,6 +169,9 @@ pub enum ProtocolError {
     /// Transcript file I/O failed (distinct from a malformed
     /// transcript).
     Io(String),
+    /// The transport under a session failed (connection lost, framing
+    /// error, peer rejected the exchange).
+    Transport(String),
     /// A session-configuration inconsistency (zero clients, shard/step
     /// disagreement…).
     InvalidConfig(String),
@@ -43,10 +186,26 @@ impl fmt::Display for ProtocolError {
             ProtocolError::OutOfOrder { expected, got } => {
                 write!(f, "batch out of order: expected step {expected}, got {got}")
             }
-            ProtocolError::ReplayDivergence(what) => write!(f, "replay divergence: {what}"),
+            ProtocolError::Unexpected { role, kind } => {
+                write!(
+                    f,
+                    "the {role} state machine cannot consume a {kind} message"
+                )
+            }
+            ProtocolError::TooFarAhead {
+                step,
+                expected,
+                cap,
+            } => write!(
+                f,
+                "step {step} outruns the schedule (expected {expected}) beyond the \
+                 reorder window of {cap}"
+            ),
+            ProtocolError::Replay(e) => write!(f, "replay divergence: {e}"),
             ProtocolError::Training(e) => write!(f, "encrypted training failed: {e}"),
             ProtocolError::Serde(e) => write!(f, "transcript (de)serialization failed: {e}"),
             ProtocolError::Io(e) => write!(f, "transcript file I/O failed: {e}"),
+            ProtocolError::Transport(e) => write!(f, "session transport failed: {e}"),
             ProtocolError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
         }
     }
@@ -56,6 +215,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Training(e) => Some(e),
+            ProtocolError::Replay(e) => Some(e),
             _ => None,
         }
     }
@@ -70,5 +230,11 @@ impl From<CryptoNnError> for ProtocolError {
 impl From<FeError> for ProtocolError {
     fn from(e: FeError) -> Self {
         ProtocolError::Training(CryptoNnError::Fe(e))
+    }
+}
+
+impl From<ReplayError> for ProtocolError {
+    fn from(e: ReplayError) -> Self {
+        ProtocolError::Replay(e)
     }
 }

@@ -6,16 +6,23 @@
 //! every cross-role interaction is a serializable [`WireMessage`].
 //!
 //! - [`messages`] — the wire alphabet: registration, public-parameter
-//!   distribution, encrypted batches, batched key request/response
-//!   traffic, per-step metrics, epoch barriers, the final summary.
+//!   distribution, the schedule-start barrier, encrypted batches,
+//!   batched key request/response traffic, per-step metrics, epoch
+//!   barriers, the final summary.
 //! - [`session`] — the role state machines: [`ClientSession`],
-//!   [`ServerSession`], [`AuthoritySession`], glued by the
-//!   [`AuthorityChannel`] request/response hook.
+//!   [`ServerSession`], [`AuthoritySession`]. Each exposes the same
+//!   event-driven surface (`handle_message(&mut self, msg) ->
+//!   Result<Vec<Outbound>>`), so every driver — the in-process runner,
+//!   the transcript replayer, and the `cryptonn-net` daemons — pumps
+//!   identical protocol logic; the server reaches the authority only
+//!   through the [`AuthorityChannel`] request/response hook.
 //! - [`runner`] — [`TrainingSessionRunner`]: the deterministic
-//!   scheduler that shards a dataset across `K` clients, pipelines
-//!   encryption against training, and records a [`Transcript`].
+//!   in-process driver that shards a dataset across `K` clients, pumps
+//!   the message stream (optionally overlapping client encryption with
+//!   server training), and records a [`Transcript`].
 //! - [`replay`] — [`replay_server`]: re-executes the server from a
-//!   transcript alone and verifies it reproduces the recording.
+//!   transcript alone and verifies it reproduces the recording, with
+//!   typed [`ReplayError`] rejection of forged transcripts.
 //!
 //! Single-client training is the `K = 1` special case of the same
 //! machinery; DESIGN.md §9 documents the message flow per Algorithm 2
@@ -53,16 +60,18 @@ pub mod runner;
 pub mod session;
 mod transcript;
 
-pub use error::ProtocolError;
+pub use error::{ProtocolError, ReplayError};
 pub use messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
     FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PublicParams,
-    RegisterClient, SessionConfig, SessionSummary, WireMessage,
+    RegisterClient, SessionConfig, SessionId, SessionSummary, TrainingStart, WireMessage,
 };
 pub use replay::{replay_server, ReplayChannel, ReplayOutcome};
-pub use runner::{mlp_session_config, RunnerOptions, SessionOutcome, TrainingSessionRunner};
+pub use runner::{
+    mlp_session_config, round_robin_shards, RunnerOptions, SessionOutcome, TrainingSessionRunner,
+};
 pub use session::{
-    rows_to_images, AuthorityChannel, AuthoritySession, ChannelKeyService, ClientSession,
-    ServerModel, ServerSession,
+    rows_to_images, AuthorityChannel, AuthoritySession, ChannelKeyService, ClientSession, Outbound,
+    ServerModel, ServerSession, DEFAULT_CLIENT_WINDOW,
 };
 pub use transcript::{Envelope, Party, Transcript};

@@ -31,6 +31,18 @@ impl core::fmt::Display for ClientId {
     }
 }
 
+/// A training-session identifier, scoping every message of one run when
+/// many sessions share a transport (the multi-session server registry
+/// and the networked key authority are keyed by this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl core::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
 /// The MLP topology a session trains (§III-D family).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MlpSpec {
@@ -61,6 +73,22 @@ pub enum ModelSpec {
     Mlp(MlpSpec),
     /// A CryptoCNN instantiation.
     Cnn(CnnArch),
+}
+
+impl ModelSpec {
+    /// The `(x_dim, classes)` geometry of the encrypted first layer —
+    /// what fixes the session's two FEIP instances. For an MLP that is
+    /// the feature dimension; for a CNN it is the first convolution's
+    /// flattened kernel window (Algorithm 3 encrypts per-window).
+    pub fn first_layer_dims(&self) -> (usize, usize) {
+        match self {
+            ModelSpec::Mlp(spec) => (spec.feature_dim, spec.classes),
+            // LeNet-5: 5×5 kernels over 1 input channel, 10 classes.
+            ModelSpec::Cnn(CnnArch::Lenet5) => (5 * 5, 10),
+            // The scaled-down variant: 3×3 kernels over 1 channel.
+            ModelSpec::Cnn(CnnArch::LenetSmall(classes)) => (3 * 3, *classes),
+        }
+    }
 }
 
 /// Everything the three roles must agree on before the first batch:
@@ -120,6 +148,17 @@ pub struct PublicParams {
     /// The agreed quantization (repeated here so a client can be built
     /// from this one message).
     pub fp: FixedPoint,
+}
+
+/// Server → everyone: the session's global schedule is fixed — all
+/// `clients` registrations arrived, so every client can derive which
+/// global steps its shard occupies (in-epoch batch `i` belongs to
+/// client `i mod K` and epochs repeat every `batches_per_epoch` steps)
+/// and begin streaming encrypted batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainingStart {
+    /// Total batches per epoch, summed over every client's shard.
+    pub batches_per_epoch: u64,
 }
 
 /// Client → server: one encrypted MLP mini-batch, tagged with the
@@ -242,6 +281,8 @@ pub enum WireMessage {
     Register(RegisterClient),
     /// Public-key distribution.
     PublicParams(PublicParams),
+    /// Schedule fixed: all clients registered, streaming may begin.
+    Start(TrainingStart),
     /// An encrypted MLP batch.
     Batch(EncryptedBatchMsg),
     /// An encrypted CNN batch.
@@ -265,6 +306,7 @@ impl WireMessage {
             WireMessage::Config(_) => "config",
             WireMessage::Register(_) => "register",
             WireMessage::PublicParams(_) => "public-params",
+            WireMessage::Start(_) => "start",
             WireMessage::Batch(_) => "batch",
             WireMessage::ImageBatch(_) => "image-batch",
             WireMessage::KeyRequest(_) => "key-request",

@@ -1,22 +1,26 @@
 //! Re-executing the server side of a session from its transcript.
 //!
 //! A [`Transcript`] contains everything the server consumed — config,
-//! public parameters, encrypted batches, and every authority response —
-//! so the server's computation can be re-run *without* the dataset,
-//! the clients, or the authority's master keys. The replay verifies,
-//! message by message, that the re-executed server emits the recorded
-//! traffic: each key request must match the recorded one before its
-//! recorded response is released, each step's loss must equal the
-//! recorded [`ModelDelta`], and the final weights must equal the
-//! recorded [`SessionSummary`] bit-for-bit.
+//! public parameters, registrations, encrypted batches, and every
+//! authority response — so the server's computation can be re-run
+//! *without* the dataset, the clients, or the authority's master keys.
+//! The replay drives the same [`ServerSession`] state machine as the
+//! live runner and the networked daemon, and verifies, message by
+//! message, that the re-executed server emits the recorded traffic:
+//! each key request must match the recorded one before its recorded
+//! response is released, each step's loss must equal the recorded
+//! [`ModelDelta`], and the final weights must equal the recorded
+//! [`SessionSummary`] bit-for-bit. Every way a forged transcript can
+//! fail is a typed [`ReplayError`] variant.
 //!
 //! [`ModelDelta`]: crate::ModelDelta
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use crate::error::ProtocolError;
+use parking_lot::Mutex;
+
+use crate::error::{ProtocolError, ReplayError};
 use crate::messages::{KeyRequest, KeyResponse, SessionSummary, WireMessage};
 use crate::session::{AuthorityChannel, ServerSession};
 use crate::transcript::Transcript;
@@ -31,7 +35,7 @@ use crate::transcript::Transcript;
 /// with missing traffic).
 #[derive(Clone)]
 pub struct ReplayChannel {
-    exchanges: Rc<RefCell<VecDeque<(KeyRequest, KeyResponse)>>>,
+    exchanges: Arc<Mutex<VecDeque<(KeyRequest, KeyResponse)>>>,
 }
 
 impl ReplayChannel {
@@ -39,8 +43,8 @@ impl ReplayChannel {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::ReplayDivergence`] if requests and responses do
-    /// not alternate cleanly.
+    /// [`ReplayError`] variants if requests and responses do not
+    /// alternate cleanly.
     pub fn from_transcript(transcript: &Transcript) -> Result<Self, ProtocolError> {
         let mut exchanges = VecDeque::new();
         let mut pending: Option<KeyRequest> = None;
@@ -48,54 +52,48 @@ impl ReplayChannel {
             match &e.msg {
                 WireMessage::KeyRequest(req) => {
                     if pending.is_some() {
-                        return Err(ProtocolError::ReplayDivergence(format!(
-                            "two key requests without a response (seq {})",
-                            e.seq
-                        )));
+                        return Err(ReplayError::RequestWithoutResponse { seq: e.seq }.into());
                     }
                     pending = Some(req.clone());
                 }
                 WireMessage::KeyResponse(resp) => {
-                    let req = pending.take().ok_or_else(|| {
-                        ProtocolError::ReplayDivergence(format!(
-                            "key response without a request (seq {})",
-                            e.seq
-                        ))
-                    })?;
+                    let req = pending
+                        .take()
+                        .ok_or(ReplayError::ResponseWithoutRequest { seq: e.seq })?;
                     exchanges.push_back((req, resp.clone()));
                 }
                 _ => {}
             }
         }
         if pending.is_some() {
-            return Err(ProtocolError::ReplayDivergence(
-                "transcript ends with an unanswered key request".into(),
-            ));
+            return Err(ReplayError::DanglingRequest.into());
         }
         Ok(Self {
-            exchanges: Rc::new(RefCell::new(exchanges)),
+            exchanges: Arc::new(Mutex::new(exchanges)),
         })
     }
 
     /// Recorded exchanges not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.exchanges.borrow().len()
+        self.exchanges.lock().len()
     }
 }
 
 impl AuthorityChannel for ReplayChannel {
     fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
-        let (recorded_req, resp) = self.exchanges.borrow_mut().pop_front().ok_or_else(|| {
-            ProtocolError::ReplayDivergence(
-                "server issued more key requests than the transcript recorded".into(),
-            )
-        })?;
+        let (recorded_req, resp) =
+            self.exchanges
+                .lock()
+                .pop_front()
+                .ok_or(ReplayError::ExtraKeyRequest {
+                    replayed: describe(&req),
+                })?;
         if recorded_req != req {
-            return Err(ProtocolError::ReplayDivergence(format!(
-                "request diverged from the recording: recorded {}, replayed {}",
-                describe(&recorded_req),
-                describe(&req)
-            )));
+            return Err(ReplayError::RequestMismatch {
+                recorded: describe(&recorded_req),
+                replayed: describe(&req),
+            }
+            .into());
         }
         Ok(resp)
     }
@@ -110,6 +108,7 @@ fn describe(req: &KeyRequest) -> String {
 }
 
 /// The result of a successful replay.
+#[derive(Debug)]
 pub struct ReplayOutcome {
     /// The summary the re-executed server produced.
     pub replayed: SessionSummary,
@@ -133,12 +132,18 @@ impl ReplayOutcome {
 /// Re-executes the server side of `transcript` and cross-checks every
 /// recorded observable along the way.
 ///
+/// Registrations and batches are fed to the same [`ServerSession`]
+/// state machine the live paths drive, in recorded order — batches
+/// recorded ahead of schedule (a concurrent recording) are reordered by
+/// the server exactly as they were live.
+///
 /// # Errors
 ///
 /// - [`ProtocolError::MissingMessage`] if the transcript lacks the
 ///   config or public parameters;
-/// - [`ProtocolError::ReplayDivergence`] if the re-executed server's
-///   key traffic or per-step losses differ from the recording;
+/// - [`ProtocolError::Replay`] with the precise [`ReplayError`] variant
+///   if the re-executed server's key traffic, per-step losses, or
+///   schedule coverage differ from the recording;
 /// - training failures from the re-executed steps.
 pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolError> {
     let config = transcript
@@ -167,47 +172,60 @@ pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolE
         cryptonn_parallel::Parallelism::Serial,
     );
 
-    // Feed the batches in recorded order, checking each recorded delta.
+    // Feed registrations and batches in recorded order, checking every
+    // delta the re-executed server emits against the recorded stream.
     let mut recorded_deltas = transcript.entries.iter().filter_map(|e| match &e.msg {
         WireMessage::Delta(d) => Some(d),
         _ => None,
     });
     for e in &transcript.entries {
-        let delta = match &e.msg {
-            WireMessage::Batch(msg) => server.handle_batch(msg)?,
-            WireMessage::ImageBatch(msg) => server.handle_image_batch(msg)?,
+        let outs = match &e.msg {
+            WireMessage::Register(_) | WireMessage::Batch(_) | WireMessage::ImageBatch(_) => {
+                server.handle_message(&e.msg)?
+            }
             _ => continue,
         };
-        // Every batch must have its recorded delta: a transcript with
-        // the Delta stream stripped or truncated is a tampered
-        // recording, not a weaker recording.
-        let recorded = recorded_deltas.next().ok_or_else(|| {
-            ProtocolError::ReplayDivergence(format!(
-                "step {}: batch has no recorded ModelDelta",
-                delta.step
-            ))
-        })?;
-        if recorded != &delta {
-            return Err(ProtocolError::ReplayDivergence(format!(
-                "step {}: recorded loss {}, replayed {}",
-                delta.step, recorded.loss, delta.loss
-            )));
+        for ob in outs {
+            let delta = match ob.msg {
+                WireMessage::Delta(d) => d,
+                // Start / Epoch / Summary broadcasts carry no training
+                // observable beyond what the summary check covers.
+                _ => continue,
+            };
+            // Every replayed step must have its recorded delta: a
+            // transcript with the Delta stream stripped or truncated is
+            // a tampered recording, not a weaker recording.
+            let recorded = recorded_deltas
+                .next()
+                .ok_or(ReplayError::MissingDelta { step: delta.step })?;
+            if recorded != &delta {
+                return Err(ReplayError::DeltaMismatch {
+                    step: delta.step,
+                    recorded: recorded.loss,
+                    replayed: delta.loss,
+                }
+                .into());
+            }
         }
     }
 
     // Full consumption: recorded observables the replay never produced
-    // (trailing deltas, extra key exchanges) are forgeries, not slack.
+    // (trailing deltas, extra key exchanges, stalled batches) are
+    // forgeries, not slack.
     if let Some(extra) = recorded_deltas.next() {
-        return Err(ProtocolError::ReplayDivergence(format!(
-            "recorded delta for step {} has no corresponding batch",
-            extra.step
-        )));
+        return Err(ReplayError::ForgedDelta { step: extra.step }.into());
     }
     if channel_handle.remaining() != 0 {
-        return Err(ProtocolError::ReplayDivergence(format!(
-            "{} recorded key exchanges were never requested by the replayed server",
-            channel_handle.remaining()
-        )));
+        return Err(ReplayError::UnconsumedKeyExchanges {
+            count: channel_handle.remaining(),
+        }
+        .into());
+    }
+    if server.pending_batches() != 0 {
+        return Err(ReplayError::StalledBatches {
+            count: server.pending_batches(),
+        }
+        .into());
     }
 
     let recorded = transcript.entries.iter().rev().find_map(|e| match &e.msg {

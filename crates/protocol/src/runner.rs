@@ -1,11 +1,16 @@
-//! The deterministic in-process scheduler driving a multi-client
-//! training session.
+//! The deterministic in-process driver for a multi-client training
+//! session.
 //!
-//! [`TrainingSessionRunner`] shards a dataset across `K` clients,
-//! schedules their encrypted batches in a fixed global order, pipelines
-//! client-side encryption against server-side training (clients encrypt
-//! batch `t+1` while the server trains on batch `t`), and records every
-//! exchanged message into a replayable [`Transcript`].
+//! [`TrainingSessionRunner`] shards a dataset across `K` clients and
+//! then *pumps messages*: every protocol decision — who registers,
+//! which global step a batch occupies, when an epoch barrier or the
+//! final summary fires — lives in the role state machines
+//! ([`ClientSession`], [`ServerSession`], [`AuthoritySession`]), the
+//! same ones the transcript replayer and the networked daemons drive.
+//! The runner only routes [`Outbound`]s, records them into a
+//! replayable [`Transcript`], and (optionally) runs the client side on
+//! a producer thread so encryption of batch `t+1` overlaps training of
+//! batch `t`.
 //!
 //! ## Determinism
 //!
@@ -14,30 +19,37 @@
 //! and every thread-count knob:
 //!
 //! - batches are assigned round-robin by in-epoch index (`batch i`
-//!   belongs to client `i mod K`) and consumed in global order, so the
-//!   server sees the same plaintext-content sequence for every `K`;
+//!   belongs to client `i mod K`); each client emits its shard in local
+//!   order, tagging each batch with its global step, and the server
+//!   trains in strict global step order (reordering bounded
+//!   ahead-of-schedule bursts), so the trained weights never depend on
+//!   arrival interleavings;
 //! - FEIP/FEBO decryption is exact on the quantized integers, so the
 //!   decrypted training signal carries no trace of which client's
 //!   randomness produced a ciphertext;
-//! - the encryption pipeline runs the producer sequentially on one
-//!   thread ([`double_buffered`]), so client RNGs evolve exactly as in
-//!   the serial schedule.
+//! - with pipelining on, the whole client side runs sequentially on one
+//!   producer thread, driven by the same broadcast stream in the same
+//!   order as the serial pump, so client RNGs — and even the recorded
+//!   transcript — are bit-identical either way.
 //!
 //! This is the client-count-invariance property the equivalence tests
 //! pin down: `K ∈ {1, 2, 4}` produce bit-identical final weights.
 
 use cryptonn_data::Dataset;
-use cryptonn_parallel::{double_buffered, Parallelism};
+use cryptonn_matrix::Matrix;
+use cryptonn_parallel::Parallelism;
+use parking_lot::Mutex;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use crate::error::ProtocolError;
 use crate::messages::{
-    ClientId, EpochBarrier, KeyRequest, KeyResponse, MlpSpec, ModelSpec, SessionConfig,
+    ClientId, KeyRequest, KeyResponse, MlpSpec, ModelSpec, PublicParams, SessionConfig,
     SessionSummary, WireMessage,
 };
-use crate::session::{AuthorityChannel, AuthoritySession, ClientSession, ServerSession};
+use crate::session::{AuthorityChannel, AuthoritySession, ClientSession, Outbound, ServerSession};
 use crate::transcript::{Party, Transcript};
 
 /// Scheduling knobs that are *not* part of the wire-level session
@@ -46,8 +58,8 @@ use crate::transcript::{Party, Transcript};
 /// [`SessionConfig`] instead.
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerOptions {
-    /// Overlap client encryption with server training (double-buffered;
-    /// bit-identical results either way).
+    /// Run the client side on a producer thread so encryption overlaps
+    /// server training (bit-identical results either way).
     pub pipelined: bool,
     /// Thread policy for client encryption and server decryption
     /// fan-outs.
@@ -81,8 +93,8 @@ pub struct SessionOutcome {
 /// The live channel: forwards requests to the in-process authority and
 /// records both directions of the exchange.
 struct RecordingChannel {
-    authority: Rc<AuthoritySession>,
-    transcript: Rc<RefCell<Transcript>>,
+    authority: Arc<AuthoritySession>,
+    transcript: Arc<Mutex<Transcript>>,
     record: bool,
 }
 
@@ -90,7 +102,7 @@ impl AuthorityChannel for RecordingChannel {
     fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
         let resp = self.authority.handle(&req);
         if self.record {
-            let mut t = self.transcript.borrow_mut();
+            let mut t = self.transcript.lock();
             t.push(
                 Party::Server,
                 Party::Authority,
@@ -106,12 +118,62 @@ impl AuthorityChannel for RecordingChannel {
     }
 }
 
-/// The deterministic scheduler: wires authority, clients and server
-/// together and drives the whole training session.
+/// Splits `dataset` into `batch_size`-row mini-batches and assigns them
+/// round-robin: in-epoch batch `i` belongs to client `i mod k`, at
+/// local index `i / k`. This is the data-owner assignment every driver
+/// shares — the runner shards in-process, the networked tests hand
+/// each client driver its shard.
+pub fn round_robin_shards(
+    dataset: &Dataset,
+    batch_size: usize,
+    k: usize,
+) -> Vec<Vec<(Matrix<f64>, Matrix<f64>)>> {
+    let mut shards: Vec<Vec<(Matrix<f64>, Matrix<f64>)>> = vec![Vec::new(); k];
+    for (i, batch) in dataset.batches(batch_size).into_iter().enumerate() {
+        shards[i % k].push(batch);
+    }
+    shards
+}
+
+/// The deterministic driver: wires authority, clients and server
+/// together and pumps the session's message stream to completion.
 #[derive(Debug, Clone)]
 pub struct TrainingSessionRunner {
     config: SessionConfig,
     options: RunnerOptions,
+}
+
+/// Everything the server-side pump loop shares between the serial and
+/// pipelined drivers.
+struct ServerPump {
+    server: ServerSession,
+    transcript: Arc<Mutex<Transcript>>,
+    record: bool,
+    summary: Option<SessionSummary>,
+}
+
+impl ServerPump {
+    /// Feeds one client message into the server state machine and
+    /// returns the broadcasts it emitted.
+    fn feed(&mut self, from: ClientId, msg: &WireMessage) -> Result<Vec<Outbound>, ProtocolError> {
+        if self.record {
+            self.transcript
+                .lock()
+                .push(Party::Client(from.0), Party::Server, msg.clone());
+        }
+        let outs = self.server.handle_message(msg)?;
+        for ob in &outs {
+            if self.record {
+                self.transcript
+                    .lock()
+                    .push(Party::Server, ob.to, ob.msg.clone());
+            }
+            if let WireMessage::Summary(s) = &ob.msg {
+                self.summary = Some(s.clone());
+            }
+        }
+        Ok(outs)
+    }
 }
 
 impl TrainingSessionRunner {
@@ -174,37 +236,26 @@ impl TrainingSessionRunner {
         if self.config.epochs == 0 {
             return Err(ProtocolError::InvalidConfig("zero epochs".into()));
         }
-        let batches = dataset.batches(self.config.batch_size as usize);
-        if batches.len() < k {
+        let shards = round_robin_shards(dataset, self.config.batch_size as usize, k);
+        if shards.iter().any(Vec::is_empty) {
             return Err(ProtocolError::InvalidConfig(format!(
                 "{} clients but only {} batches to shard",
                 k,
-                batches.len()
+                shards.iter().map(Vec::len).sum::<usize>()
             )));
         }
 
         let record = self.options.record;
-        let transcript = Rc::new(RefCell::new(Transcript::new()));
+        let transcript = Arc::new(Mutex::new(Transcript::new()));
         if record {
-            transcript.borrow_mut().push(
+            transcript.lock().push(
                 Party::Scheduler,
                 Party::Broadcast,
                 WireMessage::Config(self.config.clone()),
             );
         }
 
-        // --- shard: in-epoch batch i belongs to client i mod K -------
-        // `owners[t]` maps each in-epoch step to (client, local index).
-        let mut shards: Vec<Vec<(cryptonn_matrix::Matrix<f64>, cryptonn_matrix::Matrix<f64>)>> =
-            vec![Vec::new(); k];
-        let mut owners = Vec::with_capacity(batches.len());
-        for (i, batch) in batches.into_iter().enumerate() {
-            let owner = i % k;
-            owners.push((owner, shards[owner].len()));
-            shards[owner].push(batch);
-        }
-
-        let mut clients: Vec<ClientSession> = shards
+        let clients: Vec<ClientSession> = shards
             .into_iter()
             .enumerate()
             .map(|(i, shard)| {
@@ -217,131 +268,189 @@ impl TrainingSessionRunner {
             })
             .collect();
 
-        if record {
-            let mut t = transcript.borrow_mut();
-            for client in &clients {
-                t.push(
-                    Party::Client(client.id().0),
-                    Party::Server,
-                    WireMessage::Register(client.register()),
-                );
-            }
-        }
-
         // --- authority setup + key distribution ----------------------
-        let authority = Rc::new(AuthoritySession::new(&self.config));
-        let params = authority.public_params(spec.feature_dim, spec.classes, &self.config);
+        let authority = Arc::new(AuthoritySession::new(&self.config));
+        let params = authority.public_params_for(&self.config);
         if record {
-            transcript.borrow_mut().push(
+            transcript.lock().push(
                 Party::Authority,
                 Party::Broadcast,
                 WireMessage::PublicParams(params.clone()),
             );
         }
-        for client in &mut clients {
-            client.on_public_params(&params);
-        }
 
-        let mut server = ServerSession::new(
+        let server = ServerSession::new(
             &self.config,
             &params,
             Box::new(RecordingChannel {
-                authority: Rc::clone(&authority),
-                transcript: Rc::clone(&transcript),
+                authority: Arc::clone(&authority),
+                transcript: Arc::clone(&transcript),
                 record,
             }),
             self.options.parallelism,
         );
+        let mut pump = ServerPump {
+            server,
+            transcript: Arc::clone(&transcript),
+            record,
+            summary: None,
+        };
 
-        // --- the training schedule -----------------------------------
-        // Global step t covers in-epoch batch t % B of epoch t / B; the
-        // producer side encrypts (one thread, sequential), the consumer
-        // side trains. With pipelining on, encryption of step t+1
-        // overlaps training of step t.
-        let b = owners.len();
-        let total = b * self.config.epochs as usize;
-        let mut failure: Option<ProtocolError> = None;
-        // Once anything fails, the producer must stop paying for
-        // encryption (thousands of exponentiations per batch), not just
-        // have its output discarded: the consumer raises `abort` and the
-        // producer yields `None` from then on.
-        let abort = std::sync::atomic::AtomicBool::new(false);
-        double_buffered(
-            total,
-            self.options.pipelined,
-            |t| {
-                if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                    return None;
-                }
-                let (owner, local_idx) = owners[t % b];
-                Some(clients[owner].encrypt_step(local_idx, t as u64))
-            },
-            |t, produced| {
-                if failure.is_some() {
-                    return;
-                }
-                let msg = match produced {
-                    Some(Ok(msg)) => msg,
-                    Some(Err(e)) => {
-                        failure = Some(e);
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                        return;
-                    }
-                    // Producer already aborted; nothing to consume.
-                    None => return,
-                };
-                if record {
-                    transcript.borrow_mut().push(
-                        Party::Client(msg.client.0),
-                        Party::Server,
-                        WireMessage::Batch(msg.clone()),
-                    );
-                }
-                match server.handle_batch(&msg) {
-                    Ok(delta) => {
-                        if record {
-                            let mut tr = transcript.borrow_mut();
-                            tr.push(Party::Server, Party::Broadcast, WireMessage::Delta(delta));
-                            if (t + 1) % b == 0 {
-                                let epoch = (t / b) as u32;
-                                tr.push(
-                                    Party::Scheduler,
-                                    Party::Broadcast,
-                                    WireMessage::Epoch(EpochBarrier { epoch }),
-                                );
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        failure = Some(e);
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                    }
-                }
-            },
-        );
-        if let Some(e) = failure {
-            return Err(e);
+        if self.options.pipelined {
+            run_pipelined(&self.config, &params, clients, &mut pump)?;
+        } else {
+            run_serial(&self.config, &params, clients, &mut pump)?;
         }
 
-        let summary = server.summary();
-        if record {
-            transcript.borrow_mut().push(
-                Party::Server,
-                Party::Broadcast,
-                WireMessage::Summary(summary.clone()),
-            );
-        }
-        // The server's recording channel keeps its Rc alive, so move the
-        // record out rather than cloning it; the channel sees an empty
-        // transcript from here on, which only affects post-session
+        let summary = pump
+            .summary
+            .ok_or(ProtocolError::MissingMessage("SessionSummary"))?;
+        // The server's recording channel keeps its Arc alive, so move
+        // the record out rather than cloning it; the channel sees an
+        // empty transcript from here on, which only affects post-session
         // handle_batch calls on the returned server (unrecorded anyway).
-        let transcript = std::mem::take(&mut *transcript.borrow_mut());
+        let transcript = std::mem::take(&mut *transcript.lock());
         Ok(SessionOutcome {
             transcript,
             summary,
-            server,
+            server: pump.server,
         })
     }
+}
+
+/// Delivers one broadcast to every client (in client order) and queues
+/// whatever they emit — the client half of both pump modes, kept
+/// identical so the two modes produce the same message sequence.
+fn deliver_to_clients(
+    clients: &mut [ClientSession],
+    msg: &WireMessage,
+    queue: &mut VecDeque<(ClientId, WireMessage)>,
+) -> Result<(), ProtocolError> {
+    for client in clients.iter_mut() {
+        let id = client.id();
+        for ob in client.handle_message(msg)? {
+            queue.push_back((id, ob.msg));
+        }
+    }
+    Ok(())
+}
+
+/// The single-threaded pump: one deterministic event loop.
+fn run_serial(
+    config: &SessionConfig,
+    params: &PublicParams,
+    mut clients: Vec<ClientSession>,
+    pump: &mut ServerPump,
+) -> Result<(), ProtocolError> {
+    let mut queue: VecDeque<(ClientId, WireMessage)> = VecDeque::new();
+    let config_msg = WireMessage::Config(config.clone());
+    let params_msg = WireMessage::PublicParams(params.clone());
+    deliver_to_clients(&mut clients, &config_msg, &mut queue)?;
+    deliver_to_clients(&mut clients, &params_msg, &mut queue)?;
+
+    while let Some((from, msg)) = queue.pop_front() {
+        for ob in pump.feed(from, &msg)? {
+            deliver_to_clients(&mut clients, &ob.msg, &mut queue)?;
+        }
+        if pump.summary.is_some() {
+            return Ok(());
+        }
+    }
+    // The queue drained without a summary: the state machines stalled,
+    // which the credit-window invariant rules out for a valid config —
+    // surface it rather than loop forever.
+    Err(ProtocolError::MissingMessage("SessionSummary"))
+}
+
+/// The pipelined pump: the whole client side (encryption included) runs
+/// on one producer thread, fed the same broadcast stream in the same
+/// order as the serial pump, while the server trains on the calling
+/// thread. The exchanged message sequence — and therefore the recorded
+/// transcript and the trained weights — is bit-identical to
+/// [`run_serial`].
+fn run_pipelined(
+    config: &SessionConfig,
+    params: &PublicParams,
+    mut clients: Vec<ClientSession>,
+    pump: &mut ServerPump,
+) -> Result<(), ProtocolError> {
+    let k = clients.len();
+    // Clients keep at most `window` batches in flight each, plus the
+    // initial registrations: the channel never fills beyond that, so
+    // the bound is backpressure against a runaway producer, not a
+    // scheduling constraint.
+    let depth = k * (crate::session::DEFAULT_CLIENT_WINDOW + 1);
+    let (batch_tx, batch_rx) =
+        mpsc::sync_channel::<Result<(ClientId, WireMessage), ProtocolError>>(depth);
+    let (bcast_tx, bcast_rx) = mpsc::channel::<WireMessage>();
+
+    let config_msg = WireMessage::Config(config.clone());
+    let params_msg = WireMessage::PublicParams(params.clone());
+
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            let mut deliver = |msg: &WireMessage| -> Result<(), ()> {
+                let mut queue = VecDeque::new();
+                if let Err(e) = deliver_to_clients(&mut clients, msg, &mut queue) {
+                    let _ = batch_tx.send(Err(e));
+                    return Err(());
+                }
+                for item in queue {
+                    // A closed channel means the server side bailed;
+                    // stop encrypting immediately.
+                    batch_tx.send(Ok(item)).map_err(|_| ())?;
+                }
+                Ok(())
+            };
+            if deliver(&config_msg).is_err() || deliver(&params_msg).is_err() {
+                return;
+            }
+            while let Ok(msg) = bcast_rx.recv() {
+                let done = matches!(msg, WireMessage::Summary(_));
+                if deliver(&msg).is_err() || done {
+                    return;
+                }
+            }
+        });
+
+        let mut failure: Option<ProtocolError> = None;
+        while let Ok(item) = batch_rx.recv() {
+            let (from, msg) = match item {
+                Ok(pair) => pair,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            match pump.feed(from, &msg) {
+                Ok(outs) => {
+                    for ob in outs {
+                        // The producer hanging up early (all clients
+                        // finished) makes trailing broadcasts moot.
+                        let _ = bcast_tx.send(ob.msg);
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if pump.summary.is_some() {
+                break;
+            }
+        }
+        // Dropping our channel ends stops the producer: its next send
+        // or recv fails and it returns.
+        drop(batch_rx);
+        drop(bcast_tx);
+        if let Err(payload) = producer.join() {
+            std::panic::resume_unwind(payload);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
 }
 
 /// A convenience [`SessionConfig`] for MLP sessions: fills the crypto

@@ -2,19 +2,32 @@
 //!
 //! Each session owns its role's private state (master keys, plaintext
 //! shard, model weights) and communicates *only* through the
-//! [`WireMessage`](crate::WireMessage) alphabet:
+//! [`WireMessage`](crate::WireMessage) alphabet. Every role exposes the
+//! same event-driven surface — `handle_message(&mut self, msg) ->
+//! Result<Vec<Outbound>>` — so the deterministic in-process runner, the
+//! transcript replayer, and the networked daemons are all thin drivers
+//! over identical protocol logic:
 //!
 //! - [`AuthoritySession`] answers [`KeyRequest`]s, enforcing the
 //!   permitted set exactly as the in-process [`KeyAuthority`] does;
 //! - [`ClientSession`] builds its encryptor from the wire-delivered
-//!   [`PublicParams`] and emits encrypted batch messages;
-//! - [`ServerSession`] consumes batch messages and trains, reaching the
-//!   authority through an [`AuthorityChannel`] — the synchronous
-//!   request/response hook that the runner records and the replayer
-//!   feeds from a transcript.
+//!   [`PublicParams`] and streams encrypted batch messages under
+//!   credit-based flow control (a bounded window of unacknowledged
+//!   batches, replenished by [`ModelDelta`] broadcasts);
+//! - [`ServerSession`] consumes batch messages — reordering bounded
+//!   bursts of ahead-of-schedule arrivals — trains in strict global
+//!   step order, and emits the [`ModelDelta`] / [`EpochBarrier`] /
+//!   [`SessionSummary`] broadcasts itself, reaching the authority only
+//!   through an [`AuthorityChannel`] — the synchronous request/response
+//!   hook that the runner records, the replayer feeds from a
+//!   transcript, and the networked stack backs with a framed socket.
+//!
+//! [`ModelDelta`]: crate::ModelDelta
+//! [`EpochBarrier`]: crate::EpochBarrier
+//! [`SessionSummary`]: crate::SessionSummary
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cryptonn_core::{Client, CryptoCnn, CryptoMlp, CryptoNnConfig};
 use cryptonn_fe::{
@@ -29,22 +42,51 @@ use rand::SeedableRng;
 
 use crate::error::ProtocolError;
 use crate::messages::{
-    ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, FeboKeysRequest, FeipKeysRequest,
-    KeyRequest, KeyResponse, ModelDelta, ModelSpec, PublicParams, RegisterClient, SessionConfig,
-    SessionSummary,
+    ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
+    FeipKeysRequest, KeyRequest, KeyResponse, ModelDelta, ModelSpec, PublicParams, RegisterClient,
+    SessionConfig, SessionSummary, TrainingStart, WireMessage,
 };
+use crate::transcript::Party;
+
+/// One message a state machine wants delivered: the event-driven
+/// counterpart of a send. Transports (the in-process pump, the framed
+/// socket stack) route it; state machines never call each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outbound {
+    /// The addressee.
+    pub to: Party,
+    /// The payload.
+    pub msg: WireMessage,
+}
+
+impl Outbound {
+    /// An outbound addressed to everyone.
+    pub fn broadcast(msg: WireMessage) -> Self {
+        Self {
+            to: Party::Broadcast,
+            msg,
+        }
+    }
+
+    /// An outbound addressed to one party.
+    pub fn to(to: Party, msg: WireMessage) -> Self {
+        Self { to, msg }
+    }
+}
 
 /// The server's synchronous line to the authority: one request in, one
 /// response out. The live implementation forwards to an
 /// [`AuthoritySession`] and records both directions; the replay
 /// implementation pops recorded responses and verifies the requests
-/// still match.
-pub trait AuthorityChannel {
+/// still match; the networked implementation frames both directions
+/// over a dedicated socket.
+pub trait AuthorityChannel: Send {
     /// Sends `req` and returns the authority's response.
     ///
     /// # Errors
     ///
-    /// Transport-level failures (replay exhaustion/divergence).
+    /// Transport-level failures (replay exhaustion/divergence, a lost
+    /// connection).
     fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError>;
 }
 
@@ -91,6 +133,16 @@ impl AuthoritySession {
         }
     }
 
+    /// The session's public parameters, with the FEIP geometry derived
+    /// from the configured model
+    /// ([`ModelSpec::first_layer_dims`]) — what every driver (runner,
+    /// authority daemon) publishes, so the authority's RNG evolution is
+    /// identical across transports.
+    pub fn public_params_for(&self, config: &SessionConfig) -> PublicParams {
+        let (x_dim, classes) = config.model.first_layer_dims();
+        self.public_params(x_dim, classes, config)
+    }
+
     /// Serves one key request. Refusals (permitted-set violations,
     /// invalid operands) come back as [`KeyResponse::Denied`] rather
     /// than an `Err`: a refusal is a protocol outcome worth recording,
@@ -121,6 +173,26 @@ impl AuthoritySession {
                     Err(e) => KeyResponse::Denied(e.to_string()),
                 }
             }
+        }
+    }
+
+    /// The event-driven surface: key requests come in, responses go
+    /// back to the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Unexpected`] for any non-request message — the
+    /// authority consumes nothing else.
+    pub fn handle_message(&self, msg: &WireMessage) -> Result<Vec<Outbound>, ProtocolError> {
+        match msg {
+            WireMessage::KeyRequest(req) => Ok(vec![Outbound::to(
+                Party::Server,
+                WireMessage::KeyResponse(self.handle(req)),
+            )]),
+            other => Err(ProtocolError::Unexpected {
+                role: "authority",
+                kind: other.kind(),
+            }),
         }
     }
 }
@@ -218,8 +290,23 @@ impl KeyService for ChannelKeyService {
     }
 }
 
+/// Default per-client credit window: how many batches a client keeps in
+/// flight before waiting for a [`ModelDelta`](crate::ModelDelta)
+/// acknowledging one of its own steps. Two gives double-buffering —
+/// the client encrypts batch `t+1` while the server trains on `t`.
+pub const DEFAULT_CLIENT_WINDOW: usize = 2;
+
 /// One data-owner: holds its plaintext shard and, once the public
 /// parameters arrive, its encryptor.
+///
+/// As a state machine, the client consumes [`SessionConfig`] (answering
+/// with its registration), [`PublicParams`] (building the encryptor),
+/// [`TrainingStart`] (fixing the global schedule), and
+/// [`ModelDelta`] broadcasts (replenishing its send window), and emits
+/// [`EncryptedBatchMsg`]s in its local shard order tagged with the
+/// global step each occupies.
+///
+/// [`ModelDelta`]: crate::ModelDelta
 #[derive(Debug)]
 pub struct ClientSession {
     id: ClientId,
@@ -229,6 +316,18 @@ pub struct ClientSession {
     /// order.
     shard: Vec<(Matrix<f64>, Matrix<f64>)>,
     client: Option<Client>,
+    /// From [`SessionConfig`]: total participants.
+    clients_total: Option<u32>,
+    /// From [`SessionConfig`]: epochs over the sharded dataset.
+    epochs: Option<u32>,
+    /// From [`TrainingStart`]: total batches per epoch across clients.
+    batches_per_epoch: Option<u64>,
+    /// Credit window: own batches in flight before awaiting a delta.
+    window: usize,
+    in_flight: usize,
+    /// Local batches emitted so far, across epochs.
+    sent: u64,
+    done: bool,
 }
 
 impl ClientSession {
@@ -246,7 +345,24 @@ impl ClientSession {
             parallelism,
             shard,
             client: None,
+            clients_total: None,
+            epochs: None,
+            batches_per_epoch: None,
+            window: DEFAULT_CLIENT_WINDOW,
+            in_flight: 0,
+            sent: 0,
+            done: false,
         }
+    }
+
+    /// Replaces the credit window (clamped to at least one batch in
+    /// flight). A window of 1 is strict lockstep; the default of
+    /// [`DEFAULT_CLIENT_WINDOW`] double-buffers encryption against
+    /// training. The trained weights are bit-identical for every
+    /// window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
     }
 
     /// This client's id.
@@ -257,6 +373,20 @@ impl ClientSession {
     /// Number of batches in this client's shard.
     pub fn shard_len(&self) -> usize {
         self.shard.len()
+    }
+
+    /// True once the session summary arrived.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True once every scheduled local batch has been emitted.
+    pub fn fully_sent(&self) -> bool {
+        self.sent >= self.total_local_batches()
+    }
+
+    fn total_local_batches(&self) -> u64 {
+        self.shard.len() as u64 * u64::from(self.epochs.unwrap_or(0))
     }
 
     /// The registration message this client opens with.
@@ -311,6 +441,74 @@ impl ClientSession {
             batch,
         })
     }
+
+    /// The event-driven surface: session lifecycle and flow-control
+    /// messages in, registration and encrypted batches out.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Unexpected`] for message kinds a data owner
+    /// never consumes; encryption failures from the emitted batches.
+    pub fn handle_message(&mut self, msg: &WireMessage) -> Result<Vec<Outbound>, ProtocolError> {
+        match msg {
+            WireMessage::Config(config) => {
+                self.clients_total = Some(config.clients);
+                self.epochs = Some(config.epochs);
+                Ok(vec![Outbound::to(
+                    Party::Server,
+                    WireMessage::Register(self.register()),
+                )])
+            }
+            WireMessage::PublicParams(params) => {
+                self.on_public_params(params);
+                self.pump()
+            }
+            WireMessage::Start(TrainingStart { batches_per_epoch }) => {
+                self.batches_per_epoch = Some(*batches_per_epoch);
+                self.pump()
+            }
+            WireMessage::Delta(delta) => {
+                if delta.client == self.id {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                }
+                self.pump()
+            }
+            WireMessage::Epoch(_) => Ok(Vec::new()),
+            WireMessage::Summary(_) => {
+                self.done = true;
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::Unexpected {
+                role: "client",
+                kind: other.kind(),
+            }),
+        }
+    }
+
+    /// Emits as many scheduled batches as the credit window allows.
+    fn pump(&mut self) -> Result<Vec<Outbound>, ProtocolError> {
+        let (Some(k), Some(b)) = (self.clients_total, self.batches_per_epoch) else {
+            return Ok(Vec::new());
+        };
+        if self.client.is_none() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        while self.in_flight < self.window && self.sent < self.total_local_batches() {
+            let shard_len = self.shard.len() as u64;
+            let epoch = self.sent / shard_len;
+            let local = self.sent % shard_len;
+            // In-epoch batch i belongs to client i mod K at local index
+            // i / K, so local batch j of this client is in-epoch batch
+            // j·K + id.
+            let step = epoch * b + local * u64::from(k) + u64::from(self.id.0);
+            let msg = self.encrypt_step(local as usize, step)?;
+            self.sent += 1;
+            self.in_flight += 1;
+            out.push(Outbound::to(Party::Server, WireMessage::Batch(msg)));
+        }
+        Ok(out)
+    }
 }
 
 /// The model a [`ServerSession`] trains.
@@ -322,14 +520,41 @@ pub enum ServerModel {
     Cnn(CryptoCnn),
 }
 
-/// The training server: consumes encrypted batch messages in schedule
-/// order, reaching the authority only through its channel.
+/// A buffered ahead-of-schedule batch message.
+#[derive(Debug, Clone)]
+enum PendingBatch {
+    Mlp(EncryptedBatchMsg),
+    Cnn(EncryptedImageBatchMsg),
+}
+
+/// The training server: consumes encrypted batch messages, trains in
+/// strict global step order, and reaches the authority only through
+/// its channel.
+///
+/// As a state machine, the server consumes [`RegisterClient`] messages
+/// (emitting [`TrainingStart`] once every expected client registered)
+/// and encrypted batches — buffering a bounded window of
+/// ahead-of-schedule arrivals so concurrent clients need no global
+/// lockstep — and emits the per-step [`ModelDelta`], the per-epoch
+/// [`EpochBarrier`], and the final [`SessionSummary`] broadcasts.
+///
+/// [`RegisterClient`]: crate::RegisterClient
+/// [`ModelDelta`]: crate::ModelDelta
+/// [`EpochBarrier`]: crate::EpochBarrier
+/// [`SessionSummary`]: crate::SessionSummary
 pub struct ServerSession {
     model: ServerModel,
     keys: ChannelKeyService,
     lr: f64,
     next_step: u64,
     losses: Vec<f64>,
+    expected_clients: u32,
+    epochs: u32,
+    registered: BTreeMap<ClientId, u64>,
+    batches_per_epoch: Option<u64>,
+    pending: BTreeMap<u64, PendingBatch>,
+    reorder_cap: usize,
+    finished: bool,
 }
 
 impl core::fmt::Debug for ServerSession {
@@ -339,6 +564,8 @@ impl core::fmt::Debug for ServerSession {
             .field("lr", &self.lr)
             .field("next_step", &self.next_step)
             .field("losses", &self.losses.len())
+            .field("registered", &self.registered.len())
+            .field("pending", &self.pending.len())
             .finish_non_exhaustive()
     }
 }
@@ -375,13 +602,30 @@ impl ServerSession {
                 ServerModel::Cnn(CryptoCnn::lenet_small(cc, *classes, &mut rng))
             }
         };
+        // Bounded reorder window: enough for every client to run a full
+        // default credit window ahead, with slack for uneven shards.
+        let reorder_cap = (config.clients as usize).max(1) * (DEFAULT_CLIENT_WINDOW * 2);
         Self {
             model,
             keys: ChannelKeyService::new(params, link),
             lr: config.lr,
             next_step: 0,
             losses: Vec::new(),
+            expected_clients: config.clients,
+            epochs: config.epochs,
+            registered: BTreeMap::new(),
+            batches_per_epoch: None,
+            pending: BTreeMap::new(),
+            reorder_cap,
+            finished: false,
         }
+    }
+
+    /// Replaces the reorder-buffer capacity (clamped to at least one
+    /// buffered batch).
+    pub fn with_reorder_cap(mut self, cap: usize) -> Self {
+        self.reorder_cap = cap.max(1);
+        self
     }
 
     /// The trained MLP, if this session trains one.
@@ -424,6 +668,17 @@ impl ServerSession {
     /// Per-step secure losses so far.
     pub fn losses(&self) -> &[f64] {
         &self.losses
+    }
+
+    /// Ahead-of-schedule batches currently held in the reorder buffer.
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True once the final [`SessionSummary`](crate::SessionSummary)
+    /// was emitted.
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     fn check_order(&self, step: u64) -> Result<(), ProtocolError> {
@@ -486,6 +741,135 @@ impl ServerSession {
         Ok(self.finish_step(msg.step, msg.client, out.loss))
     }
 
+    /// The event-driven surface: registrations and encrypted batches
+    /// in; schedule-start, per-step metric, epoch-barrier and final
+    /// summary broadcasts out.
+    ///
+    /// Batches ahead of the schedule are buffered (up to the reorder
+    /// cap) and trained the moment their step comes up, so concurrent
+    /// clients need no lockstep with the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::OutOfOrder`] for a step already consumed (or
+    /// duplicated), [`ProtocolError::TooFarAhead`] past the reorder
+    /// window, [`ProtocolError::Unexpected`] for foreign message kinds,
+    /// and training failures. The model is unchanged on error.
+    pub fn handle_message(&mut self, msg: &WireMessage) -> Result<Vec<Outbound>, ProtocolError> {
+        match msg {
+            WireMessage::Register(reg) => self.handle_register(reg),
+            WireMessage::Batch(batch) => {
+                self.accept_batch(batch.step, PendingBatch::Mlp(batch.clone()))
+            }
+            WireMessage::ImageBatch(batch) => {
+                self.accept_batch(batch.step, PendingBatch::Cnn(batch.clone()))
+            }
+            other => Err(ProtocolError::Unexpected {
+                role: "server",
+                kind: other.kind(),
+            }),
+        }
+    }
+
+    fn handle_register(&mut self, reg: &RegisterClient) -> Result<Vec<Outbound>, ProtocolError> {
+        if reg.client.0 >= self.expected_clients {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{} registered but the session has {} clients",
+                reg.client, self.expected_clients
+            )));
+        }
+        if self
+            .registered
+            .insert(reg.client, reg.batches_per_epoch)
+            .is_some()
+        {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{} registered twice",
+                reg.client
+            )));
+        }
+        if self.registered.len() == self.expected_clients as usize {
+            let batches_per_epoch: u64 = self.registered.values().sum();
+            if batches_per_epoch == 0 {
+                return Err(ProtocolError::InvalidConfig(
+                    "no batches registered across all clients".into(),
+                ));
+            }
+            self.batches_per_epoch = Some(batches_per_epoch);
+            return Ok(vec![Outbound::broadcast(WireMessage::Start(
+                TrainingStart { batches_per_epoch },
+            ))]);
+        }
+        Ok(Vec::new())
+    }
+
+    fn accept_batch(
+        &mut self,
+        step: u64,
+        batch: PendingBatch,
+    ) -> Result<Vec<Outbound>, ProtocolError> {
+        // No training before the schedule is fixed: a peer that skips
+        // registration gets a typed refusal, not free compute on a
+        // session that can never emit its epoch barriers or summary.
+        if self.batches_per_epoch.is_none() {
+            return Err(ProtocolError::MissingMessage(
+                "Register from every client (schedule not fixed)",
+            ));
+        }
+        if step > self.next_step {
+            // Duplicate-step check first, and without touching the
+            // buffer: the state must be unchanged on error, or a driver
+            // tolerating OutOfOrder would train a substituted batch.
+            if self.pending.contains_key(&step) {
+                return Err(ProtocolError::OutOfOrder {
+                    expected: self.next_step,
+                    got: step,
+                });
+            }
+            if self.pending.len() >= self.reorder_cap {
+                return Err(ProtocolError::TooFarAhead {
+                    step,
+                    expected: self.next_step,
+                    cap: self.reorder_cap,
+                });
+            }
+            self.pending.insert(step, batch);
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        self.train_one(batch, &mut out)?;
+        // Drain every buffered batch whose slot just opened.
+        while let Some(next) = self.pending.remove(&self.next_step) {
+            self.train_one(next, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn train_one(
+        &mut self,
+        batch: PendingBatch,
+        out: &mut Vec<Outbound>,
+    ) -> Result<(), ProtocolError> {
+        let delta = match &batch {
+            PendingBatch::Mlp(msg) => self.handle_batch(msg)?,
+            PendingBatch::Cnn(msg) => self.handle_image_batch(msg)?,
+        };
+        out.push(Outbound::broadcast(WireMessage::Delta(delta)));
+        if let Some(b) = self.batches_per_epoch {
+            if self.next_step.is_multiple_of(b) {
+                let epoch = (self.next_step / b - 1) as u32;
+                out.push(Outbound::broadcast(WireMessage::Epoch(EpochBarrier {
+                    epoch,
+                })));
+            }
+            if self.next_step == b * u64::from(self.epochs) && !self.finished {
+                self.finished = true;
+                out.push(Outbound::broadcast(WireMessage::Summary(self.summary())));
+            }
+        }
+        Ok(())
+    }
+
     /// The session's final fingerprint: step count, loss trajectory,
     /// and the first-layer parameters (the encrypted-path weights).
     pub fn summary(&self) -> SessionSummary {
@@ -529,7 +913,7 @@ mod tests {
     use crate::messages::MlpSpec;
     use crate::runner::mlp_session_config;
     use cryptonn_core::Objective;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn config() -> SessionConfig {
         mlp_session_config(
@@ -549,13 +933,14 @@ mod tests {
     /// A channel that forwards to an authority session and counts the
     /// exchanges, to observe the mpk cache behavior.
     struct CountingChannel {
-        authority: Rc<AuthoritySession>,
-        exchanges: Rc<std::cell::Cell<usize>>,
+        authority: Arc<AuthoritySession>,
+        exchanges: Arc<std::sync::atomic::AtomicUsize>,
     }
 
     impl AuthorityChannel for CountingChannel {
         fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
-            self.exchanges.set(self.exchanges.get() + 1);
+            self.exchanges
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             Ok(self.authority.handle(&req))
         }
     }
@@ -565,29 +950,74 @@ mod tests {
     #[test]
     fn uncached_mpk_dimension_is_fetched_then_cached() {
         let config = config();
-        let authority = Rc::new(AuthoritySession::new(&config));
+        let authority = Arc::new(AuthoritySession::new(&config));
         let params = authority.public_params(3, 2, &config);
-        let exchanges = Rc::new(std::cell::Cell::new(0));
+        let exchanges = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let service = ChannelKeyService::new(
             &params,
             Box::new(CountingChannel {
-                authority: Rc::clone(&authority),
-                exchanges: Rc::clone(&exchanges),
+                authority: Arc::clone(&authority),
+                exchanges: Arc::clone(&exchanges),
             }),
         );
+        let count = || exchanges.load(std::sync::atomic::Ordering::SeqCst);
 
         // Published dimensions never touch the wire.
         assert_eq!(service.feip_public_key(3).unwrap().dimension(), 3);
         assert_eq!(service.feip_public_key(2).unwrap().dimension(), 2);
-        assert_eq!(exchanges.get(), 0);
+        assert_eq!(count(), 0);
 
         // An unpublished dimension is one exchange, then cached — and
         // identical to what the authority would hand out directly.
         let wire = service.feip_public_key(5).unwrap();
-        assert_eq!(exchanges.get(), 1);
+        assert_eq!(count(), 1);
         assert_eq!(wire, authority.authority().feip_public_key(5));
         let again = service.feip_public_key(5).unwrap();
-        assert_eq!(exchanges.get(), 1, "second lookup must hit the cache");
+        assert_eq!(count(), 1, "second lookup must hit the cache");
         assert_eq!(again, wire);
+    }
+
+    /// The authority state machine answers requests and refuses every
+    /// other message kind.
+    #[test]
+    fn authority_state_machine_is_request_response_only() {
+        let config = config();
+        let authority = AuthoritySession::new(&config);
+        let out = authority
+            .handle_message(&WireMessage::KeyRequest(KeyRequest::FeipMpk(3)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, Party::Server);
+        assert!(matches!(
+            out[0].msg,
+            WireMessage::KeyResponse(KeyResponse::FeipMpk(_))
+        ));
+        assert!(matches!(
+            authority.handle_message(&WireMessage::Config(config.clone())),
+            Err(ProtocolError::Unexpected {
+                role: "authority",
+                ..
+            })
+        ));
+    }
+
+    /// `first_layer_dims` matches the actual first-layer geometry the
+    /// server builds, so the authority publishes usable FEIP instances.
+    #[test]
+    fn model_dims_match_built_models() {
+        use cryptonn_group::SecurityLevel;
+        use cryptonn_smc::FixedPoint;
+        let cc = CryptoNnConfig {
+            level: SecurityLevel::Bits64,
+            fp: FixedPoint::TWO_DECIMALS,
+            grad_fp: FixedPoint::new(10_000),
+            parallelism: Parallelism::Serial,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = CryptoCnn::lenet_small(cc, 3, &mut rng);
+        let spec = small.first_layer().spec();
+        let (dim, classes) = ModelSpec::Cnn(CnnArch::LenetSmall(3)).first_layer_dims();
+        assert_eq!(dim, spec.kh * spec.kw);
+        assert_eq!(classes, 3);
     }
 }

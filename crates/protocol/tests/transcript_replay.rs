@@ -7,8 +7,8 @@
 use cryptonn_core::Objective;
 use cryptonn_data::clinic_dataset;
 use cryptonn_protocol::{
-    mlp_session_config, replay_server, MlpSpec, SessionConfig, TrainingSessionRunner, Transcript,
-    WireMessage,
+    mlp_session_config, replay_server, MlpSpec, ProtocolError, ReplayError, SessionConfig,
+    TrainingSessionRunner, Transcript, WireMessage,
 };
 
 /// The golden session: 2 clients, 2 batches of 3 over the 6-sample
@@ -82,7 +82,8 @@ fn tampered_key_response_is_detected() {
 }
 
 /// A forged trailing metric — attesting a training step that never
-/// happened — must not pass adversarial replay.
+/// happened — must not pass adversarial replay, and must be rejected
+/// by variant, naming the forged step.
 #[test]
 fn forged_trailing_delta_is_detected() {
     let (_, mut transcript) = record_small_session();
@@ -95,9 +96,30 @@ fn forged_trailing_delta_is_detected() {
             loss: -1.0,
         }),
     );
+    assert_eq!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::ForgedDelta { step: 99 })
+    );
+}
+
+/// Editing a recorded loss in place is caught at the diverging step.
+#[test]
+fn edited_delta_loss_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    let step = transcript
+        .entries
+        .iter_mut()
+        .find_map(|e| match &mut e.msg {
+            WireMessage::Delta(d) => {
+                d.loss += 0.25;
+                Some(d.step)
+            }
+            _ => None,
+        })
+        .expect("a delta to tamper with");
     assert!(matches!(
-        replay_server(&transcript),
-        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::DeltaMismatch { step: s, .. }) if s == step
     ));
 }
 
@@ -116,10 +138,38 @@ fn unconsumed_key_exchange_is_detected() {
         cryptonn_protocol::Party::Server,
         WireMessage::KeyResponse(cryptonn_protocol::KeyResponse::Denied("x".into())),
     );
-    assert!(matches!(
-        replay_server(&transcript),
-        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
-    ));
+    assert_eq!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::UnconsumedKeyExchanges { count: 1 })
+    );
+}
+
+/// A transcript whose key traffic does not alternate request/response
+/// is structurally forged and named as such.
+#[test]
+fn unpaired_key_traffic_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    transcript.push(
+        cryptonn_protocol::Party::Server,
+        cryptonn_protocol::Party::Authority,
+        WireMessage::KeyRequest(cryptonn_protocol::KeyRequest::FeipMpk(7)),
+    );
+    assert_eq!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::DanglingRequest)
+    );
+
+    let (_, mut transcript) = record_small_session();
+    let seq = transcript.entries.len() as u64;
+    transcript.push(
+        cryptonn_protocol::Party::Authority,
+        cryptonn_protocol::Party::Server,
+        WireMessage::KeyResponse(cryptonn_protocol::KeyResponse::Denied("x".into())),
+    );
+    assert_eq!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::ResponseWithoutRequest { seq })
+    );
 }
 
 /// Malformed wire requests are refused, never panicking the authority.
@@ -148,10 +198,10 @@ fn zero_dimension_key_requests_are_denied() {
 fn stripped_delta_stream_is_detected() {
     let (_, mut transcript) = record_small_session();
     transcript.entries.retain(|e| e.msg.kind() != "delta");
-    assert!(matches!(
-        replay_server(&transcript),
-        Err(cryptonn_protocol::ProtocolError::ReplayDivergence(_))
-    ));
+    assert_eq!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::MissingDelta { step: 0 })
+    );
 }
 
 #[test]
@@ -164,6 +214,32 @@ fn tampered_batch_step_is_rejected() {
         }
     }
     assert!(replay_server(&transcript).is_err());
+}
+
+/// A batch whose step tag leaves a permanent hole in the schedule sits
+/// in the reorder buffer until the transcript runs out — a stalled
+/// batch, not a silent skip.
+#[test]
+fn stalled_batch_is_detected() {
+    let (_, mut transcript) = record_small_session();
+    // Retag the *last* batch far beyond the schedule; its slot never
+    // arrives. Deltas for it also never fire, so the recording's delta
+    // stream goes unconsumed first or the stall is reported — either
+    // way a typed replay error, never success.
+    let mut last_batch = None;
+    for (i, e) in transcript.entries.iter().enumerate() {
+        if matches!(e.msg, WireMessage::Batch(_)) {
+            last_batch = Some(i);
+        }
+    }
+    let i = last_batch.expect("a batch to tamper with");
+    if let WireMessage::Batch(msg) = &mut transcript.entries[i].msg {
+        msg.step = 500;
+    }
+    assert!(matches!(
+        replay_server(&transcript).unwrap_err(),
+        ProtocolError::Replay(ReplayError::ForgedDelta { .. } | ReplayError::StalledBatches { .. })
+    ));
 }
 
 /// The checked-in golden transcript replays to its recorded weights.

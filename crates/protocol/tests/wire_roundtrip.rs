@@ -10,7 +10,7 @@ use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
 use cryptonn_protocol::{
     mlp_session_config, ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier,
     FeboKeysRequest, FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec,
-    Party, PublicParams, RegisterClient, SessionSummary, Transcript, WireMessage,
+    Party, PublicParams, RegisterClient, SessionSummary, TrainingStart, Transcript, WireMessage,
 };
 use cryptonn_smc::FixedPoint;
 use proptest::prelude::*;
@@ -56,6 +56,9 @@ proptest! {
             loss,
         }));
         roundtrip(&WireMessage::Epoch(EpochBarrier { epoch: client }));
+        roundtrip(&WireMessage::Start(TrainingStart {
+            batches_per_epoch: step,
+        }));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Federated CryptoNN training over a real transport — the paper's
+//! Fig. 1 topology as three OS-level roles on TCP loopback:
+//!
+//! 1. the **key authority daemon** (`cryptonn-net::AuthorityServer`),
+//!    holding every master secret;
+//! 2. the **multi-session training server**
+//!    (`cryptonn-net::SessionServer`), which reaches the authority
+//!    over its own socket and never sees a plaintext;
+//! 3. `K` **data-owner clients**, each streaming its encrypted shard
+//!    from its own thread and socket.
+//!
+//! The networked run is then checked bit-for-bit against the
+//! deterministic in-process runner on the same config and dataset —
+//! the transport is an implementation detail, not a numerics change.
+//!
+//! Run with:
+//! `cargo run --release -p cryptonn-suite --example networked_training`
+
+use std::sync::Arc;
+
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_net::{
+    run_client, AuthorityOptions, AuthorityServer, RemoteAuthority, ServerOptions, SessionServer,
+    TcpTransport, DEFAULT_MAX_FRAME,
+};
+use cryptonn_parallel::Parallelism;
+use cryptonn_protocol::{
+    mlp_session_config, round_robin_shards, ClientId, ClientSession, MlpSpec, SessionId,
+    TrainingSessionRunner,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = clinic_dataset(45, 13);
+    let spec = MlpSpec {
+        feature_dim: data.feature_dim(),
+        hidden: vec![6],
+        classes: data.classes(),
+        objective: Objective::SoftmaxCrossEntropy,
+    };
+    let clients = 3u32;
+    let config = mlp_session_config(spec, clients, 2, 15, 1.2);
+
+    // --- the three roles, each on its own socket ---------------------
+    let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())?;
+    let server = SessionServer::start(
+        "127.0.0.1:0",
+        Arc::new(RemoteAuthority::new(authority.local_addr())),
+        ServerOptions::default(),
+    )?;
+    println!(
+        "authority on {}, session server on {}",
+        authority.local_addr(),
+        server.local_addr()
+    );
+
+    let session = SessionId(42);
+    let addr = server.local_addr();
+    let shards = round_robin_shards(&data, config.batch_size as usize, clients as usize);
+    let workers: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let sm = ClientSession::new(
+                    ClientId(i as u32),
+                    config.client_seed_base + i as u64,
+                    Parallelism::Serial,
+                    shard,
+                );
+                let transport = TcpTransport::connect(addr, DEFAULT_MAX_FRAME)?;
+                run_client(transport, session, sm, &config)
+            })
+        })
+        .collect();
+
+    let mut summaries = Vec::new();
+    for (i, worker) in workers.into_iter().enumerate() {
+        let summary = worker.join().expect("client thread")?;
+        println!(
+            "client {i}: session finished after {} steps, final loss {:.4}",
+            summary.steps,
+            summary.losses.last().copied().unwrap_or(f64::NAN)
+        );
+        summaries.push(summary);
+    }
+    server.shutdown();
+    authority.shutdown();
+
+    // --- the cross-check: transport must not change a single bit -----
+    let reference = TrainingSessionRunner::new(config).run_mlp(&data)?.summary;
+    let identical = summaries.iter().all(|s| *s == reference);
+    println!(
+        "bit-identical to the in-process deterministic runner: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    assert!(identical, "networked training diverged from the runner");
+    Ok(())
+}

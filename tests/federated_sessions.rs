@@ -4,7 +4,7 @@
 //! and replay — all across crate boundaries, exactly as an application
 //! would wire them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cryptonn_core::Objective;
 use cryptonn_data::{clinic_dataset, synthetic_digits, DigitConfig};
@@ -18,7 +18,7 @@ use cryptonn_protocol::{
 
 /// A test channel that forwards to an in-process authority session
 /// without recording — the minimal live wiring.
-struct DirectChannel(Rc<AuthoritySession>);
+struct DirectChannel(Arc<AuthoritySession>);
 
 impl AuthorityChannel for DirectChannel {
     fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
@@ -78,7 +78,7 @@ fn cnn_training_runs_over_the_session_layer() {
             0.5,
         )
     };
-    let authority = Rc::new(AuthoritySession::new(&config));
+    let authority = Arc::new(AuthoritySession::new(&config));
 
     // The server publishes its conv geometry; window_dim fixes x_mpk.
     let data = synthetic_digits(40, DigitConfig::small(), 14);
@@ -92,7 +92,7 @@ fn cnn_training_runs_over_the_session_layer() {
     let mut server = ServerSession::new(
         &config,
         &params,
-        Box::new(DirectChannel(Rc::clone(&authority))),
+        Box::new(DirectChannel(Arc::clone(&authority))),
         Parallelism::Threads(2),
     );
 
