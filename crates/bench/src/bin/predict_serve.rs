@@ -1,0 +1,390 @@
+//! Encrypted inference serving telemetry — throughput and latency of
+//! the `InferenceServer` over TCP loopback, with the functional-key
+//! cache on and off.
+//!
+//! For each grid point (`clients × batch-size`, per security level) the
+//! harness spins up the real daemons (networked key authority +
+//! inference server), pre-encrypts every request outside the timed
+//! loop, then has each client thread run its requests synchronously,
+//! recording per-request latency. Two arms per point:
+//!
+//! - **cache_off** — the status-quo serving path: coalescing window 1
+//!   and a zero-capacity key cache, so every request is its own secure
+//!   sweep and re-derives the frozen model's FEIP keys through the
+//!   remote authority;
+//! - **cache_on** — the serving subsystem: requests coalesce (window
+//!   `B`) into shared `decrypt_cells` sweeps with a single batched
+//!   inversion, and the key cache makes the steady state
+//!   authority-free.
+//!
+//! Both arms serve **bit-identical predictions** (asserted: the
+//! deterministic client seeds make the ciphertexts identical across
+//! arms, and exact FE decryption makes the outputs identical).
+//!
+//! Reported per (level, clients, batch, arm): predictions/s, p50/p99
+//! request latency, sweep and cache counters; plus the cache-on vs
+//! cache-off speedup per point. Emits `BENCH_predict_serve.json`
+//! (schema `cryptonn.bench.predict_serve/v1`).
+//!
+//! The off/on ratio is *bounded* on this workload: FEIP key derivation
+//! costs one `q`-sized multiplication per weight element while the
+//! decrypt sweep costs ~2 `p`-sized multiplications per element, so
+//! even with the wire leg the uncached arm tops out near 2x the cached
+//! one (DESIGN.md §12 quantifies this). `--check-speedup X` gates on
+//! the measured Bits256 single-client point.
+//!
+//! ```text
+//! cargo run --release -p cryptonn-bench --bin predict_serve -- \
+//!     [--out BENCH_predict_serve.json] [--check-speedup 1.5]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cryptonn_core::{CryptoMlp, CryptoNnConfig, EncryptedBatch, Objective};
+use cryptonn_fe::PermittedFunctions;
+use cryptonn_group::SecurityLevel;
+use cryptonn_matrix::Matrix;
+use cryptonn_net::{
+    AuthorityOptions, AuthorityServer, InferenceClient, InferenceServer, InferenceServerOptions,
+    RemoteAuthority, DEFAULT_MAX_FRAME,
+};
+use cryptonn_parallel::Parallelism;
+use cryptonn_protocol::{ClientId, InferenceOptions, MlpSpec, ModelSpec, SessionConfig, SessionId};
+use cryptonn_smc::FixedPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const FEATURE_DIM: usize = 784;
+const HIDDEN: usize = 16;
+const CLASSES: usize = 10;
+/// Coalescing window of the cache-on arm.
+const COALESCE: usize = 4;
+
+fn serving_config(level: SecurityLevel) -> SessionConfig {
+    SessionConfig {
+        level,
+        fp: FixedPoint::TWO_DECIMALS,
+        grad_fp: FixedPoint::new(10_000),
+        permitted: PermittedFunctions::all(),
+        model: ModelSpec::Mlp(MlpSpec {
+            feature_dim: FEATURE_DIM,
+            hidden: vec![HIDDEN],
+            classes: CLASSES,
+            objective: Objective::SoftmaxCrossEntropy,
+        }),
+        lr: 0.5,
+        epochs: 1,
+        batch_size: 8,
+        clients: 1,
+        authority_seed: 7001,
+        model_seed: 7002,
+        client_seed_base: 7003,
+    }
+}
+
+/// The frozen model under service. Serving cost is independent of the
+/// weights' history, so the harness freezes an initialized model
+/// rather than spending bench time on a training run.
+fn frozen_model(config: &SessionConfig) -> CryptoMlp {
+    let cc = CryptoNnConfig {
+        level: config.level,
+        fp: config.fp,
+        grad_fp: config.grad_fp,
+        parallelism: Parallelism::Serial,
+    };
+    let mut rng = StdRng::seed_from_u64(config.model_seed);
+    CryptoMlp::new(
+        FEATURE_DIM,
+        &[HIDDEN],
+        CLASSES,
+        Objective::SoftmaxCrossEntropy,
+        cc,
+        &mut rng,
+    )
+}
+
+fn input(client: usize, req: usize, rows: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, FEATURE_DIM, |r, c| {
+        ((client * 131 + req * 17 + r * 3 + c) % 97) as f64 / 97.0
+    })
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Measurement {
+    level: String,
+    clients: usize,
+    batch: usize,
+    arm: String,
+    requests: u64,
+    predictions: u64,
+    wall_ms: f64,
+    predictions_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    sweeps: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Speedup {
+    level: String,
+    clients: usize,
+    batch: usize,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    generated_by: String,
+    feature_dim: usize,
+    hidden: usize,
+    classes: usize,
+    coalesce_window: usize,
+    requests_per_client: usize,
+    measurements: Vec<Measurement>,
+    speedups: Vec<Speedup>,
+    /// Cache-on over cache-off predictions/s at Bits256, single
+    /// synchronous client, batch 1 — the pure key-cache effect.
+    headline_speedup_bits256: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct ArmOutcome {
+    m: Measurement,
+    outputs: Vec<Vec<Matrix<f64>>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    level: SecurityLevel,
+    authority_addr: std::net::SocketAddr,
+    session_id: SessionId,
+    clients: usize,
+    batch: usize,
+    requests_per_client: usize,
+    arm: &str,
+    options: InferenceOptions,
+) -> ArmOutcome {
+    let config = serving_config(level);
+    let server = InferenceServer::start(
+        "127.0.0.1:0",
+        session_id,
+        &config,
+        frozen_model(&config),
+        Arc::new(RemoteAuthority::new(authority_addr)),
+        InferenceServerOptions {
+            session: options,
+            pool_threads: clients + 4,
+            ..InferenceServerOptions::default()
+        },
+    )
+    .expect("inference server binds");
+    let addr = server.local_addr();
+
+    // Connect and pre-encrypt everything outside the timed region; the
+    // deterministic seeds make the ciphertexts identical across arms.
+    let mut handles = Vec::new();
+    let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
+    for c in 0..clients {
+        let config = config.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = InferenceClient::connect(
+                addr,
+                session_id,
+                ClientId(c as u32),
+                &config,
+                9000 + c as u64,
+                DEFAULT_MAX_FRAME,
+            )
+            .expect("predict client connects");
+            let encrypted: Vec<EncryptedBatch> = (0..requests_per_client)
+                .map(|r| {
+                    client
+                        .encryptor_mut()
+                        .encrypt_features(&input(c, r, batch))
+                        .expect("encrypt")
+                })
+                .collect();
+            barrier.wait(); // measurement starts once everyone is ready
+            let mut latencies = Vec::with_capacity(requests_per_client);
+            let mut outputs = Vec::with_capacity(requests_per_client);
+            for enc in encrypted {
+                let t0 = Instant::now();
+                let id = client.send_encrypted(enc).expect("send");
+                let p = client.recv_prediction().expect("prediction");
+                assert_eq!(p.id, id, "responses arrive in request order");
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                outputs.push(p.outputs);
+            }
+            (latencies, outputs)
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies = Vec::new();
+    let mut outputs = Vec::new();
+    for h in handles {
+        let (l, o) = h.join().expect("client thread");
+        latencies.extend(l);
+        outputs.push(o);
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let sweeps = server.sweeps();
+    let cache = server.cache_stats();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let requests = (clients * requests_per_client) as u64;
+    let predictions = requests * batch as u64;
+    let m = Measurement {
+        level: format!("{level:?}"),
+        clients,
+        batch,
+        arm: arm.into(),
+        requests,
+        predictions,
+        wall_ms: wall * 1e3,
+        predictions_per_sec: predictions as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        sweeps,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+    };
+    println!(
+        "{:8} C={clients} m={batch} {arm:9}: {:8.1} preds/s  p50 {:6.2} ms  p99 {:6.2} ms  (sweeps {sweeps}, hits {}, misses {})",
+        m.level, m.predictions_per_sec, m.p50_ms, m.p99_ms, cache.hits, cache.misses
+    );
+    ArmOutcome { m, outputs }
+}
+
+fn main() {
+    let mut out_path = "BENCH_predict_serve.json".to_string();
+    let mut check_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--check-speedup" => {
+                check_speedup = Some(
+                    args.next()
+                        .expect("--check-speedup requires a number")
+                        .parse()
+                        .expect("--check-speedup requires a number"),
+                )
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let requests_per_client = if cryptonn_bench::full_scale() { 32 } else { 10 };
+    let levels: &[SecurityLevel] = &[SecurityLevel::Bits64, SecurityLevel::Bits256];
+    let grid: &[(usize, usize)] = if cryptonn_bench::full_scale() {
+        &[(1, 1), (2, 1), (4, 1), (2, 4)]
+    } else {
+        &[(1, 1), (4, 1), (2, 4)]
+    };
+
+    let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())
+        .expect("authority daemon binds");
+
+    let mut measurements = Vec::new();
+    let mut speedups = Vec::new();
+    let mut headline = 0.0f64;
+    let mut next_session = 0u64;
+
+    for &level in levels {
+        for &(clients, batch) in grid {
+            let off = run_arm(
+                level,
+                authority.local_addr(),
+                SessionId(5000 + next_session),
+                clients,
+                batch,
+                requests_per_client,
+                "cache_off",
+                InferenceOptions {
+                    max_batch: 1,
+                    key_cache: 0,
+                },
+            );
+            let on = run_arm(
+                level,
+                authority.local_addr(),
+                SessionId(5000 + next_session + 1),
+                clients,
+                batch,
+                requests_per_client,
+                "cache_on",
+                InferenceOptions {
+                    max_batch: COALESCE,
+                    key_cache: 1024,
+                },
+            );
+            next_session += 2;
+
+            assert_eq!(
+                off.outputs, on.outputs,
+                "cache arms must serve bit-identical predictions \
+                 ({level:?}, C={clients}, m={batch})"
+            );
+            assert!(
+                on.m.cache_hits > 0,
+                "the cache-on arm must actually hit its cache"
+            );
+
+            let speedup = on.m.predictions_per_sec / off.m.predictions_per_sec;
+            println!("{level:?} C={clients} m={batch}: cache-on speedup {speedup:.2}x");
+            if level == SecurityLevel::Bits256 && clients == 1 && batch == 1 {
+                headline = speedup;
+            }
+            speedups.push(Speedup {
+                level: format!("{level:?}"),
+                clients,
+                batch,
+                speedup,
+            });
+            measurements.push(off.m);
+            measurements.push(on.m);
+        }
+    }
+    authority.shutdown();
+
+    let report = Report {
+        schema: "cryptonn.bench.predict_serve/v1".into(),
+        generated_by: "cargo run --release -p cryptonn-bench --bin predict_serve".into(),
+        feature_dim: FEATURE_DIM,
+        hidden: HIDDEN,
+        classes: CLASSES,
+        coalesce_window: COALESCE,
+        requests_per_client,
+        measurements,
+        speedups,
+        headline_speedup_bits256: headline,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
+    println!("wrote {out_path} (headline Bits256 speedup {headline:.2}x)");
+
+    if let Some(min) = check_speedup {
+        assert!(
+            headline >= min,
+            "Bits256 cache-on speedup {headline:.2}x below the {min:.2}x gate"
+        );
+    }
+}

@@ -240,6 +240,79 @@ impl CryptoMlp {
         Ok(self.predictions(&out))
     }
 
+    /// Batched encrypted prediction: serves **several** independent
+    /// encrypted feature batches in one secure sweep — the decrypt core
+    /// of the inference serving layer's request coalescing.
+    ///
+    /// All batches share the model's quantized first-layer weights, so
+    /// the function keys are derived (or, behind a
+    /// [`CachingKeyService`](cryptonn_fe::CachingKeyService), looked
+    /// up) **once**, every ciphertext column across every batch runs
+    /// through one [`decrypt_cells`](cryptonn_fe::feip::decrypt_cells)
+    /// sweep sharing a single modular inversion, and the plaintext
+    /// remainder of the network runs per batch.
+    ///
+    /// Returns one prediction matrix per input batch, in order; each is
+    /// bit-identical to a separate
+    /// [`predict_encrypted`](Self::predict_encrypted) call on that
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-computation failures; shape mismatches name
+    /// the offending batch's feature dimension.
+    pub fn predict_encrypted_many<A: KeyService + ?Sized>(
+        &mut self,
+        authority: &A,
+        batches: &[&EncryptedBatch],
+    ) -> Result<Vec<Matrix<f64>>, CryptoNnError> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.first.in_dim();
+        let fp = self.config.fp;
+        let mut max_abs_x = 1u64;
+        for batch in batches {
+            if batch.feature_dim() != n {
+                return Err(CryptoNnError::BatchShapeMismatch {
+                    expected: n,
+                    got: batch.feature_dim(),
+                    what: "feature dimension",
+                });
+            }
+            max_abs_x = max_abs_x.max(batch.max_abs_x);
+        }
+        // One key derivation for the whole sweep (a cache hit when the
+        // serving layer wraps the authority in a key cache).
+        let wq = fp.encode_matrix(&self.first.weights().transpose());
+        let keys = cryptonn_smc::derive_dot_keys(authority, &wq)?;
+        let mpk = authority.feip_public_key(n)?;
+        let bound = (n as u64)
+            .saturating_mul(max_abs_x)
+            .saturating_mul(crate::secure_steps::max_abs_q(&wq));
+        let table = self.cache.table(bound);
+
+        let encs: Vec<&cryptonn_smc::EncryptedMatrix> = batches.iter().map(|b| &b.x).collect();
+        let zqs = cryptonn_smc::secure_dot_multi(
+            &mpk,
+            &encs,
+            &keys,
+            &wq,
+            &table,
+            self.config.parallelism,
+        )?;
+        zqs.into_iter()
+            .map(|zq| {
+                let z = fp
+                    .decode_product_matrix(&zq)
+                    .transpose()
+                    .add_row_broadcast(self.first.bias());
+                let out = self.rest.forward(&z, false);
+                Ok(self.predictions(&out))
+            })
+            .collect()
+    }
+
     /// Plaintext forward pass — used by the evaluation harness to score
     /// the trained model on a test set it owns.
     pub fn predict_plain(&mut self, x: &Matrix<f64>) -> Matrix<f64> {
@@ -361,6 +434,47 @@ mod tests {
         let pred_batch = client.encrypt_features(&x).unwrap();
         let p = model.predict_encrypted(&auth, &pred_batch).unwrap();
         assert!(p[(0, 0)] > 0.5 && p[(1, 0)] < 0.5);
+    }
+
+    /// The coalesced serving sweep must be bit-identical to per-batch
+    /// `predict_encrypted`, and must hit a wrapping key cache after the
+    /// first sweep.
+    #[test]
+    fn batched_prediction_matches_single_batches_bitwise() {
+        use cryptonn_fe::CachingKeyService;
+
+        let config = CryptoNnConfig::fast();
+        let auth = CachingKeyService::new(authority(&config), 64);
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut model =
+            CryptoMlp::new(4, &[5], 2, Objective::SoftmaxCrossEntropy, config, &mut rng);
+
+        let mut client = Client::for_mlp(auth.inner(), 4, 2, config.fp, 51);
+        let batches: Vec<_> = (0..3)
+            .map(|b| {
+                let x = Matrix::from_fn(2 + b, 4, |r, c| ((r * 5 + c + b) % 9) as f64 / 9.0);
+                client.encrypt_features(&x).unwrap()
+            })
+            .collect();
+        let refs: Vec<&EncryptedBatch> = batches.iter().collect();
+
+        let singles: Vec<Matrix<f64>> = refs
+            .iter()
+            .map(|b| model.predict_encrypted(&auth, b).unwrap())
+            .collect();
+        let stats_before = auth.stats();
+        let coalesced = model.predict_encrypted_many(&auth, &refs).unwrap();
+
+        assert_eq!(singles, coalesced, "coalesced sweep must be bit-identical");
+        let stats = auth.stats();
+        assert_eq!(
+            stats.misses, stats_before.misses,
+            "frozen weights: the coalesced sweep derives nothing new"
+        );
+        assert!(stats.hits > stats_before.hits, "sweep must hit the cache");
+
+        // Empty sweep is a no-op.
+        assert!(model.predict_encrypted_many(&auth, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -27,7 +27,9 @@ use crate::client::{EncryptedBatch, EncryptedImageBatch};
 use crate::error::CryptoNnError;
 use crate::tables::DlogTableCache;
 
-fn max_abs_q(m: &Matrix<i64>) -> u64 {
+/// Largest |value| of a quantized operand matrix, floored at 1 — the
+/// shared convention every dlog-bound computation uses.
+pub(crate) fn max_abs_q(m: &Matrix<i64>) -> u64 {
     m.as_slice()
         .iter()
         .map(|v| v.unsigned_abs())

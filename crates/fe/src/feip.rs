@@ -497,6 +497,27 @@ pub fn decrypt_cells(
     table: &DlogTable,
     parallelism: Parallelism,
 ) -> Result<Vec<i64>, FeError> {
+    let refs: Vec<&FeipCiphertext> = cts.iter().collect();
+    decrypt_cells_refs(mpk, &refs, keys, rows, table, parallelism)
+}
+
+/// As [`decrypt_cells`], over borrowed ciphertexts — the form the
+/// inference serving layer uses to sweep the ciphertext columns of
+/// **several coalesced requests** in one call (shared row recodings,
+/// shared `ct₀` comb decision, and one batched inversion across every
+/// request in flight) without cloning a single ciphertext.
+///
+/// # Errors
+///
+/// As [`decrypt_cells`].
+pub fn decrypt_cells_refs(
+    mpk: &FeipPublicKey,
+    cts: &[&FeipCiphertext],
+    keys: &[FeipFunctionKey],
+    rows: &[&[i64]],
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Vec<i64>, FeError> {
     if keys.len() != rows.len() {
         return Err(FeError::DimensionMismatch {
             expected: rows.len(),

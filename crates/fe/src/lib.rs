@@ -38,7 +38,10 @@
 //! # Ok::<(), cryptonn_fe::FeError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod authority;
+mod cache;
 mod error;
 pub mod febo;
 pub mod feip;
@@ -47,6 +50,7 @@ mod service;
 pub use authority::{
     CommLog, KeyAuthority, PermittedFunctions, COMMITMENT_BYTES, KEY_BYTES, WEIGHT_BYTES,
 };
+pub use cache::{CachingKeyService, KeyCacheStats};
 pub use error::FeError;
 pub use febo::{BasicOp, FeboCiphertext, FeboFunctionKey, FeboMasterKey, FeboPublicKey};
 pub use feip::{

@@ -20,9 +20,14 @@
 //!   ([`RemoteAuthority`] / [`LocalAuthority`]) the training server
 //!   uses to reach it.
 //! - [`client`] — [`run_client`]: the data-owner driver.
+//! - [`inference`] — [`InferenceServer`]: encrypted prediction serving
+//!   against a frozen trained model — concurrent predict clients,
+//!   request coalescing into shared secure sweeps, and a functional-key
+//!   cache that makes the steady state authority-free (DESIGN.md §12).
 //!
 //! Every daemon and driver pumps the *same* role state machines as the
-//! in-process [`TrainingSessionRunner`] and the transcript replayer
+//! in-process [`TrainingSessionRunner`](cryptonn_protocol::TrainingSessionRunner)
+//! and the transcript replayer
 //! (`cryptonn-protocol`), so a session trained over TCP loopback
 //! produces weights bit-identical to the deterministic in-process run
 //! on the same config and dataset.
@@ -90,6 +95,7 @@
 pub mod authority;
 pub mod client;
 pub mod framing;
+pub mod inference;
 pub mod server;
 pub mod transport;
 
@@ -101,6 +107,9 @@ pub use authority::{
 pub use client::run_client;
 pub use error::NetError;
 pub use framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER};
+pub use inference::{
+    run_inference_client, InferenceClient, InferenceServer, InferenceServerOptions,
+};
 pub use server::{ServerOptions, SessionOutcomeKind, SessionServer};
 pub use transport::{
     mem_pair, mem_pair_default, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport,

@@ -65,7 +65,9 @@ struct PoolSlots {
     freed: std::sync::Condvar,
 }
 
-/// See [`PoolSlots`]-based capacity semantics in the struct docs.
+/// A bounded pool: capacity is tracked by an internal idle-slot
+/// counter; [`execute`](Self::execute) waits for a slot while
+/// [`try_execute`](Self::try_execute) refuses instead.
 #[derive(Debug)]
 pub struct ThreadPool {
     tx: Option<std::sync::mpsc::Sender<Box<dyn FnOnce() + Send>>>,

@@ -23,6 +23,10 @@
 //! - [`replay`] — [`replay_server`]: re-executes the server from a
 //!   transcript alone and verifies it reproduces the recording, with
 //!   typed [`ReplayError`] rejection of forged transcripts.
+//! - [`inference`] — [`InferenceSession`]: the serving phase — a frozen
+//!   trained model answers encrypted predict requests, coalescing
+//!   in-flight requests into shared secure sweeps behind a
+//!   functional-key cache (DESIGN.md §12).
 //!
 //! Single-client training is the `K = 1` special case of the same
 //! machinery; DESIGN.md §9 documents the message flow per Algorithm 2
@@ -54,6 +58,7 @@
 //! ```
 
 mod error;
+pub mod inference;
 pub mod messages;
 pub mod replay;
 pub mod runner;
@@ -61,10 +66,12 @@ pub mod session;
 mod transcript;
 
 pub use error::{ProtocolError, ReplayError};
+pub use inference::{InferenceOptions, InferenceSession};
 pub use messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
-    FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PublicParams,
-    RegisterClient, SessionConfig, SessionId, SessionSummary, TrainingStart, WireMessage,
+    FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PredictRequest,
+    Prediction, PublicParams, RegisterClient, SessionConfig, SessionId, SessionSummary,
+    TrainingStart, WireMessage,
 };
 pub use replay::{replay_server, ReplayChannel, ReplayOutcome};
 pub use runner::{

@@ -229,6 +229,33 @@ pub enum KeyResponse {
     Denied(String),
 }
 
+/// Client → inference server: one encrypted feature batch to predict
+/// on. The batch carries **no labels** (it is built by
+/// [`Client::encrypt_features`](cryptonn_core::Client::encrypt_features));
+/// the request id is client-scoped and echoed back in the matching
+/// [`Prediction`], so a client may pipeline many requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Client-scoped request identifier, echoed in the response.
+    pub id: u64,
+    /// The encrypted feature batch (`batch × features`, no labels).
+    pub batch: EncryptedBatch,
+}
+
+/// Inference server → client: the model outputs for one
+/// [`PredictRequest`] — softmax probabilities or sigmoid activations
+/// (`batch × classes`), exactly what the in-process
+/// [`CryptoMlp::predict_encrypted`](cryptonn_core::CryptoMlp::predict_encrypted)
+/// returns. The server learning the prediction is the paper's FE-mode
+/// contract (§III-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The request this answers.
+    pub id: u64,
+    /// Model outputs, one row per sample.
+    pub outputs: Matrix<f64>,
+}
+
 /// Server → everyone: metrics after one training step. This is the
 /// paper's "server learns only functional outputs" boundary: clients
 /// observe training progress, never each other's data.
@@ -297,6 +324,10 @@ pub enum WireMessage {
     Epoch(EpochBarrier),
     /// Final model fingerprint.
     Summary(SessionSummary),
+    /// An encrypted inference request (serving phase).
+    Predict(PredictRequest),
+    /// The inference server's answer to one request.
+    Prediction(Prediction),
 }
 
 impl WireMessage {
@@ -314,6 +345,8 @@ impl WireMessage {
             WireMessage::Delta(_) => "delta",
             WireMessage::Epoch(_) => "epoch",
             WireMessage::Summary(_) => "summary",
+            WireMessage::Predict(_) => "predict",
+            WireMessage::Prediction(_) => "prediction",
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Each session owns its role's private state (master keys, plaintext
 //! shard, model weights) and communicates *only* through the
-//! [`WireMessage`](crate::WireMessage) alphabet. Every role exposes the
+//! [`WireMessage`] alphabet. Every role exposes the
 //! same event-driven surface — `handle_message(&mut self, msg) ->
 //! Result<Vec<Outbound>>` — so the deterministic in-process runner, the
 //! transcript replayer, and the networked daemons are all thin drivers
@@ -291,7 +291,7 @@ impl KeyService for ChannelKeyService {
 }
 
 /// Default per-client credit window: how many batches a client keeps in
-/// flight before waiting for a [`ModelDelta`](crate::ModelDelta)
+/// flight before waiting for a [`ModelDelta`]
 /// acknowledging one of its own steps. Two gives double-buffering —
 /// the client encrypts batch `t+1` while the server trains on `t`.
 pub const DEFAULT_CLIENT_WINDOW: usize = 2;
@@ -660,6 +660,21 @@ impl ServerSession {
         }
     }
 
+    /// Consumes the session, returning the trained model — the frozen
+    /// artifact an [`InferenceSession`](crate::InferenceSession) serves.
+    pub fn into_model(self) -> ServerModel {
+        self.model
+    }
+
+    /// Consumes the session, returning the trained MLP if this session
+    /// trained one.
+    pub fn into_mlp(self) -> Option<CryptoMlp> {
+        match self.model {
+            ServerModel::Mlp(m) => Some(m),
+            ServerModel::Cnn(_) => None,
+        }
+    }
+
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.next_step
@@ -675,7 +690,7 @@ impl ServerSession {
         self.pending.len()
     }
 
-    /// True once the final [`SessionSummary`](crate::SessionSummary)
+    /// True once the final [`SessionSummary`]
     /// was emitted.
     pub fn is_finished(&self) -> bool {
         self.finished

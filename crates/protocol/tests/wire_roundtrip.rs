@@ -10,7 +10,8 @@ use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
 use cryptonn_protocol::{
     mlp_session_config, ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier,
     FeboKeysRequest, FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec,
-    Party, PublicParams, RegisterClient, SessionSummary, TrainingStart, Transcript, WireMessage,
+    Party, PredictRequest, Prediction, PublicParams, RegisterClient, SessionSummary, TrainingStart,
+    Transcript, WireMessage,
 };
 use cryptonn_smc::FixedPoint;
 use proptest::prelude::*;
@@ -135,6 +136,21 @@ proptest! {
         let keys = auth.derive_bo_keys(&reqs).unwrap();
         roundtrip(&WireMessage::KeyResponse(KeyResponse::Febo(keys)));
         roundtrip(&WireMessage::KeyResponse(KeyResponse::Denied("refused".into())));
+    }
+
+    #[test]
+    fn predict_traffic_roundtrips(seed in 0u64..1000, rows in 1usize..4) {
+        let auth = authority();
+        let mut client = Client::for_mlp(auth, 3, 2, FixedPoint::TWO_DECIMALS, seed);
+        let x = Matrix::from_fn(rows, 3, |r, c| ((r * 3 + c + seed as usize) % 10) as f64 / 10.0);
+        roundtrip(&WireMessage::Predict(PredictRequest {
+            id: seed,
+            batch: client.encrypt_features(&x).unwrap(),
+        }));
+        roundtrip(&WireMessage::Prediction(Prediction {
+            id: seed,
+            outputs: Matrix::from_fn(rows, 2, |r, c| (r as f64 + seed as f64) / (c as f64 + 2.0)),
+        }));
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use secure_conv::{
 };
 pub use secure_matrix::{
     derive_dot_keys, derive_elementwise_keys, dot_bound, elementwise_bound, secure_compute,
-    secure_dot, secure_elementwise, EncryptedMatrix, SecureFunction,
+    secure_dot, secure_dot_multi, secure_elementwise, EncryptedMatrix, SecureFunction,
 };

@@ -216,7 +216,8 @@ impl EncryptedMatrix {
 ///
 /// # Errors
 ///
-/// Propagates authority refusals ([`FeError::FunctionNotPermitted`]) and
+/// Propagates authority refusals
+/// ([`FeError::FunctionNotPermitted`](cryptonn_fe::FeError::FunctionNotPermitted)) and
 /// dimension mismatches.
 pub fn derive_dot_keys<A: KeyService + ?Sized>(
     authority: &A,
@@ -271,7 +272,8 @@ pub fn derive_elementwise_keys<A: KeyService + ?Sized>(
 /// - [`SmcError::NotEncryptedForDot`] if the FEIP part is absent,
 /// - [`SmcError::KeyCountMismatch`] / [`SmcError::ShapeMismatch`] on
 ///   operand disagreement,
-/// - [`FeError::Group`] (wrapped) if a result exceeds the dlog bound.
+/// - [`FeError::Group`](cryptonn_fe::FeError::Group) (wrapped) if a result
+///   exceeds the dlog bound.
 pub fn secure_dot(
     feip_mpk: &FeipPublicKey,
     enc: &EncryptedMatrix,
@@ -306,6 +308,63 @@ pub fn secure_dot(
         // Cell (ciphertext column j, key row i) is output Z[i][j].
         |out, j, i, v| out[(i, j)] = v,
     )?;
+    Ok(out)
+}
+
+/// Batched [`secure_dot`] over **several** encrypted matrices sharing
+/// one server operand: computes `Zᵇ = Y · Xᵇ` for every batch `b` in a
+/// single [`feip::decrypt_cells_refs`] sweep, so the whole coalesced
+/// set shares the per-row wNAF recodings, the `ct₀` comb decision, and
+/// **one** modular inversion — the decrypt core of the inference
+/// serving layer's request batching.
+///
+/// Returns one result matrix per input, in order; each is bit-identical
+/// to what a separate [`secure_dot`] call on that input produces.
+///
+/// # Errors
+///
+/// As [`secure_dot`], applied to each input matrix.
+pub fn secure_dot_multi(
+    feip_mpk: &FeipPublicKey,
+    encs: &[&EncryptedMatrix],
+    keys: &[FeipFunctionKey],
+    y: &Matrix<i64>,
+    table: &DlogTable,
+    parallelism: Parallelism,
+) -> Result<Vec<Matrix<i64>>, SmcError> {
+    if keys.len() != y.rows() {
+        return Err(SmcError::KeyCountMismatch {
+            expected: y.rows(),
+            got: keys.len(),
+        });
+    }
+    let mut columns: Vec<&FeipCiphertext> = Vec::new();
+    for enc in encs {
+        if y.cols() != enc.rows() {
+            return Err(SmcError::ShapeMismatch {
+                expected: (y.rows(), enc.rows()),
+                got: y.shape(),
+            });
+        }
+        columns.extend(enc.columns()?.iter());
+    }
+    let rows: Vec<&[i64]> = (0..y.rows()).map(|r| y.row(r)).collect();
+    let values = feip::decrypt_cells_refs(feip_mpk, &columns, keys, &rows, table, parallelism)?;
+    // Values arrive ciphertext-major: consecutive runs of `nrows` cells
+    // per column, columns in enc order.
+    let nrows = y.rows();
+    let mut out = Vec::with_capacity(encs.len());
+    let mut offset = 0;
+    for enc in encs {
+        let mut z = Matrix::zeros(nrows, enc.cols());
+        for j in 0..enc.cols() {
+            for r in 0..nrows {
+                z[(r, j)] = values[offset + j * nrows + r];
+            }
+        }
+        offset += enc.cols() * nrows;
+        out.push(z);
+    }
     Ok(out)
 }
 
