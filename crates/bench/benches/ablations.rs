@@ -13,6 +13,9 @@
 //! - `ablation_multi_scalar_decrypt`: naive one-pow-per-term FEIP
 //!   decryption vs the Straus/wNAF multi-scalar fast path
 //!   (DESIGN.md §10), dim-784 at `Bits256`.
+//! - `ablation_mont_lanes`: serial `mont_mul` vs the 4-wide lane
+//!   kernel, on the generic and Montgomery-friendly 256-bit primes
+//!   (DESIGN.md §13).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cryptonn_bench::{bench_rng, fixture, random_matrix, thread_counts};
@@ -252,12 +255,60 @@ fn multi_scalar_decrypt(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial `mont_mul` vs the 4-wide lane kernel (`mont_mul_lanes`),
+/// measured per Montgomery product, on the generic `Bits256` prime and
+/// the Montgomery-friendly `Bits256Fast` prime (m′ = 1, one multiply
+/// per reduction round shaved off). The interesting numbers are the
+/// lane arm's per-mul amortization and the generic → fast-prime delta;
+/// `CRYPTONN_FORCE_SCALAR=1` pins the scalar kernel for A/B runs.
+fn mont_lanes(c: &mut Criterion) {
+    use cryptonn_bigint::Montgomery;
+
+    let mut g = c.benchmark_group("ablation_mont_lanes");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    for (label, level) in [
+        ("bits256_generic", SecurityLevel::Bits256),
+        ("bits256_fast", SecurityLevel::Bits256Fast),
+    ] {
+        let group = SchnorrGroup::precomputed(level);
+        let ctx = Montgomery::new(group.modulus()).expect("odd modulus");
+        let mut rng = bench_rng(81);
+        // Random reduced residues; the chains below keep values live so
+        // the multiplies cannot be hoisted or reassociated away.
+        let seeds: [U256; 4] = core::array::from_fn(|_| {
+            ctx.to_mont(group.exp(&group.random_scalar(&mut rng)).value())
+        });
+
+        g.bench_function(format!("{label}/serial_mont_mul"), |b| {
+            let mut acc = seeds;
+            b.iter(|| {
+                for lane in 0..4 {
+                    acc[lane] = ctx.mont_mul(&acc[lane], &seeds[lane]);
+                }
+                black_box(&mut acc);
+            });
+        });
+        g.bench_function(format!("{label}/mont_mul_lanes"), |b| {
+            let mut acc = seeds;
+            b.iter(|| {
+                acc = ctx.mont_mul_lanes(&acc, &seeds);
+                black_box(&mut acc);
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     dot_vs_febo,
     bsgs_reuse,
     threads,
     exponentiation,
-    multi_scalar_decrypt
+    multi_scalar_decrypt,
+    mont_lanes
 );
 criterion_main!(benches);

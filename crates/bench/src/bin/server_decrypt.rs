@@ -12,15 +12,24 @@
 //! - **multi_scalar** — the Straus/wNAF shared-squaring pipeline with
 //!   batched inversion (DESIGN.md §10).
 //!
-//! Emits `BENCH_server_decrypt.json` (schema documented in DESIGN.md
-//! §10.4) so future PRs can prove wins and regressions mechanically, and
-//! exits nonzero under `--check-speedup <min>` if the Bits256 dim-784
-//! `secure_dot` single-thread speedup falls below `<min>` — the CI
-//! regression gate.
+//! The `Bits256Fast` arms additionally run the full optimized kernel
+//! stack — FastP64 reduction, lane-batched Montgomery multiplies and
+//! lane-stepped BSGS — against the same naive reference, so the JSON
+//! carries both the algorithmic (naive → multi-scalar) and the kernel
+//! (v1 baseline → lanes + fast prime) trajectories.
+//!
+//! Emits `BENCH_server_decrypt.json` (schema v2, documented in
+//! DESIGN.md §10.4 / §13) so future PRs can prove wins and regressions
+//! mechanically. Exits nonzero under `--check-speedup <min>` if the
+//! Bits256 dim-784 `secure_dot` single-thread speedup falls below
+//! `<min>`, and under `--check-cell-speedup <min>` if the `Bits256Fast`
+//! single-thread `secure_dot` per-cell latency is not at least `<min>`×
+//! better than the recorded v1 baseline — the CI regression gates.
 //!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin server_decrypt -- \
-//!     [--out BENCH_server_decrypt.json] [--check-speedup 2.0]
+//!     [--out BENCH_server_decrypt.json] [--check-speedup 2.0] \
+//!     [--check-cell-speedup 1.5]
 //! ```
 
 use std::time::Instant;
@@ -73,14 +82,23 @@ struct Acceptance {
 struct Report {
     schema: String,
     generated_by: String,
+    host: cryptonn_bench::HostInfo,
     dot_dim: usize,
     dot_rows: usize,
     dot_cols: usize,
     elementwise_elems: usize,
     operand_range: i64,
+    /// The v1 report's secure_dot/Bits256/threads=1 per-cell latency,
+    /// the fixed reference the kernel gate measures against.
+    v1_baseline_cell_us: f64,
     measurements: Vec<Measurement>,
-    acceptance: Acceptance,
+    acceptance: Vec<Acceptance>,
 }
+
+/// `multi_scalar_cell_us` for secure_dot/Bits256/threads=1 from the
+/// last v1 `BENCH_server_decrypt.json` (the pre-kernel state of this
+/// repo) — the denominator of the kernel-arm acceptance gate.
+const V1_BASELINE_CELL_US: f64 = 223.43;
 
 fn level_name(level: SecurityLevel) -> String {
     format!("{level:?}")
@@ -234,6 +252,7 @@ fn enc_element(enc: &EncryptedMatrix, j: usize) -> &cryptonn_fe::FeboCiphertext 
 fn main() {
     let mut out_path = String::from("BENCH_server_decrypt.json");
     let mut check_speedup: Option<f64> = None;
+    let mut check_cell_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -246,16 +265,28 @@ fn main() {
                         .expect("--check-speedup must be a float"),
                 )
             }
+            "--check-cell-speedup" => {
+                check_cell_speedup = Some(
+                    args.next()
+                        .expect("--check-cell-speedup requires a number")
+                        .parse()
+                        .expect("--check-cell-speedup must be a float"),
+                )
+            }
             other => panic!("unknown argument `{other}`"),
         }
     }
 
     let mut measurements = Vec::new();
     println!(
-        "{:<26} {:>8} {:>3} {:>14} {:>14} {:>9}",
+        "{:<26} {:>12} {:>3} {:>14} {:>14} {:>9}",
         "workload", "level", "t", "naive µs/cell", "fast µs/cell", "speedup"
     );
-    for level in [SecurityLevel::Bits64, SecurityLevel::Bits256] {
+    for level in [
+        SecurityLevel::Bits64,
+        SecurityLevel::Bits256,
+        SecurityLevel::Bits256Fast,
+    ] {
         for threads in [1usize, 4] {
             let mut batch = vec![measure_dot(level, threads)];
             for op in [BasicOp::Add, BasicOp::Mul] {
@@ -263,7 +294,7 @@ fn main() {
             }
             for m in batch {
                 println!(
-                    "{:<26} {:>8} {:>3} {:>14.1} {:>14.1} {:>8.1}x",
+                    "{:<26} {:>12} {:>3} {:>14.1} {:>14.1} {:>8.1}x",
                     m.workload,
                     m.level,
                     m.threads,
@@ -276,26 +307,47 @@ fn main() {
         }
     }
 
-    // The acceptance metric: Bits256 dim-784 secure_dot, single thread.
+    // Gate 1: Bits256 dim-784 secure_dot single thread, naive vs
+    // multi-scalar (the algorithmic win, carried over from v1).
     let gate = measurements
         .iter()
         .find(|m| m.workload == "secure_dot" && m.level == "Bits256" && m.threads == 1)
         .expect("gate measurement always present");
     let min_required = check_speedup.unwrap_or(2.0);
-    let acceptance = Acceptance {
+    let mut acceptance = vec![Acceptance {
         metric: "secure_dot/Bits256/threads=1 multi-scalar vs naive speedup".into(),
         value: gate.speedup,
         min_required,
         pass: gate.speedup >= min_required,
-    };
+    }];
+    // Gate 2: the kernel arm — Bits256Fast single-thread per-cell
+    // latency against the fixed v1 baseline. Same 256-bit class and
+    // geometry, so the ratio isolates the lane kernel + fast-prime +
+    // mont-domain-BSGS stack.
+    let fast_gate = measurements
+        .iter()
+        .find(|m| m.workload == "secure_dot" && m.level == "Bits256Fast" && m.threads == 1)
+        .expect("fast gate measurement always present");
+    let cell_speedup = V1_BASELINE_CELL_US / fast_gate.multi_scalar_cell_us;
+    let min_cell = check_cell_speedup.unwrap_or(1.5);
+    acceptance.push(Acceptance {
+        metric: format!(
+            "secure_dot/Bits256Fast/threads=1 cell latency vs v1 baseline {V1_BASELINE_CELL_US}us"
+        ),
+        value: cell_speedup,
+        min_required: min_cell,
+        pass: cell_speedup >= min_cell,
+    });
     let report = Report {
-        schema: "cryptonn.bench.server_decrypt/v1".into(),
+        schema: "cryptonn.bench.server_decrypt/v2".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin server_decrypt".into(),
+        host: cryptonn_bench::host_info(),
         dot_dim: DIM,
         dot_rows: ROWS,
         dot_cols: COLS,
         elementwise_elems: ELEMS,
         operand_range: RANGE,
+        v1_baseline_cell_us: V1_BASELINE_CELL_US,
         measurements,
         acceptance,
     };
@@ -303,17 +355,26 @@ fn main() {
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
     println!("\nwrote {out_path}");
 
+    let mut failed = false;
     if let Some(min) = check_speedup {
-        if report.acceptance.value < min {
-            eprintln!(
-                "FAIL: multi-scalar speedup {:.2}x below required {min:.2}x",
-                report.acceptance.value
-            );
-            std::process::exit(1);
+        let value = report.acceptance[0].value;
+        if value < min {
+            eprintln!("FAIL: multi-scalar speedup {value:.2}x below required {min:.2}x");
+            failed = true;
+        } else {
+            println!("PASS: multi-scalar speedup {value:.2}x ≥ required {min:.2}x");
         }
-        println!(
-            "PASS: multi-scalar speedup {:.2}x ≥ required {min:.2}x",
-            report.acceptance.value
-        );
+    }
+    if let Some(min) = check_cell_speedup {
+        let value = report.acceptance[1].value;
+        if value < min {
+            eprintln!("FAIL: kernel-arm cell speedup {value:.2}x below required {min:.2}x");
+            failed = true;
+        } else {
+            println!("PASS: kernel-arm cell speedup {value:.2}x ≥ required {min:.2}x");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

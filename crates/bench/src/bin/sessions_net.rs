@@ -17,7 +17,8 @@
 //!   traffic) per second.
 //!
 //! Emits `BENCH_sessions_net.json` (schema
-//! `cryptonn.bench.sessions_net/v1`) so CI can archive the trajectory.
+//! `cryptonn.bench.sessions_net/v2`, host provenance included) so CI
+//! can archive the trajectory.
 //!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin sessions_net -- \
@@ -80,6 +81,7 @@ struct Measurement {
 struct Report {
     schema: String,
     generated_by: String,
+    host: cryptonn_bench::HostInfo,
     level: String,
     samples_per_session: usize,
     batch_size: u32,
@@ -232,8 +234,9 @@ fn main() {
     authority.shutdown();
 
     let report = Report {
-        schema: "cryptonn.bench.sessions_net/v1".into(),
+        schema: "cryptonn.bench.sessions_net/v2".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin sessions_net".into(),
+        host: cryptonn_bench::host_info(),
         level: format!("{:?}", cryptonn_bench::bench_level()),
         samples_per_session: samples,
         batch_size: 8,

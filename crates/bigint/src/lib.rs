@@ -10,8 +10,13 @@
 //!   arithmetic (Knuth Algorithm D division, widening multiplication),
 //! - [`modular`]: modular add/sub/mul/pow/inverse over 256-bit moduli,
 //! - [`montgomery`]: a reusable Montgomery reduction context (CIOS
-//!   multiplication) that backs [`modular::mod_pow`] for odd moduli and
-//!   the group layer's fixed-base exponentiation tables,
+//!   multiplication, with a fast-reduction path for moduli ≡ −1 mod
+//!   2⁶⁴) that backs [`modular::mod_pow`] for odd moduli and the group
+//!   layer's fixed-base exponentiation tables,
+//! - [`lanes`]: the 4-wide lane-batched Montgomery kernel (AVX2 when
+//!   the one-shot calibration shootout favors it, a scalar
+//!   instruction-parallel fallback otherwise; `CRYPTONN_FORCE_SCALAR=1`
+//!   pins the portable kernel),
 //! - [`prime`]: Miller–Rabin primality testing and (safe-)prime
 //!   generation for `GroupGen(1^λ)`.
 //!
@@ -26,11 +31,13 @@
 //! assert_eq!(modular::mod_mul(&a, &inv, &p), U256::ONE);
 //! ```
 
+pub mod lanes;
 pub mod limbs;
 pub mod modular;
 pub mod montgomery;
 pub mod prime;
 mod uint;
 
-pub use montgomery::Montgomery;
+pub use lanes::{kernel_name, Kernel};
+pub use montgomery::{Montgomery, Reducer};
 pub use uint::{ParseUintError, U256, U512};

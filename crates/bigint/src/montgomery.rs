@@ -24,6 +24,27 @@ use crate::uint::U256;
 /// The number of 64-bit limbs in the working width.
 const N: usize = U256::LIMBS;
 
+/// The reduction strategy a [`Montgomery`] context dispatches through.
+///
+/// Selected once at construction from the shape of the modulus; the
+/// fast arm is picked automatically whenever it applies, so callers
+/// never choose (they can [inspect](Montgomery::reducer) the choice for
+/// telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reducer {
+    /// The generic CIOS round: `mu = t₀·m′ mod 2^64`, then a full
+    /// `mu·m` multiply-accumulate pass.
+    Generic,
+    /// Montgomery-friendly modulus `m ≡ -1 (mod 2^64)`: then
+    /// `m′ = -m⁻¹ = 1`, so `mu = t₀` (one multiply gone), and the first
+    /// limb of the `mu·m` pass collapses —
+    /// `t₀ + mu·m₀ = mu + mu·(2^64 - 1) = mu·2^64`, i.e. the low limb
+    /// cancels exactly and the carry out is just `mu` (a second
+    /// multiply gone). Two of the nine 64×64 multiplies in every CIOS
+    /// round disappear.
+    FastP64,
+}
+
 /// A reusable Montgomery reduction context for one odd modulus.
 ///
 /// ```
@@ -39,13 +60,15 @@ const N: usize = U256::LIMBS;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Montgomery {
     /// The odd modulus `m`.
-    m: U256,
+    pub(crate) m: U256,
     /// `-m⁻¹ mod 2^64`, the per-limb reduction constant.
-    m_prime: Limb,
+    pub(crate) m_prime: Limb,
     /// `R mod m` — the Montgomery form of 1.
-    r1: U256,
+    pub(crate) r1: U256,
     /// `R² mod m` — the to-Montgomery conversion factor.
-    r2: U256,
+    pub(crate) r2: U256,
+    /// The reduction strategy, a pure function of `m`.
+    pub(crate) reducer: Reducer,
 }
 
 impl Montgomery {
@@ -83,12 +106,26 @@ impl Montgomery {
         for _ in 0..U256::BITS {
             r2 = crate::modular::mod_add(&r2, &r2, m);
         }
+        // m ≡ -1 (mod 2^64) ⟺ the low limb is all-ones ⟺ m′ = 1; the
+        // CIOS round then sheds two multiplies (see [`Reducer::FastP64`]).
+        let reducer = if m0 == Limb::MAX {
+            debug_assert_eq!(m_prime, 1);
+            Reducer::FastP64
+        } else {
+            Reducer::Generic
+        };
         Some(Self {
             m: *m,
             m_prime,
             r1,
             r2,
+            reducer,
         })
+    }
+
+    /// The reduction strategy this context selected for its modulus.
+    pub fn reducer(&self) -> Reducer {
+        self.reducer
     }
 
     /// The modulus this context reduces by.
@@ -138,8 +175,16 @@ impl Montgomery {
             t[N + 1] = over;
 
             // t += mu * m, then shift one limb: mu kills t[0] exactly.
-            let mu = t[0].wrapping_mul(self.m_prime);
-            let (_, mut carry) = mac(t[0], mu, m[0], 0);
+            let (mu, mut carry) = match self.reducer {
+                Reducer::Generic => {
+                    let mu = t[0].wrapping_mul(self.m_prime);
+                    let (_, carry) = mac(t[0], mu, m[0], 0);
+                    (mu, carry)
+                }
+                // m′ = 1 ⟹ mu = t[0], and t[0] + mu·(2^64 − 1) = mu·2^64:
+                // the low limb cancels and the carry out is mu itself.
+                Reducer::FastP64 => (t[0], t[0]),
+            };
             for j in 1..N {
                 let (lo, hi) = mac(t[j], mu, m[j], carry);
                 t[j - 1] = lo;
@@ -163,6 +208,40 @@ impl Montgomery {
     /// The Montgomery square `x²·R⁻¹ mod m`.
     pub fn mont_sqr(&self, x: &U256) -> U256 {
         self.mont_mul(x, x)
+    }
+
+    /// Four independent Montgomery products in one call:
+    /// `out[i] = x[i]·y[i]·R⁻¹ mod m`, computed by the lane-batched
+    /// kernel selected at process start (see [`crate::lanes`]) — AVX2
+    /// vertical SIMD where the CPU has it, an interleaved-ILP scalar
+    /// sweep otherwise.
+    ///
+    /// Unlike [`mont_mul`](Self::mont_mul), operands may be unreduced
+    /// (wire-range): each is reduced on entry, so the call is
+    /// equivalent to four `mont_mul`s on the reduced operands. The
+    /// check is one limb comparison in the already-reduced hot case.
+    pub fn mont_mul_lanes(&self, x: &[U256; 4], y: &[U256; 4]) -> [U256; 4] {
+        let reduce = |v: &U256| if v < &self.m { *v } else { v.rem(&self.m) };
+        let xr = [reduce(&x[0]), reduce(&x[1]), reduce(&x[2]), reduce(&x[3])];
+        let yr = [reduce(&y[0]), reduce(&y[1]), reduce(&y[2]), reduce(&y[3])];
+        crate::lanes::mont_mul_x4(self, &xr, &yr)
+    }
+
+    /// Four Montgomery squares in one lane-batched call.
+    pub fn mont_sqr_lanes(&self, x: &[U256; 4]) -> [U256; 4] {
+        self.mont_mul_lanes(x, x)
+    }
+
+    /// Converts four reduced values into Montgomery form in one
+    /// lane-batched call.
+    pub fn to_mont_lanes(&self, a: &[U256; 4]) -> [U256; 4] {
+        self.mont_mul_lanes(a, &[self.r2; 4])
+    }
+
+    /// Converts four Montgomery forms back to plain residues in one
+    /// lane-batched call.
+    pub fn from_mont_lanes(&self, a: &[U256; 4]) -> [U256; 4] {
+        self.mont_mul_lanes(a, &[U256::ONE; 4])
     }
 
     /// Batch modular inversion by Montgomery's trick: inverts every
@@ -465,6 +544,34 @@ mod tests {
         let big = U256::MAX; // >= m
         let got = ctx.batch_inv(&[big]).unwrap();
         assert_eq!(got[0], modular::mod_inv(&big.rem(&m), &m).unwrap());
+    }
+
+    #[test]
+    fn fast_reducer_selected_and_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(106);
+        // Generic moduli keep the generic reducer.
+        let ctx = Montgomery::new(&U256::from_hex(P25519).unwrap()).unwrap();
+        assert_eq!(ctx.reducer(), Reducer::Generic);
+        // Every m = k·2^64 − 1 is odd with an all-ones low limb, so the
+        // fast arm must be picked — and must agree with the schoolbook
+        // result everywhere.
+        for _ in 0..48 {
+            let k = U256::random(&mut rng);
+            let m = k.shl(64).wrapping_sub(&U256::ONE);
+            if m <= U256::ONE {
+                continue;
+            }
+            let ctx = Montgomery::new(&m).unwrap();
+            assert_eq!(ctx.reducer(), Reducer::FastP64, "m={m}");
+            let a = U256::random_below(&mut rng, &m);
+            let b = U256::random_below(&mut rng, &m);
+            assert_eq!(
+                ctx.mod_mul(&a, &b),
+                modular::mod_mul(&a, &b, &m),
+                "a={a} b={b} m={m}"
+            );
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a, "roundtrip m={m}");
+        }
     }
 
     #[test]

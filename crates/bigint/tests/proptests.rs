@@ -202,6 +202,13 @@ const LEVEL_PARAMS: &[(&str, &str, &str)] = &[
         "a504130456d8cce0af73fd190c683b02148b6371a703ba4bac786a772db736af",
         "528209822b6c667057b9fe8c86341d810a45b1b8d381dd25d63c353b96db9b57",
     ),
+    // The Montgomery-friendly level: both p and q ≡ -1 (mod 2^64), so
+    // every context below takes the FastP64 reducer.
+    (
+        "Bits256Fast",
+        "9f2c45ea4d0cf9de4608fe14686ecec4ec2bde9b9326aa17ffffffffffffffff",
+        "4f9622f526867cef23047f0a343767627615ef4dc993550bffffffffffffffff",
+    ),
 ];
 
 proptest! {
@@ -277,6 +284,31 @@ proptest! {
                 let individual: Option<Vec<U256>> =
                     reduced.iter().map(|v| modular::mod_inv(v, &m)).collect();
                 prop_assert_eq!(batch, individual, "level {} modulus {}", level, m);
+            }
+        }
+    }
+
+    /// The lane-batched kernel equals four independent `mont_mul`s on
+    /// unreduced (wire-range) operands, at every embedded level's `p`
+    /// and `q` — generic and fast-reduction moduli alike, whatever
+    /// kernel the host dispatched.
+    #[test]
+    fn mont_mul_lanes_equals_four_mont_muls(
+        x in proptest::array::uniform4(u256()),
+        y in proptest::array::uniform4(u256()),
+    ) {
+        use cryptonn_bigint::Montgomery;
+        for (level, p_hex, q_hex) in LEVEL_PARAMS {
+            for m_hex in [p_hex, q_hex] {
+                let m = U256::from_hex(m_hex).unwrap();
+                let ctx = Montgomery::new(&m).unwrap();
+                let got = ctx.mont_mul_lanes(&x, &y);
+                for lane in 0..4 {
+                    // mont_mul reduces wire-range operands on entry,
+                    // exactly as the lane entry point documents.
+                    let expect = ctx.mont_mul(&x[lane].rem(&m), &y[lane].rem(&m));
+                    prop_assert_eq!(got[lane], expect, "level {} modulus {} lane {}", level, m, lane);
+                }
             }
         }
     }

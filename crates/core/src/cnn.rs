@@ -100,6 +100,13 @@ impl CryptoCnn {
         &self.config
     }
 
+    /// Backs this model's BSGS table cache with an on-disk directory
+    /// (see [`DlogTableCache::attach_dir`]) so warm restarts skip the
+    /// table builds.
+    pub fn attach_table_cache(&mut self, dir: std::path::PathBuf) {
+        self.cache.attach_dir(dir);
+    }
+
     fn unit_keys<A: KeyService + ?Sized>(
         &mut self,
         authority: &A,

@@ -6,6 +6,7 @@
 //! bounds up to the next power of two and reuses the table until a
 //! larger bound is needed.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use cryptonn_group::{DlogTable, SchnorrGroup};
@@ -15,6 +16,7 @@ use cryptonn_group::{DlogTable, SchnorrGroup};
 pub struct DlogTableCache {
     group: SchnorrGroup,
     current: Option<Arc<DlogTable>>,
+    disk_dir: Option<PathBuf>,
 }
 
 impl DlogTableCache {
@@ -23,12 +25,21 @@ impl DlogTableCache {
         Self {
             group,
             current: None,
+            disk_dir: None,
         }
     }
 
     /// The group this cache serves.
     pub fn group(&self) -> &SchnorrGroup {
         &self.group
+    }
+
+    /// Backs this cache with a fingerprinted on-disk table directory:
+    /// subsequent builds go through [`DlogTable::load_or_build`], so a
+    /// restarted server with the same group parameters reloads its BSGS
+    /// tables instead of regenerating them.
+    pub fn attach_dir(&mut self, dir: PathBuf) {
+        self.disk_dir = Some(dir);
     }
 
     /// Returns a table covering at least `[-bound, bound]`, building or
@@ -43,7 +54,10 @@ impl DlogTableCache {
             Some(t) if t.bound() >= bound => t.clone(),
             _ => {
                 let rounded = bound.next_power_of_two();
-                let table = Arc::new(DlogTable::new(&self.group, rounded));
+                let table = Arc::new(match &self.disk_dir {
+                    Some(dir) => DlogTable::load_or_build(&self.group, rounded, dir),
+                    None => DlogTable::new(&self.group, rounded),
+                });
                 self.current = Some(table.clone());
                 table
             }
@@ -78,5 +92,28 @@ mod tests {
         // The grown table still solves correctly.
         let target = group.exp(&group.scalar_from_i64(-4999));
         assert_eq!(t3.solve(&group, &target), Ok(-4999));
+    }
+
+    #[test]
+    fn disk_backed_cache_persists_tables() {
+        let dir =
+            std::env::temp_dir().join(format!("cryptonn-tablecache-test-{}", std::process::id()));
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+
+        let mut cold = DlogTableCache::new(group.clone());
+        cold.attach_dir(dir.clone());
+        let t = cold.table(1000);
+        assert_eq!(t.bound(), 1024);
+
+        // A fresh cache over the same directory reloads the same
+        // geometry and still solves.
+        let mut warm = DlogTableCache::new(group.clone());
+        warm.attach_dir(dir.clone());
+        let t2 = warm.table(1000);
+        assert_eq!(t2.bound(), 1024);
+        let target = group.exp(&group.scalar_from_i64(-777));
+        assert_eq!(t2.solve(&group, &target), Ok(-777));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

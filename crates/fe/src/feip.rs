@@ -15,7 +15,7 @@ use std::sync::{Arc, OnceLock};
 
 use cryptonn_group::{
     DlogTable, Element, ElementRatio, FixedBaseTable, OddPowerTables, Scalar, SchnorrGroup,
-    WnafScalars,
+    WnafScalars, LANES,
 };
 use cryptonn_parallel::{parallel_map, Parallelism};
 use rand::rngs::StdRng;
@@ -560,37 +560,85 @@ pub fn decrypt_cells_refs(
             (tables, ct0_table)
         });
 
-    // Phase 2 — one deferred ratio per cell, parallel across **all**
-    // `ncts × nrows` cells (not just ciphertexts: a single-column batch
-    // with many key rows must still occupy every thread — the Straus
-    // evaluations here are the dominant cost).
+    // Phase 2 — deferred ratios, one work unit per (key row, stride of
+    // four ciphertexts): every row's recoding is shared by all its
+    // lanes, and each full stride advances through the shared Straus
+    // digit schedule four cells per Montgomery kernel call
+    // (`multi_scalar_ratio_lanes` for the numerators,
+    // `exp_tables_lanes` for the `ct0^sk` denominators). Work units
+    // still cover the full `ncts × nrows` grid, so a single-column
+    // batch with many key rows occupies every thread.
     let nrows = rows.len();
-    let ratios: Vec<ElementRatio> = parallel_map(cts.len() * nrows, threads, |idx| {
-        let (c, r) = (idx / nrows, idx % nrows);
-        let ct = &cts[c];
-        let (tables, ct0_table) = &precomp[c];
+    let nstrides = cts.len().div_ceil(LANES);
+    let stride_ratios: Vec<Vec<ElementRatio>> = parallel_map(nrows * nstrides, threads, |idx| {
+        let (r, s) = (idx / nstrides, idx % nstrides);
+        let c0 = s * LANES;
+        let width = LANES.min(cts.len() - c0);
         let (scalars, key) = (&recoded[r], &keys[r]);
-        let denom = match ct0_table {
-            Some(t) => group.exp_table(t, &key.sk),
-            None => group.pow(&ct.ct0, &key.sk),
-        };
-        if scalars.is_all_zero() {
-            ElementRatio::from_element(group, group.identity()).div_by(group, &denom)
+        if width == LANES {
+            let tables: [&OddPowerTables; LANES] = core::array::from_fn(|i| &precomp[c0 + i].0);
+            let denoms: [Element; LANES] =
+                match core::array::from_fn(|i| precomp[c0 + i].1.as_ref()) {
+                    // The comb decision is uniform across ciphertexts, so a
+                    // stride is all-Some or all-None.
+                    [Some(t0), Some(t1), Some(t2), Some(t3)] => {
+                        group.exp_tables_lanes([t0, t1, t2, t3], &key.sk)
+                    }
+                    _ => core::array::from_fn(|i| group.pow(&cts[c0 + i].ct0, &key.sk)),
+                };
+            let nums: [ElementRatio; LANES] = if scalars.is_all_zero() {
+                core::array::from_fn(|_| ElementRatio::from_element(group, group.identity()))
+            } else {
+                group.multi_scalar_ratio_lanes(tables, scalars)
+            };
+            (0..LANES)
+                .map(|i| nums[i].div_by(group, &denoms[i]))
+                .collect()
         } else {
-            group
-                .multi_scalar_ratio(tables, scalars)
-                .div_by(group, &denom)
+            // Remainder stride (< 4 ciphertexts): the serial path.
+            (0..width)
+                .map(|i| {
+                    let c = c0 + i;
+                    let (tables, ct0_table) = &precomp[c];
+                    let denom = match ct0_table {
+                        Some(t) => group.exp_table(t, &key.sk),
+                        None => group.pow(&cts[c].ct0, &key.sk),
+                    };
+                    if scalars.is_all_zero() {
+                        ElementRatio::from_element(group, group.identity()).div_by(group, &denom)
+                    } else {
+                        group
+                            .multi_scalar_ratio(tables, scalars)
+                            .div_by(group, &denom)
+                    }
+                })
+                .collect()
         }
     });
+    // Reassemble ciphertext-major: cell (c, r) at index c*nrows + r.
+    let mut ratios = vec![ElementRatio::from_element(group, group.identity()); cts.len() * nrows];
+    for (idx, unit) in stride_ratios.iter().enumerate() {
+        let (r, s) = (idx / nstrides, idx % nstrides);
+        for (i, ratio) in unit.iter().enumerate() {
+            ratios[(s * LANES + i) * nrows + r] = *ratio;
+        }
+    }
 
     // Phase 3 — one batched inversion for the whole matrix of cells.
     let raws = group.resolve_ratios(&ratios);
 
-    // Phase 4 — discrete logs, parallel across cells.
-    parallel_map(raws.len(), threads, |i| {
-        table.solve(group, &raws[i]).map_err(FeError::from)
+    // Phase 4 — discrete logs: lane-stepped BSGS over chunks of cells,
+    // parallel across chunks.
+    const SOLVE_CHUNK: usize = 8 * LANES;
+    let nchunks = raws.len().div_ceil(SOLVE_CHUNK);
+    parallel_map(nchunks, threads, |k| {
+        let lo = k * SOLVE_CHUNK;
+        let hi = raws.len().min(lo + SOLVE_CHUNK);
+        table.solve_batch(group, &raws[lo..hi])
     })
     .into_iter()
+    .flatten()
+    .map(|r| r.map_err(FeError::from))
     .collect()
 }
 
@@ -623,21 +671,31 @@ pub fn decrypt_coordinates(
     let group = &mpk.group;
     let ct0_table =
         (unit_keys.len() >= FIXED_BASE_THRESHOLD).then(|| group.fixed_base_table(&ct.ct0));
+    // `ct0^{sk_j}` denominators: with the shared comb table, four
+    // distinct exponents walk the table in lockstep per kernel call.
+    let mut denoms: Vec<Element> = Vec::with_capacity(unit_keys.len());
+    match &ct0_table {
+        Some(t) => {
+            let mut chunks = unit_keys.chunks_exact(LANES);
+            for keys in chunks.by_ref() {
+                let es: [&Scalar; LANES] = core::array::from_fn(|i| &keys[i].sk);
+                denoms.extend(group.exp_table_many(t, es));
+            }
+            denoms.extend(chunks.remainder().iter().map(|k| group.exp_table(t, &k.sk)));
+        }
+        None => denoms.extend(unit_keys.iter().map(|k| group.pow(&ct.ct0, &k.sk))),
+    }
     let ratios: Vec<ElementRatio> = ct
         .cts
         .iter()
-        .zip(unit_keys)
-        .map(|(cti, key)| {
-            let denom = match &ct0_table {
-                Some(t) => group.exp_table(t, &key.sk),
-                None => group.pow(&ct.ct0, &key.sk),
-            };
-            ElementRatio::from_element(group, *cti).div_by(group, &denom)
-        })
+        .zip(&denoms)
+        .map(|(cti, denom)| ElementRatio::from_element(group, *cti).div_by(group, denom))
         .collect();
     let raws = group.resolve_ratios(&ratios);
-    raws.iter()
-        .map(|raw| table.solve(group, raw).map_err(FeError::from))
+    table
+        .solve_batch(group, &raws)
+        .into_iter()
+        .map(|r| r.map_err(FeError::from))
         .collect()
 }
 
@@ -880,6 +938,54 @@ mod tests {
             Parallelism::Serial
         )
         .is_err());
+    }
+
+    #[test]
+    fn decrypt_cells_bit_identical_at_fast_level() {
+        // The full optimized stack — FastP64 reducer, lane-batched
+        // Montgomery kernel, lane-stepped BSGS — must be bit-identical
+        // to the naive reference arm at `Bits256Fast`. Six ciphertexts
+        // cover one full 4-wide stride plus a serial remainder.
+        let mut rng = StdRng::seed_from_u64(0x2019);
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits256Fast);
+        let (mpk, msk) = setup(group, 4, &mut rng);
+        let table = DlogTable::new(mpk.group(), 500_000);
+        let xs: Vec<Vec<i64>> = (0..6)
+            .map(|_| (0..4).map(|_| rng.random_range(-150..=150)).collect())
+            .collect();
+        let cts: Vec<FeipCiphertext> = xs
+            .iter()
+            .map(|x| encrypt(&mpk, x, &mut rng).unwrap())
+            .collect();
+        let rows: Vec<Vec<i64>> = vec![
+            (0..4).map(|_| rng.random_range(-150..=150)).collect(),
+            vec![0, 11, 0, -5],
+            vec![0; 4],
+            vec![-3, -70, -1, -8],
+            (0..4).map(|_| rng.random_range(-150..=150)).collect(),
+        ];
+        let keys: Vec<FeipFunctionKey> = rows
+            .iter()
+            .map(|r| key_derive(mpk.group(), &msk, r).unwrap())
+            .collect();
+        let row_refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let got = decrypt_cells(&mpk, &cts, &keys, &row_refs, &table, Parallelism::Serial).unwrap();
+        for (c, ct) in cts.iter().enumerate() {
+            for (r, row) in rows.iter().enumerate() {
+                // Element-level identity (before the dlog), then the
+                // recovered integer against the naive arm.
+                assert_eq!(
+                    decrypt_raw(&mpk, ct, &keys[r], row).unwrap(),
+                    decrypt_raw_naive(&mpk, ct, &keys[r], row).unwrap(),
+                    "raw element for cell ({c},{r})"
+                );
+                assert_eq!(
+                    got[c * rows.len() + r],
+                    decrypt_naive(&mpk, ct, &keys[r], row, &table).unwrap(),
+                    "cell ({c},{r})"
+                );
+            }
+        }
     }
 
     #[test]

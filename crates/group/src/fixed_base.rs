@@ -16,6 +16,7 @@
 //! [`exp_table`](crate::SchnorrGroup::exp_table) /
 //! [`multi_pow`](crate::SchnorrGroup::multi_pow).
 
+use cryptonn_bigint::lanes::LANES;
 use cryptonn_bigint::{Montgomery, U256};
 
 /// Window width in bits. 4 balances table size (64 × 15 × 32 B = 30 KiB
@@ -117,6 +118,119 @@ impl FixedBaseTable {
     pub(crate) fn pow(&self, ctx: &Montgomery, e: &U256) -> U256 {
         ctx.from_mont(&self.mul_pow_mont(ctx, ctx.one(), e))
     }
+
+    /// Lane-batched [`mul_pow_mont`](Self::mul_pow_mont): multiplies
+    /// four accumulators by `tableⱼ.base^e` — four *different* tables,
+    /// one shared exponent. This is the shape of the batch-decrypt
+    /// denominator, `ct0ⱼ^{sk_row}` for a stride of four ciphertexts:
+    /// the digit schedule is identical across lanes, so every window is
+    /// one gathered 4-lane Montgomery product.
+    ///
+    /// # Panics
+    ///
+    /// As [`mul_pow_mont`](Self::mul_pow_mont), for any foreign table.
+    pub(crate) fn mul_pow_mont_lanes(
+        tables: [&Self; LANES],
+        ctx: &Montgomery,
+        mut acc: [U256; LANES],
+        e: &U256,
+    ) -> [U256; LANES] {
+        for t in tables {
+            assert_eq!(
+                &t.modulus,
+                ctx.modulus(),
+                "fixed-base table used with a foreign group"
+            );
+        }
+        let bits = e.bit_len();
+        let windows = bits.div_ceil(WINDOW_BITS).min(WINDOWS);
+        for w in 0..windows {
+            let mut digit = 0usize;
+            for b in 0..WINDOW_BITS {
+                let idx = w * WINDOW_BITS + b;
+                if idx < bits && e.bit(idx) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                let gathered = core::array::from_fn(|lane| tables[lane].rows[w][digit - 1]);
+                acc = ctx.mont_mul_lanes(&acc, &gathered);
+            }
+        }
+        acc
+    }
+
+    /// Four exponentiations of the *same* base in one lane-batched
+    /// sweep: `base^{eⱼ}` for `j ∈ 0..4`, as plain residues. Lanes with
+    /// a zero digit in some window multiply by the Montgomery-domain
+    /// identity `ctx.one()` so the four digit schedules stay in
+    /// lockstep. This is the shape of the coordinate-decrypt
+    /// denominator: one shared `ct0` comb, one secret-key exponent per
+    /// output coordinate.
+    ///
+    /// # Panics
+    ///
+    /// As [`mul_pow_mont`](Self::mul_pow_mont), for a foreign table.
+    pub(crate) fn pow_many(&self, ctx: &Montgomery, es: [&U256; LANES]) -> [U256; LANES] {
+        assert_eq!(
+            &self.modulus,
+            ctx.modulus(),
+            "fixed-base table used with a foreign group"
+        );
+        let bits = es.iter().map(|e| e.bit_len()).max().unwrap_or(0);
+        let windows = bits.div_ceil(WINDOW_BITS).min(WINDOWS);
+        let mut acc = [ctx.one(); LANES];
+        for (w, row) in self.rows.iter().enumerate().take(windows) {
+            let mut any = false;
+            let gathered = core::array::from_fn(|lane| {
+                let mut digit = 0usize;
+                for b in 0..WINDOW_BITS {
+                    let idx = w * WINDOW_BITS + b;
+                    if idx < es[lane].bit_len() && es[lane].bit(idx) {
+                        digit |= 1 << b;
+                    }
+                }
+                if digit != 0 {
+                    any = true;
+                    row[digit - 1]
+                } else {
+                    ctx.one()
+                }
+            });
+            if any {
+                acc = ctx.mont_mul_lanes(&acc, &gathered);
+            }
+        }
+        ctx.from_mont_lanes(&acc)
+    }
+
+    // ---- cache (de)serialization hooks -------------------------------
+
+    /// Total Montgomery-form entries in a full comb.
+    pub(crate) const ENTRIES: usize = WINDOWS * DIGITS;
+
+    /// The comb entries flattened row-major, for the on-disk cache.
+    pub(crate) fn entries_flat(&self) -> impl Iterator<Item = &U256> {
+        self.rows.iter().flat_map(|row| row.iter())
+    }
+
+    /// Rebuilds a table from cached entries. Returns `None` if the
+    /// entry count is wrong for the comb geometry — the cache layer
+    /// treats that as corruption and falls back to a fresh build.
+    pub(crate) fn from_cached_entries(base: U256, modulus: U256, flat: &[U256]) -> Option<Self> {
+        if flat.len() != Self::ENTRIES {
+            return None;
+        }
+        let rows = flat
+            .chunks_exact(DIGITS)
+            .map(|chunk| core::array::from_fn(|d| chunk[d]))
+            .collect();
+        Some(Self {
+            base,
+            modulus,
+            rows,
+        })
+    }
 }
 
 impl core::fmt::Debug for FixedBaseTable {
@@ -192,6 +306,55 @@ mod tests {
             &p,
         );
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lane_variants_match_serial() {
+        let p = p25519();
+        let ctx = Montgomery::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let bases: [U256; LANES] = core::array::from_fn(|i| U256::from_u64(3 + 2 * i as u64));
+        let tables: Vec<FixedBaseTable> = bases
+            .iter()
+            .map(|b| FixedBaseTable::build(&ctx, b))
+            .collect();
+        let refs: [&FixedBaseTable; LANES] = core::array::from_fn(|i| &tables[i]);
+
+        for _ in 0..8 {
+            // Four tables, one exponent.
+            let e = U256::random(&mut rng);
+            let acc = FixedBaseTable::mul_pow_mont_lanes(refs, &ctx, [ctx.one(); LANES], &e);
+            for lane in 0..LANES {
+                assert_eq!(ctx.from_mont(&acc[lane]), tables[lane].pow(&ctx, &e));
+            }
+            // One table, four exponents.
+            let es: [U256; LANES] = core::array::from_fn(|_| U256::random(&mut rng));
+            let got = tables[0].pow_many(&ctx, core::array::from_fn(|i| &es[i]));
+            for lane in 0..LANES {
+                assert_eq!(got[lane], tables[0].pow(&ctx, &es[lane]));
+            }
+        }
+
+        // Degenerate exponents force identity lanes in every window.
+        let es = [U256::ZERO, U256::ONE, U256::from_u64(12345), U256::MAX];
+        let got = tables[1].pow_many(&ctx, core::array::from_fn(|i| &es[i]));
+        for lane in 0..LANES {
+            assert_eq!(got[lane], tables[1].pow(&ctx, &es[lane]));
+        }
+    }
+
+    #[test]
+    fn cached_entries_roundtrip() {
+        let p = p25519();
+        let ctx = Montgomery::new(&p).unwrap();
+        let table = FixedBaseTable::build(&ctx, &U256::from_u64(4));
+        let flat: Vec<U256> = table.entries_flat().copied().collect();
+        assert_eq!(flat.len(), FixedBaseTable::ENTRIES);
+        let back = FixedBaseTable::from_cached_entries(table.base, table.modulus, &flat).unwrap();
+        assert_eq!(back.rows, table.rows);
+        assert!(
+            FixedBaseTable::from_cached_entries(table.base, table.modulus, &flat[1..]).is_none()
+        );
     }
 
     #[test]

@@ -159,6 +159,14 @@ pub enum SecurityLevel {
     Bits224,
     /// 256-bit parameters — the paper's evaluation setting.
     Bits256,
+    /// 256-bit Montgomery-friendly parameters: a safe prime with
+    /// `p ≡ -1 (mod 2^64)` (and `q ≡ -1 (mod 2^64)` as well), so both
+    /// modulus fields take the `Reducer::FastP64` reduction that drops
+    /// one multiply per CIOS round (DESIGN.md §13.2). Same security
+    /// margin as [`SecurityLevel::Bits256`]: a uniformly sampled
+    /// 256-bit safe prime with 64 low bits pinned, leaving ~2^191
+    /// candidate moduli — far beyond the generic-group attack bound.
+    Bits256Fast,
 }
 
 impl SecurityLevel {
@@ -171,6 +179,7 @@ impl SecurityLevel {
             SecurityLevel::Bits192 => 192,
             SecurityLevel::Bits224 => 224,
             SecurityLevel::Bits256 => 256,
+            SecurityLevel::Bits256Fast => 256,
         }
     }
 }
@@ -203,6 +212,13 @@ const PARAMS: &[(SecurityLevel, &str, &str)] = &[
         "a504130456d8cce0af73fd190c683b02148b6371a703ba4bac786a772db736af",
         "528209822b6c667057b9fe8c86341d810a45b1b8d381dd25d63c353b96db9b57",
     ),
+    // Generated by cryptonn-bigint/examples/gen_fast_prime.rs (seeded);
+    // p = k·2^64 − 1 with k even, so q = (p−1)/2 ends in 64 one-bits too.
+    (
+        SecurityLevel::Bits256Fast,
+        "9f2c45ea4d0cf9de4608fe14686ecec4ec2bde9b9326aa17ffffffffffffffff",
+        "4f9622f526867cef23047f0a343767627615ef4dc993550bffffffffffffffff",
+    ),
 ];
 
 impl SchnorrGroup {
@@ -222,13 +238,39 @@ impl SchnorrGroup {
 
     /// Returns the embedded group for a named security level.
     pub fn precomputed(level: SecurityLevel) -> Self {
+        let (p, q) = Self::embedded_params(level);
+        Self::with_default_generator(p, q)
+    }
+
+    /// [`precomputed`](Self::precomputed), but warm-startable: loads
+    /// the generator comb table from the on-disk cache in `dir` when a
+    /// valid one exists, and otherwise builds it and persists it
+    /// (best-effort) for the next start. Cache files are keyed and
+    /// stamped with the group fingerprint `(p, q, g)`; anything invalid
+    /// — foreign fingerprint, corruption, stale format — is rebuilt and
+    /// overwritten (DESIGN.md §13.4).
+    pub fn precomputed_cached(level: SecurityLevel, dir: &std::path::Path) -> Self {
+        let (p, q) = Self::embedded_params(level);
+        let g = U256::from_u64(4);
+        debug_assert_eq!(mod_pow(&g, &q, &p), U256::ONE);
+        let cached = crate::cache::load_comb(dir, &p, &q, &g);
+        let warm = cached.is_some();
+        let group = Self::from_checked_parts_with(p, q, g, cached);
+        if !warm {
+            let _ = crate::cache::store_comb(dir, &group);
+        }
+        group
+    }
+
+    /// The embedded `(p, q)` pair for a named security level.
+    fn embedded_params(level: SecurityLevel) -> (U256, U256) {
         let (_, p_hex, q_hex) = PARAMS
             .iter()
             .find(|(l, _, _)| *l == level)
             .expect("all levels have parameters");
         let p = U256::from_hex(p_hex).expect("valid embedded hex");
         let q = U256::from_hex(q_hex).expect("valid embedded hex");
-        Self::with_default_generator(p, q)
+        (p, q)
     }
 
     /// Builds a group from explicit parameters, validating primality of
@@ -267,9 +309,18 @@ impl SchnorrGroup {
     /// `q` must already be validated odd primes (all callers either
     /// embed, generate, or explicitly check them).
     fn from_checked_parts(p: U256, q: U256, g: U256) -> Self {
+        Self::from_checked_parts_with(p, q, g, None)
+    }
+
+    /// [`from_checked_parts`](Self::from_checked_parts) with an
+    /// optional pre-built (cache-loaded) generator comb.
+    fn from_checked_parts_with(p: U256, q: U256, g: U256, table: Option<FixedBaseTable>) -> Self {
+        // Pin the lane-batched kernel now, so its one-time calibration
+        // shootout never lands inside a timed decrypt path.
+        cryptonn_bigint::lanes::kernel();
         let mont_p = Montgomery::new(&p).expect("p is an odd prime");
         let mont_q = Montgomery::new(&q).expect("q is an odd prime");
-        let g_table = FixedBaseTable::build(&mont_p, &g);
+        let g_table = table.unwrap_or_else(|| FixedBaseTable::build(&mont_p, &g));
         Self {
             p,
             q,
@@ -470,6 +521,47 @@ impl SchnorrGroup {
         Element(table.pow(&self.ctx.mont_p, &e.0))
     }
 
+    /// Lane-batched [`exp_table`](Self::exp_table): `tableⱼ.base^e` for
+    /// four different tables and one shared exponent, in one 4-lane
+    /// sweep — the batch-decrypt denominator shape (`ct0ⱼ^{sk_row}` for
+    /// a stride of four ciphertexts).
+    ///
+    /// # Panics
+    ///
+    /// As [`exp_table`](Self::exp_table), for any foreign table.
+    pub fn exp_tables_lanes(
+        &self,
+        tables: [&FixedBaseTable; cryptonn_bigint::lanes::LANES],
+        e: &Scalar,
+    ) -> [Element; cryptonn_bigint::lanes::LANES] {
+        let ctx = &self.ctx.mont_p;
+        let acc = FixedBaseTable::mul_pow_mont_lanes(
+            tables,
+            ctx,
+            [ctx.one(); cryptonn_bigint::lanes::LANES],
+            &e.0,
+        );
+        let plain = ctx.from_mont_lanes(&acc);
+        core::array::from_fn(|lane| Element(plain[lane]))
+    }
+
+    /// Lane-batched [`exp_table`](Self::exp_table) with the roles
+    /// swapped: one table, four exponents — the coordinate-decrypt
+    /// denominator shape (one shared `ct0` comb, one unit-key exponent
+    /// per coordinate).
+    ///
+    /// # Panics
+    ///
+    /// As [`exp_table`](Self::exp_table), for a foreign table.
+    pub fn exp_table_many(
+        &self,
+        table: &FixedBaseTable,
+        es: [&Scalar; cryptonn_bigint::lanes::LANES],
+    ) -> [Element; cryptonn_bigint::lanes::LANES] {
+        let plain = table.pow_many(&self.ctx.mont_p, core::array::from_fn(|lane| &es[lane].0));
+        core::array::from_fn(|lane| Element(plain[lane]))
+    }
+
     /// The multi-exponentiation `∏ tableⱼ.base ^ eⱼ`, evaluated in one
     /// pass through the Montgomery domain (one final conversion instead
     /// of one per factor). This is the shape of FEIP/FEBO encryption:
@@ -550,6 +642,36 @@ mod tests {
     }
 
     #[test]
+    fn fast_level_selects_fast_reducer_on_both_fields() {
+        use cryptonn_bigint::Reducer;
+        let fast = SchnorrGroup::precomputed(SecurityLevel::Bits256Fast);
+        assert_eq!(fast.ctx.mont_p.reducer(), Reducer::FastP64);
+        assert_eq!(fast.ctx.mont_q.reducer(), Reducer::FastP64);
+        let generic = SchnorrGroup::precomputed(SecurityLevel::Bits256);
+        assert_eq!(generic.ctx.mont_p.reducer(), Reducer::Generic);
+        assert_eq!(generic.ctx.mont_q.reducer(), Reducer::Generic);
+        // Same bit budget, same generator convention.
+        assert_eq!(fast.modulus().bit_len(), 256);
+        assert_eq!(fast.generator(), generic.generator());
+    }
+
+    #[test]
+    fn precomputed_cached_warm_start_matches_cold() {
+        let dir = std::env::temp_dir().join(format!("cryptonn-group-comb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = SchnorrGroup::precomputed_cached(SecurityLevel::Bits64, &dir);
+        let warm = SchnorrGroup::precomputed_cached(SecurityLevel::Bits64, &dir);
+        let plain = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..8 {
+            let e = plain.random_scalar(&mut rng);
+            assert_eq!(cold.exp(&e), plain.exp(&e));
+            assert_eq!(warm.exp(&e), plain.exp(&e));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn exp_homomorphism() {
         let g = group();
         let mut rng = StdRng::seed_from_u64(3);
@@ -604,6 +726,29 @@ mod tests {
         let a = g.exp(&g.random_scalar(&mut rng));
         let b = g.exp(&g.random_scalar(&mut rng));
         assert_eq!(g.mul(&g.div(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn lane_exp_wrappers_match_exp_table() {
+        use cryptonn_bigint::lanes::LANES;
+        let g = SchnorrGroup::precomputed(SecurityLevel::Bits256Fast);
+        let mut rng = StdRng::seed_from_u64(9);
+        let tables: Vec<FixedBaseTable> = (0..LANES)
+            .map(|_| g.fixed_base_table(&g.exp(&g.random_scalar(&mut rng))))
+            .collect();
+        let refs: [&FixedBaseTable; LANES] = core::array::from_fn(|i| &tables[i]);
+        for _ in 0..4 {
+            let e = g.random_scalar(&mut rng);
+            let got = g.exp_tables_lanes(refs, &e);
+            for lane in 0..LANES {
+                assert_eq!(got[lane], g.exp_table(refs[lane], &e), "lane {lane}");
+            }
+            let es: Vec<Scalar> = (0..LANES).map(|_| g.random_scalar(&mut rng)).collect();
+            let got = g.exp_table_many(refs[0], core::array::from_fn(|i| &es[i]));
+            for lane in 0..LANES {
+                assert_eq!(got[lane], g.exp_table(refs[0], &es[lane]), "lane {lane}");
+            }
+        }
     }
 
     #[test]

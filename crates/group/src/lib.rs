@@ -20,6 +20,16 @@
 //! [`SchnorrGroup::multi_scalar_ratio`]) with batched inversion
 //! ([`SchnorrGroup::inv_batch`]) — DESIGN.md §10.
 //!
+//! The batch-decrypt hot paths additionally stride four independent
+//! cells per call through `cryptonn-bigint`'s lane-batched Montgomery
+//! kernel ([`SchnorrGroup::multi_scalar_ratio_lanes`],
+//! [`DlogTable::solve_batch`]), [`SecurityLevel::Bits256Fast`] selects
+//! a Montgomery-friendly safe prime with one multiply per reduction
+//! round shaved off, and generator comb / BSGS tables persist to a
+//! fingerprinted on-disk cache ([`SchnorrGroup::precomputed_cached`],
+//! [`DlogTable::load_or_build`]) so serving restarts skip the table
+//! builds — DESIGN.md §13.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,12 +46,14 @@
 //! # Ok::<(), cryptonn_group::GroupError>(())
 //! ```
 
+mod cache;
 mod dlog;
 mod error;
 mod fixed_base;
 mod group;
 mod multi_scalar;
 
+pub use cryptonn_bigint::lanes::LANES;
 pub use dlog::{solve_dlog, solve_dlog_naive, DlogTable};
 pub use error::GroupError;
 pub use fixed_base::FixedBaseTable;

@@ -28,6 +28,7 @@
 //! swallows the `ct₀^{sk}` division of FEIP/FEBO decryption for free.
 //! See DESIGN.md §10 for the operation-count math.
 
+use cryptonn_bigint::lanes::LANES;
 use cryptonn_bigint::U256;
 
 use crate::group::{Element, SchnorrGroup};
@@ -300,6 +301,79 @@ impl SchnorrGroup {
         }
     }
 
+    /// Lane-batched [`multi_scalar_ratio`](Self::multi_scalar_ratio):
+    /// evaluates the *same* recoded exponent row against four different
+    /// table sets at once — the batch-decrypt shape, where one weight
+    /// row multiplies a stride of four ciphertext columns.
+    ///
+    /// All four lanes share one digit schedule, so the shared squaring
+    /// chain and every digit product become single 4-lane Montgomery
+    /// calls ([`Montgomery::mont_mul_lanes`]) instead of four serial
+    /// ones, and the liveness skip flags apply to all lanes uniformly.
+    ///
+    /// # Panics
+    ///
+    /// As [`multi_scalar_ratio`](Self::multi_scalar_ratio), checked per
+    /// lane.
+    ///
+    /// [`Montgomery::mont_mul_lanes`]: cryptonn_bigint::Montgomery::mont_mul_lanes
+    pub fn multi_scalar_ratio_lanes(
+        &self,
+        tables: [&OddPowerTables; LANES],
+        scalars: &WnafScalars,
+    ) -> [ElementRatio; LANES] {
+        for t in tables {
+            assert_eq!(
+                t.len(),
+                scalars.len(),
+                "multi-scalar base/exponent count mismatch"
+            );
+            assert_eq!(
+                t.window, scalars.window,
+                "multi-scalar window mismatch between tables and recoding"
+            );
+            assert_eq!(
+                &t.modulus,
+                self.modulus(),
+                "odd-power tables used with a foreign group"
+            );
+        }
+        let ctx = self.mont_p();
+        let mut num = [ctx.one(); LANES];
+        let mut den = [ctx.one(); LANES];
+        let mut num_live = false;
+        let mut den_live = false;
+        for pos in (0..scalars.max_len).rev() {
+            if num_live {
+                num = ctx.mont_sqr_lanes(&num);
+            }
+            if den_live {
+                den = ctx.mont_sqr_lanes(&den);
+            }
+            for (i, digits) in scalars.digits.iter().enumerate() {
+                let d = match digits.get(pos) {
+                    Some(&d) if d != 0 => d,
+                    _ => continue,
+                };
+                let k = (d.unsigned_abs() as usize - 1) / 2;
+                let entries = core::array::from_fn(|lane| tables[lane].powers[i][k]);
+                if d > 0 {
+                    num = ctx.mont_mul_lanes(&num, &entries);
+                    num_live = true;
+                } else {
+                    den = ctx.mont_mul_lanes(&den, &entries);
+                    den_live = true;
+                }
+            }
+        }
+        let num = ctx.from_mont_lanes(&num);
+        let den = ctx.from_mont_lanes(&den);
+        core::array::from_fn(|lane| ElementRatio {
+            num: Element(num[lane]),
+            den: Element(den[lane]),
+        })
+    }
+
     /// One-shot `∏ basesᵢ^{yᵢ}` for signed integer exponents: recodes,
     /// builds tables, evaluates, and resolves the ratio. Callers with
     /// reuse across rows or columns should hold [`WnafScalars`] /
@@ -437,6 +511,28 @@ mod tests {
                 expect,
                 "window {window}"
             );
+        }
+    }
+
+    #[test]
+    fn lanes_match_serial_ratio() {
+        // Both the plain group and the fast-reduction prime, so the
+        // FastP64 seam is exercised through the lane path too.
+        for level in [SecurityLevel::Bits64, SecurityLevel::Bits256Fast] {
+            let g = SchnorrGroup::precomputed(level);
+            let mut rng = StdRng::seed_from_u64(8);
+            let n = 9;
+            let y: Vec<i64> = (0..n).map(|_| rng.random_range(-50_000..=50_000)).collect();
+            let scalars = WnafScalars::recode(&y);
+            let table_sets: Vec<OddPowerTables> = (0..LANES)
+                .map(|_| g.odd_power_tables(&random_bases(&g, &mut rng, n)))
+                .collect();
+            let refs: [&OddPowerTables; LANES] = core::array::from_fn(|i| &table_sets[i]);
+            let got = g.multi_scalar_ratio_lanes(refs, &scalars);
+            for lane in 0..LANES {
+                let expect = g.multi_scalar_ratio(refs[lane], &scalars);
+                assert_eq!(got[lane], expect, "lane {lane} level {level:?}");
+            }
         }
     }
 

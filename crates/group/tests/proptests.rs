@@ -78,6 +78,54 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The `Reducer` seam is transparent at every security level: group
+    /// arithmetic over the embedded parameters (FastP64 for
+    /// `Bits256Fast`, Generic elsewhere) equals schoolbook
+    /// multiply-then-divide in both the element and scalar fields.
+    #[test]
+    fn reducer_matches_schoolbook_at_every_level(
+        a in proptest::collection::vec(any::<u64>(), 4),
+        b in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        use cryptonn_bigint::{modular, U256};
+        let a: [u64; 4] = [a[0], a[1], a[2], a[3]];
+        let b: [u64; 4] = [b[0], b[1], b[2], b[3]];
+        for level in [
+            SecurityLevel::Bits32,
+            SecurityLevel::Bits64,
+            SecurityLevel::Bits128,
+            SecurityLevel::Bits192,
+            SecurityLevel::Bits224,
+            SecurityLevel::Bits256,
+            SecurityLevel::Bits256Fast,
+        ] {
+            let g = SchnorrGroup::precomputed(level);
+            let (av, bv) = (U256::from_limbs(a), U256::from_limbs(b));
+            // Element field Z_p.
+            let (x, y) = (g.element_from_u256(av), g.element_from_u256(bv));
+            if *x.value() != U256::ZERO && *y.value() != U256::ZERO {
+                let got = g.mul(&x, &y);
+                prop_assert_eq!(
+                    *got.value(),
+                    modular::mod_mul(x.value(), y.value(), g.modulus()),
+                    "p-field at {:?}", level
+                );
+            }
+            // Scalar field Z_q.
+            let (s, t) = (g.scalar_from_u256(av), g.scalar_from_u256(bv));
+            let got = g.scalar_mul(&s, &t);
+            prop_assert_eq!(
+                *got.value(),
+                modular::mod_mul(s.value(), t.value(), g.order()),
+                "q-field at {:?}", level
+            );
+        }
+    }
+}
+
 /// Reference for the multi-scalar subsystem: one full-width `pow` per
 /// nonzero exponent.
 fn naive_multi_pow(

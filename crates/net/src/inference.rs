@@ -51,7 +51,7 @@ use crate::framing::DEFAULT_MAX_FRAME;
 use crate::transport::{FrameRx, FrameTx, Hello, NetMsg, Peer, TcpTransport, Transport};
 
 /// Tuning for the serving daemon.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct InferenceServerOptions {
     /// Bounded pool size for connection handlers (one per live client
     /// connection); a saturated pool rejects new connections.
@@ -63,6 +63,9 @@ pub struct InferenceServerOptions {
     pub max_frame: usize,
     /// The state machine's coalescing and key-cache knobs.
     pub session: InferenceOptions,
+    /// On-disk directory for the fingerprinted BSGS table cache; `None`
+    /// rebuilds tables in memory on every start.
+    pub table_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for InferenceServerOptions {
@@ -72,6 +75,7 @@ impl Default for InferenceServerOptions {
             queue_depth: 64,
             max_frame: DEFAULT_MAX_FRAME,
             session: InferenceOptions::default(),
+            table_cache: None,
         }
     }
 }
@@ -128,7 +132,10 @@ impl InferenceServer {
         let (params, link) = authority
             .connect(session_id, config)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
-        let session = InferenceSession::new(&params, link, model, options.session);
+        let mut session = InferenceSession::new(&params, link, model, options.session);
+        if let Some(dir) = &options.table_cache {
+            session.attach_table_cache(dir.clone());
+        }
         let params = Arc::new(params);
 
         let listener = TcpListener::bind(addr)?;
@@ -163,11 +170,12 @@ impl InferenceServer {
                     let params = Arc::clone(&params);
                     let inbound = inbound.clone();
                     let expected_session = session_id;
+                    let max_frame = options.max_frame;
                     let accepted = pool.try_execute(move || {
                         if let Some(stream) = job_slot.lock().take() {
                             serve_predict_conn(
                                 stream,
-                                options,
+                                max_frame,
                                 expected_session,
                                 &config,
                                 &params,
@@ -259,7 +267,7 @@ impl Drop for InferenceServer {
 #[allow(clippy::too_many_arguments)]
 fn serve_predict_conn(
     stream: TcpStream,
-    options: InferenceServerOptions,
+    max_frame: usize,
     expected_session: SessionId,
     config: &SessionConfig,
     params: &PublicParams,
@@ -274,7 +282,7 @@ fn serve_predict_conn(
         return;
     };
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-    let Ok(transport) = TcpTransport::new(stream, options.max_frame) else {
+    let Ok(transport) = TcpTransport::new(stream, max_frame) else {
         return;
     };
     let (tx, mut rx) = Box::new(transport).split();

@@ -44,7 +44,7 @@ use crate::framing::DEFAULT_MAX_FRAME;
 use crate::transport::{FrameTx, NetMsg, Peer, TcpTransport, Transport};
 
 /// Tuning for the session server.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Bounded pool size for connection handlers (one per live client
     /// connection); a saturated pool rejects new connections.
@@ -58,6 +58,9 @@ pub struct ServerOptions {
     pub max_frame: usize,
     /// Thread policy for the server-side decryption loops.
     pub parallelism: Parallelism,
+    /// On-disk directory for the fingerprinted BSGS table cache; `None`
+    /// rebuilds tables in memory per session.
+    pub table_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -68,6 +71,7 @@ impl Default for ServerOptions {
             queue_depth: 64,
             max_frame: DEFAULT_MAX_FRAME,
             parallelism: Parallelism::Serial,
+            table_cache: None,
         }
     }
 }
@@ -164,9 +168,10 @@ impl SessionServer {
                     let job_slot = Arc::clone(&slot);
                     let registry = Arc::clone(&registry);
                     let authority = Arc::clone(&authority);
+                    let conn_options = options.clone();
                     let accepted = pool.try_execute(move || {
                         if let Some(stream) = job_slot.lock().take() {
-                            serve_client_conn(stream, options, &registry, authority.as_ref());
+                            serve_client_conn(stream, &conn_options, &registry, authority.as_ref());
                         }
                     });
                     if !accepted {
@@ -240,7 +245,7 @@ impl Drop for SessionServer {
 
 fn serve_client_conn(
     stream: TcpStream,
-    options: ServerOptions,
+    options: &ServerOptions,
     registry: &Arc<Registry>,
     authority: &dyn AuthorityConnector,
 ) {
@@ -402,7 +407,7 @@ fn serve_client_conn(
 fn create_session(
     id: SessionId,
     config: &SessionConfig,
-    options: ServerOptions,
+    options: &ServerOptions,
     registry: &Arc<Registry>,
     authority: &dyn AuthorityConnector,
 ) -> Result<SessionEntry, NetError> {
@@ -412,7 +417,10 @@ fn create_session(
         )));
     }
     let (params, link) = authority.connect(id, config)?;
-    let server = ServerSession::new(config, &params, link, options.parallelism);
+    let mut server = ServerSession::new(config, &params, link, options.parallelism);
+    if let Some(dir) = &options.table_cache {
+        server.attach_table_cache(dir.clone());
+    }
     let (inbound_tx, inbound_rx) = std::sync::mpsc::sync_channel(options.queue_depth.max(1));
     let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
     {

@@ -120,6 +120,13 @@ impl InferenceSession {
         &self.model
     }
 
+    /// Backs the served model's BSGS table cache with an on-disk
+    /// directory so a serving restart warm-starts its tables instead of
+    /// rebuilding them.
+    pub fn attach_table_cache(&mut self, dir: std::path::PathBuf) {
+        self.model.attach_table_cache(dir);
+    }
+
     /// Requests currently waiting for a sweep.
     pub fn pending(&self) -> usize {
         self.pending.len()

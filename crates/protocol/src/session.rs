@@ -628,6 +628,16 @@ impl ServerSession {
         self
     }
 
+    /// Backs the model's BSGS table cache with an on-disk directory so
+    /// a restarted server with the same group parameters warm-starts
+    /// its tables instead of rebuilding them.
+    pub fn attach_table_cache(&mut self, dir: std::path::PathBuf) {
+        match &mut self.model {
+            ServerModel::Mlp(m) => m.attach_table_cache(dir),
+            ServerModel::Cnn(m) => m.attach_table_cache(dir),
+        }
+    }
+
     /// The trained MLP, if this session trains one.
     pub fn mlp(&self) -> Option<&CryptoMlp> {
         match &self.model {

@@ -13,7 +13,7 @@
 use cryptonn_fe::{febo, feip, BasicOp, FeError};
 use cryptonn_fe::{FeboCiphertext, FeboFunctionKey, FeboPublicKey};
 use cryptonn_fe::{FeipCiphertext, FeipFunctionKey, FeipPublicKey};
-use cryptonn_group::{DlogTable, ElementRatio};
+use cryptonn_group::{DlogTable, ElementRatio, LANES};
 use cryptonn_matrix::Matrix;
 use cryptonn_parallel::{parallel_map, Parallelism};
 
@@ -80,10 +80,21 @@ pub(crate) fn decrypt_febo_cells(
         .into_iter()
         .collect::<Result<Vec<ElementRatio>, FeError>>()?;
     let raws = mpk.group().resolve_ratios(&ratios);
-    let values: Vec<Result<i64, FeError>> =
-        parallel_map(total, parallelism.thread_count(), |idx| {
-            table.solve(mpk.group(), &raws[idx]).map_err(FeError::from)
-        });
-    let values = values.into_iter().collect::<Result<Vec<i64>, FeError>>()?;
+    // Lane-stepped BSGS over chunks of cells, parallel across chunks.
+    const SOLVE_CHUNK: usize = 8 * LANES;
+    let nchunks = total.div_ceil(SOLVE_CHUNK);
+    let values: Vec<Result<i64, cryptonn_group::GroupError>> =
+        parallel_map(nchunks, parallelism.thread_count(), |k| {
+            let lo = k * SOLVE_CHUNK;
+            let hi = total.min(lo + SOLVE_CHUNK);
+            table.solve_batch(mpk.group(), &raws[lo..hi])
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let values = values
+        .into_iter()
+        .map(|r| r.map_err(FeError::from))
+        .collect::<Result<Vec<i64>, FeError>>()?;
     Ok(Matrix::from_vec(rows, cols, values))
 }
