@@ -44,6 +44,7 @@ fn session_config(clients: u32, feature_dim: usize, classes: usize) -> SessionCo
         authority_seed: 701,
         model_seed: 702,
         client_seed_base: 703,
+        policy: cryptonn_protocol::SessionPolicy::FailFast,
     }
 }
 

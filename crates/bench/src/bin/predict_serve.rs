@@ -87,6 +87,7 @@ fn serving_config(level: SecurityLevel) -> SessionConfig {
         authority_seed: 7001,
         model_seed: 7002,
         client_seed_base: 7003,
+        policy: cryptonn_protocol::SessionPolicy::FailFast,
     }
 }
 

@@ -17,12 +17,18 @@
 //!   traffic) per second.
 //!
 //! Emits `BENCH_sessions_net.json` (schema
-//! `cryptonn.bench.sessions_net/v2`, host provenance included) so CI
-//! can archive the trajectory.
+//! `cryptonn.bench.sessions_net/v3`, host provenance included) so CI
+//! can archive the trajectory. v3 adds a **recovery** block: a recorded
+//! run is re-executed twice — once from step 0 (`full_replay_ms`) and
+//! once from its last durable checkpoint plus the transcript suffix
+//! (`resume_ms`, `steps_replayed_on_resume`) — quantifying what a
+//! crash-resume saves over a from-scratch replay. With `--check-resume`
+//! the process exits non-zero unless the resume is strictly cheaper in
+//! both time and replayed steps (the CI gate).
 //!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin sessions_net -- \
-//!     [--out BENCH_sessions_net.json]
+//!     [--out BENCH_sessions_net.json] [--check-resume]
 //! ```
 
 use std::sync::Arc;
@@ -37,7 +43,9 @@ use cryptonn_net::{
 };
 use cryptonn_parallel::Parallelism;
 use cryptonn_protocol::{
-    round_robin_shards, ClientId, ClientSession, MlpSpec, ModelSpec, SessionConfig, SessionId,
+    replay_server, resume_from_checkpoint, round_robin_shards, CheckpointStore, ClientId,
+    ClientSession, MlpSpec, ModelSpec, ReplayResolution, SessionConfig, SessionId,
+    TrainingSessionRunner,
 };
 use cryptonn_smc::FixedPoint;
 use serde::Serialize;
@@ -61,6 +69,7 @@ fn session_config(clients: u32, feature_dim: usize, classes: usize) -> SessionCo
         authority_seed: 901,
         model_seed: 902,
         client_seed_base: 903,
+        policy: cryptonn_protocol::SessionPolicy::FailFast,
     }
 }
 
@@ -77,6 +86,20 @@ struct Measurement {
     messages: u64,
 }
 
+/// Time-to-recover telemetry: replaying a recorded run from scratch vs
+/// resuming it from its last durable checkpoint plus the transcript
+/// suffix.
+#[derive(Debug, Clone, Serialize)]
+struct Recovery {
+    clients: u32,
+    steps_total: u64,
+    checkpoint_step: u64,
+    steps_replayed_on_resume: u64,
+    full_replay_ms: f64,
+    resume_ms: f64,
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -86,6 +109,7 @@ struct Report {
     samples_per_session: usize,
     batch_size: u32,
     measurements: Vec<Measurement>,
+    recovery: Recovery,
 }
 
 /// Counts the wire messages one grid point exchanges. Derived from the
@@ -108,12 +132,59 @@ fn messages_per_session(k: u64, batches: u64, epochs: u64, key_exchanges: u64) -
         + 2 * key_exchanges
 }
 
+/// Records one session with periodic checkpoints, then times a full
+/// replay against a checkpoint resume of the same transcript, asserting
+/// both reproduce the recorded summary bit-for-bit.
+fn measure_recovery(config: &SessionConfig, data: &cryptonn_data::Dataset) -> Recovery {
+    let dir = std::env::temp_dir().join(format!("cryptonn-bench-ckpt-{}", std::process::id()));
+    let store = CheckpointStore::new(&dir);
+    let session = SessionId(0);
+    let batches = (data.len() as u64).div_ceil(u64::from(config.batch_size));
+    let steps_total = batches * u64::from(config.epochs);
+    // Checkpoint cadence ≈ every quarter of the run: the last clean cut
+    // before the summary is what the resume starts from.
+    let every = (steps_total / 4).max(1);
+    let outcome = TrainingSessionRunner::new(config.clone())
+        .with_checkpoints(store.clone(), session, every)
+        .run_mlp(data)
+        .expect("recorded run");
+    let ckpt = store.load(session, config).expect("checkpoint on disk");
+
+    let start = Instant::now();
+    let full = replay_server(&outcome.transcript).expect("full replay");
+    let full_replay_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(full.matches_recording(), "full replay diverged");
+
+    let start = Instant::now();
+    let resumed = resume_from_checkpoint(&outcome.transcript, &ckpt).expect("resume replay");
+    let resume_ms = start.elapsed().as_secs_f64() * 1e3;
+    match resumed {
+        ReplayResolution::Completed(outcome) => {
+            assert!(outcome.matches_recording(), "resume replay diverged")
+        }
+        ReplayResolution::Resume(_) => panic!("resume replay did not reach the summary"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Recovery {
+        clients: config.clients,
+        steps_total,
+        checkpoint_step: ckpt.next_step,
+        steps_replayed_on_resume: steps_total - ckpt.next_step,
+        full_replay_ms,
+        resume_ms,
+        speedup: full_replay_ms / resume_ms.max(1e-9),
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_sessions_net.json".to_string();
+    let mut check_resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out requires a path"),
+            "--check-resume" => check_resume = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -233,14 +304,43 @@ fn main() {
     }
     authority.shutdown();
 
+    let recovery = measure_recovery(
+        &session_config(2, data.feature_dim(), data.classes()),
+        &data,
+    );
+    println!(
+        "recovery: {} steps total, checkpoint at {}, replay {:.1} ms full vs {:.1} ms resumed \
+         ({:.1}x)",
+        recovery.steps_total,
+        recovery.checkpoint_step,
+        recovery.full_replay_ms,
+        recovery.resume_ms,
+        recovery.speedup
+    );
+    if check_resume {
+        assert!(
+            recovery.steps_replayed_on_resume < recovery.steps_total,
+            "resume replayed the whole run: {} of {} steps",
+            recovery.steps_replayed_on_resume,
+            recovery.steps_total
+        );
+        assert!(
+            recovery.resume_ms < recovery.full_replay_ms,
+            "resume ({:.1} ms) was no faster than a full replay ({:.1} ms)",
+            recovery.resume_ms,
+            recovery.full_replay_ms
+        );
+    }
+
     let report = Report {
-        schema: "cryptonn.bench.sessions_net/v2".into(),
+        schema: "cryptonn.bench.sessions_net/v3".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin sessions_net".into(),
         host: cryptonn_bench::host_info(),
         level: format!("{:?}", cryptonn_bench::bench_level()),
         samples_per_session: samples,
         batch_size: 8,
         measurements,
+        recovery,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");

@@ -25,6 +25,12 @@ pub enum CryptoNnError {
     Smc(SmcError),
     /// A functional-encryption operation failed.
     Fe(FeError),
+    /// The model contains a layer that cannot be captured into (or
+    /// restored from) a checkpoint snapshot.
+    SnapshotUnsupported {
+        /// The offending layer's name.
+        layer: &'static str,
+    },
 }
 
 impl fmt::Display for CryptoNnError {
@@ -45,6 +51,12 @@ impl fmt::Display for CryptoNnError {
             }
             CryptoNnError::Smc(e) => write!(f, "secure computation failed: {e}"),
             CryptoNnError::Fe(e) => write!(f, "functional encryption failed: {e}"),
+            CryptoNnError::SnapshotUnsupported { layer } => {
+                write!(
+                    f,
+                    "model snapshot unsupported: layer {layer:?} does not expose parameters"
+                )
+            }
         }
     }
 }

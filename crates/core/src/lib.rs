@@ -81,5 +81,5 @@ pub use client::{Client, EncryptedBatch, EncryptedImageBatch};
 pub use cnn::CryptoCnn;
 pub use config::CryptoNnConfig;
 pub use error::CryptoNnError;
-pub use mlp::{CryptoMlp, Objective, StepOutput};
+pub use mlp::{CryptoMlp, LayerSnapshot, MlpSnapshot, Objective, StepOutput};
 pub use tables::DlogTableCache;

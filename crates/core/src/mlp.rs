@@ -27,6 +27,39 @@ pub enum Objective {
     SoftmaxCrossEntropy,
 }
 
+/// One parameterized plaintext layer's state inside an [`MlpSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSnapshot {
+    /// The layer's index in the plaintext tail (network order).
+    pub idx: usize,
+    /// The layer's weights.
+    pub w: Matrix<f64>,
+    /// The layer's bias.
+    pub b: Matrix<f64>,
+}
+
+/// A serializable snapshot of everything a [`CryptoMlp`] mutates
+/// between training steps: the secure first layer's parameters, every
+/// parameterized plaintext layer's parameters, and the lazily-derived
+/// unit keys.
+///
+/// The unit keys are part of the snapshot on purpose: a restored model
+/// that had already derived them must **not** re-request them from the
+/// authority, or its key-request stream would diverge from a recorded
+/// transcript of the original run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpSnapshot {
+    /// Secure first-layer weights, `(in, hidden)`.
+    pub w1: Matrix<f64>,
+    /// Secure first-layer bias, `(1, hidden)`.
+    pub b1: Matrix<f64>,
+    /// Each parameterized plaintext layer's state, in network order.
+    /// Stateless layers (activations) are omitted.
+    pub rest: Vec<LayerSnapshot>,
+    /// The cached first-layer unit keys, if they were derived.
+    pub unit_keys: Option<Vec<FeipFunctionKey>>,
+}
+
 /// Metrics returned by one encrypted training step.
 #[derive(Debug, Clone)]
 pub struct StepOutput {
@@ -126,6 +159,69 @@ impl CryptoMlp {
     /// table builds.
     pub fn attach_table_cache(&mut self, dir: std::path::PathBuf) {
         self.cache.attach_dir(dir);
+    }
+
+    /// Captures the model's between-step mutable state into a
+    /// [`MlpSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoNnError::SnapshotUnsupported`] if a plaintext layer has
+    /// trainable parameters but does not expose them via
+    /// [`Layer::params`].
+    pub fn snapshot(&self) -> Result<MlpSnapshot, CryptoNnError> {
+        let mut rest = Vec::new();
+        for idx in 0..self.rest.len() {
+            let layer = self.rest.layer(idx).expect("index in range");
+            match layer.params() {
+                Some((w, b)) => rest.push(LayerSnapshot {
+                    idx,
+                    w: w.clone(),
+                    b: b.clone(),
+                }),
+                None if layer.param_count() == 0 => {}
+                None => {
+                    return Err(CryptoNnError::SnapshotUnsupported {
+                        layer: layer.name(),
+                    })
+                }
+            }
+        }
+        Ok(MlpSnapshot {
+            w1: self.first.weights().clone(),
+            b1: self.first.bias().clone(),
+            rest,
+            unit_keys: self.unit_keys.clone(),
+        })
+    }
+
+    /// Restores state previously captured by
+    /// [`snapshot`](Self::snapshot). The model architecture must match
+    /// the one the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoNnError::SnapshotUnsupported`] if a snapshot entry names
+    /// a layer that does not accept parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter shape mismatch (a different architecture).
+    pub fn restore(&mut self, snap: &MlpSnapshot) -> Result<(), CryptoNnError> {
+        self.first.set_params(snap.w1.clone(), snap.b1.clone());
+        for entry in &snap.rest {
+            let layer = self
+                .rest
+                .layer_mut(entry.idx)
+                .ok_or(CryptoNnError::SnapshotUnsupported { layer: "missing" })?;
+            if !layer.set_params_from(&entry.w, &entry.b) {
+                return Err(CryptoNnError::SnapshotUnsupported {
+                    layer: layer.name(),
+                });
+            }
+        }
+        self.unit_keys = snap.unit_keys.clone();
+        Ok(())
     }
 
     fn unit_keys<A: KeyService + ?Sized>(

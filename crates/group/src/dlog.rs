@@ -235,7 +235,7 @@ pub(crate) struct PackedSlots {
 /// worst-case.
 ///
 /// The baby-step map is keyed on the *low 64 bits of the Montgomery
-/// residue* of each element through [`FlatBabyMap`], not on full 256-bit
+/// residue* of each element through a flat open-addressed map, not on full 256-bit
 /// elements through SipHash: lookups sit on the giant-step hot loop, and
 /// the truncated key plus a final fixed-base verification is both faster
 /// and exact. Truncation collisions are kept in a (virtually always

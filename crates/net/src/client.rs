@@ -6,33 +6,26 @@
 //! state machine's credit window (replenished by `ModelDelta`
 //! broadcasts) is what bounds the batches in flight, so a slow server
 //! backpressures encryption naturally.
+//!
+//! Two entry points: [`run_client`] drives one connection and fails on
+//! the first transport loss (the seed behavior), while
+//! [`run_client_resumable`] reconnects through a caller-supplied
+//! factory and re-syncs the state machine with the server's `Resume`
+//! barrier — the client side of the crash-resume protocol.
+
+use std::time::Duration;
 
 use cryptonn_protocol::{ClientSession, SessionConfig, SessionId, SessionSummary, WireMessage};
 
 use crate::error::NetError;
 use crate::transport::{Hello, NetMsg, Peer, Transport};
 
-/// Runs one data-owner session over `transport` until the final
-/// summary arrives, and returns it.
-///
-/// The handshake frames `Hello{session, client, config}`; the server
-/// answers with the session's [`PublicParams`] and, once all clients
-/// registered, the `Start` barrier — from there the state machine
-/// streams its encrypted shard.
-///
-/// # Errors
-///
-/// - [`NetError::Rejected`] if the server refuses the session (config
-///   mismatch, capacity, a failed session — including another member
-///   disconnecting);
-/// - [`NetError::Disconnected`] on a lost connection;
-/// - framing and encryption failures.
-///
-/// [`PublicParams`]: cryptonn_protocol::PublicParams
-pub fn run_client<T: Transport>(
+/// Drives one connection until the summary arrives (`Ok`), the peer
+/// rejects (`Err(Rejected)`), or the transport dies.
+fn drive_connection<T: Transport>(
     mut transport: T,
     session: SessionId,
-    mut sm: ClientSession,
+    sm: &mut ClientSession,
     config: &SessionConfig,
 ) -> Result<SessionSummary, NetError> {
     transport.send(&NetMsg::Hello(Hello {
@@ -65,4 +58,86 @@ pub fn run_client<T: Transport>(
             None => return Err(NetError::Disconnected),
         }
     }
+}
+
+/// Runs one data-owner session over `transport` until the final
+/// summary arrives, and returns it.
+///
+/// The handshake frames `Hello{session, client, config}`; the server
+/// answers with the session's [`PublicParams`] and, once all clients
+/// registered, the `Start` barrier — from there the state machine
+/// streams its encrypted shard.
+///
+/// # Errors
+///
+/// - [`NetError::Rejected`] if the server refuses the session (config
+///   mismatch, capacity, a failed session — including another member
+///   disconnecting);
+/// - [`NetError::Disconnected`] on a lost connection;
+/// - framing and encryption failures.
+///
+/// [`PublicParams`]: cryptonn_protocol::PublicParams
+pub fn run_client<T: Transport>(
+    transport: T,
+    session: SessionId,
+    mut sm: ClientSession,
+    config: &SessionConfig,
+) -> Result<SessionSummary, NetError> {
+    drive_connection(transport, session, &mut sm, config)
+}
+
+/// Like [`run_client`], but survives connection loss: on a transport
+/// failure the driver parks the state machine's emitter, asks
+/// `connect` for a fresh transport (the attempt number starts at 0 for
+/// the initial connection), and re-registers — the server answers a
+/// repeat registration with the `Resume` barrier that rewinds the send
+/// cursor to what it actually consumed, so lost in-flight batches are
+/// re-encrypted and re-sent. At most `max_attempts` connections are
+/// made in total.
+///
+/// The connect factory is the churn-policy hook: returning an error
+/// gives up immediately (a client that leaves for good), blocking
+/// until a restarted server is reachable rides out a daemon crash, and
+/// wrapping the transport in a
+/// [`FaultyTransport`](crate::fault::FaultyTransport) injects the next
+/// fault.
+///
+/// # Errors
+///
+/// As [`run_client`]; [`NetError::Disconnected`] when the attempt
+/// budget is exhausted, and connect-factory errors verbatim.
+pub fn run_client_resumable<T, F>(
+    mut connect: F,
+    session: SessionId,
+    mut sm: ClientSession,
+    config: &SessionConfig,
+    max_attempts: u32,
+) -> Result<SessionSummary, NetError>
+where
+    T: Transport,
+    F: FnMut(u32) -> Result<T, NetError>,
+{
+    let max_attempts = max_attempts.max(1);
+    let mut last = NetError::Disconnected;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            // The local cursor is stale (in-flight frames died with the
+            // connection): emit nothing until the server's Resume (or
+            // the Start barrier, if the schedule was not yet fixed)
+            // re-syncs it.
+            sm.park_until_resume();
+        }
+        let transport = connect(attempt)?;
+        match drive_connection(transport, session, &mut sm, config) {
+            Ok(summary) => return Ok(summary),
+            // Only transport loss is retryable: a Reject is the
+            // server's verdict, and protocol errors are local bugs.
+            Err(e @ (NetError::Disconnected | NetError::Io(_) | NetError::Truncated { .. })) => {
+                last = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
 }

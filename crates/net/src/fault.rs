@@ -1,0 +1,390 @@
+//! Fault injection at frame boundaries: the churn test harness.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and applies a
+//! [`FaultPlan`] — scripted kill points (after N sends, N receives, or
+//! N encrypted batches on the wire), frame delays, and a seeded-random
+//! mode — *at frame boundaries only*, so every injected fault is one a
+//! real network can produce: a frame either crossed the wire whole or
+//! it never existed. A kill severs the underlying connection (the peer
+//! observes a disconnect, exactly as if the process died), and both
+//! halves of a split transport observe it.
+//!
+//! The plan is deterministic: a scripted plan kills at exactly the
+//! configured frame, and the random mode draws from a seeded
+//! [`StdRng`], so a failing churn test replays bit-identically from
+//! its seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use cryptonn_protocol::WireMessage;
+
+use crate::error::NetError;
+use crate::transport::{FrameRx, FrameTx, NetMsg, Transport};
+
+/// Seeded-random fault mode: at every frame boundary an independent
+/// draw decides whether the connection dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomFaults {
+    /// RNG seed; the same seed replays the same fault sequence.
+    pub seed: u64,
+    /// Per-frame-boundary probability of killing the connection.
+    pub kill_prob: f64,
+}
+
+/// What to inject, and when. The default plan injects nothing — a
+/// transparent wrapper — so reconnect factories can reuse one transport
+/// type for faulty first attempts and clean retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Sever the connection once this many frames have been sent.
+    pub kill_after_sends: Option<u64>,
+    /// Sever the connection once this many frames have been received.
+    pub kill_after_recvs: Option<u64>,
+    /// Sever the connection once this many encrypted batch frames
+    /// (`Batch`/`ImageBatch`) have been sent — "drop mid-epoch".
+    pub kill_after_batches: Option<u64>,
+    /// Sleep this long before every `every`-th sent frame, as
+    /// `(every, delay)` — reorder/latency pressure without loss.
+    pub delay_every_sends: Option<(u64, Duration)>,
+    /// Seeded-random kills layered on top of the scripted points.
+    pub random: Option<RandomFaults>,
+}
+
+impl FaultPlan {
+    /// A plan that severs the connection after `n` encrypted batch
+    /// frames have been sent.
+    pub fn kill_after_batches(n: u64) -> Self {
+        Self {
+            kill_after_batches: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that severs the connection after `n` sent frames of any
+    /// kind.
+    pub fn kill_after_sends(n: u64) -> Self {
+        Self {
+            kill_after_sends: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A seeded-random plan: every frame boundary kills the connection
+    /// with probability `kill_prob`.
+    pub fn random(seed: u64, kill_prob: f64) -> Self {
+        Self {
+            random: Some(RandomFaults { seed, kill_prob }),
+            ..Self::default()
+        }
+    }
+}
+
+/// Shared fault state: both halves of a split transport consult (and
+/// update) the same counters, so a kill triggered on the send side is
+/// observed by the receive side too.
+#[derive(Debug)]
+struct FaultCore {
+    plan: FaultPlan,
+    rng: Option<StdRng>,
+    killed: bool,
+    sends: u64,
+    recvs: u64,
+    batches_sent: u64,
+}
+
+impl FaultCore {
+    fn new(plan: FaultPlan) -> Self {
+        let rng = plan.random.map(|r| StdRng::seed_from_u64(r.seed));
+        Self {
+            plan,
+            rng,
+            killed: false,
+            sends: 0,
+            recvs: 0,
+            batches_sent: 0,
+        }
+    }
+
+    fn random_says_kill(&mut self) -> bool {
+        match (self.plan.random, &mut self.rng) {
+            (Some(r), Some(rng)) => rng.random::<f64>() < r.kill_prob,
+            _ => false,
+        }
+    }
+
+    /// Records a completed send; returns true if the plan kills the
+    /// connection at this boundary.
+    fn after_send(&mut self, msg: &NetMsg) -> bool {
+        self.sends += 1;
+        if matches!(
+            msg,
+            NetMsg::Msg(WireMessage::Batch(_)) | NetMsg::Msg(WireMessage::ImageBatch(_))
+        ) {
+            self.batches_sent += 1;
+        }
+        let scripted = self.plan.kill_after_sends.is_some_and(|n| self.sends >= n)
+            || self
+                .plan
+                .kill_after_batches
+                .is_some_and(|n| self.batches_sent >= n);
+        scripted || self.random_says_kill()
+    }
+
+    /// Records a completed receive; returns true if the plan kills the
+    /// connection at this boundary.
+    fn after_recv(&mut self) -> bool {
+        self.recvs += 1;
+        self.plan.kill_after_recvs.is_some_and(|n| self.recvs >= n) || self.random_says_kill()
+    }
+
+    fn delay_for_send(&self) -> Option<Duration> {
+        let (every, delay) = self.plan.delay_every_sends?;
+        if every > 0 && (self.sends + 1).is_multiple_of(every) {
+            Some(delay)
+        } else {
+            None
+        }
+    }
+}
+
+type SharedCore = Arc<Mutex<FaultCore>>;
+
+/// A read-only view of a [`FaultyTransport`]'s counters, alive after
+/// the transport itself was consumed by a driver — the test's probe
+/// into what actually happened on the wire.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    core: SharedCore,
+}
+
+impl FaultHandle {
+    /// Frames sent so far.
+    pub fn sends(&self) -> u64 {
+        self.core.lock().sends
+    }
+
+    /// Frames received so far.
+    pub fn recvs(&self) -> u64 {
+        self.core.lock().recvs
+    }
+
+    /// Encrypted batch frames sent so far.
+    pub fn batches_sent(&self) -> u64 {
+        self.core.lock().batches_sent
+    }
+
+    /// True once the plan severed the connection.
+    pub fn killed(&self) -> bool {
+        self.core.lock().killed
+    }
+}
+
+/// A [`Transport`] decorator that injects the faults of a [`FaultPlan`]
+/// at frame boundaries. See the module docs.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    core: SharedCore,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            core: Arc::new(Mutex::new(FaultCore::new(plan))),
+        }
+    }
+
+    /// A counter probe that outlives the transport.
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+/// The kill itself: mark the shared state, sever the underlying
+/// connection, and surface the same error a real dead socket would.
+fn kill(core: &SharedCore, close: &mut dyn FnMut()) {
+    core.lock().killed = true;
+    close();
+}
+
+impl<T: Transport> FrameTx for FaultyTransport<T> {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        if self.core.lock().killed {
+            return Err(NetError::Disconnected);
+        }
+        if let Some(delay) = self.core.lock().delay_for_send() {
+            std::thread::sleep(delay);
+        }
+        self.inner.send(msg)?;
+        if self.core.lock().after_send(msg) {
+            kill(&self.core, &mut || self.inner.close());
+            return Err(NetError::Disconnected);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
+impl<T: Transport> FrameRx for FaultyTransport<T> {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        if self.core.lock().killed {
+            return Ok(None);
+        }
+        let frame = self.inner.recv()?;
+        if frame.is_some() && self.core.lock().after_recv() {
+            kill(&self.core, &mut || self.inner.close());
+            return Ok(None);
+        }
+        Ok(frame)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let (tx, rx) = Box::new(self.inner).split();
+        (
+            Box::new(FaultyTx {
+                inner: tx,
+                core: Arc::clone(&self.core),
+            }),
+            Box::new(FaultyRx {
+                inner: rx,
+                core: self.core,
+            }),
+        )
+    }
+}
+
+struct FaultyTx {
+    inner: Box<dyn FrameTx>,
+    core: SharedCore,
+}
+
+impl FrameTx for FaultyTx {
+    fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
+        if self.core.lock().killed {
+            return Err(NetError::Disconnected);
+        }
+        if let Some(delay) = self.core.lock().delay_for_send() {
+            std::thread::sleep(delay);
+        }
+        self.inner.send(msg)?;
+        if self.core.lock().after_send(msg) {
+            kill(&self.core, &mut || self.inner.close());
+            return Err(NetError::Disconnected);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
+struct FaultyRx {
+    inner: Box<dyn FrameRx>,
+    core: SharedCore,
+}
+
+impl FrameRx for FaultyRx {
+    fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
+        if self.core.lock().killed {
+            return Ok(None);
+        }
+        let frame = self.inner.recv()?;
+        if frame.is_some() && self.core.lock().after_recv() {
+            // The receive half cannot close the underlying connection;
+            // marking the shared state killed makes the send half
+            // refuse every later frame, and dropping the halves (the
+            // driver's reaction to a dead link) severs it for the peer.
+            self.core.lock().killed = true;
+            return Ok(None);
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::mem_pair_default;
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let (a, mut b) = mem_pair_default();
+        let mut a = FaultyTransport::new(a, FaultPlan::default());
+        let handle = a.handle();
+        for _ in 0..5 {
+            a.send(&NetMsg::Reject("ping".into())).unwrap();
+            assert_eq!(b.recv().unwrap(), Some(NetMsg::Reject("ping".into())));
+        }
+        assert_eq!(handle.sends(), 5);
+        assert!(!handle.killed());
+    }
+
+    #[test]
+    fn scripted_kill_severs_after_exactly_n_sends() {
+        let (a, mut b) = mem_pair_default();
+        let mut a = FaultyTransport::new(a, FaultPlan::kill_after_sends(2));
+        let handle = a.handle();
+        a.send(&NetMsg::Reject("1".into())).unwrap();
+        // The second frame still crosses the wire; the connection dies
+        // at the boundary after it.
+        assert!(matches!(
+            a.send(&NetMsg::Reject("2".into())),
+            Err(NetError::Disconnected)
+        ));
+        assert!(handle.killed());
+        assert!(matches!(
+            a.send(&NetMsg::Reject("3".into())),
+            Err(NetError::Disconnected)
+        ));
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::Reject("1".into())));
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::Reject("2".into())));
+        assert_eq!(b.recv().unwrap(), None, "peer observes the severed link");
+        assert_eq!(handle.sends(), 2);
+    }
+
+    #[test]
+    fn kill_is_shared_across_split_halves() {
+        let (a, mut b) = mem_pair_default();
+        let faulty = FaultyTransport::new(a, FaultPlan::kill_after_sends(1));
+        let handle = faulty.handle();
+        let (mut tx, mut rx) = Box::new(faulty).split();
+        assert!(matches!(
+            tx.send(&NetMsg::Reject("only".into())),
+            Err(NetError::Disconnected)
+        ));
+        // The receive half sees the kill without touching the wire.
+        assert_eq!(rx.recv().unwrap(), None);
+        assert!(handle.killed());
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::Reject("only".into())));
+    }
+
+    #[test]
+    fn seeded_random_plan_replays_identically() {
+        let run = |seed: u64| -> (u64, bool) {
+            let (a, _b) = mem_pair_default();
+            let mut a = FaultyTransport::new(a, FaultPlan::random(seed, 0.3));
+            let handle = a.handle();
+            for i in 0..20 {
+                if a.send(&NetMsg::Reject(format!("{i}"))).is_err() {
+                    break;
+                }
+            }
+            (handle.sends(), handle.killed())
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+    }
+}

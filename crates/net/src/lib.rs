@@ -13,13 +13,20 @@
 //! - [`server`] — [`SessionServer`]: the concurrent multi-session
 //!   daemon — a [`SessionId`]-keyed registry, thread-per-connection on
 //!   a bounded [`ThreadPool`](cryptonn_parallel::ThreadPool), bounded
-//!   per-session inbound queues for backpressure, and failure isolation
-//!   per session.
+//!   per-session inbound queues for backpressure, failure isolation
+//!   per session, and (with [`ServerOptions::durability`]) per-session
+//!   write-ahead ledgers plus checkpoints that let a restarted daemon
+//!   resume interrupted sessions bit-identically (DESIGN.md §14).
+//! - [`fault`] — [`FaultyTransport`]: deterministic fault injection at
+//!   frame boundaries (scripted and seeded-random kill points, frame
+//!   delays) — the churn test harness.
 //! - [`authority`] — [`AuthorityServer`]: the key authority as its own
 //!   networked service, plus the [`AuthorityConnector`] abstraction
 //!   ([`RemoteAuthority`] / [`LocalAuthority`]) the training server
 //!   uses to reach it.
-//! - [`client`] — [`run_client`]: the data-owner driver.
+//! - [`client`] — [`run_client`]: the data-owner driver, and
+//!   [`run_client_resumable`]: the reconnecting variant that rides out
+//!   connection loss via the server's `Resume` barrier.
 //! - [`inference`] — [`InferenceServer`]: encrypted prediction serving
 //!   against a frozen trained model — concurrent predict clients,
 //!   request coalescing into shared secure sweeps, and a functional-key
@@ -94,6 +101,7 @@
 
 pub mod authority;
 pub mod client;
+pub mod fault;
 pub mod framing;
 pub mod inference;
 pub mod server;
@@ -104,13 +112,14 @@ mod error;
 pub use authority::{
     AuthorityConnector, AuthorityOptions, AuthorityServer, LocalAuthority, RemoteAuthority,
 };
-pub use client::run_client;
+pub use client::{run_client, run_client_resumable};
 pub use error::NetError;
+pub use fault::{FaultHandle, FaultPlan, FaultyTransport, RandomFaults};
 pub use framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER};
 pub use inference::{
     run_inference_client, InferenceClient, InferenceServer, InferenceServerOptions,
 };
-pub use server::{ServerOptions, SessionOutcomeKind, SessionServer};
+pub use server::{ResumedSession, ServerOptions, SessionOutcomeKind, SessionServer};
 pub use transport::{
     mem_pair, mem_pair_default, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport,
     Transport,

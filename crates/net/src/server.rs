@@ -15,33 +15,54 @@
 //!   `sync_channel` of events; when its worker is busy training, the
 //!   connection readers block on the full queue, which backpressures
 //!   straight down to the clients' sockets;
-//! - **per-session worker** — one thread per live session pumps the
-//!   shared [`ServerSession`] state machine (the same one the
-//!   deterministic runner and the replayer drive) and broadcasts its
-//!   outbound messages to every connected client;
-//! - **failure isolation** — a client disconnecting mid-session (or a
-//!   training error) fails *its* session: remaining members get a
-//!   `Reject` frame and the session is removed; other sessions never
-//!   observe it.
+//! - **per-session worker** — one thread per live session (registered
+//!   in a joinable [`WorkerSet`]) pumps the shared [`ServerSession`]
+//!   state machine (the same one the deterministic runner and the
+//!   replayer drive) and routes its outbound messages: broadcasts to
+//!   every connected client, addressed frames (the `Resume` barrier)
+//!   to their one recipient;
+//! - **failure isolation** — under the default fail-fast policy a
+//!   client disconnecting mid-session (or a training error) fails
+//!   *its* session: remaining members get a `Reject` frame and the
+//!   session is removed; other sessions never observe it;
+//! - **churn tolerance** — under a resume policy a disconnect instead
+//!   parks the session: the departed client's in-flight batches are
+//!   dropped, a rejoining client is rewound to what the server
+//!   actually consumed, and (with re-sharding enabled) a stalled
+//!   schedule is re-cut onto the survivors;
+//! - **durability** — with [`ServerOptions::durability`] set, every
+//!   inbound event is appended to a per-session write-ahead JSONL
+//!   ledger *before* it is processed, and the trained state is
+//!   checkpointed at a step cadence (DESIGN.md §14). A restarted
+//!   daemon finding a ledger for a resumable session restores the
+//!   latest checkpoint, replays only the ledger suffix, and continues
+//!   — bit-identical to a run that never crashed. Completed sessions
+//!   delete their ledger and checkpoint; failed ones keep both.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
-use cryptonn_parallel::{Parallelism, ThreadPool};
+use cryptonn_parallel::{Parallelism, ThreadPool, WorkerSet};
 use cryptonn_protocol::{
-    ClientId, ProtocolError, PublicParams, ServerSession, SessionConfig, SessionId, WireMessage,
+    CheckpointStore, ClientId, Outbound, Party, ProtocolError, PublicParams, ServerSession,
+    SessionConfig, SessionId, SessionSummary, WireMessage,
 };
 
 use crate::authority::AuthorityConnector;
 use crate::error::NetError;
 use crate::framing::DEFAULT_MAX_FRAME;
-use crate::transport::{FrameTx, NetMsg, Peer, TcpTransport, Transport};
+use crate::transport::{
+    mem_pair, FrameRx, FrameTx, MemTransport, NetMsg, Peer, TcpTransport, Transport,
+};
 
 /// Tuning for the session server.
 #[derive(Debug, Clone)]
@@ -60,7 +81,16 @@ pub struct ServerOptions {
     pub parallelism: Parallelism,
     /// On-disk directory for the fingerprinted BSGS table cache; `None`
     /// rebuilds tables in memory per session.
-    pub table_cache: Option<std::path::PathBuf>,
+    pub table_cache: Option<PathBuf>,
+    /// On-disk directory for per-session write-ahead ledgers and
+    /// checkpoints; `None` (the default) keeps sessions purely
+    /// in-memory — a daemon restart loses them.
+    pub durability: Option<PathBuf>,
+    /// Checkpoint cadence in trained steps (clamped to at least one);
+    /// meaningful only with [`durability`](Self::durability) set.
+    /// Checkpoints are cut only at clean points (empty reorder buffer),
+    /// so an eligible step may checkpoint slightly late.
+    pub checkpoint_every_steps: u64,
 }
 
 impl Default for ServerOptions {
@@ -72,6 +102,8 @@ impl Default for ServerOptions {
             max_frame: DEFAULT_MAX_FRAME,
             parallelism: Parallelism::Serial,
             table_cache: None,
+            durability: None,
+            checkpoint_every_steps: 8,
         }
     }
 }
@@ -86,20 +118,64 @@ pub enum SessionOutcomeKind {
     Failed(String),
 }
 
+/// How a restarted daemon brought one durable session back, as
+/// reported by [`SessionServer::resumed_sessions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumedSession {
+    /// The session that was resumed.
+    pub session: SessionId,
+    /// True if a valid checkpoint anchored the resume; false when the
+    /// whole ledger was replayed from offset zero (no checkpoint on
+    /// disk, or one the store rejected as corrupt).
+    pub from_checkpoint: bool,
+    /// Ledger events replayed (the suffix past the checkpoint's cut).
+    pub replayed_events: u64,
+    /// Wall-clock cost of the replay, in milliseconds.
+    pub replay_ms: f64,
+}
+
+/// One line of a session's write-ahead ledger. Line 0 is always
+/// `Config`; every later line is appended (and flushed) *before* the
+/// event it records reaches the state machine, so a crash can lose at
+/// most work the ledger already knows how to redo.
+// One value exists at a time, on the stack, only long enough to be
+// serialized (or replayed); boxing the heavy Msg variant would buy
+// nothing and cost the move-in/borrow-back pattern in the worker.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LedgerLine {
+    Config(SessionConfig),
+    Msg(LedgerMsg),
+    Gone(ClientId),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LedgerMsg {
+    from: ClientId,
+    msg: WireMessage,
+}
+
 // Events sit in a bounded queue; WireMessage payloads are heap-heavy
 // (ciphertext batches), so box them rather than inflate every slot.
 enum SessionEvent {
     Msg(ClientId, Box<WireMessage>),
-    Gone(ClientId),
+    // The epoch names *which* connection died, so a stale notice
+    // cannot evict a rejoined client's fresh writer.
+    Gone(ClientId, u64),
+    // Daemon shutdown: finish as failed (keeping durable state) and
+    // exit, regardless of which connection handlers still hold queue
+    // senders.
+    Shutdown,
 }
 
-type Conns = Arc<Mutex<HashMap<ClientId, Box<dyn FrameTx>>>>;
+type Conns = Arc<Mutex<HashMap<ClientId, (u64, Box<dyn FrameTx>)>>>;
 
 struct SessionEntry {
     config: SessionConfig,
     params: PublicParams,
     inbound: SyncSender<SessionEvent>,
     conns: Conns,
+    conn_epoch: Arc<AtomicU64>,
 }
 
 /// A registry slot. `Creating` reserves the id (and pins the config)
@@ -118,6 +194,13 @@ enum Slot {
 struct Registry {
     live: Mutex<HashMap<SessionId, Slot>>,
     finished: Mutex<Vec<(SessionId, SessionOutcomeKind)>>,
+    /// Completed sessions keep their config and final summary: a member
+    /// whose connection died in the final stretch (even on the summary
+    /// frame itself) rejoins *after* the live entry is gone, and must be
+    /// served the recorded verdict — not allowed to found a phantom
+    /// second session under the spent id that waits forever for peers.
+    served: Mutex<HashMap<SessionId, (SessionConfig, SessionSummary)>>,
+    resumed: Mutex<Vec<ResumedSession>>,
 }
 
 impl Registry {
@@ -128,12 +211,15 @@ impl Registry {
 }
 
 /// The concurrent multi-session training daemon. See the module docs
-/// for the concurrency model.
+/// for the concurrency model and the durability contract.
 pub struct SessionServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     registry: Arc<Registry>,
+    workers: Arc<WorkerSet>,
+    options: ServerOptions,
+    authority: Arc<dyn AuthorityConnector>,
 }
 
 impl SessionServer {
@@ -152,9 +238,13 @@ impl SessionServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Registry::default());
+        let workers = Arc::new(WorkerSet::new());
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
+            let workers = Arc::clone(&workers);
+            let authority = Arc::clone(&authority);
+            let options = options.clone();
             std::thread::spawn(move || {
                 let pool = ThreadPool::new(options.pool_threads);
                 for stream in listener.incoming() {
@@ -167,11 +257,26 @@ impl SessionServer {
                     let slot = Arc::new(Mutex::new(Some(stream)));
                     let job_slot = Arc::clone(&slot);
                     let registry = Arc::clone(&registry);
+                    let workers = Arc::clone(&workers);
+                    let shutdown = Arc::clone(&shutdown);
                     let authority = Arc::clone(&authority);
                     let conn_options = options.clone();
                     let accepted = pool.try_execute(move || {
                         if let Some(stream) = job_slot.lock().take() {
-                            serve_client_conn(stream, &conn_options, &registry, authority.as_ref());
+                            let Ok(transport) = TcpTransport::new(stream, conn_options.max_frame)
+                            else {
+                                return;
+                            };
+                            let (tx, rx) = Box::new(transport).split();
+                            serve_client_conn(
+                                tx,
+                                rx,
+                                &conn_options,
+                                &registry,
+                                authority.as_ref(),
+                                &workers,
+                                &shutdown,
+                            );
                         }
                     });
                     if !accepted {
@@ -192,6 +297,9 @@ impl SessionServer {
             shutdown,
             accept: Some(accept),
             registry,
+            workers,
+            options,
+            authority,
         })
     }
 
@@ -210,20 +318,79 @@ impl SessionServer {
         self.registry.finished.lock().clone()
     }
 
-    /// Stops accepting, tears down live connections, and waits for the
-    /// accept loop (and through it, the handler pool) to drain.
+    /// Durable sessions this daemon brought back from their ledgers at
+    /// creation time, with replay statistics.
+    pub fn resumed_sessions(&self) -> Vec<ResumedSession> {
+        self.registry.resumed.lock().clone()
+    }
+
+    /// Opens an in-memory connection to this server: the returned
+    /// transport speaks to a dedicated handler thread running the
+    /// *same* per-connection code as an accepted TCP socket (and
+    /// moving the same encoded frames), so churn suites can exercise
+    /// the full daemon without a network stack.
+    pub fn connect_mem(&self) -> MemTransport {
+        let (local, remote) = mem_pair(self.options.queue_depth.max(1), self.options.max_frame);
+        let (tx, rx) = Box::new(remote).split();
+        let registry = Arc::clone(&self.registry);
+        let workers = Arc::clone(&self.workers);
+        let shutdown = Arc::clone(&self.shutdown);
+        let authority = Arc::clone(&self.authority);
+        let options = self.options.clone();
+        // Detached on purpose: the handler exits when the client half
+        // drops, and must not hold shutdown hostage to a client that
+        // never does.
+        std::thread::spawn(move || {
+            serve_client_conn(
+                tx,
+                rx,
+                &options,
+                &registry,
+                authority.as_ref(),
+                &workers,
+                &shutdown,
+            );
+        });
+        local
+    }
+
+    /// Stops accepting, tears down live connections, asks every
+    /// session worker to finish (in-flight durable sessions land as
+    /// `Failed` with their ledgers intact, ready for a restarted
+    /// daemon), and joins the accept loop, the handler pool, and the
+    /// session workers.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Close every live connection so blocked readers unblock and
-        // the pool can drain.
-        for slot in self.registry.live.lock().values() {
+        // Take the live sessions out of the registry: their queue
+        // senders drop with the entries, every connection closes (which
+        // unblocks the socket readers), and an explicit Shutdown event
+        // tells each worker to finish even while stray handler threads
+        // still hold queue senders.
+        let entries: Vec<Slot> = self.registry.live.lock().drain().map(|(_, s)| s).collect();
+        for slot in &entries {
             if let Slot::Ready(entry) = slot {
-                for conn in entry.conns.lock().values_mut() {
+                for (_, conn) in entry.conns.lock().values_mut() {
                     conn.close();
+                }
+            }
+        }
+        for slot in &entries {
+            let Slot::Ready(entry) = slot else { continue };
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                match entry.inbound.try_send(SessionEvent::Shutdown) {
+                    Ok(()) | Err(TrySendError::Disconnected(_)) => break,
+                    // A full queue drains as the worker processes it.
+                    Err(TrySendError::Full(_)) => {
+                        if std::time::Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
                 }
             }
         }
@@ -232,6 +399,7 @@ impl SessionServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        let _ = self.workers.join_all();
     }
 }
 
@@ -244,15 +412,14 @@ impl Drop for SessionServer {
 }
 
 fn serve_client_conn(
-    stream: TcpStream,
+    tx: Box<dyn FrameTx>,
+    mut rx: Box<dyn FrameRx>,
     options: &ServerOptions,
     registry: &Arc<Registry>,
     authority: &dyn AuthorityConnector,
+    workers: &Arc<WorkerSet>,
+    shutdown: &Arc<AtomicBool>,
 ) {
-    let Ok(transport) = TcpTransport::new(stream, options.max_frame) else {
-        return;
-    };
-    let (tx, mut rx) = Box::new(transport).split();
     let mut tx = Some(tx);
     let reject = |tx: &mut Option<Box<dyn FrameTx>>, why: String| {
         if let Some(mut tx) = tx.take() {
@@ -272,12 +439,55 @@ fn serve_client_conn(
         return;
     };
 
+    // A spent session id never comes back to life under this daemon.
+    // A member whose last connection died in the final stretch may
+    // rejoin after the live entry is gone: serve it the recorded
+    // summary (delivery is idempotent) rather than found a phantom
+    // session under the old id, and restate the verdict of a failed
+    // one.
+    {
+        let served = registry.served.lock();
+        if let Some((config, summary)) = served.get(&hello.session) {
+            if *config != hello.config {
+                let why = format!("{} already exists with a different config", hello.session);
+                drop(served);
+                reject(&mut tx, why);
+                return;
+            }
+            let summary = summary.clone();
+            drop(served);
+            if let Some(mut tx) = tx.take() {
+                if tx.send(&NetMsg::Msg(WireMessage::Summary(summary))).is_ok() {
+                    // Drain until the client hangs up, so closing a TCP
+                    // socket with unread inbound frames (the client's
+                    // re-registration) cannot reset the summary out
+                    // from under it.
+                    while let Ok(Some(_)) = rx.recv() {}
+                }
+            }
+            return;
+        }
+    }
+    let failure = registry
+        .finished
+        .lock()
+        .iter()
+        .rev()
+        .find_map(|(id, o)| match o {
+            SessionOutcomeKind::Failed(why) if *id == hello.session => Some(why.clone()),
+            _ => None,
+        });
+    if let Some(why) = failure {
+        reject(&mut tx, format!("{} failed: {why}", hello.session));
+        return;
+    }
+
     // Join or create the session. The registry lock is only ever held
     // for map operations — never across authority I/O or socket sends —
     // so one slow peer or an unreachable authority cannot stall other
     // sessions' handshakes.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-    let (inbound, conns, params) = loop {
+    let (inbound, conns, params, conn_epoch) = loop {
         let mut live = registry.live.lock();
         match live.get(&hello.session) {
             Some(Slot::Ready(entry)) => {
@@ -293,6 +503,7 @@ fn serve_client_conn(
                     entry.inbound.clone(),
                     Arc::clone(&entry.conns),
                     entry.params.clone(),
+                    Arc::clone(&entry.conn_epoch),
                 );
             }
             Some(Slot::Creating { config }) => {
@@ -326,12 +537,21 @@ fn serve_client_conn(
                     },
                 );
                 drop(live);
-                match create_session(hello.session, &hello.config, options, registry, authority) {
+                match create_session(
+                    hello.session,
+                    &hello.config,
+                    options,
+                    registry,
+                    authority,
+                    workers,
+                    shutdown,
+                ) {
                     Ok(entry) => {
                         let handles = (
                             entry.inbound.clone(),
                             Arc::clone(&entry.conns),
                             entry.params.clone(),
+                            Arc::clone(&entry.conn_epoch),
                         );
                         registry
                             .live
@@ -351,16 +571,27 @@ fn serve_client_conn(
 
     // Register this connection's writer and relay the session's public
     // parameters — under the per-session conns lock only.
-    {
+    let epoch = {
         let mut conns = conns.lock();
         if conns.contains_key(&client_id) {
-            drop(conns);
-            reject(
-                &mut tx,
-                format!("{client_id} is already connected to {}", hello.session),
-            );
-            return;
+            // A second connection for a registered client: a rejoin
+            // under a resume policy (latest connection wins — the old
+            // one is dead or dying, and its epoch-keyed Gone notice
+            // cannot evict the new writer), a duplicate to refuse
+            // otherwise.
+            if !hello.config.policy.resumes() {
+                drop(conns);
+                reject(
+                    &mut tx,
+                    format!("{client_id} is already connected to {}", hello.session),
+                );
+                return;
+            }
+            if let Some((_, mut old)) = conns.remove(&client_id) {
+                old.close();
+            }
         }
+        let epoch = conn_epoch.fetch_add(1, Ordering::SeqCst);
         let mut tx = tx.take().expect("writer not yet consumed");
         if tx
             .send(&NetMsg::Msg(WireMessage::PublicParams(params)))
@@ -368,15 +599,20 @@ fn serve_client_conn(
         {
             return;
         }
-        conns.insert(client_id, tx);
-    }
+        conns.insert(client_id, (epoch, tx));
+        epoch
+    };
 
     // If the worker died while we registered (a lost race with session
     // completion/failure), nobody will ever serve this connection —
-    // tear it down rather than leave the client hanging.
+    // tear it down rather than leave the client hanging. Only our own
+    // epoch's writer, though: a rejoined client may own the slot now.
     let cleanup = || {
-        if let Some(mut conn) = conns.lock().remove(&client_id) {
-            conn.close();
+        let mut conns = conns.lock();
+        if conns.get(&client_id).is_some_and(|(e, _)| *e == epoch) {
+            if let Some((_, mut conn)) = conns.remove(&client_id) {
+                conn.close();
+            }
         }
     };
 
@@ -395,7 +631,7 @@ fn serve_client_conn(
                 }
             }
             Ok(Some(_)) | Ok(None) | Err(_) => {
-                if inbound.send(SessionEvent::Gone(client_id)).is_err() {
+                if inbound.send(SessionEvent::Gone(client_id, epoch)).is_err() {
                     cleanup();
                 }
                 return;
@@ -404,114 +640,441 @@ fn serve_client_conn(
     }
 }
 
+/// The per-session durable state: the open write-ahead ledger and the
+/// checkpoint plan.
+struct Durability {
+    ledger: std::fs::File,
+    ledger_path: PathBuf,
+    store: CheckpointStore,
+    every_steps: u64,
+    /// Event lines in the ledger (replayed + appended); the offset the
+    /// next checkpoint records.
+    events: u64,
+    last_checkpoint_step: u64,
+}
+
+impl Durability {
+    fn append(&mut self, line: &LedgerLine) -> Result<(), NetError> {
+        let json = serde_json::to_string(line)
+            .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
+        writeln!(self.ledger, "{json}").map_err(NetError::from)?;
+        self.ledger.flush().map_err(NetError::from)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Drops the durable state of a *completed* session.
+    fn discard(&self, id: SessionId) {
+        let _ = std::fs::remove_file(&self.ledger_path);
+        let _ = self.store.remove(id);
+    }
+}
+
+fn ledger_path(dir: &Path, id: SessionId) -> PathBuf {
+    dir.join(format!("{id}.ledger.jsonl"))
+}
+
+/// Reads a session ledger back: checks the `Config` header against the
+/// presented config and returns the event lines. A torn final line (a
+/// crash mid-append) is dropped; torn or alien content anywhere else —
+/// or a mismatched config — rejects the whole ledger (`None`).
+fn read_ledger(path: &Path, config: &SessionConfig) -> Option<Vec<LedgerLine>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let lines: Vec<&str> = text.lines().collect();
+    let (first, rest) = lines.split_first()?;
+    match serde_json::from_str::<LedgerLine>(first) {
+        Ok(LedgerLine::Config(c)) if c == *config => {}
+        _ => return None,
+    }
+    let mut events = Vec::with_capacity(rest.len());
+    for (i, line) in rest.iter().enumerate() {
+        match serde_json::from_str::<LedgerLine>(line) {
+            Ok(LedgerLine::Config(_)) => return None,
+            Ok(event) => events.push(event),
+            Err(_) if i + 1 == rest.len() => break, // torn tail
+            Err(_) => return None,
+        }
+    }
+    Some(events)
+}
+
+/// Rebuilds a mid-run server from its durable state: the latest valid
+/// checkpoint (if any) plus a replay of the ledger events past its cut.
+fn replay_ledger(
+    id: SessionId,
+    config: &SessionConfig,
+    options: &ServerOptions,
+    authority: &dyn AuthorityConnector,
+    store: &CheckpointStore,
+    events: &[LedgerLine],
+) -> Result<(ServerSession, PublicParams, bool, u64), NetError> {
+    let (params, link) = authority.connect(id, config)?;
+    let (mut server, offset, from_checkpoint) = match store.load(id, config) {
+        Ok(ckpt) => {
+            let offset = (ckpt.transcript_offset as usize).min(events.len());
+            let server = ServerSession::restore(config, &params, link, options.parallelism, &ckpt)?;
+            (server, offset, true)
+        }
+        // Missing or rejected (corrupt, wrong fingerprint, stale
+        // schema): the ledger alone still reconstructs the session.
+        Err(_) => (
+            ServerSession::new(config, &params, link, options.parallelism),
+            0,
+            false,
+        ),
+    };
+    if let Some(dir) = &options.table_cache {
+        server.attach_table_cache(dir.clone());
+    }
+    let mut replayed = 0u64;
+    for line in &events[offset..] {
+        match line {
+            LedgerLine::Config(_) => {}
+            LedgerLine::Msg(m) => match server.handle_message(&m.msg) {
+                Ok(_) => {}
+                // A write-ahead ledger legitimately holds duplicates: a
+                // batch parked in the reorder buffer at a crash was
+                // re-sent by its rewound owner after the previous
+                // resume. The state machine is unchanged on this error,
+                // so skipping the stale copy is sound.
+                Err(ProtocolError::OutOfOrder { .. }) => {}
+                Err(e) => return Err(e.into()),
+            },
+            LedgerLine::Gone(client) => {
+                // Replayed so a re-shard the dying daemon already cut
+                // is re-cut identically.
+                server.client_gone(*client)?;
+            }
+        }
+        replayed += 1;
+    }
+    // Batches the replay parked in the reorder buffer were never
+    // trained: the reconnecting clients are rewound to `delivered` and
+    // will resend them.
+    server.purge_pending();
+    server.mark_all_disconnected();
+    Ok((server, params, from_checkpoint, replayed))
+}
+
 fn create_session(
     id: SessionId,
     config: &SessionConfig,
     options: &ServerOptions,
     registry: &Arc<Registry>,
     authority: &dyn AuthorityConnector,
+    workers: &Arc<WorkerSet>,
+    shutdown: &Arc<AtomicBool>,
 ) -> Result<SessionEntry, NetError> {
     if config.clients == 0 {
         return Err(NetError::Protocol(ProtocolError::InvalidConfig(
             "zero clients".into(),
         )));
     }
-    let (params, link) = authority.connect(id, config)?;
-    let mut server = ServerSession::new(config, &params, link, options.parallelism);
-    if let Some(dir) = &options.table_cache {
-        server.attach_table_cache(dir.clone());
-    }
+    let fresh = |params: &PublicParams,
+                 link: Box<dyn cryptonn_protocol::AuthorityChannel>|
+     -> ServerSession {
+        let mut server = ServerSession::new(config, params, link, options.parallelism);
+        if let Some(dir) = &options.table_cache {
+            server.attach_table_cache(dir.clone());
+        }
+        server
+    };
+    let (server, params, durability) = match &options.durability {
+        None => {
+            let (params, link) = authority.connect(id, config)?;
+            let server = fresh(&params, link);
+            (server, params, None)
+        }
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let store = CheckpointStore::new(dir.clone());
+            let path = ledger_path(dir, id);
+            let recorded = if config.policy.resumes() {
+                read_ledger(&path, config)
+            } else {
+                None
+            };
+            let (server, params, events) = match recorded {
+                Some(events) => {
+                    let start = std::time::Instant::now();
+                    let (server, params, from_checkpoint, replayed) =
+                        replay_ledger(id, config, options, authority, &store, &events)?;
+                    registry.resumed.lock().push(ResumedSession {
+                        session: id,
+                        from_checkpoint,
+                        replayed_events: replayed,
+                        replay_ms: start.elapsed().as_secs_f64() * 1e3,
+                    });
+                    (server, params, events)
+                }
+                None => {
+                    // No usable history: any stale files under this id
+                    // belong to an unresumable or alien session.
+                    let _ = std::fs::remove_file(&path);
+                    let _ = store.remove(id);
+                    let (params, link) = authority.connect(id, config)?;
+                    let server = fresh(&params, link);
+                    (server, params, Vec::new())
+                }
+            };
+            // Rewrite the ledger from its parsed form: identical
+            // content, but a torn tail line (if any) is gone, so
+            // appends always start on a fresh line.
+            let mut file = std::fs::File::create(&path)?;
+            {
+                let mut write_line = |line: &LedgerLine| -> Result<(), NetError> {
+                    let json = serde_json::to_string(line)
+                        .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
+                    writeln!(file, "{json}").map_err(NetError::from)
+                };
+                write_line(&LedgerLine::Config(config.clone()))?;
+                for line in &events {
+                    write_line(line)?;
+                }
+            }
+            file.flush()?;
+            let durability = Durability {
+                ledger: file,
+                ledger_path: path,
+                store,
+                every_steps: options.checkpoint_every_steps.max(1),
+                events: events.len() as u64,
+                last_checkpoint_step: server.steps(),
+            };
+            (server, params, Some(durability))
+        }
+    };
     let (inbound_tx, inbound_rx) = std::sync::mpsc::sync_channel(options.queue_depth.max(1));
     let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
-    {
-        let conns = Arc::clone(&conns);
-        let registry = Arc::clone(registry);
-        std::thread::spawn(move || session_worker(id, server, inbound_rx, conns, registry));
-    }
+    let ctx = WorkerCtx {
+        id,
+        config: config.clone(),
+        conns: Arc::clone(&conns),
+        registry: Arc::clone(registry),
+        shutdown: Arc::clone(shutdown),
+        durability,
+    };
+    workers.spawn(&format!("{id}-worker"), move || {
+        session_worker(ctx, server, inbound_rx);
+    });
     Ok(SessionEntry {
         config: config.clone(),
         params,
         inbound: inbound_tx,
         conns,
+        conn_epoch: Arc::new(AtomicU64::new(0)),
     })
 }
 
-fn session_worker(
+/// Everything a session worker owns besides the state machine and its
+/// inbound queue.
+struct WorkerCtx {
     id: SessionId,
-    mut server: ServerSession,
-    inbound: Receiver<SessionEvent>,
+    config: SessionConfig,
     conns: Conns,
     registry: Arc<Registry>,
-) {
-    let fail = |conns: &Conns, registry: &Registry, why: String| {
+    shutdown: Arc<AtomicBool>,
+    durability: Option<Durability>,
+}
+
+impl WorkerCtx {
+    fn append(&mut self, line: &LedgerLine) -> Result<(), NetError> {
+        match &mut self.durability {
+            Some(d) => d.append(line),
+            None => Ok(()),
+        }
+    }
+
+    /// Cuts a checkpoint when the cadence is due and the state machine
+    /// sits at a clean point (empty reorder buffer, so checkpoint +
+    /// ledger suffix reconstructs the exact consumed stream).
+    /// Checkpointing is best-effort: a failed save only costs a longer
+    /// replay later.
+    fn maybe_checkpoint(&mut self, server: &ServerSession) {
+        let Some(d) = &mut self.durability else {
+            return;
+        };
+        if server.steps() < d.last_checkpoint_step + d.every_steps
+            || server.pending_batches() != 0
+            || server.is_finished()
+        {
+            return;
+        }
+        if let Ok(ckpt) = server.checkpoint(d.events) {
+            if d.store.save(self.id, &self.config, &ckpt).is_ok() {
+                d.last_checkpoint_step = server.steps();
+            }
+        }
+    }
+
+    fn finish(&self, outcome: SessionOutcomeKind) {
+        // A failed durable session keeps its ledger and checkpoint: a
+        // restarted daemon resumes it from there.
+        if outcome == SessionOutcomeKind::Completed {
+            if let Some(d) = &self.durability {
+                d.discard(self.id);
+            }
+        }
+        self.registry.finish(self.id, outcome);
+    }
+
+    fn fail(&self, why: String) {
         // Lock ordering: handlers take the registry lock before a
         // session's conns lock, so never hold conns while finishing.
         {
-            let mut conns = conns.lock();
-            for conn in conns.values_mut() {
+            let mut conns = self.conns.lock();
+            for (_, conn) in conns.values_mut() {
                 let _ = conn.send(&NetMsg::Reject(why.clone()));
                 conn.close();
             }
             conns.clear();
         }
-        registry.finish(id, SessionOutcomeKind::Failed(why));
-    };
+        self.finish(SessionOutcomeKind::Failed(why));
+    }
+}
 
+/// Delivers a batch of outbound messages: addressed frames to their
+/// one recipient, everything else broadcast to every connected client;
+/// a writer whose send fails is dropped (its reader will report
+/// `Gone`). Returns true once the final summary went out, after
+/// closing every connection.
+fn route_outbound(conns: &Conns, outs: Vec<Outbound>) -> bool {
+    let mut finished = false;
+    let mut conns = conns.lock();
+    for ob in outs {
+        if matches!(ob.msg, WireMessage::Summary(_)) {
+            finished = true;
+        }
+        let frame = NetMsg::Msg(ob.msg);
+        match ob.to {
+            Party::Client(i) => {
+                let id = ClientId(i);
+                let dead = match conns.get_mut(&id) {
+                    Some((_, conn)) => conn.send(&frame).is_err(),
+                    None => false,
+                };
+                if dead {
+                    if let Some((_, mut conn)) = conns.remove(&id) {
+                        conn.close();
+                    }
+                }
+            }
+            _ => conns.retain(|_, (_, conn)| conn.send(&frame).is_ok()),
+        }
+    }
+    if finished {
+        // Orderly close: every member got the summary; tearing the
+        // connections down unblocks their handlers.
+        for (_, conn) in conns.values_mut() {
+            conn.close();
+        }
+        conns.clear();
+    }
+    finished
+}
+
+fn session_worker(mut ctx: WorkerCtx, mut server: ServerSession, inbound: Receiver<SessionEvent>) {
     loop {
         let event = match inbound.recv() {
             Ok(event) => event,
-            // Every connection handler is gone; if we had finished we
-            // would have exited below, so this is an abandoned session.
+            // Every queue sender is gone; if we had finished we would
+            // have exited below, so this session was abandoned (or the
+            // daemon is going down and already drained the registry).
             Err(_) => {
-                registry.finish(
-                    id,
-                    SessionOutcomeKind::Failed("all clients disconnected".into()),
-                );
+                let why = if ctx.shutdown.load(Ordering::SeqCst) {
+                    "server shut down mid-session"
+                } else {
+                    "all clients disconnected"
+                };
+                ctx.finish(SessionOutcomeKind::Failed(why.into()));
                 return;
             }
         };
-        match event {
-            SessionEvent::Gone(client) => {
-                conns.lock().remove(&client);
-                fail(
-                    &conns,
-                    &registry,
-                    format!("{client} disconnected mid-session"),
-                );
+        let result = match event {
+            SessionEvent::Shutdown => {
+                {
+                    let mut conns = ctx.conns.lock();
+                    for (_, conn) in conns.values_mut() {
+                        conn.close();
+                    }
+                    conns.clear();
+                }
+                ctx.finish(SessionOutcomeKind::Failed(
+                    "server shut down mid-session".into(),
+                ));
                 return;
             }
-            SessionEvent::Msg(client, msg) => match server.handle_message(&msg) {
-                Ok(outs) => {
-                    let mut finished = false;
-                    {
-                        let mut conns = conns.lock();
-                        for ob in outs {
-                            if matches!(ob.msg, WireMessage::Summary(_)) {
-                                finished = true;
-                            }
-                            let frame = NetMsg::Msg(ob.msg);
-                            conns.retain(|_, conn| conn.send(&frame).is_ok());
+            SessionEvent::Gone(client, epoch) => {
+                {
+                    let mut conns = ctx.conns.lock();
+                    match conns.get(&client) {
+                        // The client already rejoined on a newer
+                        // connection: this notice is about a corpse,
+                        // not the member — dropping it (unledgered) is
+                        // what keeps a slow old handler from marking a
+                        // live rejoined client disconnected and
+                        // stalling the schedule forever.
+                        Some((e, _)) if *e != epoch => continue,
+                        Some(_) => {
+                            conns.remove(&client);
                         }
-                        if finished {
-                            // Orderly close: every member got the
-                            // summary; tearing the connections down
-                            // unblocks their handlers.
-                            for conn in conns.values_mut() {
-                                conn.close();
-                            }
-                            conns.clear();
-                        }
-                    }
-                    if finished {
-                        registry.finish(id, SessionOutcomeKind::Completed);
-                        return;
+                        // No writer left (a failed send already evicted
+                        // it): the disconnect itself is still real.
+                        None => {}
                     }
                 }
-                Err(e) => {
-                    fail(&conns, &registry, format!("{client}: {e}"));
+                if let Err(e) = ctx.append(&LedgerLine::Gone(client)) {
+                    ctx.fail(format!("durability failure: {e}"));
                     return;
                 }
-            },
+                server.client_gone(client)
+            }
+            SessionEvent::Msg(client, msg) => {
+                // The ledger line owns the message (no clone of the
+                // heavy ciphertext payload); the state machine borrows
+                // it back out.
+                let line = LedgerLine::Msg(LedgerMsg {
+                    from: client,
+                    msg: *msg,
+                });
+                if let Err(e) = ctx.append(&line) {
+                    ctx.fail(format!("durability failure: {e}"));
+                    return;
+                }
+                let LedgerLine::Msg(m) = &line else {
+                    unreachable!("constructed as Msg above")
+                };
+                server.handle_message(&m.msg)
+            }
+        };
+        match result {
+            Ok(outs) => {
+                // Record the summary *before* the live entry goes away:
+                // from the instant the session leaves the registry, a
+                // member rejoining after a dropped final frame is
+                // answered from this record.
+                if let Some(summary) = outs.iter().find_map(|ob| match &ob.msg {
+                    WireMessage::Summary(s) => Some(s.clone()),
+                    _ => None,
+                }) {
+                    ctx.registry
+                        .served
+                        .lock()
+                        .insert(ctx.id, (ctx.config.clone(), summary));
+                }
+                if route_outbound(&ctx.conns, outs) {
+                    ctx.finish(SessionOutcomeKind::Completed);
+                    return;
+                }
+                ctx.maybe_checkpoint(&server);
+            }
+            Err(e) => {
+                // Under fail-fast a disconnect lands here as the
+                // seed-behavior "disconnected mid-session" transport
+                // error; training and protocol violations likewise.
+                ctx.fail(format!("{e}"));
+                return;
+            }
         }
     }
 }

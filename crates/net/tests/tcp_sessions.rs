@@ -35,6 +35,36 @@ fn small_config(data: &cryptonn_data::Dataset, clients: u32, epochs: u32) -> Ses
     )
 }
 
+/// A last-resort liveness backstop for the fault-injected scenarios: a
+/// churn wedge (member and daemon each waiting on the other) would
+/// hang the binary forever; the watchdog turns that into a fast, named
+/// failure. Disarmed on drop — including a test's own panic.
+struct Watchdog(Arc<std::sync::atomic::AtomicBool>);
+
+fn watchdog(test: &'static str) -> Watchdog {
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observed = Arc::clone(&done);
+    std::thread::spawn(move || {
+        let limit = std::time::Duration::from_secs(240);
+        let deadline = std::time::Instant::now() + limit;
+        while std::time::Instant::now() < deadline {
+            if observed.load(std::sync::atomic::Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        }
+        eprintln!("watchdog: {test} still running after {limit:?}; aborting the test binary");
+        std::process::exit(101);
+    });
+    Watchdog(done)
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 /// The worker records a session's outcome *after* broadcasting the
 /// summary, so clients can observe completion slightly before the
 /// ledger does; give it a moment.
@@ -329,6 +359,97 @@ fn mid_epoch_disconnect_fails_only_its_own_session() {
         Some(SessionOutcomeKind::Failed(why)) => assert!(why.contains("disconnected")),
         other => panic!("victim session should be recorded as failed, got {other:?}"),
     }
+    server.shutdown();
+    authority.shutdown();
+}
+
+/// The same mid-epoch disconnect under the *resume* policy: the
+/// session does not fail. The dropped client's resumable driver
+/// reconnects, the server's `Resume` barrier rewinds its send cursor
+/// to what was actually consumed, the lost in-flight batch is
+/// re-encrypted and re-sent, and both members finish bit-identical to
+/// the uninterrupted in-process run.
+#[test]
+fn mid_epoch_disconnect_under_resume_policy_rejoins_and_completes() {
+    use cryptonn_net::{run_client_resumable, FaultPlan, FaultyTransport};
+    use cryptonn_protocol::SessionPolicy;
+
+    let _watchdog = watchdog("mid_epoch_disconnect_under_resume_policy_rejoins_and_completes");
+    let data = clinic_dataset(24, 53);
+    let mut config = small_config(&data, 2, 2);
+    config.policy = SessionPolicy::resume();
+    let expected = TrainingSessionRunner::new(config.clone())
+        .run_mlp(&data)
+        .expect("in-process session runs")
+        .summary;
+
+    let (authority, server) = start_stack(ServerOptions::default());
+    let addr = server.local_addr();
+    let session = SessionId(68);
+    let mut shards = round_robin_shards(&data, 3, 2).into_iter();
+
+    let steady = {
+        let shard = shards.next().unwrap();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let sm = ClientSession::new(
+                ClientId(0),
+                config.client_seed_base,
+                Parallelism::Serial,
+                shard,
+            );
+            let transport = TcpTransport::connect(addr, DEFAULT_MAX_FRAME)?;
+            run_client(transport, session, sm, &config)
+        })
+    };
+    let churned = {
+        let shard = shards.next().unwrap();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let sm = ClientSession::new(
+                ClientId(1),
+                config.client_seed_base + 1,
+                Parallelism::Serial,
+                shard,
+            );
+            run_client_resumable(
+                |attempt| {
+                    // First connection dies mid-epoch, after two
+                    // encrypted batches crossed the wire; retries are
+                    // clean.
+                    let plan = if attempt == 0 {
+                        FaultPlan::kill_after_batches(2)
+                    } else {
+                        FaultPlan::default()
+                    };
+                    Ok(FaultyTransport::new(
+                        TcpTransport::connect(addr, DEFAULT_MAX_FRAME)?,
+                        plan,
+                    ))
+                },
+                session,
+                sm,
+                &config,
+                4,
+            )
+        })
+    };
+
+    let steady = steady.join().expect("steady client thread");
+    let churned = churned.join().expect("churned client thread");
+    assert_eq!(
+        steady.expect("steady client completes despite its peer's churn"),
+        expected
+    );
+    assert_eq!(churned.expect("churned client rejoins"), expected);
+
+    wait_until("the session to land in the ledger", || {
+        server.finished_sessions().len() == 1
+    });
+    assert_eq!(
+        server.finished_sessions()[0],
+        (session, SessionOutcomeKind::Completed)
+    );
     server.shutdown();
     authority.shutdown();
 }

@@ -124,6 +124,15 @@ impl Layer for Dense {
     fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
     }
+
+    fn params(&self) -> Option<(&Matrix<f64>, &Matrix<f64>)> {
+        Some((&self.w, &self.b))
+    }
+
+    fn set_params_from(&mut self, w: &Matrix<f64>, b: &Matrix<f64>) -> bool {
+        self.set_params(w.clone(), b.clone());
+        true
+    }
 }
 
 #[cfg(test)]

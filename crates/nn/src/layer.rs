@@ -36,4 +36,28 @@ pub trait Layer: fmt::Debug + Send {
     fn param_count(&self) -> usize {
         0
     }
+
+    /// The layer's parameters as a `(weights, bias)` pair, when the
+    /// layer exposes them for checkpointing. Stateless layers (and
+    /// layers whose parameters are not a plain dense pair) keep the
+    /// default `None`; such layers cannot be captured into a training
+    /// checkpoint.
+    fn params(&self) -> Option<(&Matrix<f64>, &Matrix<f64>)> {
+        None
+    }
+
+    /// Restores parameters previously read via
+    /// [`params`](Layer::params). Returns `false` when the layer has no
+    /// snapshot support (the default), letting callers surface a typed
+    /// "unsupported model" error instead of silently resuming with
+    /// stale weights.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on shape mismatch with the existing
+    /// parameters.
+    fn set_params_from(&mut self, w: &Matrix<f64>, b: &Matrix<f64>) -> bool {
+        let (_, _) = (w, b);
+        false
+    }
 }

@@ -11,6 +11,11 @@
 //! [`parallel_map`] and the [`Parallelism`] policy used by both; it
 //! lives below `cryptonn-fe` so the FE layer can batch-encrypt without
 //! a dependency cycle through `cryptonn-smc`.
+//!
+//! For the long-lived daemon threads of `cryptonn-net` it also provides
+//! the bounded [`ThreadPool`] (connection handlers) and the joinable,
+//! panic-containing [`WorkerSet`] (per-session workers with optional
+//! restart-on-panic).
 
 /// Computes `f(0), f(1), …, f(n-1)` across `threads` OS threads,
 /// preserving index order in the returned vector.
@@ -174,6 +179,90 @@ impl Drop for ThreadPool {
     }
 }
 
+/// A named registry of long-lived worker threads that the owner can
+/// join deterministically — the session daemon's per-session workers,
+/// which must be *waited for* on shutdown rather than detached (a
+/// detached worker could still be appending to a durability ledger
+/// while the process tears the directory down).
+///
+/// Two spawn modes:
+///
+/// - [`spawn`](Self::spawn) runs a one-shot job;
+/// - [`spawn_restartable`](Self::spawn_restartable) contains panics
+///   with `catch_unwind` and re-runs the job up to an attempt budget —
+///   crash-resume *inside* one process, the in-memory twin of the
+///   daemon's restart-from-ledger path.
+///
+/// [`join_all`](Self::join_all) blocks until every spawned worker has
+/// exited and reports the names of those whose final attempt panicked.
+#[derive(Debug, Default)]
+pub struct WorkerSet {
+    workers: std::sync::Mutex<Vec<(String, std::thread::JoinHandle<bool>)>>,
+}
+
+impl WorkerSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of workers spawned so far and not yet joined.
+    pub fn len(&self) -> usize {
+        self.workers.lock().expect("worker registry poisoned").len()
+    }
+
+    /// True when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn register(&self, name: &str, handle: std::thread::JoinHandle<bool>) {
+        self.workers
+            .lock()
+            .expect("worker registry poisoned")
+            .push((name.to_string(), handle));
+    }
+
+    /// Spawns a one-shot named worker.
+    pub fn spawn(&self, name: &str, job: impl FnOnce() + Send + 'static) {
+        let handle = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_ok()
+        });
+        self.register(name, handle);
+    }
+
+    /// Spawns a named worker that re-runs `job` after a panic, up to
+    /// `attempts` runs in total (clamped to at least one). The worker
+    /// exits after the first clean run.
+    pub fn spawn_restartable(&self, name: &str, attempts: u32, job: impl Fn() + Send + 'static) {
+        let handle = std::thread::spawn(move || {
+            for _ in 0..attempts.max(1) {
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(&job)).is_ok() {
+                    return true;
+                }
+            }
+            false
+        });
+        self.register(name, handle);
+    }
+
+    /// Waits for every registered worker to exit; returns the names of
+    /// workers whose final attempt panicked (empty on a clean drain).
+    pub fn join_all(&self) -> Vec<String> {
+        let drained: Vec<_> = {
+            let mut workers = self.workers.lock().expect("worker registry poisoned");
+            workers.drain(..).collect()
+        };
+        let mut panicked = Vec::new();
+        for (name, handle) in drained {
+            if !handle.join().unwrap_or(false) {
+                panicked.push(name);
+            }
+        }
+        panicked
+    }
+}
+
 /// A thread-count policy for the secure computations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Parallelism {
@@ -283,6 +372,55 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "pool never freed");
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn worker_set_joins_and_reports_clean_exits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let set = WorkerSet::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for i in 0..3 {
+            let ran = Arc::clone(&ran);
+            set.spawn(&format!("worker-{i}"), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(set.len(), 3);
+        assert!(set.join_all().is_empty());
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn restartable_worker_survives_panics_within_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let set = WorkerSet::new();
+        let runs = Arc::new(AtomicUsize::new(0));
+        {
+            let runs = Arc::clone(&runs);
+            set.spawn_restartable("flaky", 3, move || {
+                // Panic on the first two runs, succeed on the third.
+                if runs.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("injected crash");
+                }
+            });
+        }
+        assert!(set.join_all().is_empty(), "third attempt should succeed");
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+
+        // Exhausting the budget reports the worker by name.
+        let runs2 = Arc::new(AtomicUsize::new(0));
+        {
+            let runs2 = Arc::clone(&runs2);
+            set.spawn_restartable("doomed", 2, move || {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                panic!("always crashes");
+            });
+        }
+        assert_eq!(set.join_all(), vec!["doomed".to_string()]);
+        assert_eq!(runs2.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -175,6 +175,8 @@ pub enum ProtocolError {
     /// A session-configuration inconsistency (zero clients, shard/step
     /// disagreement…).
     InvalidConfig(String),
+    /// Writing, reading, or applying a durable checkpoint failed.
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl fmt::Display for ProtocolError {
@@ -207,6 +209,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Io(e) => write!(f, "transcript file I/O failed: {e}"),
             ProtocolError::Transport(e) => write!(f, "session transport failed: {e}"),
             ProtocolError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
+            ProtocolError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -216,8 +219,15 @@ impl std::error::Error for ProtocolError {
         match self {
             ProtocolError::Training(e) => Some(e),
             ProtocolError::Replay(e) => Some(e),
+            ProtocolError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for ProtocolError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        ProtocolError::Checkpoint(e)
     }
 }
 

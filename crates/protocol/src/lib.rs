@@ -23,6 +23,11 @@
 //! - [`replay`] — [`replay_server`]: re-executes the server from a
 //!   transcript alone and verifies it reproduces the recording, with
 //!   typed [`ReplayError`] rejection of forged transcripts.
+//! - [`checkpoint`] — [`SessionCheckpoint`] / [`CheckpointStore`]:
+//!   durable, fingerprint-verified snapshots of the server's training
+//!   state, so an interrupted session resumes from its last checkpoint
+//!   plus the transcript suffix instead of replaying from step 0
+//!   (DESIGN.md §14).
 //! - [`inference`] — [`InferenceSession`]: the serving phase — a frozen
 //!   trained model answers encrypted predict requests, coalescing
 //!   in-flight requests into shared secure sweeps behind a
@@ -57,6 +62,7 @@
 //! # Ok::<(), cryptonn_protocol::ProtocolError>(())
 //! ```
 
+pub mod checkpoint;
 mod error;
 pub mod inference;
 pub mod messages;
@@ -65,15 +71,22 @@ pub mod runner;
 pub mod session;
 mod transcript;
 
+pub use checkpoint::{
+    config_fingerprint, CheckpointError, CheckpointStore, ClientCursor, SessionCheckpoint,
+    CHECKPOINT_SCHEMA,
+};
 pub use error::{ProtocolError, ReplayError};
 pub use inference::{InferenceOptions, InferenceSession};
 pub use messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
     FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PredictRequest,
-    Prediction, PublicParams, RegisterClient, SessionConfig, SessionId, SessionSummary,
-    TrainingStart, WireMessage,
+    Prediction, PublicParams, RegisterClient, ReshardEntry, ReshardSpec, ResumeMsg, ResumeOptions,
+    SessionConfig, SessionId, SessionPolicy, SessionSummary, TrainingStart, WireMessage,
 };
-pub use replay::{replay_server, ReplayChannel, ReplayOutcome};
+pub use replay::{
+    replay_server, replay_server_prefix, resume_from_checkpoint, ReplayChannel, ReplayOutcome,
+    ReplayResolution, ResumePoint,
+};
 pub use runner::{
     mlp_session_config, round_robin_shards, RunnerOptions, SessionOutcome, TrainingSessionRunner,
 };

@@ -91,6 +91,57 @@ impl ModelSpec {
     }
 }
 
+/// How a session reacts when a member disconnects mid-run.
+///
+/// The default is [`FailFast`](SessionPolicy::FailFast) — the seed
+/// behavior, and what the golden transcripts were recorded under (the
+/// field is `#[serde(default)]` on [`SessionConfig`], so transcripts
+/// predating it still deserialize).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPolicy {
+    /// A disconnect fails the whole session immediately (seed
+    /// behavior).
+    #[default]
+    FailFast,
+    /// The session survives churn: a disconnected client may rejoin
+    /// and re-sync from [`PublicParams`] plus a [`ResumeMsg`].
+    Resume(ResumeOptions),
+}
+
+/// Knobs of [`SessionPolicy::Resume`] (a separate struct because the
+/// vendored serde derive speaks tuple variants, not struct variants).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResumeOptions {
+    /// When `true`, a session whose schedule stalls on a disconnected
+    /// client re-shards that client's remaining steps deterministically
+    /// onto the survivors (its unsent data is gone with it,
+    /// FedAvg-style) instead of waiting for a rejoin.
+    pub reshard: bool,
+}
+
+impl SessionPolicy {
+    /// The resume policy that waits for disconnected clients to rejoin.
+    pub fn resume() -> Self {
+        SessionPolicy::Resume(ResumeOptions { reshard: false })
+    }
+
+    /// The resume policy that re-shards a stalled schedule onto the
+    /// survivors.
+    pub fn resume_resharding() -> Self {
+        SessionPolicy::Resume(ResumeOptions { reshard: true })
+    }
+
+    /// True for either resume-enabled variant.
+    pub fn resumes(&self) -> bool {
+        matches!(self, SessionPolicy::Resume(_))
+    }
+
+    /// True when a stalled schedule triggers a deterministic re-shard.
+    pub fn reshards(&self) -> bool {
+        matches!(self, SessionPolicy::Resume(ResumeOptions { reshard: true }))
+    }
+}
+
 /// Everything the three roles must agree on before the first batch:
 /// crypto parameters, quantization, model, schedule, and the seeds that
 /// make the run reproducible. Broadcast by the scheduler as the first
@@ -122,6 +173,9 @@ pub struct SessionConfig {
     /// Base seed for client encryption randomness (client `i` uses
     /// `client_seed_base + i`).
     pub client_seed_base: u64,
+    /// Churn policy (defaults to fail-fast, the seed behavior).
+    #[serde(default)]
+    pub policy: SessionPolicy,
 }
 
 /// Client → server: announces participation and how many batches the
@@ -169,6 +223,12 @@ pub struct EncryptedBatchMsg {
     pub client: ClientId,
     /// Global step index (0-based across epochs).
     pub step: u64,
+    /// Schedule generation the step index was computed under (bumped by
+    /// every [`ReshardSpec`]); the server silently drops batches from a
+    /// stale generation. Defaults to 0 so pre-churn transcripts still
+    /// deserialize.
+    #[serde(default)]
+    pub gen: u32,
     /// The encrypted payload.
     pub batch: EncryptedBatch,
 }
@@ -180,6 +240,9 @@ pub struct EncryptedImageBatchMsg {
     pub client: ClientId,
     /// Global step index.
     pub step: u64,
+    /// Schedule generation (see [`EncryptedBatchMsg::gen`]).
+    #[serde(default)]
+    pub gen: u32,
     /// The encrypted payload.
     pub batch: EncryptedImageBatch,
 }
@@ -277,6 +340,122 @@ pub struct EpochBarrier {
     pub epoch: u32,
 }
 
+/// One survivor's stake in a re-sharded schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReshardEntry {
+    /// The surviving client.
+    pub client: ClientId,
+    /// Batches of its own the server had consumed when the re-shard was
+    /// cut. The client resumes sending from this count.
+    pub delivered: u64,
+    /// Batches the survivor still owes across the rest of the run.
+    pub remaining: u64,
+}
+
+/// Server → everyone: the schedule was re-cut after a client dropped
+/// without rejoining. Steps `>= from_step` are reassigned round-robin
+/// over `survivors` (in entry order, each contributing one batch per
+/// cycle while it has any remaining); the dropped client's unsent data
+/// leaves the run, so the total step count shrinks to
+/// [`total_steps`](ReshardSpec::total_steps).
+///
+/// Both sides recompute the tail schedule from this one value with
+/// [`schedule`](ReshardSpec::schedule) — the re-shard is deterministic
+/// by construction, which is what the churn proptests assert.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReshardSpec {
+    /// The schedule generation this spec creates (monotonic, starts
+    /// at 1; batches tagged with an older generation are dropped).
+    pub gen: u32,
+    /// First global step governed by the new schedule (everything below
+    /// was already trained and is immutable).
+    pub from_step: u64,
+    /// The surviving clients, ordered by [`ClientId`].
+    pub survivors: Vec<ReshardEntry>,
+}
+
+impl ReshardSpec {
+    /// Total steps of the re-cut run: the already-trained prefix plus
+    /// every survivor's remaining batches.
+    pub fn total_steps(&self) -> u64 {
+        self.from_step + self.survivors.iter().map(|e| e.remaining).sum::<u64>()
+    }
+
+    /// The owner of every step `from_step..total_steps()`, in order:
+    /// cycle over the survivors, each contributing one batch per cycle
+    /// until its `remaining` is exhausted.
+    pub fn schedule(&self) -> Vec<ClientId> {
+        let mut remaining: Vec<u64> = self.survivors.iter().map(|e| e.remaining).collect();
+        let mut out = Vec::new();
+        while remaining.iter().any(|&r| r > 0) {
+            for (i, entry) in self.survivors.iter().enumerate() {
+                if remaining[i] > 0 {
+                    remaining[i] -= 1;
+                    out.push(entry.client);
+                }
+            }
+        }
+        out
+    }
+
+    /// Which client owns the given global step under this spec.
+    /// `None` for steps before `from_step` (owned by the previous
+    /// generation) or past the end of the run.
+    pub fn owner(&self, step: u64) -> Option<ClientId> {
+        if step < self.from_step {
+            return None;
+        }
+        let idx = usize::try_from(step - self.from_step).ok()?;
+        self.schedule().get(idx).copied()
+    }
+
+    /// The `(global step, nth-remaining-batch)` pairs assigned to one
+    /// survivor, in emission order. The client maps
+    /// `nth-remaining-batch` to its local shard index as
+    /// `(delivered + nth) mod shard_batches`.
+    pub fn steps_for(&self, client: ClientId) -> Vec<(u64, u64)> {
+        let mut nth = 0u64;
+        self.schedule()
+            .iter()
+            .enumerate()
+            .filter(|(_, owner)| **owner == client)
+            .map(|(idx, _)| {
+                let pair = (self.from_step + idx as u64, nth);
+                nth += 1;
+                pair
+            })
+            .collect()
+    }
+
+    /// The survivor entry for one client, if it survived the cut.
+    pub fn survivor(&self, client: ClientId) -> Option<&ReshardEntry> {
+        self.survivors.iter().find(|e| e.client == client)
+    }
+}
+
+/// Server → one rejoining client: where to pick the schedule back up.
+/// Sent in response to a `Register` from a client the server already
+/// knows, under a [`SessionPolicy`] that resumes. The client rebuilds
+/// its encryptor from the (re-delivered) [`PublicParams`], resets its
+/// send cursor to `delivered`, and streams the remainder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeMsg {
+    /// The rejoining client this message addresses.
+    pub client: ClientId,
+    /// Batches of this client's the server has consumed; the client
+    /// re-sends everything after (including any batches that were in
+    /// flight when it dropped).
+    pub delivered: u64,
+    /// The fixed global schedule width (re-stated because the client
+    /// may have dropped before [`TrainingStart`] reached it).
+    pub batches_per_epoch: u64,
+    /// Current schedule generation.
+    pub gen: u32,
+    /// The active re-shard, if the schedule was re-cut while the client
+    /// was away.
+    pub reshard: Option<ReshardSpec>,
+}
+
 /// Server → everyone: the session's final state — the replay fixpoint a
 /// re-executed server must reproduce bit-for-bit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -328,6 +507,11 @@ pub enum WireMessage {
     Predict(PredictRequest),
     /// The inference server's answer to one request.
     Prediction(Prediction),
+    /// Resume instructions for one rejoining client (churn).
+    Resume(ResumeMsg),
+    /// A deterministic schedule re-cut after an unrecovered drop
+    /// (churn).
+    Reshard(ReshardSpec),
 }
 
 impl WireMessage {
@@ -347,6 +531,8 @@ impl WireMessage {
             WireMessage::Summary(_) => "summary",
             WireMessage::Predict(_) => "predict",
             WireMessage::Prediction(_) => "prediction",
+            WireMessage::Resume(_) => "resume",
+            WireMessage::Reshard(_) => "reshard",
         }
     }
 }

@@ -20,10 +20,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::error::{ProtocolError, ReplayError};
 use crate::messages::{KeyRequest, KeyResponse, SessionSummary, WireMessage};
 use crate::session::{AuthorityChannel, ServerSession};
-use crate::transcript::Transcript;
+use crate::transcript::{Envelope, Transcript};
 
 /// An [`AuthorityChannel`] fed from recorded traffic: requests are
 /// matched against the transcript and answered with the recorded
@@ -46,9 +47,23 @@ impl ReplayChannel {
     /// [`ReplayError`] variants if requests and responses do not
     /// alternate cleanly.
     pub fn from_transcript(transcript: &Transcript) -> Result<Self, ProtocolError> {
+        Self::from_entries(&transcript.entries)
+    }
+
+    /// Collects the request/response pairs of an envelope slice — the
+    /// transcript-suffix form a checkpoint resume feeds
+    /// ([`resume_from_checkpoint`]). An exchange straddling the slice
+    /// boundary surfaces as the usual alternation error, so a cut taken
+    /// mid-exchange is rejected rather than mis-paired.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError`] variants if requests and responses do not
+    /// alternate cleanly.
+    pub fn from_entries(entries: &[Envelope]) -> Result<Self, ProtocolError> {
         let mut exchanges = VecDeque::new();
         let mut pending: Option<KeyRequest> = None;
-        for e in &transcript.entries {
+        for e in entries {
             match &e.msg {
                 WireMessage::KeyRequest(req) => {
                     if pending.is_some() {
@@ -129,56 +144,45 @@ impl ReplayOutcome {
     }
 }
 
-/// Re-executes the server side of `transcript` and cross-checks every
-/// recorded observable along the way.
-///
-/// Registrations and batches are fed to the same [`ServerSession`]
-/// state machine the live paths drive, in recorded order — batches
-/// recorded ahead of schedule (a concurrent recording) are reordered by
-/// the server exactly as they were live.
-///
-/// # Errors
-///
-/// - [`ProtocolError::MissingMessage`] if the transcript lacks the
-///   config or public parameters;
-/// - [`ProtocolError::Replay`] with the precise [`ReplayError`] variant
-///   if the re-executed server's key traffic, per-step losses, or
-///   schedule coverage differ from the recording;
-/// - training failures from the re-executed steps.
-pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolError> {
-    let config = transcript
-        .entries
-        .iter()
-        .find_map(|e| match &e.msg {
-            WireMessage::Config(c) => Some(c.clone()),
-            _ => None,
-        })
-        .ok_or(ProtocolError::MissingMessage("SessionConfig"))?;
-    let params = transcript
-        .entries
-        .iter()
-        .find_map(|e| match &e.msg {
-            WireMessage::PublicParams(p) => Some(p.clone()),
-            _ => None,
-        })
-        .ok_or(ProtocolError::MissingMessage("PublicParams"))?;
+/// A verified replay of a transcript *prefix*: the recording stops at a
+/// clean boundary (every recorded observable matched, no dangling key
+/// exchange) but before the final summary — the state a crashed
+/// session's recording leaves behind.
+#[derive(Debug)]
+pub struct ResumePoint {
+    /// The next step the resumed server will train.
+    pub next_step: u64,
+    /// Ahead-of-schedule batches still parked in the reorder buffer at
+    /// the cut. A live resume purges these (see
+    /// [`ServerSession::purge_pending`]) because the rewound clients
+    /// resend them; a caller continuing from more recorded entries
+    /// leaves them in place.
+    pub pending_batches: usize,
+    /// The re-executed server, mid-session, ready for more messages.
+    pub server: ServerSession,
+}
 
-    let channel = ReplayChannel::from_transcript(transcript)?;
-    let channel_handle = channel.clone();
-    let mut server = ServerSession::new(
-        &config,
-        &params,
-        Box::new(channel),
-        cryptonn_parallel::Parallelism::Serial,
-    );
+/// What a transcript replays to: a finished run or a clean mid-run cut.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // both arms own a ServerSession
+pub enum ReplayResolution {
+    /// The transcript carries a final summary and the re-executed
+    /// server reproduced the whole run.
+    Completed(ReplayOutcome),
+    /// The transcript is a verified prefix — it ends before the final
+    /// summary, and the server stands ready to continue.
+    Resume(ResumePoint),
+}
 
-    // Feed registrations and batches in recorded order, checking every
-    // delta the re-executed server emits against the recorded stream.
-    let mut recorded_deltas = transcript.entries.iter().filter_map(|e| match &e.msg {
+/// Feeds recorded registrations and batches to `server` in recorded
+/// order, cross-checking every [`ModelDelta`](crate::ModelDelta) the
+/// re-executed server emits against the recorded stream.
+fn drive(server: &mut ServerSession, entries: &[Envelope]) -> Result<(), ProtocolError> {
+    let mut recorded_deltas = entries.iter().filter_map(|e| match &e.msg {
         WireMessage::Delta(d) => Some(d),
         _ => None,
     });
-    for e in &transcript.entries {
+    for e in entries {
         let outs = match &e.msg {
             WireMessage::Register(_) | WireMessage::Batch(_) | WireMessage::ImageBatch(_) => {
                 server.handle_message(&e.msg)?
@@ -208,33 +212,186 @@ pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolE
             }
         }
     }
-
-    // Full consumption: recorded observables the replay never produced
-    // (trailing deltas, extra key exchanges, stalled batches) are
-    // forgeries, not slack.
+    // Recorded deltas the replay never produced are forgeries, not
+    // slack.
     if let Some(extra) = recorded_deltas.next() {
         return Err(ReplayError::ForgedDelta { step: extra.step }.into());
     }
-    if channel_handle.remaining() != 0 {
-        return Err(ReplayError::UnconsumedKeyExchanges {
-            count: channel_handle.remaining(),
-        }
-        .into());
-    }
-    if server.pending_batches() != 0 {
-        return Err(ReplayError::StalledBatches {
-            count: server.pending_batches(),
-        }
-        .into());
-    }
+    Ok(())
+}
 
-    let recorded = transcript.entries.iter().rev().find_map(|e| match &e.msg {
+/// Classifies a driven server as a completed run or a resume point.
+fn resolve(
+    server: ServerSession,
+    channel: &ReplayChannel,
+    recorded: Option<SessionSummary>,
+) -> Result<ReplayResolution, ProtocolError> {
+    // Unconsumed key exchanges are a forgery in both outcomes: even a
+    // prefix records only traffic its own batches requested.
+    if channel.remaining() != 0 {
+        return Err(ReplayError::UnconsumedKeyExchanges {
+            count: channel.remaining(),
+        }
+        .into());
+    }
+    if recorded.is_some() {
+        // A recording that reached its summary must have covered the
+        // schedule; batches still parked in the reorder buffer mean
+        // their step tags leave holes.
+        if server.pending_batches() != 0 {
+            return Err(ReplayError::StalledBatches {
+                count: server.pending_batches(),
+            }
+            .into());
+        }
+        Ok(ReplayResolution::Completed(ReplayOutcome {
+            replayed: server.summary(),
+            recorded,
+            server,
+        }))
+    } else {
+        Ok(ReplayResolution::Resume(ResumePoint {
+            next_step: server.steps(),
+            pending_batches: server.pending_batches(),
+            server,
+        }))
+    }
+}
+
+fn find_config_and_params(
+    transcript: &Transcript,
+) -> Result<
+    (
+        crate::messages::SessionConfig,
+        crate::messages::PublicParams,
+    ),
+    ProtocolError,
+> {
+    let config = transcript
+        .entries
+        .iter()
+        .find_map(|e| match &e.msg {
+            WireMessage::Config(c) => Some(c.clone()),
+            _ => None,
+        })
+        .ok_or(ProtocolError::MissingMessage("SessionConfig"))?;
+    let params = transcript
+        .entries
+        .iter()
+        .find_map(|e| match &e.msg {
+            WireMessage::PublicParams(p) => Some(p.clone()),
+            _ => None,
+        })
+        .ok_or(ProtocolError::MissingMessage("PublicParams"))?;
+    Ok((config, params))
+}
+
+fn recorded_summary(entries: &[Envelope]) -> Option<SessionSummary> {
+    entries.iter().rev().find_map(|e| match &e.msg {
         WireMessage::Summary(s) => Some(s.clone()),
         _ => None,
-    });
-    Ok(ReplayOutcome {
-        replayed: server.summary(),
-        recorded,
-        server,
     })
+}
+
+/// Re-executes the server side of `transcript` — complete *or* a clean
+/// prefix — and cross-checks every recorded observable along the way.
+///
+/// Registrations and batches are fed to the same [`ServerSession`]
+/// state machine the live paths drive, in recorded order — batches
+/// recorded ahead of schedule (a concurrent recording) are reordered by
+/// the server exactly as they were live. A transcript carrying a final
+/// summary resolves to [`ReplayResolution::Completed`]; one cut before
+/// the summary (a crashed run, or a prefix truncated at a checkpoint
+/// boundary) resolves to [`ReplayResolution::Resume`] with the
+/// mid-session server, instead of an error.
+///
+/// # Errors
+///
+/// - [`ProtocolError::MissingMessage`] if the transcript lacks the
+///   config or public parameters;
+/// - [`ProtocolError::Replay`] with the precise [`ReplayError`] variant
+///   if the re-executed server's key traffic, per-step losses, or
+///   schedule coverage differ from the recording;
+/// - training failures from the re-executed steps.
+pub fn replay_server_prefix(transcript: &Transcript) -> Result<ReplayResolution, ProtocolError> {
+    let (config, params) = find_config_and_params(transcript)?;
+    let channel = ReplayChannel::from_transcript(transcript)?;
+    let channel_handle = channel.clone();
+    let mut server = ServerSession::new(
+        &config,
+        &params,
+        Box::new(channel),
+        cryptonn_parallel::Parallelism::Serial,
+    );
+    drive(&mut server, &transcript.entries)?;
+    resolve(
+        server,
+        &channel_handle,
+        recorded_summary(&transcript.entries),
+    )
+}
+
+/// Re-executes the server side of a *complete* `transcript` and
+/// cross-checks every recorded observable along the way.
+///
+/// The strict form of [`replay_server_prefix`]: a transcript cut before
+/// its summary is accepted only if no batches are stalled in the
+/// reorder buffer, and yields an outcome with `recorded = None` (so
+/// [`ReplayOutcome::matches_recording`] is false).
+///
+/// # Errors
+///
+/// As [`replay_server_prefix`], plus [`ReplayError::StalledBatches`]
+/// for a cut that strands reordered batches.
+pub fn replay_server(transcript: &Transcript) -> Result<ReplayOutcome, ProtocolError> {
+    match replay_server_prefix(transcript)? {
+        ReplayResolution::Completed(outcome) => Ok(outcome),
+        ReplayResolution::Resume(rp) => {
+            if rp.pending_batches != 0 {
+                return Err(ReplayError::StalledBatches {
+                    count: rp.pending_batches,
+                }
+                .into());
+            }
+            Ok(ReplayOutcome {
+                replayed: rp.server.summary(),
+                recorded: None,
+                server: rp.server,
+            })
+        }
+    }
+}
+
+/// Restores a server from `ckpt` and replays only the transcript
+/// entries past the checkpoint's cut — the crash-recovery path, and the
+/// cheap audit path: `checkpoint + suffix` must resolve exactly as the
+/// full replay does, in a fraction of the steps.
+///
+/// The suffix starts at entry `ckpt.transcript_offset`; its recorded
+/// deltas and key exchanges are cross-checked exactly as in a full
+/// replay (an exchange straddling the cut is rejected as mis-paired,
+/// which is why checkpoints are only taken between messages).
+///
+/// # Errors
+///
+/// As [`replay_server_prefix`], plus [`ProtocolError::Checkpoint`] if
+/// the checkpoint cannot be applied (stale schema, unsupported model).
+pub fn resume_from_checkpoint(
+    transcript: &Transcript,
+    ckpt: &SessionCheckpoint,
+) -> Result<ReplayResolution, ProtocolError> {
+    let (config, params) = find_config_and_params(transcript)?;
+    let offset = (ckpt.transcript_offset as usize).min(transcript.entries.len());
+    let suffix = &transcript.entries[offset..];
+    let channel = ReplayChannel::from_entries(suffix)?;
+    let channel_handle = channel.clone();
+    let mut server = ServerSession::restore(
+        &config,
+        &params,
+        Box::new(channel),
+        cryptonn_parallel::Parallelism::Serial,
+        ckpt,
+    )?;
+    drive(&mut server, suffix)?;
+    resolve(server, &channel_handle, recorded_summary(suffix))
 }

@@ -44,9 +44,10 @@ use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::ProtocolError;
 use crate::messages::{
-    ClientId, KeyRequest, KeyResponse, MlpSpec, ModelSpec, PublicParams, SessionConfig,
+    ClientId, KeyRequest, KeyResponse, MlpSpec, ModelSpec, PublicParams, SessionConfig, SessionId,
     SessionSummary, WireMessage,
 };
 use crate::session::{AuthorityChannel, AuthoritySession, ClientSession, Outbound, ServerSession};
@@ -141,6 +142,15 @@ pub fn round_robin_shards(
 pub struct TrainingSessionRunner {
     config: SessionConfig,
     options: RunnerOptions,
+    checkpoints: Option<CheckpointPlan>,
+}
+
+/// Where and how often the runner durably checkpoints the server.
+#[derive(Debug, Clone)]
+struct CheckpointPlan {
+    store: CheckpointStore,
+    session: SessionId,
+    every_steps: u64,
 }
 
 /// Everything the server-side pump loop shares between the serial and
@@ -150,6 +160,8 @@ struct ServerPump {
     transcript: Arc<Mutex<Transcript>>,
     record: bool,
     summary: Option<SessionSummary>,
+    checkpoints: Option<(CheckpointPlan, SessionConfig)>,
+    last_checkpoint_step: u64,
 }
 
 impl ServerPump {
@@ -172,7 +184,32 @@ impl ServerPump {
                 self.summary = Some(s.clone());
             }
         }
+        self.maybe_checkpoint()?;
         Ok(outs)
+    }
+
+    /// Durably checkpoints the server once it is `every_steps` past the
+    /// previous checkpoint — but only at a *clean* cut: nothing parked
+    /// in the reorder buffer (a checkpoint never captures in-flight
+    /// batches, so a cut with pending batches would lose them from the
+    /// transcript-suffix resume) and the run not finished (a finished
+    /// run needs no durability).
+    fn maybe_checkpoint(&mut self) -> Result<(), ProtocolError> {
+        let Some((plan, config)) = &self.checkpoints else {
+            return Ok(());
+        };
+        let step = self.server.steps();
+        if step < self.last_checkpoint_step + plan.every_steps
+            || self.server.pending_batches() != 0
+            || self.server.is_finished()
+        {
+            return Ok(());
+        }
+        let offset = self.transcript.lock().len() as u64;
+        let ckpt = self.server.checkpoint(offset)?;
+        plan.store.save(plan.session, config, &ckpt)?;
+        self.last_checkpoint_step = step;
+        Ok(())
     }
 }
 
@@ -182,12 +219,34 @@ impl TrainingSessionRunner {
         Self {
             config,
             options: RunnerOptions::default(),
+            checkpoints: None,
         }
     }
 
     /// Replaces the local scheduling options.
     pub fn with_options(mut self, options: RunnerOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Durably checkpoints the server into `store` under `session`,
+    /// every `every_steps` trained steps (at the next clean cut — see
+    /// [`ServerSession::checkpoint`]). The recorded transcript offset
+    /// in each checkpoint lets [`resume_from_checkpoint`] replay only
+    /// the suffix.
+    ///
+    /// [`resume_from_checkpoint`]: crate::resume_from_checkpoint
+    pub fn with_checkpoints(
+        mut self,
+        store: CheckpointStore,
+        session: SessionId,
+        every_steps: u64,
+    ) -> Self {
+        self.checkpoints = Some(CheckpointPlan {
+            store,
+            session,
+            every_steps: every_steps.max(1),
+        });
         self
     }
 
@@ -294,6 +353,11 @@ impl TrainingSessionRunner {
             transcript: Arc::clone(&transcript),
             record,
             summary: None,
+            checkpoints: self
+                .checkpoints
+                .clone()
+                .map(|plan| (plan, self.config.clone())),
+            last_checkpoint_step: 0,
         };
 
         if self.options.pipelined {
@@ -479,5 +543,6 @@ pub fn mlp_session_config(
         authority_seed: 1009,
         model_seed: 2017,
         client_seed_base: 4001,
+        policy: crate::messages::SessionPolicy::FailFast,
     }
 }

@@ -27,7 +27,7 @@
 //! [`SessionSummary`]: crate::SessionSummary
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use cryptonn_core::{Client, CryptoCnn, CryptoMlp, CryptoNnConfig};
 use cryptonn_fe::{
@@ -40,11 +40,13 @@ use cryptonn_parallel::Parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::checkpoint::{SessionCheckpoint, CHECKPOINT_SCHEMA};
 use crate::error::ProtocolError;
 use crate::messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
     FeipKeysRequest, KeyRequest, KeyResponse, ModelDelta, ModelSpec, PublicParams, RegisterClient,
-    SessionConfig, SessionSummary, TrainingStart, WireMessage,
+    ReshardEntry, ReshardSpec, ResumeMsg, SessionConfig, SessionPolicy, SessionSummary,
+    TrainingStart, WireMessage,
 };
 use crate::transcript::Party;
 
@@ -327,6 +329,15 @@ pub struct ClientSession {
     in_flight: usize,
     /// Local batches emitted so far, across epochs.
     sent: u64,
+    /// Current schedule generation (bumped by re-shards).
+    gen: u32,
+    /// When the schedule was re-cut: the remaining `(step, local_idx)`
+    /// emissions, precomputed from the [`ReshardSpec`]. `None` means
+    /// the base round-robin formula applies.
+    tail: Option<VecDeque<(u64, usize)>>,
+    /// Emitter parked until the server re-syncs the send cursor — set
+    /// by a reconnecting driver, cleared by `Start`/`Resume`/`Reshard`.
+    awaiting_resume: bool,
     done: bool,
 }
 
@@ -351,6 +362,9 @@ impl ClientSession {
             window: DEFAULT_CLIENT_WINDOW,
             in_flight: 0,
             sent: 0,
+            gen: 0,
+            tail: None,
+            awaiting_resume: false,
             done: false,
         }
     }
@@ -382,11 +396,33 @@ impl ClientSession {
 
     /// True once every scheduled local batch has been emitted.
     pub fn fully_sent(&self) -> bool {
-        self.sent >= self.total_local_batches()
+        match &self.tail {
+            Some(tail) => tail.is_empty(),
+            None => self.sent >= self.total_local_batches(),
+        }
+    }
+
+    /// The schedule generation this client currently emits under.
+    pub fn generation(&self) -> u32 {
+        self.gen
     }
 
     fn total_local_batches(&self) -> u64 {
         self.shard.len() as u64 * u64::from(self.epochs.unwrap_or(0))
+    }
+
+    /// Parks the emitter until the server re-syncs the send cursor.
+    ///
+    /// A reconnecting driver calls this before re-sending its
+    /// registration: the local cursor is stale (frames in flight when
+    /// the connection died were lost, and the server may have re-cut
+    /// the schedule), so nothing may be emitted until the server's
+    /// `Resume` (or the `Start`/`Reshard` broadcast on a session whose
+    /// schedule was not yet fixed) tells this client where it stands.
+    /// Otherwise a stray `Delta` arriving between the re-registration
+    /// and the `Resume` would pump stale-cursor batches.
+    pub fn park_until_resume(&mut self) {
+        self.awaiting_resume = true;
     }
 
     /// The registration message this client opens with.
@@ -438,8 +474,50 @@ impl ClientSession {
         Ok(EncryptedBatchMsg {
             client: self.id,
             step,
+            gen: self.gen,
             batch,
         })
+    }
+
+    /// Adopts a re-cut schedule: resets the credit window (the server
+    /// purged its reorder buffer when it cut the spec), rewinds the send
+    /// cursor to what the server actually consumed, and precomputes the
+    /// remaining emissions. A client the spec re-sharded *out* is left
+    /// with an empty tail — it only waits for the summary.
+    fn apply_reshard(&mut self, spec: &ReshardSpec) {
+        self.awaiting_resume = false;
+        self.gen = spec.gen;
+        self.in_flight = 0;
+        let shard_len = self.shard.len() as u64;
+        let tail = match spec.survivor(self.id) {
+            Some(entry) if shard_len > 0 => {
+                self.sent = entry.delivered;
+                spec.steps_for(self.id)
+                    .into_iter()
+                    .map(|(step, nth)| (step, ((entry.delivered + nth) % shard_len) as usize))
+                    .collect()
+            }
+            _ => VecDeque::new(),
+        };
+        self.tail = Some(tail);
+    }
+
+    /// Re-syncs after a rejoin: the server tells this client how many of
+    /// its batches were actually consumed (anything later was lost with
+    /// the connection and must be re-encrypted and re-sent) and which
+    /// schedule generation is current.
+    fn apply_resume(&mut self, resume: &ResumeMsg) {
+        self.awaiting_resume = false;
+        self.batches_per_epoch = Some(resume.batches_per_epoch);
+        self.in_flight = 0;
+        match &resume.reshard {
+            Some(spec) => self.apply_reshard(spec),
+            None => {
+                self.gen = resume.gen;
+                self.sent = resume.delivered;
+                self.tail = None;
+            }
+        }
     }
 
     /// The event-driven surface: session lifecycle and flow-control
@@ -464,6 +542,10 @@ impl ClientSession {
                 self.pump()
             }
             WireMessage::Start(TrainingStart { batches_per_epoch }) => {
+                // A client that dropped before the schedule fixed gets
+                // no Resume on rejoin — the Start barrier is its
+                // re-sync point (nothing was delivered yet).
+                self.awaiting_resume = false;
                 self.batches_per_epoch = Some(*batches_per_epoch);
                 self.pump()
             }
@@ -474,6 +556,20 @@ impl ClientSession {
                 self.pump()
             }
             WireMessage::Epoch(_) => Ok(Vec::new()),
+            WireMessage::Resume(resume) => {
+                // Addressed to one client; drivers that broadcast
+                // everything (the in-process pump) deliver it to all,
+                // so everyone else ignores it.
+                if resume.client != self.id {
+                    return Ok(Vec::new());
+                }
+                self.apply_resume(resume);
+                self.pump()
+            }
+            WireMessage::Reshard(spec) => {
+                self.apply_reshard(spec);
+                self.pump()
+            }
             WireMessage::Summary(_) => {
                 self.done = true;
                 Ok(Vec::new())
@@ -490,19 +586,27 @@ impl ClientSession {
         let (Some(k), Some(b)) = (self.clients_total, self.batches_per_epoch) else {
             return Ok(Vec::new());
         };
-        if self.client.is_none() {
+        if self.client.is_none() || self.awaiting_resume {
             return Ok(Vec::new());
         }
         let mut out = Vec::new();
-        while self.in_flight < self.window && self.sent < self.total_local_batches() {
-            let shard_len = self.shard.len() as u64;
-            let epoch = self.sent / shard_len;
-            let local = self.sent % shard_len;
-            // In-epoch batch i belongs to client i mod K at local index
-            // i / K, so local batch j of this client is in-epoch batch
-            // j·K + id.
-            let step = epoch * b + local * u64::from(k) + u64::from(self.id.0);
-            let msg = self.encrypt_step(local as usize, step)?;
+        while self.in_flight < self.window && !self.fully_sent() {
+            let (step, local) = match &mut self.tail {
+                Some(tail) => tail.pop_front().expect("not fully sent"),
+                None => {
+                    let shard_len = self.shard.len() as u64;
+                    let epoch = self.sent / shard_len;
+                    let local = self.sent % shard_len;
+                    // In-epoch batch i belongs to client i mod K at
+                    // local index i / K, so local batch j of this
+                    // client is in-epoch batch j·K + id.
+                    (
+                        epoch * b + local * u64::from(k) + u64::from(self.id.0),
+                        local as usize,
+                    )
+                }
+            };
+            let msg = self.encrypt_step(local, step)?;
             self.sent += 1;
             self.in_flight += 1;
             out.push(Outbound::to(Party::Server, WireMessage::Batch(msg)));
@@ -525,6 +629,15 @@ pub enum ServerModel {
 enum PendingBatch {
     Mlp(EncryptedBatchMsg),
     Cnn(EncryptedImageBatchMsg),
+}
+
+impl PendingBatch {
+    fn client(&self) -> ClientId {
+        match self {
+            PendingBatch::Mlp(msg) => msg.client,
+            PendingBatch::Cnn(msg) => msg.client,
+        }
+    }
 }
 
 /// The training server: consumes encrypted batch messages, trains in
@@ -550,10 +663,24 @@ pub struct ServerSession {
     losses: Vec<f64>,
     expected_clients: u32,
     epochs: u32,
+    policy: SessionPolicy,
     registered: BTreeMap<ClientId, u64>,
     batches_per_epoch: Option<u64>,
     pending: BTreeMap<u64, PendingBatch>,
     reorder_cap: usize,
+    /// Own batches consumed per client — what a rejoining client's send
+    /// cursor rewinds to.
+    delivered: BTreeMap<ClientId, u64>,
+    /// Registered clients currently believed gone (transport-reported).
+    disconnected: BTreeSet<ClientId>,
+    /// Current schedule generation; stale-generation batches are
+    /// silently dropped.
+    gen: u32,
+    /// The active re-cut schedule, if any.
+    reshard: Option<ReshardSpec>,
+    /// Steps this run will train in total — `b · epochs` once the
+    /// schedule fixes, shrunk by re-shards.
+    total_steps: Option<u64>,
     finished: bool,
 }
 
@@ -613,12 +740,111 @@ impl ServerSession {
             losses: Vec::new(),
             expected_clients: config.clients,
             epochs: config.epochs,
+            policy: config.policy,
             registered: BTreeMap::new(),
             batches_per_epoch: None,
             pending: BTreeMap::new(),
             reorder_cap,
+            delivered: BTreeMap::new(),
+            disconnected: BTreeSet::new(),
+            gen: 0,
+            reshard: None,
+            total_steps: None,
             finished: false,
         }
+    }
+
+    /// Rebuilds a server mid-run from a [`SessionCheckpoint`]:
+    /// architecture and key channel from the (unchanged) config and
+    /// parameters, trained state from the checkpoint. The reorder
+    /// buffer restarts empty — a checkpoint never captures in-flight
+    /// batches; clients re-send them from their `delivered` cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Checkpoint`] for a schema this build does not
+    /// speak; model-restore failures for an architecture mismatch.
+    pub fn restore(
+        config: &SessionConfig,
+        params: &PublicParams,
+        link: Box<dyn AuthorityChannel>,
+        parallelism: Parallelism,
+        ckpt: &SessionCheckpoint,
+    ) -> Result<Self, ProtocolError> {
+        if ckpt.schema != CHECKPOINT_SCHEMA {
+            return Err(ProtocolError::Checkpoint(
+                crate::checkpoint::CheckpointError::StaleSchema {
+                    found: ckpt.schema,
+                    expected: CHECKPOINT_SCHEMA,
+                },
+            ));
+        }
+        let mut session = Self::new(config, params, link, parallelism);
+        match &mut session.model {
+            ServerModel::Mlp(m) => m.restore(&ckpt.model)?,
+            ServerModel::Cnn(_) => {
+                return Err(ProtocolError::Checkpoint(
+                    crate::checkpoint::CheckpointError::UnsupportedModel("cnn"),
+                ))
+            }
+        }
+        session.next_step = ckpt.next_step;
+        session.losses = ckpt.losses.clone();
+        session.registered = ckpt
+            .registered
+            .iter()
+            .map(|c| (c.client, c.count))
+            .collect();
+        session.delivered = ckpt.delivered.iter().map(|c| (c.client, c.count)).collect();
+        session.batches_per_epoch = ckpt.batches_per_epoch;
+        session.total_steps = ckpt.total_steps;
+        session.gen = ckpt.gen;
+        session.reshard = ckpt.reshard.clone();
+        Ok(session)
+    }
+
+    /// Captures the session's trained state for durable storage.
+    /// `transcript_offset` records how much of the session's input
+    /// stream (transcript entries or ledger lines) this state already
+    /// reflects, so a resume replays only the suffix. The reorder
+    /// buffer is deliberately excluded: buffered batches are re-sent by
+    /// their owners on rejoin.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Checkpoint`] with
+    /// [`UnsupportedModel`](crate::checkpoint::CheckpointError::UnsupportedModel)
+    /// for CNN sessions; snapshot failures from the model.
+    pub fn checkpoint(&self, transcript_offset: u64) -> Result<SessionCheckpoint, ProtocolError> {
+        let model = match &self.model {
+            ServerModel::Mlp(m) => m.snapshot()?,
+            ServerModel::Cnn(_) => {
+                return Err(ProtocolError::Checkpoint(
+                    crate::checkpoint::CheckpointError::UnsupportedModel("cnn"),
+                ))
+            }
+        };
+        Ok(SessionCheckpoint {
+            schema: CHECKPOINT_SCHEMA,
+            transcript_offset,
+            next_step: self.next_step,
+            losses: self.losses.clone(),
+            registered: self
+                .registered
+                .iter()
+                .map(|(&client, &count)| crate::checkpoint::ClientCursor { client, count })
+                .collect(),
+            delivered: self
+                .delivered
+                .iter()
+                .map(|(&client, &count)| crate::checkpoint::ClientCursor { client, count })
+                .collect(),
+            batches_per_epoch: self.batches_per_epoch,
+            total_steps: self.total_steps,
+            gen: self.gen,
+            reshard: self.reshard.clone(),
+            model,
+        })
     }
 
     /// Replaces the reorder-buffer capacity (clamped to at least one
@@ -700,10 +926,168 @@ impl ServerSession {
         self.pending.len()
     }
 
+    /// Empties the reorder buffer. A restarted daemon calls this after
+    /// replaying its ledger suffix: batches parked there were never
+    /// trained, so the reconnecting clients (rewound to `delivered`)
+    /// will resend them.
+    pub fn purge_pending(&mut self) {
+        self.pending.clear();
+    }
+
     /// True once the final [`SessionSummary`]
     /// was emitted.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// The configured churn policy.
+    pub fn policy(&self) -> SessionPolicy {
+        self.policy
+    }
+
+    /// The current schedule generation (0 until a re-shard happens).
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// The active re-cut schedule, if a re-shard happened.
+    pub fn reshard_spec(&self) -> Option<&ReshardSpec> {
+        self.reshard.as_ref()
+    }
+
+    /// Total steps this run will train, once the schedule is fixed
+    /// (shrunk from `b · epochs` by re-shards).
+    pub fn total_steps(&self) -> Option<u64> {
+        self.total_steps
+    }
+
+    /// Own batches consumed for one client — the cursor a rejoin
+    /// rewinds that client to.
+    pub fn delivered(&self, client: ClientId) -> u64 {
+        self.delivered.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Marks every registered client as disconnected — what a restarted
+    /// daemon does after restoring a session, before any client has
+    /// reconnected. (A pure-replay resume skips this: its "clients" are
+    /// the recorded message stream.)
+    pub fn mark_all_disconnected(&mut self) {
+        self.disconnected = self.registered.keys().copied().collect();
+    }
+
+    /// Transport-level notice that a client's connection is gone.
+    ///
+    /// Under the default fail-fast policy this is fatal (the seed
+    /// behavior). Under a resume policy the client is marked away and
+    /// its in-flight batches are dropped from the reorder buffer (on
+    /// rejoin it re-sends from its `delivered` cursor); if the policy
+    /// re-shards and the schedule is already stalled on a disconnected
+    /// owner, the re-cut happens now and is broadcast.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Transport`] under fail-fast;
+    /// [`ProtocolError::InvalidConfig`] if a re-shard finds no
+    /// survivors.
+    pub fn client_gone(&mut self, client: ClientId) -> Result<Vec<Outbound>, ProtocolError> {
+        if !self.policy.resumes() {
+            return Err(ProtocolError::Transport(format!(
+                "{client} disconnected mid-session"
+            )));
+        }
+        if self.registered.contains_key(&client) {
+            self.disconnected.insert(client);
+        }
+        self.pending.retain(|_, batch| batch.client() != client);
+        let mut out = Vec::new();
+        self.maybe_reshard(&mut out)?;
+        Ok(out)
+    }
+
+    /// Which client the current schedule expects to supply `step`.
+    fn owner(&self, step: u64) -> Option<ClientId> {
+        let b = self.batches_per_epoch?;
+        if let Some(spec) = &self.reshard {
+            if step >= spec.from_step {
+                return spec.owner(step);
+            }
+        }
+        Some(ClientId(
+            ((step % b) % u64::from(self.expected_clients.max(1))) as u32,
+        ))
+    }
+
+    /// Re-cuts the schedule if it is stalled on a disconnected owner
+    /// and the policy allows it: the dropped client's unsent batches
+    /// leave the run, survivors' remaining batches are reassigned
+    /// round-robin from `next_step`, the reorder buffer is purged (its
+    /// step tags belong to the old generation), and the spec is
+    /// broadcast so every survivor re-syncs deterministically.
+    fn maybe_reshard(&mut self, out: &mut Vec<Outbound>) -> Result<(), ProtocolError> {
+        if !self.policy.reshards() || self.finished {
+            return Ok(());
+        }
+        let Some(total) = self.total_steps else {
+            return Ok(());
+        };
+        if self.next_step >= total {
+            return Ok(());
+        }
+        let Some(owner) = self.owner(self.next_step) else {
+            return Ok(());
+        };
+        if !self.disconnected.contains(&owner) {
+            return Ok(());
+        }
+        let survivors: Vec<ReshardEntry> = self
+            .registered
+            .iter()
+            .filter(|(client, _)| !self.disconnected.contains(client))
+            .map(|(client, shard_batches)| {
+                let delivered = self.delivered.get(client).copied().unwrap_or(0);
+                // A client's total stake: its base schedule allotment,
+                // or whatever the previous re-shard left it.
+                let stake = match &self.reshard {
+                    Some(old) => old
+                        .survivor(*client)
+                        .map(|e| e.delivered + e.remaining)
+                        .unwrap_or(delivered),
+                    None => shard_batches * u64::from(self.epochs),
+                };
+                ReshardEntry {
+                    client: *client,
+                    delivered,
+                    remaining: stake.saturating_sub(delivered),
+                }
+            })
+            .collect();
+        if survivors.is_empty() {
+            return Err(ProtocolError::InvalidConfig(
+                "every client disconnected; nothing to re-shard onto".into(),
+            ));
+        }
+        self.gen += 1;
+        let spec = ReshardSpec {
+            gen: self.gen,
+            from_step: self.next_step,
+            survivors,
+        };
+        self.pending.clear();
+        self.total_steps = Some(spec.total_steps());
+        self.reshard = Some(spec.clone());
+        out.push(Outbound::broadcast(WireMessage::Reshard(spec)));
+        self.maybe_finish(out);
+        Ok(())
+    }
+
+    /// Emits the summary once the (possibly re-cut) schedule is done.
+    fn maybe_finish(&mut self, out: &mut Vec<Outbound>) {
+        if let (Some(total), false) = (self.total_steps, self.finished) {
+            if self.next_step >= total {
+                self.finished = true;
+                out.push(Outbound::broadcast(WireMessage::Summary(self.summary())));
+            }
+        }
     }
 
     fn check_order(&self, step: u64) -> Result<(), ProtocolError> {
@@ -721,6 +1105,7 @@ impl ServerSession {
     fn finish_step(&mut self, step: u64, client: ClientId, loss: f64) -> ModelDelta {
         self.next_step += 1;
         self.losses.push(loss);
+        *self.delivered.entry(client).or_insert(0) += 1;
         ModelDelta { step, client, loss }
     }
 
@@ -784,10 +1169,10 @@ impl ServerSession {
         match msg {
             WireMessage::Register(reg) => self.handle_register(reg),
             WireMessage::Batch(batch) => {
-                self.accept_batch(batch.step, PendingBatch::Mlp(batch.clone()))
+                self.accept_batch(batch.step, batch.gen, PendingBatch::Mlp(batch.clone()))
             }
             WireMessage::ImageBatch(batch) => {
-                self.accept_batch(batch.step, PendingBatch::Cnn(batch.clone()))
+                self.accept_batch(batch.step, batch.gen, PendingBatch::Cnn(batch.clone()))
             }
             other => Err(ProtocolError::Unexpected {
                 role: "server",
@@ -803,16 +1188,48 @@ impl ServerSession {
                 reg.client, self.expected_clients
             )));
         }
-        if self
-            .registered
-            .insert(reg.client, reg.batches_per_epoch)
-            .is_some()
-        {
-            return Err(ProtocolError::InvalidConfig(format!(
-                "{} registered twice",
-                reg.client
-            )));
+        if let Some(&known) = self.registered.get(&reg.client) {
+            // A re-registration is a rejoin under a resume policy, a
+            // protocol violation under fail-fast (the seed behavior).
+            if !self.policy.resumes() {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "{} registered twice",
+                    reg.client
+                )));
+            }
+            if known != reg.batches_per_epoch {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "{} rejoined with {} batches per epoch, registered {}",
+                    reg.client, reg.batches_per_epoch, known
+                )));
+            }
+            self.disconnected.remove(&reg.client);
+            // A rejoin can beat the dead connection's disconnect
+            // notice (which a registered fresh writer then voids), so
+            // the purge in `client_gone` may never have run: any of
+            // this client's batches still buffered are remnants of the
+            // old connection, and the client is about to re-send those
+            // very steps — freshly encrypted, which the duplicate-step
+            // check would refuse as a substitution. Purging here is
+            // idempotent with the notice-first ordering.
+            self.pending.retain(|_, batch| batch.client() != reg.client);
+            // Before the schedule is fixed there is nothing to re-sync;
+            // the Start broadcast will reach the rejoined connection.
+            let Some(batches_per_epoch) = self.batches_per_epoch else {
+                return Ok(Vec::new());
+            };
+            return Ok(vec![Outbound::to(
+                Party::Client(reg.client.0),
+                WireMessage::Resume(ResumeMsg {
+                    client: reg.client,
+                    delivered: self.delivered(reg.client),
+                    batches_per_epoch,
+                    gen: self.gen,
+                    reshard: self.reshard.clone(),
+                }),
+            )]);
         }
+        self.registered.insert(reg.client, reg.batches_per_epoch);
         if self.registered.len() == self.expected_clients as usize {
             let batches_per_epoch: u64 = self.registered.values().sum();
             if batches_per_epoch == 0 {
@@ -821,6 +1238,7 @@ impl ServerSession {
                 ));
             }
             self.batches_per_epoch = Some(batches_per_epoch);
+            self.total_steps = Some(batches_per_epoch * u64::from(self.epochs));
             return Ok(vec![Outbound::broadcast(WireMessage::Start(
                 TrainingStart { batches_per_epoch },
             ))]);
@@ -831,6 +1249,7 @@ impl ServerSession {
     fn accept_batch(
         &mut self,
         step: u64,
+        gen: u32,
         batch: PendingBatch,
     ) -> Result<Vec<Outbound>, ProtocolError> {
         // No training before the schedule is fixed: a peer that skips
@@ -840,6 +1259,17 @@ impl ServerSession {
             return Err(ProtocolError::MissingMessage(
                 "Register from every client (schedule not fixed)",
             ));
+        }
+        // A batch tagged with an older generation was in flight when
+        // the schedule was re-cut: its step index is meaningless now,
+        // and its owner will re-send the data under the new schedule.
+        if gen != self.gen {
+            return Ok(Vec::new());
+        }
+        // Nothing trains past the summary (a re-cut schedule can end
+        // below `b · epochs`, so late stragglers are possible).
+        if self.finished {
+            return Ok(Vec::new());
         }
         if step > self.next_step {
             // Duplicate-step check first, and without touching the
@@ -867,6 +1297,10 @@ impl ServerSession {
         while let Some(next) = self.pending.remove(&self.next_step) {
             self.train_one(next, &mut out)?;
         }
+        // The drain may have run the schedule into a disconnected
+        // owner's slot: re-cut now rather than deadlock waiting for a
+        // batch that can never come.
+        self.maybe_reshard(&mut out)?;
         Ok(out)
     }
 
@@ -887,11 +1321,8 @@ impl ServerSession {
                     epoch,
                 })));
             }
-            if self.next_step == b * u64::from(self.epochs) && !self.finished {
-                self.finished = true;
-                out.push(Outbound::broadcast(WireMessage::Summary(self.summary())));
-            }
         }
+        self.maybe_finish(out);
         Ok(())
     }
 

@@ -1,0 +1,234 @@
+//! Checkpoint durability: serde roundtrips, typed corruption
+//! rejection, and crash-resume correctness — a checkpoint plus the
+//! recorded suffix reconstructs the uninterrupted run bit-for-bit
+//! (DESIGN.md §14).
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_protocol::{
+    mlp_session_config, replay_server_prefix, resume_from_checkpoint, CheckpointError,
+    CheckpointStore, MlpSpec, ReplayResolution, SessionCheckpoint, SessionConfig, SessionId,
+    SessionSummary, TrainingSessionRunner, Transcript, CHECKPOINT_SCHEMA,
+};
+use proptest::prelude::*;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cryptonn-ckpt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+fn small_config(feature_dim: usize, classes: usize) -> SessionConfig {
+    mlp_session_config(
+        MlpSpec {
+            feature_dim,
+            hidden: vec![3],
+            classes,
+            objective: Objective::SoftmaxCrossEntropy,
+        },
+        2,
+        2,
+        3,
+        0.7,
+    )
+}
+
+struct Recorded {
+    config: SessionConfig,
+    transcript: Transcript,
+    summary: SessionSummary,
+    checkpoint: SessionCheckpoint,
+}
+
+/// One recorded 8-step session with a mid-run checkpoint, shared by
+/// every test (training is the expensive part; the assertions are
+/// cheap).
+fn recorded() -> &'static Recorded {
+    static RECORDED: OnceLock<Recorded> = OnceLock::new();
+    RECORDED.get_or_init(|| {
+        let data = clinic_dataset(12, 5);
+        let config = small_config(data.feature_dim(), data.classes());
+        let store = CheckpointStore::new(tempdir("record"));
+        let session = SessionId(7);
+        let outcome = TrainingSessionRunner::new(config.clone())
+            .with_checkpoints(store.clone(), session, 3)
+            .run_mlp(&data)
+            .expect("recorded session");
+        let checkpoint = store.load(session, &config).expect("checkpoint on disk");
+        Recorded {
+            config,
+            transcript: outcome.transcript,
+            summary: outcome.summary,
+            checkpoint,
+        }
+    })
+}
+
+#[test]
+fn checkpoint_roundtrips_bit_identically_through_the_store() {
+    let r = recorded();
+    let store = CheckpointStore::new(tempdir("roundtrip"));
+    store
+        .save(SessionId(3), &r.config, &r.checkpoint)
+        .expect("save");
+    let loaded = store.load(SessionId(3), &r.config).expect("load");
+    assert_eq!(loaded, r.checkpoint);
+    assert_eq!(loaded.schema, CHECKPOINT_SCHEMA);
+    assert!(loaded.next_step >= 3, "cut after the cadence step");
+    assert!(loaded.transcript_offset > 0);
+}
+
+/// The resume equation: restoring the checkpoint and replaying only
+/// the transcript suffix completes the run with weights and losses
+/// bit-identical to the uninterrupted recording.
+#[test]
+fn checkpoint_plus_suffix_resumes_bit_identical_to_recording() {
+    let r = recorded();
+    let outcome = match resume_from_checkpoint(&r.transcript, &r.checkpoint) {
+        Ok(ReplayResolution::Completed(outcome)) => outcome,
+        other => panic!("full-suffix resume must complete, got {other:?}"),
+    };
+    assert!(outcome.matches_recording());
+    assert_eq!(outcome.replayed, r.summary);
+}
+
+/// A transcript cut at the checkpoint's boundary is a verified prefix:
+/// replay resolves to a typed [`ResumePoint`] aligned with the
+/// checkpoint — not a stall error, not a bogus completion.
+#[test]
+fn prefix_ending_at_checkpoint_boundary_yields_a_resume_point() {
+    let r = recorded();
+    let mut prefix = r.transcript.clone();
+    prefix
+        .entries
+        .truncate(r.checkpoint.transcript_offset as usize);
+    match replay_server_prefix(&prefix) {
+        Ok(ReplayResolution::Resume(rp)) => {
+            assert_eq!(rp.next_step, r.checkpoint.next_step);
+            assert_eq!(
+                rp.pending_batches, 0,
+                "a checkpoint cut is clean: nothing parked in the reorder buffer"
+            );
+            assert_eq!(rp.server.losses(), &r.checkpoint.losses[..]);
+        }
+        other => panic!("prefix at a checkpoint boundary must resume, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_checkpoint_is_a_typed_miss() {
+    let r = recorded();
+    let store = CheckpointStore::new(tempdir("missing"));
+    assert_eq!(
+        store.load(SessionId(99), &r.config).unwrap_err(),
+        CheckpointError::Missing
+    );
+}
+
+#[test]
+fn checkpoint_for_a_different_config_is_rejected_by_fingerprint() {
+    let r = recorded();
+    let store = CheckpointStore::new(tempdir("fingerprint"));
+    store
+        .save(SessionId(1), &r.config, &r.checkpoint)
+        .expect("save");
+    let mut other = r.config.clone();
+    other.lr += 0.05;
+    assert_eq!(
+        store.load(SessionId(1), &other).unwrap_err(),
+        CheckpointError::FingerprintMismatch
+    );
+}
+
+#[test]
+fn stale_schema_is_rejected_by_variant() {
+    let r = recorded();
+    let store = CheckpointStore::new(tempdir("schema"));
+    let mut stale = r.checkpoint.clone();
+    stale.schema = CHECKPOINT_SCHEMA + 1;
+    store.save(SessionId(1), &r.config, &stale).expect("save");
+    assert_eq!(
+        store.load(SessionId(1), &r.config).unwrap_err(),
+        CheckpointError::StaleSchema {
+            found: CHECKPOINT_SCHEMA + 1,
+            expected: CHECKPOINT_SCHEMA,
+        }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mutating the checkpoint's scalar state arbitrarily still
+    /// roundtrips bit-identically through the store — the frame is
+    /// content-agnostic about the payload it protects.
+    #[test]
+    fn mutated_checkpoints_roundtrip_bit_identically(
+        next_step in 0u64..10_000,
+        offset in 0u64..10_000,
+        gen in 0u32..16,
+        losses in proptest::collection::vec(-1.0e6f64..1.0e6, 0..24),
+    ) {
+        let r = recorded();
+        let mut ckpt = r.checkpoint.clone();
+        ckpt.next_step = next_step;
+        ckpt.transcript_offset = offset;
+        ckpt.gen = gen;
+        ckpt.losses = losses;
+        let store = CheckpointStore::new(tempdir("prop-roundtrip"));
+        store.save(SessionId(2), &r.config, &ckpt).expect("save");
+        let loaded = store.load(SessionId(2), &r.config).expect("load");
+        prop_assert_eq!(loaded, ckpt);
+    }
+
+    /// Truncating the file anywhere — including mid-payload and inside
+    /// the checksum — is a typed rejection, never a silent resume.
+    #[test]
+    fn truncated_checkpoint_files_are_rejected(cut in any::<u64>()) {
+        let r = recorded();
+        let store = CheckpointStore::new(tempdir("prop-truncate"));
+        store.save(SessionId(2), &r.config, &r.checkpoint).expect("save");
+        let path = store.path(SessionId(2));
+        let bytes = std::fs::read(&path).expect("read back");
+        let keep = (cut % bytes.len() as u64) as usize; // 0..len-1: always a strict prefix
+        std::fs::write(&path, &bytes[..keep]).expect("truncate");
+        let err = store.load(SessionId(2), &r.config).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckpointError::Corrupt(_)),
+            "truncation to {} of {} bytes must be Corrupt, got {:?}",
+            keep, bytes.len(), err
+        );
+    }
+
+    /// Flipping any single byte — header, fingerprint, payload, or
+    /// checksum — is a typed rejection.
+    #[test]
+    fn corrupted_checkpoint_bytes_are_rejected(
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let r = recorded();
+        let store = CheckpointStore::new(tempdir("prop-flip"));
+        store.save(SessionId(2), &r.config, &r.checkpoint).expect("save");
+        let path = store.path(SessionId(2));
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let i = (at % bytes.len() as u64) as usize;
+        bytes[i] ^= flip;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let err = store.load(SessionId(2), &r.config).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CheckpointError::Corrupt(_)
+                    | CheckpointError::FingerprintMismatch
+                    | CheckpointError::StaleSchema { .. }
+            ),
+            "byte {} flipped by {:#04x} must be rejected, got {:?}",
+            i, flip, err
+        );
+    }
+}

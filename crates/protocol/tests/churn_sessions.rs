@@ -1,0 +1,446 @@
+//! Client churn at the protocol layer: drop, rejoin, and re-shard
+//! scenarios driven through the role state machines by an in-process
+//! harness with explicit fault injection points.
+//!
+//! The core claim (DESIGN.md §14): where the deterministic schedule
+//! survives churn — every dropped client rejoins — the final weights
+//! are **bit-identical** to an uninterrupted golden run, because a
+//! rejoining client is rewound to the server's `delivered` cursor and
+//! FEIP/FEBO decryption is exact (re-encryption randomness never
+//! reaches the trained weights). Where the schedule is re-cut (a
+//! permanent departure under the re-sharding policy), the re-shard
+//! itself is asserted deterministic and explicit.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cryptonn_core::Objective;
+use cryptonn_data::clinic_dataset;
+use cryptonn_matrix::Matrix;
+use cryptonn_parallel::Parallelism;
+use cryptonn_protocol::{
+    mlp_session_config, round_robin_shards, AuthorityChannel, AuthoritySession, ClientId,
+    ClientSession, KeyRequest, KeyResponse, MlpSpec, Party, ProtocolError, PublicParams,
+    ServerSession, SessionConfig, SessionPolicy, SessionSummary, TrainingSessionRunner,
+    WireMessage,
+};
+use proptest::prelude::*;
+
+fn churn_config(feature_dim: usize, classes: usize, clients: u32, epochs: u32) -> SessionConfig {
+    let mut config = mlp_session_config(
+        MlpSpec {
+            feature_dim,
+            hidden: vec![3],
+            classes,
+            objective: Objective::SoftmaxCrossEntropy,
+        },
+        clients,
+        epochs,
+        3,
+        0.7,
+    );
+    config.policy = SessionPolicy::resume();
+    config
+}
+
+/// The uninterrupted reference run: same config (policy included — the
+/// policy never reaches the arithmetic), same dataset, no churn.
+fn golden(config: &SessionConfig, data: &cryptonn_data::Dataset) -> SessionSummary {
+    TrainingSessionRunner::new(config.clone())
+        .run_mlp(data)
+        .expect("golden run")
+        .summary
+}
+
+struct DirectChannel(Arc<AuthoritySession>);
+
+impl AuthorityChannel for DirectChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        Ok(self.0.handle(&req))
+    }
+}
+
+/// One client's slot in the harness: its state machine survives a drop
+/// (the process is still alive; only its connection died), exactly as
+/// `run_client_resumable` keeps the state machine across attempts.
+struct ClientSlot {
+    sm: ClientSession,
+    connected: bool,
+}
+
+/// An in-process pump with fault injection points: drop a client
+/// (losing its in-flight messages), rejoin it through the repeat
+/// Register → `Resume` re-sync, and observe the server's schedule.
+struct ChurnHarness {
+    config: SessionConfig,
+    params: PublicParams,
+    server: ServerSession,
+    clients: Vec<ClientSlot>,
+    queue: VecDeque<(ClientId, WireMessage)>,
+    summary: Option<SessionSummary>,
+}
+
+impl ChurnHarness {
+    fn new(config: &SessionConfig, shards: Vec<Vec<(Matrix<f64>, Matrix<f64>)>>) -> Self {
+        let authority = Arc::new(AuthoritySession::new(config));
+        let params = authority.public_params_for(config);
+        let server = ServerSession::new(
+            config,
+            &params,
+            Box::new(DirectChannel(authority)),
+            Parallelism::Serial,
+        );
+        let clients = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| ClientSlot {
+                sm: ClientSession::new(
+                    ClientId(i as u32),
+                    config.client_seed_base + i as u64,
+                    Parallelism::Serial,
+                    shard,
+                ),
+                connected: true,
+            })
+            .collect();
+        let mut harness = Self {
+            config: config.clone(),
+            params,
+            server,
+            clients,
+            queue: VecDeque::new(),
+            summary: None,
+        };
+        for i in 0..harness.clients.len() {
+            harness.handshake(i);
+        }
+        harness
+    }
+
+    /// Feeds one client the session handshake (what a fresh or re-made
+    /// connection delivers) and queues whatever it emits.
+    fn handshake(&mut self, i: usize) {
+        let config_msg = WireMessage::Config(self.config.clone());
+        let params_msg = WireMessage::PublicParams(self.params.clone());
+        for msg in [config_msg, params_msg] {
+            let slot = &mut self.clients[i];
+            let id = slot.sm.id();
+            for ob in slot.sm.handle_message(&msg).expect("client handshake") {
+                self.queue.push_back((id, ob.msg));
+            }
+        }
+    }
+
+    /// Routes one server outbound: addressed frames to their recipient,
+    /// broadcasts to every *connected* client — a dropped client's
+    /// connection no longer exists, so frames to it fall on the floor.
+    fn route(&mut self, to: Party, msg: &WireMessage) {
+        if let WireMessage::Summary(s) = msg {
+            self.summary = Some(s.clone());
+        }
+        for slot in &mut self.clients {
+            let deliver = match to {
+                Party::Client(i) => slot.sm.id() == ClientId(i),
+                _ => true,
+            };
+            if !deliver || !slot.connected {
+                continue;
+            }
+            let id = slot.sm.id();
+            for ob in slot.sm.handle_message(msg).expect("client pump") {
+                self.queue.push_back((id, ob.msg));
+            }
+        }
+    }
+
+    /// Pumps queued client→server messages until the queue drains (a
+    /// stall: the schedule waits on a dropped client) or the summary
+    /// fires, or `stop` says to pause (the fault injection point).
+    fn pump_until(&mut self, mut stop: impl FnMut(&ServerSession) -> bool) {
+        while let Some((from, msg)) = self.queue.pop_front() {
+            if !self.clients[from.0 as usize].connected {
+                // In-flight frames from a dead connection are lost.
+                continue;
+            }
+            let outs = self.server.handle_message(&msg).expect("server pump");
+            for ob in outs {
+                self.route(ob.to, &ob.msg);
+            }
+            if self.summary.is_some() || stop(&self.server) {
+                return;
+            }
+        }
+    }
+
+    fn pump_to_quiescence(&mut self) {
+        self.pump_until(|_| false);
+    }
+
+    /// Severs client `i`: its queued in-flight messages are lost and
+    /// the server gets the transport-level notice.
+    fn drop_client(&mut self, i: usize) {
+        self.clients[i].connected = false;
+        let id = self.clients[i].sm.id();
+        self.queue.retain(|(from, _)| *from != id);
+        let outs = self.server.client_gone(id).expect("resume policy");
+        for ob in outs {
+            self.route(ob.to, &ob.msg);
+        }
+    }
+
+    /// Reconnects client `i`: the surviving state machine parks its
+    /// emitter (its local cursor is stale) and redoes the handshake;
+    /// the repeat Register draws the server's `Resume` (or the `Start`
+    /// barrier, if the schedule was never fixed).
+    fn rejoin_client(&mut self, i: usize) {
+        self.clients[i].sm.park_until_resume();
+        self.clients[i].connected = true;
+        self.handshake(i);
+    }
+
+    fn finish(&mut self) -> SessionSummary {
+        self.pump_to_quiescence();
+        self.summary.clone().expect("session must complete")
+    }
+}
+
+/// A rejoin whose disconnect notice never reached the server (the
+/// fresh connection voided the stale notice): the repeat Register
+/// alone must purge the dead connection's buffered batches, or the
+/// rewound client's re-sent steps collide with the duplicate-step
+/// check as substitutions and the session fails.
+#[test]
+fn rejoin_without_disconnect_notice_purges_buffered_batches() {
+    let data = clinic_dataset(12, 5);
+    let config = churn_config(data.feature_dim(), data.classes(), 2, 2);
+    let reference = golden(&config, &data);
+
+    let shards = round_robin_shards(&data, 3, 2);
+    let mut harness = ChurnHarness::new(&config, shards);
+    // Run until client 0's step-ahead batch sits in the reorder buffer
+    // (the handshake order makes its second emission the first
+    // buffered frame), then lose its connection without the server
+    // ever hearing about it.
+    harness.pump_until(|s| s.pending_batches() > 0);
+    assert!(harness.server.pending_batches() > 0);
+
+    // Over a real transport the rejoin can beat the dead connection's
+    // EOF notice (whose stale epoch the fresh writer then voids), so
+    // `client_gone` never runs. Model the racing interleaving
+    // directly: the rejoined connection's repeat Register and rewound
+    // re-sends reach the server *before* any other client's queued
+    // frame, while the dead connection's buffered batch still sits in
+    // the reorder buffer.
+    let id = harness.clients[0].sm.id();
+    harness.queue.retain(|(from, _)| *from != id);
+    harness.clients[0].sm.park_until_resume();
+    let mut to_server = VecDeque::new();
+    for msg in [
+        WireMessage::Config(harness.config.clone()),
+        WireMessage::PublicParams(harness.params.clone()),
+    ] {
+        to_server.extend(
+            harness.clients[0]
+                .sm
+                .handle_message(&msg)
+                .expect("rejoin handshake"),
+        );
+    }
+    while let Some(ob) = to_server.pop_front() {
+        let outs = harness
+            .server
+            .handle_message(&ob.msg)
+            .expect("a notice-less rejoin must not trip the duplicate-step check");
+        for out in outs {
+            match out.to {
+                // The addressed Resume (and any delta) comes straight
+                // back to the rejoined client; its replies stay ahead
+                // of the other clients' queued frames.
+                Party::Client(i) if ClientId(i) == id => {
+                    to_server.extend(
+                        harness.clients[0]
+                            .sm
+                            .handle_message(&out.msg)
+                            .expect("client resync"),
+                    );
+                }
+                _ => harness.route(out.to, &out.msg),
+            }
+        }
+    }
+    let resumed = harness.finish();
+    assert_eq!(
+        resumed, reference,
+        "a notice-less rejoin must still converge to the golden run"
+    );
+}
+
+/// A client dropped mid-epoch — with batches both consumed and
+/// in-flight — rejoins and the run completes bit-identical to the
+/// uninterrupted golden run.
+#[test]
+fn dropped_client_rejoins_and_completes_bit_identically() {
+    let data = clinic_dataset(12, 5);
+    let config = churn_config(data.feature_dim(), data.classes(), 2, 2);
+    let reference = golden(&config, &data);
+    assert_eq!(reference.steps, 8);
+
+    let shards = round_robin_shards(&data, 3, 2);
+    let mut harness = ChurnHarness::new(&config, shards);
+    // Train into the schedule, then sever client 1 mid-epoch.
+    harness.pump_until(|s| s.steps() >= 3);
+    assert!(harness.server.steps() >= 3);
+    harness.drop_client(1);
+    // The survivors run the schedule to its stall point.
+    harness.pump_to_quiescence();
+    assert!(
+        harness.summary.is_none(),
+        "the schedule must stall on the dropped client, not finish without it"
+    );
+    let stalled_at = harness.server.steps();
+    assert!(stalled_at < reference.steps);
+
+    harness.rejoin_client(1);
+    let resumed = harness.finish();
+    assert_eq!(
+        resumed, reference,
+        "resumed run must match the golden run bit-for-bit"
+    );
+}
+
+/// A client dropped *before the schedule is fixed* gets no `Resume` on
+/// rejoin (nothing was delivered); the `Start` barrier is its re-sync
+/// point, and the run still completes bit-identical.
+#[test]
+fn drop_before_schedule_fixed_resyncs_via_start_barrier() {
+    let data = clinic_dataset(12, 5);
+    let config = churn_config(data.feature_dim(), data.classes(), 2, 1);
+    let reference = golden(&config, &data);
+
+    let shards = round_robin_shards(&data, 3, 2);
+    let mut harness = ChurnHarness::new(&config, shards);
+    // Sever client 1 while its Register is still in flight: the
+    // schedule never fixes, so the session stalls pre-Start.
+    harness.drop_client(1);
+    harness.pump_to_quiescence();
+    assert!(harness.summary.is_none());
+    assert_eq!(harness.server.steps(), 0);
+
+    harness.rejoin_client(1);
+    let resumed = harness.finish();
+    assert_eq!(resumed, reference);
+}
+
+/// Repeated churn of the same client — drop, rejoin, drop again later,
+/// rejoin again — still lands on the golden weights.
+#[test]
+fn repeated_churn_of_one_client_still_matches_golden() {
+    let data = clinic_dataset(12, 5);
+    let config = churn_config(data.feature_dim(), data.classes(), 2, 2);
+    let reference = golden(&config, &data);
+
+    let shards = round_robin_shards(&data, 3, 2);
+    let mut harness = ChurnHarness::new(&config, shards);
+    harness.pump_until(|s| s.steps() >= 2);
+    harness.drop_client(1);
+    harness.pump_to_quiescence();
+    harness.rejoin_client(1);
+    harness.pump_until(|s| s.steps() >= 5);
+    harness.drop_client(1);
+    harness.pump_to_quiescence();
+    harness.rejoin_client(1);
+    assert_eq!(harness.finish(), reference);
+}
+
+/// A permanent departure under the re-sharding policy: the schedule is
+/// re-cut onto the survivors. Bit-identity with the golden run is off
+/// the table (the dropped client's unsent data leaves the run), so the
+/// re-shard itself is asserted explicitly — who survives, where the
+/// cut lands, what the shrunken schedule trains — and the whole
+/// scenario is asserted deterministic by running it twice.
+#[test]
+fn permanent_departure_reshards_deterministically_onto_survivors() {
+    let data = clinic_dataset(12, 5);
+    let mut config = churn_config(data.feature_dim(), data.classes(), 2, 2);
+    config.policy = SessionPolicy::resume_resharding();
+
+    let run_scenario = || {
+        let shards = round_robin_shards(&data, 3, 2);
+        let mut harness = ChurnHarness::new(&config, shards);
+        harness.pump_until(|s| s.steps() >= 3);
+        let before_total = harness.server.total_steps().expect("schedule fixed");
+        assert_eq!(before_total, 8);
+        harness.drop_client(1);
+        // The drop alone need not re-shard (the cut happens when the
+        // schedule stalls on the departed owner); pumping to
+        // quiescence drives the survivor through the re-cut schedule.
+        let summary = harness.finish();
+
+        let spec = harness
+            .server
+            .reshard_spec()
+            .expect("a re-shard must have been cut")
+            .clone();
+        assert_eq!(harness.server.generation(), 1);
+        assert_eq!(spec.gen, 1);
+        // Explicit schedule assertions: only client 0 survives, its
+        // cursor at the cut equals what the server had consumed of it,
+        // and the re-cut run is exactly base-stake minus what left.
+        assert_eq!(spec.survivors.len(), 1);
+        assert_eq!(spec.survivors[0].client, ClientId(0));
+        assert_eq!(
+            spec.survivors[0].delivered + spec.survivors[0].remaining,
+            harness.server.delivered(ClientId(0)),
+            "the survivor finished exactly its re-cut stake"
+        );
+        let new_total = harness.server.total_steps().expect("schedule still fixed");
+        assert_eq!(
+            new_total,
+            spec.from_step + spec.survivors[0].remaining,
+            "re-cut run = steps before the cut + survivor's remaining stake"
+        );
+        assert!(new_total < before_total);
+        assert_eq!(summary.steps, new_total);
+        (summary, spec)
+    };
+
+    let (summary_a, spec_a) = run_scenario();
+    let (summary_b, spec_b) = run_scenario();
+    assert_eq!(summary_a, summary_b, "re-shard must be deterministic");
+    assert_eq!(spec_a, spec_b, "re-cut schedule must be deterministic");
+}
+
+// Seeded-random churn: for K ∈ {2, 4} and an arbitrary drop point,
+// dropping an arbitrary client mid-run and rejoining it after the
+// stall always completes — bit-identical to the golden run. Heavy
+// (two full runs per case), so release-only like the other training
+// equivalence suites.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "training sessions are slow in debug")]
+    fn seeded_random_churn_always_rejoins_to_golden_weights(
+        k in prop_oneof![Just(2u32), Just(4u32)],
+        victim_seed in any::<u64>(),
+        drop_at in any::<u64>(),
+    ) {
+        let data = clinic_dataset(24, 5);
+        let config = churn_config(data.feature_dim(), data.classes(), k, 1);
+        let reference = golden(&config, &data);
+        let total = reference.steps;
+
+        let victim = (victim_seed % u64::from(k)) as usize;
+        let drop_step = drop_at % total;
+        let shards = round_robin_shards(&data, 3, k as usize);
+        let mut harness = ChurnHarness::new(&config, shards);
+        harness.pump_until(|s| s.steps() >= drop_step);
+        harness.drop_client(victim);
+        harness.pump_to_quiescence();
+        if harness.summary.is_none() {
+            harness.rejoin_client(victim);
+        }
+        let resumed = harness.finish();
+        prop_assert_eq!(resumed, reference);
+    }
+}

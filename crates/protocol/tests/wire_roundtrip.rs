@@ -83,6 +83,7 @@ proptest! {
         roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
             client: ClientId(seed as u32 % 4),
             step: seed,
+            gen: 0,
             batch,
         }));
         // Label-free prediction batches serialize too.
@@ -90,6 +91,7 @@ proptest! {
         roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
             client: ClientId(0),
             step: seed,
+            gen: 0,
             batch: pred,
         }));
     }
@@ -108,6 +110,7 @@ proptest! {
         roundtrip(&WireMessage::ImageBatch(EncryptedImageBatchMsg {
             client: ClientId(1),
             step: seed,
+            gen: 0,
             batch,
         }));
     }

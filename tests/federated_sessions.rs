@@ -128,6 +128,7 @@ fn cnn_training_runs_over_the_session_layer() {
             .handle_image_batch(&EncryptedImageBatchMsg {
                 client: ClientId(owner as u32),
                 step: step as u64,
+                gen: 0,
                 batch,
             })
             .expect("train");

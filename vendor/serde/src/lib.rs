@@ -230,6 +230,22 @@ pub mod de {
             .ok_or_else(|| ValueError(format!("missing field `{name}`")))?;
         from_value(v).map_err(|e| ValueError(format!("field `{name}`: {e}")))
     }
+
+    /// Like [`field`], but a missing entry yields `T::default()` — the
+    /// backing of `#[serde(default)]`, which keeps recordings made
+    /// before a wire type grew a field deserializable. A *present*
+    /// entry must still parse; only absence falls back.
+    pub fn field_or_default<T: DeserializeOwned + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, ValueError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                from_value(v.clone()).map_err(|e| ValueError(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
 }
 
 pub use de::Deserializer;

@@ -11,17 +11,21 @@
 //! - enums with unit and one-field tuple variants (externally tagged,
 //!   matching real serde's default representation).
 //!
-//! `#[serde(...)]` field attributes are not supported and the workspace
-//! does not use them.
+//! Of the `#[serde(...)]` field attributes, exactly one is supported:
+//! `#[serde(default)]` on a named struct field substitutes
+//! `Default::default()` when the field is absent from the input map —
+//! how the workspace keeps old recordings deserializable after a wire
+//! type grows a field. Any other `#[serde(...)]` content is rejected at
+//! derive time rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Ser)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::De)
 }
@@ -40,7 +44,8 @@ struct Input {
 }
 
 enum Data {
-    Named(Vec<String>),
+    /// Named fields as `(ident, has_serde_default)`.
+    Named(Vec<(String, bool)>),
     Tuple(usize),
     Enum(Vec<(String, bool)>),
 }
@@ -64,7 +69,7 @@ fn parse(input: TokenStream) -> Result<Input, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
-    skip_attrs_and_vis(&tokens, &mut i);
+    skip_attrs_and_vis(&tokens, &mut i)?;
 
     let kind = match tokens.get(i) {
         Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
@@ -99,11 +104,19 @@ fn parse(input: TokenStream) -> Result<Input, String> {
     Ok(Input { name, params, data })
 }
 
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Skips attributes and visibility, reporting whether a
+/// `#[serde(default)]` was among the skipped attributes. Any other
+/// `#[serde(...)]` content is an error: an attribute this derive would
+/// silently drop must not look like it took effect.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 // `#[...]` — the attribute body is the next group.
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    default |= parse_serde_attr(g.stream())?;
+                }
                 *i += 2;
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -114,8 +127,31 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     }
                 }
             }
-            _ => return,
+            _ => return Ok(default),
         }
+    }
+}
+
+/// True if an attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`; an error for any other `serde(...)` shape; false
+/// for non-serde attributes.
+fn parse_serde_attr(stream: TokenStream) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(id)] if id.to_string() == "default" => Ok(true),
+                _ => Err(format!(
+                    "unsupported #[serde(...)] attribute: only `default` is implemented, got `{g}`"
+                )),
+            }
+        }
+        other => Err(format!("malformed #[serde ...] attribute: {other:?}")),
     }
 }
 
@@ -194,12 +230,12 @@ fn expect_group(
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -207,7 +243,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             TokenTree::Ident(id) => id.to_string(),
             other => return Err(format!("expected field name, found {other}")),
         };
-        fields.push(name);
+        fields.push((name, default));
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -255,7 +291,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
     let mut i = 0;
     let mut variants = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -345,7 +381,7 @@ fn gen_serialize(input: &Input) -> String {
         Data::Named(fields) => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!("__m.push(({f:?}.to_string(), ::serde::ser::to_value(&self.{f})));\n")
                 })
                 .collect();
@@ -399,7 +435,14 @@ fn gen_deserialize(input: &Input) -> String {
         Data::Named(fields) => {
             let reads: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de::field(__m, {f:?}).map_err({custom})?,\n"))
+                .map(|(f, default)| {
+                    let getter = if *default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!("{f}: ::serde::de::{getter}(__m, {f:?}).map_err({custom})?,\n")
+                })
                 .collect();
             format!(
                 "let __value = __deserializer.deserialize_value()?;\n\
