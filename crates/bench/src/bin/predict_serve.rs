@@ -24,7 +24,7 @@
 //! Reported per (level, clients, batch, arm): predictions/s, p50/p99
 //! request latency, sweep and cache counters; plus the cache-on vs
 //! cache-off speedup per point. Emits `BENCH_predict_serve.json`
-//! (schema `cryptonn.bench.predict_serve/v2`).
+//! (schema `cryptonn.bench.predict_serve/v3`).
 //!
 //! The off/on ratio is *bounded* on this workload: FEIP key derivation
 //! costs one `q`-sized multiplication per weight element while the
@@ -33,15 +33,23 @@
 //! one (DESIGN.md §12 quantifies this). `--check-speedup X` gates on
 //! the measured Bits256 single-client point.
 //!
-//! The report (schema `cryptonn.bench.predict_serve/v2`) also times a
-//! cold vs warm start of the persisted table cache (generator comb +
-//! BSGS tables, DESIGN.md §13); `--check-warm-speedup X` gates the
-//! warm-over-cold ratio.
+//! The report also times a cold vs warm start of the persisted table
+//! cache (generator comb + BSGS tables, DESIGN.md §13);
+//! `--check-warm-speedup X` gates the warm-over-cold ratio.
+//!
+//! Schema v3 adds the **open-loop arm**: a seeded Poisson arrival
+//! schedule over hundreds of live connections (thousands under
+//! `CRYPTONN_BENCH_FULL=1`), replayed bit-identically against the
+//! thread-per-connection `InferenceServer` and the reactor-driven
+//! `InferenceFleet` (DESIGN.md §15). Latency is charged against each
+//! request's *scheduled* arrival (no coordinated omission), reported as
+//! p50/p99/p999; `--check-open-loop X` gates the fleet-over-threadpool
+//! served-throughput ratio.
 //!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin predict_serve -- \
 //!     [--out BENCH_predict_serve.json] [--check-speedup 1.5] \
-//!     [--check-warm-speedup 5.0]
+//!     [--check-warm-speedup 5.0] [--check-open-loop 1.0]
 //! ```
 
 use std::sync::Arc;
@@ -52,14 +60,14 @@ use cryptonn_fe::PermittedFunctions;
 use cryptonn_group::SecurityLevel;
 use cryptonn_matrix::Matrix;
 use cryptonn_net::{
-    AuthorityOptions, AuthorityServer, InferenceClient, InferenceServer, InferenceServerOptions,
-    RemoteAuthority, DEFAULT_MAX_FRAME,
+    AuthorityOptions, AuthorityServer, FleetOptions, InferenceClient, InferenceFleet,
+    InferenceServer, InferenceServerOptions, RemoteAuthority, DEFAULT_MAX_FRAME,
 };
 use cryptonn_parallel::Parallelism;
 use cryptonn_protocol::{ClientId, InferenceOptions, MlpSpec, ModelSpec, SessionConfig, SessionId};
 use cryptonn_smc::FixedPoint;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use serde::Serialize;
 
 const FEATURE_DIM: usize = 784;
@@ -176,6 +184,9 @@ struct Report {
     /// synchronous client, batch 1 — the pure key-cache effect.
     headline_speedup_bits256: f64,
     warm_start: WarmStart,
+    /// Poisson-arrival load over many live connections: the reactor
+    /// fleet vs the thread-per-connection baseline (schema v3).
+    open_loop: OpenLoop,
 }
 
 /// Stops glibc from returning freed heap pages to the kernel
@@ -390,10 +401,381 @@ fn run_arm(
     ArmOutcome { m, outputs }
 }
 
+// ----------------------------------------------------- open-loop arm
+
+/// Feature width of the open-loop workload. Deliberately small: this
+/// arm certifies the *transport* under heavy traffic (the closed-loop
+/// grid above already measures the crypto), so the secure sweep is kept
+/// cheap enough that connection handling is a visible fraction of the
+/// request cost.
+const OPEN_FEATURE_DIM: usize = 16;
+const OPEN_HIDDEN: usize = 8;
+const OPEN_CLASSES: usize = 4;
+
+fn open_loop_config() -> SessionConfig {
+    SessionConfig {
+        level: SecurityLevel::Bits64,
+        fp: FixedPoint::TWO_DECIMALS,
+        grad_fp: FixedPoint::new(10_000),
+        permitted: PermittedFunctions::all(),
+        model: ModelSpec::Mlp(MlpSpec {
+            feature_dim: OPEN_FEATURE_DIM,
+            hidden: vec![OPEN_HIDDEN],
+            classes: OPEN_CLASSES,
+            objective: Objective::SoftmaxCrossEntropy,
+        }),
+        lr: 0.5,
+        epochs: 1,
+        batch_size: 8,
+        clients: 1,
+        authority_seed: 8001,
+        model_seed: 8002,
+        client_seed_base: 8003,
+        policy: cryptonn_protocol::SessionPolicy::FailFast,
+    }
+}
+
+fn open_frozen_model(config: &SessionConfig) -> CryptoMlp {
+    let cc = CryptoNnConfig {
+        level: config.level,
+        fp: config.fp,
+        grad_fp: config.grad_fp,
+        parallelism: Parallelism::Serial,
+    };
+    let mut rng = StdRng::seed_from_u64(config.model_seed);
+    CryptoMlp::new(
+        OPEN_FEATURE_DIM,
+        &[OPEN_HIDDEN],
+        OPEN_CLASSES,
+        Objective::SoftmaxCrossEntropy,
+        cc,
+        &mut rng,
+    )
+}
+
+fn open_input(user: usize, req: usize) -> Matrix<f64> {
+    Matrix::from_fn(1, OPEN_FEATURE_DIM, |_, c| {
+        ((user * 131 + req * 17 + c) % 97) as f64 / 97.0
+    })
+}
+
+/// One transport arm of the open-loop comparison.
+#[derive(Debug, Clone, Serialize)]
+struct OpenLoopArm {
+    /// `"reactor"` (the sharded fleet) or `"threadpool"` (the seed's
+    /// thread-per-connection server).
+    transport: String,
+    /// Readiness backend of the reactor arm (`"epoll"`/`"poll"`);
+    /// `"threads"` for the baseline.
+    backend: String,
+    completed: u64,
+    wall_ms: f64,
+    predictions_per_sec: f64,
+    /// Latency is measured against the request's *scheduled* Poisson
+    /// arrival, not its actual send time, so queueing delay from a
+    /// transport that falls behind is charged to the transport
+    /// (no coordinated omission).
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct OpenLoop {
+    level: String,
+    feature_dim: usize,
+    /// Concurrent simulated users (one live connection each, held for
+    /// the whole run). CI-sized by default; `CRYPTONN_BENCH_FULL=1`
+    /// runs the thousands-of-users scale.
+    users: usize,
+    arrivals: usize,
+    /// Single-connection closed-loop service rate measured against the
+    /// threadpool baseline — the calibration anchor.
+    calibration_rps: f64,
+    /// Offered Poisson arrival rate (requests/s), identical for both
+    /// arms: the same seeded schedule is replayed against each.
+    offered_rps: f64,
+    arms: Vec<OpenLoopArm>,
+    /// Reactor-fleet over threadpool served-throughput ratio — the
+    /// `--check-open-loop` gate.
+    fleet_over_threadpool: f64,
+}
+
+/// Either serving daemon behind one address, torn down uniformly.
+enum Daemon {
+    Fleet(InferenceFleet),
+    Threads(InferenceServer),
+}
+
+impl Daemon {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            Daemon::Fleet(f) => f.local_addr(),
+            Daemon::Threads(s) => s.local_addr(),
+        }
+    }
+    fn backend(&self) -> String {
+        match self {
+            Daemon::Fleet(f) => f.backend().to_string(),
+            Daemon::Threads(_) => "threads".to_string(),
+        }
+    }
+    fn shutdown(self) {
+        match self {
+            Daemon::Fleet(f) => f.shutdown(),
+            Daemon::Threads(s) => s.shutdown(),
+        }
+    }
+}
+
+fn start_daemon(
+    transport: &str,
+    authority_addr: std::net::SocketAddr,
+    session_id: SessionId,
+    config: &SessionConfig,
+    users: usize,
+) -> Daemon {
+    let session = InferenceOptions {
+        max_batch: COALESCE,
+        key_cache: 1024,
+    };
+    match transport {
+        "reactor" => Daemon::Fleet(
+            InferenceFleet::start(
+                "127.0.0.1:0",
+                session_id,
+                config,
+                open_frozen_model(config),
+                Arc::new(RemoteAuthority::new(authority_addr)),
+                FleetOptions {
+                    shards: 2,
+                    session,
+                    ..FleetOptions::default()
+                },
+            )
+            .expect("inference fleet binds"),
+        ),
+        _ => Daemon::Threads(
+            InferenceServer::start(
+                "127.0.0.1:0",
+                session_id,
+                config,
+                open_frozen_model(config),
+                Arc::new(RemoteAuthority::new(authority_addr)),
+                InferenceServerOptions {
+                    session,
+                    // One handler per live connection, as the seed
+                    // transport requires — this thread count *is* the
+                    // baseline's scaling cost.
+                    pool_threads: users + 8,
+                    ..InferenceServerOptions::default()
+                },
+            )
+            .expect("inference server binds"),
+        ),
+    }
+}
+
+/// Replays the seeded Poisson schedule against one daemon: `users`
+/// connections held live for the whole run, each sending its
+/// pre-encrypted requests at their scheduled arrivals and recording
+/// completion against the schedule.
+fn run_open_loop_arm(
+    transport: &str,
+    authority_addr: std::net::SocketAddr,
+    session_id: SessionId,
+    config: &SessionConfig,
+    schedule: &[Vec<f64>],
+) -> (OpenLoopArm, Vec<Vec<Matrix<f64>>>) {
+    let users = schedule.len();
+    let daemon = start_daemon(transport, authority_addr, session_id, config, users);
+    let addr = daemon.addr();
+
+    // Two barriers: everyone connected and pre-encrypted at the first,
+    // the shared clock origin published between them, released at the
+    // second — so every thread measures against the same instant.
+    let ready = Arc::new(std::sync::Barrier::new(users + 1));
+    let go = Arc::new(std::sync::Barrier::new(users + 1));
+    let start_cell: Arc<std::sync::OnceLock<Instant>> = Arc::new(std::sync::OnceLock::new());
+
+    let mut handles = Vec::with_capacity(users);
+    for (u, arrivals) in schedule.iter().enumerate() {
+        let config = config.clone();
+        let arrivals = arrivals.clone();
+        let ready = Arc::clone(&ready);
+        let go = Arc::clone(&go);
+        let start_cell = Arc::clone(&start_cell);
+        handles.push(std::thread::spawn(move || {
+            let mut client = InferenceClient::connect(
+                addr,
+                session_id,
+                ClientId(u as u32),
+                &config,
+                40_000 + u as u64,
+                DEFAULT_MAX_FRAME,
+            )
+            .expect("open-loop client connects");
+            let encrypted: Vec<EncryptedBatch> = (0..arrivals.len())
+                .map(|r| {
+                    client
+                        .encryptor_mut()
+                        .encrypt_features(&open_input(u, r))
+                        .expect("encrypt")
+                })
+                .collect();
+            ready.wait();
+            go.wait();
+            let start = *start_cell.get().expect("clock origin published");
+            let mut latencies = Vec::with_capacity(arrivals.len());
+            let mut outputs = Vec::with_capacity(arrivals.len());
+            let mut last_done = 0.0f64;
+            for (enc, &at) in encrypted.into_iter().zip(&arrivals) {
+                let target = start + std::time::Duration::from_secs_f64(at);
+                let now = Instant::now();
+                if now < target {
+                    std::thread::sleep(target - now);
+                }
+                let id = client.send_encrypted(enc).expect("send");
+                let p = client.recv_prediction().expect("prediction");
+                assert_eq!(p.id, id);
+                let done = start.elapsed().as_secs_f64();
+                latencies.push((done - at) * 1e3);
+                outputs.push(p.outputs);
+                last_done = done;
+            }
+            (latencies, outputs, last_done)
+        }));
+    }
+    ready.wait();
+    start_cell.set(Instant::now()).expect("single origin");
+    go.wait();
+
+    let mut latencies = Vec::new();
+    let mut outputs = Vec::new();
+    let mut wall = 0.0f64;
+    for h in handles {
+        let (l, o, last) = h.join().expect("open-loop user thread");
+        latencies.extend(l);
+        outputs.push(o);
+        wall = wall.max(last);
+    }
+    let backend = daemon.backend();
+    daemon.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let completed = latencies.len() as u64;
+    let arm = OpenLoopArm {
+        transport: transport.into(),
+        backend,
+        completed,
+        wall_ms: wall * 1e3,
+        predictions_per_sec: completed as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        p999_ms: percentile(&latencies, 0.999),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+    };
+    println!(
+        "open-loop {transport:10} ({:5}): {:8.1} preds/s  p50 {:7.2} ms  p99 {:7.2} ms  p999 {:7.2} ms",
+        arm.backend, arm.predictions_per_sec, arm.p50_ms, arm.p99_ms, arm.p999_ms
+    );
+    (arm, outputs)
+}
+
+/// The open-loop comparison: a seeded Poisson arrival schedule over
+/// many live connections, replayed against the thread-per-connection
+/// baseline and the reactor fleet.
+fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
+    let config = open_loop_config();
+    let (users, arrivals_n) = if cryptonn_bench::full_scale() {
+        (2048usize, 8192usize)
+    } else {
+        (384usize, 1152usize)
+    };
+
+    // Calibrate: single-connection closed-loop rate against the
+    // threadpool baseline fixes the offered load scale.
+    let cal = start_daemon("threadpool", authority_addr, SessionId(6000), &config, 1);
+    let mut client = InferenceClient::connect(
+        cal.addr(),
+        SessionId(6000),
+        ClientId(0),
+        &config,
+        39_999,
+        DEFAULT_MAX_FRAME,
+    )
+    .expect("calibration client connects");
+    let x = open_input(0, 0);
+    let warmup = 8;
+    let measured = 48;
+    for _ in 0..warmup {
+        client.predict(&x).expect("calibration warmup");
+    }
+    let t0 = Instant::now();
+    for _ in 0..measured {
+        client.predict(&x).expect("calibration request");
+    }
+    let calibration_rps = measured as f64 / t0.elapsed().as_secs_f64();
+    drop(client);
+    cal.shutdown();
+
+    // Offered load above the single-connection rate: coalescing and
+    // sharding are exactly what the fleet claims to add, so the
+    // schedule demands them. Same seed => both arms replay the
+    // identical arrival sequence.
+    let offered_rps = calibration_rps * 1.5;
+    let mut rng = StdRng::seed_from_u64(0x9e37_79b9);
+    let mut t = 0.0f64;
+    let mut schedule: Vec<Vec<f64>> = vec![Vec::new(); users];
+    for k in 0..arrivals_n {
+        let u: f64 = rng.random();
+        t += -(1.0 - u).ln() / offered_rps;
+        schedule[k % users].push(t);
+    }
+    println!(
+        "open-loop: {users} users, {arrivals_n} arrivals at {offered_rps:.1} req/s \
+         (calibrated single-conn {calibration_rps:.1} req/s)"
+    );
+
+    let (threads_arm, threads_out) = run_open_loop_arm(
+        "threadpool",
+        authority_addr,
+        SessionId(6001),
+        &config,
+        &schedule,
+    );
+    let (fleet_arm, fleet_out) = run_open_loop_arm(
+        "reactor",
+        authority_addr,
+        SessionId(6002),
+        &config,
+        &schedule,
+    );
+    assert_eq!(
+        fleet_out, threads_out,
+        "open-loop arms must serve bit-identical predictions"
+    );
+
+    let ratio = fleet_arm.predictions_per_sec / threads_arm.predictions_per_sec;
+    println!("open-loop: reactor fleet at {ratio:.2}x the threadpool baseline");
+    OpenLoop {
+        level: format!("{:?}", config.level),
+        feature_dim: OPEN_FEATURE_DIM,
+        users,
+        arrivals: arrivals_n,
+        calibration_rps,
+        offered_rps,
+        arms: vec![threads_arm, fleet_arm],
+        fleet_over_threadpool: ratio,
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_predict_serve.json".to_string();
     let mut check_speedup: Option<f64> = None;
     let mut check_warm_speedup: Option<f64> = None;
+    let mut check_open_loop: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -412,6 +794,14 @@ fn main() {
                         .expect("--check-warm-speedup requires a number")
                         .parse()
                         .expect("--check-warm-speedup requires a number"),
+                )
+            }
+            "--check-open-loop" => {
+                check_open_loop = Some(
+                    args.next()
+                        .expect("--check-open-loop requires a number")
+                        .parse()
+                        .expect("--check-open-loop requires a number"),
                 )
             }
             other => panic!("unknown argument {other}"),
@@ -501,8 +891,13 @@ fn main() {
         warm_start.warm_speedup
     );
 
+    let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())
+        .expect("authority daemon binds for the open-loop arm");
+    let open_loop = run_open_loop(authority.local_addr());
+    authority.shutdown();
+
     let report = Report {
-        schema: "cryptonn.bench.predict_serve/v2".into(),
+        schema: "cryptonn.bench.predict_serve/v3".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin predict_serve".into(),
         host: cryptonn_bench::host_info(),
         feature_dim: FEATURE_DIM,
@@ -514,6 +909,7 @@ fn main() {
         speedups,
         headline_speedup_bits256: headline,
         warm_start,
+        open_loop,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
@@ -530,6 +926,13 @@ fn main() {
             report.warm_start.warm_speedup >= min,
             "warm table-cache start {:.2}x below the {min:.2}x gate",
             report.warm_start.warm_speedup
+        );
+    }
+    if let Some(min) = check_open_loop {
+        assert!(
+            report.open_loop.fleet_over_threadpool >= min,
+            "open-loop reactor throughput {:.2}x the threadpool baseline, below the {min:.2}x gate",
+            report.open_loop.fleet_over_threadpool
         );
     }
 }

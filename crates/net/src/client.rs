@@ -74,6 +74,9 @@ fn drive_connection<T: Transport>(
 ///   mismatch, capacity, a failed session — including another member
 ///   disconnecting);
 /// - [`NetError::Disconnected`] on a lost connection;
+/// - [`NetError::Timeout`] when the transport carries a read deadline
+///   ([`TcpTransport::set_read_timeout`](crate::TcpTransport::set_read_timeout))
+///   and the server goes quiet past it;
 /// - framing and encryption failures.
 ///
 /// [`PublicParams`]: cryptonn_protocol::PublicParams

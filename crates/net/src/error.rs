@@ -40,6 +40,22 @@ pub enum NetError {
     Rejected(String),
     /// The peer closed the connection before the exchange completed.
     Disconnected,
+    /// A deadline elapsed: connecting to, or waiting on, a peer that
+    /// never answered. Distinct from [`NetError::Io`] so a driver can
+    /// retry a dead peer without string-matching.
+    Timeout {
+        /// What the deadline covered.
+        during: &'static str,
+    },
+    /// An outbound queue hit its byte bound — the peer is not draining
+    /// its socket, and buffering further would let one slow consumer
+    /// hold the daemon's memory hostage.
+    Backpressure {
+        /// Bytes already queued.
+        queued: usize,
+        /// The configured bound.
+        max: usize,
+    },
     /// The session state machine under this transport failed.
     Protocol(ProtocolError),
 }
@@ -60,6 +76,15 @@ impl fmt::Display for NetError {
             }
             NetError::Rejected(why) => write!(f, "peer rejected the exchange: {why}"),
             NetError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
+            NetError::Timeout { during } => {
+                write!(f, "deadline elapsed during {during}")
+            }
+            NetError::Backpressure { queued, max } => {
+                write!(
+                    f,
+                    "outbound queue at {queued} bytes exceeds the {max}-byte bound"
+                )
+            }
             NetError::Protocol(e) => write!(f, "session failed: {e}"),
         }
     }
@@ -76,7 +101,21 @@ impl std::error::Error for NetError {
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e.to_string())
+        match e.kind() {
+            // A socket with SO_RCVTIMEO reports an elapsed deadline as
+            // either kind depending on the platform; both mean "the
+            // peer went quiet", not "the pipe broke".
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => NetError::Timeout {
+                during: "socket read",
+            },
+            // A peer that closed its end mid-exchange surfaces as EOF
+            // on reads but as EPIPE/ECONNRESET on writes still in
+            // flight — same event, same variant.
+            std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted => NetError::Disconnected,
+            _ => NetError::Io(e.to_string()),
+        }
     }
 }
 

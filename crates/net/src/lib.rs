@@ -10,6 +10,17 @@
 //! - [`transport`] — [`Transport`]: framed, splittable message pipes,
 //!   implemented by `std::net` TCP ([`TcpTransport`]) and an in-memory
 //!   channel pair ([`mem_pair`]) that moves the same encoded bytes.
+//! - [`codec`] — the length-prefixed codec reworked for nonblocking
+//!   I/O: [`FrameDecoder`] reassembles frames from arbitrary partial
+//!   reads, [`OutboundQueue`] survives short writes under a byte
+//!   bound — both proven equivalent to the blocking codec by the
+//!   `codec_proptests` suite.
+//! - [`reactor`] — [`Reactor`]: a hand-rolled readiness-driven loop
+//!   (epoll on Linux, poll fallback; `CRYPTONN_FORCE_POLL=1` pins the
+//!   fallback) multiplexing every connection on one thread, with a
+//!   self-pipe command queue for off-loop senders, per-connection
+//!   backpressure in both directions, and handshake/idle timeouts
+//!   (DESIGN.md §15).
 //! - [`server`] — [`SessionServer`]: the concurrent multi-session
 //!   daemon — a [`SessionId`]-keyed registry, thread-per-connection on
 //!   a bounded [`ThreadPool`](cryptonn_parallel::ThreadPool), bounded
@@ -17,6 +28,9 @@
 //!   per session, and (with [`ServerOptions::durability`]) per-session
 //!   write-ahead ledgers plus checkpoints that let a restarted daemon
 //!   resume interrupted sessions bit-identically (DESIGN.md §14).
+//!   [`ServerOptions::transport`] (or `CRYPTONN_TRANSPORT=reactor`)
+//!   swaps the accept path onto the reactor; thread-per-connection
+//!   stays the default.
 //! - [`fault`] — [`FaultyTransport`]: deterministic fault injection at
 //!   frame boundaries (scripted and seeded-random kill points, frame
 //!   delays) — the churn test harness.
@@ -101,9 +115,12 @@
 
 pub mod authority;
 pub mod client;
+pub mod codec;
 pub mod fault;
+pub mod fleet;
 pub mod framing;
 pub mod inference;
+pub mod reactor;
 pub mod server;
 pub mod transport;
 
@@ -113,13 +130,19 @@ pub use authority::{
     AuthorityConnector, AuthorityOptions, AuthorityServer, LocalAuthority, RemoteAuthority,
 };
 pub use client::{run_client, run_client_resumable};
+pub use codec::{FrameDecoder, OutboundQueue, WriteProgress};
 pub use error::NetError;
 pub use fault::{FaultHandle, FaultPlan, FaultyTransport, RandomFaults};
+pub use fleet::{FleetOptions, InferenceFleet};
 pub use framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER};
 pub use inference::{
     run_inference_client, InferenceClient, InferenceServer, InferenceServerOptions,
 };
-pub use server::{ResumedSession, ServerOptions, SessionOutcomeKind, SessionServer};
+pub use reactor::{
+    ConnId, Reactor, ReactorApp, ReactorConnTx, ReactorCtx, ReactorHandle, ReactorOptions,
+    ReactorStats,
+};
+pub use server::{ResumedSession, ServerOptions, SessionOutcomeKind, SessionServer, TransportMode};
 pub use transport::{
     mem_pair, mem_pair_default, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport,
     Transport,

@@ -47,6 +47,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -60,9 +61,36 @@ use cryptonn_protocol::{
 use crate::authority::AuthorityConnector;
 use crate::error::NetError;
 use crate::framing::DEFAULT_MAX_FRAME;
+use crate::reactor::{ConnId, Reactor, ReactorApp, ReactorCtx, ReactorHandle, ReactorOptions};
 use crate::transport::{
-    mem_pair, FrameRx, FrameTx, MemTransport, NetMsg, Peer, TcpTransport, Transport,
+    mem_pair, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport, Transport,
 };
+
+/// Which accept path a [`SessionServer`] runs.
+///
+/// The default resolves from the `CRYPTONN_TRANSPORT` environment
+/// variable (`reactor` selects the reactor; anything else — including
+/// unset — keeps the seed-compatible thread-per-connection pool), so
+/// the whole test suite can be swept across both transports without
+/// touching call sites, mirroring the `CRYPTONN_FORCE_SCALAR` kernel
+/// selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Thread-per-connection on a bounded pool (the seed behavior).
+    ThreadPool,
+    /// One nonblocking reactor loop multiplexing every connection
+    /// (DESIGN.md §15).
+    Reactor,
+}
+
+impl Default for TransportMode {
+    fn default() -> Self {
+        match std::env::var("CRYPTONN_TRANSPORT").as_deref() {
+            Ok("reactor") => TransportMode::Reactor,
+            _ => TransportMode::ThreadPool,
+        }
+    }
+}
 
 /// Tuning for the session server.
 #[derive(Debug, Clone)]
@@ -91,6 +119,10 @@ pub struct ServerOptions {
     /// Checkpoints are cut only at clean points (empty reorder buffer),
     /// so an eligible step may checkpoint slightly late.
     pub checkpoint_every_steps: u64,
+    /// The accept path: thread-per-connection (the seed-compatible
+    /// default) or the nonblocking reactor. The default follows the
+    /// `CRYPTONN_TRANSPORT` environment variable.
+    pub transport: TransportMode,
 }
 
 impl Default for ServerOptions {
@@ -104,6 +136,7 @@ impl Default for ServerOptions {
             table_cache: None,
             durability: None,
             checkpoint_every_steps: 8,
+            transport: TransportMode::default(),
         }
     }
 }
@@ -216,6 +249,7 @@ pub struct SessionServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
     registry: Arc<Registry>,
     workers: Arc<WorkerSet>,
     options: ServerOptions,
@@ -239,6 +273,34 @@ impl SessionServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Registry::default());
         let workers = Arc::new(WorkerSet::new());
+        if options.transport == TransportMode::Reactor {
+            let reactor_options = ReactorOptions {
+                max_frame: options.max_frame,
+                ..ReactorOptions::default()
+            };
+            let reactor = Reactor::start(listener, reactor_options, |handle| SessionApp {
+                options: options.clone(),
+                registry: Arc::clone(&registry),
+                authority: Arc::clone(&authority),
+                workers: Arc::clone(&workers),
+                shutdown: Arc::clone(&shutdown),
+                handle: handle.clone(),
+                conn_state: HashMap::new(),
+                waiting: Vec::new(),
+                creation_errors: Arc::new(Mutex::new(HashMap::new())),
+                pending_gone: Vec::new(),
+            })?;
+            return Ok(Self {
+                addr,
+                shutdown,
+                accept: None,
+                reactor: Some(reactor),
+                registry,
+                workers,
+                options,
+                authority,
+            });
+        }
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
@@ -296,6 +358,7 @@ impl SessionServer {
             addr,
             shutdown,
             accept: Some(accept),
+            reactor: None,
             registry,
             workers,
             options,
@@ -306,6 +369,11 @@ impl SessionServer {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Which accept path this daemon runs.
+    pub fn transport(&self) -> TransportMode {
+        self.options.transport
     }
 
     /// Sessions currently live.
@@ -399,13 +467,20 @@ impl SessionServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        if let Some(reactor) = self.reactor.take() {
+            // The shutdown command is queued behind the connection
+            // closes pushed above, so verdict frames still flush; the
+            // app (and the queue senders it holds) drops on the loop
+            // thread, starving any worker the Shutdown event missed.
+            reactor.shutdown();
+        }
         let _ = self.workers.join_all();
     }
 }
 
 impl Drop for SessionServer {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.accept.is_some() || self.reactor.is_some() {
             self.stop();
         }
     }
@@ -637,6 +712,506 @@ fn serve_client_conn(
                 return;
             }
         }
+    }
+}
+
+// ------------------------------------------------- reactor accept path
+
+/// How long a connection may wait for its session's founding authority
+/// handshake before being refused — the same window the threaded path
+/// polls under.
+const SETUP_DEADLINE: Duration = Duration::from_secs(30);
+
+/// What the reactor knows about one established connection. Connections
+/// without an entry are still pre-`Hello`.
+enum ConnState {
+    /// Registered into a live session: frames route to its worker.
+    Established {
+        client: ClientId,
+        epoch: u64,
+        inbound: SyncSender<SessionEvent>,
+        conns: Conns,
+    },
+    /// Served a recorded summary; inbound frames are ignored until the
+    /// peer hangs up (the reactor analogue of the threaded path's
+    /// drain-until-close, which keeps an unread re-registration frame
+    /// from resetting the summary).
+    Draining,
+}
+
+/// A `Hello` parked while another member's creator thread opens the
+/// authority link for its session.
+struct WaitingConn {
+    conn: ConnId,
+    hello: Hello,
+    since: Instant,
+}
+
+/// A `Gone` notice that found its session queue full; retried every
+/// tick until delivered (it must not be lost — the worker's churn
+/// accounting depends on it).
+struct PendingGone {
+    inbound: SyncSender<SessionEvent>,
+    client: ClientId,
+    epoch: u64,
+    conns: Conns,
+}
+
+/// The session daemon as a [`ReactorApp`]: the event-driven twin of
+/// [`serve_client_conn`]. Sessions, workers, ledgers, and routing are
+/// the *same* code ([`create_session`] / [`session_worker`] /
+/// [`route_outbound`]); only the connection pump differs — one loop
+/// thread multiplexes every socket, session workers answer through
+/// [`ReactorHandle::conn_tx`] writers, and a full session queue parks
+/// the frame (suspending that connection's reads) instead of blocking
+/// a reader thread.
+struct SessionApp {
+    options: ServerOptions,
+    registry: Arc<Registry>,
+    authority: Arc<dyn AuthorityConnector>,
+    workers: Arc<WorkerSet>,
+    shutdown: Arc<AtomicBool>,
+    handle: ReactorHandle,
+    conn_state: HashMap<ConnId, ConnState>,
+    waiting: Vec<WaitingConn>,
+    /// Reasons sessions failed to create, keyed for the waiters that
+    /// will be refused with them. Entries are rare (an unreachable
+    /// authority) and tiny; one may linger if every waiter died first.
+    creation_errors: Arc<Mutex<HashMap<SessionId, String>>>,
+    pending_gone: Vec<PendingGone>,
+}
+
+/// The per-session handles a connection registers against, cloned out
+/// of a `Ready` slot.
+type EntryHandles = (
+    SyncSender<SessionEvent>,
+    Conns,
+    PublicParams,
+    Arc<AtomicU64>,
+);
+
+fn entry_handles(entry: &SessionEntry) -> EntryHandles {
+    (
+        entry.inbound.clone(),
+        Arc::clone(&entry.conns),
+        entry.params.clone(),
+        Arc::clone(&entry.conn_epoch),
+    )
+}
+
+/// Sends the verdict, then drops the line once it flushes.
+fn reject_conn(ctx: &mut ReactorCtx<'_>, conn: ConnId, why: String) {
+    let _ = ctx.send(conn, &NetMsg::Reject(why));
+    ctx.close_after_flush(conn);
+}
+
+impl SessionApp {
+    /// The full `Hello` admission: served-summary replay, failed-session
+    /// refusal, then join-or-create — the same checks, in the same
+    /// order, with the same wording as the threaded path.
+    fn handshake(&mut self, ctx: &mut ReactorCtx<'_>, conn: ConnId, hello: Hello) {
+        let Peer::Client(client) = hello.peer else {
+            reject_conn(
+                ctx,
+                conn,
+                "only clients connect to the session server".into(),
+            );
+            return;
+        };
+        if self.shutdown.load(Ordering::SeqCst) {
+            reject_conn(ctx, conn, "server shutting down".into());
+            return;
+        }
+        {
+            let served = self.registry.served.lock();
+            if let Some((config, summary)) = served.get(&hello.session) {
+                if *config != hello.config {
+                    let why = format!("{} already exists with a different config", hello.session);
+                    drop(served);
+                    reject_conn(ctx, conn, why);
+                    return;
+                }
+                let summary = summary.clone();
+                drop(served);
+                if ctx
+                    .send(conn, &NetMsg::Msg(WireMessage::Summary(summary)))
+                    .is_ok()
+                {
+                    self.conn_state.insert(conn, ConnState::Draining);
+                    ctx.set_handshaken(conn);
+                } else {
+                    ctx.close(conn);
+                }
+                return;
+            }
+        }
+        let failure = self
+            .registry
+            .finished
+            .lock()
+            .iter()
+            .rev()
+            .find_map(|(id, o)| match o {
+                SessionOutcomeKind::Failed(why) if *id == hello.session => Some(why.clone()),
+                _ => None,
+            });
+        if let Some(why) = failure {
+            reject_conn(ctx, conn, format!("{} failed: {why}", hello.session));
+            return;
+        }
+        self.join_or_create(ctx, conn, client, hello, Instant::now());
+    }
+
+    fn join_or_create(
+        &mut self,
+        ctx: &mut ReactorCtx<'_>,
+        conn: ConnId,
+        client: ClientId,
+        hello: Hello,
+        since: Instant,
+    ) {
+        // Decide under the registry lock, act after: the lock is never
+        // held across a send or a spawn.
+        enum Step {
+            Join(Box<EntryHandles>),
+            Wait,
+            Create,
+            Refuse(String),
+        }
+        let step = {
+            let mut live = self.registry.live.lock();
+            match live.get(&hello.session) {
+                Some(Slot::Ready(entry)) => {
+                    if entry.config != hello.config {
+                        Step::Refuse(format!(
+                            "{} already exists with a different config",
+                            hello.session
+                        ))
+                    } else {
+                        Step::Join(Box::new(entry_handles(entry)))
+                    }
+                }
+                Some(Slot::Creating { config }) => {
+                    if *config != hello.config {
+                        Step::Refuse(format!(
+                            "{} already exists with a different config",
+                            hello.session
+                        ))
+                    } else {
+                        Step::Wait
+                    }
+                }
+                None => {
+                    if live.len() >= self.options.max_sessions {
+                        Step::Refuse("server at session capacity".into())
+                    } else {
+                        live.insert(
+                            hello.session,
+                            Slot::Creating {
+                                config: hello.config.clone(),
+                            },
+                        );
+                        Step::Create
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Join(handles) => self.register(ctx, conn, client, &hello, *handles),
+            Step::Wait => self.waiting.push(WaitingConn { conn, hello, since }),
+            Step::Create => {
+                self.spawn_creator(hello.session, hello.config.clone());
+                self.waiting.push(WaitingConn { conn, hello, since });
+            }
+            Step::Refuse(why) => reject_conn(ctx, conn, why),
+        }
+    }
+
+    /// Opens the authority link and builds the session *off the loop
+    /// thread* — [`create_session`] does real I/O and table builds, and
+    /// one unreachable authority must not stall every connection. The
+    /// founding `Hello` waits in [`Self::waiting`] meanwhile.
+    fn spawn_creator(&self, session: SessionId, config: SessionConfig) {
+        let registry = Arc::clone(&self.registry);
+        let authority = Arc::clone(&self.authority);
+        let workers = Arc::clone(&self.workers);
+        let shutdown = Arc::clone(&self.shutdown);
+        let options = self.options.clone();
+        let errors = Arc::clone(&self.creation_errors);
+        let handle = self.handle.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("{session}-create"))
+            .spawn(move || {
+                match create_session(
+                    session,
+                    &config,
+                    &options,
+                    &registry,
+                    authority.as_ref(),
+                    &workers,
+                    &shutdown,
+                ) {
+                    Ok(entry) => {
+                        // Decided under the registry lock against the
+                        // flag `stop()` sets *before* draining: either
+                        // the entry lands before the drain (and gets a
+                        // Shutdown event), or it is dropped here — its
+                        // queue sender with it, which ends the already-
+                        // spawned worker. Never an orphan that would
+                        // hang `join_all`.
+                        let mut live = registry.live.lock();
+                        if shutdown.load(Ordering::SeqCst) {
+                            drop(entry);
+                        } else {
+                            live.insert(session, Slot::Ready(Box::new(entry)));
+                        }
+                    }
+                    Err(e) => {
+                        registry.live.lock().remove(&session);
+                        errors.lock().insert(session, e.to_string());
+                    }
+                }
+                // Wake the loop so parked founders settle now, not at
+                // the next tick.
+                handle.nudge();
+            });
+        if spawned.is_err() {
+            self.registry.live.lock().remove(&session);
+            self.creation_errors
+                .lock()
+                .insert(session, "could not spawn the session creator".into());
+        }
+    }
+
+    /// Registers an admitted connection into a `Ready` session: epoch
+    /// allocation, duplicate/rejoin policy, the `PublicParams` reply,
+    /// and the writer insert — the mirror of the threaded epoch block.
+    fn register(
+        &mut self,
+        ctx: &mut ReactorCtx<'_>,
+        conn: ConnId,
+        client: ClientId,
+        hello: &Hello,
+        handles: EntryHandles,
+    ) {
+        let (inbound, conns, params, conn_epoch) = handles;
+        let epoch = {
+            let mut conns_l = conns.lock();
+            if conns_l.contains_key(&client) {
+                if !hello.config.policy.resumes() {
+                    drop(conns_l);
+                    reject_conn(
+                        ctx,
+                        conn,
+                        format!("{client} is already connected to {}", hello.session),
+                    );
+                    return;
+                }
+                // Rejoin: latest connection wins. The evicted writer's
+                // close lands back here as an epoch-stale Gone, which
+                // cannot evict this fresh registration.
+                if let Some((_, mut old)) = conns_l.remove(&client) {
+                    old.close();
+                }
+            }
+            let epoch = conn_epoch.fetch_add(1, Ordering::SeqCst);
+            if ctx
+                .send(conn, &NetMsg::Msg(WireMessage::PublicParams(params)))
+                .is_err()
+            {
+                // Outbound bound hit before registration: the conn is
+                // already being torn down, and was never in `conns`.
+                ctx.close(conn);
+                return;
+            }
+            conns_l.insert(
+                client,
+                (
+                    epoch,
+                    Box::new(self.handle.conn_tx(conn)) as Box<dyn FrameTx>,
+                ),
+            );
+            epoch
+        };
+        self.conn_state.insert(
+            conn,
+            ConnState::Established {
+                client,
+                epoch,
+                inbound,
+                conns,
+            },
+        );
+        ctx.set_handshaken(conn);
+    }
+
+    /// Re-examines every parked `Hello` against the registry: runs on
+    /// each tick and whenever a creator thread nudges the loop.
+    fn settle_waiting(&mut self, ctx: &mut ReactorCtx<'_>) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        enum Next {
+            Join(Box<EntryHandles>),
+            Wait,
+            Gone,
+        }
+        for w in std::mem::take(&mut self.waiting) {
+            let next = {
+                let live = self.registry.live.lock();
+                match live.get(&w.hello.session) {
+                    Some(Slot::Ready(entry)) => Next::Join(Box::new(entry_handles(entry))),
+                    Some(Slot::Creating { .. }) => Next::Wait,
+                    None => Next::Gone,
+                }
+            };
+            match next {
+                Next::Join(handles) => {
+                    let Peer::Client(client) = w.hello.peer else {
+                        continue;
+                    };
+                    self.register(ctx, w.conn, client, &w.hello, *handles);
+                }
+                Next::Wait => {
+                    if Instant::now() >= w.since + SETUP_DEADLINE {
+                        reject_conn(ctx, w.conn, "session setup timed out".into());
+                    } else {
+                        self.waiting.push(w);
+                    }
+                }
+                Next::Gone => {
+                    let why = self.creation_errors.lock().remove(&w.hello.session);
+                    if let Some(why) = why {
+                        reject_conn(ctx, w.conn, format!("session setup failed: {why}"));
+                    } else {
+                        // The slot vanished for another reason — e.g.
+                        // the session raced to completion while this
+                        // member waited. Re-run the full admission,
+                        // which serves recorded verdicts and (like the
+                        // threaded wait loop) may found a fresh attempt.
+                        self.handshake(ctx, w.conn, w.hello);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_pending_gone(&mut self) {
+        self.pending_gone.retain_mut(|g| {
+            match g.inbound.try_send(SessionEvent::Gone(g.client, g.epoch)) {
+                Ok(()) => false,
+                Err(TrySendError::Full(_)) => true,
+                Err(TrySendError::Disconnected(_)) => {
+                    // Worker already gone; just drop our own epoch's
+                    // writer if it is still registered.
+                    let mut conns = g.conns.lock();
+                    if conns.get(&g.client).is_some_and(|(e, _)| *e == g.epoch) {
+                        if let Some((_, mut tx)) = conns.remove(&g.client) {
+                            tx.close();
+                        }
+                    }
+                    false
+                }
+            }
+        });
+    }
+}
+
+impl ReactorApp for SessionApp {
+    fn on_frame(&mut self, ctx: &mut ReactorCtx<'_>, conn: ConnId, msg: NetMsg) -> Option<NetMsg> {
+        match self.conn_state.get(&conn) {
+            None => match msg {
+                NetMsg::Hello(hello) => {
+                    self.handshake(ctx, conn, hello);
+                    None
+                }
+                other => {
+                    if self.waiting.iter().any(|w| w.conn == conn) {
+                        // Clients fire their registration frames right
+                        // behind the Hello without waiting for
+                        // PublicParams; while session setup is in
+                        // flight, park them (the threaded path simply
+                        // has not read the socket yet).
+                        Some(other)
+                    } else {
+                        reject_conn(ctx, conn, "expected a Hello frame".into());
+                        None
+                    }
+                }
+            },
+            Some(ConnState::Draining) => None,
+            Some(ConnState::Established {
+                client, inbound, ..
+            }) => {
+                let client = *client;
+                match msg {
+                    NetMsg::Msg(m) => {
+                        match inbound.try_send(SessionEvent::Msg(client, Box::new(m))) {
+                            Ok(()) => None,
+                            // Worker busy training: hand the frame back;
+                            // the reactor parks it and stops reading this
+                            // connection — the event-driven form of the
+                            // threaded reader blocking on the full queue.
+                            Err(TrySendError::Full(SessionEvent::Msg(_, m))) => {
+                                Some(NetMsg::Msg(*m))
+                            }
+                            Err(TrySendError::Full(_)) => None,
+                            Err(TrySendError::Disconnected(_)) => {
+                                // Worker gone: session completed or
+                                // failed. on_closed delivers the cleanup.
+                                ctx.close(conn);
+                                None
+                            }
+                        }
+                    }
+                    // Anything else mid-session mirrors the threaded
+                    // reader: the connection is done.
+                    _ => {
+                        ctx.close(conn);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_closed(&mut self, _ctx: &mut ReactorCtx<'_>, conn: ConnId) {
+        self.waiting.retain(|w| w.conn != conn);
+        if let Some(ConnState::Established {
+            client,
+            epoch,
+            inbound,
+            conns,
+        }) = self.conn_state.remove(&conn)
+        {
+            match inbound.try_send(SessionEvent::Gone(client, epoch)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => self.pending_gone.push(PendingGone {
+                    inbound,
+                    client,
+                    epoch,
+                    conns,
+                }),
+                Err(TrySendError::Disconnected(_)) => {
+                    let mut conns_l = conns.lock();
+                    if conns_l.get(&client).is_some_and(|(e, _)| *e == epoch) {
+                        if let Some((_, mut tx)) = conns_l.remove(&client) {
+                            tx.close();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ReactorCtx<'_>) {
+        self.settle_waiting(ctx);
+        self.flush_pending_gone();
+    }
+
+    fn on_nudge(&mut self, ctx: &mut ReactorCtx<'_>) {
+        self.settle_waiting(ctx);
+        self.flush_pending_gone();
     }
 }
 

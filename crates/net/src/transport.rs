@@ -12,6 +12,7 @@
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +127,44 @@ impl TcpTransport {
     /// Connection failures.
     pub fn connect(addr: SocketAddr, max_frame: usize) -> std::io::Result<Self> {
         Self::new(TcpStream::connect(addr)?, max_frame)
+    }
+
+    /// Connects to `addr`, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] (`during: "connect"`) when the deadline
+    /// elapses before the handshake completes; [`NetError::Io`] on
+    /// other connection failures.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        max_frame: usize,
+        timeout: Duration,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) {
+                NetError::Timeout { during: "connect" }
+            } else {
+                NetError::Io(e.to_string())
+            }
+        })?;
+        Ok(Self::new(stream, max_frame)?)
+    }
+
+    /// Bounds how long a `recv` may wait for the peer. `None` clears
+    /// the bound. An elapsed deadline surfaces as
+    /// [`NetError::Timeout`], so a driver can distinguish a quiet peer
+    /// from a broken pipe and retry. The bound is a socket property:
+    /// it survives [`Transport::split`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 }
 
@@ -318,6 +357,34 @@ mod tests {
         let (mut a, _b) = mem_pair(4, 8);
         let err = a.send(&NetMsg::Reject("way too long for 8 bytes".into()));
         assert!(matches!(err, Err(NetError::FrameTooLarge { max: 8, .. })));
+    }
+
+    #[test]
+    fn read_timeout_surfaces_as_typed_timeout() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = std::thread::spawn(move || listener.accept().unwrap().0);
+        let mut t =
+            TcpTransport::connect_timeout(addr, DEFAULT_MAX_FRAME, Duration::from_secs(5)).unwrap();
+        let _held_open = accept.join().unwrap(); // peer connected but silent
+        t.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
+        match t.recv() {
+            Err(NetError::Timeout { during }) => assert_eq!(during, "socket read"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The deadline poisons nothing: clearing it restores blocking
+        // reads, and a clean peer close still reads as None.
+        t.set_read_timeout(None).unwrap();
+        drop(_held_open);
+        assert_eq!(t.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn connect_timeout_to_live_listener_succeeds() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = TcpTransport::connect_timeout(addr, DEFAULT_MAX_FRAME, Duration::from_secs(5));
+        assert!(t.is_ok());
     }
 
     #[test]

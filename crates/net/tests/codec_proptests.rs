@@ -1,0 +1,189 @@
+//! Equivalence proptests for the incremental codec under the reactor:
+//! [`FrameDecoder`] fed arbitrary chunkings of a frame stream must
+//! yield exactly the messages the blocking [`read_frame`] yields on the
+//! same bytes, and [`OutboundQueue`] through arbitrary short writes
+//! must emit exactly the byte stream a blocking `write_all` of the same
+//! frames would. These are the invariants that make the reactor and
+//! thread-per-connection transports interchangeable frame-for-frame.
+
+use std::io::{ErrorKind, Write};
+
+use proptest::prelude::*;
+
+use cryptonn_net::{
+    encode_frame, read_frame, FrameDecoder, NetMsg, OutboundQueue, WriteProgress, DEFAULT_MAX_FRAME,
+};
+use cryptonn_protocol::{ClientId, EpochBarrier, ModelDelta, TrainingStart, WireMessage};
+
+fn msg_strategy() -> impl Strategy<Value = NetMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|seed| {
+            NetMsg::Msg(WireMessage::Delta(ModelDelta {
+                step: seed % 100_000,
+                client: ClientId((seed >> 17) as u32 % 16),
+                loss: ((seed % 2_000_001) as f64 / 1000.0) - 1000.0,
+            }))
+        }),
+        (0u64..10_000).prop_map(|b| {
+            NetMsg::Msg(WireMessage::Start(TrainingStart {
+                batches_per_epoch: b,
+            }))
+        }),
+        (0u32..100).prop_map(|e| NetMsg::Msg(WireMessage::Epoch(EpochBarrier { epoch: e }))),
+        proptest::collection::vec(0u8..128, 0..64)
+            .prop_map(|bytes| { NetMsg::Reject(String::from_utf8_lossy(&bytes).into_owned()) }),
+    ]
+}
+
+/// Splits `wire` into chunks whose sizes cycle through `cuts`.
+fn chop(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < wire.len() {
+        let n = cuts[i % cuts.len()].max(1).min(wire.len() - pos);
+        chunks.push(wire[pos..pos + n].to_vec());
+        pos += n;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    /// Any frame sequence, chunked at any boundaries (including
+    /// single-byte feeds), reassembles through [`FrameDecoder`] into
+    /// exactly what the blocking codec reads from the same bytes, and
+    /// the decoder ends at a clean frame boundary.
+    #[test]
+    fn incremental_decode_matches_blocking_codec(
+        msgs in proptest::collection::vec(msg_strategy(), 1..6),
+        cuts in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            wire.extend_from_slice(&encode_frame(msg, DEFAULT_MAX_FRAME).unwrap());
+        }
+
+        // Reference: the blocking reader over the contiguous stream.
+        let mut cursor = &wire[..];
+        let mut blocking = Vec::new();
+        while let Some(msg) = read_frame::<_, NetMsg>(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            blocking.push(msg);
+        }
+
+        // Candidate: the incremental decoder over the chopped stream,
+        // draining every complete frame after each chunk.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut incremental = Vec::new();
+        for chunk in chop(&wire, &cuts) {
+            dec.extend(&chunk).unwrap();
+            while let Some(msg) = dec.next_msg::<NetMsg>().unwrap() {
+                incremental.push(msg);
+            }
+        }
+
+        prop_assert_eq!(&incremental, &blocking);
+        prop_assert_eq!(incremental, msgs);
+        prop_assert!(dec.at_boundary());
+        prop_assert!(dec.eof_error().is_none());
+    }
+
+    /// Cutting the chunked stream anywhere inside a frame leaves the
+    /// decoder reporting the same typed truncation (same missing-byte
+    /// count) the blocking codec reports at that cut.
+    #[test]
+    fn truncation_taxonomy_matches_blocking_codec(
+        msgs in proptest::collection::vec(msg_strategy(), 1..4),
+        cuts in proptest::collection::vec(1usize..17, 1..8),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            wire.extend_from_slice(&encode_frame(msg, DEFAULT_MAX_FRAME).unwrap());
+        }
+        wire.truncate(((wire.len() as f64) * frac) as usize);
+
+        let mut cursor = &wire[..];
+        let blocking = loop {
+            match read_frame::<_, NetMsg>(&mut cursor, DEFAULT_MAX_FRAME) {
+                Ok(Some(_)) => {}
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        for chunk in chop(&wire, &cuts) {
+            dec.extend(&chunk).unwrap();
+            while dec.next_msg::<NetMsg>().unwrap().is_some() {}
+        }
+
+        prop_assert_eq!(dec.eof_error(), blocking);
+    }
+
+    /// The outbound queue through arbitrary short writes (interleaved
+    /// with `WouldBlock` stalls) emits exactly the contiguous byte
+    /// stream a blocking `write_all` of the same frames produces.
+    #[test]
+    fn short_writes_match_blocking_byte_stream(
+        msgs in proptest::collection::vec(msg_strategy(), 1..6),
+        caps in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let frames: Vec<Vec<u8>> = msgs
+            .iter()
+            .map(|m| encode_frame(m, DEFAULT_MAX_FRAME).unwrap())
+            .collect();
+        let expected: Vec<u8> = frames.iter().flatten().copied().collect();
+
+        let mut q = OutboundQueue::new(usize::MAX);
+        for f in &frames {
+            q.push(f.clone()).unwrap();
+        }
+
+        let mut out = Vec::new();
+        let mut call = 0usize;
+        // Drive write_to against a per-call-capped sink until drained;
+        // every other call raises WouldBlock, as a real socket would
+        // between readiness events.
+        struct Sink<'a> {
+            out: &'a mut Vec<u8>,
+            caps: &'a [usize],
+            call: &'a mut usize,
+        }
+        impl Write for Sink<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let i = *self.call;
+                *self.call += 1;
+                if i % 2 == 1 {
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                let n = self.caps[(i / 2) % self.caps.len()].max(1).min(buf.len());
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = Sink { out: &mut out, caps: &caps, call: &mut call };
+        loop {
+            match q.write_to(&mut sink).unwrap() {
+                WriteProgress::Drained => break,
+                WriteProgress::Blocked => continue,
+            }
+        }
+
+        prop_assert_eq!(&out, &expected);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.queued_bytes(), 0);
+
+        // And the byte stream decodes back to the original messages
+        // through the blocking reader — the full round trip.
+        let mut cursor = &out[..];
+        let mut decoded = Vec::new();
+        while let Some(msg) = read_frame::<_, NetMsg>(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            decoded.push(msg);
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+}

@@ -33,6 +33,7 @@
 //! [`CryptoMlp::predict_encrypted`]: cryptonn_core::CryptoMlp::predict_encrypted
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use cryptonn_core::{CryptoMlp, CryptoNnError};
 use cryptonn_fe::{CachingKeyService, KeyCacheStats};
@@ -77,7 +78,10 @@ impl Default for InferenceOptions {
 /// errors to the whole window.
 pub struct InferenceSession {
     model: CryptoMlp,
-    keys: CachingKeyService<ChannelKeyService>,
+    // Shared, not owned: N shard sessions behind one front door hold
+    // the same warmed cache (and its single authority link), so a key
+    // derived by any shard is a hit for every other.
+    keys: Arc<CachingKeyService<ChannelKeyService>>,
     pending: VecDeque<(ClientId, PredictRequest)>,
     max_batch: usize,
     served: u64,
@@ -105,9 +109,27 @@ impl InferenceSession {
         model: CryptoMlp,
         options: InferenceOptions,
     ) -> Self {
+        let keys = Arc::new(CachingKeyService::new(
+            ChannelKeyService::new(params, link),
+            options.key_cache,
+        ));
+        Self::with_shared_keys(keys, model, options)
+    }
+
+    /// Builds a serving session over an *already shared* key service —
+    /// the sharded-fleet constructor. Every shard of a front door calls
+    /// this with the same `Arc`, so the frozen model's function keys
+    /// are derived once fleet-wide: correctness holds because the cache
+    /// is keyed on the exact quantized weight vectors (DESIGN.md §12),
+    /// which are identical across shards replicated from one snapshot.
+    pub fn with_shared_keys(
+        keys: Arc<CachingKeyService<ChannelKeyService>>,
+        model: CryptoMlp,
+        options: InferenceOptions,
+    ) -> Self {
         Self {
             model,
-            keys: CachingKeyService::new(ChannelKeyService::new(params, link), options.key_cache),
+            keys,
             pending: VecDeque::new(),
             max_batch: options.max_batch.max(1),
             served: 0,
@@ -215,7 +237,9 @@ impl InferenceSession {
         let window: Vec<(ClientId, PredictRequest)> = self.pending.drain(..take).collect();
         let batches: Vec<&cryptonn_core::EncryptedBatch> =
             window.iter().map(|(_, req)| &req.batch).collect();
-        let outputs = self.model.predict_encrypted_many(&self.keys, &batches)?;
+        let outputs = self
+            .model
+            .predict_encrypted_many(self.keys.as_ref(), &batches)?;
         self.sweeps += 1;
         self.served += window.len() as u64;
         Ok(window

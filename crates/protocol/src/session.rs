@@ -26,8 +26,9 @@
 //! [`EpochBarrier`]: crate::EpochBarrier
 //! [`SessionSummary`]: crate::SessionSummary
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use parking_lot::Mutex;
 
 use cryptonn_core::{Client, CryptoCnn, CryptoMlp, CryptoNnConfig};
 use cryptonn_fe::{
@@ -205,9 +206,15 @@ impl AuthoritySession {
 ///
 /// Public keys delivered in [`PublicParams`] are cached; anything else
 /// goes over the channel.
+///
+/// Interior mutability is a `Mutex` (not a `RefCell`) so the service —
+/// and a [`CachingKeyService`](cryptonn_fe::CachingKeyService) wrapped
+/// around it — is `Sync`: inference shards behind one front door share
+/// a single warmed key cache (and its one authority link) through an
+/// `Arc`.
 pub struct ChannelKeyService {
-    link: RefCell<Box<dyn AuthorityChannel>>,
-    mpks: RefCell<HashMap<usize, FeipPublicKey>>,
+    link: Mutex<Box<dyn AuthorityChannel>>,
+    mpks: Mutex<HashMap<usize, FeipPublicKey>>,
     febo_mpk: FeboPublicKey,
 }
 
@@ -219,15 +226,15 @@ impl ChannelKeyService {
         mpks.insert(params.x_mpk.dimension(), params.x_mpk.clone());
         mpks.insert(params.y_mpk.dimension(), params.y_mpk.clone());
         Self {
-            link: RefCell::new(link),
-            mpks: RefCell::new(mpks),
+            link: Mutex::new(link),
+            mpks: Mutex::new(mpks),
             febo_mpk: params.febo_mpk.clone(),
         }
     }
 
     fn exchange(&self, req: KeyRequest) -> Result<KeyResponse, FeError> {
         self.link
-            .borrow_mut()
+            .lock()
             .exchange(req)
             .map_err(|e| FeError::Protocol(e.to_string()))
     }
@@ -235,12 +242,12 @@ impl ChannelKeyService {
 
 impl KeyService for ChannelKeyService {
     fn feip_public_key(&self, dim: usize) -> Result<FeipPublicKey, FeError> {
-        if let Some(mpk) = self.mpks.borrow().get(&dim) {
+        if let Some(mpk) = self.mpks.lock().get(&dim) {
             return Ok(mpk.clone());
         }
         match self.exchange(KeyRequest::FeipMpk(dim))? {
             KeyResponse::FeipMpk(mpk) => {
-                self.mpks.borrow_mut().insert(dim, mpk.clone());
+                self.mpks.lock().insert(dim, mpk.clone());
                 Ok(mpk)
             }
             KeyResponse::Denied(why) => Err(FeError::Protocol(why)),

@@ -211,3 +211,56 @@ fn cnn_specs_roundtrip() {
         assert_eq!(back, model);
     }
 }
+
+/// The wire alphabet is frozen: transport-layer work (the reactor, the
+/// inference fleet) must ride the protocol unchanged. The wildcard-free
+/// match makes adding or removing a `WireMessage` variant a compile
+/// error here, and the serde envelope of a representative frame pins
+/// the external tag shape byte-for-byte.
+#[test]
+fn wire_alphabet_is_frozen() {
+    fn serde_tag(msg: &WireMessage) -> &'static str {
+        match msg {
+            WireMessage::Config(_) => "Config",
+            WireMessage::Register(_) => "Register",
+            WireMessage::PublicParams(_) => "PublicParams",
+            WireMessage::Start(_) => "Start",
+            WireMessage::Batch(_) => "Batch",
+            WireMessage::ImageBatch(_) => "ImageBatch",
+            WireMessage::KeyRequest(_) => "KeyRequest",
+            WireMessage::KeyResponse(_) => "KeyResponse",
+            WireMessage::Delta(_) => "Delta",
+            WireMessage::Epoch(_) => "Epoch",
+            WireMessage::Summary(_) => "Summary",
+            WireMessage::Predict(_) => "Predict",
+            WireMessage::Prediction(_) => "Prediction",
+            WireMessage::Resume(_) => "Resume",
+            WireMessage::Reshard(_) => "Reshard",
+        }
+    }
+    // Cheaply-constructible variants double-check that the serde tag
+    // really is the variant name (externally tagged, no renames).
+    let samples = [
+        WireMessage::Start(TrainingStart {
+            batches_per_epoch: 3,
+        }),
+        WireMessage::Epoch(EpochBarrier { epoch: 1 }),
+        WireMessage::Delta(ModelDelta {
+            step: 0,
+            client: ClientId(0),
+            loss: 0.0,
+        }),
+    ];
+    for msg in &samples {
+        let json = serde_json::to_string(msg).unwrap();
+        let envelope = format!("{{\"{}\":", serde_tag(msg));
+        assert!(
+            json.starts_with(&envelope),
+            "tag drifted for {msg:?}: {json}"
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&samples[1]).unwrap(),
+        r#"{"Epoch":{"epoch":1}}"#
+    );
+}
