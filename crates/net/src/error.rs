@@ -102,11 +102,15 @@ impl std::error::Error for NetError {
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
         match e.kind() {
-            // A socket with SO_RCVTIMEO reports an elapsed deadline as
-            // either kind depending on the platform; both mean "the
-            // peer went quiet", not "the pipe broke".
-            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => NetError::Timeout {
-                during: "socket read",
+            // An elapsed socket deadline. This generic conversion
+            // cannot know which direction the deadline covered, so the
+            // label stays neutral. `WouldBlock` is deliberately NOT
+            // mapped here: on a nonblocking fd it means "retry", and
+            // only a blocking read under SO_RCVTIMEO may interpret it
+            // as a timeout — the read path does so explicitly
+            // (`framing::read_exact_or_eof`).
+            std::io::ErrorKind::TimedOut => NetError::Timeout {
+                during: "socket I/O",
             },
             // A peer that closed its end mid-exchange surfaces as EOF
             // on reads but as EPIPE/ECONNRESET on writes still in

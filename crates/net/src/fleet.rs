@@ -170,18 +170,19 @@ impl FleetApp {
             return;
         }
         let shard = shard_of(client, self.shard_txs.len());
-        {
-            let mut registry = self.registry.lock();
-            if registry.contains_key(&client) {
-                drop(registry);
-                self.reject(
-                    ctx,
-                    conn,
-                    format!("{client} is already connected to {}", self.session_id),
-                );
-                return;
-            }
-            registry.insert(client, (conn, shard));
+        let evicted = self
+            .registry
+            .lock()
+            .insert(client, (conn, shard))
+            .map(|(old, _)| old);
+        if let Some(old) = evicted {
+            // Latest connection wins (the SessionServer rejoin rule):
+            // the previous connection is dead or dying — typically a
+            // half-open leftover of a client whose link dropped without
+            // a FIN — and with no default idle reaping, refusing the
+            // reconnect would lock the client id out permanently.
+            self.conn_clients.remove(&old);
+            ctx.close(old);
         }
         if ctx
             .send(

@@ -68,6 +68,8 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T, max: usize) -> Re
 /// - [`NetError::Truncated`] if the stream ends inside the header or
 ///   the payload;
 /// - [`NetError::Malformed`] if the payload does not decode;
+/// - [`NetError::Timeout`] when a read deadline (`SO_RCVTIMEO`)
+///   elapses mid-wait;
 /// - [`NetError::Io`] on other I/O failures.
 pub fn read_frame<R: Read, T: DeserializeOwned>(
     r: &mut R,
@@ -122,6 +124,17 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<Filled, NetEr
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A blocking read under SO_RCVTIMEO reports its elapsed
+            // deadline as either kind depending on the platform; both
+            // mean "the peer went quiet", not "the pipe broke". This is
+            // the only place WouldBlock becomes a timeout — the framed
+            // readers run on blocking sockets, where it cannot mean
+            // "retry".
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(NetError::Timeout {
+                    during: "socket read",
+                })
+            }
             Err(e) => return Err(e.into()),
         }
     }

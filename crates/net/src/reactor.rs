@@ -76,8 +76,12 @@ struct Readiness {
 mod epoll_sys {
     use std::os::raw::c_int;
 
-    // x86_64 Linux packs epoll_event to 12 bytes.
-    #[repr(C, packed)]
+    // The kernel packs epoll_event to 12 bytes only on x86; everywhere
+    // else (aarch64 included) it is a regular 16-byte struct with
+    // `data` at offset 8. Mirror libc's per-arch gate so epoll_wait
+    // writes entries with the stride we allocate.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
@@ -174,16 +178,23 @@ impl Poller {
     }
 
     #[cfg(target_os = "linux")]
-    fn epoll_ctl(epfd: RawFd, op: std::os::raw::c_int, fd: RawFd, mask: u32, token: u64) {
+    fn epoll_ctl(
+        epfd: RawFd,
+        op: std::os::raw::c_int,
+        fd: RawFd,
+        mask: u32,
+        token: u64,
+    ) -> std::io::Result<()> {
         let mut ev = epoll_sys::EpollEvent {
             events: mask,
             data: token,
         };
         let rc = unsafe { epoll_sys::epoll_ctl(epfd, op, fd, &mut ev) };
-        debug_assert!(
-            rc == 0 || op == epoll_sys::EPOLL_CTL_DEL,
-            "epoll_ctl failed"
-        );
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::last_os_error())
+        }
     }
 
     #[cfg(target_os = "linux")]
@@ -198,7 +209,13 @@ impl Poller {
         m
     }
 
-    fn add(&mut self, fd: RawFd, token: u64, want_read: bool, want_write: bool) {
+    fn add(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        want_read: bool,
+        want_write: bool,
+    ) -> std::io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
             Poller::Epoll { epfd, .. } => Self::epoll_ctl(
@@ -210,11 +227,18 @@ impl Poller {
             ),
             Poller::Poll { registered } => {
                 registered.push((fd, token, want_read, want_write));
+                Ok(())
             }
         }
     }
 
-    fn modify(&mut self, fd: RawFd, token: u64, want_read: bool, want_write: bool) {
+    fn modify(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        want_read: bool,
+        want_write: bool,
+    ) -> std::io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
             Poller::Epoll { epfd, .. } => Self::epoll_ctl(
@@ -229,6 +253,7 @@ impl Poller {
                     entry.2 = want_read;
                     entry.3 = want_write;
                 }
+                Ok(())
             }
         }
     }
@@ -237,7 +262,7 @@ impl Poller {
         match self {
             #[cfg(target_os = "linux")]
             Poller::Epoll { epfd, .. } => {
-                Self::epoll_ctl(epfd.as_raw_fd(), epoll_sys::EPOLL_CTL_DEL, fd, 0, 0)
+                let _ = Self::epoll_ctl(epfd.as_raw_fd(), epoll_sys::EPOLL_CTL_DEL, fd, 0, 0);
             }
             Poller::Poll { registered } => registered.retain(|(f, ..)| *f != fd),
         }
@@ -473,6 +498,10 @@ struct Conn {
     read_suspended: bool,
     close_after_flush: bool,
     handshaken: bool,
+    /// Accept time. The handshake deadline runs against this, not
+    /// `last_activity` — a pre-`Hello` peer trickling one byte per
+    /// tick must not be able to hold a slot forever.
+    established: Instant,
     last_activity: Instant,
 }
 
@@ -592,10 +621,19 @@ impl LoopCore {
             return;
         };
         let fd = c.stream.as_raw_fd();
+        let gen = c.gen;
         let want_read = !c.read_suspended && c.parked.is_none();
         let want_write = c.want_write;
-        self.poller
-            .modify(fd, TOKEN_CONN_BASE + slot as u64, want_read, want_write);
+        if self
+            .poller
+            .modify(fd, TOKEN_CONN_BASE + slot as u64, want_read, want_write)
+            .is_err()
+        {
+            // A connection the kernel will no longer watch can never
+            // make progress again — retire it instead of stranding it
+            // in the slab.
+            self.dead.push_back(ConnId { slot, gen });
+        }
     }
 
     fn send_bytes(&mut self, id: ConnId, frame: Vec<u8>) -> Result<(), NetError> {
@@ -701,6 +739,7 @@ impl LoopCore {
                         read_suspended: false,
                         close_after_flush: false,
                         handshaken: false,
+                        established: Instant::now(),
                         last_activity: Instant::now(),
                     };
                     let slot = match self.free_slots.pop() {
@@ -718,8 +757,19 @@ impl LoopCore {
                         .expect("just inserted")
                         .stream
                         .as_raw_fd();
-                    self.poller
-                        .add(fd, TOKEN_CONN_BASE + slot as u64, true, false);
+                    if self
+                        .poller
+                        .add(fd, TOKEN_CONN_BASE + slot as u64, true, false)
+                        .is_err()
+                    {
+                        // EMFILE/ENOSPC under load: a slot the kernel
+                        // never watches would sit occupied forever.
+                        // Close and free it now.
+                        let c = self.conns[slot as usize].take().expect("just inserted");
+                        let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                        self.freed_this_iter.push(slot);
+                        continue;
+                    }
                     self.stats.accepted.fetch_add(1, Ordering::Relaxed);
                     let live = self.stats.live.fetch_add(1, Ordering::Relaxed) + 1;
                     self.stats.peak.fetch_max(live, Ordering::Relaxed);
@@ -963,7 +1013,7 @@ fn run_loop<A: ReactorApp>(mut core: LoopCore, mut app: A, queue: Arc<HandleInne
                 };
                 let gen = c.gen;
                 let expired = if !c.handshaken {
-                    now.duration_since(c.last_activity) > core.opts.handshake_timeout
+                    now.duration_since(c.established) > core.opts.handshake_timeout
                 } else if let Some(idle) = core.opts.idle_timeout {
                     now.duration_since(c.last_activity) > idle
                 } else {
@@ -1023,8 +1073,8 @@ impl Reactor {
 
         let mut poller = Poller::new()?;
         let backend = poller.backend();
-        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false);
-        poller.add(waker_rx.as_raw_fd(), TOKEN_WAKER, true, false);
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        poller.add(waker_rx.as_raw_fd(), TOKEN_WAKER, true, false)?;
 
         let inner = Arc::new(HandleInner {
             queue: Mutex::new(Vec::new()),

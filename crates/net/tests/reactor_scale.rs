@@ -224,6 +224,67 @@ fn thousand_plus_concurrent_connections_serve_bit_identically() {
     authority.shutdown();
 }
 
+/// A client whose previous connection is still registered — a
+/// half-open leftover of a link that died without a FIN — must not be
+/// locked out: the fleet evicts the stale registration and serves the
+/// newcomer (latest connection wins, the SessionServer rejoin rule).
+#[test]
+fn reconnect_evicts_the_stale_registration() {
+    let _guard = watchdog("reconnect_evicts_the_stale_registration");
+    let data = clinic_dataset(12, 78);
+    let config = serving_config(&data);
+    let session = SessionId(912);
+
+    let authority =
+        AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default()).expect("authority");
+    let fleet = InferenceFleet::start(
+        "127.0.0.1:0",
+        session,
+        &config,
+        trained_model(&config, &data),
+        Arc::new(RemoteAuthority::new(authority.local_addr())),
+        FleetOptions::default(),
+    )
+    .expect("inference fleet");
+
+    // The stale connection handshakes and then just sits there — from
+    // the fleet's side, indistinguishable from a peer that lost power.
+    let stale = InferenceClient::connect(
+        fleet.local_addr(),
+        session,
+        ClientId(7),
+        &config,
+        55,
+        DEFAULT_MAX_FRAME,
+    )
+    .expect("first connection");
+    assert_eq!(fleet.live_clients(), 1);
+
+    // Reconnecting under the same id must succeed while the stale
+    // registration is still live, and the newcomer must be served.
+    let mut fresh = InferenceClient::connect(
+        fleet.local_addr(),
+        session,
+        ClientId(7),
+        &config,
+        55,
+        DEFAULT_MAX_FRAME,
+    )
+    .expect("reconnect while the stale registration is live");
+    let x = input_for(7, data.feature_dim());
+    let first = fresh.predict(&x).expect("served after eviction");
+    let second = fresh.predict(&x).expect("still served");
+    assert_eq!(first, second, "same input, same frozen model");
+    // The registry holds exactly the fresh connection: the eviction
+    // replaced the entry, and the stale close must not remove it.
+    assert_eq!(fleet.live_clients(), 1, "latest connection owns the id");
+
+    drop(stale);
+    drop(fresh);
+    fleet.shutdown();
+    authority.shutdown();
+}
+
 /// The splitmix shard router is deterministic and reasonably balanced:
 /// a reconnecting client must land on the same shard (FIFO per client),
 /// and no shard may be starved at fleet scale.
