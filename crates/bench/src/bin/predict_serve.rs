@@ -46,25 +46,39 @@
 //! p50/p99/p999; `--check-open-loop X` gates the fleet-over-threadpool
 //! served-throughput ratio.
 //!
+//! Schema v4 adds the **wire arm** (DESIGN.md §16): a codec microbench
+//! encodes and decodes the production Bits256 predict frame under both
+//! wire formats (bytes/msg plus encode/decode µs — the byte-reduction
+//! figure), and the open-loop schedule is replayed two more times
+//! against the reactor fleet with the clients pinned to the binary
+//! codec and to a mixed json/binary population — all three dialect
+//! arms must serve bit-identical predictions. `--check-wire` gates on
+//! binary ≥ 1.15x the json open-loop preds/s *or* ≥ 1.8x byte
+//! reduction at Bits256.
+//!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin predict_serve -- \
 //!     [--out BENCH_predict_serve.json] [--check-speedup 1.5] \
-//!     [--check-warm-speedup 5.0] [--check-open-loop 1.0]
+//!     [--check-warm-speedup 5.0] [--check-open-loop 1.0] [--check-wire]
 //! ```
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use cryptonn_core::{CryptoMlp, CryptoNnConfig, EncryptedBatch, Objective};
-use cryptonn_fe::PermittedFunctions;
-use cryptonn_group::SecurityLevel;
+use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+use cryptonn_group::{SchnorrGroup, SecurityLevel};
 use cryptonn_matrix::Matrix;
 use cryptonn_net::{
-    AuthorityOptions, AuthorityServer, FleetOptions, InferenceClient, InferenceFleet,
-    InferenceServer, InferenceServerOptions, RemoteAuthority, DEFAULT_MAX_FRAME,
+    encode_frame_fmt, read_frame_sniff, AuthorityOptions, AuthorityServer, FleetOptions,
+    InferenceClient, InferenceFleet, InferenceServer, InferenceServerOptions, NetMsg,
+    RemoteAuthority, WireFormat, DEFAULT_MAX_FRAME,
 };
 use cryptonn_parallel::Parallelism;
-use cryptonn_protocol::{ClientId, InferenceOptions, MlpSpec, ModelSpec, SessionConfig, SessionId};
+use cryptonn_protocol::{
+    ClientId, InferenceOptions, MlpSpec, ModelSpec, PredictRequest, SessionConfig, SessionId,
+    WireMessage,
+};
 use cryptonn_smc::FixedPoint;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -168,6 +182,50 @@ struct WarmStart {
     warm_speedup: f64,
 }
 
+/// One format's codec microbench: the production Bits256 predict frame
+/// (one row, the full 784-feature serving geometry) encoded and decoded
+/// through the real frame path.
+#[derive(Debug, Clone, Serialize)]
+struct WireCodecArm {
+    format: String,
+    /// Encoded frame payload size (the 4-byte length header excluded).
+    payload_bytes: u64,
+    /// Median single-frame encode time.
+    encode_us: f64,
+    /// Median single-frame decode time (sniff + parse back to the
+    /// typed message).
+    decode_us: f64,
+}
+
+/// One client-dialect replay of the open-loop schedule against the
+/// reactor fleet: every client json, every client binary, or an
+/// alternating mixed population on the one daemon.
+#[derive(Debug, Clone, Serialize)]
+struct WireServeArm {
+    /// `"json"`, `"binary"`, or `"mixed"`.
+    dialect: String,
+    completed: u64,
+    predictions_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// The wire-format comparison (schema v4, DESIGN.md §16).
+#[derive(Debug, Serialize)]
+struct WireBench {
+    /// Security level of the codec microbench — the serving geometry's
+    /// production level, where hex inflation is at its worst.
+    codec_level: String,
+    codec: Vec<WireCodecArm>,
+    /// json over binary payload bytes on the Bits256 predict frame —
+    /// the `--check-wire` byte-reduction leg.
+    byte_reduction_bits256: f64,
+    serve: Vec<WireServeArm>,
+    /// Binary over json open-loop preds/s on the reactor fleet — the
+    /// `--check-wire` throughput leg.
+    binary_over_json: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -187,6 +245,9 @@ struct Report {
     /// Poisson-arrival load over many live connections: the reactor
     /// fleet vs the thread-per-connection baseline (schema v3).
     open_loop: OpenLoop,
+    /// json vs binary wire codec: frame bytes, codec µs, and the
+    /// open-loop dialect replays (schema v4).
+    wire: WireBench,
 }
 
 /// Stops glibc from returning freed heap pages to the kernel
@@ -401,6 +462,74 @@ fn run_arm(
     ArmOutcome { m, outputs }
 }
 
+// ---------------------------------------------------- wire codec arm
+
+/// Encodes and decodes the production predict frame — one Bits256 row
+/// of the 784-feature serving geometry, the exact message the grid
+/// above moves — under both wire formats, through the real frame path
+/// ([`encode_frame_fmt`] / [`read_frame_sniff`]). Returns the per-arm
+/// stats and the json-over-binary payload byte ratio.
+fn measure_wire_codec() -> (Vec<WireCodecArm>, f64) {
+    let config = serving_config(SecurityLevel::Bits256);
+    let group = SchnorrGroup::precomputed(config.level);
+    let authority = KeyAuthority::with_seed(group, config.permitted, config.authority_seed);
+    let mut encryptor = cryptonn_core::Client::for_mlp(
+        &authority,
+        FEATURE_DIM,
+        CLASSES,
+        config.fp,
+        config.client_seed_base,
+    );
+    let batch = encryptor
+        .encrypt_features(&input(0, 0, 1))
+        .expect("encrypt the codec probe");
+    let msg = NetMsg::Msg(WireMessage::Predict(PredictRequest { id: 0, batch }));
+
+    let reps = 32;
+    let mut arms = Vec::new();
+    for format in [WireFormat::Json, WireFormat::Binary] {
+        let frame = encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, format).expect("encode probe");
+        let payload_bytes = (frame.len() - 4) as u64;
+        let mut encode_us = Vec::with_capacity(reps);
+        let mut decode_us = Vec::with_capacity(reps);
+        // One untimed round warms the allocator and the code paths.
+        for timed in [false, true] {
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let encoded =
+                    encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, format).expect("encode probe");
+                let e = t0.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(encoded.len(), frame.len());
+                let t1 = Instant::now();
+                let decoded = read_frame_sniff::<_, NetMsg>(&mut &encoded[..], DEFAULT_MAX_FRAME)
+                    .expect("decode probe")
+                    .expect("one whole frame");
+                let d = t1.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(decoded.1, format);
+                assert_eq!(decoded.0, msg);
+                if timed {
+                    encode_us.push(e);
+                    decode_us.push(d);
+                }
+            }
+        }
+        let arm = WireCodecArm {
+            format: format.name().into(),
+            payload_bytes,
+            encode_us: median(&mut encode_us),
+            decode_us: median(&mut decode_us),
+        };
+        println!(
+            "wire codec Bits256 {:6}: {:6} bytes/msg  encode {:7.2} us  decode {:7.2} us",
+            arm.format, arm.payload_bytes, arm.encode_us, arm.decode_us
+        );
+        arms.push(arm);
+    }
+    let reduction = arms[0].payload_bytes as f64 / arms[1].payload_bytes as f64;
+    println!("wire codec Bits256: binary is {reduction:.2}x smaller on the predict frame");
+    (arms, reduction)
+}
+
 // ----------------------------------------------------- open-loop arm
 
 /// Feature width of the open-loop workload. Deliberately small: this
@@ -580,13 +709,16 @@ fn start_daemon(
 /// Replays the seeded Poisson schedule against one daemon: `users`
 /// connections held live for the whole run, each sending its
 /// pre-encrypted requests at their scheduled arrivals and recording
-/// completion against the schedule.
+/// completion against the schedule. `wire_of` picks each user's wire
+/// format — the daemon mirrors every connection individually, so a
+/// mixed population is just a non-constant function here.
 fn run_open_loop_arm(
     transport: &str,
     authority_addr: std::net::SocketAddr,
     session_id: SessionId,
     config: &SessionConfig,
     schedule: &[Vec<f64>],
+    wire_of: fn(usize) -> WireFormat,
 ) -> (OpenLoopArm, Vec<Vec<Matrix<f64>>>) {
     let users = schedule.len();
     let daemon = start_daemon(transport, authority_addr, session_id, config, users);
@@ -607,13 +739,14 @@ fn run_open_loop_arm(
         let go = Arc::clone(&go);
         let start_cell = Arc::clone(&start_cell);
         handles.push(std::thread::spawn(move || {
-            let mut client = InferenceClient::connect(
+            let mut client = InferenceClient::connect_with_wire(
                 addr,
                 session_id,
                 ClientId(u as u32),
                 &config,
                 40_000 + u as u64,
                 DEFAULT_MAX_FRAME,
+                wire_of(u),
             )
             .expect("open-loop client connects");
             let encrypted: Vec<EncryptedBatch> = (0..arrivals.len())
@@ -685,8 +818,10 @@ fn run_open_loop_arm(
 
 /// The open-loop comparison: a seeded Poisson arrival schedule over
 /// many live connections, replayed against the thread-per-connection
-/// baseline and the reactor fleet.
-fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
+/// baseline and the reactor fleet — then twice more against the fleet
+/// under the binary and mixed client dialects (the wire arm). Every
+/// replay must serve bit-identical predictions.
+fn run_open_loop(authority_addr: std::net::SocketAddr) -> (OpenLoop, Vec<WireServeArm>, f64) {
     let config = open_loop_config();
     let (users, arrivals_n) = if cryptonn_bench::full_scale() {
         (2048usize, 8192usize)
@@ -697,13 +832,14 @@ fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
     // Calibrate: single-connection closed-loop rate against the
     // threadpool baseline fixes the offered load scale.
     let cal = start_daemon("threadpool", authority_addr, SessionId(6000), &config, 1);
-    let mut client = InferenceClient::connect(
+    let mut client = InferenceClient::connect_with_wire(
         cal.addr(),
         SessionId(6000),
         ClientId(0),
         &config,
         39_999,
         DEFAULT_MAX_FRAME,
+        WireFormat::Json,
     )
     .expect("calibration client connects");
     let x = open_input(0, 0);
@@ -744,6 +880,7 @@ fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
         SessionId(6001),
         &config,
         &schedule,
+        |_| WireFormat::Json,
     );
     let (fleet_arm, fleet_out) = run_open_loop_arm(
         "reactor",
@@ -751,15 +888,64 @@ fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
         SessionId(6002),
         &config,
         &schedule,
+        |_| WireFormat::Json,
     );
     assert_eq!(
         fleet_out, threads_out,
         "open-loop arms must serve bit-identical predictions"
     );
 
+    // The wire arm: the same schedule against the same fleet, with the
+    // clients speaking binary, then a mixed half-and-half population on
+    // one daemon. The json serve numbers are the fleet arm itself.
+    let (binary_arm, binary_out) = run_open_loop_arm(
+        "reactor",
+        authority_addr,
+        SessionId(6003),
+        &config,
+        &schedule,
+        |_| WireFormat::Binary,
+    );
+    assert_eq!(
+        binary_out, threads_out,
+        "binary-dialect clients must be served bit-identical predictions"
+    );
+    let (mixed_arm, mixed_out) = run_open_loop_arm(
+        "reactor",
+        authority_addr,
+        SessionId(6004),
+        &config,
+        &schedule,
+        |u| {
+            if u % 2 == 0 {
+                WireFormat::Binary
+            } else {
+                WireFormat::Json
+            }
+        },
+    );
+    assert_eq!(
+        mixed_out, threads_out,
+        "a mixed-dialect population must be served bit-identical predictions"
+    );
+    let serve_arm = |dialect: &str, arm: &OpenLoopArm| WireServeArm {
+        dialect: dialect.into(),
+        completed: arm.completed,
+        predictions_per_sec: arm.predictions_per_sec,
+        p50_ms: arm.p50_ms,
+        p99_ms: arm.p99_ms,
+    };
+    let serve = vec![
+        serve_arm("json", &fleet_arm),
+        serve_arm("binary", &binary_arm),
+        serve_arm("mixed", &mixed_arm),
+    ];
+    let binary_over_json = binary_arm.predictions_per_sec / fleet_arm.predictions_per_sec;
+    println!("open-loop: binary dialect at {binary_over_json:.2}x the json fleet arm");
+
     let ratio = fleet_arm.predictions_per_sec / threads_arm.predictions_per_sec;
     println!("open-loop: reactor fleet at {ratio:.2}x the threadpool baseline");
-    OpenLoop {
+    let open_loop = OpenLoop {
         level: format!("{:?}", config.level),
         feature_dim: OPEN_FEATURE_DIM,
         users,
@@ -768,7 +954,8 @@ fn run_open_loop(authority_addr: std::net::SocketAddr) -> OpenLoop {
         offered_rps,
         arms: vec![threads_arm, fleet_arm],
         fleet_over_threadpool: ratio,
-    }
+    };
+    (open_loop, serve, binary_over_json)
 }
 
 fn main() {
@@ -776,6 +963,7 @@ fn main() {
     let mut check_speedup: Option<f64> = None;
     let mut check_warm_speedup: Option<f64> = None;
     let mut check_open_loop: Option<f64> = None;
+    let mut check_wire = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -804,6 +992,7 @@ fn main() {
                         .expect("--check-open-loop requires a number"),
                 )
             }
+            "--check-wire" => check_wire = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -891,13 +1080,23 @@ fn main() {
         warm_start.warm_speedup
     );
 
+    let (codec, byte_reduction_bits256) = measure_wire_codec();
+
     let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())
         .expect("authority daemon binds for the open-loop arm");
-    let open_loop = run_open_loop(authority.local_addr());
+    let (open_loop, serve, binary_over_json) = run_open_loop(authority.local_addr());
     authority.shutdown();
 
+    let wire = WireBench {
+        codec_level: format!("{:?}", SecurityLevel::Bits256),
+        codec,
+        byte_reduction_bits256,
+        serve,
+        binary_over_json,
+    };
+
     let report = Report {
-        schema: "cryptonn.bench.predict_serve/v3".into(),
+        schema: "cryptonn.bench.predict_serve/v4".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin predict_serve".into(),
         host: cryptonn_bench::host_info(),
         feature_dim: FEATURE_DIM,
@@ -910,6 +1109,7 @@ fn main() {
         headline_speedup_bits256: headline,
         warm_start,
         open_loop,
+        wire,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
@@ -933,6 +1133,15 @@ fn main() {
             report.open_loop.fleet_over_threadpool >= min,
             "open-loop reactor throughput {:.2}x the threadpool baseline, below the {min:.2}x gate",
             report.open_loop.fleet_over_threadpool
+        );
+    }
+    if check_wire {
+        assert!(
+            report.wire.binary_over_json >= 1.15 || report.wire.byte_reduction_bits256 >= 1.8,
+            "wire gate: binary at {:.2}x json open-loop preds/s and {:.2}x Bits256 byte \
+             reduction — need ≥ 1.15x throughput or ≥ 1.8x bytes",
+            report.wire.binary_over_json,
+            report.wire.byte_reduction_bits256
         );
     }
 }

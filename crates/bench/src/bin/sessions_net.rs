@@ -26,9 +26,17 @@
 //! the process exits non-zero unless the resume is strictly cheaper in
 //! both time and replayed steps (the CI gate).
 //!
+//! v4 adds the **wire arm** (DESIGN.md §16): the step-dominant
+//! encrypted-batch frame is encoded and decoded under both wire
+//! formats (bytes/msg, encode/decode µs), and one full two-client
+//! training session is replayed over TCP with the clients speaking
+//! json, binary, and a mixed pair on one daemon — all three must
+//! produce bit-identical summaries. `--check-wire` gates on the binary
+//! frame being smaller than the JSON one at the bench level.
+//!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin sessions_net -- \
-//!     [--out BENCH_sessions_net.json] [--check-resume]
+//!     [--out BENCH_sessions_net.json] [--check-resume] [--check-wire]
 //! ```
 
 use std::sync::Arc;
@@ -36,16 +44,18 @@ use std::time::Instant;
 
 use cryptonn_core::Objective;
 use cryptonn_data::clinic_dataset;
-use cryptonn_fe::PermittedFunctions;
+use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+use cryptonn_group::SchnorrGroup;
+use cryptonn_matrix::Matrix;
 use cryptonn_net::{
-    run_client, AuthorityOptions, AuthorityServer, RemoteAuthority, ServerOptions, SessionServer,
-    TcpTransport, DEFAULT_MAX_FRAME,
+    encode_frame_fmt, read_frame_sniff, run_client, AuthorityOptions, AuthorityServer, NetMsg,
+    RemoteAuthority, ServerOptions, SessionServer, TcpTransport, WireFormat, DEFAULT_MAX_FRAME,
 };
 use cryptonn_parallel::Parallelism;
 use cryptonn_protocol::{
     replay_server, resume_from_checkpoint, round_robin_shards, CheckpointStore, ClientId,
-    ClientSession, MlpSpec, ModelSpec, ReplayResolution, SessionConfig, SessionId,
-    TrainingSessionRunner,
+    ClientSession, EncryptedBatchMsg, MlpSpec, ModelSpec, ReplayResolution, SessionConfig,
+    SessionId, TrainingSessionRunner, WireMessage,
 };
 use cryptonn_smc::FixedPoint;
 use serde::Serialize;
@@ -100,6 +110,40 @@ struct Recovery {
     speedup: f64,
 }
 
+/// One format's codec microbench over the step-dominant training frame
+/// — a full `EncryptedBatchMsg` at the bench security level, pushed
+/// through the real frame path.
+#[derive(Debug, Clone, Serialize)]
+struct WireCodecArm {
+    format: String,
+    /// Encoded frame payload size (the 4-byte length header excluded).
+    payload_bytes: u64,
+    encode_us: f64,
+    decode_us: f64,
+}
+
+/// One client-dialect replay of the same two-client training session
+/// over TCP loopback.
+#[derive(Debug, Clone, Serialize)]
+struct WireTrainingArm {
+    /// `"json"`, `"binary"`, or `"mixed"` (one client each).
+    dialect: String,
+    wall_ms: f64,
+    steps_per_sec: f64,
+}
+
+/// The wire-format comparison (schema v4, DESIGN.md §16).
+#[derive(Debug, Serialize)]
+struct WireBench {
+    codec: Vec<WireCodecArm>,
+    /// json over binary payload bytes on the encrypted-batch frame —
+    /// the `--check-wire` gate.
+    byte_reduction: f64,
+    training: Vec<WireTrainingArm>,
+    /// Binary over json training steps/s.
+    binary_over_json: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -110,6 +154,14 @@ struct Report {
     batch_size: u32,
     measurements: Vec<Measurement>,
     recovery: Recovery,
+    /// json vs binary wire codec on the training path (schema v4).
+    wire: WireBench,
+}
+
+/// The middle element of `xs`, destructively.
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
 }
 
 /// Counts the wire messages one grid point exchanges. Derived from the
@@ -177,14 +229,224 @@ fn measure_recovery(config: &SessionConfig, data: &cryptonn_data::Dataset) -> Re
     }
 }
 
+/// Encodes and decodes the frame that dominates a training session's
+/// traffic — one `EncryptedBatchMsg` carrying a full batch of
+/// ciphertext features and labels at the bench level — under both wire
+/// formats. Returns the per-arm stats and the json-over-binary payload
+/// byte ratio.
+fn measure_wire_codec(
+    config: &SessionConfig,
+    data: &cryptonn_data::Dataset,
+) -> (Vec<WireCodecArm>, f64) {
+    let group = SchnorrGroup::precomputed(config.level);
+    let authority = KeyAuthority::with_seed(group, config.permitted, config.authority_seed);
+    let mut encryptor = cryptonn_core::Client::for_mlp(
+        &authority,
+        data.feature_dim(),
+        data.classes(),
+        config.fp,
+        config.client_seed_base,
+    );
+    let rows = config.batch_size as usize;
+    let x = Matrix::from_fn(rows, data.feature_dim(), |r, c| {
+        ((r * 31 + c * 7) % 97) as f64 / 97.0
+    });
+    let y = Matrix::from_fn(rows, data.classes(), |r, c| {
+        if r % data.classes() == c {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let msg = NetMsg::Msg(WireMessage::Batch(EncryptedBatchMsg {
+        client: ClientId(0),
+        step: 0,
+        gen: 0,
+        batch: encryptor
+            .encrypt_batch(&x, &y)
+            .expect("encrypt the codec probe"),
+    }));
+
+    let reps = 32;
+    let mut arms = Vec::new();
+    for format in [WireFormat::Json, WireFormat::Binary] {
+        let frame = encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, format).expect("encode probe");
+        let payload_bytes = (frame.len() - 4) as u64;
+        let mut encode_us = Vec::with_capacity(reps);
+        let mut decode_us = Vec::with_capacity(reps);
+        // One untimed round warms the allocator and the code paths.
+        for timed in [false, true] {
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let encoded =
+                    encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, format).expect("encode probe");
+                let e = t0.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(encoded.len(), frame.len());
+                let t1 = Instant::now();
+                let decoded = read_frame_sniff::<_, NetMsg>(&mut &encoded[..], DEFAULT_MAX_FRAME)
+                    .expect("decode probe")
+                    .expect("one whole frame");
+                let d = t1.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(decoded.1, format);
+                assert_eq!(decoded.0, msg);
+                if timed {
+                    encode_us.push(e);
+                    decode_us.push(d);
+                }
+            }
+        }
+        let arm = WireCodecArm {
+            format: format.name().into(),
+            payload_bytes,
+            encode_us: median(&mut encode_us),
+            decode_us: median(&mut decode_us),
+        };
+        println!(
+            "wire codec {:6}: {:6} bytes/msg  encode {:7.2} us  decode {:7.2} us",
+            arm.format, arm.payload_bytes, arm.encode_us, arm.decode_us
+        );
+        arms.push(arm);
+    }
+    let reduction = arms[0].payload_bytes as f64 / arms[1].payload_bytes as f64;
+    println!("wire codec: binary is {reduction:.2}x smaller on the encrypted-batch frame");
+    (arms, reduction)
+}
+
+/// Runs one full two-client training session over TCP with each
+/// client's wire format chosen by `wire_of`, returning the arm stats
+/// and the (identical) member summary.
+fn run_wire_training_arm(
+    dialect: &str,
+    authority_addr: std::net::SocketAddr,
+    session: SessionId,
+    config: &SessionConfig,
+    data: &cryptonn_data::Dataset,
+    wire_of: fn(usize) -> WireFormat,
+) -> (WireTrainingArm, cryptonn_protocol::SessionSummary) {
+    let server = SessionServer::start(
+        "127.0.0.1:0",
+        Arc::new(RemoteAuthority::new(authority_addr)),
+        ServerOptions {
+            pool_threads: config.clients as usize + 8,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("session server binds");
+    let addr = server.local_addr();
+    let shards = round_robin_shards(data, config.batch_size as usize, config.clients as usize);
+    let batches = (data.len() as u64).div_ceil(u64::from(config.batch_size));
+    let steps = batches * u64::from(config.epochs);
+
+    let start = Instant::now();
+    let clients: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let sm = ClientSession::new(
+                    ClientId(c as u32),
+                    config.client_seed_base + c as u64,
+                    Parallelism::Serial,
+                    shard,
+                );
+                let transport = TcpTransport::connect(addr, DEFAULT_MAX_FRAME).expect("connect");
+                transport.set_wire_format(wire_of(c));
+                run_client(transport, session, sm, &config).expect("session completes")
+            })
+        })
+        .collect();
+    let mut summaries: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let summary = summaries.pop().expect("at least one member");
+    for other in &summaries {
+        assert_eq!(other, &summary, "members disagree within the {dialect} arm");
+    }
+    let arm = WireTrainingArm {
+        dialect: dialect.into(),
+        wall_ms: wall * 1e3,
+        steps_per_sec: steps as f64 / wall,
+    };
+    println!(
+        "wire training {dialect:6}: {:8.1} ms wall, {:6.1} steps/s",
+        arm.wall_ms, arm.steps_per_sec
+    );
+    (arm, summary)
+}
+
+/// The wire arm: codec microbench plus the same training session
+/// replayed under the json, binary, and mixed client dialects — every
+/// replay must produce bit-identical summaries.
+fn measure_wire(config: &SessionConfig, data: &cryptonn_data::Dataset) -> WireBench {
+    let (codec, byte_reduction) = measure_wire_codec(config, data);
+
+    let authority = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())
+        .expect("authority daemon binds for the wire arm");
+    let (json_arm, json_summary) = run_wire_training_arm(
+        "json",
+        authority.local_addr(),
+        SessionId(900_000),
+        config,
+        data,
+        |_| WireFormat::Json,
+    );
+    let (binary_arm, binary_summary) = run_wire_training_arm(
+        "binary",
+        authority.local_addr(),
+        SessionId(900_001),
+        config,
+        data,
+        |_| WireFormat::Binary,
+    );
+    let (mixed_arm, mixed_summary) = run_wire_training_arm(
+        "mixed",
+        authority.local_addr(),
+        SessionId(900_002),
+        config,
+        data,
+        |c| {
+            if c % 2 == 0 {
+                WireFormat::Binary
+            } else {
+                WireFormat::Json
+            }
+        },
+    );
+    authority.shutdown();
+    assert_eq!(
+        binary_summary, json_summary,
+        "binary-dialect training must be bit-identical to json"
+    );
+    assert_eq!(
+        mixed_summary, json_summary,
+        "mixed-dialect training must be bit-identical to json"
+    );
+
+    let binary_over_json = binary_arm.steps_per_sec / json_arm.steps_per_sec;
+    println!("wire training: binary dialect at {binary_over_json:.2}x the json arm");
+    WireBench {
+        codec,
+        byte_reduction,
+        training: vec![json_arm, binary_arm, mixed_arm],
+        binary_over_json,
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_sessions_net.json".to_string();
     let mut check_resume = false;
+    let mut check_wire = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out requires a path"),
             "--check-resume" => check_resume = true,
+            "--check-wire" => check_wire = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -332,8 +594,13 @@ fn main() {
         );
     }
 
+    let wire = measure_wire(
+        &session_config(2, data.feature_dim(), data.classes()),
+        &data,
+    );
+
     let report = Report {
-        schema: "cryptonn.bench.sessions_net/v3".into(),
+        schema: "cryptonn.bench.sessions_net/v4".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin sessions_net".into(),
         host: cryptonn_bench::host_info(),
         level: format!("{:?}", cryptonn_bench::bench_level()),
@@ -341,8 +608,18 @@ fn main() {
         batch_size: 8,
         measurements,
         recovery,
+        wire,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");
     println!("wrote {out_path}");
+
+    if check_wire {
+        assert!(
+            report.wire.byte_reduction > 1.0,
+            "wire gate: the binary encrypted-batch frame ({:.2}x reduction) must be smaller \
+             than the JSON one",
+            report.wire.byte_reduction
+        );
+    }
 }

@@ -158,6 +158,44 @@ macro_rules! define_uint {
                 Self { limbs }
             }
 
+            /// Returns the minimal little-endian byte encoding: no
+            /// trailing zero bytes, empty for zero. The binary wire
+            /// form — raw limb bytes, no hex round-trip.
+            pub fn to_le_bytes_min(&self) -> Vec<u8> {
+                let n = limbs::significant_limbs(&self.limbs);
+                if n == 0 {
+                    return Vec::new();
+                }
+                let top_len = 8 - (self.limbs[n - 1].leading_zeros() as usize) / 8;
+                let mut out = Vec::with_capacity((n - 1) * 8 + top_len);
+                for limb in &self.limbs[..n - 1] {
+                    out.extend_from_slice(&limb.to_le_bytes());
+                }
+                out.extend_from_slice(&self.limbs[n - 1].to_le_bytes()[..top_len]);
+                out
+            }
+
+            /// Creates a value from little-endian bytes of any length up
+            /// to the type's width (trailing zero bytes are fine).
+            ///
+            /// # Errors
+            ///
+            /// Returns [`ParseUintError`] if significant bytes extend
+            /// past `BITS` bits.
+            pub fn from_le_slice(bytes: &[u8]) -> Result<Self, ParseUintError> {
+                let max = $limbs * 8;
+                if bytes.len() > max && bytes[max..].iter().any(|&b| b != 0) {
+                    return Err(ParseUintError {
+                        kind: ParseUintErrorKind::TooLong { max_hex_digits: $limbs * 16 },
+                    });
+                }
+                let mut limbs = [0 as Limb; $limbs];
+                for (i, &b) in bytes.iter().take(max).enumerate() {
+                    limbs[i / 8] |= (b as Limb) << (8 * (i % 8));
+                }
+                Ok(Self { limbs })
+            }
+
             /// Returns true if the value is zero.
             pub fn is_zero(&self) -> bool {
                 self.limbs.iter().all(|&l| l == 0)
@@ -408,14 +446,26 @@ macro_rules! define_uint {
 
         impl serde::Serialize for $name {
             fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-                ser.serialize_str(&self.to_hex())
+                // Byte form: raw minimal little-endian limbs. The JSON
+                // writer renders this as the exact minimal lowercase
+                // hex `to_hex()` used to emit, so text documents are
+                // unchanged while binary formats skip hex entirely.
+                ser.serialize_bytes(&self.to_le_bytes_min())
             }
         }
 
         impl<'de> serde::Deserialize<'de> for $name {
             fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-                let s = <std::borrow::Cow<'de, str>>::deserialize(de)?;
-                Self::from_hex(&s).map_err(serde::de::Error::custom)
+                match de.deserialize_value()? {
+                    serde::Value::Bytes(b) => {
+                        Self::from_le_slice(&b).map_err(serde::de::Error::custom)
+                    }
+                    serde::Value::Str(s) => Self::from_hex(&s).map_err(serde::de::Error::custom),
+                    other => Err(serde::de::Error::custom(format!(
+                        concat!("expected hex string or bytes for ", stringify!($name), ", got {}"),
+                        other.kind()
+                    ))),
+                }
             }
         }
     };

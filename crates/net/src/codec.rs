@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Write};
 
+use cryptonn_wire::WireFormat;
 use serde::de::DeserializeOwned;
 
 use crate::error::NetError;
@@ -41,6 +42,10 @@ pub struct FrameDecoder {
     /// away once they dominate the buffer.
     start: usize,
     max_frame: usize,
+    /// Format of the last frame [`next_msg`](Self::next_msg) decoded —
+    /// what a mirroring sender on this connection should speak. Starts
+    /// at the seed JSON until a frame says otherwise.
+    last_format: WireFormat,
 }
 
 impl FrameDecoder {
@@ -50,7 +55,14 @@ impl FrameDecoder {
             buf: Vec::new(),
             start: 0,
             max_frame,
+            last_format: WireFormat::Json,
         }
+    }
+
+    /// The format of the most recently decoded frame (seed JSON before
+    /// any frame arrived).
+    pub fn last_format(&self) -> WireFormat {
+        self.last_format
     }
 
     /// Appends raw stream bytes.
@@ -126,16 +138,21 @@ impl FrameDecoder {
     /// exactly the taxonomy of the blocking
     /// [`read_frame`](crate::framing::read_frame).
     pub fn next_msg<T: DeserializeOwned>(&mut self) -> Result<Option<T>, NetError> {
-        match self.next_payload()? {
-            None => Ok(None),
+        // Borrow dance: `next_payload` holds `&mut self`, so sniff the
+        // format into a local before updating the tracker.
+        let (msg, format) = match self.next_payload()? {
+            None => return Ok(None),
             Some(payload) => {
-                let text =
-                    std::str::from_utf8(payload).map_err(|e| NetError::Malformed(e.to_string()))?;
-                serde_json::from_str(text)
-                    .map(Some)
-                    .map_err(|e| NetError::Malformed(e.to_string()))
+                let format = WireFormat::sniff(payload);
+                // Decoded straight from the buffered bytes — sniffed
+                // dispatch, no whole-payload `from_utf8` pre-pass.
+                let msg = cryptonn_wire::decode_payload(payload)
+                    .map_err(|e| NetError::Malformed(e.to_string()))?;
+                (msg, format)
             }
-        }
+        };
+        self.last_format = format;
+        Ok(Some(msg))
     }
 
     /// Bytes buffered but not yet consumed by a yielded frame.

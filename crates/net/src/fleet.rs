@@ -62,6 +62,7 @@ use crate::reactor::{
     ConnId, Reactor, ReactorApp, ReactorCtx, ReactorHandle, ReactorOptions, ReactorStats,
 };
 use crate::transport::{Hello, NetMsg, Peer};
+use cryptonn_wire::WireFormat;
 
 /// Tuning for an [`InferenceFleet`].
 #[derive(Debug, Clone)]
@@ -101,9 +102,10 @@ impl Default for FleetOptions {
     }
 }
 
-/// `client -> (connection, shard)`: written by the loop on handshake
-/// and close, read by shard workers to address responses.
-type Registry = Arc<Mutex<HashMap<ClientId, (ConnId, usize)>>>;
+/// `client -> (connection, shard, wire format)`: written by the loop
+/// on handshake and close, read by shard workers to address responses
+/// in the format the client speaks.
+type Registry = Arc<Mutex<HashMap<ClientId, (ConnId, usize, WireFormat)>>>;
 
 #[derive(Debug, Default)]
 struct ShardStats {
@@ -170,11 +172,14 @@ impl FleetApp {
             return;
         }
         let shard = shard_of(client, self.shard_txs.len());
+        // The Hello frame's format is the connection's dialect: shard
+        // workers answer this client the same way it spoke.
+        let format = ctx.peer_format(conn);
         let evicted = self
             .registry
             .lock()
-            .insert(client, (conn, shard))
-            .map(|(old, _)| old);
+            .insert(client, (conn, shard, format))
+            .map(|(old, _, _)| old);
         if let Some(old) = evicted {
             // Latest connection wins (the SessionServer rejoin rule):
             // the previous connection is dead or dying — typically a
@@ -242,7 +247,7 @@ impl ReactorApp for FleetApp {
             let mut registry = self.registry.lock();
             // Only unregister if the entry still names this connection
             // (a reconnect may have raced the close).
-            if registry.get(&client).is_some_and(|(c, _)| *c == conn) {
+            if registry.get(&client).is_some_and(|(c, _, _)| *c == conn) {
                 registry.remove(&client);
             }
         }
@@ -257,7 +262,7 @@ fn shard_worker(
     handle: ReactorHandle,
     stats: Arc<ShardStats>,
 ) {
-    let conn_of = |client: ClientId| registry.lock().get(&client).map(|(c, _)| *c);
+    let conn_of = |client: ClientId| registry.lock().get(&client).map(|(c, _, f)| (*c, *f));
     loop {
         // Block for the first event, drain the backlog — the backlog
         // is the coalescing window, exactly as in the single-lane
@@ -278,8 +283,8 @@ fn shard_worker(
                     // Malformed traffic costs the offender its
                     // connection; the shard and everyone else's
                     // requests are untouched.
-                    if let Some(conn) = conn_of(client) {
-                        let _ = handle.send(conn, &NetMsg::Reject(e.to_string()));
+                    if let Some((conn, fmt)) = conn_of(client) {
+                        let _ = handle.send_fmt(conn, &NetMsg::Reject(e.to_string()), fmt);
                         handle.close(conn);
                     }
                 }
@@ -291,15 +296,18 @@ fn shard_worker(
                 // A sweep failure loses the drained window and is not
                 // attributable to one client: tell this shard's
                 // clients and drop them; other shards keep serving.
-                let mine: Vec<(ClientId, ConnId)> = registry
+                let mine: Vec<(ConnId, WireFormat)> = registry
                     .lock()
                     .iter()
-                    .filter(|(_, (_, s))| *s == me)
-                    .map(|(client, (conn, _))| (*client, *conn))
+                    .filter(|(_, (_, s, _))| *s == me)
+                    .map(|(_, (conn, _, fmt))| (*conn, *fmt))
                     .collect();
-                for (_, conn) in mine {
-                    let _ =
-                        handle.send(conn, &NetMsg::Reject(format!("serving sweep failed: {e}")));
+                for (conn, fmt) in mine {
+                    let _ = handle.send_fmt(
+                        conn,
+                        &NetMsg::Reject(format!("serving sweep failed: {e}")),
+                        fmt,
+                    );
                     handle.close(conn);
                 }
             }
@@ -310,10 +318,10 @@ fn shard_worker(
         stats.sweeps.store(session.sweeps(), Ordering::SeqCst);
         for ob in outs {
             let Party::Client(id) = ob.to else { continue };
-            if let Some(conn) = conn_of(ClientId(id)) {
+            if let Some((conn, fmt)) = conn_of(ClientId(id)) {
                 // Dead conns drop the frame; backpressure closes are
                 // the reactor's call.
-                let _ = handle.send(conn, &NetMsg::Msg(ob.msg));
+                let _ = handle.send_fmt(conn, &NetMsg::Msg(ob.msg), fmt);
             }
         }
         // The queue has room again: retry frames parked on us.

@@ -1,15 +1,19 @@
 //! The length-prefixed framed codec.
 //!
 //! Every message on a CryptoNN transport is one *frame*: a 4-byte
-//! big-endian payload length followed by the payload (serde-JSON of the
-//! frame type). Decoding is defensive — the reader enforces a
-//! configurable payload cap *before* allocating, distinguishes a clean
-//! close (EOF at a frame boundary) from a truncated frame (EOF inside
-//! one), and surfaces garbage payloads as a typed error — a hostile
-//! peer can fail a connection, never panic or balloon the process.
+//! big-endian payload length followed by the payload — compact JSON
+//! (the seed format) or the binary encoding of `cryptonn-wire`, told
+//! apart by the payload's first byte, so mixed-format peers share one
+//! daemon with no handshake field (DESIGN.md §16). Decoding is
+//! defensive — the reader enforces a configurable payload cap *before*
+//! allocating, distinguishes a clean close (EOF at a frame boundary)
+//! from a truncated frame (EOF inside one), and surfaces garbage
+//! payloads as a typed error — a hostile peer can fail a connection,
+//! never panic or balloon the process.
 
 use std::io::{ErrorKind, Read, Write};
 
+use cryptonn_wire::WireFormat;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -22,26 +26,57 @@ pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
 /// Frame header size on the wire.
 pub const FRAME_HEADER: usize = 4;
 
-/// Encodes `msg` as one frame (header + JSON payload).
+/// Encodes `msg` as one frame (header + JSON payload) — the seed
+/// format. Format-negotiating callers use [`encode_frame_fmt`].
 ///
 /// # Errors
 ///
 /// [`NetError::FrameTooLarge`] if the encoded payload exceeds `max`;
 /// [`NetError::Malformed`] on serializer failure.
 pub fn encode_frame<T: Serialize>(msg: &T, max: usize) -> Result<Vec<u8>, NetError> {
-    let payload = serde_json::to_string(msg)
-        .map_err(|e| NetError::Malformed(e.to_string()))?
-        .into_bytes();
-    if payload.len() > max {
-        return Err(NetError::FrameTooLarge {
-            len: payload.len(),
-            max,
-        });
-    }
-    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&payload);
+    encode_frame_fmt(msg, max, WireFormat::Json)
+}
+
+/// Encodes `msg` as one frame in `format`.
+///
+/// # Errors
+///
+/// As [`encode_frame`].
+pub fn encode_frame_fmt<T: Serialize>(
+    msg: &T,
+    max: usize,
+    format: WireFormat,
+) -> Result<Vec<u8>, NetError> {
+    let mut frame = Vec::new();
+    encode_frame_into(msg, max, format, &mut frame)?;
     Ok(frame)
+}
+
+/// Encodes `msg` as one frame in `format` into `buf` (cleared first) —
+/// the allocation-reuse entry point: a connection writer keeps one
+/// scratch buffer across sends instead of allocating per frame, and
+/// the payload is serialized directly behind the header with no
+/// string→bytes copy.
+///
+/// # Errors
+///
+/// As [`encode_frame`]. On error `buf` contents are unspecified.
+pub fn encode_frame_into<T: Serialize>(
+    msg: &T,
+    max: usize,
+    format: WireFormat,
+    buf: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; FRAME_HEADER]);
+    cryptonn_wire::append_payload(msg, format, buf)
+        .map_err(|e| NetError::Malformed(e.to_string()))?;
+    let len = buf.len() - FRAME_HEADER;
+    if len > max {
+        return Err(NetError::FrameTooLarge { len, max });
+    }
+    buf[..FRAME_HEADER].copy_from_slice(&(len as u32).to_be_bytes());
+    Ok(())
 }
 
 /// Writes `msg` as one frame. The frame is assembled first and written
@@ -75,6 +110,20 @@ pub fn read_frame<R: Read, T: DeserializeOwned>(
     r: &mut R,
     max: usize,
 ) -> Result<Option<T>, NetError> {
+    Ok(read_frame_sniff(r, max)?.map(|(msg, _)| msg))
+}
+
+/// Like [`read_frame`], also reporting which format the payload
+/// carried — what a mirroring receiver feeds its connection's
+/// [`FormatCell`](cryptonn_wire::FormatCell).
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_sniff<R: Read, T: DeserializeOwned>(
+    r: &mut R,
+    max: usize,
+) -> Result<Option<(T, WireFormat)>, NetError> {
     let mut header = [0u8; FRAME_HEADER];
     match read_exact_or_eof(r, &mut header)? {
         Filled::Eof => return Ok(None),
@@ -95,8 +144,13 @@ pub fn read_frame<R: Read, T: DeserializeOwned>(
         Filled::Eof => return Err(NetError::Truncated { missing: len }),
         Filled::Partial(got) => return Err(NetError::Truncated { missing: len - got }),
     }
-    let text = std::str::from_utf8(&payload).map_err(|e| NetError::Malformed(e.to_string()))?;
-    serde_json::from_str(text).map_err(|e| NetError::Malformed(e.to_string()))
+    let format = WireFormat::sniff(&payload);
+    // Decoded straight from bytes — the format dispatcher sniffs, the
+    // JSON parser validates UTF-8 only where it matters (no
+    // whole-payload `from_utf8` pre-pass).
+    cryptonn_wire::decode_payload(&payload)
+        .map(|msg| Some((msg, format)))
+        .map_err(|e| NetError::Malformed(e.to_string()))
 }
 
 enum Filled {
@@ -193,6 +247,40 @@ mod tests {
             read_frame::<_, String>(&mut &wire[..2], 1024),
             Err(NetError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn binary_frames_roundtrip_and_sniff() {
+        let msg = vec![7u64, 8, 9];
+        let frame = encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, WireFormat::Binary).unwrap();
+        let mut r = &frame[..];
+        let (back, fmt): (Vec<u64>, WireFormat) = read_frame_sniff(&mut r, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(fmt, WireFormat::Binary);
+        // JSON frames sniff as JSON on the same reader path.
+        let frame = encode_frame(&msg, DEFAULT_MAX_FRAME).unwrap();
+        let mut r = &frame[..];
+        let (back, fmt): (Vec<u64>, WireFormat) = read_frame_sniff(&mut r, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(fmt, WireFormat::Json);
+    }
+
+    #[test]
+    fn encode_buffer_is_reusable() {
+        let mut buf = Vec::new();
+        encode_frame_into(&"first".to_string(), 1024, WireFormat::Binary, &mut buf).unwrap();
+        let first = buf.clone();
+        encode_frame_into(&"x".to_string(), 1024, WireFormat::Json, &mut buf).unwrap();
+        assert_ne!(buf, first);
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame::<_, String>(&mut r, 1024).unwrap().as_deref(),
+            Some("x")
+        );
     }
 
     #[test]

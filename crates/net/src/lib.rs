@@ -131,10 +131,14 @@ pub use authority::{
 };
 pub use client::{run_client, run_client_resumable};
 pub use codec::{FrameDecoder, OutboundQueue, WriteProgress};
+pub use cryptonn_wire::{FormatCell, WireFormat};
 pub use error::NetError;
 pub use fault::{FaultHandle, FaultPlan, FaultyTransport, RandomFaults};
 pub use fleet::{FleetOptions, InferenceFleet};
-pub use framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER};
+pub use framing::{
+    encode_frame, encode_frame_fmt, encode_frame_into, read_frame, read_frame_sniff, write_frame,
+    DEFAULT_MAX_FRAME, FRAME_HEADER,
+};
 pub use inference::{
     run_inference_client, InferenceClient, InferenceServer, InferenceServerOptions,
 };

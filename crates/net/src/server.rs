@@ -65,6 +65,7 @@ use crate::reactor::{ConnId, Reactor, ReactorApp, ReactorCtx, ReactorHandle, Rea
 use crate::transport::{
     mem_pair, FrameRx, FrameTx, Hello, MemTransport, NetMsg, Peer, TcpTransport, Transport,
 };
+use cryptonn_wire::WireFormat;
 
 /// Which accept path a [`SessionServer`] runs.
 ///
@@ -123,6 +124,14 @@ pub struct ServerOptions {
     /// default) or the nonblocking reactor. The default follows the
     /// `CRYPTONN_TRANSPORT` environment variable.
     pub transport: TransportMode,
+    /// The wire format this daemon *writes* for its durable state
+    /// (ledger, checkpoints): seed JSON or the binary codec. The
+    /// default follows the `CRYPTONN_WIRE` environment variable.
+    /// Reading always sniffs, so a daemon restarted under the other
+    /// format resumes old files and rewrites them in its own.
+    /// (Connection traffic is unaffected — each connection mirrors its
+    /// peer regardless of this knob.)
+    pub wire: WireFormat,
 }
 
 impl Default for ServerOptions {
@@ -137,6 +146,7 @@ impl Default for ServerOptions {
             durability: None,
             checkpoint_every_steps: 8,
             transport: TransportMode::default(),
+            wire: WireFormat::from_env(),
         }
     }
 }
@@ -1024,11 +1034,15 @@ impl SessionApp {
                 ctx.close(conn);
                 return;
             }
+            // Pin the writer to the format the client's Hello spoke:
+            // session workers then answer each member of a mixed-format
+            // session in its own dialect.
+            let format = ctx.peer_format(conn);
             conns_l.insert(
                 client,
                 (
                     epoch,
-                    Box::new(self.handle.conn_tx(conn)) as Box<dyn FrameTx>,
+                    Box::new(self.handle.conn_tx_fmt(conn, format)) as Box<dyn FrameTx>,
                 ),
             );
             epoch
@@ -1226,13 +1240,14 @@ struct Durability {
     /// next checkpoint records.
     events: u64,
     last_checkpoint_step: u64,
+    /// The format appended records are written in (the whole file is
+    /// one format — resume rewrites it in the daemon's configured one).
+    wire: WireFormat,
 }
 
 impl Durability {
     fn append(&mut self, line: &LedgerLine) -> Result<(), NetError> {
-        let json = serde_json::to_string(line)
-            .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
-        writeln!(self.ledger, "{json}").map_err(NetError::from)?;
+        write_ledger_line(&mut self.ledger, line, self.wire)?;
         self.ledger.flush().map_err(NetError::from)?;
         self.events += 1;
         Ok(())
@@ -1249,28 +1264,96 @@ fn ledger_path(dir: &Path, id: SessionId) -> PathBuf {
     dir.join(format!("{id}.ledger.jsonl"))
 }
 
-/// Reads a session ledger back: checks the `Config` header against the
-/// presented config and returns the event lines. A torn final line (a
-/// crash mid-append) is dropped; torn or alien content anywhere else —
-/// or a mismatched config — rejects the whole ledger (`None`).
+/// The file magic opening a binary (v2) ledger. A v1 ledger is bare
+/// JSONL — its first byte is `{` — so the two are told apart by the
+/// first eight bytes, exactly like frame payloads are sniffed.
+const LEDGER_MAGIC_V2: [u8; 8] = *b"CNNWAL02";
+
+/// Appends one ledger record in `wire` format: a JSON line (v1) or a
+/// `u32`-LE-length-prefixed binary payload (v2).
+fn write_ledger_line(
+    file: &mut impl std::io::Write,
+    line: &LedgerLine,
+    wire: WireFormat,
+) -> Result<(), NetError> {
+    match wire {
+        WireFormat::Json => {
+            let json = serde_json::to_string(line)
+                .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
+            writeln!(file, "{json}").map_err(NetError::from)
+        }
+        WireFormat::Binary => {
+            let payload = cryptonn_wire::to_vec(line)
+                .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
+            let len = u32::try_from(payload.len())
+                .map_err(|_| NetError::Io("ledger record overflows its length prefix".into()))?;
+            file.write_all(&len.to_le_bytes())?;
+            file.write_all(&payload).map_err(NetError::from)
+        }
+    }
+}
+
+/// Reads a session ledger back: sniffs the schema by the leading
+/// bytes, checks the `Config` header against the presented config, and
+/// returns the event lines. A torn final record (a crash mid-append)
+/// is dropped; torn or alien content anywhere else — or a mismatched
+/// config — rejects the whole ledger (`None`).
 fn read_ledger(path: &Path, config: &SessionConfig) -> Option<Vec<LedgerLine>> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let lines: Vec<&str> = text.lines().collect();
+    let bytes = std::fs::read(path).ok()?;
+    let lines = if bytes.starts_with(&LEDGER_MAGIC_V2) {
+        parse_ledger_v2(&bytes[LEDGER_MAGIC_V2.len()..])?
+    } else {
+        parse_ledger_v1(&bytes)?
+    };
     let (first, rest) = lines.split_first()?;
-    match serde_json::from_str::<LedgerLine>(first) {
-        Ok(LedgerLine::Config(c)) if c == *config => {}
+    match first {
+        LedgerLine::Config(c) if *c == *config => {}
         _ => return None,
     }
-    let mut events = Vec::with_capacity(rest.len());
-    for (i, line) in rest.iter().enumerate() {
+    if rest.iter().any(|l| matches!(l, LedgerLine::Config(_))) {
+        return None;
+    }
+    Some(rest.to_vec())
+}
+
+/// The seed JSONL schema: one JSON record per line.
+fn parse_ledger_v1(bytes: &[u8]) -> Option<Vec<LedgerLine>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
         match serde_json::from_str::<LedgerLine>(line) {
-            Ok(LedgerLine::Config(_)) => return None,
-            Ok(event) => events.push(event),
-            Err(_) if i + 1 == rest.len() => break, // torn tail
+            Ok(event) => out.push(event),
+            Err(_) if i + 1 == lines.len() => break, // torn tail
             Err(_) => return None,
         }
     }
-    Some(events)
+    Some(out)
+}
+
+/// The binary schema (past the file magic): `u32`-LE-length-prefixed
+/// binary payloads, back to back.
+fn parse_ledger_v2(mut rest: &[u8]) -> Option<Vec<LedgerLine>> {
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            break; // torn length prefix at the tail
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let Some(record) = rest.get(4..4 + len) else {
+            break; // torn payload at the tail
+        };
+        match cryptonn_wire::from_slice::<LedgerLine>(record) {
+            Ok(line) => out.push(line),
+            // A record that frames whole but does not decode is a torn
+            // tail only in final position; anywhere else the file is
+            // alien.
+            Err(_) if rest.len() == 4 + len => break,
+            Err(_) => return None,
+        }
+        rest = &rest[4 + len..];
+    }
+    Some(out)
 }
 
 /// Rebuilds a mid-run server from its durable state: the latest valid
@@ -1362,7 +1445,7 @@ fn create_session(
         }
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
-            let store = CheckpointStore::new(dir.clone());
+            let store = CheckpointStore::new(dir.clone()).with_format(options.wire);
             let path = ledger_path(dir, id);
             let recorded = if config.policy.resumes() {
                 read_ledger(&path, config)
@@ -1393,19 +1476,18 @@ fn create_session(
                 }
             };
             // Rewrite the ledger from its parsed form: identical
-            // content, but a torn tail line (if any) is gone, so
-            // appends always start on a fresh line.
+            // content, but a torn tail record (if any) is gone, so
+            // appends always start on a fresh record — and the rewrite
+            // lands in *this* daemon's configured format, which is how
+            // a v1 JSONL ledger migrates to binary (and back) across a
+            // restart with no translation step.
             let mut file = std::fs::File::create(&path)?;
-            {
-                let mut write_line = |line: &LedgerLine| -> Result<(), NetError> {
-                    let json = serde_json::to_string(line)
-                        .map_err(|e| NetError::Io(format!("ledger encode failed: {e}")))?;
-                    writeln!(file, "{json}").map_err(NetError::from)
-                };
-                write_line(&LedgerLine::Config(config.clone()))?;
-                for line in &events {
-                    write_line(line)?;
-                }
+            if options.wire == WireFormat::Binary {
+                file.write_all(&LEDGER_MAGIC_V2)?;
+            }
+            write_ledger_line(&mut file, &LedgerLine::Config(config.clone()), options.wire)?;
+            for line in &events {
+                write_ledger_line(&mut file, line, options.wire)?;
             }
             file.flush()?;
             let durability = Durability {
@@ -1415,6 +1497,7 @@ fn create_session(
                 every_steps: options.checkpoint_every_steps.max(1),
                 events: events.len() as u64,
                 last_checkpoint_step: server.steps(),
+                wire: options.wire,
             };
             (server, params, Some(durability))
         }

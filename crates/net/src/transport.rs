@@ -8,18 +8,31 @@
 //! length-prefixed codec from [`framing`](crate::framing): the
 //! in-memory pair moves encoded frames, not Rust values, so every test
 //! over it exercises the exact bytes TCP would carry.
+//!
+//! **Wire-format negotiation** rides on the payloads themselves: each
+//! connection owns a [`FormatCell`] shared by its send and receive
+//! halves; the receiver records the format of every arriving frame
+//! (sniffed by its first byte) and the sender encodes in whatever the
+//! cell holds. A connection *initiator* starts the cell at the process
+//! default ([`WireFormat::from_env`], i.e. `CRYPTONN_WIRE`), so a
+//! binary-opted client speaks binary from its `Hello` on; an
+//! *accepting* side's first send always follows a received `Hello`, so
+//! it mirrors each client per-connection — mixed-format clients on one
+//! daemon, no handshake field (DESIGN.md §16).
 
 use std::io::BufReader;
+use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::time::Duration;
 
+use cryptonn_wire::{FormatCell, WireFormat};
 use serde::{Deserialize, Serialize};
 
 use cryptonn_protocol::{ClientId, SessionConfig, SessionId, WireMessage};
 
 use crate::error::NetError;
-use crate::framing::{encode_frame, read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::framing::{encode_frame_into, read_frame_sniff, DEFAULT_MAX_FRAME};
 
 /// Who is opening a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -102,10 +115,17 @@ pub struct TcpTransport {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     max_frame: usize,
+    /// Negotiated wire format, shared across [`Transport::split`].
+    format: FormatCell,
+    /// Reused encode buffer — one allocation per connection, not per
+    /// frame.
+    scratch: Vec<u8>,
 }
 
 impl TcpTransport {
-    /// Wraps an accepted or connected stream.
+    /// Wraps an accepted or connected stream. The wire format starts
+    /// at the process default (`CRYPTONN_WIRE`) and mirrors the peer
+    /// from the first received frame on.
     ///
     /// # Errors
     ///
@@ -117,7 +137,25 @@ impl TcpTransport {
             writer: stream,
             reader,
             max_frame,
+            format: FormatCell::new(WireFormat::from_env()),
+            scratch: Vec::new(),
         })
+    }
+
+    /// The connection's current wire format (the process default until
+    /// the first frame arrives, the last received frame's format
+    /// after).
+    pub fn wire_format(&self) -> WireFormat {
+        self.format.get()
+    }
+
+    /// Pins this connection's *outbound* format explicitly — the
+    /// per-connection override of the process default. A dialect
+    /// chosen before the first frame goes out governs the whole
+    /// exchange: the peer mirrors whatever it receives, so the reply
+    /// traffic follows automatically.
+    pub fn set_wire_format(&self, format: WireFormat) {
+        self.format.set(format);
     }
 
     /// Connects to `addr` with the given frame cap.
@@ -168,9 +206,30 @@ impl TcpTransport {
     }
 }
 
+/// Assembles one frame in the cell's current format into `scratch` and
+/// writes it whole — the shared hot path of both TCP senders.
+fn send_tcp_frame(
+    writer: &mut TcpStream,
+    msg: &NetMsg,
+    max_frame: usize,
+    format: &FormatCell,
+    scratch: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    encode_frame_into(msg, max_frame, format.get(), scratch)?;
+    writer.write_all(scratch)?;
+    writer.flush()?;
+    Ok(())
+}
+
 impl FrameTx for TcpTransport {
     fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
-        write_frame(&mut self.writer, msg, self.max_frame)
+        send_tcp_frame(
+            &mut self.writer,
+            msg,
+            self.max_frame,
+            &self.format,
+            &mut self.scratch,
+        )
     }
 
     fn close(&mut self) {
@@ -180,7 +239,13 @@ impl FrameTx for TcpTransport {
 
 impl FrameRx for TcpTransport {
     fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
-        read_frame(&mut self.reader, self.max_frame)
+        match read_frame_sniff(&mut self.reader, self.max_frame)? {
+            Some((msg, format)) => {
+                self.format.set(format);
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
     }
 }
 
@@ -189,10 +254,13 @@ impl Transport for TcpTransport {
         let tx = TcpFrameTx {
             writer: self.writer,
             max_frame: self.max_frame,
+            format: self.format.clone(),
+            scratch: self.scratch,
         };
         let rx = TcpFrameRx {
             reader: self.reader,
             max_frame: self.max_frame,
+            format: self.format,
         };
         (Box::new(tx), Box::new(rx))
     }
@@ -201,11 +269,19 @@ impl Transport for TcpTransport {
 struct TcpFrameTx {
     writer: TcpStream,
     max_frame: usize,
+    format: FormatCell,
+    scratch: Vec<u8>,
 }
 
 impl FrameTx for TcpFrameTx {
     fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
-        write_frame(&mut self.writer, msg, self.max_frame)
+        send_tcp_frame(
+            &mut self.writer,
+            msg,
+            self.max_frame,
+            &self.format,
+            &mut self.scratch,
+        )
     }
 
     fn close(&mut self) {
@@ -216,11 +292,18 @@ impl FrameTx for TcpFrameTx {
 struct TcpFrameRx {
     reader: BufReader<TcpStream>,
     max_frame: usize,
+    format: FormatCell,
 }
 
 impl FrameRx for TcpFrameRx {
     fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
-        read_frame(&mut self.reader, self.max_frame)
+        match read_frame_sniff(&mut self.reader, self.max_frame)? {
+            Some((msg, format)) => {
+                self.format.set(format);
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
     }
 }
 
@@ -234,6 +317,7 @@ pub struct MemTransport {
     tx: Option<SyncSender<Vec<u8>>>,
     rx: Receiver<Vec<u8>>,
     max_frame: usize,
+    format: FormatCell,
 }
 
 /// Builds a connected in-memory transport pair with the given channel
@@ -247,11 +331,13 @@ pub fn mem_pair(depth: usize, max_frame: usize) -> (MemTransport, MemTransport) 
             tx: Some(a_tx),
             rx: b_rx,
             max_frame,
+            format: FormatCell::new(WireFormat::from_env()),
         },
         MemTransport {
             tx: Some(b_tx),
             rx: a_rx,
             max_frame,
+            format: FormatCell::new(WireFormat::from_env()),
         },
     )
 }
@@ -261,18 +347,38 @@ pub fn mem_pair_default() -> (MemTransport, MemTransport) {
     mem_pair(16, DEFAULT_MAX_FRAME)
 }
 
-fn decode_mem_frame(bytes: &[u8], max_frame: usize) -> Result<Option<NetMsg>, NetError> {
+fn decode_mem_frame(
+    bytes: &[u8],
+    max_frame: usize,
+    format: &FormatCell,
+) -> Result<Option<NetMsg>, NetError> {
     let mut cursor = bytes;
-    read_frame(&mut cursor, max_frame)
+    match read_frame_sniff(&mut cursor, max_frame)? {
+        Some((msg, fmt)) => {
+            format.set(fmt);
+            Ok(Some(msg))
+        }
+        None => Ok(None),
+    }
+}
+
+fn send_mem_frame(
+    tx: &Option<SyncSender<Vec<u8>>>,
+    msg: &NetMsg,
+    max_frame: usize,
+    format: &FormatCell,
+) -> Result<(), NetError> {
+    let mut frame = Vec::new();
+    encode_frame_into(msg, max_frame, format.get(), &mut frame)?;
+    match tx {
+        Some(tx) => tx.send(frame).map_err(|_| NetError::Disconnected),
+        None => Err(NetError::Disconnected),
+    }
 }
 
 impl FrameTx for MemTransport {
     fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
-        let frame = encode_frame(msg, self.max_frame)?;
-        match &self.tx {
-            Some(tx) => tx.send(frame).map_err(|_| NetError::Disconnected),
-            None => Err(NetError::Disconnected),
-        }
+        send_mem_frame(&self.tx, msg, self.max_frame, &self.format)
     }
 
     fn close(&mut self) {
@@ -283,7 +389,7 @@ impl FrameTx for MemTransport {
 impl FrameRx for MemTransport {
     fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
         match self.rx.recv() {
-            Ok(frame) => decode_mem_frame(&frame, self.max_frame),
+            Ok(frame) => decode_mem_frame(&frame, self.max_frame, &self.format),
             Err(_) => Ok(None), // peer dropped: clean close
         }
     }
@@ -294,10 +400,12 @@ impl Transport for MemTransport {
         let tx = MemFrameTx {
             tx: self.tx,
             max_frame: self.max_frame,
+            format: self.format.clone(),
         };
         let rx = MemFrameRx {
             rx: self.rx,
             max_frame: self.max_frame,
+            format: self.format,
         };
         (Box::new(tx), Box::new(rx))
     }
@@ -306,15 +414,12 @@ impl Transport for MemTransport {
 struct MemFrameTx {
     tx: Option<SyncSender<Vec<u8>>>,
     max_frame: usize,
+    format: FormatCell,
 }
 
 impl FrameTx for MemFrameTx {
     fn send(&mut self, msg: &NetMsg) -> Result<(), NetError> {
-        let frame = encode_frame(msg, self.max_frame)?;
-        match &self.tx {
-            Some(tx) => tx.send(frame).map_err(|_| NetError::Disconnected),
-            None => Err(NetError::Disconnected),
-        }
+        send_mem_frame(&self.tx, msg, self.max_frame, &self.format)
     }
 
     fn close(&mut self) {
@@ -325,12 +430,13 @@ impl FrameTx for MemFrameTx {
 struct MemFrameRx {
     rx: Receiver<Vec<u8>>,
     max_frame: usize,
+    format: FormatCell,
 }
 
 impl FrameRx for MemFrameRx {
     fn recv(&mut self) -> Result<Option<NetMsg>, NetError> {
         match self.rx.recv() {
-            Ok(frame) => decode_mem_frame(&frame, self.max_frame),
+            Ok(frame) => decode_mem_frame(&frame, self.max_frame, &self.format),
             Err(_) => Ok(None),
         }
     }

@@ -1,11 +1,16 @@
 //! Fuzz-style properties of the framed codec: frames must survive
 //! arbitrary byte-boundary splits (a TCP stream owes no alignment),
 //! and every malformed input class must come back as its typed error,
-//! never a panic or a hang.
+//! never a panic or a hang. Every property runs over both wire
+//! formats — seed JSON and the binary codec — including mixed-format
+//! streams on one connection, which the sniffing reader must tell
+//! apart frame by frame.
 
 use proptest::prelude::*;
 
-use cryptonn_net::{encode_frame, read_frame, write_frame, NetMsg, DEFAULT_MAX_FRAME};
+use cryptonn_net::{
+    encode_frame_fmt, read_frame, read_frame_sniff, NetMsg, WireFormat, DEFAULT_MAX_FRAME,
+};
 use cryptonn_protocol::{ClientId, EpochBarrier, ModelDelta, TrainingStart, WireMessage};
 
 /// A reader that hands out the underlying bytes in chunks whose sizes
@@ -52,38 +57,68 @@ fn msg_strategy() -> impl Strategy<Value = NetMsg> {
     ]
 }
 
+fn format_strategy() -> impl Strategy<Value = WireFormat> {
+    prop_oneof![Just(WireFormat::Json), Just(WireFormat::Binary)]
+}
+
+/// Pairs each message with a format coin flip — a mixed-format stream
+/// as one daemon sees it from two dialects of client. (The vendored
+/// proptest has no tuple strategies, so messages and coins arrive as
+/// separate draws and are zipped here; coins cycle if short.)
+fn mixed_stream(msgs: Vec<NetMsg>, coins: &[bool]) -> Vec<(NetMsg, WireFormat)> {
+    msgs.into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let binary = coins.get(i % coins.len().max(1)).copied().unwrap_or(false);
+            (
+                m,
+                if binary {
+                    WireFormat::Binary
+                } else {
+                    WireFormat::Json
+                },
+            )
+        })
+        .collect()
+}
+
 proptest! {
-    /// Any frame sequence, split at any byte boundaries, decodes back
-    /// to the original messages followed by a clean EOF.
+    /// Any mixed-format frame sequence, split at any byte boundaries,
+    /// decodes back to the original messages — with each frame's
+    /// format correctly sniffed — followed by a clean EOF.
     #[test]
     fn frames_survive_arbitrary_splits(
-        msgs in proptest::collection::vec(msg_strategy(), 1..6),
+        raw in proptest::collection::vec(msg_strategy(), 1..6),
+        coins in proptest::collection::vec(any::<bool>(), 1..7),
         cuts in proptest::collection::vec(1usize..13, 1..8),
     ) {
+        let msgs = mixed_stream(raw, &coins);
         let mut wire = Vec::new();
-        for msg in &msgs {
-            write_frame(&mut wire, msg, DEFAULT_MAX_FRAME).unwrap();
+        for (msg, fmt) in &msgs {
+            wire.extend_from_slice(&encode_frame_fmt(msg, DEFAULT_MAX_FRAME, *fmt).unwrap());
         }
         let mut reader = ChoppyReader { data: wire, pos: 0, cuts, next_cut: 0 };
         let mut decoded = Vec::new();
-        while let Some(msg) = read_frame::<_, NetMsg>(&mut reader, DEFAULT_MAX_FRAME).unwrap() {
-            decoded.push(msg);
+        while let Some(pair) = read_frame_sniff::<_, NetMsg>(&mut reader, DEFAULT_MAX_FRAME).unwrap() {
+            decoded.push(pair);
         }
         prop_assert_eq!(decoded, msgs);
     }
 
     /// Truncating a frame stream at any interior byte yields a typed
     /// truncation error (or a clean EOF exactly at a frame boundary) —
-    /// never a panic and never a bogus message.
+    /// never a panic and never a bogus message. Holds for both formats.
     #[test]
     fn truncation_never_panics(
-        msgs in proptest::collection::vec(msg_strategy(), 1..4),
+        raw in proptest::collection::vec(msg_strategy(), 1..4),
+        coins in proptest::collection::vec(any::<bool>(), 1..5),
         frac in 0.0f64..1.0,
     ) {
+        let msgs = mixed_stream(raw, &coins);
         let mut wire = Vec::new();
         let mut boundaries = vec![0usize];
-        for msg in &msgs {
-            write_frame(&mut wire, msg, DEFAULT_MAX_FRAME).unwrap();
+        for (msg, fmt) in &msgs {
+            wire.extend_from_slice(&encode_frame_fmt(msg, DEFAULT_MAX_FRAME, *fmt).unwrap());
             boundaries.push(wire.len());
         }
         let cut = ((wire.len() as f64) * frac) as usize;
@@ -122,14 +157,17 @@ proptest! {
     }
 
     /// Flipping any byte of a frame payload never panics the decoder:
-    /// it either still parses (rare) or fails typed.
+    /// it either still parses (rare) or fails typed — for JSON payloads,
+    /// binary payloads, and flips that turn one format's sniff byte
+    /// into the other's.
     #[test]
     fn corrupted_payloads_fail_typed(
         msg in msg_strategy(),
+        fmt in format_strategy(),
         flip_at in any::<usize>(),
         xor in 1u8..=255,
     ) {
-        let mut wire = encode_frame(&msg, DEFAULT_MAX_FRAME).unwrap();
+        let mut wire = encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, fmt).unwrap();
         let payload_len = wire.len() - 4;
         if payload_len == 0 {
             return Ok(());
@@ -138,6 +176,30 @@ proptest! {
         wire[idx] ^= xor;
         match read_frame::<_, NetMsg>(&mut &wire[..], DEFAULT_MAX_FRAME) {
             Ok(Some(_)) | Err(cryptonn_net::NetError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    /// Chopping bytes off the *end of a binary payload* (with the
+    /// header length patched to match, so the frame itself is whole)
+    /// is a malformed payload, not a crash: every length prefix inside
+    /// the binary encoding is validated against the remaining input.
+    #[test]
+    fn truncated_binary_payloads_fail_typed(
+        msg in msg_strategy(),
+        drop in 1usize..64,
+    ) {
+        let full = encode_frame_fmt(&msg, DEFAULT_MAX_FRAME, WireFormat::Binary).unwrap();
+        let payload_len = full.len() - 4;
+        if drop >= payload_len {
+            return Ok(());
+        }
+        let kept = payload_len - drop;
+        let mut wire = Vec::with_capacity(4 + kept);
+        wire.extend_from_slice(&(kept as u32).to_be_bytes());
+        wire.extend_from_slice(&full[4..4 + kept]);
+        match read_frame::<_, NetMsg>(&mut &wire[..], DEFAULT_MAX_FRAME) {
+            Err(cryptonn_net::NetError::Malformed(_)) => {}
             other => prop_assert!(false, "unexpected outcome {other:?}"),
         }
     }

@@ -20,10 +20,19 @@
 //! magic    8 B   "CNNCKP01" (bumped on any layout change)
 //! fprint   8 B   FNV-1a-64 over the canonical JSON of the
 //!                SessionConfig, little-endian
-//! payload  …     the SessionCheckpoint as JSON
+//! payload  …     the SessionCheckpoint as JSON, or as the binary
+//!                wire encoding (sniffed by its leading byte — a
+//!                binary payload opens with `0xB1`, JSON with `{`)
 //! check    8 B   4-lane word-folded FNV-1a-64 over everything above,
 //!                little-endian
 //! ```
+//!
+//! The frame is format-agnostic: [`CheckpointStore::with_format`]
+//! picks what `save` writes, and `load` sniffs, so a daemon restarted
+//! under the other wire format resumes old checkpoints unchanged
+//! (DESIGN.md §16). The config fingerprint stays FNV-1a over the
+//! *canonical JSON* of the config in both cases, so a format switch
+//! never orphans a file.
 //!
 //! The config fingerprint appears verbatim in the header so a file
 //! copied between sessions with different configs is rejected rather
@@ -39,6 +48,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use cryptonn_core::MlpSnapshot;
+use cryptonn_wire::WireFormat;
 use serde::{Deserialize, Serialize};
 
 use crate::messages::{ClientId, ReshardSpec, SessionConfig, SessionId};
@@ -187,12 +197,25 @@ pub fn config_fingerprint(config: &SessionConfig) -> u64 {
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    format: WireFormat,
 }
 
 impl CheckpointStore {
-    /// A store rooted at `dir` (created on first save).
+    /// A store rooted at `dir` (created on first save), writing seed
+    /// JSON payloads.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            format: WireFormat::Json,
+        }
+    }
+
+    /// The same store, writing payloads in `format`. Loading is
+    /// unaffected — it sniffs either format.
+    #[must_use]
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
     }
 
     /// The store's root directory.
@@ -217,13 +240,11 @@ impl CheckpointStore {
         config: &SessionConfig,
         ckpt: &SessionCheckpoint,
     ) -> Result<(), CheckpointError> {
-        let payload = serde_json::to_string(ckpt)
-            .map_err(|e| CheckpointError::Io(e.to_string()))?
-            .into_bytes();
-        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        let mut buf = Vec::with_capacity(HEADER_LEN + 8);
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&config_fingerprint(config).to_le_bytes());
-        buf.extend_from_slice(&payload);
+        cryptonn_wire::append_payload(ckpt, self.format, &mut buf)
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
         let check = fnv1a(&buf);
         buf.extend_from_slice(&check.to_le_bytes());
 
@@ -275,10 +296,8 @@ impl CheckpointStore {
         if fp != config_fingerprint(config) {
             return Err(CheckpointError::FingerprintMismatch);
         }
-        let payload = std::str::from_utf8(&body[HEADER_LEN..])
+        let ckpt: SessionCheckpoint = cryptonn_wire::decode_payload(&body[HEADER_LEN..])
             .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
-        let ckpt: SessionCheckpoint =
-            serde_json::from_str(payload).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
         if ckpt.schema != CHECKPOINT_SCHEMA {
             return Err(CheckpointError::StaleSchema {
                 found: ckpt.schema,

@@ -1,7 +1,10 @@
 //! Serde roundtrips for every wire message type: anything the session
 //! layer can put on the wire must survive JSON and come back equal —
 //! including the ciphertext-bearing payloads, whose group elements are
-//! the actual serialized surface.
+//! the actual serialized surface. Every roundtrip here runs through
+//! *both* wire formats — the seed JSON and the binary codec — and
+//! cross-format (encode one, the typed result equals the other's), so
+//! the two stay interchangeable dialects of one frozen alphabet.
 
 use cryptonn_core::{Client, Objective};
 use cryptonn_fe::{BasicOp, FeboKeyRequest, KeyAuthority, KeyService, PermittedFunctions};
@@ -27,8 +30,15 @@ fn authority() -> &'static KeyAuthority {
 
 fn roundtrip(msg: &WireMessage) {
     let json = serde_json::to_string(msg).expect("serialize");
-    let back: WireMessage = serde_json::from_str(&json).expect("deserialize");
-    assert_eq!(&back, msg);
+    let from_json: WireMessage = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&from_json, msg);
+    let bin = cryptonn_wire::to_vec(msg).expect("binary serialize");
+    let from_bin: WireMessage = cryptonn_wire::from_slice(&bin).expect("binary deserialize");
+    assert_eq!(&from_bin, msg);
+    // Cross-format equivalence: both decodes land on the identical
+    // typed message, so a JSON client and a binary client of one
+    // daemon observe the same protocol.
+    assert_eq!(from_json, from_bin);
 }
 
 proptest! {
@@ -80,12 +90,13 @@ proptest! {
         let x = Matrix::from_fn(rows, 3, |r, c| ((r * 3 + c + seed as usize) % 10) as f64 / 10.0);
         let y = Matrix::from_fn(rows, 2, |r, c| if r % 2 == c { 1.0 } else { 0.0 });
         let batch = client.encrypt_batch(&x, &y).unwrap();
-        roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
+        let msg = WireMessage::Batch(EncryptedBatchMsg {
             client: ClientId(seed as u32 % 4),
             step: seed,
             gen: 0,
             batch,
-        }));
+        });
+        roundtrip(&msg);
         // Label-free prediction batches serialize too.
         let pred = client.encrypt_features(&x).unwrap();
         roundtrip(&WireMessage::Batch(EncryptedBatchMsg {
@@ -107,12 +118,13 @@ proptest! {
         );
         let y = Matrix::from_rows(&[&[1.0, 0.0]]);
         let batch = client.encrypt_image_batch(&images, &y, &spec).unwrap();
-        roundtrip(&WireMessage::ImageBatch(EncryptedImageBatchMsg {
+        let msg = WireMessage::ImageBatch(EncryptedImageBatchMsg {
             client: ClientId(1),
             step: seed,
             gen: 0,
             batch,
-        }));
+        });
+        roundtrip(&msg);
     }
 
     #[test]
@@ -146,10 +158,11 @@ proptest! {
         let auth = authority();
         let mut client = Client::for_mlp(auth, 3, 2, FixedPoint::TWO_DECIMALS, seed);
         let x = Matrix::from_fn(rows, 3, |r, c| ((r * 3 + c + seed as usize) % 10) as f64 / 10.0);
-        roundtrip(&WireMessage::Predict(PredictRequest {
+        let predict = WireMessage::Predict(PredictRequest {
             id: seed,
             batch: client.encrypt_features(&x).unwrap(),
-        }));
+        });
+        roundtrip(&predict);
         roundtrip(&WireMessage::Prediction(Prediction {
             id: seed,
             outputs: Matrix::from_fn(rows, 2, |r, c| (r as f64 + seed as f64) / (c as f64 + 2.0)),
@@ -263,4 +276,90 @@ fn wire_alphabet_is_frozen() {
         serde_json::to_string(&samples[1]).unwrap(),
         r#"{"Epoch":{"epoch":1}}"#
     );
+}
+
+/// At the paper's production group width, the binary encoding of an
+/// encrypted batch is strictly — and substantially — smaller than the
+/// JSON one: every 256-bit group element costs 64 hex digits plus
+/// quotes under JSON but `tag + u32 len + ≤32` raw limb bytes under
+/// binary. (At the tiny `Bits64` test group the fixed-width integer
+/// tags can outweigh the hex savings, which is why this check pins
+/// `Bits256` specifically — the bench gate's level.)
+#[test]
+fn binary_encrypted_batch_is_smaller_at_bits256() {
+    let group = SchnorrGroup::precomputed(SecurityLevel::Bits256);
+    let auth = KeyAuthority::with_seed(group, PermittedFunctions::all(), 77);
+    let mut client = Client::for_mlp(&auth, 4, 3, FixedPoint::TWO_DECIMALS, 9);
+    let x = Matrix::from_fn(2, 4, |r, c| ((r * 4 + c) % 10) as f64 / 10.0);
+    let y = Matrix::from_fn(2, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+    let msg = WireMessage::Batch(EncryptedBatchMsg {
+        client: ClientId(0),
+        step: 0,
+        gen: 0,
+        batch: client.encrypt_batch(&x, &y).unwrap(),
+    });
+    roundtrip(&msg);
+    let json = serde_json::to_string(&msg).unwrap();
+    let bin = cryptonn_wire::to_vec(&msg).unwrap();
+    assert!(
+        bin.len() < json.len(),
+        "binary ({}) not smaller than JSON ({})",
+        bin.len(),
+        json.len()
+    );
+}
+
+/// The binary twin of [`wire_alphabet_is_frozen`]: the binary codec's
+/// bytes are pinned at the same granularity — one full frame payload
+/// byte-for-byte, plus the envelope prefix (magic, version, outer map,
+/// tag string) of a frame of each cheap variant. Any change to the
+/// magic, version, tag bytes, or field layout fails here before it
+/// silently strands persisted ledgers and checkpoints.
+#[test]
+fn binary_wire_fixture_is_frozen() {
+    // `{"Epoch":{"epoch":1}}`, in full.
+    let msg = WireMessage::Epoch(EpochBarrier { epoch: 1 });
+    let bytes = cryptonn_wire::to_vec(&msg).unwrap();
+    let mut expect = vec![
+        0xb1, 0x01, // magic, version
+        0x0a, 1, 0, 0, 0, // map, 1 entry
+        0x06, 5, 0, 0, 0, // inline str, 5 bytes
+    ];
+    expect.extend_from_slice(b"Epoch");
+    expect.extend_from_slice(&[0x0a, 1, 0, 0, 0, 0x06, 5, 0, 0, 0]);
+    expect.extend_from_slice(b"epoch");
+    expect.push(0x04); // u64
+    expect.extend_from_slice(&1u64.to_le_bytes());
+    assert_eq!(bytes, expect, "binary Epoch frame drifted");
+    let back: WireMessage = cryptonn_wire::from_slice(&bytes).unwrap();
+    assert_eq!(back, msg);
+
+    // Every cheap variant's envelope: magic, version, a 1-entry outer
+    // map whose key is the inline variant tag.
+    for (msg, tag) in [
+        (
+            WireMessage::Start(TrainingStart {
+                batches_per_epoch: 3,
+            }),
+            "Start",
+        ),
+        (WireMessage::Epoch(EpochBarrier { epoch: 1 }), "Epoch"),
+        (
+            WireMessage::Delta(ModelDelta {
+                step: 0,
+                client: ClientId(0),
+                loss: 0.0,
+            }),
+            "Delta",
+        ),
+    ] {
+        let bytes = cryptonn_wire::to_vec(&msg).unwrap();
+        let mut envelope = vec![0xb1, 0x01, 0x0a, 1, 0, 0, 0, 0x06];
+        envelope.extend_from_slice(&(tag.len() as u32).to_le_bytes());
+        envelope.extend_from_slice(tag.as_bytes());
+        assert!(
+            bytes.starts_with(&envelope),
+            "binary envelope drifted for {msg:?}: {bytes:02x?}"
+        );
+    }
 }

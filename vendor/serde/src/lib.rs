@@ -33,6 +33,13 @@ pub enum Value {
     F64(f64),
     /// A string.
     Str(String),
+    /// An opaque byte string. JSON has no native byte type, so the
+    /// text format renders this as the minimal lowercase hex of the
+    /// bytes read little-endian (exactly what the bigint types used to
+    /// emit as strings), while binary formats carry the raw bytes —
+    /// the vendored stand-in for real serde's `is_human_readable()`
+    /// seam.
+    Bytes(Vec<u8>),
     /// An ordered sequence.
     Seq(Vec<Value>),
     /// An ordered map with string keys (fields preserve declaration
@@ -65,6 +72,7 @@ impl Value {
             Value::I64(_) | Value::U64(_) => "integer",
             Value::F64(_) => "float",
             Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
             Value::Seq(_) => "sequence",
             Value::Map(_) => "map",
         }
@@ -95,6 +103,12 @@ pub mod ser {
         /// Serializes a string.
         fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
             self.serialize_value(Value::Str(s.to_owned()))
+        }
+
+        /// Serializes an opaque byte string (see [`Value::Bytes`] for
+        /// how formats render it).
+        fn serialize_bytes(self, b: &[u8]) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bytes(b.to_vec()))
         }
 
         /// Serializes a boolean.

@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: a JSON writer and recursive-descent
 //! parser over the vendored `serde` value model. Supports exactly the
-//! surface the workspace uses — [`to_string`] and [`from_str`].
+//! surface the workspace uses — [`to_string`]/[`to_vec`]/[`append_to_vec`]
+//! and [`from_str`]/[`from_slice`].
 
 use serde::de::DeserializeOwned;
 use serde::{Serialize, Value};
@@ -23,9 +24,34 @@ impl std::error::Error for Error {}
 ///
 /// Returns [`Error`] if the value contains a non-finite float.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
+    let mut out = Vec::new();
+    write_value(&serde::ser::to_value(value), &mut out)?;
+    // The writer only emits valid UTF-8 (ASCII syntax plus pass-through
+    // of already-valid `&str` contents).
+    Ok(String::from_utf8(out).expect("writer emits UTF-8"))
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// As [`to_string`].
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
     write_value(&serde::ser::to_value(value), &mut out)?;
     Ok(out)
+}
+
+/// Appends a value's compact JSON encoding to `out` — the
+/// allocation-reuse entry point for callers assembling framed wire
+/// payloads. On error, `out` may hold a partial encoding; the caller
+/// owns truncating back to its checkpoint.
+///
+/// # Errors
+///
+/// As [`to_string`].
+pub fn append_to_vec<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<(), Error> {
+    write_value(&serde::ser::to_value(value), out)
 }
 
 /// Deserializes a value from a JSON string.
@@ -34,74 +60,109 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 ///
 /// Returns [`Error`] on malformed JSON or a type mismatch.
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
-    let value = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    }
-    .parse_document()?;
+    from_slice(s.as_bytes())
+}
+
+/// Deserializes a value from JSON bytes — no UTF-8 pre-pass: the
+/// parser validates exactly the bytes that need it (string contents)
+/// while scanning.
+///
+/// # Errors
+///
+/// As [`from_str`].
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let value = Parser { bytes, pos: 0 }.parse_document()?;
     serde::de::from_value(value).map_err(|e| Error(e.to_string()))
 }
 
-fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+fn write_value(v: &Value, out: &mut Vec<u8>) -> Result<(), Error> {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::I64(n) => out.push_str(&n.to_string()),
-        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::Null => out.extend_from_slice(b"null"),
+        Value::Bool(b) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        Value::I64(n) => out.extend_from_slice(n.to_string().as_bytes()),
+        Value::U64(n) => out.extend_from_slice(n.to_string().as_bytes()),
         Value::F64(f) => {
             if !f.is_finite() {
                 return Err(Error("cannot encode non-finite float".into()));
             }
             let s = f.to_string();
-            out.push_str(&s);
+            out.extend_from_slice(s.as_bytes());
             // Keep floats round-tripping as floats.
             if !s.contains(['.', 'e', 'E']) {
-                out.push_str(".0");
+                out.extend_from_slice(b".0");
             }
         }
         Value::Str(s) => write_string(s, out),
+        Value::Bytes(b) => write_bytes_hex(b, out),
         Value::Seq(items) => {
-            out.push('[');
+            out.push(b'[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
                 write_value(item, out)?;
             }
-            out.push(']');
+            out.push(b']');
         }
         Value::Map(entries) => {
-            out.push('{');
+            out.push(b'{');
             for (i, (k, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
                 write_string(k, out);
-                out.push(':');
+                out.push(b':');
                 write_value(item, out)?;
             }
-            out.push('}');
+            out.push(b'}');
         }
     }
     Ok(())
 }
 
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+/// Renders a byte string as the quoted minimal lowercase hex of the
+/// bytes read little-endian — byte-for-byte what the bigint types'
+/// `to_hex()` emitted when they serialized as strings, so switching
+/// them to [`Value::Bytes`] leaves every JSON document unchanged.
+fn write_bytes_hex(bytes: &[u8], out: &mut Vec<u8>) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    out.push(b'"');
+    match bytes.split_last() {
+        None => out.push(b'0'),
+        Some((&top, rest)) => {
+            // Minimal form: no leading zero nibble on the most
+            // significant byte.
+            if top >= 0x10 {
+                out.push(HEX[(top >> 4) as usize]);
             }
-            c => out.push(c),
+            out.push(HEX[(top & 0xf) as usize]);
+            for &b in rest.iter().rev() {
+                out.push(HEX[(b >> 4) as usize]);
+                out.push(HEX[(b & 0xf) as usize]);
+            }
         }
     }
-    out.push('"');
+    out.push(b'"');
+}
+
+fn write_string(s: &str, out: &mut Vec<u8>) {
+    out.push(b'"');
+    // Byte-wise is safe: every escape trigger is a single ASCII byte,
+    // and multi-byte UTF-8 sequences (all bytes >= 0x80) pass through.
+    for &b in s.as_bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x00..=0x1f => {
+                out.extend_from_slice(format!("\\u{b:04x}").as_bytes());
+            }
+            _ => out.push(b),
+        }
+    }
+    out.push(b'"');
 }
 
 struct Parser<'a> {
