@@ -34,6 +34,13 @@
 //! produce bit-identical summaries. `--check-wire` gates on the binary
 //! frame being smaller than the JSON one at the bench level.
 //!
+//! v5 adds the **threshold arm** (DESIGN.md §17): the same
+//! key-derivation sweep is run against a single authority daemon and
+//! against a 2-of-3 share-holder fleet behind the threshold connector —
+//! every response must be bit-identical between the two deployments —
+//! and the wall-clock overhead of partial derivation, DLEQ validation,
+//! and Lagrange recombination is recorded.
+//!
 //! ```text
 //! cargo run --release -p cryptonn-bench --bin sessions_net -- \
 //!     [--out BENCH_sessions_net.json] [--check-resume] [--check-wire]
@@ -44,18 +51,21 @@ use std::time::Instant;
 
 use cryptonn_core::Objective;
 use cryptonn_data::clinic_dataset;
-use cryptonn_fe::{KeyAuthority, PermittedFunctions};
+use cryptonn_fe::{
+    febo, BasicOp, FeboKeyRequest, KeyAuthority, PermittedFunctions, ShareSpec, ThresholdSetup,
+};
 use cryptonn_group::SchnorrGroup;
 use cryptonn_matrix::Matrix;
 use cryptonn_net::{
-    encode_frame_fmt, read_frame_sniff, run_client, AuthorityOptions, AuthorityServer, NetMsg,
-    RemoteAuthority, ServerOptions, SessionServer, TcpTransport, WireFormat, DEFAULT_MAX_FRAME,
+    encode_frame_fmt, read_frame_sniff, run_client, AuthorityConnector, AuthorityOptions,
+    AuthorityServer, NetMsg, RemoteAuthority, ServerOptions, SessionServer, TcpTransport,
+    ThresholdAuthority, WireFormat, DEFAULT_MAX_FRAME,
 };
 use cryptonn_parallel::Parallelism;
 use cryptonn_protocol::{
     replay_server, resume_from_checkpoint, round_robin_shards, CheckpointStore, ClientId,
-    ClientSession, EncryptedBatchMsg, MlpSpec, ModelSpec, ReplayResolution, SessionConfig,
-    SessionId, TrainingSessionRunner, WireMessage,
+    ClientSession, EncryptedBatchMsg, FeboKeysRequest, FeipKeysRequest, KeyRequest, MlpSpec,
+    ModelSpec, ReplayResolution, SessionConfig, SessionId, TrainingSessionRunner, WireMessage,
 };
 use cryptonn_smc::FixedPoint;
 use serde::Serialize;
@@ -144,6 +154,27 @@ struct WireBench {
     binary_over_json: f64,
 }
 
+/// One authority deployment's key-derivation sweep over TCP loopback.
+#[derive(Debug, Clone, Serialize)]
+struct ThresholdArm {
+    /// `"single"` or `"threshold-2of3"`.
+    deployment: String,
+    /// FEIP + FEBO keys derived over the sweep.
+    keys: u64,
+    wall_ms: f64,
+    keys_per_sec: f64,
+}
+
+/// Single authority vs 2-of-3 threshold key derivation (schema v5,
+/// DESIGN.md §17).
+#[derive(Debug, Serialize)]
+struct ThresholdBench {
+    arms: Vec<ThresholdArm>,
+    /// Threshold-over-single wall-time ratio — the price of partial
+    /// derivation, DLEQ validation, and Lagrange recombination.
+    overhead: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -156,6 +187,8 @@ struct Report {
     recovery: Recovery,
     /// json vs binary wire codec on the training path (schema v4).
     wire: WireBench,
+    /// single vs threshold authority key derivation (schema v5).
+    threshold: ThresholdBench,
 }
 
 /// The middle element of `xs`, destructively.
@@ -437,6 +470,108 @@ fn measure_wire(config: &SessionConfig, data: &cryptonn_data::Dataset) -> WireBe
     }
 }
 
+/// One deployment's key-derivation sweep: alternating batched FEIP and
+/// FEBO requests through the connector's authority channel, exactly
+/// the traffic a training server generates. Returns the timing arm and
+/// the raw responses so the caller can assert deployment bit-identity.
+fn run_threshold_arm(
+    deployment: &str,
+    connector: &dyn AuthorityConnector,
+    session: SessionId,
+    config: &SessionConfig,
+    data: &cryptonn_data::Dataset,
+) -> (ThresholdArm, Vec<cryptonn_protocol::KeyResponse>) {
+    let (params, mut channel) = connector
+        .connect(session, config)
+        .expect("authority connect for the threshold arm");
+    let dim = data.feature_dim();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(905);
+    let reps = 12usize;
+    let sweeps: Vec<(KeyRequest, KeyRequest)> = (0..reps)
+        .map(|r| {
+            let ys: Vec<Vec<i64>> = (0..4)
+                .map(|k| (0..dim).map(|i| ((i + k + r) % 7) as i64 - 3).collect())
+                .collect();
+            let reqs: Vec<FeboKeyRequest> =
+                [BasicOp::Add, BasicOp::Sub, BasicOp::Mul, BasicOp::Div]
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, op)| FeboKeyRequest {
+                        cmt: *febo::encrypt(&params.febo_mpk, (r * 4 + k) as i64, &mut rng)
+                            .commitment(),
+                        op,
+                        y: 1 + (r + k) as i64,
+                    })
+                    .collect();
+            (
+                KeyRequest::Feip(FeipKeysRequest { dim, ys }),
+                KeyRequest::Febo(FeboKeysRequest { reqs }),
+            )
+        })
+        .collect();
+
+    let keys = (reps * 8) as u64;
+    let start = Instant::now();
+    let mut responses = Vec::with_capacity(reps * 2);
+    for (feip, febo) in sweeps {
+        responses.push(channel.exchange(feip).expect("FEIP derivation"));
+        responses.push(channel.exchange(febo).expect("FEBO derivation"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let arm = ThresholdArm {
+        deployment: deployment.into(),
+        keys,
+        wall_ms: wall * 1e3,
+        keys_per_sec: keys as f64 / wall,
+    };
+    println!(
+        "threshold {:15}: {:8.1} ms wall, {:7.1} keys/s",
+        arm.deployment, arm.wall_ms, arm.keys_per_sec
+    );
+    (arm, responses)
+}
+
+/// The threshold arm: the same derivation sweep against a single
+/// authority daemon and against a 2-of-3 share-holder fleet — every
+/// response bit-identical, the overhead recorded.
+fn measure_threshold(config: &SessionConfig, data: &cryptonn_data::Dataset) -> ThresholdBench {
+    let single_daemon = AuthorityServer::start("127.0.0.1:0", AuthorityOptions::default())
+        .expect("single authority binds");
+    let single = RemoteAuthority::new(single_daemon.local_addr());
+    let (single_arm, single_responses) =
+        run_threshold_arm("single", &single, SessionId(910_000), config, data);
+    single_daemon.shutdown();
+
+    let setup = ThresholdSetup::new(3, 2).expect("2-of-3");
+    let share_daemons: Vec<AuthorityServer> = (1..=3)
+        .map(|i| {
+            let spec = ShareSpec::new(setup, i).expect("index in range");
+            AuthorityServer::start("127.0.0.1:0", AuthorityOptions::share_node(spec))
+                .expect("share daemon binds")
+        })
+        .collect();
+    let fleet = ThresholdAuthority::new(
+        share_daemons.iter().map(|d| d.local_addr()).collect(),
+        setup,
+    );
+    let (threshold_arm, threshold_responses) =
+        run_threshold_arm("threshold-2of3", &fleet, SessionId(910_001), config, data);
+    for d in share_daemons {
+        d.shutdown();
+    }
+
+    assert_eq!(
+        threshold_responses, single_responses,
+        "threshold-derived keys must be bit-identical to the single authority's"
+    );
+    let overhead = threshold_arm.wall_ms / single_arm.wall_ms.max(1e-9);
+    println!("threshold: 2-of-3 derivation at {overhead:.2}x the single authority");
+    ThresholdBench {
+        arms: vec![single_arm, threshold_arm],
+        overhead,
+    }
+}
+
 fn main() {
     let mut out_path = "BENCH_sessions_net.json".to_string();
     let mut check_resume = false;
@@ -599,8 +734,13 @@ fn main() {
         &data,
     );
 
+    let threshold = measure_threshold(
+        &session_config(2, data.feature_dim(), data.classes()),
+        &data,
+    );
+
     let report = Report {
-        schema: "cryptonn.bench.sessions_net/v4".into(),
+        schema: "cryptonn.bench.sessions_net/v5".into(),
         generated_by: "cargo run --release -p cryptonn-bench --bin sessions_net".into(),
         host: cryptonn_bench::host_info(),
         level: format!("{:?}", cryptonn_bench::bench_level()),
@@ -609,6 +749,7 @@ fn main() {
         measurements,
         recovery,
         wire,
+        threshold,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write telemetry JSON");

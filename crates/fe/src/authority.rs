@@ -70,7 +70,7 @@ impl PermittedFunctions {
         }
     }
 
-    fn allows_op(&self, op: BasicOp) -> bool {
+    pub(crate) fn allows_op(&self, op: BasicOp) -> bool {
         match op {
             BasicOp::Add => self.add,
             BasicOp::Sub => self.sub,

@@ -27,6 +27,22 @@ pub enum FeError {
     /// divergence, or a request for material the session never
     /// published.
     Protocol(String),
+    /// A threshold derivation could not gather a quorum: fewer than `t`
+    /// share-holders answered, so no key can be reconstructed. Never a
+    /// silent wrong key — below quorum the combiner fails closed.
+    InsufficientShares {
+        /// Partials actually gathered.
+        have: usize,
+        /// The quorum threshold `t`.
+        need: usize,
+    },
+    /// Every t-subset of the gathered partials failed validation against
+    /// the common public commitments — more shares are corrupted than
+    /// the quorum can route around.
+    SharesTampered {
+        /// Number of t-subsets tried before giving up.
+        subsets_tried: usize,
+    },
 }
 
 impl fmt::Display for FeError {
@@ -44,6 +60,19 @@ impl fmt::Display for FeError {
             }
             FeError::Group(e) => write!(f, "group operation failed: {e}"),
             FeError::Protocol(what) => write!(f, "key-service protocol failure: {what}"),
+            FeError::InsufficientShares { have, need } => {
+                write!(
+                    f,
+                    "insufficient shares for quorum: have {have}, need {need}"
+                )
+            }
+            FeError::SharesTampered { subsets_tried } => {
+                write!(
+                    f,
+                    "no t-subset of partial keys validates against the public \
+                     commitments ({subsets_tried} subsets tried)"
+                )
+            }
         }
     }
 }

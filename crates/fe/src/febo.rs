@@ -107,6 +107,13 @@ impl FeboPublicKey {
         self.h_table
             .get_or_init(|| self.group.fixed_base_table(&self.h))
     }
+
+    /// The public element `h = g^s` — the common commitment a threshold
+    /// combiner anchors its share commitments against
+    /// (`Π Fⱼ^{λⱼ} = h` for any t-subset).
+    pub fn element(&self) -> &Element {
+        &self.h
+    }
 }
 
 impl core::fmt::Debug for FeboPublicKey {
@@ -153,6 +160,14 @@ impl<'de> Deserialize<'de> for FeboPublicKey {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FeboMasterKey {
     s: Scalar,
+}
+
+impl FeboMasterKey {
+    /// The raw secret — crate-internal, so the threshold dealer can
+    /// Shamir-share it without exposing it outside the crate.
+    pub(crate) fn scalar(&self) -> &Scalar {
+        &self.s
+    }
 }
 
 /// A FEBO ciphertext: the commitment `cmt = g^r` (sent to the authority
@@ -252,7 +267,19 @@ pub fn key_derive(
     op: BasicOp,
     y: i64,
 ) -> Result<FeboFunctionKey, FeError> {
-    let cmt_s = group.pow(cmt, &msk.s);
+    finish_key(group, group.pow(cmt, &msk.s), op, y)
+}
+
+/// Applies the operand adjustment to a computed `cmt^s`, producing the
+/// final operation key. Split out of [`key_derive`] so the threshold
+/// combiner — which reconstructs `cmt^s` from Lagrange-weighted
+/// partials instead of holding `s` — lands on the identical key bits.
+pub(crate) fn finish_key(
+    group: &SchnorrGroup,
+    cmt_s: Element,
+    op: BasicOp,
+    y: i64,
+) -> Result<FeboFunctionKey, FeError> {
     let sk = match op {
         BasicOp::Add => {
             // cmt^s · g^{-y}

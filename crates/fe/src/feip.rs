@@ -57,6 +57,13 @@ impl FeipPublicKey {
         self.h.len()
     }
 
+    /// The public commitments `hᵢ = g^{sᵢ}` — the check values a
+    /// threshold combiner validates recombined keys against
+    /// (`g^{sk_y} = Π hᵢ^{yᵢ}`).
+    pub fn coordinates(&self) -> &[Element] {
+        &self.h
+    }
+
     /// The underlying group.
     pub fn group(&self) -> &SchnorrGroup {
         &self.group
@@ -130,6 +137,13 @@ impl FeipMasterKey {
     pub fn dimension(&self) -> usize {
         self.s.len()
     }
+
+    /// The secret coordinates `s₁…s_η` — crate-internal, so the
+    /// threshold dealer can Shamir-share each coordinate without the
+    /// secret ever crossing the crate boundary.
+    pub(crate) fn coordinates(&self) -> &[Scalar] {
+        &self.s
+    }
 }
 
 /// A function-derived key `sk_f = ⟨y, s⟩` for a specific weight vector `y`.
@@ -147,6 +161,12 @@ impl FeipFunctionKey {
     /// communication log.
     pub fn scalar(&self) -> &Scalar {
         &self.sk
+    }
+
+    /// Assembles a key from a recombined scalar (threshold Lagrange
+    /// aggregation lands on exactly the scalar `key_derive` computes).
+    pub(crate) fn from_scalar(sk: Scalar) -> Self {
+        Self { sk }
     }
 }
 

@@ -46,6 +46,7 @@ mod error;
 pub mod febo;
 pub mod feip;
 mod service;
+pub mod threshold;
 
 pub use authority::{
     CommLog, KeyAuthority, PermittedFunctions, COMMITMENT_BYTES, KEY_BYTES, WEIGHT_BYTES,
@@ -57,3 +58,7 @@ pub use feip::{
     combine as feip_combine, FeipCiphertext, FeipFunctionKey, FeipMasterKey, FeipPublicKey,
 };
 pub use service::{FeboKeyRequest, KeyService};
+pub use threshold::{
+    local_threshold_service, DleqProof, FeboPartial, LocalShareClient, ShareAuthority, ShareClient,
+    ShareClientError, ShareSpec, ThresholdKeyService, ThresholdSetup, ThresholdStats,
+};

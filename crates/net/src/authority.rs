@@ -19,18 +19,26 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use cryptonn_fe::threshold::{
+    ShareClient, ShareClientError, ShareSpec, ThresholdKeyService, ThresholdSetup,
+};
+use cryptonn_fe::{FeError, FeboKeyRequest, FeboPartial, FeipPublicKey, KeyService};
+use cryptonn_group::{Element, Scalar, SchnorrGroup};
 use cryptonn_parallel::ThreadPool;
 use cryptonn_protocol::{
-    AuthorityChannel, AuthoritySession, KeyRequest, KeyResponse, ProtocolError, PublicParams,
-    SessionConfig, SessionId, WireMessage,
+    AuthorityChannel, AuthoritySession, FeboKeysRequest, FeipKeysRequest, KeyRequest, KeyResponse,
+    PartialKey, ProtocolError, PublicParams, SessionConfig, SessionId, ShareInfo, ShareRequest,
+    ShareSession, WireMessage,
 };
 
 use crate::error::NetError;
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::framing::DEFAULT_MAX_FRAME;
-use crate::transport::{FrameRx, FrameTx, Hello, NetMsg, Peer, TcpTransport};
+use crate::transport::{FrameRx, FrameTx, Hello, NetMsg, Peer, TcpTransport, Transport};
 
 /// How a training server reaches the session's key authority: one call
 /// per session, yielding the published parameters and the live
@@ -159,6 +167,12 @@ pub struct AuthorityOptions {
     pub pool_threads: usize,
     /// Frame cap per connection.
     pub max_frame: usize,
+    /// Run this daemon as one share-holder of a t-of-n threshold
+    /// deployment instead of a full authority: it answers
+    /// partial-derivation requests (and public-key lookups) but refuses
+    /// full key derivations. `None` (the default) is the classic single
+    /// authority.
+    pub share: Option<ShareSpec>,
 }
 
 impl Default for AuthorityOptions {
@@ -166,13 +180,65 @@ impl Default for AuthorityOptions {
         Self {
             pool_threads: 16,
             max_frame: DEFAULT_MAX_FRAME,
+            share: None,
+        }
+    }
+}
+
+impl AuthorityOptions {
+    /// Options for share-holder `spec` of a threshold deployment.
+    pub fn share_node(spec: ShareSpec) -> Self {
+        Self {
+            share: Some(spec),
+            ..Self::default()
+        }
+    }
+}
+
+/// The per-session state behind one daemon: a full authority, or one
+/// share-holder of a threshold deployment (per [`AuthorityOptions::share`]).
+enum NodeRole {
+    Full(Arc<AuthoritySession>),
+    Share(Arc<ShareSession>),
+}
+
+impl NodeRole {
+    fn for_options(options: &AuthorityOptions, config: &SessionConfig) -> (Self, PublicParams) {
+        match options.share {
+            Some(spec) => {
+                let session = Arc::new(ShareSession::new(config, spec));
+                let params = session.public_params_for(config);
+                (NodeRole::Share(session), params)
+            }
+            None => {
+                let session = Arc::new(AuthoritySession::new(config));
+                let params = session.public_params_for(config);
+                (NodeRole::Full(session), params)
+            }
+        }
+    }
+
+    fn handle_message(
+        &self,
+        msg: &WireMessage,
+    ) -> Result<Vec<cryptonn_protocol::Outbound>, ProtocolError> {
+        match self {
+            NodeRole::Full(session) => session.handle_message(msg),
+            NodeRole::Share(session) => session.handle_message(msg),
+        }
+    }
+
+    fn clone_role(&self) -> Self {
+        match self {
+            NodeRole::Full(s) => NodeRole::Full(Arc::clone(s)),
+            NodeRole::Share(s) => NodeRole::Share(Arc::clone(s)),
         }
     }
 }
 
 struct AuthorityEntry {
     config: SessionConfig,
-    session: Arc<AuthoritySession>,
+    role: NodeRole,
     params: PublicParams,
 }
 
@@ -277,7 +343,7 @@ fn serve_authority_conn(
     // One authority state per session, derived deterministically from
     // the session config; later connections must agree bit-for-bit so
     // a mismatched peer cannot steer key derivation.
-    let (session, params) = {
+    let (role, params) = {
         let mut reg = registry.lock();
         match reg.get(&hello.session) {
             Some(entry) if entry.config != hello.config => {
@@ -288,19 +354,18 @@ fn serve_authority_conn(
                 )));
                 return;
             }
-            Some(entry) => (Arc::clone(&entry.session), entry.params.clone()),
+            Some(entry) => (entry.role.clone_role(), entry.params.clone()),
             None => {
-                let session = Arc::new(AuthoritySession::new(&hello.config));
-                let params = session.public_params_for(&hello.config);
+                let (role, params) = NodeRole::for_options(&options, &hello.config);
                 reg.insert(
                     hello.session,
                     AuthorityEntry {
                         config: hello.config.clone(),
-                        session: Arc::clone(&session),
+                        role: role.clone_role(),
                         params: params.clone(),
                     },
                 );
-                (session, params)
+                (role, params)
             }
         }
     };
@@ -312,7 +377,7 @@ fn serve_authority_conn(
     }
     loop {
         match transport.recv() {
-            Ok(Some(NetMsg::Msg(msg))) => match session.handle_message(&msg) {
+            Ok(Some(NetMsg::Msg(msg))) => match role.handle_message(&msg) {
                 Ok(outs) => {
                     for ob in outs {
                         if transport.send(&NetMsg::Msg(ob.msg)).is_err() {
@@ -331,5 +396,406 @@ fn serve_authority_conn(
             }
             Ok(None) | Err(_) => return,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold mode: share-holder clients and the t-of-n connector
+// ---------------------------------------------------------------------------
+
+/// A [`ShareClient`] over a live TCP connection to one share-holder
+/// daemon (an [`AuthorityServer`] started with
+/// [`AuthorityOptions::share_node`]).
+///
+/// Transport failures surface as [`ShareClientError::Failed`], so the
+/// combiner evicts the node and retries on the surviving quorum; a
+/// typed refusal from the node ([`PartialKey::Denied`]) surfaces as
+/// [`ShareClientError::Refused`] and propagates — a share-holder
+/// refusing a request is a protocol outcome, not a dead peer.
+pub struct TcpShareClient {
+    index: u32,
+    transport: Box<dyn Transport + Send>,
+}
+
+impl TcpShareClient {
+    fn failed(msg: impl Into<String>) -> ShareClientError {
+        ShareClientError::Failed(FeError::Protocol(msg.into()))
+    }
+
+    fn ask(&mut self, msg: WireMessage) -> Result<WireMessage, ShareClientError> {
+        self.transport
+            .send(&NetMsg::Msg(msg))
+            .map_err(|e| Self::failed(e.to_string()))?;
+        match self
+            .transport
+            .recv()
+            .map_err(|e| Self::failed(e.to_string()))?
+        {
+            Some(NetMsg::Msg(reply)) => Ok(reply),
+            Some(NetMsg::Reject(why)) => Err(Self::failed(format!(
+                "share-holder rejected the exchange: {why}"
+            ))),
+            Some(other) => Err(Self::failed(format!(
+                "share-holder sent an unexpected frame: {other:?}"
+            ))),
+            None => Err(Self::failed("share-holder closed the connection")),
+        }
+    }
+
+    fn ask_partial(&mut self, req: ShareRequest) -> Result<PartialKey, ShareClientError> {
+        match self.ask(WireMessage::ShareRequest(req))? {
+            WireMessage::PartialKey(PartialKey::Denied(why)) => {
+                Err(ShareClientError::Refused(FeError::Protocol(why)))
+            }
+            WireMessage::PartialKey(p) => Ok(p),
+            other => Err(Self::failed(format!(
+                "expected a partial-key frame, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ShareClient for TcpShareClient {
+    fn index(&self) -> u32 {
+        self.index
+    }
+
+    fn feip_public_key(&mut self, dim: usize) -> Result<FeipPublicKey, ShareClientError> {
+        match self.ask(WireMessage::KeyRequest(KeyRequest::FeipMpk(dim)))? {
+            WireMessage::KeyResponse(KeyResponse::FeipMpk(mpk)) => Ok(mpk),
+            WireMessage::KeyResponse(KeyResponse::Denied(why)) => {
+                Err(ShareClientError::Refused(FeError::Protocol(why)))
+            }
+            other => Err(Self::failed(format!(
+                "expected a FeipMpk response, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn feip_partials(
+        &mut self,
+        dim: usize,
+        ys: &[Vec<i64>],
+    ) -> Result<Vec<Scalar>, ShareClientError> {
+        match self.ask_partial(ShareRequest::Feip(FeipKeysRequest {
+            dim,
+            ys: ys.to_vec(),
+        }))? {
+            PartialKey::Feip(partials) => Ok(partials),
+            _ => Err(Self::failed("expected FEIP partials")),
+        }
+    }
+
+    fn febo_partials(
+        &mut self,
+        reqs: &[FeboKeyRequest],
+    ) -> Result<Vec<FeboPartial>, ShareClientError> {
+        match self.ask_partial(ShareRequest::Febo(FeboKeysRequest {
+            reqs: reqs.to_vec(),
+        }))? {
+            PartialKey::Febo(partials) => Ok(partials),
+            _ => Err(Self::failed("expected FEBO partials")),
+        }
+    }
+}
+
+/// Connector to a t-of-n fleet of share-holder daemons: the threshold
+/// replacement for [`RemoteAuthority`] (DESIGN.md §17).
+///
+/// `connect` dials every share-holder, checks the public parameters and
+/// share commitments agree across the fleet, and hands back a channel
+/// that recombines partial derivations locally. Dead or unreachable
+/// nodes are tolerated as long as at least `t` answer; below that the
+/// connect fails closed with [`NetError::Quorum`]. The single authority
+/// is the `n = t = 1` special case pointed at one share daemon.
+pub struct ThresholdAuthority {
+    addrs: Vec<SocketAddr>,
+    setup: ThresholdSetup,
+    max_frame: usize,
+    read_timeout: Option<Duration>,
+    fault_plans: HashMap<usize, FaultPlan>,
+}
+
+impl ThresholdAuthority {
+    /// Points at a fleet of share-holder daemons, one address per node
+    /// (so `addrs.len()` must equal `setup.n()`).
+    ///
+    /// # Panics
+    ///
+    /// When the address count disagrees with the setup.
+    pub fn new(addrs: Vec<SocketAddr>, setup: ThresholdSetup) -> Self {
+        assert_eq!(
+            addrs.len(),
+            setup.n(),
+            "one share-holder address per node required"
+        );
+        Self {
+            addrs,
+            setup,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: None,
+            fault_plans: HashMap::new(),
+        }
+    }
+
+    /// Parses a `t=2@host:port,host:port,…` deployment spec (the
+    /// `CRYPTONN_AUTHORITY` format): the quorum threshold, then the
+    /// share-holder addresses; `n` is the address count.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Malformed`] on an unparseable spec or an invalid
+    /// `(n, t)` combination.
+    pub fn from_spec(spec: &str) -> Result<Self, NetError> {
+        let bad = |why: &str| NetError::Malformed(format!("threshold spec `{spec}`: {why}"));
+        let (head, tail) = spec
+            .split_once('@')
+            .ok_or_else(|| bad("expected `t=<quorum>@addr,addr,…`"))?;
+        let t: u32 = head
+            .strip_prefix("t=")
+            .ok_or_else(|| bad("expected a `t=<quorum>` prefix"))?
+            .parse()
+            .map_err(|_| bad("quorum is not a number"))?;
+        let addrs = tail
+            .split(',')
+            .map(|a| a.trim().parse::<SocketAddr>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| bad("address does not parse"))?;
+        let setup = ThresholdSetup::new(addrs.len() as u32, t)
+            .map_err(|e| bad(&format!("invalid setup: {e}")))?;
+        Ok(Self::new(addrs, setup))
+    }
+
+    /// The `(n, t)` deployment this connector expects.
+    pub fn setup(&self) -> ThresholdSetup {
+        self.setup
+    }
+
+    /// Replaces the frame cap used on share-holder connections.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Applies a read deadline per share-holder exchange, so one hung
+    /// node degrades to an eviction instead of stalling derivation.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Injects a [`FaultPlan`] on the connection to the node at
+    /// position `pos` (0-based, in address order). The plan starts
+    /// counting after the connect handshake, so `kill_after_sends(k)`
+    /// kills the node after `k` derivation requests. Test-oriented: the
+    /// conformance suite uses this to kill `n − t` nodes mid-run.
+    pub fn with_fault_plan(mut self, pos: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.insert(pos, plan);
+        self
+    }
+}
+
+/// Builds an [`AuthorityConnector`] from a deployment spec: a
+/// `t=<quorum>@addr,addr,…` string selects a [`ThresholdAuthority`]
+/// fleet, a bare `host:port` a single [`RemoteAuthority`].
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] when the spec is neither form.
+pub fn connector_from_spec(spec: &str) -> Result<Arc<dyn AuthorityConnector>, NetError> {
+    if spec.contains('@') {
+        return Ok(Arc::new(ThresholdAuthority::from_spec(spec)?));
+    }
+    let addr: SocketAddr = spec.parse().map_err(|_| {
+        NetError::Malformed(format!(
+            "authority spec `{spec}`: neither a `host:port` address nor a \
+             `t=<quorum>@addr,…` threshold spec"
+        ))
+    })?;
+    Ok(Arc::new(RemoteAuthority::new(addr)))
+}
+
+/// Builds the connector named by the `CRYPTONN_AUTHORITY` environment
+/// variable (see [`connector_from_spec`] for the accepted forms),
+/// falling back to a single [`RemoteAuthority`] at `default` when the
+/// variable is unset.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] when the variable is set but unparseable.
+pub fn connector_from_env(default: SocketAddr) -> Result<Arc<dyn AuthorityConnector>, NetError> {
+    match std::env::var("CRYPTONN_AUTHORITY") {
+        Ok(spec) => connector_from_spec(&spec),
+        Err(_) => Ok(Arc::new(RemoteAuthority::new(default))),
+    }
+}
+
+impl AuthorityConnector for ThresholdAuthority {
+    fn connect(
+        &self,
+        session: SessionId,
+        config: &SessionConfig,
+    ) -> Result<(PublicParams, Box<dyn AuthorityChannel>), NetError> {
+        let need = self.setup.t();
+        let mut params: Option<PublicParams> = None;
+        let mut commitments: Option<Vec<Element>> = None;
+        let mut nodes: Vec<Box<dyn ShareClient>> = Vec::new();
+        for (pos, addr) in self.addrs.iter().enumerate() {
+            let handshake = dial_share_node(*addr, self.max_frame, self.read_timeout, || Hello {
+                session,
+                peer: Peer::Server,
+                config: config.clone(),
+            });
+            let (transport, node_params, info) = match handshake {
+                Ok(ok) => ok,
+                // A rejection is a disagreement about the session (bad
+                // config, an index collision), not a dead peer — it
+                // would reproduce on every retry, so fail loudly.
+                Err(NetError::Rejected(why)) => return Err(NetError::Rejected(why)),
+                // Anything else is a dead/unreachable node: threshold
+                // mode exists to tolerate exactly this.
+                Err(_) => continue,
+            };
+            if (info.n as usize, info.t as usize) != (self.setup.n(), self.setup.t()) {
+                return Err(NetError::Rejected(format!(
+                    "node at {addr} reports a {}-of-{} deployment, connector expects {}-of-{}",
+                    info.t,
+                    info.n,
+                    self.setup.t(),
+                    self.setup.n(),
+                )));
+            }
+            match &params {
+                Some(first) if *first != node_params => {
+                    return Err(NetError::Rejected(format!(
+                        "node at {addr} disagrees on the public parameters"
+                    )));
+                }
+                Some(_) => {}
+                None => params = Some(node_params),
+            }
+            match &commitments {
+                Some(first) if *first != info.febo_commitments => {
+                    return Err(NetError::Rejected(format!(
+                        "node at {addr} disagrees on the share commitments"
+                    )));
+                }
+                Some(_) => {}
+                None => commitments = Some(info.febo_commitments),
+            }
+            let transport: Box<dyn Transport + Send> = match self.fault_plans.get(&pos) {
+                Some(plan) => Box::new(FaultyTransport::new(transport, *plan)),
+                None => Box::new(transport),
+            };
+            nodes.push(Box::new(TcpShareClient {
+                index: info.index,
+                transport,
+            }));
+        }
+        if nodes.len() < need {
+            return Err(NetError::Quorum {
+                have: nodes.len(),
+                need,
+            });
+        }
+        let (params, commitments) = (
+            params.expect("quorum met"),
+            commitments.expect("quorum met"),
+        );
+        let group = SchnorrGroup::precomputed(config.level);
+        let service = ThresholdKeyService::new(
+            group,
+            self.setup,
+            params.febo_mpk.clone(),
+            commitments,
+            nodes,
+        )
+        .map_err(|e| NetError::Rejected(format!("threshold deployment rejected: {e}")))?;
+        Ok((params, Box::new(ThresholdChannel { service })))
+    }
+}
+
+/// Dials one share-holder and runs the connect handshake: `Hello` →
+/// `PublicParams`, then `ShareRequest::Info` → `PartialKey::Info`.
+fn dial_share_node(
+    addr: SocketAddr,
+    max_frame: usize,
+    read_timeout: Option<Duration>,
+    hello: impl FnOnce() -> Hello,
+) -> Result<(TcpTransport, PublicParams, ShareInfo), NetError> {
+    let mut transport = TcpTransport::connect(addr, max_frame)?;
+    transport.set_read_timeout(read_timeout)?;
+    transport.send(&NetMsg::Hello(hello()))?;
+    let params = match transport.recv()? {
+        Some(NetMsg::Msg(WireMessage::PublicParams(p))) => p,
+        Some(NetMsg::Reject(why)) => return Err(NetError::Rejected(why)),
+        Some(_) => return Err(NetError::UnexpectedFrame("expected PublicParams")),
+        None => return Err(NetError::Disconnected),
+    };
+    transport.send(&NetMsg::Msg(WireMessage::ShareRequest(ShareRequest::Info)))?;
+    let info = match transport.recv()? {
+        Some(NetMsg::Msg(WireMessage::PartialKey(PartialKey::Info(info)))) => info,
+        Some(NetMsg::Reject(why)) => return Err(NetError::Rejected(why)),
+        Some(_) => return Err(NetError::UnexpectedFrame("expected ShareInfo")),
+        None => return Err(NetError::Disconnected),
+    };
+    Ok((transport, params, info))
+}
+
+/// The [`AuthorityChannel`] of a threshold deployment: key requests
+/// answered by local Lagrange recombination over the share-holder
+/// fleet, behind the exact wire contract [`AuthoritySession::handle`]
+/// implements — so the server session (and the key cache above it, which
+/// therefore only ever holds aggregated keys) cannot tell a quorum from
+/// a single authority.
+struct ThresholdChannel {
+    service: ThresholdKeyService,
+}
+
+impl AuthorityChannel for ThresholdChannel {
+    fn exchange(&mut self, req: KeyRequest) -> Result<KeyResponse, ProtocolError> {
+        let dim_of = |r: &KeyRequest| match r {
+            KeyRequest::FeipMpk(dim) | KeyRequest::Feip(FeipKeysRequest { dim, .. }) => Some(*dim),
+            KeyRequest::Febo(_) => None,
+        };
+        if dim_of(&req) == Some(0) {
+            return Ok(KeyResponse::Denied(
+                "FEIP dimension must be positive".into(),
+            ));
+        }
+        match req {
+            KeyRequest::FeipMpk(dim) => {
+                settle(self.service.feip_public_key(dim), KeyResponse::FeipMpk)
+            }
+            KeyRequest::Feip(FeipKeysRequest { dim, ys }) => {
+                settle(self.service.derive_ip_keys(dim, &ys), KeyResponse::Feip)
+            }
+            KeyRequest::Febo(FeboKeysRequest { reqs }) => {
+                settle(self.service.derive_bo_keys(&reqs), KeyResponse::Febo)
+            }
+        }
+    }
+}
+
+/// Maps combiner outcomes onto the wire contract: refusals become
+/// [`KeyResponse::Denied`] exactly as a single authority records them,
+/// quorum loss fails closed as the typed [`ProtocolError::Quorum`], and
+/// tampering beyond recovery is a hard transport-class failure — never
+/// a silently wrong key.
+fn settle<T>(
+    result: Result<T, FeError>,
+    ok: impl FnOnce(T) -> KeyResponse,
+) -> Result<KeyResponse, ProtocolError> {
+    match result {
+        Ok(v) => Ok(ok(v)),
+        Err(FeError::InsufficientShares { have, need }) => {
+            Err(ProtocolError::Quorum { have, need })
+        }
+        Err(e @ (FeError::SharesTampered { .. } | FeError::Protocol(_))) => {
+            Err(ProtocolError::Transport(e.to_string()))
+        }
+        Err(e) => Ok(KeyResponse::Denied(e.to_string())),
     }
 }

@@ -56,6 +56,16 @@ pub enum NetError {
         /// The configured bound.
         max: usize,
     },
+    /// Too few threshold share-holders are reachable to form a quorum:
+    /// a t-of-n authority connect (or a mid-run derivation) could not
+    /// gather `need` live nodes. Fails closed — no partial quorum ever
+    /// derives a key.
+    Quorum {
+        /// Live share-holders found.
+        have: usize,
+        /// The quorum threshold `t`.
+        need: usize,
+    },
     /// The session state machine under this transport failed.
     Protocol(ProtocolError),
 }
@@ -85,6 +95,10 @@ impl fmt::Display for NetError {
                     "outbound queue at {queued} bytes exceeds the {max}-byte bound"
                 )
             }
+            NetError::Quorum { have, need } => write!(
+                f,
+                "threshold quorum unreachable: {have} share-holders live, need {need}"
+            ),
             NetError::Protocol(e) => write!(f, "session failed: {e}"),
         }
     }

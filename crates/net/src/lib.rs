@@ -127,7 +127,8 @@ pub mod transport;
 mod error;
 
 pub use authority::{
-    AuthorityConnector, AuthorityOptions, AuthorityServer, LocalAuthority, RemoteAuthority,
+    connector_from_env, connector_from_spec, AuthorityConnector, AuthorityOptions, AuthorityServer,
+    LocalAuthority, RemoteAuthority, TcpShareClient, ThresholdAuthority,
 };
 pub use client::{run_client, run_client_resumable};
 pub use codec::{FrameDecoder, OutboundQueue, WriteProgress};

@@ -563,7 +563,19 @@ fn serve_client_conn(
             _ => None,
         });
     if let Some(why) = failure {
-        reject(&mut tx, format!("{} failed: {why}", hello.session));
+        if let Some(mut tx) = tx.take() {
+            if tx
+                .send(&NetMsg::Reject(format!("{} failed: {why}", hello.session)))
+                .is_ok()
+            {
+                // Drain until the client hangs up: its registration is
+                // already in flight behind the Hello, and dropping the
+                // reader with that frame unread kills the connection
+                // before the verdict is read (same discipline as the
+                // served-summary path above).
+                while let Ok(Some(_)) = rx.recv() {}
+            }
+        }
         return;
     }
 

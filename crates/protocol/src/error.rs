@@ -175,6 +175,15 @@ pub enum ProtocolError {
     /// A session-configuration inconsistency (zero clients, shard/step
     /// disagreement…).
     InvalidConfig(String),
+    /// A threshold key derivation fell below quorum mid-run: fewer than
+    /// `need` share-holders are still answering, so the session fails
+    /// closed rather than hang or derive a wrong key (DESIGN.md §17).
+    Quorum {
+        /// Share-holders that answered.
+        have: usize,
+        /// The quorum threshold `t`.
+        need: usize,
+    },
     /// Writing, reading, or applying a durable checkpoint failed.
     Checkpoint(crate::checkpoint::CheckpointError),
 }
@@ -209,6 +218,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Io(e) => write!(f, "transcript file I/O failed: {e}"),
             ProtocolError::Transport(e) => write!(f, "session transport failed: {e}"),
             ProtocolError::InvalidConfig(what) => write!(f, "invalid session config: {what}"),
+            ProtocolError::Quorum { have, need } => write!(
+                f,
+                "threshold quorum lost: {have} share-holders answering, need {need}"
+            ),
             ProtocolError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }

@@ -79,9 +79,10 @@ pub use error::{ProtocolError, ReplayError};
 pub use inference::{InferenceOptions, InferenceSession};
 pub use messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
-    FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PredictRequest,
-    Prediction, PublicParams, RegisterClient, ReshardEntry, ReshardSpec, ResumeMsg, ResumeOptions,
-    SessionConfig, SessionId, SessionPolicy, SessionSummary, TrainingStart, WireMessage,
+    FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec, PartialKey,
+    PredictRequest, Prediction, PublicParams, RegisterClient, ReshardEntry, ReshardSpec, ResumeMsg,
+    ResumeOptions, SessionConfig, SessionId, SessionPolicy, SessionSummary, ShareInfo,
+    ShareRequest, TrainingStart, WireMessage,
 };
 pub use replay::{
     replay_server, replay_server_prefix, resume_from_checkpoint, ReplayChannel, ReplayOutcome,
@@ -92,6 +93,6 @@ pub use runner::{
 };
 pub use session::{
     rows_to_images, AuthorityChannel, AuthoritySession, ChannelKeyService, ClientSession, Outbound,
-    ServerModel, ServerSession, DEFAULT_CLIENT_WINDOW,
+    ServerModel, ServerSession, ShareSession, DEFAULT_CLIENT_WINDOW,
 };
 pub use transcript::{Envelope, Party, Transcript};

@@ -13,10 +13,10 @@
 
 use cryptonn_core::{EncryptedBatch, EncryptedImageBatch, Objective};
 use cryptonn_fe::{
-    FeboFunctionKey, FeboKeyRequest, FeboPublicKey, FeipFunctionKey, FeipPublicKey,
+    FeboFunctionKey, FeboKeyRequest, FeboPartial, FeboPublicKey, FeipFunctionKey, FeipPublicKey,
     PermittedFunctions,
 };
-use cryptonn_group::SecurityLevel;
+use cryptonn_group::{Element, Scalar, SecurityLevel};
 use cryptonn_matrix::Matrix;
 use cryptonn_smc::FixedPoint;
 use serde::{Deserialize, Serialize};
@@ -292,6 +292,53 @@ pub enum KeyResponse {
     Denied(String),
 }
 
+/// Combiner → share-holder: every request a threshold combiner can
+/// make of one share-holder node (DESIGN.md §17). Mirrors
+/// [`KeyRequest`], but answers are *partial* derivations — a
+/// share-holder never assembles (and refuses to serve) a full function
+/// key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShareRequest {
+    /// This node's place in the deployment plus the common share
+    /// commitments (first request after the hello, so the combiner can
+    /// consensus-check the deployment before deriving anything).
+    Info,
+    /// Batched FEIP partials: `⟨f(j), y⟩ mod q` per weight vector.
+    Feip(FeipKeysRequest),
+    /// Batched FEBO partials: `cmt^{uⱼ}` plus a DLEQ proof per request.
+    Febo(FeboKeysRequest),
+}
+
+/// A share-holder's public self-description, answered to
+/// [`ShareRequest::Info`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShareInfo {
+    /// This node's 1-based share index.
+    pub index: u32,
+    /// Number of share-holders in the deployment.
+    pub n: u32,
+    /// Quorum size.
+    pub t: u32,
+    /// Public share commitments `F_k = g^{u_k}`, one per node —
+    /// identical on every honest replica, anchored to the FEBO public
+    /// key by the combiner.
+    pub febo_commitments: Vec<Element>,
+}
+
+/// Share-holder → combiner: the response to one [`ShareRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartialKey {
+    /// The node's self-description.
+    Info(ShareInfo),
+    /// FEIP partials, in request order.
+    Feip(Vec<Scalar>),
+    /// FEBO partials with DLEQ proofs, in request order.
+    Febo(Vec<FeboPartial>),
+    /// The node refused (permitted-set violation, bad operand, or a
+    /// full-key request sent to a share-holder).
+    Denied(String),
+}
+
 /// Client → inference server: one encrypted feature batch to predict
 /// on. The batch carries **no labels** (it is built by
 /// [`Client::encrypt_features`](cryptonn_core::Client::encrypt_features));
@@ -497,6 +544,11 @@ pub enum WireMessage {
     KeyRequest(KeyRequest),
     /// The authority's response.
     KeyResponse(KeyResponse),
+    /// A combiner → share-holder partial-derivation request
+    /// (threshold mode).
+    ShareRequest(ShareRequest),
+    /// The share-holder's response (threshold mode).
+    PartialKey(PartialKey),
     /// Per-step training metrics.
     Delta(ModelDelta),
     /// Epoch boundary.
@@ -526,6 +578,8 @@ impl WireMessage {
             WireMessage::ImageBatch(_) => "image-batch",
             WireMessage::KeyRequest(_) => "key-request",
             WireMessage::KeyResponse(_) => "key-response",
+            WireMessage::ShareRequest(_) => "share-request",
+            WireMessage::PartialKey(_) => "partial-key",
             WireMessage::Delta(_) => "delta",
             WireMessage::Epoch(_) => "epoch",
             WireMessage::Summary(_) => "summary",

@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use cryptonn_core::{Client, CryptoCnn, CryptoMlp, CryptoNnConfig};
 use cryptonn_fe::{
     FeError, FeboFunctionKey, FeboKeyRequest, FeboPublicKey, FeipFunctionKey, FeipPublicKey,
-    KeyAuthority, KeyService,
+    KeyAuthority, KeyService, ShareAuthority, ShareSpec,
 };
 use cryptonn_group::SchnorrGroup;
 use cryptonn_matrix::{Matrix, Tensor4};
@@ -45,9 +45,9 @@ use crate::checkpoint::{SessionCheckpoint, CHECKPOINT_SCHEMA};
 use crate::error::ProtocolError;
 use crate::messages::{
     ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier, FeboKeysRequest,
-    FeipKeysRequest, KeyRequest, KeyResponse, ModelDelta, ModelSpec, PublicParams, RegisterClient,
-    ReshardEntry, ReshardSpec, ResumeMsg, SessionConfig, SessionPolicy, SessionSummary,
-    TrainingStart, WireMessage,
+    FeipKeysRequest, KeyRequest, KeyResponse, ModelDelta, ModelSpec, PartialKey, PublicParams,
+    RegisterClient, ReshardEntry, ReshardSpec, ResumeMsg, SessionConfig, SessionPolicy,
+    SessionSummary, ShareInfo, ShareRequest, TrainingStart, WireMessage,
 };
 use crate::transcript::Party;
 
@@ -194,6 +194,115 @@ impl AuthoritySession {
             )]),
             other => Err(ProtocolError::Unexpected {
                 role: "authority",
+                kind: other.kind(),
+            }),
+        }
+    }
+}
+
+/// One share-holder of a t-of-n threshold authority as a session: owns
+/// a [`ShareAuthority`] dealer replica and answers serializable
+/// partial-derivation requests (DESIGN.md §17).
+///
+/// A share node also answers [`KeyRequest::FeipMpk`] (public keys are
+/// common knowledge), but *refuses* full-key derivations with
+/// [`KeyResponse::Denied`] — a share-holder never assembles a complete
+/// function key.
+#[derive(Debug)]
+pub struct ShareSession {
+    node: ShareAuthority,
+}
+
+impl ShareSession {
+    /// Sets up share-holder `spec.index()` for a session: group from
+    /// the configured level, dealer replica from the configured
+    /// authority seed — so any quorum recombines to exactly the keys
+    /// [`AuthoritySession::new`] would derive from the same config.
+    pub fn new(config: &SessionConfig, spec: ShareSpec) -> Self {
+        let group = SchnorrGroup::precomputed(config.level);
+        Self {
+            node: ShareAuthority::with_seed(group, config.permitted, config.authority_seed, spec),
+        }
+    }
+
+    /// The underlying share-holder.
+    pub fn node(&self) -> &ShareAuthority {
+        &self.node
+    }
+
+    /// The session's public parameters — identical to what the single
+    /// [`AuthoritySession`] publishes (same mpks, same derivation
+    /// order), so the client/server sides are agnostic to the
+    /// authority's deployment shape.
+    pub fn public_params_for(&self, config: &SessionConfig) -> PublicParams {
+        let (x_dim, classes) = config.model.first_layer_dims();
+        PublicParams {
+            x_mpk: self.node.feip_public_key(x_dim),
+            y_mpk: self.node.feip_public_key(classes),
+            febo_mpk: self.node.febo_public_key(),
+            fp: config.fp,
+        }
+    }
+
+    /// Serves one partial-derivation request. Refusals come back as
+    /// [`PartialKey::Denied`], mirroring [`AuthoritySession::handle`].
+    pub fn handle(&self, req: &ShareRequest) -> PartialKey {
+        match req {
+            ShareRequest::Info => {
+                let spec = self.node.spec();
+                PartialKey::Info(ShareInfo {
+                    index: spec.index(),
+                    n: spec.setup().n() as u32,
+                    t: spec.setup().t() as u32,
+                    febo_commitments: self.node.febo_commitments().to_vec(),
+                })
+            }
+            ShareRequest::Feip(FeipKeysRequest { dim, ys }) => {
+                if *dim == 0 {
+                    return PartialKey::Denied("FEIP dimension must be positive".into());
+                }
+                match self.node.feip_partials(*dim, ys) {
+                    Ok(partials) => PartialKey::Feip(partials),
+                    Err(e) => PartialKey::Denied(e.to_string()),
+                }
+            }
+            ShareRequest::Febo(FeboKeysRequest { reqs }) => match self.node.febo_partials(reqs) {
+                Ok(partials) => PartialKey::Febo(partials),
+                Err(e) => PartialKey::Denied(e.to_string()),
+            },
+        }
+    }
+
+    /// Serves the subset of [`KeyRequest`]s a share-holder may answer:
+    /// public keys yes, full derivations never.
+    pub fn handle_key(&self, req: &KeyRequest) -> KeyResponse {
+        match req {
+            KeyRequest::FeipMpk(0) => KeyResponse::Denied("FEIP dimension must be positive".into()),
+            KeyRequest::FeipMpk(dim) => KeyResponse::FeipMpk(self.node.feip_public_key(*dim)),
+            KeyRequest::Feip(_) | KeyRequest::Febo(_) => KeyResponse::Denied(
+                "share-holders serve partial derivations only; ask the combiner".into(),
+            ),
+        }
+    }
+
+    /// The event-driven surface: partial-derivation requests (and the
+    /// public-key subset of plain key requests) in, responses out.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Unexpected`] for anything else.
+    pub fn handle_message(&self, msg: &WireMessage) -> Result<Vec<Outbound>, ProtocolError> {
+        match msg {
+            WireMessage::ShareRequest(req) => Ok(vec![Outbound::to(
+                Party::Server,
+                WireMessage::PartialKey(self.handle(req)),
+            )]),
+            WireMessage::KeyRequest(req) => Ok(vec![Outbound::to(
+                Party::Server,
+                WireMessage::KeyResponse(self.handle_key(req)),
+            )]),
+            other => Err(ProtocolError::Unexpected {
+                role: "share-authority",
                 kind: other.kind(),
             }),
         }

@@ -7,14 +7,15 @@
 //! the two stay interchangeable dialects of one frozen alphabet.
 
 use cryptonn_core::{Client, Objective};
+use cryptonn_fe::threshold::{ShareAuthority, ShareSpec, ThresholdSetup};
 use cryptonn_fe::{BasicOp, FeboKeyRequest, KeyAuthority, KeyService, PermittedFunctions};
 use cryptonn_group::{SchnorrGroup, SecurityLevel};
 use cryptonn_matrix::{ConvSpec, Matrix, Tensor4};
 use cryptonn_protocol::{
     mlp_session_config, ClientId, CnnArch, EncryptedBatchMsg, EncryptedImageBatchMsg, EpochBarrier,
     FeboKeysRequest, FeipKeysRequest, KeyRequest, KeyResponse, MlpSpec, ModelDelta, ModelSpec,
-    Party, PredictRequest, Prediction, PublicParams, RegisterClient, SessionSummary, TrainingStart,
-    Transcript, WireMessage,
+    PartialKey, Party, PredictRequest, Prediction, PublicParams, RegisterClient, SessionSummary,
+    ShareInfo, ShareRequest, TrainingStart, Transcript, WireMessage,
 };
 use cryptonn_smc::FixedPoint;
 use proptest::prelude::*;
@@ -154,6 +155,42 @@ proptest! {
     }
 
     #[test]
+    fn share_traffic_roundtrips(dim in 1usize..4, y in -50i64..50, index in 1u32..4) {
+        let group = SchnorrGroup::precomputed(SecurityLevel::Bits64);
+        let setup = ThresholdSetup::new(3, 2).unwrap();
+        let spec = ShareSpec::new(setup, index).unwrap();
+        let node = ShareAuthority::with_seed(group, PermittedFunctions::all(), 55, spec);
+
+        roundtrip(&WireMessage::ShareRequest(ShareRequest::Info));
+        roundtrip(&WireMessage::PartialKey(PartialKey::Info(ShareInfo {
+            index,
+            n: 3,
+            t: 2,
+            febo_commitments: node.febo_commitments().to_vec(),
+        })));
+
+        let ys: Vec<Vec<i64>> = (0..2).map(|i| (0..dim).map(|j| y + (i * dim + j) as i64).collect()).collect();
+        roundtrip(&WireMessage::ShareRequest(ShareRequest::Feip(FeipKeysRequest {
+            dim,
+            ys: ys.clone(),
+        })));
+        roundtrip(&WireMessage::PartialKey(PartialKey::Feip(
+            node.feip_partials(dim, &ys).unwrap(),
+        )));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(y.unsigned_abs());
+        let ct = cryptonn_fe::febo::encrypt(&node.febo_public_key(), y, &mut rng);
+        let reqs = vec![FeboKeyRequest { cmt: *ct.commitment(), op: BasicOp::Sub, y }];
+        roundtrip(&WireMessage::ShareRequest(ShareRequest::Febo(FeboKeysRequest {
+            reqs: reqs.clone(),
+        })));
+        roundtrip(&WireMessage::PartialKey(PartialKey::Febo(
+            node.febo_partials(&reqs).unwrap(),
+        )));
+        roundtrip(&WireMessage::PartialKey(PartialKey::Denied("refused".into())));
+    }
+
+    #[test]
     fn predict_traffic_roundtrips(seed in 0u64..1000, rows in 1usize..4) {
         let auth = authority();
         let mut client = Client::for_mlp(auth, 3, 2, FixedPoint::TWO_DECIMALS, seed);
@@ -242,6 +279,8 @@ fn wire_alphabet_is_frozen() {
             WireMessage::ImageBatch(_) => "ImageBatch",
             WireMessage::KeyRequest(_) => "KeyRequest",
             WireMessage::KeyResponse(_) => "KeyResponse",
+            WireMessage::ShareRequest(_) => "ShareRequest",
+            WireMessage::PartialKey(_) => "PartialKey",
             WireMessage::Delta(_) => "Delta",
             WireMessage::Epoch(_) => "Epoch",
             WireMessage::Summary(_) => "Summary",
